@@ -1,0 +1,69 @@
+// Reproduces Fig. 10e: per-transaction cost breakdown (Exec /
+// Tail-Contention / Log-Write / Abort) for CPR / CALC / WAL at 1 thread and
+// at the maximum thread count, sizes 1 and 10, low contention.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace cpr::bench {
+namespace {
+
+const char* ModeName(txdb::DurabilityMode m) {
+  switch (m) {
+    case txdb::DurabilityMode::kCpr:
+      return "CPR ";
+    case txdb::DurabilityMode::kCalc:
+      return "CALC";
+    case txdb::DurabilityMode::kWal:
+      return "WAL ";
+    default:
+      return "NONE";
+  }
+}
+
+void PrintBreakdown(const char* mode, uint32_t threads, uint32_t size,
+                    const BreakdownCounters& b) {
+  const double total =
+      static_cast<double>(b.exec_ns + b.tail_contention_ns + b.log_write_ns +
+                          b.abort_ns);
+  if (total == 0) return;
+  std::printf("%-6s size=%-3u thr=%-3u  exec=%5.1f%%  tail=%5.1f%%  "
+              "logw=%5.1f%%  abort=%5.1f%%\n",
+              mode, size, threads, 100.0 * b.exec_ns / total,
+              100.0 * b.tail_contention_ns / total,
+              100.0 * b.log_write_ns / total, 100.0 * b.abort_ns / total);
+}
+
+void Run() {
+  const double seconds = 0.8 * EnvF64("CPR_BENCH_SCALE", 1.0);
+  const uint64_t keys = EnvU64("CPR_BENCH_KEYS", 100'000);
+  const uint32_t max_threads =
+      static_cast<uint32_t>(EnvU64("CPR_BENCH_THREADS", 4));
+  PrintHeader("Fig. 10e", "cost breakdown, YCSB theta=0.1, 50:50");
+  for (uint32_t txn_size : {1u, 10u}) {
+    for (uint32_t threads : {1u, max_threads}) {
+      for (txdb::DurabilityMode mode :
+           {txdb::DurabilityMode::kCpr, txdb::DurabilityMode::kCalc,
+            txdb::DurabilityMode::kWal}) {
+        TxdbRunConfig cfg;
+        cfg.mode = mode;
+        cfg.threads = threads;
+        cfg.seconds = seconds;
+        cfg.ycsb.num_keys = keys;
+        cfg.ycsb.theta = 0.1;
+        cfg.ycsb.read_pct = 50;
+        cfg.ycsb.txn_size = txn_size;
+        const TxdbRunResult r = RunTxdb(cfg);
+        PrintBreakdown(ModeName(mode), threads, txn_size, r.breakdown);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpr::bench
+
+int main() {
+  cpr::bench::Run();
+  return 0;
+}

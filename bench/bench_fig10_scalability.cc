@@ -1,0 +1,60 @@
+// Reproduces Fig. 2 and Fig. 10a–d: transactional-database throughput and
+// latency vs thread count for CPR / CALC / WAL on the low-contention
+// (theta = 0.1) YCSB workload, 50:50 read:write, transaction sizes 1 and 10.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace cpr::bench {
+namespace {
+
+const char* ModeName(txdb::DurabilityMode m) {
+  switch (m) {
+    case txdb::DurabilityMode::kCpr:
+      return "CPR ";
+    case txdb::DurabilityMode::kCalc:
+      return "CALC";
+    case txdb::DurabilityMode::kWal:
+      return "WAL ";
+    default:
+      return "NONE";
+  }
+}
+
+void Run() {
+  const double seconds = 0.8 * EnvF64("CPR_BENCH_SCALE", 1.0);
+  const uint64_t keys = EnvU64("CPR_BENCH_KEYS", 100'000);
+  const txdb::DurabilityMode modes[] = {txdb::DurabilityMode::kCpr,
+                                        txdb::DurabilityMode::kCalc,
+                                        txdb::DurabilityMode::kWal};
+  for (uint32_t txn_size : {1u, 10u}) {
+    PrintHeader("Fig. 10 (a–d)",
+                "scalability & latency, YCSB theta=0.1, 50:50, size " +
+                    std::to_string(txn_size));
+    std::printf("%-6s %8s %14s %14s %12s\n", "mode", "threads",
+                "Mtxns/sec", "mean lat(us)", "p99 lat(us)");
+    for (txdb::DurabilityMode mode : modes) {
+      for (uint32_t threads : SweepThreads()) {
+        TxdbRunConfig cfg;
+        cfg.mode = mode;
+        cfg.threads = threads;
+        cfg.seconds = seconds;
+        cfg.ycsb.num_keys = keys;
+        cfg.ycsb.theta = 0.1;
+        cfg.ycsb.read_pct = 50;
+        cfg.ycsb.txn_size = txn_size;
+        const TxdbRunResult r = RunTxdb(cfg);
+        std::printf("%-6s %8u %14.3f %14.3f %12.3f\n", ModeName(mode),
+                    threads, r.mtps, r.mean_latency_us, r.p99_latency_us);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpr::bench
+
+int main() {
+  cpr::bench::Run();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces Fig. 11c/d (throughput vs read percentage, sizes 1 and 10) and
+// Fig. 11e (throughput vs transaction size, 50:50) for CPR / CALC / WAL.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace cpr::bench {
+namespace {
+
+const char* ModeName(txdb::DurabilityMode m) {
+  switch (m) {
+    case txdb::DurabilityMode::kCpr:
+      return "CPR ";
+    case txdb::DurabilityMode::kCalc:
+      return "CALC";
+    default:
+      return "WAL ";
+  }
+}
+
+void Run() {
+  const double seconds = 0.8 * EnvF64("CPR_BENCH_SCALE", 1.0);
+  const uint64_t keys = EnvU64("CPR_BENCH_KEYS", 100'000);
+  const uint32_t threads =
+      static_cast<uint32_t>(EnvU64("CPR_BENCH_THREADS", 4));
+  const txdb::DurabilityMode modes[] = {txdb::DurabilityMode::kCpr,
+                                        txdb::DurabilityMode::kCalc,
+                                        txdb::DurabilityMode::kWal};
+
+  for (uint32_t txn_size : {1u, 10u}) {
+    PrintHeader("Fig. 11c/d", "throughput vs read %, size " +
+                                  std::to_string(txn_size));
+    std::printf("%-6s %8s %12s\n", "mode", "read%", "Mtxns/sec");
+    for (txdb::DurabilityMode mode : modes) {
+      for (uint32_t read_pct : {0u, 25u, 50u, 75u, 90u}) {
+        TxdbRunConfig cfg;
+        cfg.mode = mode;
+        cfg.threads = threads;
+        cfg.seconds = seconds;
+        cfg.ycsb.num_keys = keys;
+        cfg.ycsb.theta = 0.1;
+        cfg.ycsb.read_pct = read_pct;
+        cfg.ycsb.txn_size = txn_size;
+        const TxdbRunResult r = RunTxdb(cfg);
+        std::printf("%-6s %8u %12.3f\n", ModeName(mode), read_pct, r.mtps);
+      }
+    }
+  }
+
+  PrintHeader("Fig. 11e", "throughput vs transaction size, 50:50");
+  std::printf("%-6s %8s %12s\n", "mode", "size", "Mtxns/sec");
+  for (txdb::DurabilityMode mode : modes) {
+    for (uint32_t txn_size : {1u, 3u, 5u, 7u, 10u}) {
+      TxdbRunConfig cfg;
+      cfg.mode = mode;
+      cfg.threads = threads;
+      cfg.seconds = seconds;
+      cfg.ycsb.num_keys = keys;
+      cfg.ycsb.theta = 0.1;
+      cfg.ycsb.read_pct = 50;
+      cfg.ycsb.txn_size = txn_size;
+      const TxdbRunResult r = RunTxdb(cfg);
+      std::printf("%-6s %8u %12.3f\n", ModeName(mode), txn_size, r.mtps);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpr::bench
+
+int main() {
+  cpr::bench::Run();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Fig. 11a/b: transactional-database throughput over the lifetime
+// of a run with periodic commits, for CPR / CALC / WAL, mixed (50:50) and
+// write-only (100:0) workloads, transaction sizes 1 and 10. The paper's
+// checkpoints at 30/60/90s of a ~120s run are compressed to three commits in
+// a short run; CPR_BENCH_SCALE stretches it back out.
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+
+namespace cpr::bench {
+namespace {
+
+const char* ModeName(txdb::DurabilityMode m) {
+  switch (m) {
+    case txdb::DurabilityMode::kCpr:
+      return "CPR";
+    case txdb::DurabilityMode::kCalc:
+      return "CALC";
+    default:
+      return "WAL";
+  }
+}
+
+void Run() {
+  const double scale = EnvF64("CPR_BENCH_SCALE", 1.0);
+  const double seconds = 6.0 * scale;
+  const uint64_t keys = EnvU64("CPR_BENCH_KEYS", 100'000);
+  const uint32_t threads =
+      static_cast<uint32_t>(EnvU64("CPR_BENCH_THREADS", 4));
+
+  for (uint32_t txn_size : {1u, 10u}) {
+    PrintHeader("Fig. 11a/b",
+                "throughput vs time across commits, size " +
+                    std::to_string(txn_size));
+    for (uint32_t write_pct : {50u, 100u}) {
+      for (txdb::DurabilityMode mode :
+           {txdb::DurabilityMode::kCpr, txdb::DurabilityMode::kCalc,
+            txdb::DurabilityMode::kWal}) {
+        TxdbRunConfig cfg;
+        cfg.mode = mode;
+        cfg.threads = threads;
+        cfg.seconds = seconds;
+        cfg.ycsb.num_keys = keys;
+        cfg.ycsb.theta = 0.1;
+        cfg.ycsb.read_pct = 100 - write_pct;
+        cfg.ycsb.txn_size = txn_size;
+        cfg.commit_at = {seconds * 0.25, seconds * 0.5, seconds * 0.75};
+        cfg.sample_interval = seconds / 12.0;
+        const TxdbRunResult r = RunTxdb(cfg);
+        char label[128];
+        std::snprintf(label, sizeof(label),
+                      "%s (%u:%u)  commits at 25%%/50%%/75%% of run",
+                      ModeName(mode), write_pct, 100 - write_pct);
+        PrintSeries(label, r.series);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpr::bench
+
+int main() {
+  cpr::bench::Run();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces Fig. 12: FASTER throughput vs time with two full (index + log)
+// commits per run, comparing fold-over vs snapshot capture and Zipf vs
+// Uniform key distributions on 90:10, 50:50 and 0:100 YCSB mixes; plus the
+// HybridLog growth series for the 0:100 workload (Fig. 12d).
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+
+namespace cpr::bench {
+namespace {
+
+void Run() {
+  const double scale = EnvF64("CPR_BENCH_SCALE", 1.0);
+  const double seconds = 6.0 * scale;
+  const uint64_t keys = EnvU64("CPR_BENCH_KEYS", 100'000);
+  const uint32_t threads =
+      static_cast<uint32_t>(EnvU64("CPR_BENCH_THREADS", 4));
+
+  for (uint32_t read_pct : {90u, 50u, 0u}) {
+    PrintHeader("Fig. 12",
+                "FASTER throughput vs time, full commits, " +
+                    std::to_string(read_pct) + ":" +
+                    std::to_string(100 - read_pct));
+    for (faster::CommitVariant variant :
+         {faster::CommitVariant::kFoldOver, faster::CommitVariant::kSnapshot}) {
+      for (bool zipf : {true, false}) {
+        FasterRunConfig cfg;
+        cfg.threads = threads;
+        cfg.num_keys = keys;
+        cfg.read_pct = read_pct;
+        cfg.zipf = zipf;
+        cfg.seconds = seconds;
+        cfg.sample_interval = seconds / 12.0;
+        cfg.commits = {
+            {seconds * 0.2, variant, /*include_index=*/true},
+            {seconds * 0.6, variant, /*include_index=*/true},
+        };
+        const FasterRunResult r = RunFaster(cfg);
+        char label[160];
+        std::snprintf(
+            label, sizeof(label),
+            "%s (%s)  commits at 20%%/60%%; commit wall times: %s",
+            variant == faster::CommitVariant::kFoldOver ? "Fold-Over"
+                                                        : "Snapshot",
+            zipf ? "Zipf" : "Uniform",
+            [&] {
+              static char buf[64];
+              std::string s;
+              for (double d : r.commit_durations_s) {
+                std::snprintf(buf, sizeof(buf), "%.2fs ", d);
+                s += buf;
+              }
+              static std::string hold;
+              hold = s;
+              return hold.c_str();
+            }());
+        PrintSeries(label, r.series, /*with_log_size=*/read_pct == 0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpr::bench
+
+int main() {
+  cpr::bench::Run();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Fig. 13: FASTER throughput vs time for a varying number of
+// threads (50:50 mix), full fold-over commits mid-run, Zipf and Uniform.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace cpr::bench {
+namespace {
+
+void Run() {
+  const double scale = EnvF64("CPR_BENCH_SCALE", 1.0);
+  const double seconds = 4.0 * scale;
+  const uint64_t keys = EnvU64("CPR_BENCH_KEYS", 100'000);
+
+  for (bool zipf : {true, false}) {
+    PrintHeader("Fig. 13", std::string("FASTER thread sweep, 50:50, ") +
+                               (zipf ? "Zipf" : "Uniform"));
+    for (uint32_t threads : SweepThreads()) {
+      FasterRunConfig cfg;
+      cfg.threads = threads;
+      cfg.num_keys = keys;
+      cfg.read_pct = 50;
+      cfg.zipf = zipf;
+      cfg.seconds = seconds;
+      cfg.sample_interval = seconds / 8.0;
+      cfg.commits = {
+          {seconds * 0.25, faster::CommitVariant::kFoldOver, true},
+          {seconds * 0.65, faster::CommitVariant::kFoldOver, true},
+      };
+      const FasterRunResult r = RunFaster(cfg);
+      char label[64];
+      std::snprintf(label, sizeof(label), "threads=%u  (avg %.3f Mops/s)",
+                    threads, r.mops);
+      PrintSeries(label, r.series);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpr::bench
+
+int main() {
+  cpr::bench::Run();
+  return 0;
+}

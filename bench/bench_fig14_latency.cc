@@ -1,0 +1,68 @@
+// Reproduces Fig. 14: operation latency at rest vs during a CPR commit, for
+// the fine-grained (bucket latches) and coarse-grained (offset-based)
+// version-transfer schemes, on 0:100 blind-update and 0:100 RMW workloads
+// (log-only fold-over commits), Zipf and Uniform.
+//
+// Expected shape: rest-phase latency is in the hundreds of nanoseconds;
+// during a commit it rises, with coarse-grained markedly worse than
+// fine-grained for RMW (data-dependent hand-off makes requests go pending).
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace cpr::bench {
+namespace {
+
+void Run() {
+  const double scale = EnvF64("CPR_BENCH_SCALE", 1.0);
+  const double seconds = 4.0 * scale;
+  const uint64_t keys = EnvU64("CPR_BENCH_KEYS", 100'000);
+  const uint32_t threads =
+      static_cast<uint32_t>(EnvU64("CPR_BENCH_THREADS", 4));
+
+  for (bool rmw : {false, true}) {
+    PrintHeader("Fig. 14", std::string("latency, 0:100 ") +
+                               (rmw ? "RMW" : "blind updates") +
+                               ", log-only fold-over commits");
+    std::printf("%-14s %-8s %12s %12s %14s %14s\n", "locking", "dist",
+                "rest mean(us)", "rest p99(us)", "commit mean(us)",
+                "commit p99(us)");
+    for (faster::CheckpointLocking locking :
+         {faster::CheckpointLocking::kFineGrained,
+          faster::CheckpointLocking::kCoarseGrained}) {
+      for (bool zipf : {true, false}) {
+        FasterRunConfig cfg;
+        cfg.threads = threads;
+        cfg.num_keys = keys;
+        cfg.read_pct = 0;
+        cfg.rmw = rmw;
+        cfg.zipf = zipf;
+        cfg.seconds = seconds;
+        cfg.sample_interval = 0;
+        cfg.locking = locking;
+        cfg.track_latency = true;
+        // Several log-only commits so the "during commit" histogram fills.
+        cfg.commits = {
+            {seconds * 0.2, faster::CommitVariant::kFoldOver, true},
+            {seconds * 0.45, faster::CommitVariant::kFoldOver, false},
+            {seconds * 0.7, faster::CommitVariant::kFoldOver, false},
+        };
+        const FasterRunResult r = RunFaster(cfg);
+        std::printf("%-14s %-8s %12.3f %12.3f %14.3f %14.3f\n",
+                    locking == faster::CheckpointLocking::kFineGrained
+                        ? "fine-grained"
+                        : "coarse-grained",
+                    zipf ? "Zipf" : "Uniform", r.rest_mean_us, r.rest_p99_us,
+                    r.commit_mean_us, r.commit_p99_us);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpr::bench
+
+int main() {
+  cpr::bench::Run();
+  return 0;
+}

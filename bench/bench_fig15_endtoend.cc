@@ -1,0 +1,152 @@
+// Reproduces Fig. 15: the end-to-end experiment. Clients feed a 50:50 YCSB
+// workload into FASTER while keeping every un-committed operation in a
+// bounded in-flight buffer (16 bytes per op). When any buffer reaches 80%
+// capacity a log-only fold-over commit is requested; the CPR points returned
+// by the commit let each client trim its buffer. Clients block when their
+// buffer is full. Reported per buffer size: throughput and the average
+// commit interval.
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/clock.h"
+
+namespace cpr::bench {
+namespace {
+
+void RunOne(bool zipf, uint64_t buffer_bytes, uint32_t threads,
+            uint64_t keys, double seconds) {
+  faster::FasterKv::Options opts;
+  opts.dir = FreshBenchDir("fig15");
+  opts.index_buckets = std::max<uint64_t>(1024, keys / 2);
+  faster::FasterKv kv(opts);
+  {
+    faster::Session* s = kv.StartSession();
+    const int64_t v = 0;
+    for (uint64_t k = 0; k < keys; ++k) kv.Upsert(*s, k, &v);
+    kv.CompletePending(*s, true);
+    kv.StopSession(s);
+  }
+
+  const uint64_t buffer_ops = buffer_bytes / 16;  // 8B key + 8B value
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> total_ops{0};
+  std::atomic<uint64_t> commits_done{0};
+  std::mutex points_mu;
+  std::map<uint64_t, uint64_t> latest_points;  // guid -> trimmed serial
+
+  auto on_commit = [&](uint64_t,
+                       const std::vector<faster::SessionCommitPoint>& pts) {
+    std::lock_guard<std::mutex> lock(points_mu);
+    for (const auto& p : pts) {
+      latest_points[p.guid] = std::max(latest_points[p.guid], p.serial);
+    }
+    commits_done.fetch_add(1);
+  };
+
+  workloads::YcsbConfig ycsb;
+  ycsb.num_keys = keys;
+  ycsb.distribution = zipf ? workloads::KeyDistribution::kZipfian
+                           : workloads::KeyDistribution::kUniform;
+  ycsb.theta = 0.99;
+  ycsb.read_pct = 50;
+
+  std::vector<std::thread> clients;
+  for (uint32_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      faster::Session* s = kv.StartSession();
+      workloads::YcsbGenerator gen(ycsb, t + 1);
+      int64_t value = t;
+      int64_t read_buf = 0;
+      uint64_t trimmed = 0;  // ops up to this serial are committed
+      uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Trim the in-flight buffer using the freshest CPR point.
+        {
+          std::lock_guard<std::mutex> lock(points_mu);
+          auto it = latest_points.find(s->guid());
+          if (it != latest_points.end()) trimmed = it->second;
+        }
+        const uint64_t in_flight = s->serial() - trimmed;
+        if (in_flight >= buffer_ops) {
+          // Buffer full: block until a commit trims it.
+          if (!kv.CheckpointInProgress()) {
+            kv.Checkpoint(faster::CommitVariant::kFoldOver,
+                          /*include_index=*/false, on_commit);
+          }
+          kv.Refresh(*s);
+          kv.CompletePending(*s);
+          continue;
+        }
+        if (in_flight >= buffer_ops * 8 / 10 && !kv.CheckpointInProgress()) {
+          kv.Checkpoint(faster::CommitVariant::kFoldOver, false, on_commit);
+        }
+        if (gen.NextIsRead()) {
+          kv.Read(*s, gen.NextKey(), &read_buf);
+        } else {
+          kv.Upsert(*s, gen.NextKey(), &value);
+        }
+        total_ops.fetch_add(1, std::memory_order_relaxed);
+        if (++n % 256 == 0) kv.CompletePending(*s);
+      }
+      kv.CompletePending(*s, true);
+      while (kv.CheckpointInProgress()) kv.Refresh(*s);
+      kv.StopSession(s);
+    });
+  }
+
+  // One full checkpoint up front, as in the paper.
+  uint64_t token = 0;
+  while (!kv.Checkpoint(faster::CommitVariant::kFoldOver, true, on_commit,
+                        &token)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  kv.WaitForCheckpoint(token);
+
+  const double t0 = NowSeconds();
+  const uint64_t ops0 = total_ops.load();
+  const uint64_t commits0 = commits_done.load();
+  while (NowSeconds() - t0 < seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const double elapsed = NowSeconds() - t0;
+  const uint64_t ops = total_ops.load() - ops0;
+  const uint64_t commits = commits_done.load() - commits0;
+  stop = true;
+  for (auto& c : clients) c.join();
+
+  const double interval =
+      commits > 0 ? elapsed / static_cast<double>(commits) : elapsed;
+  std::printf("%-8s buffer=%6lu KB  %10.3f Mops/s  avg commit interval "
+              "%6.2fs  (%lu commits)\n",
+              zipf ? "Zipf" : "Uniform",
+              static_cast<unsigned long>(buffer_bytes / 1024),
+              static_cast<double>(ops) / elapsed / 1e6, interval,
+              static_cast<unsigned long>(commits));
+}
+
+void Run() {
+  const double seconds = 3.0 * EnvF64("CPR_BENCH_SCALE", 1.0);
+  const uint64_t keys = EnvU64("CPR_BENCH_KEYS", 100'000);
+  const uint32_t threads =
+      static_cast<uint32_t>(EnvU64("CPR_BENCH_THREADS", 4));
+  PrintHeader("Fig. 15",
+              "end-to-end client buffers, 50:50, log-only fold-over commits");
+  for (bool zipf : {true, false}) {
+    for (uint64_t kb : {31ull, 61ull, 122ull, 244ull, 488ull}) {
+      RunOne(zipf, kb * 1024, threads, keys, seconds);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpr::bench
+
+int main() {
+  cpr::bench::Run();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Reproduces Fig. 16 (Appendix E.1): the Fig. 10 experiment at high
+// contention (theta = 0.99) — scalability, latency, and cost breakdown for
+// CPR / CALC / WAL at transaction sizes 1 and 10.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace cpr::bench {
+namespace {
+
+const char* ModeName(txdb::DurabilityMode m) {
+  switch (m) {
+    case txdb::DurabilityMode::kCpr:
+      return "CPR ";
+    case txdb::DurabilityMode::kCalc:
+      return "CALC";
+    default:
+      return "WAL ";
+  }
+}
+
+void Run() {
+  const double seconds = 0.8 * EnvF64("CPR_BENCH_SCALE", 1.0);
+  const uint64_t keys = EnvU64("CPR_BENCH_KEYS", 100'000);
+  for (uint32_t txn_size : {1u, 10u}) {
+    PrintHeader("Fig. 16",
+                "high contention (theta=0.99), 50:50, size " +
+                    std::to_string(txn_size));
+    std::printf("%-6s %8s %12s %14s %10s %10s\n", "mode", "threads",
+                "Mtxns/sec", "mean lat(us)", "abort%", "tail%");
+    for (txdb::DurabilityMode mode :
+         {txdb::DurabilityMode::kCpr, txdb::DurabilityMode::kCalc,
+          txdb::DurabilityMode::kWal}) {
+      for (uint32_t threads : SweepThreads()) {
+        TxdbRunConfig cfg;
+        cfg.mode = mode;
+        cfg.threads = threads;
+        cfg.seconds = seconds;
+        cfg.ycsb.num_keys = keys;
+        cfg.ycsb.theta = 0.99;
+        cfg.ycsb.read_pct = 50;
+        cfg.ycsb.txn_size = txn_size;
+        const TxdbRunResult r = RunTxdb(cfg);
+        const double total_ns = static_cast<double>(
+            r.breakdown.exec_ns + r.breakdown.tail_contention_ns +
+            r.breakdown.log_write_ns + r.breakdown.abort_ns);
+        const double abort_pct =
+            total_ns > 0 ? 100.0 * r.breakdown.abort_ns / total_ns : 0;
+        const double tail_pct =
+            total_ns > 0 ? 100.0 * r.breakdown.tail_contention_ns / total_ns
+                         : 0;
+        std::printf("%-6s %8u %12.3f %14.3f %9.1f%% %9.1f%%\n",
+                    ModeName(mode), threads, r.mtps, r.mean_latency_us,
+                    abort_pct, tail_pct);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpr::bench
+
+int main() {
+  cpr::bench::Run();
+  return 0;
+}

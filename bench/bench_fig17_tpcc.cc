@@ -1,0 +1,83 @@
+// Reproduces Fig. 17 (Appendix E.2): TPC-C (Payment + New-Order mixture)
+// on the transactional database — throughput across commits (50:50 mix),
+// scalability and latency for 50:50 and Payment-only (100:0) mixes, and
+// the cost breakdown, for CPR / CALC / WAL.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace cpr::bench {
+namespace {
+
+const char* ModeName(txdb::DurabilityMode m) {
+  switch (m) {
+    case txdb::DurabilityMode::kCpr:
+      return "CPR ";
+    case txdb::DurabilityMode::kCalc:
+      return "CALC";
+    default:
+      return "WAL ";
+  }
+}
+
+void Run() {
+  const double scale = EnvF64("CPR_BENCH_SCALE", 1.0);
+  const uint32_t warehouses =
+      static_cast<uint32_t>(EnvU64("CPR_BENCH_WAREHOUSES", 4));
+  const txdb::DurabilityMode modes[] = {txdb::DurabilityMode::kCpr,
+                                        txdb::DurabilityMode::kCalc,
+                                        txdb::DurabilityMode::kWal};
+
+  PrintHeader("Fig. 17a", "TPC-C 50:50 throughput vs time across commits");
+  const double timeline_seconds = 5.0 * scale;
+  for (txdb::DurabilityMode mode : modes) {
+    TxdbRunConfig cfg;
+    cfg.mode = mode;
+    cfg.threads = static_cast<uint32_t>(EnvU64("CPR_BENCH_THREADS", 4));
+    cfg.seconds = timeline_seconds;
+    cfg.tpcc = true;
+    cfg.tpcc_payment_pct = 50;
+    cfg.tpcc_warehouses = warehouses;
+    cfg.commit_at = {timeline_seconds * 0.25, timeline_seconds * 0.5,
+                     timeline_seconds * 0.75};
+    cfg.sample_interval = timeline_seconds / 10.0;
+    const TxdbRunResult r = RunTxdb(cfg);
+    PrintSeries(ModeName(mode), r.series);
+  }
+
+  for (uint32_t payment_pct : {50u, 100u}) {
+    PrintHeader("Fig. 17b–d",
+                "TPC-C scalability & latency, Payment:" +
+                    std::to_string(payment_pct) + "%");
+    std::printf("%-6s %8s %12s %14s %10s\n", "mode", "threads", "Mtxns/sec",
+                "mean lat(us)", "tail%");
+    for (txdb::DurabilityMode mode : modes) {
+      for (uint32_t threads : SweepThreads()) {
+        TxdbRunConfig cfg;
+        cfg.mode = mode;
+        cfg.threads = threads;
+        cfg.seconds = 0.8 * scale;
+        cfg.tpcc = true;
+        cfg.tpcc_payment_pct = payment_pct;
+        cfg.tpcc_warehouses = warehouses;
+        const TxdbRunResult r = RunTxdb(cfg);
+        const double total_ns = static_cast<double>(
+            r.breakdown.exec_ns + r.breakdown.tail_contention_ns +
+            r.breakdown.log_write_ns + r.breakdown.abort_ns);
+        const double tail_pct =
+            total_ns > 0 ? 100.0 * r.breakdown.tail_contention_ns / total_ns
+                         : 0;
+        std::printf("%-6s %8u %12.3f %14.3f %9.1f%%\n", ModeName(mode),
+                    threads, r.mtps, r.mean_latency_us, tail_pct);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpr::bench
+
+int main() {
+  cpr::bench::Run();
+  return 0;
+}

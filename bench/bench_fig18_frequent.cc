@@ -1,0 +1,58 @@
+// Reproduces Fig. 18 (Appendix E.3): frequent log-only commits (the index is
+// checkpointed once, then reused) — throughput over time and HybridLog
+// growth, fold-over vs snapshot, Zipf vs Uniform, 90:10 / 50:50 / 0:100.
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+
+namespace cpr::bench {
+namespace {
+
+void Run() {
+  const double scale = EnvF64("CPR_BENCH_SCALE", 1.0);
+  const double seconds = 6.0 * scale;
+  const uint64_t keys = EnvU64("CPR_BENCH_KEYS", 100'000);
+  const uint32_t threads =
+      static_cast<uint32_t>(EnvU64("CPR_BENCH_THREADS", 4));
+
+  for (uint32_t read_pct : {90u, 50u, 0u}) {
+    PrintHeader("Fig. 18",
+                "frequent log-only commits, " + std::to_string(read_pct) +
+                    ":" + std::to_string(100 - read_pct));
+    for (faster::CommitVariant variant :
+         {faster::CommitVariant::kFoldOver, faster::CommitVariant::kSnapshot}) {
+      for (bool zipf : {true, false}) {
+        FasterRunConfig cfg;
+        cfg.threads = threads;
+        cfg.num_keys = keys;
+        cfg.read_pct = read_pct;
+        cfg.zipf = zipf;
+        cfg.seconds = seconds;
+        cfg.sample_interval = seconds / 12.0;
+        // First commit includes the index; later ones are log-only and
+        // arrive at a fixed cadence (the paper's every-15s compressed).
+        for (int i = 1; i <= 5; ++i) {
+          cfg.commits.push_back(
+              {seconds * i / 6.0, variant, /*include_index=*/i == 1});
+        }
+        const FasterRunResult r = RunFaster(cfg);
+        char label[96];
+        std::snprintf(label, sizeof(label), "%s (%s)",
+                      variant == faster::CommitVariant::kFoldOver
+                          ? "Fold-Over"
+                          : "Snapshot",
+                      zipf ? "Zipf" : "Uniform");
+        PrintSeries(label, r.series, /*with_log_size=*/read_pct == 0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpr::bench
+
+int main() {
+  cpr::bench::Run();
+  return 0;
+}

@@ -1,0 +1,19 @@
+#ifndef CPR_FASTER_ADDRESS_H_
+#define CPR_FASTER_ADDRESS_H_
+
+#include <cstdint>
+
+namespace cpr::faster {
+
+// Logical addresses index HybridLog's 48-bit address space, which spans the
+// on-disk log prefix and the in-memory tail. Address 0 is the invalid/null
+// address terminating hash chains.
+using Address = uint64_t;
+
+inline constexpr Address kInvalidAddress = 0;
+inline constexpr uint32_t kAddressBits = 48;
+inline constexpr Address kMaxAddress = (Address{1} << kAddressBits) - 1;
+
+}  // namespace cpr::faster
+
+#endif  // CPR_FASTER_ADDRESS_H_

@@ -1,0 +1,89 @@
+#ifndef CPR_FASTER_CHECKPOINT_STATE_H_
+#define CPR_FASTER_CHECKPOINT_STATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "faster/address.h"
+
+namespace cpr::faster {
+
+// Global CPR state machine phases for FASTER (paper Fig. 9a).
+enum class Phase : uint8_t {
+  kRest = 0,
+  kPrepare,
+  kInProgress,
+  kWaitPending,
+  kWaitFlush,
+};
+
+// Packed (phase, version) so threads read a consistent pair in one load.
+struct SystemState {
+  static uint64_t Pack(Phase phase, uint32_t version) {
+    return (static_cast<uint64_t>(version) << 8) |
+           static_cast<uint64_t>(phase);
+  }
+  static Phase PhaseOf(uint64_t s) { return static_cast<Phase>(s & 0xff); }
+  static uint32_t VersionOf(uint64_t s) {
+    return static_cast<uint32_t>(s >> 8);
+  }
+};
+
+// How the volatile v-records are captured on storage (paper App. D).
+enum class CommitVariant : uint8_t {
+  // Shift the read-only offset to the tail: the normal page-flush path
+  // persists everything. Fully incremental, but every post-commit update
+  // pays a read-copy-update until the working set migrates back to the
+  // mutable region.
+  kFoldOver = 0,
+  // Dump the volatile portion of HybridLog to a separate snapshot file; the
+  // log reopens for in-place updates as soon as the dump completes.
+  kSnapshot,
+};
+
+// How a thread hands a record over from version v to v+1 (paper App. C).
+enum class CheckpointLocking : uint8_t {
+  // Bucket-level shared/exclusive latches (Alg. 4/5): prepare threads latch
+  // shared even for in-place updates; in-progress threads latch exclusive
+  // for the copy-on-update.
+  kFineGrained = 0,
+  // No latches: the safe-read-only offset is the version-shift marker; a
+  // (v+1) operation on a mutable v record goes pending instead.
+  kCoarseGrained,
+};
+
+// Per-session commit point: operations with serial < serial are durable.
+struct SessionCommitPoint {
+  uint64_t guid = 0;
+  uint64_t serial = 0;
+};
+
+// Durable description of one completed checkpoint.
+struct CheckpointMetadata {
+  uint64_t token = 0;        // checkpoint id
+  uint32_t version = 0;      // the committed version v
+  CommitVariant variant = CommitVariant::kFoldOver;
+  Address lhs = 0;           // log tail at commit request
+  Address lhe = 0;           // log tail at wait-flush entry
+  Address flushed = 0;       // log-file coverage at checkpoint completion
+  Address snapshot_start = 0;  // first address in the snapshot file
+  Address begin = 0;           // log begin address (truncation watermark)
+  uint64_t index_token = 0;  // the index checkpoint recovery starts from
+  std::vector<SessionCommitPoint> points;
+};
+
+// Durable description of one fuzzy index checkpoint.
+struct IndexCheckpointMetadata {
+  uint64_t token = 0;
+  Address li = 0;  // log tail when the fuzzy index copy was taken
+  uint64_t num_buckets = 0;
+  uint64_t num_overflow = 0;
+};
+
+using CheckpointCallback = std::function<void(
+    uint64_t token, const std::vector<SessionCommitPoint>& points)>;
+
+}  // namespace cpr::faster
+
+#endif  // CPR_FASTER_CHECKPOINT_STATE_H_

@@ -1,0 +1,313 @@
+#ifndef CPR_FASTER_FASTER_H_
+#define CPR_FASTER_FASTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "epoch/epoch.h"
+#include "faster/checkpoint_state.h"
+#include "faster/hash_index.h"
+#include "faster/hybrid_log.h"
+#include "faster/record.h"
+#include "io/io_pool.h"
+#include "util/latch.h"
+#include "util/status.h"
+
+namespace cpr::faster {
+
+class FasterKv;
+
+// Result of a user operation. kPending means the operation will complete
+// asynchronously (disk read, fuzzy region, or CPR handoff): drive it with
+// CompletePending().
+enum class OpStatus : uint8_t {
+  kOk = 0,
+  kNotFound,
+  kPending,
+};
+
+enum class OpKind : uint8_t { kRead, kUpsert, kRmw, kDelete };
+
+// Delivered through Session::set_async_callback when a pending operation
+// completes.
+struct AsyncResult {
+  OpKind kind = OpKind::kRead;
+  uint64_t key = 0;
+  uint64_t serial = 0;
+  bool found = false;
+  std::vector<char> value;  // read result (value_size bytes)
+};
+
+// An operation parked for asynchronous completion.
+struct PendingOp {
+  OpKind kind = OpKind::kRead;
+  uint64_t key = 0;
+  int64_t delta = 0;          // RMW
+  std::vector<char> value;    // Upsert payload / Read result
+  uint64_t serial = 0;
+  uint32_t version = 0;       // CPR version the operation belongs to
+  bool counted = false;       // contributes to the global pending-v counter
+  bool holds_latch = false;   // shared bucket latch held (fine-grained)
+  uint64_t bucket = 0;
+
+  bool io_issued = false;
+  std::atomic<bool> io_done{false};
+  Address io_address = kInvalidAddress;
+  std::vector<char> io_buffer;
+};
+
+// A client session (paper §5.2): operations carry session-local serial
+// numbers, and each CPR commit reports a per-session commit point. One
+// session binds to one thread.
+class Session {
+ public:
+  uint64_t guid() const { return guid_; }
+  uint64_t serial() const { return serial_; }
+  Phase phase() const { return phase_; }
+  uint32_t version() const { return version_; }
+  uint64_t last_commit_point() const {
+    return cpr_point_serial_.load(std::memory_order_acquire);
+  }
+  size_t pending_count() const { return pending_.size(); }
+
+  // Invoked from CompletePending for each asynchronously completed op.
+  void set_async_callback(std::function<void(const AsyncResult&)> cb) {
+    async_callback_ = std::move(cb);
+  }
+
+ private:
+  friend class FasterKv;
+
+  uint64_t guid_ = 0;
+  Phase phase_ = Phase::kRest;
+  uint32_t version_ = 1;
+  uint64_t serial_ = 0;
+  // Serial of the operation currently executing inline (0 if none). A
+  // version-boundary crossing during an in-flight operation must exclude it
+  // from the commit point: the operation re-executes as (v+1).
+  uint64_t inflight_serial_ = 0;
+  std::atomic<uint64_t> cpr_point_serial_{0};
+  std::list<PendingOp> pending_;
+  std::function<void(const AsyncResult&)> async_callback_;
+  uint32_t ops_since_refresh_ = 0;
+};
+
+// FASTER-style concurrent hash key-value store with HybridLog storage and
+// CPR-based durability (paper §5–§6, Appendices B–D).
+//
+//   FasterKv::Options opts;
+//   opts.dir = "/tmp/kv";
+//   FasterKv kv(opts);
+//   Session* s = kv.StartSession();
+//   kv.Upsert(*s, key, value);
+//   kv.Rmw(*s, key, +5);
+//   kv.Checkpoint(CommitVariant::kFoldOver, /*include_index=*/true);
+//   ...
+//   kv.StopSession(s);
+//
+// Threading: one session per thread; sessions must call Refresh() (or issue
+// operations, which auto-refresh) regularly, or commits cannot make
+// progress. Checkpoints are fully asynchronous: no phase blocks user
+// operations.
+class FasterKv {
+ public:
+  struct Options {
+    std::string dir = "/tmp/cpr_faster";
+    uint64_t index_buckets = 1ull << 16;
+    uint32_t value_size = 8;
+    uint32_t page_bits = 20;
+    uint32_t memory_pages = 32;
+    uint32_t ro_lag_pages = 4;
+    CheckpointLocking locking = CheckpointLocking::kFineGrained;
+    uint32_t io_threads = 2;
+    uint32_t refresh_interval = 64;  // ops between automatic refreshes
+    bool sync_to_disk = false;
+  };
+
+  explicit FasterKv(Options options);
+  ~FasterKv();
+
+  FasterKv(const FasterKv&) = delete;
+  FasterKv& operator=(const FasterKv&) = delete;
+
+  // -- Sessions ----------------------------------------------------------
+
+  // Starts a session on the calling thread. guid 0 draws a fresh id.
+  Session* StartSession(uint64_t guid = 0);
+  void StopSession(Session* session);
+  // After Recover(): the CPR point (serial number) the store holds for
+  // `guid`; the client replays everything after it.
+  Status ContinueSession(uint64_t guid, uint64_t* recovered_serial) const;
+
+  // -- Operations --------------------------------------------------------
+
+  // Copies the value into `value_out` (value_size bytes).
+  OpStatus Read(Session& session, uint64_t key, void* value_out);
+  // Blind write of value_size bytes.
+  OpStatus Upsert(Session& session, uint64_t key, const void* value);
+  // Read-modify-write: adds `delta` to the first 8 bytes of the value
+  // (the paper's running-sum RMW); absent keys start at zero.
+  OpStatus Rmw(Session& session, uint64_t key, int64_t delta);
+  // Writes a tombstone.
+  OpStatus Delete(Session& session, uint64_t key);
+
+  // Epoch + CPR state synchronization; call periodically (automatic every
+  // refresh_interval operations).
+  void Refresh(Session& session);
+
+  // Drives this session's pending operations; returns how many completed.
+  // With wait_for_all, loops (refreshing) until none remain.
+  size_t CompletePending(Session& session, bool wait_for_all = false);
+
+  // -- Checkpoints -------------------------------------------------------
+
+  // Starts an asynchronous CPR commit. Returns false if one is already in
+  // flight. `include_index` also takes a fuzzy index checkpoint (otherwise
+  // the most recent one is reused — the paper's cheaper "log-only" commit;
+  // forced on the first commit). The callback fires when durable.
+  bool Checkpoint(CommitVariant variant, bool include_index,
+                  CheckpointCallback callback = nullptr,
+                  uint64_t* token_out = nullptr);
+
+  // Standalone fuzzy index checkpoint (REST phase only).
+  bool CheckpointIndex(uint64_t* token_out = nullptr);
+
+  // Coordinator-side wait; safe to call from an unregistered thread.
+  Status WaitForCheckpoint(uint64_t token);
+
+  bool CheckpointInProgress() const;
+  uint32_t CurrentVersion() const;
+  Phase CurrentPhase() const;
+
+  // Attempts the non-epoch-gated state transitions (wait-pending and
+  // wait-flush exits). Called from Refresh; exposed for drivers.
+  void TickStateMachine();
+
+  // -- Recovery ----------------------------------------------------------
+
+  // Rebuilds the store from the latest completed checkpoint in `dir`.
+  // Call before any sessions start.
+  Status Recover();
+
+  // Debug aid: prints one line per parked operation of `session` (key,
+  // version, latch/IO state, and the key's current chain-head record).
+  void DebugDumpPending(Session& session) const;
+
+  // -- Log maintenance -----------------------------------------------------
+
+  // Truncates the log: records below `until` become unreachable (keys whose
+  // chains end below it read as absent). Only the disk-resident region can
+  // be truncated. The watermark is persisted by the next checkpoint. This is
+  // the primitive behind expiration-based garbage collection (§7.1).
+  Status TruncateLogUntil(Address until);
+
+  // Visits every record in [begin, tail) in log order: live chain members,
+  // superseded older versions, and tombstones alike (invalid/orphaned slots
+  // are skipped). The visitor returns false to stop early. Concurrent with
+  // normal operation the scan is fuzzy near the tail. `value` points at
+  // value_size bytes.
+  using ScanVisitor =
+      std::function<bool(Address address, const Record& record,
+                         const char* value)>;
+  Status ScanLog(const ScanVisitor& visitor);
+
+  // Compacts the log prefix [begin, until): every record that is still the
+  // latest version of its key is rewritten at the tail, then the log is
+  // truncated to `until`. Requires a session (the rewrites are ordinary
+  // inserts under the CPR rules); concurrent updates win any races. Returns
+  // the number of records relocated via `relocated` (optional).
+  Status CompactLog(Session& session, Address until,
+                    uint64_t* relocated = nullptr);
+
+  // -- Introspection -----------------------------------------------------
+
+  uint32_t value_size() const { return options_.value_size; }
+  uint64_t LogBytes() const { return hlog_->TailMinusBegin(); }
+  HybridLog& hlog() { return *hlog_; }
+  HashIndex& index() { return *index_; }
+  EpochFramework& epoch() { return epoch_; }
+  uint64_t pending_v_ops(uint32_t version) const {
+    return pending_count_[version & 1].load(std::memory_order_acquire);
+  }
+
+ private:
+  enum class OpOutcome : uint8_t {
+    kDone,
+    kNotFound,
+    kPendingIo,     // needs a disk read at op.io_address
+    kPendingRetry,  // parked on fuzzy region / latch / CPR handoff
+    kShift,         // CPR version shift detected; refresh and re-pin
+    kAllocStall,    // log page rollover in progress; refresh and retry
+  };
+
+  // Executes one attempt of an operation under the CPR phase rules
+  // (Algorithms 4 & 5 for fine-grained; Appendix C for coarse).
+  // `fresh` marks an operation not yet parked (it may still shift versions).
+  OpOutcome TryOp(Session& session, PendingOp& op, bool fresh,
+                  void* read_out);
+
+  // Appends a record (new version of `key`) based on `base` (may be null)
+  // and links it into the chain via CAS on `entry`. Returns kDone,
+  // kAllocStall, or kPendingRetry (CAS raced; caller re-runs).
+  OpOutcome CreateRecord(PendingOp& op, uint32_t record_version,
+                         std::atomic<uint64_t>* entry, uint64_t entry_word,
+                         const Record* base);
+
+  void ApplyInPlace(PendingOp& op, Record* rec);
+  void FillValue(PendingOp& op, const Record* base, char* value_out);
+
+  OpStatus DriveFreshOp(Session& session, PendingOp& op, void* read_out);
+  void ParkOp(Session& session, PendingOp& op);
+  void IssueIo(PendingOp& op);
+  void FinalizeOp(Session& session, PendingOp& op, bool found);
+
+  // State machine internals.
+  void EnterWaitFlush(uint64_t state);
+  void FinalizeCheckpoint(uint64_t state);
+  bool DoIndexCheckpoint(uint64_t* token_out);
+  std::vector<SessionCommitPoint> CollectCommitPoints();
+
+  Status LoadCheckpointMetadata(uint64_t token, CheckpointMetadata* meta);
+  Status PersistCheckpointMetadata(const CheckpointMetadata& meta);
+
+  Options options_;
+  EpochFramework epoch_;
+  IoPool io_;
+  std::unique_ptr<HashIndex> index_;
+  std::unique_ptr<HybridLog> hlog_;
+  std::unique_ptr<SharedLatch[]> bucket_latches_;
+  uint32_t record_size_;
+
+  std::atomic<uint64_t> state_;  // packed SystemState
+  std::atomic<uint64_t> pending_count_[2];
+
+  // Active checkpoint bookkeeping (valid while not in REST).
+  std::mutex ckpt_mu_;
+  CheckpointMetadata ckpt_;
+  CheckpointCallback ckpt_callback_;
+  // Token of the most recently *completed* index checkpoint write; the
+  // active commit is gated on this matching ckpt_.index_token.
+  std::atomic<uint64_t> index_completed_token_{0};
+  std::atomic<bool> snapshot_done_{false};
+  std::atomic<uint64_t> last_completed_token_{0};
+  uint64_t last_index_token_ = 0;  // guarded by ckpt_mu_
+  Address last_index_li_ = 0;      // guarded by ckpt_mu_
+
+  // Sessions.
+  std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::vector<SessionCommitPoint> parted_points_;
+  std::map<uint64_t, uint64_t> recovered_points_;
+  std::atomic<uint64_t> next_guid_{1};
+};
+
+}  // namespace cpr::faster
+
+#endif  // CPR_FASTER_FASTER_H_

@@ -1,0 +1,203 @@
+#include "faster/hash_index.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace cpr::faster {
+
+namespace {
+
+uint64_t RoundUpPow2(uint64_t n) {
+  uint64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+uint64_t TagOfHash(uint64_t hash) {
+  return (hash >> 48) & EntryWord::kTagMask;
+}
+
+}  // namespace
+
+HashIndex::HashIndex(uint64_t num_buckets)
+    : num_buckets_(RoundUpPow2(num_buckets)),
+      bucket_mask_(num_buckets_ - 1),
+      buckets_(new HashBucket[num_buckets_]()) {}
+
+HashIndex::~HashIndex() {
+  for (uint64_t i = 0; i < kMaxChunks; ++i) {
+    delete[] chunks_[i].load(std::memory_order_relaxed);
+  }
+}
+
+void HashIndex::EnsureChunk(uint64_t idx) {
+  const uint64_t chunk = (idx - 1) >> kChunkBits;
+  assert(chunk < kMaxChunks);
+  if (chunks_[chunk].load(std::memory_order_acquire) != nullptr) return;
+  std::lock_guard<std::mutex> lock(chunk_mu_);
+  if (chunks_[chunk].load(std::memory_order_acquire) == nullptr) {
+    chunks_[chunk].store(new HashBucket[kChunkSize](),
+                         std::memory_order_release);
+  }
+}
+
+std::atomic<uint64_t>* HashIndex::FindEntry(uint64_t hash) {
+  const uint64_t tag = TagOfHash(hash);
+  HashBucket* bucket = &buckets_[hash & bucket_mask_];
+  while (true) {
+    for (uint32_t i = 0; i < HashBucket::kEntries; ++i) {
+      const uint64_t w = bucket->entries[i].load(std::memory_order_acquire);
+      if (EntryWord::Occupied(w) && !EntryWord::Tentative(w) &&
+          EntryWord::TagOf(w) == tag) {
+        return &bucket->entries[i];
+      }
+    }
+    const uint64_t link = bucket->overflow.load(std::memory_order_acquire);
+    if (link == 0) return nullptr;
+    bucket = &OverflowBucket(link);
+  }
+}
+
+uint64_t HashIndex::AllocateOverflow(std::atomic<uint64_t>& link) {
+  const uint64_t idx = next_overflow_.fetch_add(1, std::memory_order_acq_rel);
+  EnsureChunk(idx);
+  uint64_t expected = 0;
+  if (link.compare_exchange_strong(expected, idx,
+                                   std::memory_order_acq_rel)) {
+    return idx;
+  }
+  // Lost the race; the slot we claimed leaks (rare, bounded by races).
+  return expected;
+}
+
+std::atomic<uint64_t>* HashIndex::FindOrCreateEntry(uint64_t hash) {
+  const uint64_t tag = TagOfHash(hash);
+  while (true) {
+    HashBucket* bucket = &buckets_[hash & bucket_mask_];
+    std::atomic<uint64_t>* free_slot = nullptr;
+    while (true) {
+      for (uint32_t i = 0; i < HashBucket::kEntries; ++i) {
+        const uint64_t w = bucket->entries[i].load(std::memory_order_acquire);
+        if (EntryWord::Occupied(w)) {
+          if (!EntryWord::Tentative(w) && EntryWord::TagOf(w) == tag) {
+            return &bucket->entries[i];
+          }
+        } else if (free_slot == nullptr) {
+          free_slot = &bucket->entries[i];
+        }
+      }
+      const uint64_t link = bucket->overflow.load(std::memory_order_acquire);
+      if (link == 0) break;
+      bucket = &OverflowBucket(link);
+    }
+
+    if (free_slot == nullptr) {
+      // Extend the chain with an overflow bucket, then rescan.
+      AllocateOverflow(bucket->overflow);
+      continue;
+    }
+
+    // Two-phase insert: claim the slot tentatively, check no concurrent
+    // insert of the same tag won elsewhere in the chain, then finalize.
+    uint64_t expected = free_slot->load(std::memory_order_acquire);
+    if (EntryWord::Occupied(expected)) continue;  // raced; rescan
+    const uint64_t tentative =
+        EntryWord::Make(kInvalidAddress, tag, /*tentative=*/true);
+    if (!free_slot->compare_exchange_strong(expected, tentative,
+                                            std::memory_order_acq_rel)) {
+      continue;  // raced; rescan
+    }
+    bool duplicate = false;
+    HashBucket* scan = &buckets_[hash & bucket_mask_];
+    while (true) {
+      for (uint32_t i = 0; i < HashBucket::kEntries; ++i) {
+        std::atomic<uint64_t>* slot = &scan->entries[i];
+        if (slot == free_slot) continue;
+        const uint64_t w = slot->load(std::memory_order_acquire);
+        if (EntryWord::Occupied(w) && EntryWord::TagOf(w) == tag) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) break;
+      const uint64_t link = scan->overflow.load(std::memory_order_acquire);
+      if (link == 0) break;
+      scan = &OverflowBucket(link);
+    }
+    if (duplicate) {
+      // Back off and retry; the winner's entry will be found on rescan.
+      free_slot->store(0, std::memory_order_release);
+      continue;
+    }
+    free_slot->store(EntryWord::Make(kInvalidAddress, tag, false),
+                     std::memory_order_release);
+    return free_slot;
+  }
+}
+
+uint64_t HashIndex::SerializedSize() const {
+  return (num_buckets_ + overflow_in_use()) * sizeof(HashBucket);
+}
+
+void HashIndex::FuzzyCopy(std::vector<char>* out) const {
+  const uint64_t n_over = overflow_in_use();
+  const size_t base = out->size();
+  out->resize(base + (num_buckets_ + n_over) * sizeof(HashBucket));
+  char* dst = out->data() + base;
+  auto copy_bucket = [&dst](const HashBucket& b) {
+    uint64_t words[8];
+    for (uint32_t i = 0; i < HashBucket::kEntries; ++i) {
+      uint64_t w = b.entries[i].load(std::memory_order_relaxed);
+      if (EntryWord::Tentative(w)) w = 0;  // unfinished inserts are absent
+      words[i] = w;
+    }
+    words[7] = b.overflow.load(std::memory_order_relaxed);
+    std::memcpy(dst, words, sizeof(words));
+    dst += sizeof(words);
+  };
+  for (uint64_t i = 0; i < num_buckets_; ++i) copy_bucket(buckets_[i]);
+  for (uint64_t i = 1; i <= n_over; ++i) copy_bucket(OverflowBucket(i));
+}
+
+Status HashIndex::LoadFrom(const char* data, uint64_t size,
+                           uint64_t num_overflow) {
+  if (size != (num_buckets_ + num_overflow) * sizeof(HashBucket)) {
+    return Status::Corruption("index image size mismatch");
+  }
+  auto load_bucket = [&data](HashBucket& b) {
+    uint64_t words[8];
+    std::memcpy(words, data, sizeof(words));
+    data += sizeof(words);
+    for (uint32_t i = 0; i < HashBucket::kEntries; ++i) {
+      b.entries[i].store(words[i], std::memory_order_relaxed);
+    }
+    b.overflow.store(words[7], std::memory_order_relaxed);
+  };
+  for (uint64_t i = 0; i < num_buckets_; ++i) load_bucket(buckets_[i]);
+  for (uint64_t i = 1; i <= num_overflow; ++i) {
+    EnsureChunk(i);
+    load_bucket(OverflowBucket(i));
+  }
+  next_overflow_.store(num_overflow + 1, std::memory_order_release);
+  return Status::Ok();
+}
+
+void HashIndex::Clear() {
+  for (uint64_t i = 0; i < num_buckets_; ++i) {
+    for (uint32_t e = 0; e < HashBucket::kEntries; ++e) {
+      buckets_[i].entries[e].store(0, std::memory_order_relaxed);
+    }
+    buckets_[i].overflow.store(0, std::memory_order_relaxed);
+  }
+  const uint64_t n_over = overflow_in_use();
+  for (uint64_t i = 1; i <= n_over; ++i) {
+    HashBucket& b = OverflowBucket(i);
+    for (uint32_t e = 0; e < HashBucket::kEntries; ++e) {
+      b.entries[e].store(0, std::memory_order_relaxed);
+    }
+    b.overflow.store(0, std::memory_order_relaxed);
+  }
+  next_overflow_.store(1, std::memory_order_release);
+}
+
+}  // namespace cpr::faster

@@ -1,0 +1,122 @@
+#ifndef CPR_FASTER_HASH_INDEX_H_
+#define CPR_FASTER_HASH_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "faster/address.h"
+#include "util/cacheline.h"
+#include "util/status.h"
+
+namespace cpr::faster {
+
+// Packed hash-bucket entry (paper §5): a 48-bit HybridLog address plus a
+// 14-bit tag (extra hash bits) shared by all keys mapped to the entry.
+//
+//   bits  0..47  address (head of the reverse record chain)
+//   bits 48..61  tag
+//   bit  62      tentative (two-phase insert, see FindOrCreateEntry)
+//   bit  63      occupied (distinguishes a real entry from a free slot)
+//
+// All reads and updates are single 64-bit atomics — the index is latch-free.
+struct EntryWord {
+  static constexpr uint64_t kAddressMask = (uint64_t{1} << 48) - 1;
+  static constexpr uint32_t kTagShift = 48;
+  static constexpr uint64_t kTagMask = (uint64_t{1} << 14) - 1;
+  static constexpr uint64_t kTentativeBit = uint64_t{1} << 62;
+  static constexpr uint64_t kOccupiedBit = uint64_t{1} << 63;
+
+  static uint64_t Make(Address address, uint64_t tag, bool tentative) {
+    return (address & kAddressMask) | ((tag & kTagMask) << kTagShift) |
+           (tentative ? kTentativeBit : 0) | kOccupiedBit;
+  }
+  static Address AddressOf(uint64_t w) { return w & kAddressMask; }
+  static uint64_t TagOf(uint64_t w) { return (w >> kTagShift) & kTagMask; }
+  static bool Tentative(uint64_t w) { return (w & kTentativeBit) != 0; }
+  static bool Occupied(uint64_t w) { return (w & kOccupiedBit) != 0; }
+};
+
+// One cache line: seven entries plus an overflow-bucket link (index+1 into
+// the overflow pool; 0 = none).
+struct alignas(kCacheLineBytes) HashBucket {
+  static constexpr uint32_t kEntries = 7;
+  std::atomic<uint64_t> entries[kEntries];
+  std::atomic<uint64_t> overflow;
+};
+static_assert(sizeof(HashBucket) == kCacheLineBytes);
+
+// FASTER's latch-free hash index: maps key hashes to HybridLog addresses.
+// Keys whose hash shares (bucket, tag) share one entry and are
+// disambiguated by walking the record chain.
+class HashIndex {
+ public:
+  // `num_buckets` is rounded up to a power of two. Overflow buckets (for
+  // chains longer than seven entries) come from a chunked pool that grows
+  // on demand.
+  explicit HashIndex(uint64_t num_buckets);
+  ~HashIndex();
+
+  HashIndex(const HashIndex&) = delete;
+  HashIndex& operator=(const HashIndex&) = delete;
+
+  // Returns the entry for `hash` if present (never a tentative one).
+  std::atomic<uint64_t>* FindEntry(uint64_t hash);
+
+  // Returns the entry for `hash`, claiming a slot if absent. Uses the
+  // two-phase tentative protocol so two threads racing on the same new tag
+  // cannot create duplicate entries.
+  std::atomic<uint64_t>* FindOrCreateEntry(uint64_t hash);
+
+  // Bucket ordinal for `hash` — the key for the checkpoint latch table.
+  uint64_t BucketOf(uint64_t hash) const { return hash & bucket_mask_; }
+
+  uint64_t num_buckets() const { return num_buckets_; }
+
+  // Fuzzy checkpoint support: copies the index (main array + overflow pool)
+  // with atomic reads while operations continue. Tentative bits are
+  // stripped. Appends to `out`.
+  void FuzzyCopy(std::vector<char>* out) const;
+  uint64_t SerializedSize() const;
+  uint64_t overflow_in_use() const {
+    return next_overflow_.load(std::memory_order_acquire) - 1;
+  }
+
+  // Replaces contents from a FuzzyCopy image (recovery).
+  Status LoadFrom(const char* data, uint64_t size, uint64_t num_overflow);
+
+  HashBucket& OverflowBucket(uint64_t link) {
+    return chunks_[(link - 1) >> kChunkBits].load(
+        std::memory_order_acquire)[(link - 1) & (kChunkSize - 1)];
+  }
+  const HashBucket& OverflowBucket(uint64_t link) const {
+    return chunks_[(link - 1) >> kChunkBits].load(
+        std::memory_order_acquire)[(link - 1) & (kChunkSize - 1)];
+  }
+
+  // Resets every entry to free (used before a recovery rebuild-from-scan).
+  void Clear();
+
+ private:
+  static constexpr uint32_t kChunkBits = 10;
+  static constexpr uint64_t kChunkSize = uint64_t{1} << kChunkBits;
+  static constexpr uint64_t kMaxChunks = 1u << 14;  // up to 16M overflow
+
+  // Allocates an overflow bucket and links it; returns its pool index + 1.
+  uint64_t AllocateOverflow(std::atomic<uint64_t>& link);
+  // Ensures the chunk backing pool index `idx` exists.
+  void EnsureChunk(uint64_t idx);
+
+  uint64_t num_buckets_;
+  uint64_t bucket_mask_;
+  std::unique_ptr<HashBucket[]> buckets_;
+  std::atomic<HashBucket*> chunks_[kMaxChunks] = {};
+  std::mutex chunk_mu_;
+  std::atomic<uint64_t> next_overflow_{1};  // 0 means "no overflow link"
+};
+
+}  // namespace cpr::faster
+
+#endif  // CPR_FASTER_HASH_INDEX_H_

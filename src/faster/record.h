@@ -1,0 +1,70 @@
+#ifndef CPR_FASTER_RECORD_H_
+#define CPR_FASTER_RECORD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+#include "faster/address.h"
+
+namespace cpr::faster {
+
+// 64-bit record header (paper §6.2): 48-bit previous address (the reverse
+// hash-chain link), a 13-bit checkpoint version, and status bits.
+//
+//   bits  0..47  previous_address
+//   bits 48..60  version (checkpoint version modulo 2^13)
+//   bit  61      tombstone
+//   bit  62      invalid (set during recovery for post-commit records)
+//   bit  63      unused
+struct RecordInfo {
+  static constexpr uint64_t kAddressMask = (uint64_t{1} << 48) - 1;
+  static constexpr uint32_t kVersionShift = 48;
+  static constexpr uint64_t kVersionMask = (uint64_t{1} << 13) - 1;
+  static constexpr uint64_t kTombstoneBit = uint64_t{1} << 61;
+  static constexpr uint64_t kInvalidBit = uint64_t{1} << 62;
+
+  uint64_t control = 0;
+
+  RecordInfo() = default;
+  RecordInfo(Address previous, uint32_t version, bool tombstone) {
+    control = (previous & kAddressMask) |
+              ((static_cast<uint64_t>(version) & kVersionMask)
+               << kVersionShift) |
+              (tombstone ? kTombstoneBit : 0);
+  }
+
+  Address previous_address() const { return control & kAddressMask; }
+  uint32_t version() const {
+    return static_cast<uint32_t>((control >> kVersionShift) & kVersionMask);
+  }
+  bool tombstone() const { return (control & kTombstoneBit) != 0; }
+  bool invalid() const { return (control & kInvalidBit) != 0; }
+  void set_invalid() { control |= kInvalidBit; }
+  bool empty() const { return control == 0; }
+};
+static_assert(sizeof(RecordInfo) == 8);
+
+// Fixed-layout record: [RecordInfo][key][value]. The store is configured
+// with a fixed value size (the paper evaluates 8-byte and 100-byte values);
+// `value` is padded so records stay 8-byte aligned and a page is a dense
+// array of record slots followed by zero padding.
+struct Record {
+  RecordInfo info;
+  uint64_t key;
+  // Value bytes follow; length = value_size padded to 8.
+
+  char* value() { return reinterpret_cast<char*>(this) + sizeof(Record); }
+  const char* value() const {
+    return reinterpret_cast<const char*>(this) + sizeof(Record);
+  }
+
+  static uint32_t SizeWithValue(uint32_t value_size) {
+    return static_cast<uint32_t>(sizeof(Record) + ((value_size + 7) & ~7u));
+  }
+};
+static_assert(sizeof(Record) == 16);
+
+}  // namespace cpr::faster
+
+#endif  // CPR_FASTER_RECORD_H_

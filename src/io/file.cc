@@ -1,0 +1,125 @@
+#include "io/file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cpr {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+File::~File() { Close(); }
+
+File::File(File&& other) noexcept : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status File::Open(const std::string& path, bool create, File* out) {
+  int flags = O_RDWR;
+  if (create) flags |= O_CREAT | O_TRUNC;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return Errno("open " + path);
+  out->Close();
+  out->fd_ = fd;
+  out->path_ = path;
+  return Status::Ok();
+}
+
+Status File::ReadAt(uint64_t offset, void* buf, size_t len) const {
+  char* p = static_cast<char*>(buf);
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n =
+        ::pread(fd_, p + done, len - done, static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pread " + path_);
+    }
+    if (n == 0) return Status::IoError("short read " + path_);
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status File::WriteAt(uint64_t offset, const void* buf, size_t len) {
+  const char* p = static_cast<const char*>(buf);
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n =
+        ::pwrite(fd_, p + done, len - done, static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pwrite " + path_);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status File::Sync() {
+  if (::fdatasync(fd_) != 0) return Errno("fdatasync " + path_);
+  return Status::Ok();
+}
+
+Status File::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return Status::Ok();
+}
+
+uint64_t File::Size() const {
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status CreateDirectories(const std::string& path) {
+  std::string partial;
+  for (size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      partial = path.substr(0, i == path.size() ? i : i + 1);
+      if (partial.empty() || partial == "/") continue;
+      if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+        return Status::IoError("mkdir " + partial + ": " +
+                               std::strerror(errno));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IoError("unlink " + path + ": " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace cpr

@@ -1,0 +1,50 @@
+#ifndef CPR_IO_FILE_H_
+#define CPR_IO_FILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace cpr {
+
+// Thin RAII wrapper over a POSIX file descriptor supporting positional
+// reads/writes. All checkpoint, log, and snapshot files in the library go
+// through this class; pread/pwrite keep it safe for concurrent use from the
+// background I/O pool without any shared offset.
+class File {
+ public:
+  File() = default;
+  ~File();
+
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+
+  // Opens `path`. With `create` true the file is created (and truncated) if
+  // absent; existing contents are preserved otherwise.
+  static Status Open(const std::string& path, bool create, File* out);
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  Status ReadAt(uint64_t offset, void* buf, size_t len) const;
+  Status WriteAt(uint64_t offset, const void* buf, size_t len);
+  Status Sync();
+  Status Close();
+  uint64_t Size() const;
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+// Filesystem helpers (the library avoids <filesystem> per the style guide).
+Status CreateDirectories(const std::string& path);
+Status RemoveFileIfExists(const std::string& path);
+bool FileExists(const std::string& path);
+
+}  // namespace cpr
+
+#endif  // CPR_IO_FILE_H_

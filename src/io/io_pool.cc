@@ -1,0 +1,56 @@
+#include "io/io_pool.h"
+
+namespace cpr {
+
+IoPool::IoPool(uint32_t num_threads) {
+  threads_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+IoPool::~IoPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void IoPool::Submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+    ++submitted_;
+  }
+  cv_.notify_one();
+}
+
+void IoPool::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void IoPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      completed_.fetch_add(1, std::memory_order_acq_rel);
+      if (queue_.empty() && in_flight_ == 0) drained_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace cpr

@@ -1,0 +1,54 @@
+#ifndef CPR_IO_IO_POOL_H_
+#define CPR_IO_IO_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cpr {
+
+// Background worker pool standing in for the asynchronous I/O facilities the
+// paper's systems use (SSD queues / IOCP). Jobs run FIFO on dedicated
+// threads, so the submitting worker keeps processing user operations while a
+// disk read or a checkpoint flush completes — the property CPR's
+// wait-pending phase exists to handle.
+class IoPool {
+ public:
+  explicit IoPool(uint32_t num_threads = 2);
+  ~IoPool();
+
+  IoPool(const IoPool&) = delete;
+  IoPool& operator=(const IoPool&) = delete;
+
+  // Enqueues a job. Never blocks.
+  void Submit(std::function<void()> job);
+
+  // Blocks until all jobs submitted before the call have completed.
+  void Drain();
+
+  uint64_t jobs_completed() const {
+    return completed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable drained_cv_;
+  std::deque<std::function<void()>> queue_;
+  uint64_t submitted_ = 0;  // guarded by mu_
+  std::atomic<uint64_t> completed_{0};
+  bool stop_ = false;  // guarded by mu_
+  uint32_t in_flight_ = 0;  // guarded by mu_
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace cpr
+
+#endif  // CPR_IO_IO_POOL_H_

@@ -1,0 +1,78 @@
+#ifndef CPR_TXDB_CALC_ENGINE_H_
+#define CPR_TXDB_CALC_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "txdb/db.h"
+#include "util/cacheline.h"
+
+namespace cpr::txdb {
+
+// CALC-style asynchronous checkpointing (Ren et al., SIGMOD'16), the
+// comparison baseline of §7. Like CPR it keeps (live, stable) per record;
+// unlike CPR it defines the consistency point with an *atomic commit log*
+// that every transaction appends to — the serialized fetch-add on the log
+// tail plus the slot write is the scalability bottleneck the paper measures
+// as "tail contention".
+//
+// A checkpoint picks a virtual point of consistency P = current log tail.
+// Transactions with LSN >= P copy live -> stable and bump record versions
+// before updating (so the pre-P value survives); the background thread then
+// captures stable-or-live exactly as CPR's capture does. Per-record lock
+// order implies per-record LSN order, which makes membership in the
+// checkpoint well defined for conflicting transactions.
+class CalcEngine : public Engine {
+ public:
+  explicit CalcEngine(TransactionalDb& db);
+  ~CalcEngine() override;
+
+  TxnResult Execute(ThreadContext& ctx, const Transaction& txn) override;
+  uint64_t RequestCommit(CommitCallback callback) override;
+  void WaitForCommit(uint64_t version) override;
+  bool CommitInProgress() const override;
+  uint64_t CurrentVersion() const override;
+  Status Recover(std::vector<CommitPoint>* points) override;
+
+  uint64_t log_tail() const {
+    return log_tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static uint64_t Pack(bool active, uint64_t version) {
+    return (version << 1) | (active ? 1 : 0);
+  }
+  static bool ActiveOf(uint64_t s) { return (s & 1) != 0; }
+  static uint64_t VersionOf(uint64_t s) { return s >> 1; }
+
+  void CaptureAndPersist(uint64_t v);
+  void CheckpointThreadLoop();
+
+  // The atomic commit log: a fetch-add on the tail plus a slot write per
+  // transaction. Contents are (thread_id << 48) | serial; recovery does not
+  // replay it (the checkpoint itself is the recovery source) but a real
+  // CALC implementation performs exactly this amount of serialized work.
+  std::atomic<uint64_t> log_tail_{0};
+  uint64_t log_mask_;
+  std::unique_ptr<std::atomic<uint64_t>[]> log_slots_;
+
+  std::atomic<uint64_t> state_;      // (version, active)
+  std::atomic<uint64_t> point_lsn_;  // valid while active
+
+  std::mutex mu_;
+  std::condition_variable capture_cv_;
+  std::condition_variable durable_cv_;
+  uint64_t capture_version_ = 0;
+  uint64_t last_durable_version_ = 0;
+  bool stop_ = false;
+  CommitCallback callback_;
+  std::thread checkpoint_thread_;
+};
+
+}  // namespace cpr::txdb
+
+#endif  // CPR_TXDB_CALC_ENGINE_H_

@@ -1,0 +1,169 @@
+#include "txdb/checkpoint_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "io/file.h"
+
+namespace cpr::txdb {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x4350525F434B5054ull;  // "CPR_CKPT"
+
+std::string DataPath(const std::string& dir, uint64_t v) {
+  return dir + "/v" + std::to_string(v) + ".data";
+}
+std::string MetaPath(const std::string& dir, uint64_t v) {
+  return dir + "/v" + std::to_string(v) + ".meta";
+}
+std::string LatestPath(const std::string& dir) { return dir + "/LATEST"; }
+
+template <typename T>
+void Append(std::vector<char>& buf, const T& value) {
+  const char* p = reinterpret_cast<const char*>(&value);
+  buf.insert(buf.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+Status Consume(const std::vector<char>& buf, size_t* off, T* out) {
+  if (*off + sizeof(T) > buf.size()) {
+    return Status::Corruption("truncated checkpoint metadata");
+  }
+  std::memcpy(out, buf.data() + *off, sizeof(T));
+  *off += sizeof(T);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteCheckpoint(const std::string& dir, const CheckpointMeta& meta,
+                       const std::vector<char>& data, bool sync) {
+  Status s = CreateDirectories(dir);
+  if (!s.ok()) return s;
+
+  File data_file;
+  s = File::Open(DataPath(dir, meta.version), /*create=*/true, &data_file);
+  if (!s.ok()) return s;
+  if (!data.empty()) {
+    s = data_file.WriteAt(0, data.data(), data.size());
+    if (!s.ok()) return s;
+  }
+  if (sync) {
+    s = data_file.Sync();
+    if (!s.ok()) return s;
+  }
+
+  std::vector<char> mbuf;
+  Append(mbuf, kMagic);
+  Append(mbuf, meta.version);
+  Append(mbuf, static_cast<uint8_t>(meta.is_delta ? 1 : 0));
+  Append(mbuf, static_cast<uint64_t>(data.size()));
+  Append(mbuf, static_cast<uint64_t>(meta.table_schemas.size()));
+  for (const auto& [rows, vsize] : meta.table_schemas) {
+    Append(mbuf, rows);
+    Append(mbuf, vsize);
+  }
+  Append(mbuf, static_cast<uint64_t>(meta.points.size()));
+  for (const CommitPoint& p : meta.points) {
+    Append(mbuf, p.thread_id);
+    Append(mbuf, p.serial);
+  }
+  File meta_file;
+  s = File::Open(MetaPath(dir, meta.version), /*create=*/true, &meta_file);
+  if (!s.ok()) return s;
+  s = meta_file.WriteAt(0, mbuf.data(), mbuf.size());
+  if (!s.ok()) return s;
+  if (sync) {
+    s = meta_file.Sync();
+    if (!s.ok()) return s;
+  }
+
+  // Publish: tmp + rename is atomic on POSIX.
+  const std::string tmp = LatestPath(dir) + ".tmp";
+  File latest;
+  s = File::Open(tmp, /*create=*/true, &latest);
+  if (!s.ok()) return s;
+  const std::string text = std::to_string(meta.version);
+  s = latest.WriteAt(0, text.data(), text.size());
+  if (!s.ok()) return s;
+  if (sync) {
+    s = latest.Sync();
+    if (!s.ok()) return s;
+  }
+  latest.Close();
+  if (std::rename(tmp.c_str(), LatestPath(dir).c_str()) != 0) {
+    return Status::IoError("rename LATEST failed");
+  }
+  return Status::Ok();
+}
+
+Status ReadLatestCheckpoint(const std::string& dir, CheckpointMeta* meta,
+                            std::vector<char>* data) {
+  if (!FileExists(LatestPath(dir))) {
+    return Status::NotFound("no checkpoint published in " + dir);
+  }
+  File latest;
+  Status s = File::Open(LatestPath(dir), /*create=*/false, &latest);
+  if (!s.ok()) return s;
+  const uint64_t size = latest.Size();
+  std::string text(size, '\0');
+  s = latest.ReadAt(0, text.data(), size);
+  if (!s.ok()) return s;
+  const uint64_t version = std::strtoull(text.c_str(), nullptr, 10);
+  if (version == 0) return Status::Corruption("bad LATEST contents");
+  return ReadCheckpointAt(dir, version, meta, data);
+}
+
+Status ReadCheckpointAt(const std::string& dir, uint64_t version,
+                        CheckpointMeta* meta, std::vector<char>* data) {
+  Status s;
+  File meta_file;
+  s = File::Open(MetaPath(dir, version), /*create=*/false, &meta_file);
+  if (!s.ok()) return s;
+  std::vector<char> mbuf(meta_file.Size());
+  s = meta_file.ReadAt(0, mbuf.data(), mbuf.size());
+  if (!s.ok()) return s;
+
+  size_t off = 0;
+  uint64_t magic = 0;
+  if (s = Consume(mbuf, &off, &magic); !s.ok()) return s;
+  if (magic != kMagic) return Status::Corruption("bad checkpoint magic");
+  if (s = Consume(mbuf, &off, &meta->version); !s.ok()) return s;
+  uint8_t is_delta = 0;
+  if (s = Consume(mbuf, &off, &is_delta); !s.ok()) return s;
+  meta->is_delta = is_delta != 0;
+  if (s = Consume(mbuf, &off, &meta->data_bytes); !s.ok()) return s;
+  uint64_t num_tables = 0;
+  if (s = Consume(mbuf, &off, &num_tables); !s.ok()) return s;
+  meta->table_schemas.clear();
+  for (uint64_t i = 0; i < num_tables; ++i) {
+    uint64_t rows = 0;
+    uint32_t vsize = 0;
+    if (s = Consume(mbuf, &off, &rows); !s.ok()) return s;
+    if (s = Consume(mbuf, &off, &vsize); !s.ok()) return s;
+    meta->table_schemas.emplace_back(rows, vsize);
+  }
+  const uint64_t total_bytes = meta->data_bytes;
+  uint64_t num_points = 0;
+  if (s = Consume(mbuf, &off, &num_points); !s.ok()) return s;
+  meta->points.clear();
+  for (uint64_t i = 0; i < num_points; ++i) {
+    CommitPoint p;
+    if (s = Consume(mbuf, &off, &p.thread_id); !s.ok()) return s;
+    if (s = Consume(mbuf, &off, &p.serial); !s.ok()) return s;
+    meta->points.push_back(p);
+  }
+
+  File data_file;
+  s = File::Open(DataPath(dir, version), /*create=*/false, &data_file);
+  if (!s.ok()) return s;
+  data->resize(total_bytes);
+  if (total_bytes > 0) {
+    s = data_file.ReadAt(0, data->data(), total_bytes);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+}  // namespace cpr::txdb

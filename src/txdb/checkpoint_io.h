@@ -1,0 +1,54 @@
+#ifndef CPR_TXDB_CHECKPOINT_IO_H_
+#define CPR_TXDB_CHECKPOINT_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "txdb/table.h"
+#include "txdb/types.h"
+#include "util/status.h"
+
+namespace cpr::txdb {
+
+// On-disk checkpoint format shared by the CPR and CALC engines.
+//
+//   <dir>/v<version>.data   raw captured values, tables concatenated in id
+//                           order, each table rows*value_size bytes
+//   <dir>/v<version>.meta   header: magic, version, table schemas, commit
+//                           points
+//   <dir>/LATEST            textual version number, written via tmp+rename
+//                           so a crash mid-checkpoint leaves the previous
+//                           commit intact (checkpoint atomicity)
+struct CheckpointMeta {
+  uint64_t version = 0;
+  // Delta checkpoints (the paper's "capture only records that changed since
+  // the last commit" optimization, §4.1) contain per-row entries and build
+  // on the version-1 checkpoint; full checkpoints contain every row.
+  bool is_delta = false;
+  uint64_t data_bytes = 0;
+  std::vector<std::pair<uint64_t, uint32_t>> table_schemas;  // rows, vsize
+  std::vector<CommitPoint> points;
+};
+
+// Writes `data` (the captured snapshot) and metadata, then publishes LATEST.
+Status WriteCheckpoint(const std::string& dir, const CheckpointMeta& meta,
+                       const std::vector<char>& data, bool sync);
+
+// Reads the newest checkpoint in `dir`. Returns NotFound if none published.
+Status ReadLatestCheckpoint(const std::string& dir, CheckpointMeta* meta,
+                            std::vector<char>* data);
+
+// Reads a specific checkpoint version (used to walk a delta chain back to
+// its full base).
+Status ReadCheckpointAt(const std::string& dir, uint64_t version,
+                        CheckpointMeta* meta, std::vector<char>* data);
+
+// Layout of one delta-data entry: u32 table_id, u64 row, value bytes
+// (value_size of the table).
+inline constexpr size_t kDeltaEntryHeaderBytes =
+    sizeof(uint32_t) + sizeof(uint64_t);
+
+}  // namespace cpr::txdb
+
+#endif  // CPR_TXDB_CHECKPOINT_IO_H_

@@ -1,0 +1,318 @@
+#include "txdb/cpr_engine.h"
+
+#include <cstring>
+
+#include "txdb/checkpoint_io.h"
+
+namespace cpr::txdb {
+
+CprEngine::CprEngine(TransactionalDb& db)
+    : Engine(db), state_(Pack(DbPhase::kRest, 1)) {
+  checkpoint_thread_ = std::thread([this] { CheckpointThreadLoop(); });
+}
+
+CprEngine::~CprEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  capture_cv_.notify_all();
+  checkpoint_thread_.join();
+}
+
+TxnResult CprEngine::Execute(ThreadContext& ctx, const Transaction& txn) {
+  const uint64_t start = NowNanos();
+  if (!AcquireLocks(txn, ctx)) {
+    ctx.counters.abort_ns += NowNanos() - start;
+    ctx.counters.aborted_txns += 1;
+    return TxnResult::kAbortedConflict;
+  }
+
+  const DbPhase phase = ctx.phase;
+  const uint64_t v = ctx.version;
+  if (phase == DbPhase::kPrepare) {
+    // A (v+1) record means the version shift began: this transaction cannot
+    // belong to the v commit without reading uncommitted-snapshot state.
+    for (const LockedRecord& lr : ctx.locked) {
+      if (lr.table->header(lr.row).version.load(std::memory_order_acquire) >
+          v) {
+        ReleaseLocks(ctx);
+        ctx.counters.abort_ns += NowNanos() - start;
+        ctx.counters.aborted_txns += 1;
+        ctx.counters.cpr_aborts += 1;
+        // Refresh immediately: the thread advances to in-progress, so at
+        // most one transaction per thread aborts this way per commit.
+        db_.Refresh(ctx);
+        return TxnResult::kAbortedCprShift;
+      }
+    }
+  } else if (phase == DbPhase::kInProgress || phase == DbPhase::kWaitFlush) {
+    // This transaction belongs to version v+1. Preserve the version-v value
+    // of every record it touches before mutating it.
+    for (const LockedRecord& lr : ctx.locked) {
+      RecordHeader& h = lr.table->header(lr.row);
+      if (h.version.load(std::memory_order_acquire) < v + 1) {
+        lr.table->PreserveStable(lr.row);
+        h.version.store(static_cast<uint32_t>(v + 1),
+                        std::memory_order_release);
+      }
+    }
+  }
+
+  ApplyOps(txn, ctx);
+  ReleaseLocks(ctx);
+  ctx.serial.fetch_add(1, std::memory_order_release);
+  ctx.counters.exec_ns += NowNanos() - start;
+  ctx.counters.committed_txns += 1;
+  return TxnResult::kCommitted;
+}
+
+void CprEngine::OnRefresh(ThreadContext& ctx) {
+  const uint64_t s = state_.load(std::memory_order_acquire);
+  const DbPhase phase = PhaseOf(s);
+  const uint64_t version = VersionOf(s);
+  if (ctx.phase == DbPhase::kPrepare &&
+      (phase != DbPhase::kPrepare || version != ctx.version)) {
+    // Leaving prepare demarcates this thread's CPR point: everything
+    // committed so far is in the v commit, nothing after.
+    ctx.cpr_point_serial.store(ctx.serial.load(std::memory_order_relaxed),
+                               std::memory_order_release);
+  }
+  ctx.phase = phase;
+  ctx.version = version;
+}
+
+uint64_t CprEngine::RequestCommit(CommitCallback callback) {
+  uint64_t expected = state_.load(std::memory_order_acquire);
+  if (PhaseOf(expected) != DbPhase::kRest) return 0;  // commit in flight
+  const uint64_t v = VersionOf(expected);
+  if (!state_.compare_exchange_strong(expected, Pack(DbPhase::kPrepare, v),
+                                      std::memory_order_acq_rel)) {
+    return 0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    callback_ = std::move(callback);
+  }
+  db_.epoch().BumpEpoch([this] { PrepareToInProg(); });
+  return v;
+}
+
+void CprEngine::PrepareToInProg() {
+  const uint64_t v = VersionOf(state_.load(std::memory_order_acquire));
+  state_.store(Pack(DbPhase::kInProgress, v), std::memory_order_release);
+  db_.epoch().BumpEpoch([this] { InProgToWaitFlush(); });
+}
+
+void CprEngine::InProgToWaitFlush() {
+  const uint64_t v = VersionOf(state_.load(std::memory_order_acquire));
+  state_.store(Pack(DbPhase::kWaitFlush, v), std::memory_order_release);
+  // Hand the capture to the background thread; workers keep processing.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    capture_version_ = v;
+  }
+  capture_cv_.notify_one();
+}
+
+void CprEngine::CheckpointThreadLoop() {
+  while (true) {
+    uint64_t v = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      capture_cv_.wait(lock, [this] { return stop_ || capture_version_ != 0; });
+      if (stop_) return;
+      v = capture_version_;
+      capture_version_ = 0;
+    }
+    CaptureAndPersist(v);
+  }
+}
+
+void CprEngine::CaptureAndPersist(uint64_t v) {
+  Storage& storage = db_.storage();
+  CheckpointMeta meta;
+  meta.version = v;
+
+  // Collect the CPR points before capturing: every thread recorded its point
+  // when it left prepare, which happened before wait-flush began.
+  for (const auto& ctx : db_.contexts()) {
+    if (ctx != nullptr) {
+      meta.points.push_back(CommitPoint{
+          ctx->thread_id, ctx->cpr_point_serial.load(std::memory_order_acquire)});
+    }
+  }
+
+  uint64_t total = 0;
+  for (uint32_t t = 0; t < storage.num_tables(); ++t) {
+    const Table& table = storage.table(t);
+    meta.table_schemas.emplace_back(table.rows(), table.value_size());
+    total += table.rows() * table.value_size();
+  }
+  // Delta captures record only the rows dirtied since the last commit; a
+  // full capture every Nth commit bounds the chain length (§4.1).
+  const bool delta = db_.options().incremental_checkpoints && v > 1 &&
+                     (v - 1) % db_.options().full_checkpoint_every != 0;
+  meta.is_delta = delta;
+  std::vector<char> data;
+  if (!delta) data.reserve(total);
+
+  for (uint32_t t = 0; t < storage.num_tables(); ++t) {
+    Table& table = storage.table(t);
+    const uint32_t vsize = table.value_size();
+    for (uint64_t row = 0; row < table.rows(); ++row) {
+      RecordHeader& h = table.header(row);
+      // Brief record latch: an atomic read of (version, value). Worker
+      // critical sections are short, so this never waits long.
+      h.latch.Lock();
+      const bool bumped =
+          h.version.load(std::memory_order_acquire) == v + 1;
+      const bool dirty = h.dirty.load(std::memory_order_relaxed) != 0;
+      if (!delta || dirty) {
+        if (delta) {
+          const char* tp = reinterpret_cast<const char*>(&t);
+          data.insert(data.end(), tp, tp + sizeof(t));
+          const char* rp = reinterpret_cast<const char*>(&row);
+          data.insert(data.end(), rp, rp + sizeof(row));
+        }
+        const char* src = bumped
+                              ? static_cast<const char*>(table.stable(row))
+                              : static_cast<const char*>(table.live(row));
+        data.insert(data.end(), src, src + vsize);
+      }
+      // A bumped record carries a live (v+1) value the NEXT commit must
+      // capture; only clear the dirty flag once the captured value is the
+      // final one.
+      if (!bumped) h.dirty.store(0, std::memory_order_relaxed);
+      h.latch.Unlock();
+    }
+  }
+
+  const Status s = WriteCheckpoint(db_.options().durability_dir, meta, data,
+                                   db_.options().sync_to_disk);
+  // A failed write leaves the previous commit as the durable one; surface
+  // the failure by not advancing last_durable (callers time out / assert).
+  CommitCallback cb;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (s.ok()) last_durable_version_ = v;
+    cb = std::move(callback_);
+    callback_ = nullptr;
+  }
+  // Conclude the commit: back to rest at version v+1.
+  state_.store(Pack(DbPhase::kRest, v + 1), std::memory_order_release);
+  durable_cv_.notify_all();
+  if (s.ok() && cb) cb(v, meta.points);
+}
+
+void CprEngine::WaitForCommit(uint64_t version) {
+  std::unique_lock<std::mutex> lock(mu_);
+  durable_cv_.wait(lock,
+                   [this, version] { return last_durable_version_ >= version; });
+}
+
+bool CprEngine::CommitInProgress() const {
+  return PhaseOf(state_.load(std::memory_order_acquire)) != DbPhase::kRest;
+}
+
+uint64_t CprEngine::CurrentVersion() const {
+  return VersionOf(state_.load(std::memory_order_acquire));
+}
+
+namespace {
+
+// Applies one checkpoint's data to the tables: full images overwrite every
+// row; delta images overwrite just their (table, row) entries.
+Status ApplyCheckpointData(Storage& storage, const CheckpointMeta& meta,
+                           const std::vector<char>& data) {
+  if (meta.table_schemas.size() != storage.num_tables()) {
+    return Status::Corruption("checkpoint schema mismatch (table count)");
+  }
+  for (uint32_t t = 0; t < storage.num_tables(); ++t) {
+    const auto& [rows, vsize] = meta.table_schemas[t];
+    if (rows != storage.table(t).rows() ||
+        vsize != storage.table(t).value_size()) {
+      return Status::Corruption("checkpoint schema mismatch (table shape)");
+    }
+  }
+  size_t off = 0;
+  if (!meta.is_delta) {
+    for (uint32_t t = 0; t < storage.num_tables(); ++t) {
+      Table& table = storage.table(t);
+      const uint32_t vsize = table.value_size();
+      for (uint64_t row = 0; row < table.rows(); ++row) {
+        if (off + vsize > data.size()) {
+          return Status::Corruption("full checkpoint data truncated");
+        }
+        std::memcpy(table.live(row), data.data() + off, vsize);
+        off += vsize;
+      }
+    }
+    return Status::Ok();
+  }
+  while (off < data.size()) {
+    uint32_t t = 0;
+    uint64_t row = 0;
+    if (off + kDeltaEntryHeaderBytes > data.size()) {
+      return Status::Corruption("delta entry header truncated");
+    }
+    std::memcpy(&t, data.data() + off, sizeof(t));
+    off += sizeof(t);
+    std::memcpy(&row, data.data() + off, sizeof(row));
+    off += sizeof(row);
+    if (t >= storage.num_tables() || row >= storage.table(t).rows()) {
+      return Status::Corruption("delta entry out of range");
+    }
+    Table& table = storage.table(t);
+    const uint32_t vsize = table.value_size();
+    if (off + vsize > data.size()) {
+      return Status::Corruption("delta entry value truncated");
+    }
+    std::memcpy(table.live(row), data.data() + off, vsize);
+    off += vsize;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status CprEngine::Recover(std::vector<CommitPoint>* points) {
+  CheckpointMeta meta;
+  std::vector<char> data;
+  Status s = ReadLatestCheckpoint(db_.options().durability_dir, &meta, &data);
+  if (!s.ok()) return s;
+
+  Storage& storage = db_.storage();
+  // Walk any delta chain back to its full base, then replay forward.
+  std::vector<uint64_t> chain;  // versions, newest first
+  CheckpointMeta walk = meta;
+  while (walk.is_delta) {
+    chain.push_back(walk.version);
+    if (walk.version == 0) return Status::Corruption("delta chain broken");
+    std::vector<char> ignored;
+    s = ReadCheckpointAt(db_.options().durability_dir, walk.version - 1,
+                         &walk, &ignored);
+    if (!s.ok()) return s;
+  }
+  chain.push_back(walk.version);  // the full base
+
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    CheckpointMeta m;
+    std::vector<char> d;
+    s = ReadCheckpointAt(db_.options().durability_dir, *it, &m, &d);
+    if (!s.ok()) return s;
+    s = ApplyCheckpointData(storage, m, d);
+    if (!s.ok()) return s;
+  }
+
+  state_.store(Pack(DbPhase::kRest, meta.version + 1),
+               std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_durable_version_ = meta.version;
+  }
+  *points = meta.points;
+  return Status::Ok();
+}
+
+}  // namespace cpr::txdb

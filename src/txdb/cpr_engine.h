@@ -1,0 +1,77 @@
+#ifndef CPR_TXDB_CPR_ENGINE_H_
+#define CPR_TXDB_CPR_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "txdb/db.h"
+
+namespace cpr::txdb {
+
+// Concurrent Prefix Recovery commit for the transactional database
+// (paper §4, Algorithms 1 & 2, state machine of Fig. 4).
+//
+// Global state is a packed (phase, version) pair; worker threads keep a
+// thread-local copy refreshed only during epoch synchronization, so the
+// steady-state transaction path touches no shared durability state at all.
+// A commit walks rest → prepare → in-progress → wait-flush:
+//
+//   prepare      a transaction executes only if its whole read-write set is
+//                still at version <= v; meeting a (v+1) record aborts it
+//                (at most once per thread per commit) and the thread
+//                refreshes, which demarcates its CPR point;
+//   in-progress  transactions run as version v+1: before first touching a
+//                record they copy live -> stable and bump its version, so
+//                the version-v value survives for the snapshot;
+//   wait-flush   a background thread captures version v (stable if the
+//                record was bumped, live otherwise) and writes it out, while
+//                workers keep executing v+1 transactions.
+class CprEngine : public Engine {
+ public:
+  explicit CprEngine(TransactionalDb& db);
+  ~CprEngine() override;
+
+  TxnResult Execute(ThreadContext& ctx, const Transaction& txn) override;
+  void OnRefresh(ThreadContext& ctx) override;
+  uint64_t RequestCommit(CommitCallback callback) override;
+  void WaitForCommit(uint64_t version) override;
+  bool CommitInProgress() const override;
+  uint64_t CurrentVersion() const override;
+  Status Recover(std::vector<CommitPoint>* points) override;
+
+ private:
+  static uint64_t Pack(DbPhase phase, uint64_t version) {
+    return (version << 8) | static_cast<uint64_t>(phase);
+  }
+  static DbPhase PhaseOf(uint64_t state) {
+    return static_cast<DbPhase>(state & 0xff);
+  }
+  static uint64_t VersionOf(uint64_t state) { return state >> 8; }
+
+  // Epoch trigger actions (Alg. 2).
+  void PrepareToInProg();
+  void InProgToWaitFlush();
+
+  // Background capture of version `v` (runs on checkpoint_thread_).
+  void CaptureAndPersist(uint64_t v);
+  void CheckpointThreadLoop();
+
+  std::atomic<uint64_t> state_;
+
+  // Checkpoint thread coordination.
+  std::mutex mu_;
+  std::condition_variable capture_cv_;
+  std::condition_variable durable_cv_;
+  uint64_t capture_version_ = 0;  // non-zero: capture requested; guarded by mu_
+  uint64_t last_durable_version_ = 0;  // guarded by mu_
+  bool stop_ = false;                  // guarded by mu_
+  CommitCallback callback_;            // guarded by mu_
+  std::thread checkpoint_thread_;
+};
+
+}  // namespace cpr::txdb
+
+#endif  // CPR_TXDB_CPR_ENGINE_H_

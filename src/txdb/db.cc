@@ -1,0 +1,183 @@
+#include "txdb/db.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "txdb/calc_engine.h"
+#include "txdb/cpr_engine.h"
+#include "txdb/null_engine.h"
+#include "txdb/wal_engine.h"
+
+namespace cpr::txdb {
+
+TransactionalDb::TransactionalDb(Options options)
+    : options_(std::move(options)),
+      epoch_(options_.max_threads + 8),
+      storage_(std::make_unique<Storage>(
+          /*dual_version=*/options_.mode == DurabilityMode::kCpr ||
+          options_.mode == DurabilityMode::kCalc)) {
+  contexts_.resize(options_.max_threads);
+  switch (options_.mode) {
+    case DurabilityMode::kNone:
+      engine_ = std::make_unique<NullEngine>(*this);
+      break;
+    case DurabilityMode::kCpr:
+      engine_ = std::make_unique<CprEngine>(*this);
+      break;
+    case DurabilityMode::kCalc:
+      engine_ = std::make_unique<CalcEngine>(*this);
+      break;
+    case DurabilityMode::kWal:
+      engine_ = std::make_unique<WalEngine>(*this);
+      break;
+  }
+}
+
+TransactionalDb::~TransactionalDb() = default;
+
+uint32_t TransactionalDb::CreateTable(uint64_t rows, uint32_t value_size) {
+  return storage_->CreateTable(rows, value_size);
+}
+
+ThreadContext* TransactionalDb::RegisterThread() {
+  const uint32_t id = next_thread_id_.fetch_add(1);
+  assert(id < options_.max_threads);
+  auto ctx = std::make_unique<ThreadContext>();
+  ctx->thread_id = id;
+  ctx->active = true;
+  ctx->version = CurrentVersion();
+  ctx->read_buffer.resize(4096);
+  ThreadContext* raw = ctx.get();
+  contexts_[id] = std::move(ctx);
+  epoch_.Acquire();
+  // Pick up the current phase before executing anything.
+  Refresh(*raw);
+  return raw;
+}
+
+void TransactionalDb::DeregisterThread(ThreadContext* ctx) {
+  // A thread that leaves before crossing its CPR point has committed all of
+  // its transactions and will issue none after: its point is its serial.
+  // Past the point (in-progress or later), the recorded value stands.
+  if (ctx->phase == DbPhase::kRest || ctx->phase == DbPhase::kPrepare) {
+    ctx->cpr_point_serial.store(ctx->serial.load(std::memory_order_relaxed),
+                                std::memory_order_release);
+  }
+  ctx->active = false;
+  epoch_.Release();
+}
+
+TxnResult TransactionalDb::Execute(ThreadContext& ctx,
+                                   const Transaction& txn) {
+  return engine_->Execute(ctx, txn);
+}
+
+void TransactionalDb::Refresh(ThreadContext& ctx) {
+  // Order matters: thread-local phase transitions happen before the epoch
+  // publish, so that "epoch safe" implies "every thread transitioned".
+  engine_->OnRefresh(ctx);
+  epoch_.Refresh();
+}
+
+uint64_t TransactionalDb::RequestCommit(CommitCallback callback) {
+  return engine_->RequestCommit(std::move(callback));
+}
+
+void TransactionalDb::WaitForCommit(uint64_t version) {
+  engine_->WaitForCommit(version);
+}
+
+bool TransactionalDb::CommitInProgress() const {
+  return engine_->CommitInProgress();
+}
+
+uint64_t TransactionalDb::CurrentVersion() const {
+  return engine_->CurrentVersion();
+}
+
+Status TransactionalDb::Recover(std::vector<CommitPoint>* points) {
+  assert(next_thread_id_.load() == 0 && "recover before registering threads");
+  std::vector<CommitPoint> local;
+  Status s = engine_->Recover(points != nullptr ? points : &local);
+  return s;
+}
+
+BreakdownCounters TransactionalDb::AggregateCounters() const {
+  BreakdownCounters total;
+  for (const auto& ctx : contexts_) {
+    if (ctx != nullptr) total += ctx->counters;
+  }
+  return total;
+}
+
+uint64_t TransactionalDb::TotalCommitted() const {
+  uint64_t total = 0;
+  for (const auto& ctx : contexts_) {
+    if (ctx != nullptr) total += ctx->serial.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// -- Engine shared helpers ----------------------------------------------
+
+bool Engine::AcquireLocks(const Transaction& txn, ThreadContext& ctx) {
+  ctx.locked.clear();
+  Storage& storage = db_.storage();
+  for (const TxnOp& op : txn.ops) {
+    Table& table = storage.table(op.table_id);
+    // Deduplicate: a transaction may touch the same record more than once.
+    bool already = false;
+    for (const LockedRecord& lr : ctx.locked) {
+      if (lr.table == &table && lr.row == op.row) {
+        already = true;
+        break;
+      }
+    }
+    if (already) continue;
+    if (!table.header(op.row).latch.TryLock()) {
+      ReleaseLocks(ctx);
+      return false;  // NO-WAIT: abort instead of waiting
+    }
+    ctx.locked.push_back(LockedRecord{&table, op.row});
+  }
+  return true;
+}
+
+void Engine::ReleaseLocks(ThreadContext& ctx) {
+  for (const LockedRecord& lr : ctx.locked) {
+    lr.table->header(lr.row).latch.Unlock();
+  }
+  ctx.locked.clear();
+}
+
+void Engine::ApplyOps(const Transaction& txn, ThreadContext& ctx) {
+  Storage& storage = db_.storage();
+  for (const TxnOp& op : txn.ops) {
+    Table& table = storage.table(op.table_id);
+    if (op.type != OpType::kRead) {
+      table.header(op.row).dirty.store(1, std::memory_order_relaxed);
+    }
+    switch (op.type) {
+      case OpType::kRead: {
+        // Reads copy the value out (paper §7.1: "a read copies the existing
+        // value"), modeling the work a real client-visible read performs.
+        const uint32_t n = table.value_size();
+        if (ctx.read_buffer.size() < n) ctx.read_buffer.resize(n);
+        std::memcpy(ctx.read_buffer.data(), table.live(op.row), n);
+        break;
+      }
+      case OpType::kWrite:
+        std::memcpy(table.live(op.row), op.value, table.value_size());
+        break;
+      case OpType::kAdd: {
+        int64_t v;
+        std::memcpy(&v, table.live(op.row), sizeof(v));
+        v += op.delta;
+        std::memcpy(table.live(op.row), &v, sizeof(v));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace cpr::txdb

@@ -1,0 +1,22 @@
+#include "txdb/table.h"
+
+namespace cpr::txdb {
+
+namespace {
+
+uint64_t AlignUp8(uint64_t n) { return (n + 7) & ~uint64_t{7}; }
+
+}  // namespace
+
+Table::Table(uint64_t rows, uint32_t value_size, bool dual_version)
+    : rows_(rows),
+      value_size_(value_size),
+      dual_version_(dual_version),
+      stride_(AlignUp8(sizeof(RecordHeader) +
+                       static_cast<uint64_t>(value_size) *
+                           (dual_version ? 2 : 1))),
+      data_(new char[rows * stride_]()) {
+  // Zero-initialized: headers start unlatched at version 0, values at 0.
+}
+
+}  // namespace cpr::txdb

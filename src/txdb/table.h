@@ -1,0 +1,103 @@
+#ifndef CPR_TXDB_TABLE_H_
+#define CPR_TXDB_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "util/latch.h"
+
+namespace cpr::txdb {
+
+// Per-record concurrency-control and versioning header.
+//
+// CPR/CALC tables keep two values per record — `live` (updated in place by
+// transactions) and `stable` (the snapshot value captured by an in-flight
+// checkpoint) — plus a version counter, exactly as §7.1 describes for the
+// head-to-head comparison. WAL tables carry a single value.
+struct RecordHeader {
+  SpinLatch latch;                 // strict 2PL, NO-WAIT
+  // Set on every update; cleared when an incremental checkpoint captures
+  // the record (kept while the record carries a (v+1) value so the change
+  // lands in the next commit). Accessed under the record latch.
+  std::atomic<uint8_t> dirty{0};
+  std::atomic<uint32_t> version{0};
+};
+static_assert(sizeof(RecordHeader) == 8, "record header should stay compact");
+
+// A fixed-schema in-memory table: dense row ids 0..rows-1, fixed-size
+// values. Rows live in one contiguous allocation:
+//   [RecordHeader][live value][stable value?]  x rows
+class Table {
+ public:
+  // `dual_version` selects the (live, stable) layout used by CPR and CALC.
+  Table(uint64_t rows, uint32_t value_size, bool dual_version);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  uint64_t rows() const { return rows_; }
+  uint32_t value_size() const { return value_size_; }
+  bool dual_version() const { return dual_version_; }
+
+  RecordHeader& header(uint64_t row) {
+    return *reinterpret_cast<RecordHeader*>(Base(row));
+  }
+  const RecordHeader& header(uint64_t row) const {
+    return *reinterpret_cast<const RecordHeader*>(Base(row));
+  }
+
+  void* live(uint64_t row) { return Base(row) + sizeof(RecordHeader); }
+  const void* live(uint64_t row) const {
+    return Base(row) + sizeof(RecordHeader);
+  }
+
+  void* stable(uint64_t row) {
+    return Base(row) + sizeof(RecordHeader) + value_size_;
+  }
+  const void* stable(uint64_t row) const {
+    return Base(row) + sizeof(RecordHeader) + value_size_;
+  }
+
+  // Copies live -> stable for `row`. Caller holds the record latch.
+  void PreserveStable(uint64_t row) {
+    std::memcpy(stable(row), live(row), value_size_);
+  }
+
+ private:
+  char* Base(uint64_t row) { return data_.get() + row * stride_; }
+  const char* Base(uint64_t row) const { return data_.get() + row * stride_; }
+
+  uint64_t rows_;
+  uint32_t value_size_;
+  bool dual_version_;
+  uint64_t stride_;
+  std::unique_ptr<char[]> data_;
+};
+
+// The database's table directory.
+class Storage {
+ public:
+  explicit Storage(bool dual_version) : dual_version_(dual_version) {}
+
+  uint32_t CreateTable(uint64_t rows, uint32_t value_size) {
+    tables_.push_back(
+        std::make_unique<Table>(rows, value_size, dual_version_));
+    return static_cast<uint32_t>(tables_.size() - 1);
+  }
+
+  Table& table(uint32_t id) { return *tables_[id]; }
+  const Table& table(uint32_t id) const { return *tables_[id]; }
+  uint32_t num_tables() const { return static_cast<uint32_t>(tables_.size()); }
+  bool dual_version() const { return dual_version_; }
+
+ private:
+  bool dual_version_;
+  std::vector<std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace cpr::txdb
+
+#endif  // CPR_TXDB_TABLE_H_

@@ -1,0 +1,71 @@
+#ifndef CPR_TXDB_TYPES_H_
+#define CPR_TXDB_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace cpr::txdb {
+
+// How a transaction touches one record.
+enum class OpType : uint8_t {
+  kRead = 0,   // copy the record's value into the transaction's buffer
+  kWrite = 1,  // replace the record's value with the provided bytes
+  kAdd = 2,    // 64-bit add of `delta` into the first 8 bytes of the value
+};
+
+// One entry of a transaction's read-write set. The full set is declared up
+// front (as in the paper's Alg. 1, which iterates txn.ReadWriteSet() to
+// acquire all locks before executing).
+struct TxnOp {
+  uint32_t table_id = 0;
+  OpType type = OpType::kRead;
+  uint64_t row = 0;
+  // kWrite: bytes to store (value_size of the table). Owned by the caller.
+  const void* value = nullptr;
+  // kAdd: signed delta applied to the first 8 bytes.
+  int64_t delta = 0;
+};
+
+// A transaction: an ordered read-write set.
+struct Transaction {
+  std::vector<TxnOp> ops;
+};
+
+enum class TxnResult : uint8_t {
+  kCommitted = 0,
+  kAbortedConflict,  // NO-WAIT lock acquisition failed
+  kAbortedCprShift,  // prepare-phase thread met a (v+1) record; retry after
+                     // the thread refreshed (at most one per commit, §4.1)
+};
+
+// Durability scheme backing the database (paper §7.1 evaluates all three).
+enum class DurabilityMode : uint8_t {
+  kNone = 0,  // volatile, no recovery
+  kCpr,       // this paper: epoch-coordinated asynchronous checkpoint
+  kCalc,      // Ren et al.: atomic commit log + async checkpoint
+  kWal,       // ARIES-style redo logging with group commit
+};
+
+// CPR commit state machine phases (Fig. 4).
+enum class DbPhase : uint8_t {
+  kRest = 0,
+  kPrepare,
+  kInProgress,
+  kWaitFlush,
+};
+
+// Per-thread commit point of a finished CPR commit: "all transactions with
+// serial <= serial are durable for this thread, none after".
+struct CommitPoint {
+  uint32_t thread_id = 0;
+  uint64_t serial = 0;
+};
+
+// Invoked (from the checkpoint thread) when a commit becomes durable.
+using CommitCallback =
+    std::function<void(uint64_t version, const std::vector<CommitPoint>&)>;
+
+}  // namespace cpr::txdb
+
+#endif  // CPR_TXDB_TYPES_H_

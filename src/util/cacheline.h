@@ -1,0 +1,15 @@
+#ifndef CPR_UTIL_CACHELINE_H_
+#define CPR_UTIL_CACHELINE_H_
+
+#include <cstddef>
+
+namespace cpr {
+
+// Size used to pad per-thread state so that independent threads never share
+// a cache line (false sharing is the silent scalability killer in every
+// structure this library maintains per thread).
+inline constexpr size_t kCacheLineBytes = 64;
+
+}  // namespace cpr
+
+#endif  // CPR_UTIL_CACHELINE_H_

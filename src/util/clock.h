@@ -1,0 +1,21 @@
+#ifndef CPR_UTIL_CLOCK_H_
+#define CPR_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace cpr {
+
+// Monotonic nanoseconds since an arbitrary origin.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline double NowSeconds() { return static_cast<double>(NowNanos()) * 1e-9; }
+
+}  // namespace cpr
+
+#endif  // CPR_UTIL_CLOCK_H_

@@ -1,0 +1,23 @@
+#ifndef CPR_UTIL_HASH_H_
+#define CPR_UTIL_HASH_H_
+
+#include <cstdint>
+
+namespace cpr {
+
+// 64-bit finalizer-quality hash for integer keys (murmur3 fmix64). The
+// FASTER hash index derives both the bucket number and the in-bucket tag
+// from this value, so full-width avalanche matters.
+inline uint64_t Hash64(uint64_t key) {
+  uint64_t x = key;
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace cpr
+
+#endif  // CPR_UTIL_HASH_H_

@@ -1,0 +1,63 @@
+#ifndef CPR_UTIL_HISTOGRAM_H_
+#define CPR_UTIL_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace cpr {
+
+// Log-scale latency histogram (nanosecond samples), single-writer.
+// 64 power-of-two buckets cover 1ns .. ~years; enough resolution to report
+// the paper's average / p50 / p99 operation latencies.
+class Histogram {
+ public:
+  Histogram() { Reset(); }
+
+  void Add(uint64_t ns) {
+    const int b = ns == 0 ? 0 : 64 - __builtin_clzll(ns);
+    buckets_[b] += 1;
+    sum_ns_ += ns;
+    count_ += 1;
+  }
+
+  void Merge(const Histogram& o) {
+    for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += o.buckets_[i];
+    sum_ns_ += o.sum_ns_;
+    count_ += o.count_;
+  }
+
+  void Reset() {
+    buckets_.fill(0);
+    sum_ns_ = 0;
+    count_ = 0;
+  }
+
+  uint64_t count() const { return count_; }
+
+  double MeanNs() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_ns_) /
+                             static_cast<double>(count_);
+  }
+
+  // Approximate quantile (bucket upper bound), q in [0, 1].
+  uint64_t QuantileNs(double q) const {
+    if (count_ == 0) return 0;
+    uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen > target) return i == 0 ? 1 : (uint64_t{1} << i);
+    }
+    return uint64_t{1} << 63;
+  }
+
+ private:
+  std::array<uint64_t, 65> buckets_;
+  uint64_t sum_ns_;
+  uint64_t count_;
+};
+
+}  // namespace cpr
+
+#endif  // CPR_UTIL_HISTOGRAM_H_

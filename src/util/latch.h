@@ -1,0 +1,107 @@
+#ifndef CPR_UTIL_LATCH_H_
+#define CPR_UTIL_LATCH_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace cpr {
+
+// Tiny test-and-set spin latch. Used as the per-record latch for the
+// transactional database's strict 2PL with NO-WAIT: callers that fail
+// TryLock() abort the transaction instead of waiting.
+class SpinLatch {
+ public:
+  SpinLatch() : locked_(false) {}
+  SpinLatch(const SpinLatch&) = delete;
+  SpinLatch& operator=(const SpinLatch&) = delete;
+
+  bool TryLock() {
+    bool expected = false;
+    return locked_.compare_exchange_strong(expected, true,
+                                           std::memory_order_acquire);
+  }
+
+  void Lock() {
+    while (!TryLock()) {
+      while (locked_.load(std::memory_order_relaxed)) {
+      }
+    }
+  }
+
+  void Unlock() { locked_.store(false, std::memory_order_release); }
+
+  bool IsLocked() const { return locked_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> locked_;
+};
+
+// RAII guard for SpinLatch.
+class SpinLatchGuard {
+ public:
+  explicit SpinLatchGuard(SpinLatch& latch) : latch_(latch) { latch_.Lock(); }
+  ~SpinLatchGuard() { latch_.Unlock(); }
+  SpinLatchGuard(const SpinLatchGuard&) = delete;
+  SpinLatchGuard& operator=(const SpinLatchGuard&) = delete;
+
+ private:
+  SpinLatch& latch_;
+};
+
+// Reader-writer spin latch with try-only acquisition and an observable
+// shared-holder count. FASTER's CPR algorithm (paper §6.2) keys several
+// decisions off this latch:
+//   * prepare-phase threads take it shared for every access and keep it for
+//     requests that go pending;
+//   * in-progress threads take it exclusive to hand a record's version over;
+//   * wait-pending threads consult SharedCount()==0 to elide the exclusive
+//     acquisition once no prepare threads remain.
+//
+// State encoding: kExclusiveBit set => writer holds it; low bits count
+// shared holders.
+class SharedLatch {
+ public:
+  SharedLatch() : state_(0) {}
+  SharedLatch(const SharedLatch&) = delete;
+  SharedLatch& operator=(const SharedLatch&) = delete;
+
+  bool TryLockShared() {
+    uint64_t s = state_.load(std::memory_order_acquire);
+    while ((s & kExclusiveBit) == 0) {
+      if (state_.compare_exchange_weak(s, s + 1, std::memory_order_acquire)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void UnlockShared() { state_.fetch_sub(1, std::memory_order_release); }
+
+  bool TryLockExclusive() {
+    uint64_t expected = 0;
+    return state_.compare_exchange_strong(expected, kExclusiveBit,
+                                          std::memory_order_acquire);
+  }
+
+  void UnlockExclusive() {
+    state_.fetch_and(~kExclusiveBit, std::memory_order_release);
+  }
+
+  // Number of shared holders right now (racy by design; used only as the
+  // wait-pending heuristic described above).
+  uint64_t SharedCount() const {
+    return state_.load(std::memory_order_acquire) & ~kExclusiveBit;
+  }
+
+  bool HasExclusive() const {
+    return (state_.load(std::memory_order_acquire) & kExclusiveBit) != 0;
+  }
+
+ private:
+  static constexpr uint64_t kExclusiveBit = uint64_t{1} << 63;
+  std::atomic<uint64_t> state_;
+};
+
+}  // namespace cpr
+
+#endif  // CPR_UTIL_LATCH_H_

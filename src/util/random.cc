@@ -1,0 +1,35 @@
+#include "util/random.h"
+
+namespace cpr {
+
+ZipfianGenerator::ZipfianGenerator(uint64_t num_items, double theta)
+    : num_items_(num_items), theta_(theta) {
+  zetan_ = Zeta(num_items, theta);
+  const double zeta2 = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(num_items), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+  half_pow_theta_ = 1.0 + std::pow(0.5, theta);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  // O(n) precomputation; done once per generator. Benchmarks construct the
+  // generator before timing begins.
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next(Rng& rng) {
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < half_pow_theta_) return 1;
+  const uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(num_items_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= num_items_ ? num_items_ - 1 : rank;
+}
+
+}  // namespace cpr

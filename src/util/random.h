@@ -1,0 +1,87 @@
+#ifndef CPR_UTIL_RANDOM_H_
+#define CPR_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace cpr {
+
+// xorshift128+ pseudo-random generator: fast, decent quality, and entirely
+// thread-local (workload generation must never synchronize across worker
+// threads, or the generator itself becomes the bottleneck being measured).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x2545F4914F6CDD1DULL) {
+    // SplitMix64 seeding so nearby seeds give independent streams.
+    uint64_t z = seed;
+    for (int i = 0; i < 2; ++i) {
+      z += 0x9E3779B97F4A7C15ULL;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+      s_[i] = x ^ (x >> 31);
+    }
+    if (s_[0] == 0 && s_[1] == 0) s_[0] = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  // Uniform integer in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t s_[2];
+};
+
+// Zipfian-distributed key generator over [0, n), YCSB style (Gray et al.'s
+// rejection-free method). theta in (0, 1); the paper uses theta = 0.1 for
+// "low contention" and 0.99 for "high contention" workloads.
+//
+// Items are scrambled with a multiplicative hash so that the hot keys are
+// spread across the key space rather than clustered at small ids.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t num_items, double theta);
+
+  // Draws the next key using the caller's RNG (thread-local).
+  uint64_t Next(Rng& rng);
+
+  uint64_t num_items() const { return num_items_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t num_items_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double half_pow_theta_;
+};
+
+// Scrambles a dense id into the key space so Zipfian hot spots are not
+// physically adjacent (matches YCSB's fnv-hash scrambling intent).
+inline uint64_t ScrambleKey(uint64_t id, uint64_t num_items) {
+  uint64_t x = id * 0xC6A4A7935BD1E995ULL;
+  x ^= x >> 29;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 32;
+  return x % num_items;
+}
+
+}  // namespace cpr
+
+#endif  // CPR_UTIL_RANDOM_H_

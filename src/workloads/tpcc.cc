@@ -1,0 +1,208 @@
+#include "workloads/tpcc.h"
+
+#include <cstring>
+
+namespace cpr::workloads {
+
+namespace {
+
+// Row widths (bytes) approximating the spec's row sizes; the first 8 bytes
+// of warehouse/district/customer/stock rows hold the numeric column the
+// benchmark mutates (YTD, balance, quantity).
+constexpr uint32_t kWarehouseBytes = 96;
+constexpr uint32_t kDistrictBytes = 96;
+constexpr uint32_t kCustomerBytes = 96;
+constexpr uint32_t kItemBytes = 64;
+constexpr uint32_t kStockBytes = 64;
+constexpr uint32_t kOrderBytes = 32;
+constexpr uint32_t kNewOrderBytes = 8;
+constexpr uint32_t kOrderLineBytes = 64;
+constexpr uint32_t kHistoryBytes = 32;
+
+constexpr uint32_t kMaxOrderLines = 15;
+
+}  // namespace
+
+thread_local TpccWorkload::Scratch TpccWorkload::scratch_;
+
+TpccWorkload::TpccWorkload(txdb::TransactionalDb* db,
+                           const TpccConfig& config)
+    : db_(db), config_(config) {
+  const uint64_t w = config_.num_warehouses;
+  const uint64_t districts = w * 10;
+  warehouse_ = db->CreateTable(w, kWarehouseBytes);
+  district_ = db->CreateTable(districts, kDistrictBytes);
+  customer_ =
+      db->CreateTable(districts * config_.customers_per_district,
+                      kCustomerBytes);
+  item_ = db->CreateTable(config_.items, kItemBytes);
+  stock_ = db->CreateTable(w * config_.items, kStockBytes);
+  order_ = db->CreateTable(districts * config_.order_pool_per_district,
+                           kOrderBytes);
+  new_order_ = db->CreateTable(districts * config_.order_pool_per_district,
+                               kNewOrderBytes);
+  order_line_ = db->CreateTable(
+      districts * config_.order_pool_per_district * kMaxOrderLines,
+      kOrderLineBytes);
+  history_ = db->CreateTable(districts * config_.order_pool_per_district,
+                             kHistoryBytes);
+  order_cursor_.reset(new std::atomic<uint64_t>[districts]());
+
+  // Initial stock quantities per the spec (10..100); other numeric columns
+  // start at zero, which the recovery tests treat as the loaded state.
+  txdb::Table& stock_table = db->table(stock_);
+  Rng rng(42);
+  for (uint64_t row = 0; row < stock_table.rows(); ++row) {
+    const int64_t qty = 10 + static_cast<int64_t>(rng.Uniform(91));
+    std::memcpy(stock_table.live(row), &qty, sizeof(qty));
+  }
+}
+
+uint32_t TpccWorkload::NUrand(Rng& rng, uint32_t a, uint32_t x, uint32_t y) {
+  // C is a per-field constant; a fixed value is within spec for a run.
+  constexpr uint32_t kC = 123;
+  const uint32_t r1 = static_cast<uint32_t>(rng.Uniform(a + 1));
+  const uint32_t r2 =
+      x + static_cast<uint32_t>(rng.Uniform(uint64_t{y} - x + 1));
+  return (((r1 | r2) + kC) % (y - x + 1)) + x;
+}
+
+uint64_t TpccWorkload::ClaimOrderSlot(uint32_t w, uint32_t d) {
+  const uint64_t district = uint64_t{w} * 10 + d;
+  const uint64_t seq = order_cursor_[district].fetch_add(1);
+  return district * config_.order_pool_per_district +
+         (seq % config_.order_pool_per_district);
+}
+
+void TpccWorkload::MakePayment(Rng& rng, txdb::Transaction* txn) {
+  txn->ops.clear();
+  const uint32_t w = static_cast<uint32_t>(rng.Uniform(config_.num_warehouses));
+  const uint32_t d = static_cast<uint32_t>(rng.Uniform(10));
+  // 85% local customer; 15% remote district per §2.5.1.2.
+  uint32_t cw = w, cd = d;
+  if (config_.num_warehouses > 1 && rng.Uniform(100) < 15) {
+    do {
+      cw = static_cast<uint32_t>(rng.Uniform(config_.num_warehouses));
+    } while (cw == w);
+    cd = static_cast<uint32_t>(rng.Uniform(10));
+  }
+  const uint32_t c =
+      NUrand(rng, 1023, 0, config_.customers_per_district - 1);
+  const int64_t amount = 1 + static_cast<int64_t>(rng.Uniform(5000));
+
+  txdb::TxnOp op;
+  op.type = txdb::OpType::kAdd;
+  op.table_id = warehouse_;
+  op.row = w;
+  op.delta = amount;  // W_YTD += amount
+  txn->ops.push_back(op);
+
+  op.table_id = district_;
+  op.row = DistrictRow(w, d);
+  txn->ops.push_back(op);  // D_YTD += amount
+
+  op.table_id = customer_;
+  op.row = CustomerRow(cw, cd, c);
+  op.delta = -amount;  // C_BALANCE -= amount
+  txn->ops.push_back(op);
+
+  // History insert.
+  scratch_.history_row.assign(kHistoryBytes, 0);
+  std::memcpy(scratch_.history_row.data(), &amount, sizeof(amount));
+  op.type = txdb::OpType::kWrite;
+  op.table_id = history_;
+  op.row = history_cursor_.fetch_add(1) %
+           db_->table(history_).rows();
+  op.value = scratch_.history_row.data();
+  op.delta = 0;
+  txn->ops.push_back(op);
+}
+
+void TpccWorkload::MakeNewOrder(Rng& rng, txdb::Transaction* txn) {
+  txn->ops.clear();
+  const uint32_t w = static_cast<uint32_t>(rng.Uniform(config_.num_warehouses));
+  const uint32_t d = static_cast<uint32_t>(rng.Uniform(10));
+  const uint32_t c =
+      NUrand(rng, 1023, 0, config_.customers_per_district - 1);
+  const uint32_t ol_cnt = 5 + static_cast<uint32_t>(rng.Uniform(11));
+
+  txdb::TxnOp op;
+  // D_NEXT_O_ID++.
+  op.type = txdb::OpType::kAdd;
+  op.table_id = district_;
+  op.row = DistrictRow(w, d);
+  op.delta = 1;
+  txn->ops.push_back(op);
+
+  op.type = txdb::OpType::kRead;
+  op.table_id = customer_;
+  op.row = CustomerRow(w, d, c);
+  txn->ops.push_back(op);
+
+  op.table_id = warehouse_;
+  op.row = w;
+  txn->ops.push_back(op);
+
+  const uint64_t order_slot = ClaimOrderSlot(w, d);
+  scratch_.order_row.assign(kOrderBytes, 0);
+  const uint64_t order_tag = (uint64_t{w} << 32) | (d << 16) | ol_cnt;
+  std::memcpy(scratch_.order_row.data(), &order_tag, sizeof(order_tag));
+  op.type = txdb::OpType::kWrite;
+  op.table_id = order_;
+  op.row = order_slot;
+  op.value = scratch_.order_row.data();
+  txn->ops.push_back(op);
+
+  scratch_.new_order_row.assign(kNewOrderBytes, 1);
+  op.table_id = new_order_;
+  op.row = order_slot;
+  op.value = scratch_.new_order_row.data();
+  txn->ops.push_back(op);
+
+  if (scratch_.order_lines.size() < kMaxOrderLines) {
+    scratch_.order_lines.resize(kMaxOrderLines);
+  }
+  for (uint32_t line = 0; line < ol_cnt; ++line) {
+    const uint32_t item = NUrand(rng, 8191, 0, config_.items - 1);
+    // 1% of lines are supplied by a remote warehouse (§2.4.1.5).
+    uint32_t sw = w;
+    if (config_.num_warehouses > 1 && rng.Uniform(100) < 1) {
+      do {
+        sw = static_cast<uint32_t>(rng.Uniform(config_.num_warehouses));
+      } while (sw == w);
+    }
+    const int64_t qty = 1 + static_cast<int64_t>(rng.Uniform(10));
+
+    op.type = txdb::OpType::kRead;
+    op.table_id = item_;
+    op.row = item;
+    txn->ops.push_back(op);
+
+    op.type = txdb::OpType::kAdd;
+    op.table_id = stock_;
+    op.row = StockRow(sw, item);
+    op.delta = -qty;  // S_QUANTITY -= qty (restock logic elided)
+    txn->ops.push_back(op);
+
+    auto& ol = scratch_.order_lines[line];
+    ol.assign(kOrderLineBytes, 0);
+    const uint64_t ol_tag = (uint64_t{item} << 16) | line;
+    std::memcpy(ol.data(), &ol_tag, sizeof(ol_tag));
+    op.type = txdb::OpType::kWrite;
+    op.table_id = order_line_;
+    op.row = order_slot * kMaxOrderLines + line;
+    op.value = ol.data();
+    txn->ops.push_back(op);
+  }
+}
+
+void TpccWorkload::MakeTransaction(Rng& rng, uint32_t payment_pct,
+                                   txdb::Transaction* txn) {
+  if (rng.Uniform(100) < payment_pct) {
+    MakePayment(rng, txn);
+  } else {
+    MakeNewOrder(rng, txn);
+  }
+}
+
+}  // namespace cpr::workloads

@@ -1,0 +1,101 @@
+#ifndef CPR_WORKLOADS_TPCC_H_
+#define CPR_WORKLOADS_TPCC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "txdb/db.h"
+#include "txdb/types.h"
+#include "util/random.h"
+
+namespace cpr::workloads {
+
+// TPC-C subset used by the paper (App. E.2): a mixture of Payment and
+// New-Order transactions with inputs generated per the standard
+// specification (§2.4 / §2.5, NURand customer/item selection, 1% remote
+// warehouses, 5–15 order lines).
+//
+// Tables are the transactional database's fixed-schema tables; inserts
+// (orders, order lines, history) go to pre-allocated pools whose slots are
+// claimed from per-district atomic counters and recycled modulo the pool
+// capacity — standard practice for in-memory TPC-C harnesses.
+struct TpccConfig {
+  uint32_t num_warehouses = 4;
+  uint32_t items = 100'000;
+  uint32_t customers_per_district = 3'000;
+  uint32_t order_pool_per_district = 500;  // recycled modulo capacity
+};
+
+class TpccWorkload {
+ public:
+  // Creates the TPC-C tables in `db` (which must have no tables yet) and
+  // loads initial row values.
+  TpccWorkload(txdb::TransactionalDb* db, const TpccConfig& config);
+
+  // Builds a Payment transaction: updates warehouse/district YTD and the
+  // customer balance, inserts a history row (3 writes + 1 insert).
+  void MakePayment(Rng& rng, txdb::Transaction* txn);
+
+  // Builds a New-Order transaction: district next-order-id bump, customer
+  // and warehouse reads, order + new-order inserts, and per order line an
+  // item read, a stock update, and an order-line insert.
+  void MakeNewOrder(Rng& rng, txdb::Transaction* txn);
+
+  // Builds the paper's mixes: payment_pct % Payment, rest New-Order.
+  void MakeTransaction(Rng& rng, uint32_t payment_pct,
+                       txdb::Transaction* txn);
+
+  // Table ids.
+  uint32_t warehouse() const { return warehouse_; }
+  uint32_t district() const { return district_; }
+  uint32_t customer() const { return customer_; }
+  uint32_t item() const { return item_; }
+  uint32_t stock() const { return stock_; }
+  uint32_t order() const { return order_; }
+  uint32_t new_order() const { return new_order_; }
+  uint32_t order_line() const { return order_line_; }
+  uint32_t history() const { return history_; }
+
+  const TpccConfig& config() const { return config_; }
+
+  // Row-id helpers (dense layout).
+  uint64_t DistrictRow(uint32_t w, uint32_t d) const { return w * 10 + d; }
+  uint64_t CustomerRow(uint32_t w, uint32_t d, uint32_t c) const {
+    return (uint64_t{w} * 10 + d) * config_.customers_per_district + c;
+  }
+  uint64_t StockRow(uint32_t w, uint32_t i) const {
+    return uint64_t{w} * config_.items + i;
+  }
+
+  // NURand non-uniform selection per TPC-C §2.1.6.
+  static uint32_t NUrand(Rng& rng, uint32_t a, uint32_t x, uint32_t y);
+
+ private:
+  uint64_t ClaimOrderSlot(uint32_t w, uint32_t d);
+
+  txdb::TransactionalDb* db_;
+  TpccConfig config_;
+  uint32_t warehouse_, district_, customer_, item_, stock_;
+  uint32_t order_, new_order_, order_line_, history_;
+
+  // Per-district insert cursors (outside the transactional state, as a real
+  // loader's sequence generators would be).
+  std::unique_ptr<std::atomic<uint64_t>[]> order_cursor_;
+  std::atomic<uint64_t> history_cursor_{0};
+
+  // Scratch payloads for insert ops; pointers handed to TxnOp::value must
+  // stay valid during Execute, so each Make* call rotates through a pool.
+  struct Scratch {
+    std::vector<char> order_row;
+    std::vector<char> new_order_row;
+    std::vector<std::vector<char>> order_lines;
+    std::vector<char> history_row;
+  };
+  static thread_local Scratch scratch_;
+};
+
+}  // namespace cpr::workloads
+
+#endif  // CPR_WORKLOADS_TPCC_H_

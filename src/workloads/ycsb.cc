@@ -1,0 +1,44 @@
+#include "workloads/ycsb.h"
+
+namespace cpr::workloads {
+
+YcsbGenerator::YcsbGenerator(const YcsbConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  if (config_.distribution == KeyDistribution::kZipfian) {
+    zipf_ = std::make_unique<ZipfianGenerator>(config_.num_keys,
+                                               config_.theta);
+  }
+}
+
+uint64_t YcsbGenerator::NextKey() {
+  if (zipf_ != nullptr) {
+    return ScrambleKey(zipf_->Next(rng_), config_.num_keys);
+  }
+  return rng_.Uniform(config_.num_keys);
+}
+
+bool YcsbGenerator::NextIsRead() {
+  return rng_.Uniform(100) < config_.read_pct;
+}
+
+bool YcsbGenerator::NextIsRmw() { return rng_.Uniform(100) < config_.rmw_pct; }
+
+void YcsbGenerator::FillTransaction(uint32_t table_id,
+                                    const void* write_value,
+                                    txdb::Transaction* txn) {
+  txn->ops.clear();
+  for (uint32_t i = 0; i < config_.txn_size; ++i) {
+    txdb::TxnOp op;
+    op.table_id = table_id;
+    op.row = NextKey();
+    if (NextIsRead()) {
+      op.type = txdb::OpType::kRead;
+    } else {
+      op.type = txdb::OpType::kWrite;
+      op.value = write_value;
+    }
+    txn->ops.push_back(op);
+  }
+}
+
+}  // namespace cpr::workloads

@@ -1,0 +1,56 @@
+#ifndef CPR_WORKLOADS_YCSB_H_
+#define CPR_WORKLOADS_YCSB_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "txdb/types.h"
+#include "util/random.h"
+
+namespace cpr::workloads {
+
+enum class KeyDistribution : uint8_t { kUniform, kZipfian };
+
+// YCSB-style workload parameters (paper §7.1): a single table of `num_keys`
+// records; each transaction is `txn_size` read/write requests on keys drawn
+// from a Uniform or Zipfian distribution; a request is a read with
+// probability read_pct %. For key-value benchmarks, rmw_pct % of non-read
+// operations are read-modify-writes instead of blind updates.
+struct YcsbConfig {
+  uint64_t num_keys = 250'000;
+  KeyDistribution distribution = KeyDistribution::kZipfian;
+  double theta = 0.1;  // Zipfian skew: 0.1 = low contention, 0.99 = high
+  uint32_t read_pct = 50;
+  uint32_t rmw_pct = 0;
+  uint32_t txn_size = 1;
+  uint32_t value_size = 8;
+};
+
+// Per-thread generator: all state is thread-local, so drawing keys never
+// synchronizes. The shared Zipfian tables are built once and read-only.
+class YcsbGenerator {
+ public:
+  YcsbGenerator(const YcsbConfig& config, uint64_t seed);
+
+  uint64_t NextKey();
+  bool NextIsRead();
+  bool NextIsRmw();
+
+  // Builds a txn_size-request transaction against `table_id`. kWrite ops
+  // point at `write_value` (value_size bytes, caller-owned).
+  void FillTransaction(uint32_t table_id, const void* write_value,
+                       txdb::Transaction* txn);
+
+  const YcsbConfig& config() const { return config_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  YcsbConfig config_;
+  Rng rng_;
+  std::unique_ptr<ZipfianGenerator> zipf_;
+};
+
+}  // namespace cpr::workloads
+
+#endif  // CPR_WORKLOADS_YCSB_H_

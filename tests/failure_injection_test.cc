@@ -1,0 +1,222 @@
+// Failure injection: corrupted, truncated, or missing durability artifacts
+// must surface as clean errors (never crashes, never silently wrong data),
+// and partially written logs must replay exactly their valid prefix.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+
+#include "faster/faster.h"
+#include "io/file.h"
+#include "txdb/db.h"
+
+namespace cpr {
+namespace {
+
+std::string FreshDir() {
+  static std::atomic<int> counter{0};
+  const char* name = ::testing::UnitTest::GetInstance()
+                         ->current_test_info()
+                         ->name();
+  std::string dir = "/tmp/cpr_inject_" + std::string(name) + "_" +
+                    std::to_string(counter.fetch_add(1));
+  std::string cmd = "rm -rf " + dir;
+  (void)!system(cmd.c_str());
+  return dir;
+}
+
+void WriteGarbage(const std::string& path, const char* data, size_t len) {
+  File f;
+  ASSERT_TRUE(File::Open(path, /*create=*/true, &f).ok());
+  ASSERT_TRUE(f.WriteAt(0, data, len).ok());
+}
+
+// -- Transactional database ---------------------------------------------------
+
+txdb::TransactionalDb::Options TxdbOpts(txdb::DurabilityMode mode,
+                                        const std::string& dir) {
+  txdb::TransactionalDb::Options o;
+  o.mode = mode;
+  o.durability_dir = dir;
+  return o;
+}
+
+void MakeTxdbCheckpoint(const std::string& dir) {
+  txdb::TransactionalDb db(TxdbOpts(txdb::DurabilityMode::kCpr, dir));
+  const uint32_t t = db.CreateTable(8, 8);
+  txdb::ThreadContext* ctx = db.RegisterThread();
+  txdb::Transaction txn;
+  txn.ops.push_back(txdb::TxnOp{t, txdb::OpType::kAdd, 0, nullptr, 1});
+  db.Execute(*ctx, txn);
+  db.DeregisterThread(ctx);
+  db.WaitForCommit(db.RequestCommit());
+}
+
+TEST(TxdbInjectionTest, GarbageLatestFileIsRejected) {
+  const std::string dir = FreshDir();
+  MakeTxdbCheckpoint(dir);
+  WriteGarbage(dir + "/LATEST", "not-a-number", 12);
+  txdb::TransactionalDb db(TxdbOpts(txdb::DurabilityMode::kCpr, dir));
+  db.CreateTable(8, 8);
+  EXPECT_FALSE(db.Recover().ok());
+}
+
+TEST(TxdbInjectionTest, MissingMetaFileIsAnError) {
+  const std::string dir = FreshDir();
+  MakeTxdbCheckpoint(dir);
+  ASSERT_TRUE(RemoveFileIfExists(dir + "/v1.meta").ok());
+  txdb::TransactionalDb db(TxdbOpts(txdb::DurabilityMode::kCpr, dir));
+  db.CreateTable(8, 8);
+  EXPECT_FALSE(db.Recover().ok());
+}
+
+TEST(TxdbInjectionTest, TruncatedMetaIsCorruption) {
+  const std::string dir = FreshDir();
+  MakeTxdbCheckpoint(dir);
+  WriteGarbage(dir + "/v1.meta", "\x01\x02\x03", 3);
+  txdb::TransactionalDb db(TxdbOpts(txdb::DurabilityMode::kCpr, dir));
+  db.CreateTable(8, 8);
+  const Status s = db.Recover();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kCorruption);
+}
+
+TEST(TxdbInjectionTest, StaleLatestAfterCrashMidPublishUsesOldCommit) {
+  // Simulate a crash between writing v2's files and publishing LATEST:
+  // recovery must come up at v1.
+  const std::string dir = FreshDir();
+  int64_t v1_value = 0;
+  {
+    txdb::TransactionalDb db(TxdbOpts(txdb::DurabilityMode::kCpr, dir));
+    const uint32_t t = db.CreateTable(8, 8);
+    txdb::ThreadContext* ctx = db.RegisterThread();
+    txdb::Transaction txn;
+    txn.ops.push_back(txdb::TxnOp{t, txdb::OpType::kAdd, 0, nullptr, 5});
+    db.Execute(*ctx, txn);
+    db.DeregisterThread(ctx);
+    db.WaitForCommit(db.RequestCommit());
+    v1_value = 5;
+  }
+  // Fake the "crash": v2 data exists but LATEST still says 1.
+  WriteGarbage(dir + "/v2.data", "\0\0\0\0\0\0\0\0", 8);
+  WriteGarbage(dir + "/LATEST", "1", 1);
+  txdb::TransactionalDb db(TxdbOpts(txdb::DurabilityMode::kCpr, dir));
+  const uint32_t t = db.CreateTable(8, 8);
+  ASSERT_TRUE(db.Recover().ok());
+  int64_t value;
+  std::memcpy(&value, db.table(t).live(0), sizeof(value));
+  EXPECT_EQ(value, v1_value);
+}
+
+TEST(WalInjectionTest, TrailingGarbageReplaysValidPrefix) {
+  const std::string dir = FreshDir();
+  {
+    txdb::TransactionalDb db(TxdbOpts(txdb::DurabilityMode::kWal, dir));
+    const uint32_t t = db.CreateTable(8, 8);
+    txdb::ThreadContext* ctx = db.RegisterThread();
+    txdb::Transaction txn;
+    txn.ops.push_back(txdb::TxnOp{t, txdb::OpType::kAdd, 3, nullptr, 2});
+    for (int i = 0; i < 10; ++i) db.Execute(*ctx, txn);
+    db.DeregisterThread(ctx);
+    db.WaitForCommit(db.RequestCommit());
+  }
+  // Append a torn record: a size prefix promising more bytes than exist.
+  {
+    File f;
+    ASSERT_TRUE(File::Open(dir + "/wal.log", /*create=*/false, &f).ok());
+    const uint32_t bogus_size = 1 << 20;
+    ASSERT_TRUE(
+        f.WriteAt(f.Size(), &bogus_size, sizeof(bogus_size)).ok());
+  }
+  txdb::TransactionalDb db(TxdbOpts(txdb::DurabilityMode::kWal, dir));
+  const uint32_t t = db.CreateTable(8, 8);
+  ASSERT_TRUE(db.Recover().ok());
+  int64_t value;
+  std::memcpy(&value, db.table(t).live(3), sizeof(value));
+  EXPECT_EQ(value, 20);
+}
+
+// -- FASTER -------------------------------------------------------------------
+
+faster::FasterKv::Options KvOpts(const std::string& dir) {
+  faster::FasterKv::Options o;
+  o.dir = dir;
+  o.index_buckets = 1 << 10;
+  o.page_bits = 14;
+  o.memory_pages = 8;
+  o.ro_lag_pages = 2;
+  return o;
+}
+
+uint64_t MakeKvCheckpoint(const std::string& dir) {
+  faster::FasterKv kv(KvOpts(dir));
+  faster::Session* s = kv.StartSession();
+  const int64_t v = 1;
+  for (uint64_t k = 0; k < 100; ++k) kv.Upsert(*s, k, &v);
+  kv.StopSession(s);
+  uint64_t token = 0;
+  kv.Checkpoint(faster::CommitVariant::kFoldOver, true, nullptr, &token);
+  kv.WaitForCheckpoint(token);
+  return token;
+}
+
+TEST(FasterInjectionTest, GarbageLatestIsRejected) {
+  const std::string dir = FreshDir();
+  MakeKvCheckpoint(dir);
+  WriteGarbage(dir + "/LATEST", "xyzzy", 5);
+  faster::FasterKv kv(KvOpts(dir));
+  EXPECT_FALSE(kv.Recover().ok());
+}
+
+TEST(FasterInjectionTest, MissingIndexFileIsAnError) {
+  const std::string dir = FreshDir();
+  MakeKvCheckpoint(dir);
+  std::string cmd = "rm -f " + dir + "/index.*.dat";
+  (void)!system(("bash -c 'rm -f " + dir + "/index.*.dat'").c_str());
+  (void)cmd;
+  faster::FasterKv kv(KvOpts(dir));
+  EXPECT_FALSE(kv.Recover().ok());
+}
+
+TEST(FasterInjectionTest, TruncatedMetadataIsCorruption) {
+  const std::string dir = FreshDir();
+  const uint64_t token = MakeKvCheckpoint(dir);
+  WriteGarbage(dir + "/ckpt." + std::to_string(token) + ".meta", "\x01", 1);
+  faster::FasterKv kv(KvOpts(dir));
+  const Status s = kv.Recover();
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(FasterInjectionTest, StaleLatestPointsToIntactOlderCommit) {
+  const std::string dir = FreshDir();
+  uint64_t first_token = 0;
+  {
+    faster::FasterKv kv(KvOpts(dir));
+    faster::Session* s = kv.StartSession();
+    const int64_t v1 = 1;
+    for (uint64_t k = 0; k < 50; ++k) kv.Upsert(*s, k, &v1);
+    kv.Checkpoint(faster::CommitVariant::kFoldOver, true, nullptr,
+                  &first_token);
+    while (kv.CheckpointInProgress()) kv.Refresh(*s);
+    const int64_t v2 = 2;
+    for (uint64_t k = 0; k < 50; ++k) kv.Upsert(*s, k, &v2);
+    uint64_t second = 0;
+    kv.Checkpoint(faster::CommitVariant::kFoldOver, false, nullptr, &second);
+    while (kv.CheckpointInProgress()) kv.Refresh(*s);
+    kv.StopSession(s);
+  }
+  // Crash "before LATEST was published" for the second commit.
+  const std::string text = std::to_string(first_token);
+  WriteGarbage(dir + "/LATEST", text.data(), text.size());
+  faster::FasterKv kv(KvOpts(dir));
+  ASSERT_TRUE(kv.Recover().ok());
+  faster::Session* s = kv.StartSession();
+  int64_t out = 0;
+  ASSERT_EQ(kv.Read(*s, 7, &out), faster::OpStatus::kOk);
+  EXPECT_EQ(out, 1) << "must recover the first commit's value";
+  kv.StopSession(s);
+}
+
+}  // namespace
+}  // namespace cpr

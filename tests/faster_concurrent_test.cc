@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "faster/faster.h"
+#include "util/random.h"
+
+namespace cpr::faster {
+namespace {
+
+std::string FreshDir() {
+  static std::atomic<int> counter{0};
+  const char* name = ::testing::UnitTest::GetInstance()
+                         ->current_test_info()
+                         ->name();
+  std::string dir = "/tmp/cpr_fconc_" + std::string(name) + "_" +
+                    std::to_string(counter.fetch_add(1));
+  for (char& c : dir) {
+    if (c == '/') c = '_';
+  }
+  std::string cmd = "rm -rf " + dir;
+  (void)!system(cmd.c_str());
+  return dir;
+}
+
+FasterKv::Options ConcOptions(const std::string& dir) {
+  FasterKv::Options o;
+  o.dir = dir;
+  o.index_buckets = 1 << 10;
+  o.value_size = 8;
+  o.page_bits = 14;
+  o.memory_pages = 16;
+  o.ro_lag_pages = 2;
+  o.refresh_interval = 16;
+  return o;
+}
+
+int64_t ReadOrDie(FasterKv& kv, Session& s, uint64_t key, bool* found) {
+  int64_t out = 0;
+  OpStatus st = kv.Read(s, key, &out);
+  if (st == OpStatus::kPending) {
+    int64_t async_val = 0;
+    bool ok = false;
+    s.set_async_callback([&](const AsyncResult& r) {
+      if (r.kind == OpKind::kRead && r.key == key) {
+        ok = r.found;
+        if (r.found) std::memcpy(&async_val, r.value.data(), 8);
+      }
+    });
+    kv.CompletePending(s, true);
+    s.set_async_callback(nullptr);
+    *found = ok;
+    return async_val;
+  }
+  *found = st == OpStatus::kOk;
+  return out;
+}
+
+// Concurrent atomic increments on shared keys: the total must be exact
+// (tests the latch-free in-place RMW path and the RCU handoff).
+TEST(FasterConcurrentTest, RmwSumIsExactUnderContention) {
+  FasterKv kv(ConcOptions(FreshDir()));
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 20000;
+  constexpr uint64_t kKeys = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Session* s = kv.StartSession();
+      Rng rng(t + 1);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const OpStatus st = kv.Rmw(*s, rng.Uniform(kKeys), 1);
+        if (st == OpStatus::kPending) kv.CompletePending(*s, true);
+      }
+      kv.CompletePending(*s, true);
+      kv.StopSession(s);
+    });
+  }
+  for (auto& t : threads) t.join();
+  Session* s = kv.StartSession();
+  int64_t total = 0;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    bool found = false;
+    total += ReadOrDie(kv, *s, k, &found);
+  }
+  kv.StopSession(s);
+  EXPECT_EQ(total, int64_t{kThreads} * kOpsPerThread);
+}
+
+// The flagship CPR property on FASTER (paper §6): with each session
+// incrementing its own key once per operation, the recovered value of each
+// key must equal that session's reported commit point — all operations
+// before it, none after.
+class CprFasterParamTest
+    : public ::testing::TestWithParam<std::tuple<CommitVariant,
+                                                 CheckpointLocking>> {};
+
+TEST_P(CprFasterParamTest, RecoveredStateMatchesCommitPointsExactly) {
+  const std::string dir = FreshDir();
+  constexpr int kThreads = 4;
+  std::vector<uint64_t> guids(kThreads);
+  std::vector<SessionCommitPoint> points;
+  {
+    FasterKv::Options o = ConcOptions(dir);
+    o.locking = std::get<1>(GetParam());
+    FasterKv kv(o);
+    std::atomic<bool> stop{false};
+    std::atomic<bool> commit_done{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Session* s = kv.StartSession();
+        guids[t] = s->guid();
+        while (!stop.load(std::memory_order_relaxed)) {
+          const OpStatus st =
+              kv.Rmw(*s, static_cast<uint64_t>(t) + 1, 1);
+          if (st == OpStatus::kPending) kv.CompletePending(*s, true);
+        }
+        while (!commit_done.load(std::memory_order_relaxed)) kv.Refresh(*s);
+        kv.CompletePending(*s, true);
+        kv.StopSession(s);
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    uint64_t token = 0;
+    while (!kv.Checkpoint(
+        std::get<0>(GetParam()), /*include_index=*/true,
+        [&](uint64_t, const std::vector<SessionCommitPoint>& pts) {
+          points = pts;
+        },
+        &token)) {
+      std::this_thread::yield();
+    }
+    ASSERT_TRUE(kv.WaitForCheckpoint(token).ok());
+    commit_done = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    stop = true;
+    for (auto& t : threads) t.join();
+    ASSERT_EQ(points.size(), static_cast<size_t>(kThreads));
+  }
+
+  FasterKv::Options o = ConcOptions(dir);
+  o.locking = std::get<1>(GetParam());
+  FasterKv kv(o);
+  ASSERT_TRUE(kv.Recover().ok());
+  Session* s = kv.StartSession();
+  for (int t = 0; t < kThreads; ++t) {
+    uint64_t recovered_serial = 0;
+    ASSERT_TRUE(kv.ContinueSession(guids[t], &recovered_serial).ok());
+    bool found = false;
+    const int64_t value =
+        ReadOrDie(kv, *s, static_cast<uint64_t>(t) + 1, &found);
+    if (recovered_serial == 0) {
+      EXPECT_FALSE(found) << "thread " << t;
+    } else {
+      ASSERT_TRUE(found) << "thread " << t;
+      EXPECT_EQ(value, static_cast<int64_t>(recovered_serial))
+          << "thread " << t << ": CPR consistency violated";
+    }
+    // The callback-reported points and the recovered metadata must agree.
+    for (const SessionCommitPoint& p : points) {
+      if (p.guid == guids[t]) {
+        EXPECT_EQ(p.serial, recovered_serial);
+      }
+    }
+  }
+  kv.StopSession(s);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, CprFasterParamTest,
+    ::testing::Combine(::testing::Values(CommitVariant::kFoldOver,
+                                         CommitVariant::kSnapshot),
+                       ::testing::Values(CheckpointLocking::kFineGrained,
+                                         CheckpointLocking::kCoarseGrained)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param) == CommitVariant::kFoldOver
+                             ? "FoldOver"
+                             : "Snapshot";
+      name += std::get<1>(info.param) == CheckpointLocking::kFineGrained
+                  ? "Fine"
+                  : "Coarse";
+      return name;
+    });
+
+// Shared-key variant: all sessions hammer one key; the recovered sum must
+// equal the sum of the commit points (conflict-equivalence to a
+// point-in-time snapshot, the KV analogue of Theorem 1c).
+TEST(FasterConcurrentTest, SharedKeySumEqualsSumOfCommitPoints) {
+  const std::string dir = FreshDir();
+  constexpr int kThreads = 4;
+  std::vector<SessionCommitPoint> points;
+  {
+    FasterKv kv(ConcOptions(dir));
+    std::atomic<bool> stop{false};
+    std::atomic<bool> commit_done{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        Session* s = kv.StartSession();
+        while (!stop.load(std::memory_order_relaxed)) {
+          const OpStatus st = kv.Rmw(*s, 42, 1);
+          if (st == OpStatus::kPending) kv.CompletePending(*s, true);
+        }
+        while (!commit_done.load(std::memory_order_relaxed)) kv.Refresh(*s);
+        kv.CompletePending(*s, true);
+        kv.StopSession(s);
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    uint64_t token = 0;
+    while (!kv.Checkpoint(
+        CommitVariant::kFoldOver, true,
+        [&](uint64_t, const std::vector<SessionCommitPoint>& pts) {
+          points = pts;
+        },
+        &token)) {
+      std::this_thread::yield();
+    }
+    ASSERT_TRUE(kv.WaitForCheckpoint(token).ok());
+    commit_done = true;
+    stop = true;
+    for (auto& t : threads) t.join();
+  }
+  FasterKv kv(ConcOptions(dir));
+  ASSERT_TRUE(kv.Recover().ok());
+  Session* s = kv.StartSession();
+  int64_t expected = 0;
+  for (const SessionCommitPoint& p : points) {
+    expected += static_cast<int64_t>(p.serial);
+  }
+  bool found = false;
+  const int64_t value = ReadOrDie(kv, *s, 42, &found);
+  if (expected == 0) {
+    EXPECT_FALSE(found);
+  } else {
+    ASSERT_TRUE(found);
+    EXPECT_EQ(value, expected);
+  }
+  kv.StopSession(s);
+}
+
+// Durability across repeated checkpoint cycles with concurrent traffic.
+TEST(FasterConcurrentTest, RepeatedCommitsRemainConsistent) {
+  const std::string dir = FreshDir();
+  constexpr int kThreads = 2;
+  constexpr int kCommits = 4;
+  std::vector<uint64_t> guids(kThreads);
+  {
+    FasterKv kv(ConcOptions(dir));
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Session* s = kv.StartSession();
+        guids[t] = s->guid();
+        while (!stop.load(std::memory_order_relaxed)) {
+          const OpStatus st = kv.Rmw(*s, static_cast<uint64_t>(t) + 1, 1);
+          if (st == OpStatus::kPending) kv.CompletePending(*s, true);
+        }
+        kv.CompletePending(*s, true);
+        kv.StopSession(s);
+      });
+    }
+    for (int c = 0; c < kCommits; ++c) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      uint64_t token = 0;
+      const CommitVariant variant = (c % 2 == 0) ? CommitVariant::kFoldOver
+                                                 : CommitVariant::kSnapshot;
+      while (!kv.Checkpoint(variant, c == 0, nullptr, &token)) {
+        std::this_thread::yield();
+      }
+      ASSERT_TRUE(kv.WaitForCheckpoint(token).ok());
+    }
+    stop = true;
+    for (auto& t : threads) t.join();
+  }
+  FasterKv kv(ConcOptions(dir));
+  ASSERT_TRUE(kv.Recover().ok());
+  Session* s = kv.StartSession();
+  for (int t = 0; t < kThreads; ++t) {
+    uint64_t serial = 0;
+    ASSERT_TRUE(kv.ContinueSession(guids[t], &serial).ok());
+    bool found = false;
+    const int64_t value =
+        ReadOrDie(kv, *s, static_cast<uint64_t>(t) + 1, &found);
+    if (serial > 0) {
+      ASSERT_TRUE(found);
+      EXPECT_EQ(value, static_cast<int64_t>(serial));
+    }
+  }
+  kv.StopSession(s);
+}
+
+}  // namespace
+}  // namespace cpr::faster

@@ -1,0 +1,154 @@
+#include "faster/hash_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace cpr::faster {
+namespace {
+
+TEST(EntryWordTest, PackUnpackRoundTrip) {
+  const Address addr = 0x0000ABCDEF123456ull;
+  const uint64_t tag = 0x2ABC;
+  const uint64_t w = EntryWord::Make(addr, tag, false);
+  EXPECT_EQ(EntryWord::AddressOf(w), addr);
+  EXPECT_EQ(EntryWord::TagOf(w), tag);
+  EXPECT_FALSE(EntryWord::Tentative(w));
+  EXPECT_TRUE(EntryWord::Occupied(w));
+  const uint64_t t = EntryWord::Make(addr, tag, true);
+  EXPECT_TRUE(EntryWord::Tentative(t));
+}
+
+TEST(HashIndexTest, FindMissingReturnsNull) {
+  HashIndex index(256);
+  EXPECT_EQ(index.FindEntry(Hash64(42)), nullptr);
+}
+
+TEST(HashIndexTest, CreateThenFindSameEntry) {
+  HashIndex index(256);
+  const uint64_t h = Hash64(42);
+  std::atomic<uint64_t>* created = index.FindOrCreateEntry(h);
+  ASSERT_NE(created, nullptr);
+  EXPECT_EQ(index.FindEntry(h), created);
+  EXPECT_EQ(index.FindOrCreateEntry(h), created);
+}
+
+TEST(HashIndexTest, EntryStoresAddressUpdates) {
+  HashIndex index(256);
+  const uint64_t h = Hash64(7);
+  std::atomic<uint64_t>* e = index.FindOrCreateEntry(h);
+  const uint64_t tag = EntryWord::TagOf(e->load());
+  e->store(EntryWord::Make(0x1000, tag, false));
+  EXPECT_EQ(EntryWord::AddressOf(index.FindEntry(h)->load()), 0x1000u);
+}
+
+TEST(HashIndexTest, BucketRoundsUpToPowerOfTwo) {
+  HashIndex index(1000);
+  EXPECT_EQ(index.num_buckets(), 1024u);
+}
+
+TEST(HashIndexTest, OverflowChainsBeyondSevenEntries) {
+  // A tiny index (1 bucket) forces everything into one chain.
+  HashIndex index(1);
+  std::map<uint64_t, std::atomic<uint64_t>*> by_tag;
+  for (uint64_t k = 0; by_tag.size() < 20 && k < 100000; ++k) {
+    const uint64_t h = Hash64(k);
+    const uint64_t tag = (h >> 48) & EntryWord::kTagMask;
+    if (by_tag.count(tag) != 0) continue;
+    std::atomic<uint64_t>* e = index.FindOrCreateEntry(h);
+    ASSERT_NE(e, nullptr);
+    ASSERT_EQ(index.FindEntry(h), e);
+    by_tag[tag] = e;
+  }
+  ASSERT_GE(by_tag.size(), 20u);
+  EXPECT_GT(index.overflow_in_use(), 0u);
+  std::vector<std::atomic<uint64_t>*> uniq;
+  for (auto& [tag, e] : by_tag) uniq.push_back(e);
+  std::sort(uniq.begin(), uniq.end());
+  EXPECT_EQ(std::adjacent_find(uniq.begin(), uniq.end()), uniq.end());
+}
+
+TEST(HashIndexTest, ConcurrentFindOrCreateNoDuplicates) {
+  HashIndex index(64);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kKeys = 512;
+  std::vector<std::vector<std::atomic<uint64_t>*>> results(
+      kThreads, std::vector<std::atomic<uint64_t>*>(kKeys));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t k = 0; k < kKeys; ++k) {
+        results[t][k] = index.FindOrCreateEntry(Hash64(k));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Every thread must resolve each key's hash to the same entry: the
+  // tentative two-phase insert forbids duplicate (bucket, tag) entries.
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(results[t][k], results[0][k]) << "key " << k;
+    }
+  }
+}
+
+TEST(HashIndexTest, FuzzyCopyLoadRoundTrip) {
+  HashIndex a(128);
+  for (uint64_t k = 0; k < 200; ++k) {
+    std::atomic<uint64_t>* e = a.FindOrCreateEntry(Hash64(k));
+    const uint64_t tag = EntryWord::TagOf(e->load());
+    e->store(EntryWord::Make(k + 1, tag, false));
+  }
+  std::vector<char> image;
+  a.FuzzyCopy(&image);
+  EXPECT_EQ(image.size(), a.SerializedSize());
+
+  HashIndex b(128);
+  ASSERT_TRUE(
+      b.LoadFrom(image.data(), image.size(), a.overflow_in_use()).ok());
+  for (uint64_t k = 0; k < 200; ++k) {
+    std::atomic<uint64_t>* e = b.FindEntry(Hash64(k));
+    ASSERT_NE(e, nullptr) << "key " << k;
+    EXPECT_EQ(EntryWord::AddressOf(e->load()), k + 1);
+  }
+}
+
+TEST(HashIndexTest, LoadFromRejectsSizeMismatch) {
+  HashIndex index(128);
+  std::vector<char> junk(10);
+  EXPECT_FALSE(index.LoadFrom(junk.data(), junk.size(), 0).ok());
+}
+
+TEST(HashIndexTest, ClearRemovesEverything) {
+  HashIndex index(64);
+  for (uint64_t k = 0; k < 50; ++k) index.FindOrCreateEntry(Hash64(k));
+  index.Clear();
+  for (uint64_t k = 0; k < 50; ++k) {
+    EXPECT_EQ(index.FindEntry(Hash64(k)), nullptr);
+  }
+  EXPECT_EQ(index.overflow_in_use(), 0u);
+}
+
+TEST(HashIndexTest, FuzzyCopyStripsTentativeBits) {
+  HashIndex a(8);
+  std::atomic<uint64_t>* e = a.FindOrCreateEntry(Hash64(1));
+  const uint64_t tag = EntryWord::TagOf(e->load());
+  // Simulate an in-flight tentative insert.
+  e->store(EntryWord::Make(5, tag, /*tentative=*/true));
+  std::vector<char> image;
+  a.FuzzyCopy(&image);
+  HashIndex b(8);
+  ASSERT_TRUE(
+      b.LoadFrom(image.data(), image.size(), a.overflow_in_use()).ok());
+  EXPECT_EQ(b.FindEntry(Hash64(1)), nullptr);
+}
+
+}  // namespace
+}  // namespace cpr::faster

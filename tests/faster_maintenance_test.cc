@@ -1,0 +1,289 @@
+// Log maintenance: truncation (ShiftBeginAddress / TruncateLogUntil) and the
+// ScanLog iteration API.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+
+#include "faster/faster.h"
+
+namespace cpr::faster {
+namespace {
+
+std::string FreshDir() {
+  static std::atomic<int> counter{0};
+  const char* name = ::testing::UnitTest::GetInstance()
+                         ->current_test_info()
+                         ->name();
+  std::string dir = "/tmp/cpr_fmaint_" + std::string(name) + "_" +
+                    std::to_string(counter.fetch_add(1));
+  std::string cmd = "rm -rf " + dir;
+  (void)!system(cmd.c_str());
+  return dir;
+}
+
+FasterKv::Options SmallOptions(const std::string& dir) {
+  FasterKv::Options o;
+  o.dir = dir;
+  o.index_buckets = 1 << 10;
+  o.value_size = 8;
+  o.page_bits = 12;  // 4 KiB pages: eviction kicks in fast
+  o.memory_pages = 6;
+  o.ro_lag_pages = 2;
+  return o;
+}
+
+TEST(ScanLogTest, VisitsEveryLiveRecordOnce) {
+  FasterKv kv(SmallOptions(FreshDir()));
+  Session* s = kv.StartSession();
+  constexpr uint64_t kKeys = 200;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    const int64_t v = static_cast<int64_t>(k);
+    ASSERT_EQ(kv.Upsert(*s, k, &v), OpStatus::kOk);
+  }
+  std::map<uint64_t, int> seen;
+  ASSERT_TRUE(kv.ScanLog([&](Address, const Record& rec, const char* value) {
+                 int64_t v;
+                 std::memcpy(&v, value, sizeof(v));
+                 EXPECT_EQ(v, static_cast<int64_t>(rec.key));
+                 seen[rec.key]++;
+                 return true;
+               }).ok());
+  EXPECT_EQ(seen.size(), kKeys);
+  for (auto& [k, count] : seen) EXPECT_EQ(count, 1) << k;
+  kv.StopSession(s);
+}
+
+TEST(ScanLogTest, SeesSupersededVersionsInLogOrder) {
+  FasterKv::Options o = SmallOptions(FreshDir());
+  o.memory_pages = 8;
+  FasterKv kv(o);
+  Session* s = kv.StartSession();
+  const int64_t v1 = 1;
+  ASSERT_EQ(kv.Upsert(*s, 42, &v1), OpStatus::kOk);
+  // Force a read-copy-update by making the record immutable first.
+  kv.hlog().ShiftReadOnlyToTail();
+  kv.Refresh(*s);
+  const int64_t v2 = 2;
+  ASSERT_EQ(kv.Upsert(*s, 42, &v2), OpStatus::kOk);
+  std::vector<int64_t> versions;
+  ASSERT_TRUE(kv.ScanLog([&](Address, const Record& rec, const char* value) {
+                 if (rec.key == 42) {
+                   int64_t v;
+                   std::memcpy(&v, value, sizeof(v));
+                   versions.push_back(v);
+                 }
+                 return true;
+               }).ok());
+  ASSERT_EQ(versions.size(), 2u);
+  EXPECT_EQ(versions[0], 1);
+  EXPECT_EQ(versions[1], 2);
+  kv.StopSession(s);
+}
+
+TEST(ScanLogTest, EarlyStopRespected) {
+  FasterKv kv(SmallOptions(FreshDir()));
+  Session* s = kv.StartSession();
+  for (uint64_t k = 0; k < 100; ++k) {
+    const int64_t v = 0;
+    kv.Upsert(*s, k, &v);
+  }
+  int visited = 0;
+  ASSERT_TRUE(kv.ScanLog([&](Address, const Record&, const char*) {
+                 return ++visited < 10;
+               }).ok());
+  EXPECT_EQ(visited, 10);
+  kv.StopSession(s);
+}
+
+TEST(TruncateTest, CannotTruncateInMemoryRegion) {
+  FasterKv kv(SmallOptions(FreshDir()));
+  Session* s = kv.StartSession();
+  const int64_t v = 1;
+  kv.Upsert(*s, 1, &v);
+  // Everything is in memory: head == begin; only begin itself is allowed.
+  EXPECT_FALSE(kv.TruncateLogUntil(kv.hlog().tail()).ok());
+  kv.StopSession(s);
+}
+
+TEST(TruncateTest, TruncatedKeysReadAsAbsent) {
+  FasterKv kv(SmallOptions(FreshDir()));
+  Session* s = kv.StartSession();
+  // Fill several pages so early records are evicted to disk.
+  constexpr uint64_t kKeys = 3000;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    const int64_t v = static_cast<int64_t>(k);
+    ASSERT_EQ(kv.Upsert(*s, k, &v), OpStatus::kOk);
+  }
+  const Address head = kv.hlog().head();
+  ASSERT_GT(head, kv.hlog().begin_address()) << "need disk-resident data";
+  ASSERT_TRUE(kv.TruncateLogUntil(head).ok());
+  EXPECT_EQ(kv.hlog().begin_address(), head);
+
+  // Early keys whose only record was below the watermark are gone — and
+  // must be reported absent WITHOUT issuing disk reads.
+  int64_t out = 0;
+  EXPECT_EQ(kv.Read(*s, 0, &out), OpStatus::kNotFound);
+  EXPECT_EQ(kv.Read(*s, 1, &out), OpStatus::kNotFound);
+  // Recent keys (in memory) still read fine.
+  EXPECT_EQ(kv.Read(*s, kKeys - 1, &out), OpStatus::kOk);
+  EXPECT_EQ(out, static_cast<int64_t>(kKeys - 1));
+  // A truncated key can be re-inserted.
+  const int64_t fresh = 777;
+  EXPECT_EQ(kv.Upsert(*s, 0, &fresh), OpStatus::kOk);
+  EXPECT_EQ(kv.Read(*s, 0, &out), OpStatus::kOk);
+  EXPECT_EQ(out, 777);
+  kv.StopSession(s);
+}
+
+TEST(TruncateTest, WatermarkSurvivesCheckpointAndRecovery) {
+  const std::string dir = FreshDir();
+  Address watermark = 0;
+  {
+    FasterKv kv(SmallOptions(dir));
+    Session* s = kv.StartSession();
+    for (uint64_t k = 0; k < 3000; ++k) {
+      const int64_t v = static_cast<int64_t>(k);
+      ASSERT_EQ(kv.Upsert(*s, k, &v), OpStatus::kOk);
+    }
+    watermark = kv.hlog().head();
+    ASSERT_GT(watermark, kv.hlog().begin_address());
+    ASSERT_TRUE(kv.TruncateLogUntil(watermark).ok());
+    ASSERT_TRUE(kv.Checkpoint(CommitVariant::kFoldOver, true));
+    while (kv.CheckpointInProgress()) kv.Refresh(*s);
+    kv.StopSession(s);
+  }
+  FasterKv kv(SmallOptions(dir));
+  ASSERT_TRUE(kv.Recover().ok());
+  EXPECT_EQ(kv.hlog().begin_address(), watermark);
+  Session* s = kv.StartSession();
+  int64_t out = 0;
+  EXPECT_EQ(kv.Read(*s, 0, &out), OpStatus::kNotFound);
+  kv.StopSession(s);
+}
+
+TEST(ScanLogTest, TruncationShrinksTheScan) {
+  FasterKv kv(SmallOptions(FreshDir()));
+  Session* s = kv.StartSession();
+  for (uint64_t k = 0; k < 3000; ++k) {
+    const int64_t v = 0;
+    ASSERT_EQ(kv.Upsert(*s, k, &v), OpStatus::kOk);
+  }
+  size_t before = 0;
+  ASSERT_TRUE(kv.ScanLog([&](Address, const Record&, const char*) {
+                 ++before;
+                 return true;
+               }).ok());
+  ASSERT_TRUE(kv.TruncateLogUntil(kv.hlog().head()).ok());
+  size_t after = 0;
+  ASSERT_TRUE(kv.ScanLog([&](Address, const Record&, const char*) {
+                 ++after;
+                 return true;
+               }).ok());
+  EXPECT_LT(after, before);
+  kv.StopSession(s);
+}
+
+TEST(CompactTest, PreservesAllLiveDataAndShrinksLog) {
+  FasterKv kv(SmallOptions(FreshDir()));
+  Session* s = kv.StartSession();
+  constexpr uint64_t kKeys = 500;
+  // Three generations of updates; folding the log over between generations
+  // forces read-copy-updates, leaving dead versions on disk.
+  for (int gen = 1; gen <= 3; ++gen) {
+    for (uint64_t k = 0; k < kKeys; ++k) {
+      const int64_t v = static_cast<int64_t>(gen * 1000 + k);
+      ASSERT_EQ(kv.Upsert(*s, k, &v), OpStatus::kOk);
+    }
+    kv.hlog().ShiftReadOnlyToTail();
+    kv.Refresh(*s);
+  }
+  // Delete a band of keys.
+  for (uint64_t k = 100; k < 150; ++k) ASSERT_EQ(kv.Delete(*s, k), OpStatus::kOk);
+
+  const Address until = kv.hlog().head();
+  ASSERT_GT(until, kv.hlog().begin_address());
+  uint64_t relocated = 0;
+  ASSERT_TRUE(kv.CompactLog(*s, until, &relocated).ok());
+  EXPECT_EQ(kv.hlog().begin_address(), until);
+
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    int64_t out = 0;
+    OpStatus st = kv.Read(*s, k, &out);
+    if (st == OpStatus::kPending) {
+      bool found = false;
+      int64_t async_val = 0;
+      s->set_async_callback([&](const AsyncResult& r) {
+        found = r.found;
+        if (r.found) std::memcpy(&async_val, r.value.data(), 8);
+      });
+      kv.CompletePending(*s, true);
+      s->set_async_callback(nullptr);
+      st = found ? OpStatus::kOk : OpStatus::kNotFound;
+      out = async_val;
+    }
+    if (k >= 100 && k < 150) {
+      EXPECT_EQ(st, OpStatus::kNotFound) << "deleted key " << k;
+    } else {
+      ASSERT_EQ(st, OpStatus::kOk) << k;
+      EXPECT_EQ(out, static_cast<int64_t>(3000 + k)) << k;
+    }
+  }
+  kv.StopSession(s);
+}
+
+TEST(CompactTest, CompactedStoreCheckpointsAndRecovers) {
+  const std::string dir = FreshDir();
+  {
+    FasterKv kv(SmallOptions(dir));
+    Session* s = kv.StartSession();
+    for (int gen = 1; gen <= 3; ++gen) {
+      for (uint64_t k = 0; k < 400; ++k) {
+        const int64_t v = static_cast<int64_t>(gen * 10 + 1);
+        ASSERT_EQ(kv.Upsert(*s, k, &v), OpStatus::kOk);
+      }
+      kv.hlog().ShiftReadOnlyToTail();
+      kv.Refresh(*s);
+    }
+    ASSERT_TRUE(kv.CompactLog(*s, kv.hlog().head(), nullptr).ok());
+    ASSERT_TRUE(kv.Checkpoint(CommitVariant::kFoldOver, true));
+    while (kv.CheckpointInProgress()) kv.Refresh(*s);
+    kv.StopSession(s);
+  }
+  FasterKv kv(SmallOptions(dir));
+  ASSERT_TRUE(kv.Recover().ok());
+  Session* s = kv.StartSession();
+  for (uint64_t k = 0; k < 400; k += 37) {
+    int64_t out = 0;
+    OpStatus st = kv.Read(*s, k, &out);
+    if (st == OpStatus::kPending) {
+      bool found = false;
+      s->set_async_callback([&](const AsyncResult& r) {
+        found = r.found;
+        if (r.found) std::memcpy(&out, r.value.data(), 8);
+      });
+      kv.CompletePending(*s, true);
+      s->set_async_callback(nullptr);
+      ASSERT_TRUE(found) << k;
+    } else {
+      ASSERT_EQ(st, OpStatus::kOk) << k;
+    }
+    EXPECT_EQ(out, 31) << k;
+  }
+  kv.StopSession(s);
+}
+
+TEST(CompactTest, RejectsInMemoryRegion) {
+  FasterKv kv(SmallOptions(FreshDir()));
+  Session* s = kv.StartSession();
+  const int64_t v = 1;
+  kv.Upsert(*s, 1, &v);
+  EXPECT_FALSE(kv.CompactLog(*s, kv.hlog().tail(), nullptr).ok());
+  kv.StopSession(s);
+}
+
+}  // namespace
+}  // namespace cpr::faster

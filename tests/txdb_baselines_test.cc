@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "txdb/db.h"
+
+namespace cpr::txdb {
+namespace {
+
+std::string FreshDir() {
+  static std::atomic<int> counter{0};
+  const char* name = ::testing::UnitTest::GetInstance()
+                         ->current_test_info()
+                         ->name();
+  std::string dir = "/tmp/cpr_txdb_base_" + std::string(name) + "_" +
+                    std::to_string(counter.fetch_add(1));
+  std::string cmd = "rm -rf " + dir;
+  (void)!system(cmd.c_str());
+  return dir;
+}
+
+TransactionalDb::Options ModeOptions(DurabilityMode mode,
+                                     const std::string& dir) {
+  TransactionalDb::Options o;
+  o.mode = mode;
+  o.durability_dir = dir;
+  o.wal_flush_interval_ms = 2;
+  return o;
+}
+
+int64_t RowValue(Table& t, uint64_t row) {
+  int64_t v;
+  std::memcpy(&v, t.live(row), sizeof(v));
+  return v;
+}
+
+// -- CALC -------------------------------------------------------------------
+
+TEST(CalcTest, QuiescedCommitRecoversExactState) {
+  const std::string dir = FreshDir();
+  {
+    TransactionalDb db(ModeOptions(DurabilityMode::kCalc, dir));
+    const uint32_t t = db.CreateTable(32, 8);
+    ThreadContext* ctx = db.RegisterThread();
+    Transaction txn;
+    for (uint64_t row = 0; row < 32; ++row) {
+      txn.ops.clear();
+      txn.ops.push_back(
+          TxnOp{t, OpType::kAdd, row, nullptr, static_cast<int64_t>(row)});
+      ASSERT_EQ(db.Execute(*ctx, txn), TxnResult::kCommitted);
+    }
+    const uint64_t v = db.RequestCommit();
+    ASSERT_EQ(v, 1u);
+    db.WaitForCommit(v);
+    db.DeregisterThread(ctx);
+  }
+  TransactionalDb db(ModeOptions(DurabilityMode::kCalc, dir));
+  const uint32_t t = db.CreateTable(32, 8);
+  ASSERT_TRUE(db.Recover().ok());
+  for (uint64_t row = 0; row < 32; ++row) {
+    EXPECT_EQ(RowValue(db.table(t), row), static_cast<int64_t>(row));
+  }
+}
+
+TEST(CalcTest, EveryTransactionAppendsToCommitLog) {
+  const std::string dir = FreshDir();
+  TransactionalDb db(ModeOptions(DurabilityMode::kCalc, dir));
+  const uint32_t t = db.CreateTable(8, 8);
+  ThreadContext* ctx = db.RegisterThread();
+  Transaction read_only;
+  read_only.ops.push_back(TxnOp{t, OpType::kRead, 0, nullptr, 0});
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(db.Execute(*ctx, read_only), TxnResult::kCommitted);
+  }
+  // Read-only transactions still paid the commit-log append (the measured
+  // CALC bottleneck): tail-contention time accrued.
+  EXPECT_GT(ctx->counters.tail_contention_ns, 0u);
+  db.DeregisterThread(ctx);
+}
+
+TEST(CalcTest, ConcurrentCommitGivesConsistentPoint) {
+  const std::string dir = FreshDir();
+  constexpr int kThreads = 4;
+  int64_t final_total = 0;
+  {
+    TransactionalDb db(ModeOptions(DurabilityMode::kCalc, dir));
+    const uint32_t t = db.CreateTable(1, 8);
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&] {
+        ThreadContext* ctx = db.RegisterThread();
+        Transaction txn;
+        txn.ops.push_back(TxnOp{t, OpType::kAdd, 0, nullptr, 1});
+        int n = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          db.Execute(*ctx, txn);
+          if (++n % 16 == 0) db.Refresh(*ctx);
+        }
+        db.DeregisterThread(ctx);
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    uint64_t v = 0;
+    while ((v = db.RequestCommit()) == 0) std::this_thread::yield();
+    db.WaitForCommit(v);
+    stop = true;
+    for (auto& w : workers) w.join();
+    final_total = RowValue(db.table(t), 0);
+  }
+  TransactionalDb db(ModeOptions(DurabilityMode::kCalc, dir));
+  const uint32_t t = db.CreateTable(1, 8);
+  ASSERT_TRUE(db.Recover().ok());
+  const int64_t recovered = RowValue(db.table(t), 0);
+  // The checkpoint is a consistent prefix: some count between 0 and the
+  // final total, and — since each transaction is a whole increment — exact.
+  EXPECT_GE(recovered, 0);
+  EXPECT_LE(recovered, final_total);
+}
+
+// -- WAL ---------------------------------------------------------------------
+
+TEST(WalTest, ReplayRecoversAllFlushedWrites) {
+  const std::string dir = FreshDir();
+  {
+    TransactionalDb db(ModeOptions(DurabilityMode::kWal, dir));
+    const uint32_t t = db.CreateTable(16, 8);
+    ThreadContext* ctx = db.RegisterThread();
+    Transaction txn;
+    for (uint64_t row = 0; row < 16; ++row) {
+      txn.ops.clear();
+      txn.ops.push_back(
+          TxnOp{t, OpType::kAdd, row, nullptr, static_cast<int64_t>(row + 1)});
+      ASSERT_EQ(db.Execute(*ctx, txn), TxnResult::kCommitted);
+    }
+    const uint64_t seq = db.RequestCommit();  // force a group-commit flush
+    db.WaitForCommit(seq);
+    db.DeregisterThread(ctx);
+  }
+  TransactionalDb db(ModeOptions(DurabilityMode::kWal, dir));
+  const uint32_t t = db.CreateTable(16, 8);
+  std::vector<CommitPoint> points;
+  ASSERT_TRUE(db.Recover(&points).ok());
+  for (uint64_t row = 0; row < 16; ++row) {
+    EXPECT_EQ(RowValue(db.table(t), row), static_cast<int64_t>(row + 1));
+  }
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].serial, 16u);
+}
+
+TEST(WalTest, ReadOnlyTransactionsProduceNoLogRecords) {
+  const std::string dir = FreshDir();
+  TransactionalDb db(ModeOptions(DurabilityMode::kWal, dir));
+  const uint32_t t = db.CreateTable(8, 8);
+  ThreadContext* ctx = db.RegisterThread();
+  Transaction read_only;
+  read_only.ops.push_back(TxnOp{t, OpType::kRead, 0, nullptr, 0});
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(db.Execute(*ctx, read_only), TxnResult::kCommitted);
+  }
+  EXPECT_EQ(ctx->counters.log_write_ns, 0u);
+  EXPECT_EQ(ctx->counters.tail_contention_ns, 0u);
+  db.DeregisterThread(ctx);
+}
+
+TEST(WalTest, MultiTableReplay) {
+  const std::string dir = FreshDir();
+  {
+    TransactionalDb db(ModeOptions(DurabilityMode::kWal, dir));
+    const uint32_t a = db.CreateTable(4, 8);
+    const uint32_t b = db.CreateTable(4, 32);
+    ThreadContext* ctx = db.RegisterThread();
+    std::vector<char> wide(32, 7);
+    Transaction txn;
+    txn.ops.push_back(TxnOp{a, OpType::kAdd, 2, nullptr, 11});
+    txn.ops.push_back(TxnOp{b, OpType::kWrite, 3, wide.data(), 0});
+    ASSERT_EQ(db.Execute(*ctx, txn), TxnResult::kCommitted);
+    db.WaitForCommit(db.RequestCommit());
+    db.DeregisterThread(ctx);
+  }
+  TransactionalDb db(ModeOptions(DurabilityMode::kWal, dir));
+  const uint32_t a = db.CreateTable(4, 8);
+  const uint32_t b = db.CreateTable(4, 32);
+  ASSERT_TRUE(db.Recover().ok());
+  EXPECT_EQ(RowValue(db.table(a), 2), 11);
+  std::vector<char> expect(32, 7);
+  EXPECT_EQ(std::memcmp(db.table(b).live(3), expect.data(), 32), 0);
+}
+
+TEST(WalTest, RingWrapAroundPreservesRecords) {
+  const std::string dir = FreshDir();
+  const int kTxns = 3000;
+  {
+    TransactionalDb::Options o = ModeOptions(DurabilityMode::kWal, dir);
+    o.wal_buffer_bytes = 1 << 12;  // 4 KiB: forces many wraparounds
+    TransactionalDb db(o);
+    const uint32_t t = db.CreateTable(4, 8);
+    ThreadContext* ctx = db.RegisterThread();
+    Transaction txn;
+    txn.ops.push_back(TxnOp{t, OpType::kAdd, 1, nullptr, 1});
+    for (int i = 0; i < kTxns; ++i) {
+      ASSERT_EQ(db.Execute(*ctx, txn), TxnResult::kCommitted);
+    }
+    db.WaitForCommit(db.RequestCommit());
+    db.DeregisterThread(ctx);
+  }
+  TransactionalDb db(ModeOptions(DurabilityMode::kWal, dir));
+  const uint32_t t = db.CreateTable(4, 8);
+  ASSERT_TRUE(db.Recover().ok());
+  EXPECT_EQ(RowValue(db.table(t), 1), kTxns);
+}
+
+TEST(WalTest, ConcurrentWritersAllReplayed) {
+  const std::string dir = FreshDir();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  {
+    TransactionalDb db(ModeOptions(DurabilityMode::kWal, dir));
+    const uint32_t t = db.CreateTable(kThreads, 8);
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&, w] {
+        ThreadContext* ctx = db.RegisterThread();
+        Transaction txn;
+        txn.ops.push_back(
+            TxnOp{t, OpType::kAdd, static_cast<uint64_t>(w), nullptr, 1});
+        for (int i = 0; i < kPerThread; ++i) db.Execute(*ctx, txn);
+        db.DeregisterThread(ctx);
+      });
+    }
+    for (auto& w : workers) w.join();
+    db.WaitForCommit(db.RequestCommit());
+  }
+  TransactionalDb db(ModeOptions(DurabilityMode::kWal, dir));
+  const uint32_t t = db.CreateTable(kThreads, 8);
+  ASSERT_TRUE(db.Recover().ok());
+  for (int w = 0; w < kThreads; ++w) {
+    EXPECT_EQ(RowValue(db.table(t), w), kPerThread);
+  }
+}
+
+// -- Cross-engine equivalence -------------------------------------------------
+
+class AllEnginesTest : public ::testing::TestWithParam<DurabilityMode> {};
+
+TEST_P(AllEnginesTest, QuiescedCommitRecoversIdenticalState) {
+  const std::string dir = FreshDir();
+  constexpr uint64_t kRows = 40;
+  {
+    TransactionalDb db(ModeOptions(GetParam(), dir));
+    const uint32_t t = db.CreateTable(kRows, 8);
+    ThreadContext* ctx = db.RegisterThread();
+    Transaction txn;
+    for (int round = 0; round < 3; ++round) {
+      for (uint64_t row = 0; row < kRows; ++row) {
+        txn.ops.clear();
+        txn.ops.push_back(TxnOp{t, OpType::kAdd, row, nullptr,
+                                static_cast<int64_t>(row + round)});
+        ASSERT_EQ(db.Execute(*ctx, txn), TxnResult::kCommitted);
+      }
+    }
+    db.DeregisterThread(ctx);
+    const uint64_t v = db.RequestCommit();
+    ASSERT_NE(v, 0u);
+    db.WaitForCommit(v);
+  }
+  TransactionalDb db(ModeOptions(GetParam(), dir));
+  const uint32_t t = db.CreateTable(kRows, 8);
+  ASSERT_TRUE(db.Recover().ok());
+  for (uint64_t row = 0; row < kRows; ++row) {
+    EXPECT_EQ(RowValue(db.table(t), row), static_cast<int64_t>(3 * row + 3));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, AllEnginesTest,
+                         ::testing::Values(DurabilityMode::kCpr,
+                                           DurabilityMode::kCalc,
+                                           DurabilityMode::kWal));
+
+}  // namespace
+}  // namespace cpr::txdb

@@ -1,0 +1,202 @@
+// Incremental (delta) CPR checkpoints: captures only rows dirtied since the
+// previous commit, with periodic full captures bounding the chain (§4.1's
+// commit-size optimization).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/file.h"
+#include "txdb/checkpoint_io.h"
+#include "txdb/db.h"
+#include "util/random.h"
+
+namespace cpr::txdb {
+namespace {
+
+std::string FreshDir() {
+  static std::atomic<int> counter{0};
+  const char* name = ::testing::UnitTest::GetInstance()
+                         ->current_test_info()
+                         ->name();
+  std::string dir = "/tmp/cpr_txinc_" + std::string(name) + "_" +
+                    std::to_string(counter.fetch_add(1));
+  std::string cmd = "rm -rf " + dir;
+  (void)!system(cmd.c_str());
+  return dir;
+}
+
+TransactionalDb::Options IncOptions(const std::string& dir) {
+  TransactionalDb::Options o;
+  o.mode = DurabilityMode::kCpr;
+  o.durability_dir = dir;
+  o.incremental_checkpoints = true;
+  o.full_checkpoint_every = 4;
+  return o;
+}
+
+int64_t RowValue(Table& t, uint64_t row) {
+  int64_t v;
+  std::memcpy(&v, t.live(row), sizeof(v));
+  return v;
+}
+
+void AddTo(TransactionalDb& db, ThreadContext& ctx, uint32_t table,
+           uint64_t row, int64_t delta) {
+  Transaction txn;
+  txn.ops.push_back(TxnOp{table, OpType::kAdd, row, nullptr, delta});
+  ASSERT_EQ(db.Execute(ctx, txn), TxnResult::kCommitted);
+}
+
+TEST(IncrementalCheckpointTest, FirstCommitIsFullLaterAreDeltas) {
+  const std::string dir = FreshDir();
+  TransactionalDb db(IncOptions(dir));
+  const uint32_t t = db.CreateTable(100, 8);
+  ThreadContext* ctx = db.RegisterThread();
+  AddTo(db, *ctx, t, 5, 1);
+  db.DeregisterThread(ctx);
+  db.WaitForCommit(db.RequestCommit());  // v1: full
+  db.WaitForCommit(db.RequestCommit());  // v2: delta (nothing dirty)
+
+  CheckpointMeta m1, m2;
+  std::vector<char> d1, d2;
+  ASSERT_TRUE(ReadCheckpointAt(dir, 1, &m1, &d1).ok());
+  ASSERT_TRUE(ReadCheckpointAt(dir, 2, &m2, &d2).ok());
+  EXPECT_FALSE(m1.is_delta);
+  EXPECT_EQ(d1.size(), 100u * 8u);
+  EXPECT_TRUE(m2.is_delta);
+  EXPECT_EQ(d2.size(), 0u) << "no rows dirtied between v1 and v2";
+}
+
+TEST(IncrementalCheckpointTest, DeltaContainsOnlyDirtiedRows) {
+  const std::string dir = FreshDir();
+  TransactionalDb db(IncOptions(dir));
+  const uint32_t t = db.CreateTable(100, 8);
+  {
+    ThreadContext* ctx = db.RegisterThread();
+    AddTo(db, *ctx, t, 1, 10);
+    db.DeregisterThread(ctx);
+  }
+  db.WaitForCommit(db.RequestCommit());  // v1 full, clears dirt
+  {
+    ThreadContext* ctx = db.RegisterThread();
+    AddTo(db, *ctx, t, 7, 70);
+    AddTo(db, *ctx, t, 9, 90);
+    db.DeregisterThread(ctx);
+  }
+  db.WaitForCommit(db.RequestCommit());  // v2 delta: rows 7 and 9 only
+  CheckpointMeta m;
+  std::vector<char> d;
+  ASSERT_TRUE(ReadCheckpointAt(dir, 2, &m, &d).ok());
+  EXPECT_TRUE(m.is_delta);
+  EXPECT_EQ(d.size(), 2 * (kDeltaEntryHeaderBytes + 8));
+}
+
+TEST(IncrementalCheckpointTest, ChainRecoveryEqualsLiveState) {
+  const std::string dir = FreshDir();
+  constexpr uint64_t kRows = 64;
+  std::vector<int64_t> expected(kRows, 0);
+  {
+    TransactionalDb db(IncOptions(dir));
+    const uint32_t t = db.CreateTable(kRows, 8);
+    Rng rng(7);
+    for (int commit = 1; commit <= 6; ++commit) {  // full at v1 & v5
+      ThreadContext* ctx = db.RegisterThread();
+      for (int i = 0; i < 20; ++i) {
+        const uint64_t row = rng.Uniform(kRows);
+        const int64_t delta = static_cast<int64_t>(rng.Uniform(100));
+        AddTo(db, *ctx, t, row, delta);
+        expected[row] += delta;
+      }
+      db.DeregisterThread(ctx);
+      db.WaitForCommit(db.RequestCommit());
+    }
+  }
+  TransactionalDb db(IncOptions(dir));
+  const uint32_t t = db.CreateTable(kRows, 8);
+  ASSERT_TRUE(db.Recover().ok());
+  for (uint64_t row = 0; row < kRows; ++row) {
+    EXPECT_EQ(RowValue(db.table(t), row), expected[row]) << "row " << row;
+  }
+}
+
+TEST(IncrementalCheckpointTest, FullCheckpointCadenceHonored) {
+  const std::string dir = FreshDir();
+  TransactionalDb db(IncOptions(dir));  // full every 4: v1, v5 full
+  db.CreateTable(16, 8);
+  for (int v = 1; v <= 5; ++v) db.WaitForCommit(db.RequestCommit());
+  for (int v = 1; v <= 5; ++v) {
+    CheckpointMeta m;
+    std::vector<char> d;
+    ASSERT_TRUE(ReadCheckpointAt(dir, v, &m, &d).ok());
+    const bool expect_full = v == 1 || v == 5;
+    EXPECT_EQ(m.is_delta, !expect_full) << "v" << v;
+  }
+}
+
+// A record updated while a commit is capturing it (version bumped to v+1)
+// must stay dirty so the NEXT commit captures the newer value.
+TEST(IncrementalCheckpointTest, BumpedRecordsStayDirtyAcrossCommits) {
+  const std::string dir = FreshDir();
+  TransactionalDb db(IncOptions(dir));
+  const uint32_t t = db.CreateTable(4, 8);
+  std::atomic<bool> stop{false};
+  std::thread worker([&] {
+    ThreadContext* ctx = db.RegisterThread();
+    Transaction txn;
+    txn.ops.push_back(TxnOp{t, OpType::kAdd, 0, nullptr, 1});
+    int n = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      db.Execute(*ctx, txn);
+      if (++n % 8 == 0) db.Refresh(*ctx);
+    }
+    while (db.CommitInProgress()) db.Refresh(*ctx);
+    db.DeregisterThread(ctx);
+  });
+  for (int c = 0; c < 3; ++c) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    uint64_t v = 0;
+    while ((v = db.RequestCommit()) == 0) std::this_thread::yield();
+    db.WaitForCommit(v);
+  }
+  stop = true;
+  worker.join();
+  const int64_t final_live = RowValue(db.table(t), 0);
+  EXPECT_GT(final_live, 0);
+
+  // Recover: the value must equal the last commit's CPR point exactly
+  // (increments of 1, one per committed txn before the point).
+  TransactionalDb db2(IncOptions(dir));
+  const uint32_t t2 = db2.CreateTable(4, 8);
+  std::vector<CommitPoint> points;
+  ASSERT_TRUE(db2.Recover(&points).ok());
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(RowValue(db2.table(t2), 0),
+            static_cast<int64_t>(points[0].serial));
+}
+
+TEST(IncrementalCheckpointTest, MissingChainLinkIsAnError) {
+  const std::string dir = FreshDir();
+  {
+    TransactionalDb db(IncOptions(dir));
+    const uint32_t t = db.CreateTable(8, 8);
+    ThreadContext* ctx = db.RegisterThread();
+    AddTo(db, *ctx, t, 0, 1);
+    db.DeregisterThread(ctx);
+    db.WaitForCommit(db.RequestCommit());  // v1 full
+    ThreadContext* ctx2 = db.RegisterThread();
+    AddTo(db, *ctx2, t, 1, 2);
+    db.DeregisterThread(ctx2);
+    db.WaitForCommit(db.RequestCommit());  // v2 delta
+  }
+  ASSERT_TRUE(RemoveFileIfExists(dir + "/v1.meta").ok());
+  TransactionalDb db(IncOptions(dir));
+  db.CreateTable(8, 8);
+  EXPECT_FALSE(db.Recover().ok());
+}
+
+}  // namespace
+}  // namespace cpr::txdb

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+
+#include "txdb/db.h"
+#include "workloads/tpcc.h"
+#include "workloads/ycsb.h"
+
+namespace cpr::workloads {
+namespace {
+
+TEST(YcsbTest, KeysInRange) {
+  YcsbConfig cfg;
+  cfg.num_keys = 1000;
+  YcsbGenerator gen(cfg, 1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(gen.NextKey(), cfg.num_keys);
+  }
+}
+
+TEST(YcsbTest, UniformDistributionCoversKeySpace) {
+  YcsbConfig cfg;
+  cfg.num_keys = 100;
+  cfg.distribution = KeyDistribution::kUniform;
+  YcsbGenerator gen(cfg, 2);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(gen.NextKey());
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(YcsbTest, ReadFractionMatchesConfig) {
+  YcsbConfig cfg;
+  cfg.read_pct = 90;
+  YcsbGenerator gen(cfg, 3);
+  int reads = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) reads += gen.NextIsRead() ? 1 : 0;
+  EXPECT_NEAR(reads, kDraws * 0.9, kDraws * 0.02);
+}
+
+TEST(YcsbTest, ZipfianSkewConcentratesOnHotKeys) {
+  YcsbConfig cfg;
+  cfg.num_keys = 10000;
+  cfg.theta = 0.99;
+  YcsbGenerator gen(cfg, 4);
+  std::map<uint64_t, int> counts;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) counts[gen.NextKey()]++;
+  int max_count = 0;
+  for (auto& [k, c] : counts) max_count = std::max(max_count, c);
+  // The hottest key should take a few percent of all draws at theta=0.99.
+  EXPECT_GT(max_count, kDraws / 100);
+  // And the scrambling should spread hot keys (not all at id 0..10).
+  EXPECT_GT(counts.size(), 1000u);
+}
+
+TEST(YcsbTest, FillTransactionShapesOps) {
+  YcsbConfig cfg;
+  cfg.num_keys = 50;
+  cfg.txn_size = 10;
+  cfg.read_pct = 50;
+  YcsbGenerator gen(cfg, 5);
+  int64_t value = 7;
+  txdb::Transaction txn;
+  gen.FillTransaction(3, &value, &txn);
+  ASSERT_EQ(txn.ops.size(), 10u);
+  for (const txdb::TxnOp& op : txn.ops) {
+    EXPECT_EQ(op.table_id, 3u);
+    EXPECT_LT(op.row, 50u);
+    if (op.type == txdb::OpType::kWrite) {
+      EXPECT_EQ(op.value, &value);
+    } else {
+      EXPECT_EQ(op.type, txdb::OpType::kRead);
+    }
+  }
+}
+
+class TpccTest : public ::testing::Test {
+ protected:
+  TpccTest() {
+    txdb::TransactionalDb::Options o;
+    o.mode = txdb::DurabilityMode::kNone;
+    db_ = std::make_unique<txdb::TransactionalDb>(o);
+    TpccConfig cfg;
+    cfg.num_warehouses = 2;
+    cfg.customers_per_district = 100;
+    cfg.items = 1000;
+    cfg.order_pool_per_district = 50;
+    tpcc_ = std::make_unique<TpccWorkload>(db_.get(), cfg);
+  }
+  std::unique_ptr<txdb::TransactionalDb> db_;
+  std::unique_ptr<TpccWorkload> tpcc_;
+};
+
+TEST_F(TpccTest, TablesCreatedWithExpectedShapes) {
+  EXPECT_EQ(db_->table(tpcc_->warehouse()).rows(), 2u);
+  EXPECT_EQ(db_->table(tpcc_->district()).rows(), 20u);
+  EXPECT_EQ(db_->table(tpcc_->customer()).rows(), 2000u);
+  EXPECT_EQ(db_->table(tpcc_->item()).rows(), 1000u);
+  EXPECT_EQ(db_->table(tpcc_->stock()).rows(), 2000u);
+}
+
+TEST_F(TpccTest, StockLoadedWithinSpecRange) {
+  txdb::Table& stock = db_->table(tpcc_->stock());
+  for (uint64_t r = 0; r < stock.rows(); ++r) {
+    int64_t qty;
+    std::memcpy(&qty, stock.live(r), sizeof(qty));
+    EXPECT_GE(qty, 10);
+    EXPECT_LE(qty, 100);
+  }
+}
+
+TEST_F(TpccTest, PaymentShape) {
+  Rng rng(1);
+  txdb::Transaction txn;
+  tpcc_->MakePayment(rng, &txn);
+  ASSERT_EQ(txn.ops.size(), 4u);
+  EXPECT_EQ(txn.ops[0].table_id, tpcc_->warehouse());
+  EXPECT_EQ(txn.ops[0].type, txdb::OpType::kAdd);
+  EXPECT_EQ(txn.ops[1].table_id, tpcc_->district());
+  EXPECT_EQ(txn.ops[2].table_id, tpcc_->customer());
+  EXPECT_EQ(txn.ops[2].delta, -txn.ops[0].delta);  // balance decreases
+  EXPECT_EQ(txn.ops[3].table_id, tpcc_->history());
+  EXPECT_EQ(txn.ops[3].type, txdb::OpType::kWrite);
+}
+
+TEST_F(TpccTest, NewOrderShape) {
+  Rng rng(2);
+  txdb::Transaction txn;
+  tpcc_->MakeNewOrder(rng, &txn);
+  // 5 fixed ops + 3 per order line, 5..15 lines.
+  ASSERT_GE(txn.ops.size(), 5u + 3 * 5);
+  ASSERT_LE(txn.ops.size(), 5u + 3 * 15);
+  EXPECT_EQ((txn.ops.size() - 5) % 3, 0u);
+  EXPECT_EQ(txn.ops[0].table_id, tpcc_->district());
+  EXPECT_EQ(txn.ops[0].delta, 1);  // next_o_id bump
+}
+
+TEST_F(TpccTest, TransactionsExecuteAndPreserveMoneyInvariant) {
+  txdb::ThreadContext* ctx = db_->RegisterThread();
+  Rng rng(3);
+  txdb::Transaction txn;
+  int64_t paid_total = 0;
+  int committed = 0;
+  for (int i = 0; i < 500; ++i) {
+    tpcc_->MakeTransaction(rng, /*payment_pct=*/50, &txn);
+    const bool is_payment = txn.ops.size() == 4;
+    const int64_t amount = is_payment ? txn.ops[0].delta : 0;
+    if (db_->Execute(*ctx, txn) == txdb::TxnResult::kCommitted &&
+        is_payment) {
+      paid_total += amount;
+      ++committed;
+    }
+  }
+  EXPECT_GT(committed, 0);
+  // Sum of warehouse YTD must equal everything paid (payments only touch
+  // warehouse YTD via kAdd of the paid amount).
+  int64_t ytd_total = 0;
+  txdb::Table& wh = db_->table(tpcc_->warehouse());
+  for (uint64_t r = 0; r < wh.rows(); ++r) {
+    int64_t v;
+    std::memcpy(&v, wh.live(r), sizeof(v));
+    ytd_total += v;
+  }
+  EXPECT_EQ(ytd_total, paid_total);
+  db_->DeregisterThread(ctx);
+}
+
+TEST_F(TpccTest, OrderSlotsRecycleModuloPool) {
+  Rng rng(4);
+  txdb::Transaction txn;
+  std::set<uint64_t> slots;
+  for (int i = 0; i < 200; ++i) {
+    tpcc_->MakeNewOrder(rng, &txn);
+    slots.insert(txn.ops[3].row);  // order insert row
+    EXPECT_LT(txn.ops[3].row, db_->table(tpcc_->order()).rows());
+  }
+  EXPECT_GT(slots.size(), 50u);
+}
+
+TEST(NurandTest, ValuesInRange) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const uint32_t v = TpccWorkload::NUrand(rng, 1023, 0, 2999);
+    EXPECT_LE(v, 2999u);
+  }
+}
+
+TEST(NurandTest, DistributionIsNonUniform) {
+  Rng rng(7);
+  std::map<uint32_t, int> counts;
+  for (int i = 0; i < 50000; ++i) {
+    counts[TpccWorkload::NUrand(rng, 255, 0, 999)]++;
+  }
+  int max_count = 0;
+  for (auto& [v, c] : counts) max_count = std::max(max_count, c);
+  // NURand's OR-composition makes some values much more likely than 1/1000.
+  EXPECT_GT(max_count, 50000 / 1000 * 2);
+}
+
+}  // namespace
+}  // namespace cpr::workloads
