@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_faster_commit.dir/bench_fig12_faster_commit.cc.o"
+  "CMakeFiles/bench_fig12_faster_commit.dir/bench_fig12_faster_commit.cc.o.d"
+  "bench_fig12_faster_commit"
+  "bench_fig12_faster_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_faster_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_endtoend.dir/bench_fig15_endtoend.cc.o"
+  "CMakeFiles/bench_fig15_endtoend.dir/bench_fig15_endtoend.cc.o.d"
+  "bench_fig15_endtoend"
+  "bench_fig15_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

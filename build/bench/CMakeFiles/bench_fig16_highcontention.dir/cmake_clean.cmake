@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_highcontention.dir/bench_fig16_highcontention.cc.o"
+  "CMakeFiles/bench_fig16_highcontention.dir/bench_fig16_highcontention.cc.o.d"
+  "bench_fig16_highcontention"
+  "bench_fig16_highcontention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_highcontention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_tpcc.dir/bench_fig17_tpcc.cc.o"
+  "CMakeFiles/bench_fig17_tpcc.dir/bench_fig17_tpcc.cc.o.d"
+  "bench_fig17_tpcc"
+  "bench_fig17_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

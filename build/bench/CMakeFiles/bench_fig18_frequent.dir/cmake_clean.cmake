@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_frequent.dir/bench_fig18_frequent.cc.o"
+  "CMakeFiles/bench_fig18_frequent.dir/bench_fig18_frequent.cc.o.d"
+  "bench_fig18_frequent"
+  "bench_fig18_frequent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_frequent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

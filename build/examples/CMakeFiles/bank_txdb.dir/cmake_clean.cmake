@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_txdb.dir/bank_txdb.cpp.o"
+  "CMakeFiles/bank_txdb.dir/bank_txdb.cpp.o.d"
+  "bank_txdb"
+  "bank_txdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_txdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

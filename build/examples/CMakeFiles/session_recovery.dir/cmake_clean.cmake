@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_recovery.dir/session_recovery.cpp.o"
+  "CMakeFiles/session_recovery.dir/session_recovery.cpp.o.d"
+  "session_recovery"
+  "session_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_epoch.dir/epoch.cc.o"
+  "CMakeFiles/cpr_epoch.dir/epoch.cc.o.d"
+  "libcpr_epoch.a"
+  "libcpr_epoch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faster/faster.cc" "src/faster/CMakeFiles/cpr_faster.dir/faster.cc.o" "gcc" "src/faster/CMakeFiles/cpr_faster.dir/faster.cc.o.d"
+  "/root/repo/src/faster/hash_index.cc" "src/faster/CMakeFiles/cpr_faster.dir/hash_index.cc.o" "gcc" "src/faster/CMakeFiles/cpr_faster.dir/hash_index.cc.o.d"
+  "/root/repo/src/faster/hybrid_log.cc" "src/faster/CMakeFiles/cpr_faster.dir/hybrid_log.cc.o" "gcc" "src/faster/CMakeFiles/cpr_faster.dir/hybrid_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cpr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/epoch/CMakeFiles/cpr_epoch.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/cpr_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

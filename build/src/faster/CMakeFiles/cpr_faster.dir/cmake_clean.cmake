@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_faster.dir/faster.cc.o"
+  "CMakeFiles/cpr_faster.dir/faster.cc.o.d"
+  "CMakeFiles/cpr_faster.dir/hash_index.cc.o"
+  "CMakeFiles/cpr_faster.dir/hash_index.cc.o.d"
+  "CMakeFiles/cpr_faster.dir/hybrid_log.cc.o"
+  "CMakeFiles/cpr_faster.dir/hybrid_log.cc.o.d"
+  "libcpr_faster.a"
+  "libcpr_faster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_faster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

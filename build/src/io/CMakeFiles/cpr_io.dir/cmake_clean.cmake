@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_io.dir/file.cc.o"
+  "CMakeFiles/cpr_io.dir/file.cc.o.d"
+  "CMakeFiles/cpr_io.dir/io_pool.cc.o"
+  "CMakeFiles/cpr_io.dir/io_pool.cc.o.d"
+  "libcpr_io.a"
+  "libcpr_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txdb/calc_engine.cc" "src/txdb/CMakeFiles/cpr_txdb.dir/calc_engine.cc.o" "gcc" "src/txdb/CMakeFiles/cpr_txdb.dir/calc_engine.cc.o.d"
+  "/root/repo/src/txdb/checkpoint_io.cc" "src/txdb/CMakeFiles/cpr_txdb.dir/checkpoint_io.cc.o" "gcc" "src/txdb/CMakeFiles/cpr_txdb.dir/checkpoint_io.cc.o.d"
+  "/root/repo/src/txdb/cpr_engine.cc" "src/txdb/CMakeFiles/cpr_txdb.dir/cpr_engine.cc.o" "gcc" "src/txdb/CMakeFiles/cpr_txdb.dir/cpr_engine.cc.o.d"
+  "/root/repo/src/txdb/db.cc" "src/txdb/CMakeFiles/cpr_txdb.dir/db.cc.o" "gcc" "src/txdb/CMakeFiles/cpr_txdb.dir/db.cc.o.d"
+  "/root/repo/src/txdb/table.cc" "src/txdb/CMakeFiles/cpr_txdb.dir/table.cc.o" "gcc" "src/txdb/CMakeFiles/cpr_txdb.dir/table.cc.o.d"
+  "/root/repo/src/txdb/wal_engine.cc" "src/txdb/CMakeFiles/cpr_txdb.dir/wal_engine.cc.o" "gcc" "src/txdb/CMakeFiles/cpr_txdb.dir/wal_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cpr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/epoch/CMakeFiles/cpr_epoch.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/cpr_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_txdb.dir/calc_engine.cc.o"
+  "CMakeFiles/cpr_txdb.dir/calc_engine.cc.o.d"
+  "CMakeFiles/cpr_txdb.dir/checkpoint_io.cc.o"
+  "CMakeFiles/cpr_txdb.dir/checkpoint_io.cc.o.d"
+  "CMakeFiles/cpr_txdb.dir/cpr_engine.cc.o"
+  "CMakeFiles/cpr_txdb.dir/cpr_engine.cc.o.d"
+  "CMakeFiles/cpr_txdb.dir/db.cc.o"
+  "CMakeFiles/cpr_txdb.dir/db.cc.o.d"
+  "CMakeFiles/cpr_txdb.dir/table.cc.o"
+  "CMakeFiles/cpr_txdb.dir/table.cc.o.d"
+  "CMakeFiles/cpr_txdb.dir/wal_engine.cc.o"
+  "CMakeFiles/cpr_txdb.dir/wal_engine.cc.o.d"
+  "libcpr_txdb.a"
+  "libcpr_txdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_txdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_util.dir/random.cc.o"
+  "CMakeFiles/cpr_util.dir/random.cc.o.d"
+  "CMakeFiles/cpr_util.dir/status.cc.o"
+  "CMakeFiles/cpr_util.dir/status.cc.o.d"
+  "libcpr_util.a"
+  "libcpr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

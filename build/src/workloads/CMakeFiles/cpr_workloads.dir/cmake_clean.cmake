@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_workloads.dir/tpcc.cc.o"
+  "CMakeFiles/cpr_workloads.dir/tpcc.cc.o.d"
+  "CMakeFiles/cpr_workloads.dir/ycsb.cc.o"
+  "CMakeFiles/cpr_workloads.dir/ycsb.cc.o.d"
+  "libcpr_workloads.a"
+  "libcpr_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

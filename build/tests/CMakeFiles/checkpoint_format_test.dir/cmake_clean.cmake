@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_format_test.dir/checkpoint_format_test.cc.o"
+  "CMakeFiles/checkpoint_format_test.dir/checkpoint_format_test.cc.o.d"
+  "checkpoint_format_test"
+  "checkpoint_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

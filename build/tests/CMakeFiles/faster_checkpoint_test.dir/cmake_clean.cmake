@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faster_checkpoint_test.dir/faster_checkpoint_test.cc.o"
+  "CMakeFiles/faster_checkpoint_test.dir/faster_checkpoint_test.cc.o.d"
+  "faster_checkpoint_test"
+  "faster_checkpoint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faster_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

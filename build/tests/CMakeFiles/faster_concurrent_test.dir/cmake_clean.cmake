@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faster_concurrent_test.dir/faster_concurrent_test.cc.o"
+  "CMakeFiles/faster_concurrent_test.dir/faster_concurrent_test.cc.o.d"
+  "faster_concurrent_test"
+  "faster_concurrent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faster_concurrent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

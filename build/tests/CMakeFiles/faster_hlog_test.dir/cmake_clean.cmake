@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faster_hlog_test.dir/faster_hlog_test.cc.o"
+  "CMakeFiles/faster_hlog_test.dir/faster_hlog_test.cc.o.d"
+  "faster_hlog_test"
+  "faster_hlog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faster_hlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for faster_hlog_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faster_index_test.dir/faster_index_test.cc.o"
+  "CMakeFiles/faster_index_test.dir/faster_index_test.cc.o.d"
+  "faster_index_test"
+  "faster_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faster_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faster_kv_test.dir/faster_kv_test.cc.o"
+  "CMakeFiles/faster_kv_test.dir/faster_kv_test.cc.o.d"
+  "faster_kv_test"
+  "faster_kv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faster_kv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faster_maintenance_test.dir/faster_maintenance_test.cc.o"
+  "CMakeFiles/faster_maintenance_test.dir/faster_maintenance_test.cc.o.d"
+  "faster_maintenance_test"
+  "faster_maintenance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faster_maintenance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faster_recovery_test.dir/faster_recovery_test.cc.o"
+  "CMakeFiles/faster_recovery_test.dir/faster_recovery_test.cc.o.d"
+  "faster_recovery_test"
+  "faster_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faster_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faster_stress_test.dir/faster_stress_test.cc.o"
+  "CMakeFiles/faster_stress_test.dir/faster_stress_test.cc.o.d"
+  "faster_stress_test"
+  "faster_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faster_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

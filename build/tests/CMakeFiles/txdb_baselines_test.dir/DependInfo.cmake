@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/txdb_baselines_test.cc" "tests/CMakeFiles/txdb_baselines_test.dir/txdb_baselines_test.cc.o" "gcc" "tests/CMakeFiles/txdb_baselines_test.dir/txdb_baselines_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/faster/CMakeFiles/cpr_faster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cpr_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/txdb/CMakeFiles/cpr_txdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/epoch/CMakeFiles/cpr_epoch.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/cpr_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txdb_baselines_test.dir/txdb_baselines_test.cc.o"
+  "CMakeFiles/txdb_baselines_test.dir/txdb_baselines_test.cc.o.d"
+  "txdb_baselines_test"
+  "txdb_baselines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txdb_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

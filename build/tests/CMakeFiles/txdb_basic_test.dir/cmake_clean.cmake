@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txdb_basic_test.dir/txdb_basic_test.cc.o"
+  "CMakeFiles/txdb_basic_test.dir/txdb_basic_test.cc.o.d"
+  "txdb_basic_test"
+  "txdb_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txdb_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txdb_cpr_test.dir/txdb_cpr_test.cc.o"
+  "CMakeFiles/txdb_cpr_test.dir/txdb_cpr_test.cc.o.d"
+  "txdb_cpr_test"
+  "txdb_cpr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txdb_cpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

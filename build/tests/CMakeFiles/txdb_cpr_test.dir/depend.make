@@ -1,0 +1,2 @@
+# Empty dependencies file for txdb_cpr_test.
+# This may be replaced when dependencies are built.

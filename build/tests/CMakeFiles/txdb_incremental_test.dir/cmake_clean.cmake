@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txdb_incremental_test.dir/txdb_incremental_test.cc.o"
+  "CMakeFiles/txdb_incremental_test.dir/txdb_incremental_test.cc.o.d"
+  "txdb_incremental_test"
+  "txdb_incremental_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txdb_incremental_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txdb_property_test.dir/txdb_property_test.cc.o"
+  "CMakeFiles/txdb_property_test.dir/txdb_property_test.cc.o.d"
+  "txdb_property_test"
+  "txdb_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txdb_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
