@@ -1,0 +1,165 @@
+// Network serving-layer benchmark: an in-process KvServer over loopback TCP,
+// driven by concurrent pipelining clients. Reports end-to-end operations per
+// second (the acceptance bar is >=100k ops/s with 4 workers on localhost)
+// plus the server's instrumentation counters, then repeats the run with
+// durable-ack clients against periodic CPR checkpoints to show the cost of
+// commit-on-ack.
+//
+// Knobs: CPR_BENCH_WORKERS (4), CPR_BENCH_CLIENTS (4), CPR_BENCH_KEYS
+// (100000), CPR_BENCH_PIPELINE (64), CPR_BENCH_SECONDS (2), CPR_BENCH_SCALE.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "client/client.h"
+#include "server/server.h"
+
+namespace cpr::bench {
+namespace {
+
+struct NetRunResult {
+  double ops_per_sec = 0;
+  uint64_t total_ops = 0;
+  ServerCounters::Snapshot counters;
+};
+
+NetRunResult RunNet(uint32_t workers, uint32_t clients, uint32_t pipeline,
+                    uint64_t keys, double seconds, uint32_t read_pct,
+                    bool durable, uint32_t checkpoint_ms) {
+  faster::FasterKv::Options fo;
+  fo.dir = FreshBenchDir("srv");
+  fo.index_buckets = 1ull << 16;
+  faster::FasterKv kv(fo);
+
+  server::KvServerOptions so;
+  so.num_workers = workers;
+  so.idle_poll_ms = 1;
+  so.checkpoint_interval_ms = checkpoint_ms;
+  server::KvServer server(&kv, so);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "server start failed\n");
+    return {};
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<uint64_t> ops(clients, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (uint32_t t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      client::CprClient::Options co;
+      co.port = server.port();
+      co.ack_mode = durable ? net::AckMode::kDurable : net::AckMode::kExecuted;
+      client::CprClient c(co);
+      if (!c.Connect().ok()) return;
+      uint64_t rng = 0x9e3779b97f4a7c15ull ^ (t + 1);
+      auto next_rand = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+      };
+      std::vector<client::CprClient::Result> results;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (uint32_t i = 0; i < pipeline; ++i) {
+          const uint64_t key = next_rand() % keys;
+          if (next_rand() % 100 < read_pct) {
+            c.EnqueueRead(key);
+          } else {
+            c.EnqueueRmw(key, 1);
+          }
+        }
+        if (!c.Flush().ok()) break;
+        results.clear();
+        if (!c.Drain(&results).ok()) break;
+        ops[t] += results.size();
+      }
+      c.Close();
+    });
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(static_cast<int64_t>(seconds * 1000));
+  std::this_thread::sleep_until(deadline);
+  stop.store(true);
+  for (auto& th : threads) th.join();
+
+  NetRunResult r;
+  for (uint64_t o : ops) r.total_ops += o;
+  r.ops_per_sec = static_cast<double>(r.total_ops) / seconds;
+  r.counters = server.counters();
+  server.Stop();
+  return r;
+}
+
+void PrintResult(const char* label, const NetRunResult& r) {
+  std::printf("  %-22s %10.1f kops/s  (%llu ops)\n", label,
+              r.ops_per_sec / 1e3,
+              static_cast<unsigned long long>(r.total_ops));
+  const auto& c = r.counters;
+  std::printf(
+      "    counters: conns=%llu reqs=%llu resps=%llu pending=%llu "
+      "held=%llu ckpts=%llu stalls=%llu in=%.1fMB out=%.1fMB\n",
+      static_cast<unsigned long long>(c.connections_accepted),
+      static_cast<unsigned long long>(c.requests),
+      static_cast<unsigned long long>(c.responses),
+      static_cast<unsigned long long>(c.ops_pending),
+      static_cast<unsigned long long>(c.durable_held),
+      static_cast<unsigned long long>(c.checkpoints),
+      static_cast<unsigned long long>(c.checkpoint_stalls),
+      static_cast<double>(c.bytes_in) / 1e6,
+      static_cast<double>(c.bytes_out) / 1e6);
+}
+
+void Run() {
+  const double scale = EnvF64("CPR_BENCH_SCALE", 1.0);
+  const double seconds = EnvF64("CPR_BENCH_SECONDS", 2.0) * scale;
+  const uint64_t keys = EnvU64("CPR_BENCH_KEYS", 100'000);
+  const uint32_t workers =
+      static_cast<uint32_t>(EnvU64("CPR_BENCH_WORKERS", 4));
+  const uint32_t clients =
+      static_cast<uint32_t>(EnvU64("CPR_BENCH_CLIENTS", 4));
+  const uint32_t pipeline =
+      static_cast<uint32_t>(EnvU64("CPR_BENCH_PIPELINE", 64));
+
+  PrintHeader("Server", "KV over loopback TCP, " + std::to_string(workers) +
+                            " workers, " + std::to_string(clients) +
+                            " pipelining clients (depth " +
+                            std::to_string(pipeline) + ")");
+  {
+    const NetRunResult r = RunNet(workers, clients, pipeline, keys, seconds,
+                                  /*read_pct=*/50, /*durable=*/false,
+                                  /*checkpoint_ms=*/0);
+    PrintResult("50:50 executed-ack", r);
+    if (r.ops_per_sec < 100'000) {
+      std::printf("    WARNING: below the 100 kops/s acceptance bar\n");
+    }
+  }
+  {
+    const NetRunResult r = RunNet(workers, clients, pipeline, keys, seconds,
+                                  /*read_pct=*/0, /*durable=*/false,
+                                  /*checkpoint_ms=*/0);
+    PrintResult("0:100 executed-ack", r);
+  }
+  {
+    // Durable acks: responses only flow when a periodic checkpoint covers
+    // them, so throughput tracks checkpoint cadence, not execution speed.
+    const NetRunResult r = RunNet(workers, clients, pipeline, keys, seconds,
+                                  /*read_pct=*/0, /*durable=*/true,
+                                  /*checkpoint_ms=*/100);
+    PrintResult("0:100 durable-ack", r);
+  }
+}
+
+}  // namespace
+}  // namespace cpr::bench
+
+int main() {
+  cpr::bench::Run();
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Command-line client for the CPR KV server (examples/kv_server.cpp).
+//
+//   kv_client_cli --port 7777 put 1 42
+//   kv_client_cli --port 7777 get 1
+//   kv_client_cli --port 7777 --guid 7 --durable        # interactive REPL
+//
+// With --guid the client resumes that CPR session: after a server crash and
+// --recover restart, HELLO reports the session's recovered commit point and
+// the client replays any tracked updates past it. --durable withholds every
+// acknowledgement until a checkpoint covers the operation, so a printed
+// "ok" means committed.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--host H] [--port N] [--guid G] [--durable] [cmd...]\n"
+      "commands (one per line in the REPL, or a single one on argv):\n"
+      "  put K V      upsert int64 value V at key K\n"
+      "  get K        read key K\n"
+      "  rmw K D      add int64 D to key K\n"
+      "  del K        delete key K\n"
+      "  ckpt         request a CPR checkpoint, wait until durable\n"
+      "  point        query this session's durable commit point\n"
+      "  info         print guid / serials / replay backlog\n"
+      "  quit         exit the REPL\n",
+      argv0);
+}
+
+int Exec(cpr::client::CprClient& c, const std::vector<std::string>& cmd) {
+  const auto fail = [](const cpr::Status& s) {
+    std::printf("error: %s\n", s.ToString().c_str());
+    return 1;
+  };
+  if (cmd.empty()) return 0;
+  const std::string& op = cmd[0];
+  if (op == "put" && cmd.size() == 3) {
+    const int64_t v = std::strtoll(cmd[2].c_str(), nullptr, 0);
+    const cpr::Status s = c.Upsert(std::strtoull(cmd[1].c_str(), nullptr, 0),
+                                   &v);
+    if (!s.ok()) return fail(s);
+    std::printf("ok\n");
+  } else if (op == "get" && cmd.size() == 2) {
+    int64_t v = 0;
+    bool found = false;
+    const cpr::Status s =
+        c.Read(std::strtoull(cmd[1].c_str(), nullptr, 0), &v, &found);
+    if (!s.ok()) return fail(s);
+    if (found) {
+      std::printf("%lld\n", static_cast<long long>(v));
+    } else {
+      std::printf("(not found)\n");
+    }
+  } else if (op == "rmw" && cmd.size() == 3) {
+    const cpr::Status s = c.Rmw(std::strtoull(cmd[1].c_str(), nullptr, 0),
+                                std::strtoll(cmd[2].c_str(), nullptr, 0));
+    if (!s.ok()) return fail(s);
+    std::printf("ok\n");
+  } else if (op == "del" && cmd.size() == 2) {
+    bool found = false;
+    const cpr::Status s =
+        c.Delete(std::strtoull(cmd[1].c_str(), nullptr, 0), &found);
+    if (!s.ok()) return fail(s);
+    std::printf("ok\n");
+  } else if (op == "ckpt") {
+    uint64_t token = 0;
+    uint64_t commit = 0;
+    const cpr::Status s = c.Checkpoint(&token, &commit, /*snapshot=*/false,
+                                       /*include_index=*/true);
+    if (!s.ok()) return fail(s);
+    std::printf("checkpoint token=%llu commit_point=%llu\n",
+                static_cast<unsigned long long>(token),
+                static_cast<unsigned long long>(commit));
+  } else if (op == "point") {
+    uint64_t commit = 0;
+    const cpr::Status s = c.CommitPoint(&commit);
+    if (!s.ok()) return fail(s);
+    std::printf("commit_point=%llu\n",
+                static_cast<unsigned long long>(commit));
+  } else if (op == "info") {
+    std::printf("guid=%llu recovered_serial=%llu durable_serial=%llu "
+                "replay_backlog=%zu\n",
+                static_cast<unsigned long long>(c.guid()),
+                static_cast<unsigned long long>(c.recovered_serial()),
+                static_cast<unsigned long long>(c.durable_serial()),
+                c.replay_backlog());
+  } else {
+    std::printf("unknown command\n");
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cpr::client::CprClient::Options opts;
+  opts.port = 7777;
+  std::vector<std::string> cmd;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      opts.host = next();
+    } else if (arg == "--port") {
+      opts.port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (arg == "--guid") {
+      opts.guid = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--durable") {
+      opts.ack_mode = cpr::net::AckMode::kDurable;
+    } else if (arg == "--help") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      cmd.push_back(arg);
+    }
+  }
+
+  cpr::client::CprClient client(opts);
+  const cpr::Status s = client.Connect();
+  if (!s.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (cmd.empty()) {
+    std::printf("connected: guid=%llu recovered_serial=%llu (\"help\": see "
+                "--help)\n",
+                static_cast<unsigned long long>(client.guid()),
+                static_cast<unsigned long long>(client.recovered_serial()));
+    std::string line;
+    while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
+      std::istringstream is(line);
+      std::vector<std::string> tokens;
+      std::string tok;
+      while (is >> tok) tokens.push_back(tok);
+      if (!tokens.empty() && (tokens[0] == "quit" || tokens[0] == "exit")) {
+        break;
+      }
+      Exec(client, tokens);
+    }
+    return 0;
+  }
+  return Exec(client, cmd);
+}

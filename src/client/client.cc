@@ -1,0 +1,444 @@
+#include "client/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace cpr::client {
+
+CprClient::CprClient(Options options) : options_(std::move(options)) {}
+
+CprClient::~CprClient() { Close(); }
+
+void CprClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  sendbuf_.clear();
+  recvbuf_.clear();
+  FailInflight();
+}
+
+void CprClient::FailInflight() {
+  // Requests written but unanswered: updates among them stay in replay_
+  // (they are re-issued on reconnect); reads are simply lost.
+  inflight_.clear();
+}
+
+Status CprClient::ConnectOnce() {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::IoError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host address: " + options_.host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    Close();
+    return Status::IoError("connect() failed: " +
+                           std::string(strerror(err)));
+  }
+  int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options_.recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options_.recv_timeout_ms / 1000;
+    tv.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
+    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  return Status::Ok();
+}
+
+Status CprClient::Hello() {
+  net::Request req;
+  req.op = net::Op::kHello;
+  req.seq = next_seq_++;
+  req.guid = options_.guid != 0 ? options_.guid : guid_;
+  req.ack_mode = options_.ack_mode;
+  std::vector<char> frame;
+  net::EncodeRequest(req, &frame);
+  Status s = SendAll(frame.data(), frame.size());
+  if (!s.ok()) return s;
+  net::Response resp;
+  s = ReadResponse(&resp);
+  if (!s.ok()) return s;
+  if (resp.op != net::Op::kHello) {
+    return Status::Corruption("HELLO answered with wrong opcode");
+  }
+  if (resp.status == net::WireStatus::kBusy) {
+    return Status::Busy("session busy (live duplicate or table full)");
+  }
+  if (resp.status != net::WireStatus::kOk) {
+    return Status::IoError(std::string("HELLO rejected: ") +
+                           net::StatusName(resp.status));
+  }
+  guid_ = resp.guid;
+  recovered_serial_ = resp.recovered_serial;
+  value_size_ = resp.value_size;
+  next_serial_ = resp.recovered_serial;
+  if (resp.recovered_serial > durable_serial_) {
+    durable_serial_ = resp.recovered_serial;
+  }
+  return Status::Ok();
+}
+
+Status CprClient::Connect() {
+  if (fd_ >= 0) return Status::InvalidArgument("already connected");
+  Status s = Status::IoError("no connect attempts");
+  for (int attempt = 0; attempt < std::max(1, options_.connect_attempts);
+       ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.connect_backoff_ms));
+    }
+    s = ConnectOnce();
+    if (!s.ok()) continue;
+    s = Hello();
+    if (s.ok()) return s;
+    Close();
+  }
+  return s;
+}
+
+Status CprClient::Reconnect() {
+  Close();
+  Status s = Connect();
+  if (!s.ok()) return s;
+  return ReplayAfter(recovered_serial_);
+}
+
+Status CprClient::ReplayAfter(uint64_t recovered) {
+  NoteDurable(recovered);
+  if (replay_.empty()) return Status::Ok();
+  // Everything past the commit point was lost: re-issue in order. The
+  // replayed ops get fresh serials starting at the recovered point, which
+  // is exactly where prediction resumes.
+  std::deque<net::Request> todo;
+  todo.swap(replay_);
+  replay_serials_.clear();
+  size_t expect = todo.size();
+  for (net::Request& req : todo) {
+    req.seq = next_seq_++;
+    EnqueueRequest(req);
+  }
+  const bool durable = options_.ack_mode == net::AckMode::kDurable;
+  if (durable) {
+    // Durable-mode acks only flow once a checkpoint covers the replayed
+    // serials; ask for one right behind them.
+    EnqueueCheckpoint();
+    ++expect;
+  }
+  Status st = Flush();
+  if (!st.ok()) return st;
+  // A concurrent checkpoint can make our CHECKPOINT request report BUSY
+  // without covering the replayed ops; on an ack timeout, nudge again.
+  int nudges = durable ? 3 : 0;
+  while (expect > 0) {
+    st = Drain(nullptr, 1);
+    if (st.ok()) {
+      --expect;
+      continue;
+    }
+    if (st.code() == Status::Code::kAborted && nudges-- > 0) {
+      EnqueueCheckpoint();
+      ++expect;
+      st = Flush();
+      if (!st.ok()) return st;
+      continue;
+    }
+    return st;
+  }
+  return Status::Ok();
+}
+
+void CprClient::NoteDurable(uint64_t serial) {
+  if (serial > durable_serial_) durable_serial_ = serial;
+  while (!replay_serials_.empty() && replay_serials_.front() <= serial) {
+    replay_serials_.pop_front();
+    replay_.pop_front();
+  }
+}
+
+void CprClient::EnqueueRequest(const net::Request& req) {
+  net::EncodeRequest(req, &sendbuf_);
+  InFlight inf;
+  inf.op = req.op;
+  inf.seq = req.seq;
+  switch (req.op) {
+    case net::Op::kRead:
+    case net::Op::kUpsert:
+    case net::Op::kRmw:
+    case net::Op::kDelete:
+      inf.predicted_serial = ++next_serial_;
+      break;
+    default:
+      break;
+  }
+  inflight_.push_back(inf);
+  if (options_.track_replay && inf.predicted_serial != 0 &&
+      req.op != net::Op::kRead) {
+    replay_.push_back(req);
+    replay_serials_.push_back(inf.predicted_serial);
+  }
+}
+
+void CprClient::EnqueueRead(uint64_t key) {
+  net::Request req;
+  req.op = net::Op::kRead;
+  req.seq = next_seq_++;
+  req.key = key;
+  EnqueueRequest(req);
+}
+
+void CprClient::EnqueueUpsert(uint64_t key, const void* value) {
+  net::Request req;
+  req.op = net::Op::kUpsert;
+  req.seq = next_seq_++;
+  req.key = key;
+  const char* p = static_cast<const char*>(value);
+  req.value.assign(p, p + value_size_);
+  EnqueueRequest(req);
+}
+
+void CprClient::EnqueueRmw(uint64_t key, int64_t delta) {
+  net::Request req;
+  req.op = net::Op::kRmw;
+  req.seq = next_seq_++;
+  req.key = key;
+  req.delta = delta;
+  EnqueueRequest(req);
+}
+
+void CprClient::EnqueueDelete(uint64_t key) {
+  net::Request req;
+  req.op = net::Op::kDelete;
+  req.seq = next_seq_++;
+  req.key = key;
+  EnqueueRequest(req);
+}
+
+void CprClient::EnqueueCheckpoint(bool snapshot, bool include_index) {
+  net::Request req;
+  req.op = net::Op::kCheckpoint;
+  req.seq = next_seq_++;
+  req.variant = snapshot ? 1 : 0;
+  req.include_index = include_index;
+  EnqueueRequest(req);
+}
+
+void CprClient::EnqueueCommitPoint() {
+  net::Request req;
+  req.op = net::Op::kCommitPoint;
+  req.seq = next_seq_++;
+  EnqueueRequest(req);
+}
+
+Status CprClient::SendAll(const char* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd_, data + off, size - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IoError("send() failed: " + std::string(strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Status CprClient::Flush() {
+  if (fd_ < 0) return Status::IoError("not connected");
+  if (sendbuf_.empty()) return Status::Ok();
+  Status s = SendAll(sendbuf_.data(), sendbuf_.size());
+  sendbuf_.clear();
+  return s;
+}
+
+Status CprClient::ReadResponse(net::Response* resp) {
+  while (true) {
+    std::string_view payload;
+    size_t consumed = 0;
+    const net::FrameResult fr = net::TryExtractFrame(
+        recvbuf_.data(), recvbuf_.size(), &payload, &consumed);
+    if (fr == net::FrameResult::kBadFrame) {
+      return Status::Corruption("bad frame from server");
+    }
+    if (fr == net::FrameResult::kFrame) {
+      const bool ok = net::DecodeResponse(payload, resp);
+      recvbuf_.erase(recvbuf_.begin(), recvbuf_.begin() + consumed);
+      if (!ok) return Status::Corruption("undecodable response");
+      return Status::Ok();
+    }
+    char buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      recvbuf_.insert(recvbuf_.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) return Status::IoError("connection closed by server");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Aborted("receive timeout");
+    }
+    return Status::IoError("recv() failed: " + std::string(strerror(errno)));
+  }
+}
+
+Status CprClient::Drain(std::vector<Result>* out, size_t count) {
+  if (count == 0) count = inflight_.size();
+  while (count > 0) {
+    if (inflight_.empty()) {
+      return Status::InvalidArgument("drain: nothing in flight");
+    }
+    net::Response resp;
+    Status s = ReadResponse(&resp);
+    if (!s.ok()) return s;
+    const InFlight inf = inflight_.front();
+    inflight_.pop_front();
+    if (resp.seq != inf.seq || resp.op != inf.op) {
+      return Status::Corruption("response out of order (pipeline desync)");
+    }
+    // A durable-mode ack means the operation is committed; checkpoint and
+    // commit-point responses report the committed prefix explicitly.
+    if (options_.ack_mode == net::AckMode::kDurable && resp.serial != 0 &&
+        resp.status != net::WireStatus::kNoSession &&
+        resp.status != net::WireStatus::kBadRequest) {
+      NoteDurable(resp.serial);
+    }
+    if ((resp.op == net::Op::kCheckpoint ||
+         resp.op == net::Op::kCommitPoint) &&
+        resp.status == net::WireStatus::kOk) {
+      NoteDurable(resp.commit_serial);
+    }
+    if (out != nullptr) {
+      Result r;
+      r.op = resp.op;
+      r.status = resp.status;
+      r.seq = resp.seq;
+      r.serial = resp.serial;
+      r.token = resp.token;
+      r.commit_serial = resp.commit_serial;
+      r.value = std::move(resp.value);
+      out->push_back(std::move(r));
+    }
+    --count;
+  }
+  return Status::Ok();
+}
+
+namespace {
+Status AsStatus(const CprClient::Result& r) {
+  switch (r.status) {
+    case net::WireStatus::kOk:
+      return Status::Ok();
+    case net::WireStatus::kNotFound:
+      return Status::NotFound();
+    case net::WireStatus::kBusy:
+      return Status::Busy();
+    case net::WireStatus::kBadRequest:
+    case net::WireStatus::kNoSession:
+      return Status::InvalidArgument(net::StatusName(r.status));
+    case net::WireStatus::kError:
+      break;
+  }
+  return Status::IoError("server error");
+}
+}  // namespace
+
+Status CprClient::Read(uint64_t key, void* value_out, bool* found) {
+  EnqueueRead(key);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  std::vector<Result> results;
+  s = Drain(&results, 1);
+  if (!s.ok()) return s;
+  const Result& r = results.front();
+  if (r.status == net::WireStatus::kOk) {
+    *found = true;
+    std::memcpy(value_out, r.value.data(),
+                std::min<size_t>(r.value.size(), value_size_));
+    return Status::Ok();
+  }
+  if (r.status == net::WireStatus::kNotFound) {
+    *found = false;
+    return Status::Ok();
+  }
+  return AsStatus(r);
+}
+
+Status CprClient::Upsert(uint64_t key, const void* value) {
+  EnqueueUpsert(key, value);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  std::vector<Result> results;
+  s = Drain(&results, 1);
+  if (!s.ok()) return s;
+  return AsStatus(results.front());
+}
+
+Status CprClient::Rmw(uint64_t key, int64_t delta) {
+  EnqueueRmw(key, delta);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  std::vector<Result> results;
+  s = Drain(&results, 1);
+  if (!s.ok()) return s;
+  return AsStatus(results.front());
+}
+
+Status CprClient::Delete(uint64_t key, bool* found) {
+  EnqueueDelete(key);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  std::vector<Result> results;
+  s = Drain(&results, 1);
+  if (!s.ok()) return s;
+  const Result& r = results.front();
+  if (found != nullptr) *found = r.status == net::WireStatus::kOk;
+  if (r.status == net::WireStatus::kNotFound) return Status::Ok();
+  return AsStatus(r);
+}
+
+Status CprClient::Checkpoint(uint64_t* token, uint64_t* commit_serial,
+                             bool snapshot, bool include_index) {
+  EnqueueCheckpoint(snapshot, include_index);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  std::vector<Result> results;
+  s = Drain(&results, 1);
+  if (!s.ok()) return s;
+  const Result& r = results.front();
+  if (r.status != net::WireStatus::kOk) return AsStatus(r);
+  if (token != nullptr) *token = r.token;
+  if (commit_serial != nullptr) *commit_serial = r.commit_serial;
+  return Status::Ok();
+}
+
+Status CprClient::CommitPoint(uint64_t* commit_serial) {
+  EnqueueCommitPoint();
+  Status s = Flush();
+  if (!s.ok()) return s;
+  std::vector<Result> results;
+  s = Drain(&results, 1);
+  if (!s.ok()) return s;
+  const Result& r = results.front();
+  if (r.status != net::WireStatus::kOk) return AsStatus(r);
+  *commit_serial = r.commit_serial;
+  return Status::Ok();
+}
+
+}  // namespace cpr::client

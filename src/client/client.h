@@ -1,0 +1,143 @@
+#ifndef CPR_CLIENT_CLIENT_H_
+#define CPR_CLIENT_CLIENT_H_
+
+// CprClient: a small C++ client for the CPR KV serving layer.
+//
+// One CprClient owns one TCP connection bound to one durable CPR session.
+// Requests can be pipelined: Enqueue* queues frames locally, Flush() writes
+// them in one burst, Drain() collects the (in-order) responses. The sync
+// helpers (Read/Upsert/...) are one-op pipelines.
+//
+// The client implements the paper's client-side durability contract:
+// update operations are kept in a replay buffer until they are known
+// durable — via a DURABLE-mode acknowledgement, a CHECKPOINT/COMMIT_POINT
+// response, or the recovered serial reported at reconnect. After a server
+// crash, Reconnect() re-HELLOs with the session guid, prunes the replay
+// buffer at the recovered commit point, and re-issues everything after it,
+// so no acknowledged-durable operation is ever lost and every lost-but-
+// unacknowledged update is re-applied exactly once.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "server/wire.h"
+#include "util/status.h"
+
+namespace cpr::client {
+
+class CprClient {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    uint64_t guid = 0;  // 0: ask the server for a fresh session
+    net::AckMode ack_mode = net::AckMode::kExecuted;
+    int recv_timeout_ms = 10'000;
+    int connect_attempts = 10;
+    int connect_backoff_ms = 50;
+    // Keep un-durable updates for replay on reconnect.
+    bool track_replay = true;
+  };
+
+  struct Result {
+    net::Op op = net::Op::kRead;
+    net::WireStatus status = net::WireStatus::kOk;
+    uint32_t seq = 0;
+    uint64_t serial = 0;
+    uint64_t token = 0;          // CHECKPOINT
+    uint64_t commit_serial = 0;  // CHECKPOINT / COMMIT_POINT
+    std::vector<char> value;     // READ
+  };
+
+  explicit CprClient(Options options);
+  ~CprClient();
+
+  CprClient(const CprClient&) = delete;
+  CprClient& operator=(const CprClient&) = delete;
+
+  // Establishes the connection and performs HELLO. On success guid() is the
+  // session id and recovered_serial() the serial the session resumed at.
+  Status Connect();
+  // Drops the connection (if any), reconnects with the session guid, prunes
+  // the replay buffer at the recovered commit point, and re-issues every
+  // update past it. In-flight requests without responses are failed.
+  Status Reconnect();
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  uint64_t guid() const { return guid_; }
+  uint64_t recovered_serial() const { return recovered_serial_; }
+  uint32_t value_size() const { return value_size_; }
+  // Highest serial known durable (from durable acks, checkpoint responses,
+  // commit-point queries, or reconnect).
+  uint64_t durable_serial() const { return durable_serial_; }
+  size_t inflight() const { return inflight_.size(); }
+  size_t replay_backlog() const { return replay_.size(); }
+
+  // -- Pipelined interface -------------------------------------------------
+
+  void EnqueueRead(uint64_t key);
+  void EnqueueUpsert(uint64_t key, const void* value);
+  void EnqueueRmw(uint64_t key, int64_t delta);
+  void EnqueueDelete(uint64_t key);
+  void EnqueueCheckpoint(bool snapshot = false, bool include_index = false);
+  void EnqueueCommitPoint();
+
+  // Writes all queued frames to the socket.
+  Status Flush();
+  // Reads responses until `count` arrive (default: all in flight).
+  // Results are appended in request order. `out` may be null.
+  Status Drain(std::vector<Result>* out, size_t count = 0);
+
+  // -- Synchronous helpers ---------------------------------------------------
+
+  Status Read(uint64_t key, void* value_out, bool* found);
+  Status Upsert(uint64_t key, const void* value);
+  Status Rmw(uint64_t key, int64_t delta);
+  Status Delete(uint64_t key, bool* found = nullptr);
+  // Requests a checkpoint and waits until it is durable; commit_serial
+  // reports this session's committed prefix.
+  Status Checkpoint(uint64_t* token = nullptr, uint64_t* commit_serial = nullptr,
+                    bool snapshot = false, bool include_index = false);
+  Status CommitPoint(uint64_t* commit_serial);
+
+ private:
+  struct InFlight {
+    net::Op op = net::Op::kRead;
+    uint32_t seq = 0;
+    uint64_t predicted_serial = 0;  // data ops only
+  };
+
+  Status ConnectOnce();
+  Status Hello();
+  void EnqueueRequest(const net::Request& req);
+  Status ReadResponse(net::Response* resp);
+  Status SendAll(const char* data, size_t size);
+  void NoteDurable(uint64_t serial);
+  Status ReplayAfter(uint64_t recovered);
+  void FailInflight();
+
+  Options options_;
+  int fd_ = -1;
+  uint64_t guid_ = 0;
+  uint64_t recovered_serial_ = 0;
+  uint32_t value_size_ = 0;
+  uint64_t durable_serial_ = 0;
+  // Serial the server will assign to the next data op (server serials are
+  // deterministic per session: +1 per data op).
+  uint64_t next_serial_ = 0;
+  uint32_t next_seq_ = 1;
+
+  std::vector<char> sendbuf_;
+  std::vector<char> recvbuf_;
+  std::deque<InFlight> inflight_;
+  // Updates not yet known durable, in serial order.
+  std::deque<net::Request> replay_;
+  std::deque<uint64_t> replay_serials_;
+};
+
+}  // namespace cpr::client
+
+#endif  // CPR_CLIENT_CLIENT_H_

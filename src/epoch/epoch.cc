@@ -66,37 +66,52 @@ bool EpochFramework::IsProtected() const {
   return SlotOfCurrentThread() >= 0;
 }
 
-void EpochFramework::Acquire() {
-  assert(!IsProtected());
+int32_t EpochFramework::AcquireSlot() {
   const uint64_t epoch = current_epoch_.load(std::memory_order_acquire);
   for (uint32_t i = 0; i < max_threads_; ++i) {
     uint64_t expected = kUnprotectedEpoch;
     if (table_[i].local_epoch.compare_exchange_strong(
             expected, epoch, std::memory_order_acq_rel)) {
-      AddBinding(instance_id_, static_cast<int32_t>(i));
-      return;
+      return static_cast<int32_t>(i);
     }
   }
-  assert(false && "epoch table full: raise max_threads");
+  return -1;
 }
 
-void EpochFramework::Release() {
-  const int32_t slot = SlotOfCurrentThread();
-  assert(slot >= 0);
-  table_[slot].local_epoch.store(kUnprotectedEpoch, std::memory_order_release);
-  RemoveBinding(instance_id_);
-  // This thread may have been the last straggler holding an old epoch.
-  Drain(ComputeNewSafeEpoch());
-}
-
-uint64_t EpochFramework::Refresh() {
-  const int32_t slot = SlotOfCurrentThread();
-  assert(slot >= 0);
+uint64_t EpochFramework::RefreshSlot(int32_t slot) {
+  assert(slot >= 0 && static_cast<uint32_t>(slot) < max_threads_);
   const uint64_t epoch = current_epoch_.load(std::memory_order_acquire);
   table_[slot].local_epoch.store(epoch, std::memory_order_release);
   const uint64_t safe = ComputeNewSafeEpoch();
   if (drain_count_.load(std::memory_order_acquire) > 0) Drain(safe);
   return epoch;
+}
+
+void EpochFramework::ReleaseSlot(int32_t slot) {
+  assert(slot >= 0 && static_cast<uint32_t>(slot) < max_threads_);
+  table_[slot].local_epoch.store(kUnprotectedEpoch, std::memory_order_release);
+  // This slot may have been the last straggler holding an old epoch.
+  Drain(ComputeNewSafeEpoch());
+}
+
+void EpochFramework::Acquire() {
+  assert(!IsProtected());
+  const int32_t slot = AcquireSlot();
+  assert(slot >= 0 && "epoch table full: raise max_threads");
+  AddBinding(instance_id_, slot);
+}
+
+void EpochFramework::Release() {
+  const int32_t slot = SlotOfCurrentThread();
+  assert(slot >= 0);
+  RemoveBinding(instance_id_);
+  ReleaseSlot(slot);
+}
+
+uint64_t EpochFramework::Refresh() {
+  const int32_t slot = SlotOfCurrentThread();
+  assert(slot >= 0);
+  return RefreshSlot(slot);
 }
 
 uint64_t EpochFramework::ComputeNewSafeEpoch() {

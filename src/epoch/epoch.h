@@ -51,6 +51,27 @@ class EpochFramework {
   // wait on this thread.
   void Release();
 
+  // -- Slot-handle API ----------------------------------------------------
+  //
+  // Protects a logical participant (e.g. a KV session owned by a network
+  // connection) rather than the calling thread, so one thread can drive many
+  // protected participants. The returned handle must be refreshed regularly
+  // (RefreshSlot) and released exactly once (ReleaseSlot). Calls on a given
+  // slot must be externally serialized, but may come from different threads
+  // over the slot's lifetime — the safe-epoch invariant only cares that the
+  // slot's entry advances, not which thread advances it. The thread-bound
+  // Acquire/Refresh/Release above are wrappers over these.
+
+  // Reserves an epoch-table entry and protects it at the current epoch.
+  // Returns -1 if the table is full (raise max_threads).
+  int32_t AcquireSlot();
+
+  // Publishes progress for `slot`: same contract as Refresh().
+  uint64_t RefreshSlot(int32_t slot);
+
+  // Frees `slot`; pending trigger actions no longer wait on it.
+  void ReleaseSlot(int32_t slot);
+
   // True if the calling thread currently holds an entry on this framework.
   bool IsProtected() const;
 

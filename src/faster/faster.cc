@@ -73,14 +73,26 @@ FasterKv::~FasterKv() { io_.Drain(); }
 // -- Sessions -------------------------------------------------------------
 
 Session* FasterKv::StartSession(uint64_t guid) {
+  const int32_t slot = epoch_.AcquireSlot();
+  if (slot < 0) return nullptr;  // epoch table full
   auto session = std::make_unique<Session>();
   session->guid_ = guid != 0 ? guid : (NowNanos() ^ next_guid_.fetch_add(1));
+  session->epoch_slot_ = slot;
   Session* raw = session.get();
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (guid != 0) {
+      // A recovered session resumes its serial numbering at the recovered
+      // commit point, so new operations extend the durable prefix instead
+      // of renumbering it.
+      auto it = recovered_points_.find(guid);
+      if (it != recovered_points_.end()) {
+        raw->serial_ = it->second;
+        raw->cpr_point_serial_.store(it->second, std::memory_order_relaxed);
+      }
+    }
     sessions_.push_back(std::move(session));
   }
-  epoch_.Acquire();
   const uint64_t st = state_.load(std::memory_order_acquire);
   const Phase ph = SystemState::PhaseOf(st);
   const uint32_t v = SystemState::VersionOf(st);
@@ -90,6 +102,7 @@ Session* FasterKv::StartSession(uint64_t guid) {
 }
 
 void FasterKv::StopSession(Session* session) {
+  const int32_t slot = session->epoch_slot_;
   CompletePending(*session, /*wait_for_all=*/true);
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -109,7 +122,7 @@ void FasterKv::StopSession(Session* session) {
       }
     }
   }
-  epoch_.Release();
+  epoch_.ReleaseSlot(slot);
 }
 
 Status FasterKv::ContinueSession(uint64_t guid,
@@ -119,6 +132,16 @@ Status FasterKv::ContinueSession(uint64_t guid,
     return Status::NotFound("no recovered CPR point for session");
   }
   *recovered_serial = it->second;
+  return Status::Ok();
+}
+
+Status FasterKv::DurableCommitPoint(uint64_t guid, uint64_t* serial) const {
+  std::lock_guard<std::mutex> lock(durable_mu_);
+  auto it = durable_points_.find(guid);
+  if (it == durable_points_.end()) {
+    return Status::NotFound("no durable CPR point for session");
+  }
+  *serial = it->second;
   return Status::Ok();
 }
 
@@ -614,7 +637,7 @@ void FasterKv::Refresh(Session& session) {
     session.phase_ = ph;
     session.version_ = effective;
   }
-  epoch_.Refresh();
+  epoch_.RefreshSlot(session.epoch_slot_);
   TickStateMachine();
 }
 
@@ -708,6 +731,12 @@ void FasterKv::FinalizeCheckpoint(uint64_t expected_state) {
     points = ckpt_.points;
     callback = std::move(ckpt_callback_);
     ckpt_callback_ = nullptr;
+    {
+      std::lock_guard<std::mutex> dlock(durable_mu_);
+      for (const SessionCommitPoint& p : points) {
+        durable_points_[p.guid] = p.serial;
+      }
+    }
     last_completed_token_.store(token, std::memory_order_release);
     state_.store(SystemState::Pack(Phase::kRest, v + 1),
                  std::memory_order_release);
@@ -1159,8 +1188,13 @@ Status FasterKv::Recover() {
     if (!s.ok()) return s;
   }
   recovered_points_.clear();
-  for (const SessionCommitPoint& p : meta.points) {
-    recovered_points_[p.guid] = p.serial;
+  {
+    std::lock_guard<std::mutex> dlock(durable_mu_);
+    durable_points_.clear();
+    for (const SessionCommitPoint& p : meta.points) {
+      recovered_points_[p.guid] = p.serial;
+      durable_points_[p.guid] = p.serial;
+    }
   }
   {
     std::lock_guard<std::mutex> lock(ckpt_mu_);

@@ -86,6 +86,7 @@ class Session {
   friend class FasterKv;
 
   uint64_t guid_ = 0;
+  int32_t epoch_slot_ = -1;  // this session's entry in the epoch table
   Phase phase_ = Phase::kRest;
   uint32_t version_ = 1;
   uint64_t serial_ = 0;
@@ -139,12 +140,27 @@ class FasterKv {
 
   // -- Sessions ----------------------------------------------------------
 
-  // Starts a session on the calling thread. guid 0 draws a fresh id.
+  // Starts a session. guid 0 draws a fresh id. Each session owns its own
+  // epoch-table slot, so one thread may drive many sessions (e.g. a network
+  // worker owning many connections) as long as it refreshes each of them.
+  // Returns nullptr when the epoch table is full. Restarting a recovered
+  // guid resumes its serial numbering at the recovered commit point.
   Session* StartSession(uint64_t guid = 0);
   void StopSession(Session* session);
   // After Recover(): the CPR point (serial number) the store holds for
   // `guid`; the client replays everything after it.
   Status ContinueSession(uint64_t guid, uint64_t* recovered_serial) const;
+
+  // The durable commit point for `guid`: every operation with serial <= the
+  // returned value is covered by a completed checkpoint (or by the
+  // checkpoint we recovered from). kNotFound until a checkpoint has
+  // included the session.
+  Status DurableCommitPoint(uint64_t guid, uint64_t* serial) const;
+
+  // Token of the most recently completed checkpoint (monotonic; 0 if none).
+  uint64_t LastCheckpointToken() const {
+    return last_completed_token_.load(std::memory_order_acquire);
+  }
 
   // -- Operations --------------------------------------------------------
 
@@ -299,6 +315,12 @@ class FasterKv {
   std::atomic<uint64_t> last_completed_token_{0};
   uint64_t last_index_token_ = 0;  // guarded by ckpt_mu_
   Address last_index_li_ = 0;      // guarded by ckpt_mu_
+
+  // Durable per-session commit points: refreshed by every completed
+  // checkpoint and by Recover(). Queried by serving layers to decide when
+  // an operation may be acknowledged as durable.
+  mutable std::mutex durable_mu_;
+  std::map<uint64_t, uint64_t> durable_points_;
 
   // Sessions.
   std::mutex sessions_mu_;

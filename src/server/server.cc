@@ -1,0 +1,781 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "util/clock.h"
+
+#if defined(__linux__) && !defined(CPR_FORCE_POLL)
+#define CPR_HAVE_EPOLL 1
+#include <sys/epoll.h>
+#else
+#include <poll.h>
+#endif
+
+namespace cpr::server {
+namespace {
+
+constexpr uint32_t kReadable = 1;
+constexpr uint32_t kWritable = 2;
+constexpr uint32_t kHangup = 4;
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// Level-triggered readiness over a set of fds: epoll on Linux, poll(2)
+// elsewhere (or with -DCPR_FORCE_POLL).
+class Poller {
+ public:
+  ~Poller() {
+#ifdef CPR_HAVE_EPOLL
+    if (epfd_ >= 0) ::close(epfd_);
+#endif
+  }
+
+  bool Init() {
+#ifdef CPR_HAVE_EPOLL
+    epfd_ = epoll_create1(0);
+    return epfd_ >= 0;
+#else
+    return true;
+#endif
+  }
+
+  void Add(int fd) {
+#ifdef CPR_HAVE_EPOLL
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+#else
+    fds_.push_back(pollfd{fd, POLLIN, 0});
+#endif
+  }
+
+  void SetWriteInterest(int fd, bool on) {
+#ifdef CPR_HAVE_EPOLL
+    epoll_event ev{};
+    ev.events = EPOLLIN | (on ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
+#else
+    for (auto& p : fds_) {
+      if (p.fd == fd) {
+        p.events = static_cast<short>(POLLIN | (on ? POLLOUT : 0));
+        return;
+      }
+    }
+#endif
+  }
+
+  void Remove(int fd) {
+#ifdef CPR_HAVE_EPOLL
+    epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+#else
+    fds_.erase(std::remove_if(fds_.begin(), fds_.end(),
+                              [fd](const pollfd& p) { return p.fd == fd; }),
+               fds_.end());
+#endif
+  }
+
+  void Wait(int timeout_ms, std::vector<std::pair<int, uint32_t>>* out) {
+    out->clear();
+#ifdef CPR_HAVE_EPOLL
+    epoll_event events[128];
+    const int n = epoll_wait(epfd_, events, 128, timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      uint32_t flags = 0;
+      if (events[i].events & EPOLLIN) flags |= kReadable;
+      if (events[i].events & EPOLLOUT) flags |= kWritable;
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) flags |= kHangup;
+      out->emplace_back(static_cast<int>(events[i].data.fd), flags);
+    }
+#else
+    const int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    if (n <= 0) return;
+    for (const pollfd& p : fds_) {
+      if (p.revents == 0) continue;
+      uint32_t flags = 0;
+      if (p.revents & POLLIN) flags |= kReadable;
+      if (p.revents & POLLOUT) flags |= kWritable;
+      if (p.revents & (POLLERR | POLLHUP | POLLNVAL)) flags |= kHangup;
+      out->emplace_back(p.fd, flags);
+    }
+#endif
+  }
+
+ private:
+#ifdef CPR_HAVE_EPOLL
+  int epfd_ = -1;
+#else
+  std::vector<pollfd> fds_;
+#endif
+};
+
+}  // namespace
+
+// A response slot in a connection's FIFO. Responses are released strictly
+// in request order; a slot can be unfilled (operation went async) or gated
+// (durable ack / checkpoint completion).
+struct KvServer::PendingResponse {
+  bool ready = false;
+  uint64_t durable_gate = 0;  // release when durable point >= this serial
+  uint64_t token_gate = 0;    // release when LastCheckpointToken() >= this
+  uint64_t serial = 0;        // async completion matching
+  net::Response resp;
+};
+
+struct KvServer::Connection {
+  int fd = -1;
+  Worker* worker = nullptr;
+  faster::Session* session = nullptr;
+  uint64_t guid = 0;
+  net::AckMode ack_mode = net::AckMode::kExecuted;
+  std::vector<char> inbuf;
+  std::vector<char> outbuf;
+  size_t out_off = 0;
+  std::deque<PendingResponse> queue;
+  bool want_write = false;
+  bool closed = false;
+  // Cached durable commit point; re-queried when a checkpoint completes.
+  uint64_t durable_point = 0;
+  uint64_t durable_token_seen = 0;
+};
+
+struct KvServer::Worker {
+  uint32_t id = 0;
+  std::thread thread;
+  Poller poller;
+  int wake_r = -1;
+  int wake_w = -1;
+  std::mutex mu;
+  std::vector<int> incoming;
+  std::unordered_map<int, std::unique_ptr<Connection>> conns;
+};
+
+KvServer::KvServer(faster::FasterKv* kv, KvServerOptions options)
+    : kv_(kv), options_(std::move(options)) {
+  if (options_.num_workers == 0) options_.num_workers = 1;
+}
+
+KvServer::~KvServer() { Stop(); }
+
+Status KvServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already running");
+  }
+  stop_.store(false, std::memory_order_release);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IoError("socket() failed");
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad host address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind() failed: " + std::string(strerror(errno)));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  workers_.clear();
+  for (uint32_t i = 0; i < options_.num_workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->id = i;
+    int pipefd[2];
+    if (pipe(pipefd) != 0 || !w->poller.Init()) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      workers_.clear();
+      return Status::IoError("worker setup failed");
+    }
+    w->wake_r = pipefd[0];
+    w->wake_w = pipefd[1];
+    SetNonBlocking(w->wake_r);
+    SetNonBlocking(w->wake_w);
+    w->poller.Add(w->wake_r);
+    workers_.push_back(std::move(w));
+  }
+  for (auto& w : workers_) {
+    Worker* raw = w.get();
+    w->thread = std::thread([this, raw] { WorkerLoop(*raw); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  last_periodic_ckpt_ns_ = NowNanos();
+  running_.store(true, std::memory_order_release);
+  return Status::Ok();
+}
+
+void KvServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& w : workers_) {
+    (void)!::write(w->wake_w, "x", 1);
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  // Workers have parked every still-pending session in draining_ /
+  // detached_. Drive them together so cross-session dependencies (a CPR
+  // wait-pending phase needs *all* sessions' pendings to finish) resolve,
+  // then stop each one.
+  std::vector<faster::Session*> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(draining_mu_);
+    leftovers.swap(draining_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(detached_mu_);
+    for (auto& [guid, s] : detached_) leftovers.push_back(s);
+    detached_.clear();
+  }
+  ShutdownDrainSessions(std::move(leftovers));
+  for (auto& w : workers_) {
+    ::close(w->wake_r);
+    ::close(w->wake_w);
+  }
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(guids_mu_);
+    live_guids_.clear();
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void KvServer::ShutdownDrainSessions(std::vector<faster::Session*> sessions) {
+  bool pending = true;
+  while (pending) {
+    pending = false;
+    for (faster::Session* s : sessions) {
+      kv_->CompletePending(*s);
+      kv_->Refresh(*s);
+      if (s->pending_count() > 0) pending = true;
+    }
+    if (pending) std::this_thread::yield();
+  }
+  for (faster::Session* s : sessions) kv_->StopSession(s);
+}
+
+void KvServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof(peer);
+    const int fd =
+        ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (fd < 0) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listen socket gone
+    }
+    if (counters_.connections_active.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    SetNonBlocking(fd);
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    counters_.connections_active.fetch_add(1, std::memory_order_relaxed);
+    Worker& w = *workers_[next_worker_.fetch_add(1, std::memory_order_relaxed) %
+                          workers_.size()];
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      w.incoming.push_back(fd);
+    }
+    (void)!::write(w.wake_w, "x", 1);
+  }
+}
+
+void KvServer::WorkerLoop(Worker& w) {
+  std::vector<std::pair<int, uint32_t>> ready;
+  while (!stop_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      for (int fd : w.incoming) AdoptConnection(w, fd);
+      w.incoming.clear();
+    }
+    // Socket readiness wakes us immediately; a short timeout is only needed
+    // while asynchronous work (pending ops, an in-flight checkpoint, gated
+    // responses) must be polled for progress.
+    const int timeout =
+        AnyWorkPending(w) ? 1 : static_cast<int>(options_.idle_poll_ms);
+    w.poller.Wait(timeout, &ready);
+    for (const auto& [fd, ev] : ready) {
+      if (fd == w.wake_r) {
+        char buf[64];
+        while (::read(w.wake_r, buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      auto it = w.conns.find(fd);
+      if (it == w.conns.end()) continue;
+      Connection* c = it->second.get();
+      if (ev & kHangup) {
+        c->closed = true;
+        continue;
+      }
+      if (ev & kReadable) OnReadable(w, c);
+      if (!c->closed && (ev & kWritable)) FlushOut(w, c);
+    }
+    DriveConnections(w);
+    TickDetached();
+    if (w.id == 0) MaybePeriodicCheckpoint();
+  }
+  // Shutdown: close sockets; sessions with no pendings stop here, the rest
+  // are handed to Stop() for the combined drain.
+  for (auto& [fd, conn] : w.conns) {
+    Connection* c = conn.get();
+    ::close(c->fd);
+    counters_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+    if (c->session != nullptr) {
+      c->session->set_async_callback(nullptr);
+      std::lock_guard<std::mutex> lock(draining_mu_);
+      draining_.push_back(c->session);
+    }
+  }
+  w.conns.clear();
+}
+
+void KvServer::AdoptConnection(Worker& w, int fd) {
+  auto conn = std::make_unique<Connection>();
+  conn->fd = fd;
+  conn->worker = &w;
+  w.poller.Add(fd);
+  w.conns.emplace(fd, std::move(conn));
+}
+
+bool KvServer::AnyWorkPending(const Worker& w) const {
+  if (kv_->CheckpointInProgress()) return true;
+  for (const auto& [fd, c] : w.conns) {
+    if (!c->queue.empty() || c->out_off < c->outbuf.size()) return true;
+    if (c->session != nullptr && c->session->pending_count() > 0) return true;
+  }
+  return false;
+}
+
+void KvServer::OnReadable(Worker& w, Connection* c) {
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(c->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      counters_.bytes_in.fetch_add(static_cast<uint64_t>(n),
+                                   std::memory_order_relaxed);
+      c->inbuf.insert(c->inbuf.end(), buf, buf + n);
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      c->closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    c->closed = true;
+    break;
+  }
+  if (!c->inbuf.empty()) ParseFrames(w, c);
+}
+
+void KvServer::ParseFrames(Worker& w, Connection* c) {
+  (void)w;
+  size_t off = 0;
+  while (!c->closed) {
+    std::string_view payload;
+    size_t consumed = 0;
+    const net::FrameResult fr = net::TryExtractFrame(
+        c->inbuf.data() + off, c->inbuf.size() - off, &payload, &consumed);
+    if (fr == net::FrameResult::kNeedMore) break;
+    if (fr == net::FrameResult::kBadFrame) {
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      c->closed = true;
+      break;
+    }
+    counters_.requests.fetch_add(1, std::memory_order_relaxed);
+    net::Request req;
+    if (!net::DecodeRequest(payload, &req)) {
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      c->closed = true;
+      break;
+    }
+    HandleRequest(c, req);
+    off += consumed;
+  }
+  c->inbuf.erase(c->inbuf.begin(), c->inbuf.begin() + off);
+}
+
+void KvServer::HandleRequest(Connection* c, const net::Request& req) {
+  switch (req.op) {
+    case net::Op::kHello:
+      HandleHello(c, req);
+      return;
+    case net::Op::kCheckpoint:
+      HandleCheckpoint(c, req);
+      return;
+    case net::Op::kCommitPoint:
+      HandleCommitPoint(c, req);
+      return;
+    default:
+      HandleDataOp(c, req);
+      return;
+  }
+}
+
+void KvServer::HandleHello(Connection* c, const net::Request& req) {
+  PendingResponse entry;
+  entry.ready = true;
+  entry.resp.op = net::Op::kHello;
+  entry.resp.seq = req.seq;
+  if (c->session != nullptr) {
+    entry.resp.status = net::WireStatus::kBadRequest;
+    c->queue.push_back(std::move(entry));
+    return;
+  }
+  if (req.guid != 0) {
+    std::lock_guard<std::mutex> lock(guids_mu_);
+    if (live_guids_.count(req.guid) != 0) {
+      entry.resp.status = net::WireStatus::kBusy;
+      c->queue.push_back(std::move(entry));
+      return;
+    }
+    live_guids_.insert(req.guid);
+  }
+  faster::Session* session = nullptr;
+  uint64_t resumed = 0;
+  if (req.guid != 0) {
+    // A live (detached) session resumes at its exact serial: nothing was
+    // lost, the client replays nothing.
+    std::lock_guard<std::mutex> lock(detached_mu_);
+    auto it = detached_.find(req.guid);
+    if (it != detached_.end()) {
+      session = it->second;
+      detached_.erase(it);
+      resumed = session->serial();
+    }
+  }
+  if (session == nullptr) {
+    session = kv_->StartSession(req.guid);
+    if (session == nullptr) {  // epoch table full
+      if (req.guid != 0) {
+        std::lock_guard<std::mutex> lock(guids_mu_);
+        live_guids_.erase(req.guid);
+      }
+      entry.resp.status = net::WireStatus::kBusy;
+      c->queue.push_back(std::move(entry));
+      return;
+    }
+    // After Recover() this is the recovered commit point; the client
+    // replays everything past it. 0 for a fresh session.
+    resumed = session->last_commit_point();
+  }
+  c->session = session;
+  c->guid = session->guid();
+  c->ack_mode = req.ack_mode;
+  if (req.guid == 0) {
+    std::lock_guard<std::mutex> lock(guids_mu_);
+    live_guids_.insert(c->guid);
+  }
+  session->set_async_callback(
+      [this, c](const faster::AsyncResult& r) { OnAsyncComplete(c, r); });
+  entry.resp.status = net::WireStatus::kOk;
+  entry.resp.guid = c->guid;
+  entry.resp.recovered_serial = resumed;
+  entry.resp.value_size = kv_->value_size();
+  c->queue.push_back(std::move(entry));
+}
+
+void KvServer::HandleDataOp(Connection* c, const net::Request& req) {
+  PendingResponse entry;
+  entry.resp.op = req.op;
+  entry.resp.seq = req.seq;
+  if (c->session == nullptr) {
+    entry.ready = true;
+    entry.resp.status = net::WireStatus::kNoSession;
+    c->queue.push_back(std::move(entry));
+    return;
+  }
+  if (req.op == net::Op::kUpsert &&
+      req.value.size() != kv_->value_size()) {
+    entry.ready = true;
+    entry.resp.status = net::WireStatus::kBadRequest;
+    c->queue.push_back(std::move(entry));
+    return;
+  }
+  faster::Session& s = *c->session;
+  faster::OpStatus st = faster::OpStatus::kOk;
+  std::vector<char> value(req.op == net::Op::kRead ? kv_->value_size() : 0);
+  switch (req.op) {
+    case net::Op::kRead:
+      st = kv_->Read(s, req.key, value.data());
+      break;
+    case net::Op::kUpsert:
+      st = kv_->Upsert(s, req.key, req.value.data());
+      break;
+    case net::Op::kRmw:
+      st = kv_->Rmw(s, req.key, req.delta);
+      break;
+    case net::Op::kDelete:
+      st = kv_->Delete(s, req.key);
+      break;
+    default:
+      entry.ready = true;
+      entry.resp.status = net::WireStatus::kBadRequest;
+      c->queue.push_back(std::move(entry));
+      return;
+  }
+  entry.serial = s.serial();
+  entry.resp.serial = entry.serial;
+  // Only updates gate on durability. Reads still bump the session serial,
+  // but their acks release as soon as every earlier queued update has been
+  // covered (the FIFO release order enforces that), so a durable-mode read
+  // never waits on its own serial — which no checkpoint may cover yet.
+  if (c->ack_mode == net::AckMode::kDurable && req.op != net::Op::kRead) {
+    entry.durable_gate = entry.serial;
+    counters_.durable_held.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (st == faster::OpStatus::kPending) {
+    counters_.ops_pending.fetch_add(1, std::memory_order_relaxed);
+    entry.ready = false;  // filled by OnAsyncComplete
+  } else {
+    entry.ready = true;
+    entry.resp.status = st == faster::OpStatus::kOk
+                            ? net::WireStatus::kOk
+                            : net::WireStatus::kNotFound;
+    if (req.op == net::Op::kRead && st == faster::OpStatus::kOk) {
+      entry.resp.value = std::move(value);
+    }
+  }
+  c->queue.push_back(std::move(entry));
+}
+
+void KvServer::HandleCheckpoint(Connection* c, const net::Request& req) {
+  PendingResponse entry;
+  entry.ready = true;
+  entry.resp.op = net::Op::kCheckpoint;
+  entry.resp.seq = req.seq;
+  if (c->session == nullptr) {
+    entry.resp.status = net::WireStatus::kNoSession;
+    c->queue.push_back(std::move(entry));
+    return;
+  }
+  uint64_t token = 0;
+  const auto variant = req.variant == 0 ? faster::CommitVariant::kFoldOver
+                                        : faster::CommitVariant::kSnapshot;
+  if (!kv_->Checkpoint(variant, req.include_index, nullptr, &token)) {
+    counters_.checkpoint_stalls.fetch_add(1, std::memory_order_relaxed);
+    entry.resp.status = net::WireStatus::kBusy;
+    c->queue.push_back(std::move(entry));
+    return;
+  }
+  counters_.checkpoints.fetch_add(1, std::memory_order_relaxed);
+  entry.resp.status = net::WireStatus::kOk;
+  entry.resp.token = token;
+  entry.token_gate = token;  // respond once the checkpoint is durable
+  c->queue.push_back(std::move(entry));
+}
+
+void KvServer::HandleCommitPoint(Connection* c, const net::Request& req) {
+  PendingResponse entry;
+  entry.ready = true;
+  entry.resp.op = net::Op::kCommitPoint;
+  entry.resp.seq = req.seq;
+  if (c->session == nullptr) {
+    entry.resp.status = net::WireStatus::kNoSession;
+    c->queue.push_back(std::move(entry));
+    return;
+  }
+  uint64_t point = 0;
+  (void)kv_->DurableCommitPoint(c->guid, &point);  // absent -> 0
+  entry.resp.status = net::WireStatus::kOk;
+  entry.resp.commit_serial = point;
+  c->queue.push_back(std::move(entry));
+}
+
+void KvServer::OnAsyncComplete(Connection* c, const faster::AsyncResult& r) {
+  for (PendingResponse& e : c->queue) {
+    if (e.ready || e.serial != r.serial) continue;
+    e.ready = true;
+    if (r.kind == faster::OpKind::kRead) {
+      e.resp.status =
+          r.found ? net::WireStatus::kOk : net::WireStatus::kNotFound;
+      if (r.found) e.resp.value = r.value;
+    } else {
+      e.resp.status = net::WireStatus::kOk;
+    }
+    return;
+  }
+}
+
+void KvServer::ReleaseResponses(Connection* c) {
+  const uint64_t token = kv_->LastCheckpointToken();
+  if (c->ack_mode == net::AckMode::kDurable &&
+      token != c->durable_token_seen && c->session != nullptr) {
+    c->durable_token_seen = token;
+    uint64_t point = 0;
+    if (kv_->DurableCommitPoint(c->guid, &point).ok()) {
+      c->durable_point = point;
+    }
+  }
+  while (!c->queue.empty()) {
+    PendingResponse& e = c->queue.front();
+    if (!e.ready) break;
+    if (e.token_gate != 0 && token < e.token_gate) break;
+    if (e.durable_gate != 0 && c->durable_point < e.durable_gate) break;
+    if (e.token_gate != 0) {
+      // Checkpoint done: report this session's committed prefix.
+      uint64_t point = 0;
+      (void)kv_->DurableCommitPoint(c->guid, &point);
+      e.resp.commit_serial = point;
+    }
+    net::EncodeResponse(e.resp, &c->outbuf);
+    counters_.responses.fetch_add(1, std::memory_order_relaxed);
+    c->queue.pop_front();
+  }
+}
+
+void KvServer::FlushOut(Worker& w, Connection* c) {
+  while (c->out_off < c->outbuf.size()) {
+    const ssize_t n = ::send(c->fd, c->outbuf.data() + c->out_off,
+                             c->outbuf.size() - c->out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      counters_.bytes_out.fetch_add(static_cast<uint64_t>(n),
+                                    std::memory_order_relaxed);
+      c->out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    c->closed = true;
+    return;
+  }
+  if (c->out_off == c->outbuf.size()) {
+    c->outbuf.clear();
+    c->out_off = 0;
+  } else if (c->outbuf.size() > (1u << 20) && c->out_off > (1u << 19)) {
+    c->outbuf.erase(c->outbuf.begin(), c->outbuf.begin() + c->out_off);
+    c->out_off = 0;
+  }
+  const bool want = c->out_off < c->outbuf.size();
+  if (want != c->want_write) {
+    c->want_write = want;
+    w.poller.SetWriteInterest(c->fd, want);
+  }
+}
+
+void KvServer::DriveConnections(Worker& w) {
+  for (auto it = w.conns.begin(); it != w.conns.end();) {
+    Connection* c = it->second.get();
+    if (c->session != nullptr) {
+      kv_->CompletePending(*c->session);
+      kv_->Refresh(*c->session);
+    }
+    if (!c->closed) {
+      ReleaseResponses(c);
+      FlushOut(w, c);
+    }
+    if (c->closed) {
+      DestroyConnection(w, c);
+      it = w.conns.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void KvServer::DestroyConnection(Worker& w, Connection* c) {
+  w.poller.Remove(c->fd);
+  ::close(c->fd);
+  counters_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+  faster::Session* session = c->session;
+  c->session = nullptr;
+  if (session == nullptr) return;
+  session->set_async_callback(nullptr);
+  {
+    std::lock_guard<std::mutex> lock(guids_mu_);
+    live_guids_.erase(c->guid);
+  }
+  if (options_.detach_sessions && !stop_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(detached_mu_);
+    detached_[c->guid] = session;
+  } else if (session->pending_count() == 0) {
+    kv_->StopSession(session);
+  } else {
+    // Cannot block this worker loop waiting for the session's pendings
+    // (they may depend on other sessions this worker owns); park it.
+    std::lock_guard<std::mutex> lock(draining_mu_);
+    draining_.push_back(session);
+  }
+}
+
+void KvServer::TickDetached() {
+  // Detached and draining sessions still hold epoch slots: keep refreshing
+  // them (and completing their pendings) or checkpoints would stall.
+  if (detached_mu_.try_lock()) {
+    for (auto& [guid, s] : detached_) {
+      kv_->CompletePending(*s);
+      kv_->Refresh(*s);
+    }
+    detached_mu_.unlock();
+  }
+  if (draining_mu_.try_lock()) {
+    for (auto it = draining_.begin(); it != draining_.end();) {
+      faster::Session* s = *it;
+      kv_->CompletePending(*s);
+      kv_->Refresh(*s);
+      if (s->pending_count() == 0) {
+        kv_->StopSession(s);
+        it = draining_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    draining_mu_.unlock();
+  }
+}
+
+void KvServer::MaybePeriodicCheckpoint() {
+  if (options_.checkpoint_interval_ms == 0) return;
+  const uint64_t now = NowNanos();
+  if (now - last_periodic_ckpt_ns_ <
+      uint64_t{options_.checkpoint_interval_ms} * 1'000'000) {
+    return;
+  }
+  if (kv_->CheckpointInProgress()) return;
+  if (kv_->Checkpoint(options_.checkpoint_variant, /*include_index=*/false)) {
+    counters_.checkpoints.fetch_add(1, std::memory_order_relaxed);
+    last_periodic_ckpt_ns_ = now;
+  }
+}
+
+}  // namespace cpr::server

@@ -1,0 +1,137 @@
+#ifndef CPR_SERVER_SERVER_H_
+#define CPR_SERVER_SERVER_H_
+
+// Epoll-based (poll(2) fallback) TCP front-end exposing FasterKv over the
+// wire protocol in server/wire.h.
+//
+// Threading: one acceptor thread plus N worker threads. Each accepted
+// connection is assigned to one worker for its whole life, and each
+// connection binds to its own CPR Session, so the epoch rules ("refresh
+// regularly, complete your pendings") are honored per worker loop. Workers
+// refresh every session they own on every iteration, which is what lets
+// fully asynchronous checkpoints make progress even when connections idle.
+//
+// Durability semantics (the CPR story, end to end):
+//   - ack_mode EXECUTED: a response means the operation executed; it is
+//     durable only once a later checkpoint's commit point covers its serial
+//     (query via COMMIT_POINT).
+//   - ack_mode DURABLE: responses are withheld until a completed checkpoint
+//     covers the operation's serial; an acknowledgement means committed.
+//     Clients should trigger CHECKPOINT (or the server can be configured
+//     with checkpoint_interval_ms) or acknowledgements will not flow.
+//
+// Disconnects (detach_sessions=true, the default) park the session
+// server-side; a reconnecting HELLO with the same guid resumes it at its
+// exact serial, so a live reconnect replays nothing. After a crash and
+// Recover(), HELLO reports the recovered commit point and the client
+// replays everything after it.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "faster/faster.h"
+#include "server/wire.h"
+#include "util/instrumentation.h"
+#include "util/status.h"
+
+namespace cpr::server {
+
+struct KvServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0: pick an ephemeral port, see KvServer::port()
+  uint32_t num_workers = 2;
+  // Each connection holds an epoch-table slot; keep this below the store's
+  // epoch max_threads (default 128) minus the threads you run yourself.
+  uint32_t max_connections = 96;
+  uint32_t idle_poll_ms = 5;  // poll timeout when no work is pending
+  // 0: checkpoints only when a client sends CHECKPOINT. Otherwise the
+  // server starts one every interval (worker 0 drives it).
+  uint32_t checkpoint_interval_ms = 0;
+  faster::CommitVariant checkpoint_variant = faster::CommitVariant::kFoldOver;
+  // Keep sessions alive across disconnects so clients can resume at their
+  // exact serial. Sessions are only torn down at Stop() (or immediately at
+  // disconnect when false).
+  bool detach_sessions = true;
+};
+
+class KvServer {
+ public:
+  // `kv` must outlive the server. Call Recover() on it before Start() when
+  // resuming from a checkpoint.
+  KvServer(faster::FasterKv* kv, KvServerOptions options);
+  ~KvServer();
+
+  KvServer(const KvServer&) = delete;
+  KvServer& operator=(const KvServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  ServerCounters::Snapshot counters() const { return counters_.Sample(); }
+
+ private:
+  struct PendingResponse;
+  struct Connection;
+  struct Worker;
+
+  void AcceptLoop();
+  void WorkerLoop(Worker& w);
+  void AdoptConnection(Worker& w, int fd);
+  void OnReadable(Worker& w, Connection* c);
+  void ParseFrames(Worker& w, Connection* c);
+  void HandleRequest(Connection* c, const net::Request& req);
+  void HandleHello(Connection* c, const net::Request& req);
+  void HandleDataOp(Connection* c, const net::Request& req);
+  void HandleCheckpoint(Connection* c, const net::Request& req);
+  void HandleCommitPoint(Connection* c, const net::Request& req);
+  void OnAsyncComplete(Connection* c, const faster::AsyncResult& r);
+  void ReleaseResponses(Connection* c);
+  void FlushOut(Worker& w, Connection* c);
+  void DriveConnections(Worker& w);
+  void DestroyConnection(Worker& w, Connection* c);
+  void TickDetached();
+  void MaybePeriodicCheckpoint();
+  bool AnyWorkPending(const Worker& w) const;
+  void ShutdownDrainSessions(std::vector<faster::Session*> sessions);
+
+  faster::FasterKv* kv_;
+  KvServerOptions options_;
+  ServerCounters counters_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::thread acceptor_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<uint32_t> next_worker_{0};
+
+  // Guids currently attached to a live connection (duplicate HELLO -> BUSY).
+  std::mutex guids_mu_;
+  std::set<uint64_t> live_guids_;
+
+  // Sessions parked by disconnected clients, keyed by guid. Ticked by
+  // whichever worker gets the try_lock so their epochs keep advancing.
+  std::mutex detached_mu_;
+  std::map<uint64_t, faster::Session*> detached_;
+
+  // Sessions of closed connections (and of all connections at shutdown)
+  // whose pending operations still need to be driven before StopSession.
+  std::mutex draining_mu_;
+  std::vector<faster::Session*> draining_;
+
+  uint64_t last_periodic_ckpt_ns_ = 0;  // worker 0 only
+};
+
+}  // namespace cpr::server
+
+#endif  // CPR_SERVER_SERVER_H_

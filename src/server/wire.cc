@@ -1,0 +1,243 @@
+#include "server/wire.h"
+
+#include <cstring>
+
+namespace cpr::net {
+namespace {
+
+template <typename T>
+void AppendPod(std::vector<char>* out, T v) {
+  const char* p = reinterpret_cast<const char*>(&v);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+// Bounds-checked little-endian reader over a frame payload.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  bool Pod(T* out) {
+    if (data_.size() - pos_ < sizeof(T)) return false;
+    std::memcpy(out, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  // Consumes all remaining bytes.
+  void Rest(std::vector<char>* out) {
+    out->assign(data_.begin() + pos_, data_.end());
+    pos_ = data_.size();
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// Patches the frame length header once the payload is fully appended.
+class FrameWriter {
+ public:
+  explicit FrameWriter(std::vector<char>* out) : out_(out), start_(out->size()) {
+    AppendPod<uint32_t>(out_, 0);
+  }
+  ~FrameWriter() {
+    const uint32_t len =
+        static_cast<uint32_t>(out_->size() - start_ - kFrameHeaderBytes);
+    std::memcpy(out_->data() + start_, &len, sizeof(len));
+  }
+
+ private:
+  std::vector<char>* out_;
+  size_t start_;
+};
+
+}  // namespace
+
+FrameResult TryExtractFrame(const char* data, size_t size,
+                            std::string_view* payload, size_t* consumed) {
+  if (size < kFrameHeaderBytes) return FrameResult::kNeedMore;
+  uint32_t len = 0;
+  std::memcpy(&len, data, sizeof(len));
+  if (len == 0 || len > kMaxFrameBytes) return FrameResult::kBadFrame;
+  if (size < kFrameHeaderBytes + len) return FrameResult::kNeedMore;
+  *payload = std::string_view(data + kFrameHeaderBytes, len);
+  *consumed = kFrameHeaderBytes + len;
+  return FrameResult::kFrame;
+}
+
+void EncodeRequest(const Request& req, std::vector<char>* out) {
+  FrameWriter frame(out);
+  AppendPod<uint8_t>(out, static_cast<uint8_t>(req.op));
+  AppendPod<uint32_t>(out, req.seq);
+  switch (req.op) {
+    case Op::kHello:
+      AppendPod<uint64_t>(out, req.guid);
+      AppendPod<uint8_t>(out, static_cast<uint8_t>(req.ack_mode));
+      break;
+    case Op::kRead:
+    case Op::kDelete:
+      AppendPod<uint64_t>(out, req.key);
+      break;
+    case Op::kUpsert:
+      AppendPod<uint64_t>(out, req.key);
+      out->insert(out->end(), req.value.begin(), req.value.end());
+      break;
+    case Op::kRmw:
+      AppendPod<uint64_t>(out, req.key);
+      AppendPod<int64_t>(out, req.delta);
+      break;
+    case Op::kCheckpoint:
+      AppendPod<uint8_t>(out, req.variant);
+      AppendPod<uint8_t>(out, req.include_index ? 1 : 0);
+      break;
+    case Op::kCommitPoint:
+      break;
+  }
+}
+
+void EncodeResponse(const Response& resp, std::vector<char>* out) {
+  FrameWriter frame(out);
+  AppendPod<uint8_t>(out, static_cast<uint8_t>(resp.op));
+  AppendPod<uint8_t>(out, static_cast<uint8_t>(resp.status));
+  AppendPod<uint32_t>(out, resp.seq);
+  AppendPod<uint64_t>(out, resp.serial);
+  switch (resp.op) {
+    case Op::kHello:
+      AppendPod<uint64_t>(out, resp.guid);
+      AppendPod<uint64_t>(out, resp.recovered_serial);
+      AppendPod<uint32_t>(out, resp.value_size);
+      break;
+    case Op::kRead:
+      if (resp.status == WireStatus::kOk) {
+        out->insert(out->end(), resp.value.begin(), resp.value.end());
+      }
+      break;
+    case Op::kUpsert:
+    case Op::kRmw:
+    case Op::kDelete:
+      break;
+    case Op::kCheckpoint:
+      AppendPod<uint64_t>(out, resp.token);
+      AppendPod<uint64_t>(out, resp.commit_serial);
+      break;
+    case Op::kCommitPoint:
+      AppendPod<uint64_t>(out, resp.commit_serial);
+      break;
+  }
+}
+
+bool DecodeRequest(std::string_view payload, Request* out) {
+  *out = Request{};  // decoders fully overwrite: no residue on reused structs
+  Reader r(payload);
+  uint8_t op = 0;
+  if (!r.Pod(&op) || !r.Pod(&out->seq)) return false;
+  if (op < static_cast<uint8_t>(Op::kHello) ||
+      op > static_cast<uint8_t>(Op::kCommitPoint)) {
+    return false;
+  }
+  out->op = static_cast<Op>(op);
+  switch (out->op) {
+    case Op::kHello: {
+      uint8_t mode = 0;
+      if (!r.Pod(&out->guid) || !r.Pod(&mode)) return false;
+      if (mode > static_cast<uint8_t>(AckMode::kDurable)) return false;
+      out->ack_mode = static_cast<AckMode>(mode);
+      break;
+    }
+    case Op::kRead:
+    case Op::kDelete:
+      if (!r.Pod(&out->key)) return false;
+      break;
+    case Op::kUpsert:
+      if (!r.Pod(&out->key)) return false;
+      r.Rest(&out->value);  // length validated against value_size by server
+      if (out->value.empty()) return false;
+      break;
+    case Op::kRmw:
+      if (!r.Pod(&out->key) || !r.Pod(&out->delta)) return false;
+      break;
+    case Op::kCheckpoint: {
+      uint8_t include = 0;
+      if (!r.Pod(&out->variant) || !r.Pod(&include)) return false;
+      if (out->variant > 1) return false;
+      out->include_index = include != 0;
+      break;
+    }
+    case Op::kCommitPoint:
+      break;
+  }
+  return r.AtEnd();
+}
+
+bool DecodeResponse(std::string_view payload, Response* out) {
+  *out = Response{};
+  Reader r(payload);
+  uint8_t op = 0;
+  uint8_t status = 0;
+  if (!r.Pod(&op) || !r.Pod(&status) || !r.Pod(&out->seq) ||
+      !r.Pod(&out->serial)) {
+    return false;
+  }
+  if (op < static_cast<uint8_t>(Op::kHello) ||
+      op > static_cast<uint8_t>(Op::kCommitPoint) ||
+      status > static_cast<uint8_t>(WireStatus::kError)) {
+    return false;
+  }
+  out->op = static_cast<Op>(op);
+  out->status = static_cast<WireStatus>(status);
+  switch (out->op) {
+    case Op::kHello:
+      if (!r.Pod(&out->guid) || !r.Pod(&out->recovered_serial) ||
+          !r.Pod(&out->value_size)) {
+        return false;
+      }
+      break;
+    case Op::kRead:
+      if (out->status == WireStatus::kOk) {
+        r.Rest(&out->value);
+        if (out->value.empty()) return false;
+      }
+      break;
+    case Op::kUpsert:
+    case Op::kRmw:
+    case Op::kDelete:
+      break;
+    case Op::kCheckpoint:
+      if (!r.Pod(&out->token) || !r.Pod(&out->commit_serial)) return false;
+      break;
+    case Op::kCommitPoint:
+      if (!r.Pod(&out->commit_serial)) return false;
+      break;
+  }
+  return r.AtEnd();
+}
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kHello: return "HELLO";
+    case Op::kRead: return "READ";
+    case Op::kUpsert: return "UPSERT";
+    case Op::kRmw: return "RMW";
+    case Op::kDelete: return "DELETE";
+    case Op::kCheckpoint: return "CHECKPOINT";
+    case Op::kCommitPoint: return "COMMIT_POINT";
+  }
+  return "?";
+}
+
+const char* StatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk: return "OK";
+    case WireStatus::kNotFound: return "NOT_FOUND";
+    case WireStatus::kBadRequest: return "BAD_REQUEST";
+    case WireStatus::kNoSession: return "NO_SESSION";
+    case WireStatus::kBusy: return "BUSY";
+    case WireStatus::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace cpr::net

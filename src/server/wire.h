@@ -1,0 +1,123 @@
+#ifndef CPR_SERVER_WIRE_H_
+#define CPR_SERVER_WIRE_H_
+
+// Wire protocol for the CPR KV serving layer.
+//
+// Every message is a frame: a 4-byte little-endian payload length followed
+// by that many payload bytes. Payloads start with a fixed header; all
+// integers are little-endian, fixed width.
+//
+//   request payload:  u8 op | u32 seq | body
+//   response payload: u8 op | u8 status | u32 seq | u64 serial | body
+//
+// `seq` is a client-chosen cookie echoed verbatim (pipelining correlation /
+// desync detection). `serial` is the CPR session serial the server assigned
+// to the operation (0 for non-data ops). Bodies per op:
+//
+//   op            request body                  response body
+//   HELLO         u64 guid, u8 ack_mode         u64 guid, u64 recovered_serial,
+//                                               u32 value_size
+//   READ          u64 key                       value bytes (iff status OK)
+//   UPSERT        u64 key, value bytes          —
+//   RMW           u64 key, i64 delta            —
+//   DELETE        u64 key                       —
+//   CHECKPOINT    u8 variant, u8 include_index  u64 token, u64 commit_serial
+//   COMMIT_POINT  —                             u64 commit_serial
+//
+// HELLO must be the first request on a connection. guid 0 asks for a fresh
+// session; a nonzero guid resumes a live (detached) or recovered session,
+// and `recovered_serial` reports the serial the session resumes at — the
+// client replays every operation after it. With ack_mode DURABLE the server
+// withholds responses until a completed checkpoint covers the operation's
+// serial, so an acknowledgement means "committed", not just "executed".
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace cpr::net {
+
+// Hard ceiling on a frame payload; anything larger is a protocol error.
+constexpr uint32_t kMaxFrameBytes = 1u << 20;
+constexpr uint32_t kFrameHeaderBytes = 4;
+
+enum class Op : uint8_t {
+  kHello = 1,
+  kRead = 2,
+  kUpsert = 3,
+  kRmw = 4,
+  kDelete = 5,
+  kCheckpoint = 6,
+  kCommitPoint = 7,
+};
+
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,   // READ/DELETE on an absent key
+  kBadRequest = 2, // malformed body, wrong value size, HELLO twice, ...
+  kNoSession = 3,  // data op before HELLO
+  kBusy = 4,       // duplicate live guid / checkpoint already in flight /
+                   // session table full
+  kError = 5,
+};
+
+enum class AckMode : uint8_t {
+  kExecuted = 0,  // acknowledge as soon as the operation executed
+  kDurable = 1,   // acknowledge once a checkpoint covers the serial
+};
+
+struct Request {
+  Op op = Op::kHello;
+  uint32_t seq = 0;
+  uint64_t guid = 0;              // HELLO
+  AckMode ack_mode = AckMode::kExecuted;  // HELLO
+  uint64_t key = 0;               // READ/UPSERT/RMW/DELETE
+  int64_t delta = 0;              // RMW
+  std::vector<char> value;        // UPSERT payload
+  uint8_t variant = 0;            // CHECKPOINT: 0 fold-over, 1 snapshot
+  bool include_index = false;     // CHECKPOINT
+};
+
+struct Response {
+  Op op = Op::kHello;
+  WireStatus status = WireStatus::kOk;
+  uint32_t seq = 0;
+  uint64_t serial = 0;
+  uint64_t guid = 0;              // HELLO
+  uint64_t recovered_serial = 0;  // HELLO
+  uint32_t value_size = 0;        // HELLO
+  uint64_t token = 0;             // CHECKPOINT
+  uint64_t commit_serial = 0;     // CHECKPOINT / COMMIT_POINT
+  std::vector<char> value;        // READ
+};
+
+// -- Framing ----------------------------------------------------------------
+
+enum class FrameResult : uint8_t {
+  kNeedMore,  // buffer holds a partial frame
+  kFrame,     // *payload/*consumed describe one complete frame
+  kBadFrame,  // zero-length or oversized frame: close the connection
+};
+
+// Inspects buffered bytes for one complete frame. On kFrame, `payload`
+// points into `data` and `consumed` is the total frame size (header +
+// payload) to drop from the buffer.
+FrameResult TryExtractFrame(const char* data, size_t size,
+                            std::string_view* payload, size_t* consumed);
+
+// -- Encoding (appends one whole frame, header included) --------------------
+
+void EncodeRequest(const Request& req, std::vector<char>* out);
+void EncodeResponse(const Response& resp, std::vector<char>* out);
+
+// -- Decoding (frame payload only; false on any truncated/trailing bytes) ---
+
+bool DecodeRequest(std::string_view payload, Request* out);
+bool DecodeResponse(std::string_view payload, Response* out);
+
+const char* OpName(Op op);
+const char* StatusName(WireStatus status);
+
+}  // namespace cpr::net
+
+#endif  // CPR_SERVER_WIRE_H_

@@ -1,6 +1,7 @@
 #ifndef CPR_UTIL_INSTRUMENTATION_H_
 #define CPR_UTIL_INSTRUMENTATION_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "util/cacheline.h"
@@ -36,6 +37,41 @@ struct alignas(kCacheLineBytes) BreakdownCounters {
     aborted_txns += o.aborted_txns;
     cpr_aborts += o.cpr_aborts;
     return *this;
+  }
+};
+
+// Counters for the network serving layer (src/server). Updated from worker
+// and acceptor threads; sampled by monitoring/bench code, so every field is
+// a relaxed atomic. `Snapshot()` gives a plain copy for reporting.
+struct ServerCounters {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_active{0};
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> responses{0};
+  std::atomic<uint64_t> bytes_in{0};
+  std::atomic<uint64_t> bytes_out{0};
+  std::atomic<uint64_t> ops_pending{0};       // ops that went asynchronous
+  std::atomic<uint64_t> durable_held{0};      // responses gated on durability
+  std::atomic<uint64_t> checkpoints{0};       // checkpoints started via wire
+  std::atomic<uint64_t> checkpoint_stalls{0}; // CHECKPOINT rejected: in flight
+  std::atomic<uint64_t> protocol_errors{0};
+
+  struct Snapshot {
+    uint64_t connections_accepted, connections_active, requests, responses,
+        bytes_in, bytes_out, ops_pending, durable_held, checkpoints,
+        checkpoint_stalls, protocol_errors;
+  };
+
+  Snapshot Sample() const {
+    auto ld = [](const std::atomic<uint64_t>& a) {
+      return a.load(std::memory_order_relaxed);
+    };
+    return Snapshot{ld(connections_accepted), ld(connections_active),
+                    ld(requests),             ld(responses),
+                    ld(bytes_in),             ld(bytes_out),
+                    ld(ops_pending),          ld(durable_held),
+                    ld(checkpoints),          ld(checkpoint_stalls),
+                    ld(protocol_errors)};
   }
 };
 

@@ -3,6 +3,8 @@
 // and partially written logs must replay exactly their valid prefix.
 #include <gtest/gtest.h>
 
+#include "test_dirs.h"
+
 #include <atomic>
 #include <cstring>
 #include <string>
@@ -14,17 +16,7 @@
 namespace cpr {
 namespace {
 
-std::string FreshDir() {
-  static std::atomic<int> counter{0};
-  const char* name = ::testing::UnitTest::GetInstance()
-                         ->current_test_info()
-                         ->name();
-  std::string dir = "/tmp/cpr_inject_" + std::string(name) + "_" +
-                    std::to_string(counter.fetch_add(1));
-  std::string cmd = "rm -rf " + dir;
-  (void)!system(cmd.c_str());
-  return dir;
-}
+std::string FreshDir() { return cpr::testing::FreshTestDir("cpr_inject"); }
 
 void WriteGarbage(const std::string& path, const char* data, size_t len) {
   File f;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "test_dirs.h"
+
 #include <atomic>
 #include <cstring>
 #include <string>
@@ -12,20 +14,7 @@
 namespace cpr::faster {
 namespace {
 
-std::string FreshDir() {
-  static std::atomic<int> counter{0};
-  const char* name = ::testing::UnitTest::GetInstance()
-                         ->current_test_info()
-                         ->name();
-  std::string dir = "/tmp/cpr_fconc_" + std::string(name) + "_" +
-                    std::to_string(counter.fetch_add(1));
-  for (char& c : dir) {
-    if (c == '/') c = '_';
-  }
-  std::string cmd = "rm -rf " + dir;
-  (void)!system(cmd.c_str());
-  return dir;
-}
+std::string FreshDir() { return cpr::testing::FreshTestDir("cpr_fconc"); }
 
 FasterKv::Options ConcOptions(const std::string& dir) {
   FasterKv::Options o;

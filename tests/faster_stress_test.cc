@@ -2,6 +2,8 @@
 // session-semantics checks (async results, pending bookkeeping).
 #include <gtest/gtest.h>
 
+#include "test_dirs.h"
+
 #include <atomic>
 #include <cstring>
 #include <set>
@@ -17,17 +19,7 @@
 namespace cpr::faster {
 namespace {
 
-std::string FreshDir() {
-  static std::atomic<int> counter{0};
-  const char* name = ::testing::UnitTest::GetInstance()
-                         ->current_test_info()
-                         ->name();
-  std::string dir = "/tmp/cpr_fstress_" + std::string(name) + "_" +
-                    std::to_string(counter.fetch_add(1));
-  std::string cmd = "rm -rf " + dir;
-  (void)!system(cmd.c_str());
-  return dir;
-}
+std::string FreshDir() { return cpr::testing::FreshTestDir("cpr_fstress"); }
 
 // Concurrent allocators must receive disjoint, in-bounds regions even while
 // pages roll over, flush, and evict underneath them.
@@ -38,7 +30,7 @@ TEST(HlogStressTest, ConcurrentAllocationsAreDisjoint) {
   cfg.page_bits = 12;
   cfg.memory_pages = 8;
   cfg.ro_lag_pages = 2;
-  cfg.path = FreshDir() + ".log";
+  cfg.path = FreshDir() + "/hlog.log";
   RemoveFileIfExists(cfg.path);
   HybridLog log(cfg, &epoch, &io);
 

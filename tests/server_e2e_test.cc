@@ -1,0 +1,354 @@
+// End-to-end tests for the network serving layer: a real KvServer over a
+// real socket, driven by CprClient. Covers basic ops, pipelining, protocol
+// abuse from a raw socket, live reconnect (ContinueSession), and the
+// headline CPR story: a durable-ack client that survives a server crash
+// with exactly-once effects.
+#include <gtest/gtest.h>
+
+#include "test_dirs.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "faster/faster.h"
+#include "server/server.h"
+#include "server/wire.h"
+
+namespace cpr {
+namespace {
+
+using client::CprClient;
+using faster::FasterKv;
+using server::KvServer;
+using server::KvServerOptions;
+
+std::string FreshDir() { return cpr::testing::FreshTestDir("cpr_srv"); }
+
+FasterKv::Options SmallOptions(const std::string& dir) {
+  FasterKv::Options o;
+  o.dir = dir;
+  o.index_buckets = 1 << 10;
+  o.value_size = 8;
+  o.page_bits = 14;
+  o.memory_pages = 8;
+  o.ro_lag_pages = 2;
+  return o;
+}
+
+KvServerOptions ServerOptions(uint16_t port = 0) {
+  KvServerOptions o;
+  o.port = port;
+  o.num_workers = 2;
+  o.idle_poll_ms = 1;
+  return o;
+}
+
+CprClient::Options ClientOptions(uint16_t port) {
+  CprClient::Options o;
+  o.port = port;
+  o.recv_timeout_ms = 2'000;
+  return o;
+}
+
+int64_t ReadValue(CprClient& c, uint64_t key, bool* found) {
+  int64_t v = 0;
+  EXPECT_TRUE(c.Read(key, &v, found).ok());
+  return v;
+}
+
+TEST(ServerE2E, BasicOpsRoundTrip) {
+  FasterKv kv(SmallOptions(FreshDir()));
+  KvServer server(&kv, ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  CprClient c(ClientOptions(server.port()));
+  ASSERT_TRUE(c.Connect().ok());
+  EXPECT_NE(c.guid(), 0u);
+  EXPECT_EQ(c.recovered_serial(), 0u);
+  EXPECT_EQ(c.value_size(), 8u);
+
+  bool found = true;
+  ReadValue(c, 1, &found);
+  EXPECT_FALSE(found);
+
+  const int64_t v = 1234;
+  ASSERT_TRUE(c.Upsert(1, &v).ok());
+  EXPECT_EQ(ReadValue(c, 1, &found), 1234);
+  EXPECT_TRUE(found);
+
+  ASSERT_TRUE(c.Rmw(1, 6).ok());
+  EXPECT_EQ(ReadValue(c, 1, &found), 1240);
+
+  ASSERT_TRUE(c.Delete(1, &found).ok());
+  EXPECT_TRUE(found);
+  ReadValue(c, 1, &found);
+  EXPECT_FALSE(found);
+  ASSERT_TRUE(c.Delete(1, &found).ok());
+  EXPECT_TRUE(found);  // deletes are blind tombstone appends: always OK
+
+  c.Close();
+  server.Stop();
+  const auto counters = server.counters();
+  EXPECT_GE(counters.requests, 8u);
+  EXPECT_EQ(counters.requests, counters.responses);
+  EXPECT_EQ(counters.connections_accepted, 1u);
+  EXPECT_GT(counters.bytes_in, 0u);
+  EXPECT_GT(counters.bytes_out, 0u);
+}
+
+TEST(ServerE2E, PipelinedOpsKeepOrderAndSerials) {
+  FasterKv kv(SmallOptions(FreshDir()));
+  KvServer server(&kv, ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  CprClient c(ClientOptions(server.port()));
+  ASSERT_TRUE(c.Connect().ok());
+
+  constexpr int kOps = 400;
+  for (int i = 0; i < kOps; ++i) c.EnqueueRmw(i % 16, 1);
+  for (int i = 0; i < 16; ++i) c.EnqueueRead(i);
+  ASSERT_TRUE(c.Flush().ok());
+  std::vector<CprClient::Result> results;
+  ASSERT_TRUE(c.Drain(&results).ok());
+  ASSERT_EQ(results.size(), static_cast<size_t>(kOps + 16));
+
+  uint64_t prev_serial = 0;
+  for (int i = 0; i < kOps; ++i) {
+    EXPECT_EQ(results[i].op, net::Op::kRmw);
+    EXPECT_EQ(results[i].status, net::WireStatus::kOk);
+    EXPECT_EQ(results[i].serial, prev_serial + 1);
+    prev_serial = results[i].serial;
+  }
+  for (int i = 0; i < 16; ++i) {
+    const auto& r = results[kOps + i];
+    EXPECT_EQ(r.op, net::Op::kRead);
+    ASSERT_EQ(r.status, net::WireStatus::kOk);
+    int64_t v = 0;
+    std::memcpy(&v, r.value.data(), sizeof(v));
+    EXPECT_EQ(v, kOps / 16);
+  }
+  c.Close();
+  server.Stop();
+}
+
+TEST(ServerE2E, RawSocketProtocolErrors) {
+  FasterKv kv(SmallOptions(FreshDir()));
+  KvServer server(&kv, ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  // A data op before HELLO is answered with NO_SESSION, not a disconnect.
+  net::Request req;
+  req.op = net::Op::kRead;
+  req.seq = 1;
+  req.key = 7;
+  std::vector<char> frame;
+  net::EncodeRequest(req, &frame);
+  ASSERT_EQ(::send(fd, frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+  char buf[256];
+  ssize_t got = 0;
+  while (got < static_cast<ssize_t>(net::kFrameHeaderBytes)) {
+    const ssize_t n = ::recv(fd, buf + got, sizeof(buf) - got, 0);
+    ASSERT_GT(n, 0);
+    got += n;
+  }
+  uint32_t len = 0;
+  std::memcpy(&len, buf, sizeof(len));
+  while (got < static_cast<ssize_t>(net::kFrameHeaderBytes + len)) {
+    const ssize_t n = ::recv(fd, buf + got, sizeof(buf) - got, 0);
+    ASSERT_GT(n, 0);
+    got += n;
+  }
+  net::Response resp;
+  ASSERT_TRUE(net::DecodeResponse(
+      std::string_view(buf + net::kFrameHeaderBytes, len), &resp));
+  EXPECT_EQ(resp.status, net::WireStatus::kNoSession);
+
+  // An oversized frame header closes the connection.
+  const uint32_t huge = net::kMaxFrameBytes + 1;
+  ASSERT_EQ(::send(fd, &huge, sizeof(huge), 0),
+            static_cast<ssize_t>(sizeof(huge)));
+  EXPECT_EQ(::recv(fd, buf, sizeof(buf), 0), 0);  // orderly close
+  ::close(fd);
+
+  server.Stop();
+  EXPECT_GE(server.counters().protocol_errors, 1u);
+}
+
+TEST(ServerE2E, DuplicateLiveGuidIsRejected) {
+  FasterKv kv(SmallOptions(FreshDir()));
+  KvServer server(&kv, ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  CprClient a(ClientOptions(server.port()));
+  ASSERT_TRUE(a.Connect().ok());
+
+  CprClient::Options bo = ClientOptions(server.port());
+  bo.guid = a.guid();
+  bo.connect_attempts = 1;
+  CprClient b(bo);
+  const Status s = b.Connect();
+  EXPECT_EQ(s.code(), Status::Code::kBusy);
+
+  a.Close();
+  server.Stop();
+}
+
+TEST(ServerE2E, LiveReconnectResumesExactSerial) {
+  FasterKv kv(SmallOptions(FreshDir()));
+  KvServer server(&kv, ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  CprClient c(ClientOptions(server.port()));
+  ASSERT_TRUE(c.Connect().ok());
+  const uint64_t guid = c.guid();
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(c.Rmw(5, 3).ok());
+  EXPECT_EQ(c.replay_backlog(), 10u);  // nothing known durable yet
+
+  // Drop the connection. The server parks the session; HELLO with the same
+  // guid resumes at the exact serial, so nothing is replayed.
+  ASSERT_TRUE(c.Reconnect().ok());
+  EXPECT_EQ(c.guid(), guid);
+  EXPECT_EQ(c.recovered_serial(), 10u);
+  EXPECT_EQ(c.replay_backlog(), 0u);
+
+  ASSERT_TRUE(c.Rmw(5, 3).ok());
+  bool found = false;
+  EXPECT_EQ(ReadValue(c, 5, &found), 33);  // 11 RMWs, applied exactly once
+  EXPECT_TRUE(found);
+
+  c.Close();
+  server.Stop();
+}
+
+TEST(ServerE2E, CommitPointTracksCheckpoint) {
+  FasterKv kv(SmallOptions(FreshDir()));
+  KvServer server(&kv, ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  CprClient c(ClientOptions(server.port()));
+  ASSERT_TRUE(c.Connect().ok());
+
+  uint64_t point = 1;
+  ASSERT_TRUE(c.CommitPoint(&point).ok());
+  EXPECT_EQ(point, 0u);  // nothing checkpointed yet
+
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(c.Rmw(i, 7).ok());
+  uint64_t token = 0;
+  uint64_t commit = 0;
+  ASSERT_TRUE(c.Checkpoint(&token, &commit, false, true).ok());
+  EXPECT_GT(token, 0u);
+  EXPECT_GE(commit, 20u);
+  EXPECT_EQ(c.replay_backlog(), 0u);  // checkpoint response pruned replay
+
+  ASSERT_TRUE(c.CommitPoint(&point).ok());
+  EXPECT_EQ(point, commit);
+
+  c.Close();
+  server.Stop();
+  EXPECT_GE(server.counters().checkpoints, 1u);
+}
+
+// The acceptance scenario: a durable-ack client pipelines RMWs, a checkpoint
+// makes a prefix durable (acks flow only then), the server is torn down and
+// the store recovered from disk. The client reconnects with its guid, learns
+// the recovered commit point, replays exactly the unacknowledged suffix, and
+// every key ends up incremented exactly once per issued RMW.
+TEST(ServerE2E, CrashRecoveryDurableClientExactlyOnce) {
+  const std::string dir = FreshDir();
+  constexpr uint64_t kKeys = 10;
+  constexpr int kBatch1 = 50;  // durably acknowledged before the crash
+  constexpr int kBatch2 = 30;  // executed but never durable: must replay
+
+  auto kv1 = std::make_unique<FasterKv>(SmallOptions(dir));
+  auto server1 = std::make_unique<KvServer>(kv1.get(), ServerOptions());
+  ASSERT_TRUE(server1->Start().ok());
+  const uint16_t port = server1->port();
+
+  CprClient::Options copts;
+  copts.ack_mode = net::AckMode::kDurable;
+  copts.recv_timeout_ms = 2'000;
+  copts.port = port;
+  CprClient c(copts);
+  ASSERT_TRUE(c.Connect().ok());
+  const uint64_t guid = c.guid();
+
+  for (int i = 0; i < kBatch1; ++i) c.EnqueueRmw(i % kKeys, 1);
+  c.EnqueueCheckpoint(/*snapshot=*/false, /*include_index=*/true);
+  ASSERT_TRUE(c.Flush().ok());
+  std::vector<CprClient::Result> results;
+  ASSERT_TRUE(c.Drain(&results).ok());
+  ASSERT_EQ(results.size(), static_cast<size_t>(kBatch1 + 1));
+  // Durable acks arrived for every batch-1 op: they are committed.
+  for (int i = 0; i < kBatch1; ++i) {
+    ASSERT_EQ(results[i].status, net::WireStatus::kOk);
+  }
+  ASSERT_EQ(results[kBatch1].status, net::WireStatus::kOk);
+  EXPECT_GE(c.durable_serial(), static_cast<uint64_t>(kBatch1));
+  EXPECT_EQ(c.replay_backlog(), 0u);
+
+  // Batch 2: flushed to the server (and executed there), but the client
+  // never sees an ack — the crash arrives first.
+  for (int i = 0; i < kBatch2; ++i) c.EnqueueRmw(i % kKeys, 1);
+  ASSERT_TRUE(c.Flush().ok());
+  EXPECT_EQ(c.replay_backlog(), static_cast<size_t>(kBatch2));
+
+  // Crash: tear the server down with no further checkpoint. Batch 2 only
+  // ever lived in volatile memory past the checkpoint. The client object
+  // survives — its replay buffer is the durability contract's other half.
+  server1->Stop();
+  server1.reset();
+  kv1.reset();
+
+  // Recover the store from the on-disk checkpoint and serve it again.
+  FasterKv kv(SmallOptions(dir));
+  ASSERT_TRUE(kv.Recover().ok());
+  KvServer server(&kv, ServerOptions(port));
+  ASSERT_TRUE(server.Start().ok());
+
+  ASSERT_TRUE(c.Reconnect().ok());
+  EXPECT_EQ(c.guid(), guid);
+  // The recovered commit point is exactly the durably-acked prefix.
+  EXPECT_EQ(c.recovered_serial(), static_cast<uint64_t>(kBatch1));
+  // Reconnect replayed the whole unacknowledged suffix and (durable mode)
+  // forced a checkpoint behind it, so the backlog is clean again.
+  EXPECT_EQ(c.replay_backlog(), 0u);
+  EXPECT_GE(c.durable_serial(), static_cast<uint64_t>(kBatch1 + kBatch2));
+
+  // Exactly-once: every key counts batch-1 plus batch-2 increments, with
+  // no acknowledged op lost and no replayed op double-applied.
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    bool found = false;
+    const int64_t v = ReadValue(c, k, &found);
+    ASSERT_TRUE(found) << "key " << k;
+    EXPECT_EQ(v, (kBatch1 + kBatch2) / static_cast<int>(kKeys))
+        << "key " << k;
+  }
+
+  uint64_t point = 0;
+  ASSERT_TRUE(c.CommitPoint(&point).ok());
+  EXPECT_GE(point, static_cast<uint64_t>(kBatch1 + kBatch2));
+
+  c.Close();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace cpr

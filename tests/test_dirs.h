@@ -1,0 +1,88 @@
+#ifndef CPR_TESTS_TEST_DIRS_H_
+#define CPR_TESTS_TEST_DIRS_H_
+
+// Shared scratch-directory helper for tests.
+//
+// Historically each test file rolled its own FreshDir() that wrote under
+// /tmp (or, worse, flattened the path into a relative "_tmp_cpr_*" directory
+// that littered the repo root) and never cleaned up. All tests now route
+// through FreshTestDir(prefix): directories are created under the build
+// tree (CPR_TEST_SCRATCH_DIR, injected by CMake; overridable with the
+// CPR_TEST_TMPDIR environment variable) and every directory created by a
+// test binary is removed when that binary exits.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cpr::testing {
+
+class ScratchDirs {
+ public:
+  static ScratchDirs& Instance() {
+    static ScratchDirs dirs;
+    return dirs;
+  }
+
+  // Returns a fresh, existing, empty directory named after the currently
+  // running test. Safe to call concurrently.
+  std::string Fresh(const std::string& prefix) {
+    std::string name = "global";
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    if (info != nullptr) {
+      name = std::string(info->test_suite_name()) + "_" + info->name();
+    }
+    // Parameterized test names contain '/': flatten inside the leaf name
+    // only, never in the base path.
+    for (char& c : name) {
+      if (c == '/' || c == '.') c = '_';
+    }
+    std::string dir = Base() + "/" + prefix + "_" + name + "_" +
+                      std::to_string(counter_.fetch_add(1));
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    std::filesystem::create_directories(dir, ec);
+    std::lock_guard<std::mutex> lock(mu_);
+    created_.push_back(dir);
+    return dir;
+  }
+
+  // Teardown: remove everything this binary created. Runs at process exit,
+  // after all test fixtures (and the stores they own) are destroyed.
+  ~ScratchDirs() {
+    for (const std::string& dir : created_) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+  }
+
+ private:
+  static std::string Base() {
+    if (const char* env = std::getenv("CPR_TEST_TMPDIR")) {
+      return env;
+    }
+#ifdef CPR_TEST_SCRATCH_DIR
+    return CPR_TEST_SCRATCH_DIR;
+#else
+    return "cpr_test_scratch";
+#endif
+  }
+
+  std::atomic<int> counter_{0};
+  std::mutex mu_;
+  std::vector<std::string> created_;
+};
+
+inline std::string FreshTestDir(const std::string& prefix) {
+  return ScratchDirs::Instance().Fresh(prefix);
+}
+
+}  // namespace cpr::testing
+
+#endif  // CPR_TESTS_TEST_DIRS_H_

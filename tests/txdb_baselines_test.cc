@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "test_dirs.h"
+
 #include <atomic>
 #include <cstring>
 #include <string>
@@ -11,17 +13,7 @@
 namespace cpr::txdb {
 namespace {
 
-std::string FreshDir() {
-  static std::atomic<int> counter{0};
-  const char* name = ::testing::UnitTest::GetInstance()
-                         ->current_test_info()
-                         ->name();
-  std::string dir = "/tmp/cpr_txdb_base_" + std::string(name) + "_" +
-                    std::to_string(counter.fetch_add(1));
-  std::string cmd = "rm -rf " + dir;
-  (void)!system(cmd.c_str());
-  return dir;
-}
+std::string FreshDir() { return cpr::testing::FreshTestDir("cpr_txdb_base"); }
 
 TransactionalDb::Options ModeOptions(DurabilityMode mode,
                                      const std::string& dir) {

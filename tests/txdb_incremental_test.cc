@@ -3,6 +3,8 @@
 // commit-size optimization).
 #include <gtest/gtest.h>
 
+#include "test_dirs.h"
+
 #include <atomic>
 #include <cstring>
 #include <string>
@@ -17,17 +19,7 @@
 namespace cpr::txdb {
 namespace {
 
-std::string FreshDir() {
-  static std::atomic<int> counter{0};
-  const char* name = ::testing::UnitTest::GetInstance()
-                         ->current_test_info()
-                         ->name();
-  std::string dir = "/tmp/cpr_txinc_" + std::string(name) + "_" +
-                    std::to_string(counter.fetch_add(1));
-  std::string cmd = "rm -rf " + dir;
-  (void)!system(cmd.c_str());
-  return dir;
-}
+std::string FreshDir() { return cpr::testing::FreshTestDir("cpr_txinc"); }
 
 TransactionalDb::Options IncOptions(const std::string& dir) {
   TransactionalDb::Options o;

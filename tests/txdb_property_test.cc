@@ -3,6 +3,8 @@
 // conservation invariants both live and after crash recovery.
 #include <gtest/gtest.h>
 
+#include "test_dirs.h"
+
 #include <atomic>
 #include <cstring>
 #include <string>
@@ -17,20 +19,7 @@
 namespace cpr::txdb {
 namespace {
 
-std::string FreshDir() {
-  static std::atomic<int> counter{0};
-  const char* name = ::testing::UnitTest::GetInstance()
-                         ->current_test_info()
-                         ->name();
-  std::string dir = "/tmp/cpr_txprop_" + std::string(name) + "_" +
-                    std::to_string(counter.fetch_add(1));
-  for (char& c : dir) {
-    if (c == '/') c = '_';
-  }
-  std::string cmd = "rm -rf " + dir;
-  (void)!system(cmd.c_str());
-  return dir;
-}
+std::string FreshDir() { return cpr::testing::FreshTestDir("cpr_txprop"); }
 
 int64_t RowValue(Table& t, uint64_t row) {
   int64_t v;

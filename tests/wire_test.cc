@@ -1,0 +1,368 @@
+#include "server/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace cpr::net {
+namespace {
+
+// Strips the 4-byte frame header off a single encoded frame.
+std::string PayloadOf(const std::vector<char>& frame) {
+  EXPECT_GE(frame.size(), kFrameHeaderBytes);
+  return std::string(frame.data() + kFrameHeaderBytes,
+                     frame.size() - kFrameHeaderBytes);
+}
+
+std::vector<char> FrameWithLength(uint32_t len, size_t body_bytes) {
+  std::vector<char> buf(kFrameHeaderBytes + body_bytes, 0);
+  std::memcpy(buf.data(), &len, sizeof(len));
+  return buf;
+}
+
+TEST(WireFraming, NeedsMoreOnPartialHeader) {
+  const char bytes[4] = {5, 0, 0, 0};
+  std::string_view payload;
+  size_t consumed = 0;
+  for (size_t n = 0; n < kFrameHeaderBytes; ++n) {
+    EXPECT_EQ(TryExtractFrame(bytes, n, &payload, &consumed),
+              FrameResult::kNeedMore);
+  }
+}
+
+TEST(WireFraming, NeedsMoreOnPartialPayload) {
+  Request req;
+  req.op = Op::kRead;
+  req.seq = 7;
+  req.key = 42;
+  std::vector<char> frame;
+  EncodeRequest(req, &frame);
+
+  std::string_view payload;
+  size_t consumed = 0;
+  for (size_t n = kFrameHeaderBytes; n < frame.size(); ++n) {
+    EXPECT_EQ(TryExtractFrame(frame.data(), n, &payload, &consumed),
+              FrameResult::kNeedMore)
+        << "prefix " << n;
+  }
+  EXPECT_EQ(TryExtractFrame(frame.data(), frame.size(), &payload, &consumed),
+            FrameResult::kFrame);
+  EXPECT_EQ(consumed, frame.size());
+}
+
+TEST(WireFraming, RejectsZeroLengthFrame) {
+  const std::vector<char> buf = FrameWithLength(0, 0);
+  std::string_view payload;
+  size_t consumed = 0;
+  EXPECT_EQ(TryExtractFrame(buf.data(), buf.size(), &payload, &consumed),
+            FrameResult::kBadFrame);
+}
+
+TEST(WireFraming, RejectsOversizedFrame) {
+  // The header alone condemns the frame: no need to buffer the body.
+  const std::vector<char> buf = FrameWithLength(kMaxFrameBytes + 1, 0);
+  std::string_view payload;
+  size_t consumed = 0;
+  EXPECT_EQ(TryExtractFrame(buf.data(), buf.size(), &payload, &consumed),
+            FrameResult::kBadFrame);
+}
+
+TEST(WireFraming, AcceptsMaxFrame) {
+  const std::vector<char> buf = FrameWithLength(kMaxFrameBytes, kMaxFrameBytes);
+  std::string_view payload;
+  size_t consumed = 0;
+  EXPECT_EQ(TryExtractFrame(buf.data(), buf.size(), &payload, &consumed),
+            FrameResult::kFrame);
+  EXPECT_EQ(payload.size(), kMaxFrameBytes);
+}
+
+TEST(WireFraming, ExtractsBackToBackFrames) {
+  Request a;
+  a.op = Op::kRmw;
+  a.seq = 1;
+  a.key = 10;
+  a.delta = -3;
+  Request b;
+  b.op = Op::kCommitPoint;
+  b.seq = 2;
+  std::vector<char> buf;
+  EncodeRequest(a, &buf);
+  EncodeRequest(b, &buf);
+
+  std::string_view payload;
+  size_t consumed = 0;
+  ASSERT_EQ(TryExtractFrame(buf.data(), buf.size(), &payload, &consumed),
+            FrameResult::kFrame);
+  Request da;
+  ASSERT_TRUE(DecodeRequest(payload, &da));
+  EXPECT_EQ(da.op, Op::kRmw);
+  EXPECT_EQ(da.delta, -3);
+
+  ASSERT_EQ(TryExtractFrame(buf.data() + consumed, buf.size() - consumed,
+                            &payload, &consumed),
+            FrameResult::kFrame);
+  Request db;
+  ASSERT_TRUE(DecodeRequest(payload, &db));
+  EXPECT_EQ(db.op, Op::kCommitPoint);
+  EXPECT_EQ(db.seq, 2u);
+}
+
+// -- Request round-trips ------------------------------------------------------
+
+std::string EncodedRequestPayload(const Request& req) {
+  std::vector<char> frame;
+  EncodeRequest(req, &frame);
+  return PayloadOf(frame);
+}
+
+TEST(WireRequest, HelloRoundTrip) {
+  Request req;
+  req.op = Op::kHello;
+  req.seq = 99;
+  req.guid = 0xdeadbeefcafe1234ull;
+  req.ack_mode = AckMode::kDurable;
+  Request out;
+  ASSERT_TRUE(DecodeRequest(EncodedRequestPayload(req), &out));
+  EXPECT_EQ(out.op, Op::kHello);
+  EXPECT_EQ(out.seq, 99u);
+  EXPECT_EQ(out.guid, req.guid);
+  EXPECT_EQ(out.ack_mode, AckMode::kDurable);
+}
+
+TEST(WireRequest, DataOpRoundTrips) {
+  for (Op op : {Op::kRead, Op::kDelete}) {
+    Request req;
+    req.op = op;
+    req.seq = 3;
+    req.key = 77;
+    Request out;
+    ASSERT_TRUE(DecodeRequest(EncodedRequestPayload(req), &out));
+    EXPECT_EQ(out.op, op);
+    EXPECT_EQ(out.key, 77u);
+  }
+
+  Request up;
+  up.op = Op::kUpsert;
+  up.seq = 4;
+  up.key = 5;
+  up.value = {'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h'};
+  Request out;
+  ASSERT_TRUE(DecodeRequest(EncodedRequestPayload(up), &out));
+  EXPECT_EQ(out.op, Op::kUpsert);
+  EXPECT_EQ(out.value, up.value);
+
+  Request rmw;
+  rmw.op = Op::kRmw;
+  rmw.seq = 5;
+  rmw.key = 6;
+  rmw.delta = -1234567;
+  ASSERT_TRUE(DecodeRequest(EncodedRequestPayload(rmw), &out));
+  EXPECT_EQ(out.op, Op::kRmw);
+  EXPECT_EQ(out.delta, -1234567);
+}
+
+TEST(WireRequest, CheckpointAndCommitPointRoundTrip) {
+  Request ck;
+  ck.op = Op::kCheckpoint;
+  ck.seq = 8;
+  ck.variant = 1;
+  ck.include_index = true;
+  Request out;
+  ASSERT_TRUE(DecodeRequest(EncodedRequestPayload(ck), &out));
+  EXPECT_EQ(out.op, Op::kCheckpoint);
+  EXPECT_EQ(out.variant, 1);
+  EXPECT_TRUE(out.include_index);
+
+  Request cp;
+  cp.op = Op::kCommitPoint;
+  cp.seq = 9;
+  ASSERT_TRUE(DecodeRequest(EncodedRequestPayload(cp), &out));
+  EXPECT_EQ(out.op, Op::kCommitPoint);
+  EXPECT_EQ(out.seq, 9u);
+}
+
+TEST(WireRequest, RejectsTruncatedFixedSizeBodies) {
+  for (Op op : {Op::kHello, Op::kRead, Op::kRmw, Op::kDelete,
+                Op::kCheckpoint, Op::kCommitPoint}) {
+    Request req;
+    req.op = op;
+    req.seq = 1;
+    req.key = 2;
+    const std::string payload = EncodedRequestPayload(req);
+    Request out;
+    for (size_t n = 0; n < payload.size(); ++n) {
+      EXPECT_FALSE(DecodeRequest(std::string_view(payload.data(), n), &out))
+          << OpName(op) << " prefix " << n;
+    }
+    EXPECT_TRUE(DecodeRequest(payload, &out)) << OpName(op);
+  }
+}
+
+TEST(WireRequest, RejectsTrailingBytes) {
+  Request req;
+  req.op = Op::kRead;
+  req.seq = 1;
+  req.key = 2;
+  std::string payload = EncodedRequestPayload(req);
+  payload.push_back('x');
+  Request out;
+  EXPECT_FALSE(DecodeRequest(payload, &out));
+}
+
+TEST(WireRequest, RejectsEmptyUpsertValue) {
+  Request req;
+  req.op = Op::kUpsert;
+  req.seq = 1;
+  req.key = 2;
+  req.value = {'v'};
+  std::string payload = EncodedRequestPayload(req);
+  payload.pop_back();  // leaves op|seq|key with no value bytes
+  Request out;
+  EXPECT_FALSE(DecodeRequest(payload, &out));
+}
+
+TEST(WireRequest, RejectsBadEnums) {
+  Request req;
+  req.op = Op::kCommitPoint;
+  req.seq = 1;
+  std::string payload = EncodedRequestPayload(req);
+  Request out;
+
+  std::string bad_op = payload;
+  bad_op[0] = 0;  // below kHello
+  EXPECT_FALSE(DecodeRequest(bad_op, &out));
+  bad_op[0] = 8;  // above kCommitPoint
+  EXPECT_FALSE(DecodeRequest(bad_op, &out));
+
+  Request hello;
+  hello.op = Op::kHello;
+  hello.seq = 1;
+  std::string hp = EncodedRequestPayload(hello);
+  hp.back() = 2;  // ack_mode past kDurable
+  EXPECT_FALSE(DecodeRequest(hp, &out));
+
+  Request ck;
+  ck.op = Op::kCheckpoint;
+  ck.seq = 1;
+  ck.variant = 0;
+  std::string cp = EncodedRequestPayload(ck);
+  cp[cp.size() - 2] = 3;  // variant past snapshot
+  EXPECT_FALSE(DecodeRequest(cp, &out));
+}
+
+// -- Response round-trips -----------------------------------------------------
+
+std::string EncodedResponsePayload(const Response& resp) {
+  std::vector<char> frame;
+  EncodeResponse(resp, &frame);
+  return PayloadOf(frame);
+}
+
+TEST(WireResponse, HelloRoundTrip) {
+  Response resp;
+  resp.op = Op::kHello;
+  resp.status = WireStatus::kOk;
+  resp.seq = 11;
+  resp.guid = 42;
+  resp.recovered_serial = 17;
+  resp.value_size = 8;
+  Response out;
+  ASSERT_TRUE(DecodeResponse(EncodedResponsePayload(resp), &out));
+  EXPECT_EQ(out.guid, 42u);
+  EXPECT_EQ(out.recovered_serial, 17u);
+  EXPECT_EQ(out.value_size, 8u);
+}
+
+TEST(WireResponse, ReadValueOnlyWhenOk) {
+  Response ok;
+  ok.op = Op::kRead;
+  ok.status = WireStatus::kOk;
+  ok.seq = 1;
+  ok.serial = 5;
+  ok.value = {'1', '2', '3', '4', '5', '6', '7', '8'};
+  Response out;
+  ASSERT_TRUE(DecodeResponse(EncodedResponsePayload(ok), &out));
+  EXPECT_EQ(out.value, ok.value);
+  EXPECT_EQ(out.serial, 5u);
+
+  Response miss;
+  miss.op = Op::kRead;
+  miss.status = WireStatus::kNotFound;
+  miss.seq = 2;
+  miss.value = {'x'};  // must NOT be encoded on a non-OK read
+  const std::string payload = EncodedResponsePayload(miss);
+  ASSERT_TRUE(DecodeResponse(payload, &out));
+  EXPECT_TRUE(out.value.empty());
+
+  // An OK read with no value bytes is malformed.
+  Response empty;
+  empty.op = Op::kRead;
+  empty.status = WireStatus::kOk;
+  empty.seq = 3;
+  empty.value = {'x'};
+  std::string ep = EncodedResponsePayload(empty);
+  ep.pop_back();
+  EXPECT_FALSE(DecodeResponse(ep, &out));
+}
+
+TEST(WireResponse, CheckpointAndCommitPointRoundTrip) {
+  Response ck;
+  ck.op = Op::kCheckpoint;
+  ck.status = WireStatus::kOk;
+  ck.seq = 4;
+  ck.token = 987;
+  ck.commit_serial = 654;
+  Response out;
+  ASSERT_TRUE(DecodeResponse(EncodedResponsePayload(ck), &out));
+  EXPECT_EQ(out.token, 987u);
+  EXPECT_EQ(out.commit_serial, 654u);
+
+  Response cp;
+  cp.op = Op::kCommitPoint;
+  cp.status = WireStatus::kOk;
+  cp.seq = 5;
+  cp.commit_serial = 321;
+  ASSERT_TRUE(DecodeResponse(EncodedResponsePayload(cp), &out));
+  EXPECT_EQ(out.commit_serial, 321u);
+}
+
+TEST(WireResponse, RejectsTruncatedAndTrailing) {
+  Response resp;
+  resp.op = Op::kCheckpoint;
+  resp.status = WireStatus::kOk;
+  resp.seq = 4;
+  resp.token = 1;
+  resp.commit_serial = 2;
+  const std::string payload = EncodedResponsePayload(resp);
+  Response out;
+  for (size_t n = 0; n < payload.size(); ++n) {
+    EXPECT_FALSE(DecodeResponse(std::string_view(payload.data(), n), &out))
+        << "prefix " << n;
+  }
+  std::string trailing = payload;
+  trailing.push_back('x');
+  EXPECT_FALSE(DecodeResponse(trailing, &out));
+}
+
+TEST(WireResponse, RejectsBadStatus) {
+  Response resp;
+  resp.op = Op::kUpsert;
+  resp.status = WireStatus::kOk;
+  resp.seq = 1;
+  std::string payload = EncodedResponsePayload(resp);
+  payload[1] = 6;  // past kError
+  Response out;
+  EXPECT_FALSE(DecodeResponse(payload, &out));
+}
+
+TEST(WireNames, AreStable) {
+  EXPECT_STREQ(OpName(Op::kHello), "HELLO");
+  EXPECT_STREQ(OpName(Op::kCommitPoint), "COMMIT_POINT");
+  EXPECT_STREQ(StatusName(WireStatus::kOk), "OK");
+  EXPECT_STREQ(StatusName(WireStatus::kBusy), "BUSY");
+}
+
+}  // namespace
+}  // namespace cpr::net
