@@ -2,8 +2,10 @@
 
 #include <arpa/inet.h>
 #include <errno.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
 #include <sys/time.h>
@@ -15,7 +17,13 @@
 
 namespace cpr::client {
 
-CprClient::CprClient(Options options) : options_(std::move(options)) {}
+CprClient::CprClient(Options options) : options_(std::move(options)) {
+  // Seed the backoff jitter differently per client instance so a fleet
+  // created at the same instant still spreads its reconnect attempts.
+  jitter_state_ ^= static_cast<uint32_t>(reinterpret_cast<uintptr_t>(this));
+  jitter_state_ ^= static_cast<uint32_t>(options_.guid * 0x9e3779b97f4a7c15ull);
+  if (jitter_state_ == 0) jitter_state_ = 0x9e3779b9u;
+}
 
 CprClient::~CprClient() { Close(); }
 
@@ -36,6 +44,7 @@ void CprClient::FailInflight() {
 }
 
 Status CprClient::ConnectOnce() {
+  stats_.connect_attempts += 1;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) return Status::IoError("socket() failed");
   sockaddr_in addr{};
@@ -45,12 +54,39 @@ Status CprClient::ConnectOnce() {
     Close();
     return Status::InvalidArgument("bad host address: " + options_.host);
   }
+  const bool timed = options_.connect_timeout_ms > 0;
+  const int flags = timed ? fcntl(fd_, F_GETFL, 0) : 0;
+  if (timed) fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const int err = errno;
-    Close();
-    return Status::IoError("connect() failed: " +
-                           std::string(strerror(err)));
+    int err = errno;
+    if (timed && err == EINPROGRESS) {
+      // Non-blocking connect: wait for writability, then read the socket's
+      // real outcome from SO_ERROR (poll reports writable on failure too).
+      pollfd pfd{fd_, POLLOUT, 0};
+      const int n = ::poll(&pfd, 1, options_.connect_timeout_ms);
+      if (n == 0) {
+        Close();
+        return Status::IoError("connect() timed out after " +
+                               std::to_string(options_.connect_timeout_ms) +
+                               "ms");
+      }
+      int so_err = 0;
+      socklen_t len = sizeof(so_err);
+      if (n < 0 ||
+          getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_err, &len) != 0 ||
+          so_err != 0) {
+        err = so_err != 0 ? so_err : errno;
+        Close();
+        return Status::IoError("connect() failed: " +
+                               std::string(strerror(err)));
+      }
+    } else {
+      Close();
+      return Status::IoError("connect() failed: " +
+                             std::string(strerror(err)));
+    }
   }
+  if (timed) fcntl(fd_, F_SETFL, flags);
   int one = 1;
   setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   if (options_.recv_timeout_ms > 0) {
@@ -98,11 +134,22 @@ Status CprClient::Hello() {
 Status CprClient::Connect() {
   if (fd_ >= 0) return Status::InvalidArgument("already connected");
   Status s = Status::IoError("no connect attempts");
+  int delay_ms = std::max(1, options_.connect_backoff_ms);
+  const int cap_ms = std::max(delay_ms, options_.max_connect_backoff_ms);
   for (int attempt = 0; attempt < std::max(1, options_.connect_attempts);
        ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(options_.connect_backoff_ms));
+      stats_.connect_retries += 1;
+      // Jittered exponential backoff: sleep in [delay/2, delay] so
+      // simultaneously-disconnected clients spread their retries.
+      jitter_state_ ^= jitter_state_ << 13;
+      jitter_state_ ^= jitter_state_ >> 17;
+      jitter_state_ ^= jitter_state_ << 5;
+      const int half = delay_ms / 2;
+      const int sleep_ms =
+          half + static_cast<int>(jitter_state_ % (delay_ms - half + 1));
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      delay_ms = std::min(delay_ms * 2, cap_ms);
     }
     s = ConnectOnce();
     if (!s.ok()) continue;
@@ -117,7 +164,9 @@ Status CprClient::Reconnect() {
   Close();
   Status s = Connect();
   if (!s.ok()) return s;
-  return ReplayAfter(recovered_serial_);
+  s = ReplayAfter(recovered_serial_);
+  if (s.ok()) stats_.reconnects += 1;
+  return s;
 }
 
 Status CprClient::ReplayAfter(uint64_t recovered) {
@@ -130,6 +179,7 @@ Status CprClient::ReplayAfter(uint64_t recovered) {
   todo.swap(replay_);
   replay_serials_.clear();
   size_t expect = todo.size();
+  stats_.replayed_ops += todo.size();
   for (net::Request& req : todo) {
     req.seq = next_seq_++;
     EnqueueRequest(req);
@@ -313,10 +363,15 @@ Status CprClient::Drain(std::vector<Result>* out, size_t count) {
       return Status::Corruption("response out of order (pipeline desync)");
     }
     // A durable-mode ack means the operation is committed; checkpoint and
-    // commit-point responses report the committed prefix explicitly.
-    if (options_.ack_mode == net::AckMode::kDurable && resp.serial != 0 &&
-        resp.status != net::WireStatus::kNoSession &&
-        resp.status != net::WireStatus::kBadRequest) {
+    // commit-point responses report the committed prefix explicitly. A
+    // NOT_DURABLE ack is the opposite: the server could not persist a
+    // covering checkpoint, so the op must stay in the replay buffer.
+    if (resp.status == net::WireStatus::kNotDurable) {
+      stats_.not_durable_acks += 1;
+    } else if (options_.ack_mode == net::AckMode::kDurable &&
+               resp.serial != 0 &&
+               resp.status != net::WireStatus::kNoSession &&
+               resp.status != net::WireStatus::kBadRequest) {
       NoteDurable(resp.serial);
     }
     if ((resp.op == net::Op::kCheckpoint ||
@@ -352,6 +407,10 @@ Status AsStatus(const CprClient::Result& r) {
     case net::WireStatus::kBadRequest:
     case net::WireStatus::kNoSession:
       return Status::InvalidArgument(net::StatusName(r.status));
+    case net::WireStatus::kNotDurable:
+      // Executed but not durable (checkpoint device failing); the op stays
+      // in the replay buffer for the next reconnect/checkpoint.
+      return Status::Aborted("operation executed but not durable");
     case net::WireStatus::kError:
       break;
   }

@@ -36,9 +36,26 @@ class CprClient {
     net::AckMode ack_mode = net::AckMode::kExecuted;
     int recv_timeout_ms = 10'000;
     int connect_attempts = 10;
+    // Per-attempt connect(2) timeout (non-blocking connect + poll). <= 0
+    // falls back to a blocking connect.
+    int connect_timeout_ms = 1'000;
+    // Backoff between attempts doubles from connect_backoff_ms up to
+    // max_connect_backoff_ms, with random jitter so a fleet of reconnecting
+    // clients does not stampede the server.
     int connect_backoff_ms = 50;
+    int max_connect_backoff_ms = 1'000;
     // Keep un-durable updates for replay on reconnect.
     bool track_replay = true;
+  };
+
+  // Cumulative client-side robustness counters (single-threaded, like the
+  // client itself).
+  struct Stats {
+    uint64_t connect_attempts = 0;  // ConnectOnce calls (incl. first tries)
+    uint64_t connect_retries = 0;   // attempts after a failure
+    uint64_t reconnects = 0;        // successful Reconnect() calls
+    uint64_t replayed_ops = 0;      // updates re-issued after reconnect
+    uint64_t not_durable_acks = 0;  // NOT_DURABLE responses received
   };
 
   struct Result {
@@ -75,6 +92,7 @@ class CprClient {
   uint64_t durable_serial() const { return durable_serial_; }
   size_t inflight() const { return inflight_.size(); }
   size_t replay_backlog() const { return replay_.size(); }
+  const Stats& stats() const { return stats_; }
 
   // -- Pipelined interface -------------------------------------------------
 
@@ -120,6 +138,8 @@ class CprClient {
   void FailInflight();
 
   Options options_;
+  Stats stats_;
+  uint32_t jitter_state_ = 0x9e3779b9u;  // xorshift state for backoff jitter
   int fd_ = -1;
   uint64_t guid_ = 0;
   uint64_t recovered_serial_ = 0;

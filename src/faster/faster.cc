@@ -4,8 +4,10 @@
 #include <cassert>
 #include <chrono>
 #include <cstring>
+#include <set>
 #include <thread>
 
+#include "io/blob.h"
 #include "io/file.h"
 #include "util/clock.h"
 #include "util/hash.h"
@@ -21,7 +23,11 @@ bool IsNextVersion(uint32_t rec_version, uint32_t v_commit) {
          ((v_commit + 1) & static_cast<uint32_t>(RecordInfo::kVersionMask));
 }
 
-std::string LatestPath(const std::string& dir) { return dir + "/LATEST"; }
+// Checked-blob magics (io/blob.h) for each checkpoint artifact kind.
+constexpr uint64_t kMetaMagic = 0x465354524D455441ull;  // "FSTRMETA"
+constexpr uint64_t kSnapMagic = 0x46535452534E4150ull;  // "FSTRSNAP"
+constexpr uint64_t kIndexMagic = 0x46535452494E4458ull; // "FSTRINDX"
+
 std::string MetaPath(const std::string& dir, uint64_t token) {
   return dir + "/ckpt." + std::to_string(token) + ".meta";
 }
@@ -30,6 +36,37 @@ std::string SnapshotPath(const std::string& dir, uint64_t token) {
 }
 std::string IndexPath(const std::string& dir, uint64_t token) {
   return dir + "/index." + std::to_string(token) + ".dat";
+}
+
+// Parses "<prefix><digits><suffix>" into the token value.
+bool ParseTokenFile(const std::string& name, const std::string& prefix,
+                    const std::string& suffix, uint64_t* token) {
+  if (name.size() <= prefix.size() + suffix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix.size(); i < name.size() - suffix.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + (name[i] - '0');
+  }
+  *token = value;
+  return value != 0;
+}
+
+// Tokens of every on-disk checkpoint meta file, descending (newest first —
+// tokens come from a monotonic clock).
+std::vector<uint64_t> ListCheckpointTokens(const std::string& dir) {
+  std::vector<uint64_t> tokens;
+  std::vector<std::string> names;
+  if (!ListDirectory(dir, &names).ok()) return tokens;
+  for (const std::string& name : names) {
+    uint64_t t = 0;
+    if (ParseTokenFile(name, "ckpt.", ".meta", &t)) tokens.push_back(t);
+  }
+  std::sort(tokens.begin(), tokens.end(), std::greater<uint64_t>());
+  return tokens;
 }
 
 template <typename T>
@@ -690,11 +727,12 @@ void FasterKv::EnterWaitFlush(uint64_t expected_state) {
         std::memcpy(buf.data() + (a - from), hlog_->Ptr(a), chunk_end - a);
         a = chunk_end;
       }
-      File f;
-      Status s = File::Open(path, /*create=*/true, &f);
-      if (s.ok() && !buf.empty()) s = f.WriteAt(0, buf.data(), buf.size());
-      if (s.ok() && sync) f.Sync();
+      const Status s =
+          RetryIo([&] { return WriteCheckedBlob(path, kSnapMagic, buf, sync); });
+      if (!s.ok()) snapshot_failed_.store(true, std::memory_order_release);
       hlog_->SetEvictionFloor(kMaxAddress);
+      // Done even on failure: the state machine must reach FinalizeCheckpoint
+      // so the attempt concludes as failed instead of wedging in wait-flush.
       snapshot_done_.store(true, std::memory_order_release);
     });
   }
@@ -718,6 +756,7 @@ void FasterKv::FinalizeCheckpoint(uint64_t expected_state) {
   CheckpointCallback callback;
   uint64_t token;
   std::vector<SessionCommitPoint> points;
+  bool success = true;
   {
     std::lock_guard<std::mutex> lock(ckpt_mu_);
     if (state_.load(std::memory_order_acquire) != expected_state) return;
@@ -726,22 +765,42 @@ void FasterKv::FinalizeCheckpoint(uint64_t expected_state) {
     ckpt_.flushed = ckpt_.variant == CommitVariant::kFoldOver
                         ? ckpt_.lhe
                         : ckpt_.snapshot_start;
-    PersistCheckpointMetadata(ckpt_);
+    Status s;
+    if (snapshot_failed_.load(std::memory_order_acquire)) {
+      s = Status::IoError("snapshot write failed");
+    } else if (index_failed_.load(std::memory_order_acquire)) {
+      s = Status::IoError("index checkpoint write failed");
+    } else {
+      s = RetryIo([&] { return PersistCheckpointMetadata(ckpt_); });
+    }
+    success = s.ok();
     token = ckpt_.token;
     points = ckpt_.points;
     callback = std::move(ckpt_callback_);
     ckpt_callback_ = nullptr;
-    {
+    if (success) {
       std::lock_guard<std::mutex> dlock(durable_mu_);
       for (const SessionCommitPoint& p : points) {
         durable_points_[p.guid] = p.serial;
       }
     }
-    last_completed_token_.store(token, std::memory_order_release);
+    if (success) {
+      last_completed_token_.store(token, std::memory_order_release);
+    } else {
+      // Graceful degradation: the commit concludes as FAILED. The previous
+      // checkpoint stays the durable one (LATEST untouched), durable points
+      // do not advance, and waiters/serving layers observe the failure via
+      // LastFinishedToken()/CheckpointFailures() rather than hanging. The
+      // version still shifts — the in-memory store moved to v+1 and the next
+      // checkpoint captures everything since the last durable one.
+      checkpoint_failures_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    last_finished_token_.store(token, std::memory_order_release);
     state_.store(SystemState::Pack(Phase::kRest, v + 1),
                  std::memory_order_release);
   }
-  if (callback) callback(token, points);
+  if (success) GarbageCollectCheckpoints();
+  if (success && callback) callback(token, points);
 }
 
 // -- Checkpoint entry points -------------------------------------------------
@@ -766,6 +825,8 @@ bool FasterKv::Checkpoint(CommitVariant variant, bool include_index,
     ckpt_.begin = hlog_->begin_address();
     ckpt_callback_ = std::move(callback);
     snapshot_done_.store(false, std::memory_order_release);
+    snapshot_failed_.store(false, std::memory_order_release);
+    index_failed_.store(false, std::memory_order_release);
 
     if (include_index || last_index_token_ == 0) {
       uint64_t index_token = 0;
@@ -812,19 +873,22 @@ bool FasterKv::DoIndexCheckpoint(uint64_t* token_out) {
   const uint64_t num_buckets = index_->num_buckets();
   const bool sync = options_.sync_to_disk;
   io_.Submit([this, image, li, token, path, num_buckets, num_overflow, sync] {
-    std::vector<char> header;
-    AppendPod(header, li);
-    AppendPod(header, num_buckets);
-    AppendPod(header, num_overflow);
-    File f;
-    Status s = File::Open(path, /*create=*/true, &f);
-    if (s.ok()) s = f.WriteAt(0, header.data(), header.size());
-    if (s.ok()) s = f.WriteAt(header.size(), image->data(), image->size());
-    if (s.ok() && sync) f.Sync();
-    {
+    std::vector<char> payload;
+    payload.reserve(sizeof(Address) + 2 * sizeof(uint64_t) + image->size());
+    AppendPod(payload, li);
+    AppendPod(payload, num_buckets);
+    AppendPod(payload, num_overflow);
+    payload.insert(payload.end(), image->begin(), image->end());
+    const Status s = RetryIo(
+        [&] { return WriteCheckedBlob(path, kIndexMagic, payload, sync); });
+    if (s.ok()) {
       std::lock_guard<std::mutex> lock(ckpt_mu_);
       last_index_token_ = token;
       last_index_li_ = li;
+    } else {
+      // Keep the previous good image for future log-only commits; the
+      // in-flight checkpoint that wanted this one fails.
+      index_failed_.store(true, std::memory_order_release);
     }
     index_completed_token_.store(token, std::memory_order_release);
   });
@@ -843,13 +907,18 @@ bool FasterKv::CheckpointIndex(uint64_t* token_out) {
 
 Status FasterKv::WaitForCheckpoint(uint64_t token) {
   // Tokens are monotonic (issued from a monotonic clock); a later commit
-  // completing first must not strand the waiter.
-  while (last_completed_token_.load(std::memory_order_acquire) < token) {
+  // completing first must not strand the waiter. Waiting on the *finished*
+  // token means a failed checkpoint returns an error instead of hanging.
+  while (last_finished_token_.load(std::memory_order_acquire) < token) {
     epoch_.TickUnprotected();
     TickStateMachine();
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  return Status::Ok();
+  if (last_completed_token_.load(std::memory_order_acquire) >= token) {
+    return Status::Ok();
+  }
+  return Status::IoError("checkpoint " + std::to_string(token) +
+                         " failed persistently");
 }
 
 bool FasterKv::CheckpointInProgress() const {
@@ -867,6 +936,22 @@ Phase FasterKv::CurrentPhase() const {
 
 // -- Checkpoint metadata I/O -------------------------------------------------
 
+Status FasterKv::RetryIo(const std::function<Status()>& attempt) {
+  const uint32_t attempts =
+      std::max<uint32_t>(1, options_.checkpoint_retry_attempts);
+  uint64_t delay = options_.checkpoint_retry_backoff_ms;
+  Status s;
+  for (uint32_t i = 0; i < attempts; ++i) {
+    if (i > 0 && delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      delay = std::min<uint64_t>(delay * 2, 1000);
+    }
+    s = attempt();
+    if (s.ok()) return s;
+  }
+  return s;
+}
+
 Status FasterKv::PersistCheckpointMetadata(const CheckpointMetadata& meta) {
   std::vector<char> buf;
   AppendPod(buf, meta.token);
@@ -883,35 +968,18 @@ Status FasterKv::PersistCheckpointMetadata(const CheckpointMetadata& meta) {
     AppendPod(buf, p.guid);
     AppendPod(buf, p.serial);
   }
-  File f;
-  Status s = File::Open(MetaPath(options_.dir, meta.token), true, &f);
+  Status s = WriteCheckedBlob(MetaPath(options_.dir, meta.token), kMetaMagic,
+                              buf, options_.sync_to_disk);
   if (!s.ok()) return s;
-  s = f.WriteAt(0, buf.data(), buf.size());
-  if (!s.ok()) return s;
-  if (options_.sync_to_disk) f.Sync();
-
-  const std::string tmp = LatestPath(options_.dir) + ".tmp";
-  File latest;
-  s = File::Open(tmp, true, &latest);
-  if (!s.ok()) return s;
-  const std::string text = std::to_string(meta.token);
-  s = latest.WriteAt(0, text.data(), text.size());
-  if (!s.ok()) return s;
-  if (options_.sync_to_disk) latest.Sync();
-  latest.Close();
-  if (std::rename(tmp.c_str(), LatestPath(options_.dir).c_str()) != 0) {
-    return Status::IoError("rename LATEST failed");
-  }
-  return Status::Ok();
+  // Shared durable-publication helper: tmp + sync + rename + parent fsync.
+  return PublishLatest(options_.dir, std::to_string(meta.token),
+                       options_.sync_to_disk);
 }
 
 Status FasterKv::LoadCheckpointMetadata(uint64_t token,
                                         CheckpointMetadata* meta) {
-  File f;
-  Status s = File::Open(MetaPath(options_.dir, token), false, &f);
-  if (!s.ok()) return s;
-  std::vector<char> buf(f.Size());
-  s = f.ReadAt(0, buf.data(), buf.size());
+  std::vector<char> buf;
+  Status s = ReadCheckedBlob(MetaPath(options_.dir, token), kMetaMagic, &buf);
   if (!s.ok()) return s;
   size_t off = 0;
   uint8_t variant = 0;
@@ -936,7 +1004,49 @@ Status FasterKv::LoadCheckpointMetadata(uint64_t token,
     }
     meta->points.push_back(p);
   }
+  if (meta->token != token) {
+    return Status::Corruption("checkpoint metadata names wrong token");
+  }
   return Status::Ok();
+}
+
+void FasterKv::GarbageCollectCheckpoints() {
+  const uint32_t retain = options_.retain_checkpoints;
+  if (retain == 0) return;
+  const std::vector<uint64_t> tokens = ListCheckpointTokens(options_.dir);
+  if (tokens.size() <= retain) return;
+
+  // Index images referenced by a retained generation must survive even if
+  // they were taken for an older commit (log-only commits reuse them).
+  std::set<uint64_t> keep_ckpt(tokens.begin(), tokens.begin() + retain);
+  std::set<uint64_t> keep_index;
+  for (uint64_t t : keep_ckpt) {
+    CheckpointMetadata meta;
+    if (LoadCheckpointMetadata(t, &meta).ok()) {
+      keep_index.insert(meta.index_token);
+    }
+  }
+  {
+    // The image the next log-only commit would reuse stays too.
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    if (last_index_token_ != 0) keep_index.insert(last_index_token_);
+  }
+
+  std::vector<std::string> names;
+  if (!ListDirectory(options_.dir, &names).ok()) return;
+  for (const std::string& name : names) {
+    uint64_t t = 0;
+    if (ParseTokenFile(name, "ckpt.", ".meta", &t) ||
+        ParseTokenFile(name, "ckpt.", ".snap", &t)) {
+      if (keep_ckpt.count(t) == 0) {
+        RemoveFileIfExists(options_.dir + "/" + name);
+      }
+    } else if (ParseTokenFile(name, "index.", ".dat", &t)) {
+      if (keep_index.count(t) == 0) {
+        RemoveFileIfExists(options_.dir + "/" + name);
+      }
+    }
+  }
 }
 
 Status FasterKv::TruncateLogUntil(Address until) {
@@ -1074,46 +1184,67 @@ void FasterKv::DebugDumpPending(Session& session) const {
 // -- Recovery (Alg. 3) -------------------------------------------------------
 
 Status FasterKv::Recover() {
-  // 1. Latest completed checkpoint.
-  if (!FileExists(LatestPath(options_.dir))) {
+  // Candidate generations: the LATEST hint first (the common case), then
+  // every on-disk generation newest-first. A generation whose artifacts are
+  // torn, bit-flipped, or missing is skipped and the next one is attempted —
+  // recovery lands on the newest *valid* CPR-consistent prefix instead of
+  // failing or silently loading garbage.
+  std::vector<uint64_t> candidates;
+  uint64_t hint = 0;
+  std::string text;
+  if (ReadLatestValue(options_.dir, &text).ok()) {
+    hint = std::strtoull(text.c_str(), nullptr, 10);
+  }
+  if (hint != 0) candidates.push_back(hint);
+  for (uint64_t t : ListCheckpointTokens(options_.dir)) {
+    if (t != hint) candidates.push_back(t);
+  }
+  if (candidates.empty()) {
     return Status::NotFound("no checkpoint in " + options_.dir);
   }
-  File latest;
-  Status s = File::Open(LatestPath(options_.dir), false, &latest);
-  if (!s.ok()) return s;
-  std::string text(latest.Size(), '\0');
-  s = latest.ReadAt(0, text.data(), text.size());
-  if (!s.ok()) return s;
-  const uint64_t token = std::strtoull(text.c_str(), nullptr, 10);
+  Status last =
+      Status::Corruption("no valid checkpoint generation in " + options_.dir);
+  for (uint64_t token : candidates) {
+    const Status s = RecoverFromToken(token);
+    if (s.ok()) return s;
+    last = s;
+  }
+  // Configuration errors (e.g. an index-size mismatch) keep their code so
+  // callers can tell "wrong options" from "corrupt store".
+  if (last.code() != Status::Code::kCorruption) return last;
+  return Status::Corruption("no valid checkpoint generation in " +
+                            options_.dir + " (last error: " + last.message() +
+                            ")");
+}
+
+Status FasterKv::RecoverFromToken(uint64_t token) {
+  // 1. Checkpoint metadata (checksummed blob).
   CheckpointMetadata meta;
-  s = LoadCheckpointMetadata(token, &meta);
+  Status s = LoadCheckpointMetadata(token, &meta);
   if (!s.ok()) return s;
 
   // 2. Fuzzy index image.
-  File index_file;
-  s = File::Open(IndexPath(options_.dir, meta.index_token), false,
-                 &index_file);
+  std::vector<char> payload;
+  s = ReadCheckedBlob(IndexPath(options_.dir, meta.index_token), kIndexMagic,
+                      &payload);
   if (!s.ok()) return s;
   Address li = 0;
   uint64_t num_buckets = 0, num_overflow = 0;
-  {
-    std::vector<char> header(sizeof(Address) + 2 * sizeof(uint64_t));
-    s = index_file.ReadAt(0, header.data(), header.size());
-    if (!s.ok()) return s;
-    size_t off = 0;
-    ConsumePod(header, &off, &li);
-    ConsumePod(header, &off, &num_buckets);
-    ConsumePod(header, &off, &num_overflow);
+  size_t poff = 0;
+  if (!ConsumePod(payload, &poff, &li) ||
+      !ConsumePod(payload, &poff, &num_buckets) ||
+      !ConsumePod(payload, &poff, &num_overflow)) {
+    return Status::Corruption("index image header truncated");
   }
   if (num_buckets != index_->num_buckets()) {
     return Status::InvalidArgument(
         "index_buckets option does not match the checkpoint");
   }
-  const uint64_t header_size = sizeof(Address) + 2 * sizeof(uint64_t);
-  std::vector<char> image(index_file.Size() - header_size);
-  s = index_file.ReadAt(header_size, image.data(), image.size());
-  if (!s.ok()) return s;
-  s = index_->LoadFrom(image.data(), image.size(), num_overflow);
+  // Clear first: a previous failed candidate attempt may have left overflow
+  // entries behind, and LoadFrom only overwrites what the image covers.
+  index_->Clear();
+  s = index_->LoadFrom(payload.data() + poff, payload.size() - poff,
+                       num_overflow);
   if (!s.ok()) return s;
 
   // 3. Scan [S, E) of the log, fixing the index (Alg. 3).
@@ -1125,14 +1256,15 @@ Status FasterKv::Recover() {
   if (meta.variant == CommitVariant::kSnapshot) {
     // Materialize the snapshot region into the log file first: the volatile
     // portion [snapshot_start, Lhe) was captured only in the side file.
-    File snapshot;
-    s = File::Open(SnapshotPath(options_.dir, meta.token), false, &snapshot);
+    std::vector<char> buf;
+    s = ReadCheckedBlob(SnapshotPath(options_.dir, meta.token), kSnapMagic,
+                        &buf);
     if (!s.ok()) return s;
     const uint64_t len = meta.lhe - meta.snapshot_start;
+    if (buf.size() != len) {
+      return Status::Corruption("snapshot size does not match metadata");
+    }
     if (len > 0) {
-      std::vector<char> buf(len);
-      s = snapshot.ReadAt(0, buf.data(), len);
-      if (!s.ok()) return s;
       s = hlog_->WriteRaw(meta.snapshot_start, buf.data(),
                           static_cast<uint32_t>(len));
       if (!s.ok()) return s;
@@ -1205,6 +1337,7 @@ Status FasterKv::Recover() {
   // commits may reuse it immediately.
   index_completed_token_.store(meta.index_token, std::memory_order_release);
   last_completed_token_.store(meta.token, std::memory_order_release);
+  last_finished_token_.store(meta.token, std::memory_order_release);
   state_.store(SystemState::Pack(Phase::kRest, v + 1),
                std::memory_order_release);
   return Status::Ok();

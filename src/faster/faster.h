@@ -130,6 +130,14 @@ class FasterKv {
     uint32_t io_threads = 2;
     uint32_t refresh_interval = 64;  // ops between automatic refreshes
     bool sync_to_disk = false;
+    // Checkpoint generations kept on disk (meta/snapshot plus any index
+    // image a retained generation references). Recovery walks back to the
+    // newest generation whose artifacts all verify. 0 disables GC.
+    uint32_t retain_checkpoints = 3;
+    // Each checkpoint artifact write is retried this many times with
+    // bounded exponential backoff before the checkpoint is declared failed.
+    uint32_t checkpoint_retry_attempts = 3;
+    uint32_t checkpoint_retry_backoff_ms = 5;
   };
 
   explicit FasterKv(Options options);
@@ -160,6 +168,19 @@ class FasterKv {
   // Token of the most recently completed checkpoint (monotonic; 0 if none).
   uint64_t LastCheckpointToken() const {
     return last_completed_token_.load(std::memory_order_acquire);
+  }
+
+  // Token of the most recently *concluded* checkpoint attempt, successful or
+  // failed. last_finished > last_completed means the newest attempt failed.
+  uint64_t LastFinishedToken() const {
+    return last_finished_token_.load(std::memory_order_acquire);
+  }
+
+  // Count of checkpoint attempts that failed persistently (after retries).
+  // Serving layers use deltas of this to convert held durable-acks into
+  // explicit "not durable" errors instead of waiting forever.
+  uint64_t CheckpointFailures() const {
+    return checkpoint_failures_.load(std::memory_order_acquire);
   }
 
   // -- Operations --------------------------------------------------------
@@ -293,6 +314,18 @@ class FasterKv {
   Status LoadCheckpointMetadata(uint64_t token, CheckpointMetadata* meta);
   Status PersistCheckpointMetadata(const CheckpointMetadata& meta);
 
+  // One recovery attempt against a specific checkpoint generation; Recover()
+  // walks the candidates newest-first until one succeeds.
+  Status RecoverFromToken(uint64_t token);
+
+  // Deletes checkpoint artifacts beyond the newest retain_checkpoints
+  // generations (keeping index images still referenced by a retained one).
+  void GarbageCollectCheckpoints();
+
+  // Runs `attempt` up to checkpoint_retry_attempts times with bounded
+  // exponential backoff; returns the last status.
+  Status RetryIo(const std::function<Status()>& attempt);
+
   Options options_;
   EpochFramework epoch_;
   IoPool io_;
@@ -312,7 +345,14 @@ class FasterKv {
   // active commit is gated on this matching ckpt_.index_token.
   std::atomic<uint64_t> index_completed_token_{0};
   std::atomic<bool> snapshot_done_{false};
+  // Artifact failures of the in-flight checkpoint: set by the async snapshot
+  // / index writers, examined in FinalizeCheckpoint. The state machine still
+  // advances so a broken device fails the checkpoint instead of wedging it.
+  std::atomic<bool> snapshot_failed_{false};
+  std::atomic<bool> index_failed_{false};
   std::atomic<uint64_t> last_completed_token_{0};
+  std::atomic<uint64_t> last_finished_token_{0};
+  std::atomic<uint64_t> checkpoint_failures_{0};
   uint64_t last_index_token_ = 0;  // guarded by ckpt_mu_
   Address last_index_li_ = 0;      // guarded by ckpt_mu_
 

@@ -1,0 +1,138 @@
+#include "io/blob.h"
+
+#include <cstring>
+
+#include "io/file.h"
+#include "util/crc32c.h"
+
+namespace cpr {
+namespace {
+
+constexpr uint64_t kMaxBlobPayload = 1ull << 40;  // sanity bound for lengths
+constexpr size_t kMaxLatestBytes = 256;
+
+std::string LatestPath(const std::string& dir) { return dir + "/LATEST"; }
+
+}  // namespace
+
+Status WriteCheckedBlob(const std::string& path, uint64_t magic,
+                        const std::vector<char>& payload, bool sync) {
+  std::vector<char> buf;
+  buf.reserve(kBlobHeaderBytes + payload.size());
+  const uint32_t version = kBlobFormatVersion;
+  const uint64_t len = payload.size();
+  const uint32_t crc = Crc32c(payload.data(), payload.size());
+  const char* p = reinterpret_cast<const char*>(&magic);
+  buf.insert(buf.end(), p, p + sizeof(magic));
+  p = reinterpret_cast<const char*>(&version);
+  buf.insert(buf.end(), p, p + sizeof(version));
+  p = reinterpret_cast<const char*>(&len);
+  buf.insert(buf.end(), p, p + sizeof(len));
+  p = reinterpret_cast<const char*>(&crc);
+  buf.insert(buf.end(), p, p + sizeof(crc));
+  buf.insert(buf.end(), payload.begin(), payload.end());
+
+  File file;
+  Status s = File::Open(path, /*create=*/true, &file);
+  if (!s.ok()) return s;
+  s = file.WriteAt(0, buf.data(), buf.size());
+  if (!s.ok()) return s;
+  if (sync) {
+    s = file.Sync();
+    if (!s.ok()) return s;
+  }
+  return file.Close();
+}
+
+Status ReadCheckedBlob(const std::string& path, uint64_t magic,
+                       std::vector<char>* payload) {
+  payload->clear();
+  File file;
+  Status s = File::Open(path, /*create=*/false, &file);
+  if (!s.ok()) return s;
+  const uint64_t size = file.Size();
+  if (size < kBlobHeaderBytes) {
+    return Status::Corruption("blob truncated: " + path);
+  }
+  char header[kBlobHeaderBytes];
+  s = file.ReadAt(0, header, sizeof(header));
+  if (!s.ok()) return s;
+  uint64_t file_magic = 0;
+  uint32_t version = 0;
+  uint64_t len = 0;
+  uint32_t crc = 0;
+  size_t off = 0;
+  std::memcpy(&file_magic, header + off, sizeof(file_magic));
+  off += sizeof(file_magic);
+  std::memcpy(&version, header + off, sizeof(version));
+  off += sizeof(version);
+  std::memcpy(&len, header + off, sizeof(len));
+  off += sizeof(len);
+  std::memcpy(&crc, header + off, sizeof(crc));
+  if (file_magic != magic) {
+    return Status::Corruption("blob magic mismatch: " + path);
+  }
+  if (version == 0 || version > kBlobFormatVersion) {
+    return Status::Corruption("blob version unsupported: " + path);
+  }
+  if (len > kMaxBlobPayload || kBlobHeaderBytes + len > size) {
+    return Status::Corruption("blob length invalid: " + path);
+  }
+  payload->resize(len);
+  if (len > 0) {
+    s = file.ReadAt(kBlobHeaderBytes, payload->data(), len);
+    if (!s.ok()) return s;
+  }
+  const uint32_t actual = Crc32c(payload->data(), payload->size());
+  if (actual != crc) {
+    payload->clear();
+    return Status::Corruption("blob checksum mismatch: " + path);
+  }
+  return Status::Ok();
+}
+
+Status PublishLatest(const std::string& dir, const std::string& value,
+                     bool sync) {
+  const std::string tmp = LatestPath(dir) + ".tmp";
+  File file;
+  Status s = File::Open(tmp, /*create=*/true, &file);
+  if (!s.ok()) return s;
+  s = file.WriteAt(0, value.data(), value.size());
+  if (!s.ok()) return s;
+  if (sync) {
+    s = file.Sync();
+    if (!s.ok()) return s;
+  }
+  s = file.Close();
+  if (!s.ok()) return s;
+  s = RenameFile(tmp, LatestPath(dir));
+  if (!s.ok()) return s;
+  if (sync) {
+    s = FsyncDir(dir);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status ReadLatestValue(const std::string& dir, std::string* value) {
+  value->clear();
+  const std::string path = LatestPath(dir);
+  File file;
+  Status s = File::Open(path, /*create=*/false, &file);
+  if (!s.ok()) return Status::NotFound("no LATEST in " + dir);
+  const uint64_t size = file.Size();
+  if (size == 0 || size > kMaxLatestBytes) {
+    return Status::Corruption("LATEST invalid in " + dir);
+  }
+  value->resize(size);
+  s = file.ReadAt(0, value->data(), size);
+  if (!s.ok()) return s;
+  // Trim a trailing newline for robustness against hand edits.
+  while (!value->empty() && (value->back() == '\n' || value->back() == '\r')) {
+    value->pop_back();
+  }
+  if (value->empty()) return Status::Corruption("LATEST empty in " + dir);
+  return Status::Ok();
+}
+
+}  // namespace cpr

@@ -1,0 +1,52 @@
+#ifndef CPR_IO_BLOB_H_
+#define CPR_IO_BLOB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cpr {
+
+// Self-verifying on-disk blobs. Every checkpoint artifact (txdb meta/data,
+// FasterKv meta/index/snapshot) is written as a "checked blob":
+//
+//   [u64 magic][u32 format_version][u64 payload_len][u32 crc32c][payload]
+//
+// The magic identifies the artifact kind, format_version the layout of the
+// payload, and the CRC32C covers the payload bytes. ReadCheckedBlob rejects
+// torn, truncated, bit-flipped, or wrong-kind files with kCorruption, which
+// is what lets recovery walk back to an older valid generation instead of
+// loading garbage.
+
+inline constexpr uint32_t kBlobFormatVersion = 1;
+inline constexpr size_t kBlobHeaderBytes =
+    sizeof(uint64_t) + sizeof(uint32_t) + sizeof(uint64_t) + sizeof(uint32_t);
+
+// Writes `payload` as a checked blob at `path` (created/truncated). With
+// `sync` true the file is fdatasync'd before returning.
+Status WriteCheckedBlob(const std::string& path, uint64_t magic,
+                        const std::vector<char>& payload, bool sync);
+
+// Reads and verifies a checked blob. Returns kIoError if the file cannot be
+// opened and kCorruption if the header, length, or checksum do not match.
+Status ReadCheckedBlob(const std::string& path, uint64_t magic,
+                       std::vector<char>* payload);
+
+// Durable publication of the LATEST checkpoint pointer, shared by the txdb
+// and FasterKv checkpointers: write <dir>/LATEST.tmp, sync it, rename over
+// <dir>/LATEST, then fsync the parent directory (rename alone is not durable
+// across power loss).
+Status PublishLatest(const std::string& dir, const std::string& value,
+                     bool sync);
+
+// Reads the textual LATEST pointer. Missing file → kNotFound; empty or
+// oversized content → kCorruption. The value is advisory: recovery treats it
+// as a hint and falls back to scanning the directory when it is stale or
+// garbage.
+Status ReadLatestValue(const std::string& dir, std::string* value);
+
+}  // namespace cpr
+
+#endif  // CPR_IO_BLOB_H_

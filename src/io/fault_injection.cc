@@ -1,0 +1,110 @@
+#include "io/fault_injection.h"
+
+#include <atomic>
+
+namespace cpr {
+namespace {
+
+std::atomic<FaultInjector*> g_injector{nullptr};
+
+}  // namespace
+
+void FaultInjector::Install(FaultInjector* injector) {
+  g_injector.store(injector, std::memory_order_release);
+}
+
+FaultInjector* FaultInjector::installed() {
+  return g_injector.load(std::memory_order_acquire);
+}
+
+void FaultInjector::AddRule(const FaultRule& rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(rule);
+  rule_hits_.push_back(0);
+}
+
+void FaultInjector::CrashAfter(uint64_t nth_op, const std::string& path_substr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_armed_ = true;
+  crash_after_ = nth_op;
+  crash_path_substr_ = path_substr;
+  crash_matches_ = 0;
+}
+
+void FaultInjector::CrashNow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = true;
+}
+
+bool FaultInjector::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+uint64_t FaultInjector::ops_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_seen_;
+}
+
+uint64_t FaultInjector::faults_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_fired_;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+  rule_hits_.clear();
+  crash_armed_ = false;
+  crash_after_ = 0;
+  crash_path_substr_.clear();
+  crash_matches_ = 0;
+  crashed_ = false;
+  ops_seen_ = 0;
+  faults_fired_ = 0;
+}
+
+FaultDecision FaultInjector::Decide(FaultOp op, const std::string& path,
+                                    size_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++ops_seen_;
+  FaultDecision decision;
+  if (crashed_) {
+    // Power is gone: nothing reaches the medium any more.
+    ++faults_fired_;
+    decision.action = FaultAction::kError;
+    return decision;
+  }
+  if (crash_armed_ &&
+      (crash_path_substr_.empty() ||
+       path.find(crash_path_substr_) != std::string::npos)) {
+    if (++crash_matches_ >= crash_after_) {
+      crashed_ = true;
+      ++faults_fired_;
+      decision.action = FaultAction::kError;
+      return decision;
+    }
+  }
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    FaultRule& rule = rules_[i];
+    if (!rule.any_op && rule.op != op) continue;
+    if (!rule.path_substr.empty() &&
+        path.find(rule.path_substr) == std::string::npos) {
+      continue;
+    }
+    const uint64_t hit = ++rule_hits_[i];
+    if (hit < rule.nth) continue;
+    if (hit > rule.nth && !rule.sticky) continue;
+    ++faults_fired_;
+    decision.action = rule.action;
+    decision.delay_ms = rule.delay_ms;
+    if (rule.action == FaultAction::kTorn) {
+      decision.torn_bytes = rule.torn_bytes < len ? rule.torn_bytes : len;
+    }
+    return decision;
+  }
+  (void)len;
+  return decision;
+}
+
+}  // namespace cpr

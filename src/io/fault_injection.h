@@ -1,0 +1,102 @@
+#ifndef CPR_IO_FAULT_INJECTION_H_
+#define CPR_IO_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+// Scriptable storage-fault injection. A process-global FaultInjector, when
+// installed, is consulted by every persistence primitive in io/file.cc
+// (positional writes, fsync, file creation, rename, unlink). Tests script
+// fault programs against it: fail the Nth write with EIO, tear a write short,
+// fail syncs, delay async completions, or declare a "crash point" after which
+// all further persistence is frozen — simulating power loss mid-checkpoint.
+//
+// Only the write-side is instrumented: reads always pass through, so a
+// recovery pass can inspect whatever prefix of state made it to disk.
+
+enum class FaultOp : uint8_t {
+  kWrite = 0,   // File::WriteAt
+  kSync = 1,    // File::Sync
+  kCreate = 2,  // File::Open with create=true
+  kRename = 3,  // RenameFile
+  kUnlink = 4,  // RemoveFileIfExists
+};
+
+enum class FaultAction : uint8_t {
+  kNone = 0,   // pass through
+  kError = 1,  // fail with IoError (simulated EIO)
+  kTorn = 2,   // write only the first `torn_bytes` bytes, then fail
+  kDrop = 3,   // report success but do nothing (lost write / absorbed sync)
+};
+
+struct FaultRule {
+  bool any_op = true;           // match every op kind
+  FaultOp op = FaultOp::kWrite; // else match only this kind
+  std::string path_substr;      // empty = match any path
+  uint64_t nth = 1;             // fire on the nth matching op (1-based)
+  bool sticky = false;          // keep firing on every match from nth onward
+  FaultAction action = FaultAction::kError;
+  size_t torn_bytes = 0;        // for kTorn: bytes that reach the medium
+  uint32_t delay_ms = 0;        // sleep before acting (delayed completion)
+};
+
+struct FaultDecision {
+  FaultAction action = FaultAction::kNone;
+  size_t torn_bytes = 0;
+  uint32_t delay_ms = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Installs `injector` as the process-global hook consulted by io/file.cc.
+  // Pass nullptr to uninstall. Install(nullptr) before destroying the
+  // injector. Not intended for concurrent install/uninstall with live I/O.
+  static void Install(FaultInjector* injector);
+  static FaultInjector* installed();
+
+  void AddRule(const FaultRule& rule);
+
+  // Declares a crash point: after `nth_op` persistence ops whose path contains
+  // `path_substr` (empty = any), the device "loses power" — every subsequent
+  // persistence op of any kind is dropped and fails, until Reset().
+  void CrashAfter(uint64_t nth_op, const std::string& path_substr = "");
+
+  // Freezes persistence immediately.
+  void CrashNow();
+
+  bool crashed() const;
+
+  // Clears rules, crash state, and counters.
+  void Reset();
+
+  uint64_t ops_seen() const;
+  uint64_t faults_fired() const;
+
+  // Called by io/file.cc for each persistence op. Returns what to do.
+  FaultDecision Decide(FaultOp op, const std::string& path, size_t len);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<FaultRule> rules_;
+  std::vector<uint64_t> rule_hits_;  // matching-op count per rule
+  bool crash_armed_ = false;
+  uint64_t crash_after_ = 0;
+  std::string crash_path_substr_;
+  uint64_t crash_matches_ = 0;
+  bool crashed_ = false;
+  uint64_t ops_seen_ = 0;
+  uint64_t faults_fired_ = 0;
+};
+
+}  // namespace cpr
+
+#endif  // CPR_IO_FAULT_INJECTION_H_

@@ -1,12 +1,17 @@
 #include "io/file.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "io/fault_injection.h"
 
 namespace cpr {
 
@@ -14,6 +19,22 @@ namespace {
 
 Status Errno(const std::string& what) {
   return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+// Consults the global fault injector, honouring any injected completion
+// delay. Returns the decision for the caller to act on.
+FaultDecision ConsultInjector(FaultOp op, const std::string& path, size_t len) {
+  FaultInjector* injector = FaultInjector::installed();
+  if (injector == nullptr) return FaultDecision{};
+  FaultDecision decision = injector->Decide(op, path, len);
+  if (decision.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(decision.delay_ms));
+  }
+  return decision;
+}
+
+Status InjectedError(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": injected I/O fault");
 }
 
 }  // namespace
@@ -36,7 +57,15 @@ File& File::operator=(File&& other) noexcept {
 
 Status File::Open(const std::string& path, bool create, File* out) {
   int flags = O_RDWR;
-  if (create) flags |= O_CREAT | O_TRUNC;
+  if (create) {
+    // Creation truncates, i.e. destroys on-disk state — after a simulated
+    // crash that must not happen, so gate it through the injector.
+    const FaultDecision d = ConsultInjector(FaultOp::kCreate, path, 0);
+    if (d.action == FaultAction::kError || d.action == FaultAction::kTorn) {
+      return InjectedError("open", path);
+    }
+    if (d.action != FaultAction::kDrop) flags |= O_CREAT | O_TRUNC;
+  }
   const int fd = ::open(path.c_str(), flags, 0644);
   if (fd < 0) return Errno("open " + path);
   out->Close();
@@ -62,6 +91,14 @@ Status File::ReadAt(uint64_t offset, void* buf, size_t len) const {
 }
 
 Status File::WriteAt(uint64_t offset, const void* buf, size_t len) {
+  const FaultDecision d = ConsultInjector(FaultOp::kWrite, path_, len);
+  if (d.action == FaultAction::kError) return InjectedError("pwrite", path_);
+  if (d.action == FaultAction::kDrop) return Status::Ok();
+  if (d.action == FaultAction::kTorn) {
+    // Let the torn prefix reach the medium, then report failure — the
+    // on-disk file now holds a partial write, as after a real power cut.
+    len = d.torn_bytes;
+  }
   const char* p = static_cast<const char*>(buf);
   size_t done = 0;
   while (done < len) {
@@ -73,10 +110,16 @@ Status File::WriteAt(uint64_t offset, const void* buf, size_t len) {
     }
     done += static_cast<size_t>(n);
   }
+  if (d.action == FaultAction::kTorn) return InjectedError("pwrite", path_);
   return Status::Ok();
 }
 
 Status File::Sync() {
+  const FaultDecision d = ConsultInjector(FaultOp::kSync, path_, 0);
+  if (d.action == FaultAction::kError || d.action == FaultAction::kTorn) {
+    return InjectedError("fdatasync", path_);
+  }
+  if (d.action == FaultAction::kDrop) return Status::Ok();
   if (::fdatasync(fd_) != 0) return Errno("fdatasync " + path_);
   return Status::Ok();
 }
@@ -111,6 +154,11 @@ Status CreateDirectories(const std::string& path) {
 }
 
 Status RemoveFileIfExists(const std::string& path) {
+  const FaultDecision d = ConsultInjector(FaultOp::kUnlink, path, 0);
+  if (d.action == FaultAction::kError || d.action == FaultAction::kTorn) {
+    return InjectedError("unlink", path);
+  }
+  if (d.action == FaultAction::kDrop) return Status::Ok();
   if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
     return Status::IoError("unlink " + path + ": " + std::strerror(errno));
   }
@@ -120,6 +168,52 @@ Status RemoveFileIfExists(const std::string& path) {
 bool FileExists(const std::string& path) {
   struct stat st;
   return ::stat(path.c_str(), &st) == 0;
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  const FaultDecision d = ConsultInjector(FaultOp::kRename, to, 0);
+  if (d.action == FaultAction::kError || d.action == FaultAction::kTorn) {
+    return InjectedError("rename", to);
+  }
+  if (d.action == FaultAction::kDrop) return Status::Ok();
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IoError("rename " + from + " -> " + to + ": " +
+                           std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status FsyncDir(const std::string& dir) {
+  const FaultDecision d = ConsultInjector(FaultOp::kSync, dir, 0);
+  if (d.action == FaultAction::kError || d.action == FaultAction::kTorn) {
+    return InjectedError("fsync dir", dir);
+  }
+  if (d.action == FaultAction::kDrop) return Status::Ok();
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open dir " + dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsync dir " + dir);
+  return Status::Ok();
+}
+
+Status ListDirectory(const std::string& dir, std::vector<std::string>* names) {
+  names->clear();
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return Status::Ok();
+    return Errno("opendir " + dir);
+  }
+  while (struct dirent* ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st;
+    if (::stat((dir + "/" + name).c_str(), &st) != 0) continue;
+    if (!S_ISREG(st.st_mode)) continue;
+    names->push_back(name);
+  }
+  ::closedir(d);
+  return Status::Ok();
 }
 
 }  // namespace cpr

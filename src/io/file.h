@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -12,6 +13,11 @@ namespace cpr {
 // reads/writes. All checkpoint, log, and snapshot files in the library go
 // through this class; pread/pwrite keep it safe for concurrent use from the
 // background I/O pool without any shared offset.
+//
+// All mutating paths (WriteAt, Sync, Open-with-create, RenameFile,
+// RemoveFileIfExists) consult the process-global FaultInjector when one is
+// installed (io/fault_injection.h), so tests can script EIO, torn writes,
+// sync failures, and crash points without touching engine code.
 class File {
  public:
   File() = default;
@@ -44,6 +50,18 @@ class File {
 Status CreateDirectories(const std::string& path);
 Status RemoveFileIfExists(const std::string& path);
 bool FileExists(const std::string& path);
+
+// Atomically replaces `to` with `from` (rename(2)). Not durable on its own:
+// callers publishing checkpoint pointers must FsyncDir the parent afterwards.
+Status RenameFile(const std::string& from, const std::string& to);
+
+// fsyncs a directory so a preceding rename/create within it survives power
+// loss.
+Status FsyncDir(const std::string& dir);
+
+// Lists regular-file names (not paths) in `dir`, unsorted. Missing directory
+// yields an empty list and Ok: recovery treats it as "no checkpoints yet".
+Status ListDirectory(const std::string& dir, std::vector<std::string>* names);
 
 }  // namespace cpr
 

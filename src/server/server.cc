@@ -134,6 +134,11 @@ struct KvServer::PendingResponse {
   uint64_t durable_gate = 0;  // release when durable point >= this serial
   uint64_t token_gate = 0;    // release when LastCheckpointToken() >= this
   uint64_t serial = 0;        // async completion matching
+  // CheckpointFailures() sampled when the durable gate was armed. If the
+  // store reports more failures later while the gate still hasn't opened,
+  // the covering checkpoint failed persistently: release as NOT_DURABLE
+  // instead of hanging the session.
+  uint64_t failures_at_enqueue = 0;
   net::Response resp;
 };
 
@@ -351,7 +356,13 @@ void KvServer::WorkerLoop(Worker& w) {
     }
     DriveConnections(w);
     TickDetached();
-    if (w.id == 0) MaybePeriodicCheckpoint();
+    if (w.id == 0) {
+      MaybePeriodicCheckpoint();
+      // Mirror the store's persistent-failure count into the server's
+      // counters so monitoring sees storage degradation.
+      counters_.checkpoint_failures.store(kv_->CheckpointFailures(),
+                                          std::memory_order_relaxed);
+    }
   }
   // Shutdown: close sockets; sessions with no pendings stop here, the rest
   // are handed to Stop() for the combined drain.
@@ -562,6 +573,7 @@ void KvServer::HandleDataOp(Connection* c, const net::Request& req) {
   // never waits on its own serial — which no checkpoint may cover yet.
   if (c->ack_mode == net::AckMode::kDurable && req.op != net::Op::kRead) {
     entry.durable_gate = entry.serial;
+    entry.failures_at_enqueue = kv_->CheckpointFailures();
     counters_.durable_held.fetch_add(1, std::memory_order_relaxed);
   }
   if (st == faster::OpStatus::kPending) {
@@ -639,6 +651,8 @@ void KvServer::OnAsyncComplete(Connection* c, const faster::AsyncResult& r) {
 
 void KvServer::ReleaseResponses(Connection* c) {
   const uint64_t token = kv_->LastCheckpointToken();
+  const uint64_t finished = kv_->LastFinishedToken();
+  const uint64_t failures = kv_->CheckpointFailures();
   if (c->ack_mode == net::AckMode::kDurable &&
       token != c->durable_token_seen && c->session != nullptr) {
     c->durable_token_seen = token;
@@ -650,9 +664,23 @@ void KvServer::ReleaseResponses(Connection* c) {
   while (!c->queue.empty()) {
     PendingResponse& e = c->queue.front();
     if (!e.ready) break;
-    if (e.token_gate != 0 && token < e.token_gate) break;
-    if (e.durable_gate != 0 && c->durable_point < e.durable_gate) break;
-    if (e.token_gate != 0) {
+    if (e.token_gate != 0 && token < e.token_gate) {
+      // Checkpoint still in flight: keep waiting. If it finished without
+      // completing, it failed persistently — tell the client rather than
+      // leaving the CHECKPOINT response (and everything behind it) hung.
+      if (finished < e.token_gate) break;
+      e.resp.status = net::WireStatus::kError;
+    }
+    if (e.durable_gate != 0 && c->durable_point < e.durable_gate) {
+      // The gate can still open if a checkpoint in flight succeeds. Once a
+      // checkpoint fails after this op executed, durability can no longer
+      // be promised in order: degrade to an explicit NOT_DURABLE ack so the
+      // client keeps the op in its replay buffer instead of hanging.
+      if (failures <= e.failures_at_enqueue) break;
+      e.resp.status = net::WireStatus::kNotDurable;
+      counters_.not_durable_acks.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (e.token_gate != 0 && e.resp.status == net::WireStatus::kOk) {
       // Checkpoint done: report this session's committed prefix.
       uint64_t point = 0;
       (void)kv_->DurableCommitPoint(c->guid, &point);

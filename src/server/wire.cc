@@ -183,7 +183,7 @@ bool DecodeResponse(std::string_view payload, Response* out) {
   }
   if (op < static_cast<uint8_t>(Op::kHello) ||
       op > static_cast<uint8_t>(Op::kCommitPoint) ||
-      status > static_cast<uint8_t>(WireStatus::kError)) {
+      status > kMaxWireStatus) {
     return false;
   }
   out->op = static_cast<Op>(op);
@@ -236,6 +236,7 @@ const char* StatusName(WireStatus status) {
     case WireStatus::kNoSession: return "NO_SESSION";
     case WireStatus::kBusy: return "BUSY";
     case WireStatus::kError: return "ERROR";
+    case WireStatus::kNotDurable: return "NOT_DURABLE";
   }
   return "?";
 }

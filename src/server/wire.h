@@ -59,7 +59,11 @@ enum class WireStatus : uint8_t {
   kBusy = 4,       // duplicate live guid / checkpoint already in flight /
                    // session table full
   kError = 5,
+  kNotDurable = 6, // durable-ack op executed, but the covering checkpoint
+                   // failed persistently: NOT durable, client must replay
 };
+
+constexpr uint8_t kMaxWireStatus = static_cast<uint8_t>(WireStatus::kNotDurable);
 
 enum class AckMode : uint8_t {
   kExecuted = 0,  // acknowledge as soon as the operation executed

@@ -145,12 +145,19 @@ void CalcEngine::CaptureAndPersist(uint64_t v) {
     }
   }
 
-  const Status s = WriteCheckpoint(db_.options().durability_dir, meta, data,
-                                   db_.options().sync_to_disk);
+  const TransactionalDb::Options& opts = db_.options();
+  const Status s = WriteCheckpointWithRetry(
+      opts.durability_dir, meta, data, opts.sync_to_disk,
+      opts.checkpoint_retry_attempts, opts.checkpoint_retry_backoff_ms);
+  if (s.ok()) {
+    RetainCheckpoints(opts.durability_dir, opts.retain_checkpoints);
+  }
   CommitCallback cb;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (s.ok()) last_durable_version_ = v;
+    last_finished_version_ = v;
+    last_checkpoint_status_ = s;
     cb = std::move(callback_);
     callback_ = nullptr;
   }
@@ -159,10 +166,14 @@ void CalcEngine::CaptureAndPersist(uint64_t v) {
   if (s.ok() && cb) cb(v, meta.points);
 }
 
-void CalcEngine::WaitForCommit(uint64_t version) {
+Status CalcEngine::WaitForCommit(uint64_t version) {
   std::unique_lock<std::mutex> lock(mu_);
-  durable_cv_.wait(lock,
-                   [this, version] { return last_durable_version_ >= version; });
+  durable_cv_.wait(lock, [this, version] {
+    return last_finished_version_ >= version;
+  });
+  if (last_durable_version_ >= version) return Status::Ok();
+  return Status::IoError("checkpoint v" + std::to_string(version) +
+                         " failed: " + last_checkpoint_status_.message());
 }
 
 bool CalcEngine::CommitInProgress() const {
@@ -174,33 +185,38 @@ uint64_t CalcEngine::CurrentVersion() const {
 }
 
 Status CalcEngine::Recover(std::vector<CommitPoint>* points) {
-  CheckpointMeta meta;
-  std::vector<char> data;
-  Status s = ReadLatestCheckpoint(db_.options().durability_dir, &meta, &data);
+  const std::string& dir = db_.options().durability_dir;
+  std::vector<uint64_t> candidates;
+  Status s = ListRecoveryCandidates(dir, &candidates);
   if (!s.ok()) return s;
+  if (candidates.empty()) {
+    return Status::NotFound("no checkpoint published in " + dir);
+  }
   Storage& storage = db_.storage();
-  if (meta.table_schemas.size() != storage.num_tables()) {
-    return Status::Corruption("checkpoint schema mismatch (table count)");
-  }
-  size_t off = 0;
-  for (uint32_t t = 0; t < storage.num_tables(); ++t) {
-    Table& table = storage.table(t);
-    const auto& [rows, vsize] = meta.table_schemas[t];
-    if (rows != table.rows() || vsize != table.value_size()) {
-      return Status::Corruption("checkpoint schema mismatch (table shape)");
+  // CALC captures are always full images, so each candidate stands alone;
+  // walk newest-first until one verifies and applies.
+  Status last = Status::Corruption("no valid checkpoint generation in " + dir);
+  for (uint64_t candidate : candidates) {
+    CheckpointMeta meta;
+    std::vector<char> data;
+    s = ReadCheckpointAt(dir, candidate, &meta, &data);
+    if (s.ok()) s = ApplyCheckpointData(storage, meta, data);
+    if (!s.ok()) {
+      last = s;
+      continue;
     }
-    for (uint64_t row = 0; row < rows; ++row) {
-      std::memcpy(table.live(row), data.data() + off, vsize);
-      off += vsize;
+    state_.store(Pack(false, meta.version + 1), std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      last_durable_version_ = meta.version;
+      last_finished_version_ = meta.version;
     }
+    *points = meta.points;
+    return Status::Ok();
   }
-  state_.store(Pack(false, meta.version + 1), std::memory_order_release);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    last_durable_version_ = meta.version;
-  }
-  *points = meta.points;
-  return Status::Ok();
+  if (last.code() != Status::Code::kCorruption) return last;
+  return Status::Corruption("no valid checkpoint generation in " + dir +
+                            " (last error: " + last.message() + ")");
 }
 
 }  // namespace cpr::txdb

@@ -33,7 +33,7 @@ class CalcEngine : public Engine {
 
   TxnResult Execute(ThreadContext& ctx, const Transaction& txn) override;
   uint64_t RequestCommit(CommitCallback callback) override;
-  void WaitForCommit(uint64_t version) override;
+  Status WaitForCommit(uint64_t version) override;
   bool CommitInProgress() const override;
   uint64_t CurrentVersion() const override;
   Status Recover(std::vector<CommitPoint>* points) override;
@@ -68,6 +68,8 @@ class CalcEngine : public Engine {
   std::condition_variable durable_cv_;
   uint64_t capture_version_ = 0;
   uint64_t last_durable_version_ = 0;
+  uint64_t last_finished_version_ = 0;  // durable or failed; unblocks waiters
+  Status last_checkpoint_status_;
   bool stop_ = false;
   CommitCallback callback_;
   std::thread checkpoint_thread_;

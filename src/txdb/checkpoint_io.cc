@@ -1,15 +1,20 @@
 #include "txdb/checkpoint_io.h"
 
-#include <cstdio>
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <set>
+#include <thread>
 
+#include "io/blob.h"
 #include "io/file.h"
 
 namespace cpr::txdb {
 
 namespace {
 
-constexpr uint64_t kMagic = 0x4350525F434B5054ull;  // "CPR_CKPT"
+constexpr uint64_t kMetaMagic = 0x4350525F434B5054ull;  // "CPR_CKPT"
+constexpr uint64_t kDataMagic = 0x4350525F44415441ull;  // "CPR_DATA"
 
 std::string DataPath(const std::string& dir, uint64_t v) {
   return dir + "/v" + std::to_string(v) + ".data";
@@ -17,7 +22,6 @@ std::string DataPath(const std::string& dir, uint64_t v) {
 std::string MetaPath(const std::string& dir, uint64_t v) {
   return dir + "/v" + std::to_string(v) + ".meta";
 }
-std::string LatestPath(const std::string& dir) { return dir + "/LATEST"; }
 
 template <typename T>
 void Append(std::vector<char>& buf, const T& value) {
@@ -35,100 +39,9 @@ Status Consume(const std::vector<char>& buf, size_t* off, T* out) {
   return Status::Ok();
 }
 
-}  // namespace
-
-Status WriteCheckpoint(const std::string& dir, const CheckpointMeta& meta,
-                       const std::vector<char>& data, bool sync) {
-  Status s = CreateDirectories(dir);
-  if (!s.ok()) return s;
-
-  File data_file;
-  s = File::Open(DataPath(dir, meta.version), /*create=*/true, &data_file);
-  if (!s.ok()) return s;
-  if (!data.empty()) {
-    s = data_file.WriteAt(0, data.data(), data.size());
-    if (!s.ok()) return s;
-  }
-  if (sync) {
-    s = data_file.Sync();
-    if (!s.ok()) return s;
-  }
-
-  std::vector<char> mbuf;
-  Append(mbuf, kMagic);
-  Append(mbuf, meta.version);
-  Append(mbuf, static_cast<uint8_t>(meta.is_delta ? 1 : 0));
-  Append(mbuf, static_cast<uint64_t>(data.size()));
-  Append(mbuf, static_cast<uint64_t>(meta.table_schemas.size()));
-  for (const auto& [rows, vsize] : meta.table_schemas) {
-    Append(mbuf, rows);
-    Append(mbuf, vsize);
-  }
-  Append(mbuf, static_cast<uint64_t>(meta.points.size()));
-  for (const CommitPoint& p : meta.points) {
-    Append(mbuf, p.thread_id);
-    Append(mbuf, p.serial);
-  }
-  File meta_file;
-  s = File::Open(MetaPath(dir, meta.version), /*create=*/true, &meta_file);
-  if (!s.ok()) return s;
-  s = meta_file.WriteAt(0, mbuf.data(), mbuf.size());
-  if (!s.ok()) return s;
-  if (sync) {
-    s = meta_file.Sync();
-    if (!s.ok()) return s;
-  }
-
-  // Publish: tmp + rename is atomic on POSIX.
-  const std::string tmp = LatestPath(dir) + ".tmp";
-  File latest;
-  s = File::Open(tmp, /*create=*/true, &latest);
-  if (!s.ok()) return s;
-  const std::string text = std::to_string(meta.version);
-  s = latest.WriteAt(0, text.data(), text.size());
-  if (!s.ok()) return s;
-  if (sync) {
-    s = latest.Sync();
-    if (!s.ok()) return s;
-  }
-  latest.Close();
-  if (std::rename(tmp.c_str(), LatestPath(dir).c_str()) != 0) {
-    return Status::IoError("rename LATEST failed");
-  }
-  return Status::Ok();
-}
-
-Status ReadLatestCheckpoint(const std::string& dir, CheckpointMeta* meta,
-                            std::vector<char>* data) {
-  if (!FileExists(LatestPath(dir))) {
-    return Status::NotFound("no checkpoint published in " + dir);
-  }
-  File latest;
-  Status s = File::Open(LatestPath(dir), /*create=*/false, &latest);
-  if (!s.ok()) return s;
-  const uint64_t size = latest.Size();
-  std::string text(size, '\0');
-  s = latest.ReadAt(0, text.data(), size);
-  if (!s.ok()) return s;
-  const uint64_t version = std::strtoull(text.c_str(), nullptr, 10);
-  if (version == 0) return Status::Corruption("bad LATEST contents");
-  return ReadCheckpointAt(dir, version, meta, data);
-}
-
-Status ReadCheckpointAt(const std::string& dir, uint64_t version,
-                        CheckpointMeta* meta, std::vector<char>* data) {
-  Status s;
-  File meta_file;
-  s = File::Open(MetaPath(dir, version), /*create=*/false, &meta_file);
-  if (!s.ok()) return s;
-  std::vector<char> mbuf(meta_file.Size());
-  s = meta_file.ReadAt(0, mbuf.data(), mbuf.size());
-  if (!s.ok()) return s;
-
+Status DecodeMetaPayload(const std::vector<char>& mbuf, CheckpointMeta* meta) {
   size_t off = 0;
-  uint64_t magic = 0;
-  if (s = Consume(mbuf, &off, &magic); !s.ok()) return s;
-  if (magic != kMagic) return Status::Corruption("bad checkpoint magic");
+  Status s;
   if (s = Consume(mbuf, &off, &meta->version); !s.ok()) return s;
   uint8_t is_delta = 0;
   if (s = Consume(mbuf, &off, &is_delta); !s.ok()) return s;
@@ -144,7 +57,6 @@ Status ReadCheckpointAt(const std::string& dir, uint64_t version,
     if (s = Consume(mbuf, &off, &vsize); !s.ok()) return s;
     meta->table_schemas.emplace_back(rows, vsize);
   }
-  const uint64_t total_bytes = meta->data_bytes;
   uint64_t num_points = 0;
   if (s = Consume(mbuf, &off, &num_points); !s.ok()) return s;
   meta->points.clear();
@@ -154,14 +66,231 @@ Status ReadCheckpointAt(const std::string& dir, uint64_t version,
     if (s = Consume(mbuf, &off, &p.serial); !s.ok()) return s;
     meta->points.push_back(p);
   }
+  return Status::Ok();
+}
 
-  File data_file;
-  s = File::Open(DataPath(dir, version), /*create=*/false, &data_file);
+// Parses "v<digits>.<ext>" into the version number.
+bool ParseVersionFile(const std::string& name, const char* ext, uint64_t* v) {
+  if (name.size() < 2 || name[0] != 'v') return false;
+  size_t i = 1;
+  uint64_t value = 0;
+  while (i < name.size() && name[i] >= '0' && name[i] <= '9') {
+    value = value * 10 + (name[i] - '0');
+    ++i;
+  }
+  if (i == 1) return false;
+  if (name.compare(i, std::string::npos, ext) != 0) return false;
+  *v = value;
+  return value != 0;
+}
+
+// All versions that have an on-disk meta file, descending.
+Status ListMetaVersions(const std::string& dir, std::vector<uint64_t>* out) {
+  out->clear();
+  std::vector<std::string> names;
+  Status s = ListDirectory(dir, &names);
   if (!s.ok()) return s;
-  data->resize(total_bytes);
-  if (total_bytes > 0) {
-    s = data_file.ReadAt(0, data->data(), total_bytes);
-    if (!s.ok()) return s;
+  for (const std::string& name : names) {
+    uint64_t v = 0;
+    if (ParseVersionFile(name, ".meta", &v)) out->push_back(v);
+  }
+  std::sort(out->begin(), out->end(), std::greater<uint64_t>());
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteCheckpoint(const std::string& dir, const CheckpointMeta& meta,
+                       const std::vector<char>& data, bool sync) {
+  Status s = CreateDirectories(dir);
+  if (!s.ok()) return s;
+
+  s = WriteCheckedBlob(DataPath(dir, meta.version), kDataMagic, data, sync);
+  if (!s.ok()) return s;
+
+  std::vector<char> mbuf;
+  Append(mbuf, meta.version);
+  Append(mbuf, static_cast<uint8_t>(meta.is_delta ? 1 : 0));
+  Append(mbuf, static_cast<uint64_t>(data.size()));
+  Append(mbuf, static_cast<uint64_t>(meta.table_schemas.size()));
+  for (const auto& [rows, vsize] : meta.table_schemas) {
+    Append(mbuf, rows);
+    Append(mbuf, vsize);
+  }
+  Append(mbuf, static_cast<uint64_t>(meta.points.size()));
+  for (const CommitPoint& p : meta.points) {
+    Append(mbuf, p.thread_id);
+    Append(mbuf, p.serial);
+  }
+  s = WriteCheckedBlob(MetaPath(dir, meta.version), kMetaMagic, mbuf, sync);
+  if (!s.ok()) return s;
+
+  return PublishLatest(dir, std::to_string(meta.version), sync);
+}
+
+Status WriteCheckpointWithRetry(const std::string& dir,
+                                const CheckpointMeta& meta,
+                                const std::vector<char>& data, bool sync,
+                                uint32_t attempts, uint32_t backoff_ms) {
+  if (attempts == 0) attempts = 1;
+  Status s;
+  uint64_t delay = backoff_ms;
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0 && delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      delay = std::min<uint64_t>(delay * 2, 1000);
+    }
+    s = WriteCheckpoint(dir, meta, data, sync);
+    if (s.ok()) return s;
+  }
+  return s;
+}
+
+Status ReadCheckpointMeta(const std::string& dir, uint64_t version,
+                          CheckpointMeta* meta) {
+  std::vector<char> mbuf;
+  Status s = ReadCheckedBlob(MetaPath(dir, version), kMetaMagic, &mbuf);
+  if (!s.ok()) return s;
+  s = DecodeMetaPayload(mbuf, meta);
+  if (!s.ok()) return s;
+  if (meta->version != version) {
+    return Status::Corruption("checkpoint meta names wrong version");
+  }
+  return Status::Ok();
+}
+
+Status ReadCheckpointAt(const std::string& dir, uint64_t version,
+                        CheckpointMeta* meta, std::vector<char>* data) {
+  Status s = ReadCheckpointMeta(dir, version, meta);
+  if (!s.ok()) return s;
+  s = ReadCheckedBlob(DataPath(dir, version), kDataMagic, data);
+  if (!s.ok()) return s;
+  if (data->size() != meta->data_bytes) {
+    return Status::Corruption("checkpoint data size mismatch");
+  }
+  return Status::Ok();
+}
+
+Status ListRecoveryCandidates(const std::string& dir,
+                              std::vector<uint64_t>* versions) {
+  versions->clear();
+  uint64_t hint = 0;
+  std::string text;
+  if (ReadLatestValue(dir, &text).ok()) {
+    hint = std::strtoull(text.c_str(), nullptr, 10);
+  }
+  std::vector<uint64_t> on_disk;
+  Status s = ListMetaVersions(dir, &on_disk);
+  if (!s.ok()) return s;
+  if (hint != 0) versions->push_back(hint);
+  for (uint64_t v : on_disk) {
+    if (v != hint) versions->push_back(v);
+  }
+  return Status::Ok();
+}
+
+Status ReadLatestCheckpoint(const std::string& dir, CheckpointMeta* meta,
+                            std::vector<char>* data) {
+  std::vector<uint64_t> candidates;
+  Status s = ListRecoveryCandidates(dir, &candidates);
+  if (!s.ok()) return s;
+  if (candidates.empty()) {
+    return Status::NotFound("no checkpoint published in " + dir);
+  }
+  Status last = Status::Corruption("no valid checkpoint generation in " + dir);
+  for (uint64_t v : candidates) {
+    s = ReadCheckpointAt(dir, v, meta, data);
+    if (s.ok()) return s;
+    last = s;
+  }
+  return Status::Corruption("no valid checkpoint generation in " + dir +
+                            " (last error: " + last.message() + ")");
+}
+
+Status RetainCheckpoints(const std::string& dir, uint32_t retain) {
+  if (retain == 0) return Status::Ok();
+  std::vector<uint64_t> versions;
+  Status s = ListMetaVersions(dir, &versions);
+  if (!s.ok()) return s;
+
+  std::set<uint64_t> keep;
+  uint32_t generations = 0;
+  for (uint64_t v : versions) {
+    if (generations >= retain) break;
+    ++generations;
+    keep.insert(v);
+    // A retained delta generation needs its whole chain down to a full base.
+    uint64_t w = v;
+    while (w > 1) {
+      CheckpointMeta m;
+      if (!ReadCheckpointMeta(dir, w, &m).ok()) break;  // conservative stop
+      if (!m.is_delta) break;
+      --w;
+      keep.insert(w);
+    }
+  }
+
+  std::vector<std::string> names;
+  s = ListDirectory(dir, &names);
+  if (!s.ok()) return s;
+  for (const std::string& name : names) {
+    uint64_t v = 0;
+    const bool is_meta = ParseVersionFile(name, ".meta", &v);
+    const bool is_data = !is_meta && ParseVersionFile(name, ".data", &v);
+    if (!is_meta && !is_data) continue;
+    if (keep.count(v) != 0) continue;
+    RemoveFileIfExists(dir + "/" + name);  // best-effort
+  }
+  return Status::Ok();
+}
+
+Status ApplyCheckpointData(Storage& storage, const CheckpointMeta& meta,
+                           const std::vector<char>& data) {
+  if (meta.table_schemas.size() != storage.num_tables()) {
+    return Status::Corruption("checkpoint schema mismatch (table count)");
+  }
+  for (uint32_t t = 0; t < storage.num_tables(); ++t) {
+    const auto& [rows, vsize] = meta.table_schemas[t];
+    if (rows != storage.table(t).rows() ||
+        vsize != storage.table(t).value_size()) {
+      return Status::Corruption("checkpoint schema mismatch (table shape)");
+    }
+  }
+  size_t off = 0;
+  if (!meta.is_delta) {
+    for (uint32_t t = 0; t < storage.num_tables(); ++t) {
+      Table& table = storage.table(t);
+      const uint32_t vsize = table.value_size();
+      for (uint64_t row = 0; row < table.rows(); ++row) {
+        if (off + vsize > data.size()) {
+          return Status::Corruption("full checkpoint data truncated");
+        }
+        std::memcpy(table.live(row), data.data() + off, vsize);
+        off += vsize;
+      }
+    }
+    return Status::Ok();
+  }
+  while (off < data.size()) {
+    uint32_t t = 0;
+    uint64_t row = 0;
+    if (off + kDeltaEntryHeaderBytes > data.size()) {
+      return Status::Corruption("delta entry header truncated");
+    }
+    std::memcpy(&t, data.data() + off, sizeof(t));
+    off += sizeof(t);
+    std::memcpy(&row, data.data() + off, sizeof(row));
+    off += sizeof(row);
+    if (t >= storage.num_tables() || row >= storage.table(t).rows()) {
+      return Status::Corruption("delta entry out of range");
+    }
+    Table& table = storage.table(t);
+    const uint32_t vsize = table.value_size();
+    if (off + vsize > data.size()) {
+      return Status::Corruption("delta entry value truncated");
+    }
+    std::memcpy(table.live(row), data.data() + off, vsize);
+    off += vsize;
   }
   return Status::Ok();
 }

@@ -13,13 +13,19 @@ namespace cpr::txdb {
 
 // On-disk checkpoint format shared by the CPR and CALC engines.
 //
-//   <dir>/v<version>.data   raw captured values, tables concatenated in id
-//                           order, each table rows*value_size bytes
-//   <dir>/v<version>.meta   header: magic, version, table schemas, commit
-//                           points
-//   <dir>/LATEST            textual version number, written via tmp+rename
-//                           so a crash mid-checkpoint leaves the previous
-//                           commit intact (checkpoint atomicity)
+//   <dir>/v<version>.data   checked blob (io/blob.h) holding the captured
+//                           values: full captures concatenate tables in id
+//                           order, delta captures hold per-row entries
+//   <dir>/v<version>.meta   checked blob holding the metadata payload:
+//                           version, is_delta, data_bytes, table schemas,
+//                           commit points
+//   <dir>/LATEST            textual version number, published durably via
+//                           tmp+rename+parent-fsync (io/blob.h PublishLatest)
+//
+// Both blobs carry magic/version headers and CRC32C checksums, so recovery
+// can detect a torn or bit-flipped generation and walk back to the newest
+// valid one. The last `retain` generations are kept on disk (plus any older
+// versions a retained delta chain still needs); see RetainCheckpoints.
 struct CheckpointMeta {
   uint64_t version = 0;
   // Delta checkpoints (the paper's "capture only records that changed since
@@ -35,14 +41,48 @@ struct CheckpointMeta {
 Status WriteCheckpoint(const std::string& dir, const CheckpointMeta& meta,
                        const std::vector<char>& data, bool sync);
 
-// Reads the newest checkpoint in `dir`. Returns NotFound if none published.
+// WriteCheckpoint with up to `attempts` tries and bounded exponential
+// backoff (backoff_ms, 2*backoff_ms, ... capped at 1s) between failures.
+// Returns the last failure if every attempt fails.
+Status WriteCheckpointWithRetry(const std::string& dir,
+                                const CheckpointMeta& meta,
+                                const std::vector<char>& data, bool sync,
+                                uint32_t attempts, uint32_t backoff_ms);
+
+// Reads the newest *valid* checkpoint in `dir`: tries the LATEST hint first,
+// then every on-disk generation newest-first, skipping corrupt ones.
+// Returns NotFound if none was ever published, kCorruption if generations
+// exist but none verifies.
 Status ReadLatestCheckpoint(const std::string& dir, CheckpointMeta* meta,
                             std::vector<char>* data);
 
 // Reads a specific checkpoint version (used to walk a delta chain back to
-// its full base).
+// its full base). Verifies both blobs' checksums.
 Status ReadCheckpointAt(const std::string& dir, uint64_t version,
                         CheckpointMeta* meta, std::vector<char>* data);
+
+// Reads and verifies only the metadata blob of `version` (cheap chain walk
+// and retention decisions).
+Status ReadCheckpointMeta(const std::string& dir, uint64_t version,
+                          CheckpointMeta* meta);
+
+// Recovery candidate versions in the order they should be attempted: the
+// LATEST hint (if readable) first, then every version with an on-disk meta
+// file, newest first, deduplicated. Missing directory → empty list.
+Status ListRecoveryCandidates(const std::string& dir,
+                              std::vector<uint64_t>* versions);
+
+// Deletes checkpoint generations beyond the newest `retain`, preserving any
+// older version a retained delta chain still needs to reach its full base.
+// retain == 0 disables garbage collection. Best-effort: an unreadable meta
+// stops chain analysis conservatively (the version is kept).
+Status RetainCheckpoints(const std::string& dir, uint32_t retain);
+
+// Applies one checkpoint's data to the tables: full images overwrite every
+// row; delta images overwrite just their (table, row) entries. Shared by the
+// CPR and CALC engines' recovery paths.
+Status ApplyCheckpointData(Storage& storage, const CheckpointMeta& meta,
+                           const std::vector<char>& data);
 
 // Layout of one delta-data entry: u32 table_id, u64 row, value bytes
 // (value_size of the table).

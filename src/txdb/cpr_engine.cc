@@ -188,14 +188,22 @@ void CprEngine::CaptureAndPersist(uint64_t v) {
     }
   }
 
-  const Status s = WriteCheckpoint(db_.options().durability_dir, meta, data,
-                                   db_.options().sync_to_disk);
-  // A failed write leaves the previous commit as the durable one; surface
-  // the failure by not advancing last_durable (callers time out / assert).
+  const TransactionalDb::Options& opts = db_.options();
+  const Status s = WriteCheckpointWithRetry(
+      opts.durability_dir, meta, data, opts.sync_to_disk,
+      opts.checkpoint_retry_attempts, opts.checkpoint_retry_backoff_ms);
+  if (s.ok()) {
+    RetainCheckpoints(opts.durability_dir, opts.retain_checkpoints);
+  }
+  // A persistently failed write leaves the previous commit as the durable
+  // one; record the failure so WaitForCommit returns an error rather than
+  // hanging.
   CommitCallback cb;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (s.ok()) last_durable_version_ = v;
+    last_finished_version_ = v;
+    last_checkpoint_status_ = s;
     cb = std::move(callback_);
     callback_ = nullptr;
   }
@@ -205,10 +213,14 @@ void CprEngine::CaptureAndPersist(uint64_t v) {
   if (s.ok() && cb) cb(v, meta.points);
 }
 
-void CprEngine::WaitForCommit(uint64_t version) {
+Status CprEngine::WaitForCommit(uint64_t version) {
   std::unique_lock<std::mutex> lock(mu_);
-  durable_cv_.wait(lock,
-                   [this, version] { return last_durable_version_ >= version; });
+  durable_cv_.wait(lock, [this, version] {
+    return last_finished_version_ >= version;
+  });
+  if (last_durable_version_ >= version) return Status::Ok();
+  return Status::IoError("checkpoint v" + std::to_string(version) +
+                         " failed: " + last_checkpoint_status_.message());
 }
 
 bool CprEngine::CommitInProgress() const {
@@ -219,100 +231,78 @@ uint64_t CprEngine::CurrentVersion() const {
   return VersionOf(state_.load(std::memory_order_acquire));
 }
 
-namespace {
-
-// Applies one checkpoint's data to the tables: full images overwrite every
-// row; delta images overwrite just their (table, row) entries.
-Status ApplyCheckpointData(Storage& storage, const CheckpointMeta& meta,
-                           const std::vector<char>& data) {
-  if (meta.table_schemas.size() != storage.num_tables()) {
-    return Status::Corruption("checkpoint schema mismatch (table count)");
-  }
-  for (uint32_t t = 0; t < storage.num_tables(); ++t) {
-    const auto& [rows, vsize] = meta.table_schemas[t];
-    if (rows != storage.table(t).rows() ||
-        vsize != storage.table(t).value_size()) {
-      return Status::Corruption("checkpoint schema mismatch (table shape)");
-    }
-  }
-  size_t off = 0;
-  if (!meta.is_delta) {
-    for (uint32_t t = 0; t < storage.num_tables(); ++t) {
-      Table& table = storage.table(t);
-      const uint32_t vsize = table.value_size();
-      for (uint64_t row = 0; row < table.rows(); ++row) {
-        if (off + vsize > data.size()) {
-          return Status::Corruption("full checkpoint data truncated");
-        }
-        std::memcpy(table.live(row), data.data() + off, vsize);
-        off += vsize;
-      }
-    }
-    return Status::Ok();
-  }
-  while (off < data.size()) {
-    uint32_t t = 0;
-    uint64_t row = 0;
-    if (off + kDeltaEntryHeaderBytes > data.size()) {
-      return Status::Corruption("delta entry header truncated");
-    }
-    std::memcpy(&t, data.data() + off, sizeof(t));
-    off += sizeof(t);
-    std::memcpy(&row, data.data() + off, sizeof(row));
-    off += sizeof(row);
-    if (t >= storage.num_tables() || row >= storage.table(t).rows()) {
-      return Status::Corruption("delta entry out of range");
-    }
-    Table& table = storage.table(t);
-    const uint32_t vsize = table.value_size();
-    if (off + vsize > data.size()) {
-      return Status::Corruption("delta entry value truncated");
-    }
-    std::memcpy(table.live(row), data.data() + off, vsize);
-    off += vsize;
-  }
-  return Status::Ok();
-}
-
-}  // namespace
-
 Status CprEngine::Recover(std::vector<CommitPoint>* points) {
-  CheckpointMeta meta;
-  std::vector<char> data;
-  Status s = ReadLatestCheckpoint(db_.options().durability_dir, &meta, &data);
+  const std::string& dir = db_.options().durability_dir;
+  std::vector<uint64_t> candidates;
+  Status s = ListRecoveryCandidates(dir, &candidates);
   if (!s.ok()) return s;
+  if (candidates.empty()) {
+    return Status::NotFound("no checkpoint published in " + dir);
+  }
 
   Storage& storage = db_.storage();
-  // Walk any delta chain back to its full base, then replay forward.
-  std::vector<uint64_t> chain;  // versions, newest first
-  CheckpointMeta walk = meta;
-  while (walk.is_delta) {
-    chain.push_back(walk.version);
-    if (walk.version == 0) return Status::Corruption("delta chain broken");
-    std::vector<char> ignored;
-    s = ReadCheckpointAt(db_.options().durability_dir, walk.version - 1,
-                         &walk, &ignored);
-    if (!s.ok()) return s;
-  }
-  chain.push_back(walk.version);  // the full base
+  // Try each generation newest-first: a candidate only commits to recovered
+  // state if its entire delta chain reads and verifies. A failed attempt is
+  // retry-safe because every chain replays from a full base that overwrites
+  // all rows.
+  Status last = Status::Corruption("no valid checkpoint generation in " + dir);
+  for (uint64_t candidate : candidates) {
+    CheckpointMeta meta;
+    std::vector<char> data;
+    s = ReadCheckpointAt(dir, candidate, &meta, &data);
+    if (!s.ok()) {
+      last = s;
+      continue;
+    }
+    // Walk any delta chain back to its full base.
+    std::vector<uint64_t> chain;  // versions, newest first
+    CheckpointMeta walk = meta;
+    bool chain_ok = true;
+    while (walk.is_delta) {
+      chain.push_back(walk.version);
+      if (walk.version <= 1) {
+        last = Status::Corruption("delta chain broken at v" +
+                                  std::to_string(walk.version));
+        chain_ok = false;
+        break;
+      }
+      s = ReadCheckpointMeta(dir, walk.version - 1, &walk);
+      if (!s.ok()) {
+        last = s;
+        chain_ok = false;
+        break;
+      }
+    }
+    if (!chain_ok) continue;
+    chain.push_back(walk.version);  // the full base
 
-  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
-    CheckpointMeta m;
-    std::vector<char> d;
-    s = ReadCheckpointAt(db_.options().durability_dir, *it, &m, &d);
-    if (!s.ok()) return s;
-    s = ApplyCheckpointData(storage, m, d);
-    if (!s.ok()) return s;
-  }
+    bool applied = true;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      CheckpointMeta m;
+      std::vector<char> d;
+      s = ReadCheckpointAt(dir, *it, &m, &d);
+      if (s.ok()) s = ApplyCheckpointData(storage, m, d);
+      if (!s.ok()) {
+        last = s;
+        applied = false;
+        break;
+      }
+    }
+    if (!applied) continue;
 
-  state_.store(Pack(DbPhase::kRest, meta.version + 1),
-               std::memory_order_release);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    last_durable_version_ = meta.version;
+    state_.store(Pack(DbPhase::kRest, meta.version + 1),
+                 std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      last_durable_version_ = meta.version;
+      last_finished_version_ = meta.version;
+    }
+    *points = meta.points;
+    return Status::Ok();
   }
-  *points = meta.points;
-  return Status::Ok();
+  if (last.code() != Status::Code::kCorruption) return last;
+  return Status::Corruption("no valid checkpoint generation in " + dir +
+                            " (last error: " + last.message() + ")");
 }
 
 }  // namespace cpr::txdb

@@ -37,7 +37,7 @@ class CprEngine : public Engine {
   TxnResult Execute(ThreadContext& ctx, const Transaction& txn) override;
   void OnRefresh(ThreadContext& ctx) override;
   uint64_t RequestCommit(CommitCallback callback) override;
-  void WaitForCommit(uint64_t version) override;
+  Status WaitForCommit(uint64_t version) override;
   bool CommitInProgress() const override;
   uint64_t CurrentVersion() const override;
   Status Recover(std::vector<CommitPoint>* points) override;
@@ -66,7 +66,12 @@ class CprEngine : public Engine {
   std::condition_variable capture_cv_;
   std::condition_variable durable_cv_;
   uint64_t capture_version_ = 0;  // non-zero: capture requested; guarded by mu_
-  uint64_t last_durable_version_ = 0;  // guarded by mu_
+  uint64_t last_durable_version_ = 0;   // guarded by mu_
+  // Highest version whose commit attempt concluded (durable or failed);
+  // lets WaitForCommit return an error instead of hanging on a failed
+  // checkpoint device. Guarded by mu_.
+  uint64_t last_finished_version_ = 0;
+  Status last_checkpoint_status_;       // guarded by mu_
   bool stop_ = false;                  // guarded by mu_
   CommitCallback callback_;            // guarded by mu_
   std::thread checkpoint_thread_;

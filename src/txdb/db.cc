@@ -83,8 +83,8 @@ uint64_t TransactionalDb::RequestCommit(CommitCallback callback) {
   return engine_->RequestCommit(std::move(callback));
 }
 
-void TransactionalDb::WaitForCommit(uint64_t version) {
-  engine_->WaitForCommit(version);
+Status TransactionalDb::WaitForCommit(uint64_t version) {
+  return engine_->WaitForCommit(version);
 }
 
 bool TransactionalDb::CommitInProgress() const {

@@ -90,6 +90,14 @@ class TransactionalDb {
     // delta chain recovery has to replay.
     bool incremental_checkpoints = false;
     uint32_t full_checkpoint_every = 8;
+    // Checkpoint generations kept on disk (plus whatever older versions a
+    // retained delta chain needs); recovery walks back to the newest valid
+    // one if the latest is torn or corrupt. 0 disables garbage collection.
+    uint32_t retain_checkpoints = 3;
+    // A failed checkpoint write is retried this many times with bounded
+    // exponential backoff before the commit is declared failed.
+    uint32_t checkpoint_retry_attempts = 3;
+    uint32_t checkpoint_retry_backoff_ms = 5;
   };
 
   explicit TransactionalDb(Options options);
@@ -123,10 +131,11 @@ class TransactionalDb {
   // the commit is durable, with the per-thread CPR points.
   uint64_t RequestCommit(CommitCallback callback = nullptr);
 
-  // Blocks until the commit of `version` is durable. Helper for tests,
-  // examples, and benchmark epochs; worker threads must keep refreshing
-  // concurrently (or be deregistered).
-  void WaitForCommit(uint64_t version);
+  // Blocks until the commit of `version` either becomes durable (Ok) or
+  // fails persistently (IoError, after the engine exhausted its checkpoint
+  // retries). Helper for tests, examples, and benchmark epochs; worker
+  // threads must keep refreshing concurrently (or be deregistered).
+  Status WaitForCommit(uint64_t version);
 
   bool CommitInProgress() const;
   uint64_t CurrentVersion() const;
@@ -175,7 +184,7 @@ class Engine {
   // EpochFramework::Refresh contract).
   virtual void OnRefresh(ThreadContext& ctx) { (void)ctx; }
   virtual uint64_t RequestCommit(CommitCallback callback) = 0;
-  virtual void WaitForCommit(uint64_t version) = 0;
+  virtual Status WaitForCommit(uint64_t version) = 0;
   virtual bool CommitInProgress() const = 0;
   virtual uint64_t CurrentVersion() const { return 1; }
   virtual Status Recover(std::vector<CommitPoint>* points) = 0;

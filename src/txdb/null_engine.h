@@ -27,7 +27,7 @@ class NullEngine : public Engine {
   }
 
   uint64_t RequestCommit(CommitCallback) override { return 0; }
-  void WaitForCommit(uint64_t) override {}
+  Status WaitForCommit(uint64_t) override { return Status::Ok(); }
   bool CommitInProgress() const override { return false; }
   Status Recover(std::vector<CommitPoint>*) override {
     return Status::InvalidArgument("no durability engine configured");

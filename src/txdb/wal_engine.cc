@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "util/crc32c.h"
+
 namespace cpr::txdb {
 
 namespace {
@@ -95,20 +97,36 @@ TxnResult WalEngine::Execute(ThreadContext& ctx, const Transaction& txn) {
   ctx.counters.exec_ns += NowNanos() - start_ns;
 
   if (num_writes > 0) {
-    const uint64_t total = sizeof(uint32_t) + payload;
+    const uint64_t total = 2 * sizeof(uint32_t) + payload;
 
     const uint64_t t0 = NowNanos();
     const uint64_t off = Reserve(total, ctx);
     ctx.counters.tail_contention_ns += NowNanos() - t0;
 
     const uint64_t t1 = NowNanos();
+    const uint64_t serial = ctx.serial.load(std::memory_order_relaxed);
+    // The checksum accumulates over the same source buffers the ring copy
+    // reads, while the record's locks are still held.
+    uint32_t crc = kCrc32cInit;
+    crc = Crc32cExtend(crc, &ctx.thread_id, sizeof(ctx.thread_id));
+    crc = Crc32cExtend(crc, &serial, sizeof(serial));
+    crc = Crc32cExtend(crc, &num_writes, sizeof(num_writes));
+    for (const TxnOp& op : txn.ops) {
+      if (op.type == OpType::kRead) continue;
+      Table& table = storage.table(op.table_id);
+      crc = Crc32cExtend(crc, &op.table_id, sizeof(op.table_id));
+      crc = Crc32cExtend(crc, &op.row, sizeof(op.row));
+      crc = Crc32cExtend(crc, table.live(op.row), table.value_size());
+    }
+
     uint64_t w = off;
     const uint32_t payload32 = static_cast<uint32_t>(payload);
     CopyToRing(w, &payload32, sizeof(payload32));
     w += sizeof(payload32);
+    CopyToRing(w, &crc, sizeof(crc));
+    w += sizeof(crc);
     CopyToRing(w, &ctx.thread_id, sizeof(ctx.thread_id));
     w += sizeof(ctx.thread_id);
-    const uint64_t serial = ctx.serial.load(std::memory_order_relaxed);
     CopyToRing(w, &serial, sizeof(serial));
     w += sizeof(serial);
     CopyToRing(w, &num_writes, sizeof(num_writes));
@@ -147,12 +165,14 @@ void WalEngine::FlusherLoop() {
     FlushNow();
     CommitCallback cb;
     std::vector<CommitPoint> points;
+    bool durable = true;
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++flush_seq_;
+      durable = flush_status_.ok();
       cb = std::move(callback_);
       callback_ = nullptr;
-      if (cb) {
+      if (cb && durable) {
         for (const auto& c : db_.contexts()) {
           if (c != nullptr) {
             points.push_back(CommitPoint{
@@ -162,7 +182,9 @@ void WalEngine::FlusherLoop() {
       }
     }
     durable_cv_.notify_all();
-    if (cb) cb(flush_seq_, points);
+    // The durable-commit callback fires only for flushes that actually
+    // reached the device; waiters learn about failures via WaitForCommit.
+    if (cb && durable) cb(flush_seq_, points);
   }
   FlushNow();  // final drain so shutdown loses nothing published
 }
@@ -175,9 +197,31 @@ uint64_t WalEngine::FlushNow() {
   const uint64_t len = upto - from;
   const uint64_t pos = from & mask_;
   const uint64_t first = std::min(len, capacity_ - pos);
-  log_file_.WriteAt(from, ring_.get() + pos, first);
-  if (first < len) log_file_.WriteAt(from + first, ring_.get(), len - first);
-  if (db_.options().sync_to_disk) log_file_.Sync();
+  // Bounded retry with exponential backoff: a transient device error must
+  // not silently drop a log region.
+  const uint32_t attempts =
+      std::max<uint32_t>(1, db_.options().checkpoint_retry_attempts);
+  uint64_t delay = db_.options().checkpoint_retry_backoff_ms;
+  Status s;
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0 && delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      delay = std::min<uint64_t>(delay * 2, 1000);
+    }
+    s = log_file_.WriteAt(from, ring_.get() + pos, first);
+    if (s.ok() && first < len) {
+      s = log_file_.WriteAt(from + first, ring_.get(), len - first);
+    }
+    if (s.ok() && db_.options().sync_to_disk) s = log_file_.Sync();
+    if (s.ok()) break;
+  }
+  if (!s.ok()) {
+    // Degrade: record the failure (sticky) so commit waiters get an explicit
+    // error. The ring still advances — the engine stays available for
+    // non-durable execution, and recovery's CRC check stops at the hole.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (flush_status_.ok()) flush_status_ = s;
+  }
   flushed_.store(upto, std::memory_order_release);
   return upto;
 }
@@ -194,9 +238,10 @@ uint64_t WalEngine::RequestCommit(CommitCallback callback) {
   return seq;
 }
 
-void WalEngine::WaitForCommit(uint64_t version) {
+Status WalEngine::WaitForCommit(uint64_t version) {
   std::unique_lock<std::mutex> lock(mu_);
   durable_cv_.wait(lock, [this, version] { return flush_seq_ >= version; });
+  return flush_status_;
 }
 
 bool WalEngine::CommitInProgress() const { return false; }
@@ -217,11 +262,16 @@ Status WalEngine::Recover(std::vector<CommitPoint>* points) {
   std::vector<CommitPoint> last_serial;
   uint64_t off = 0;
   uint64_t replayed = 0;
-  while (off + sizeof(uint32_t) <= size) {
+  while (off + 2 * sizeof(uint32_t) <= size) {
     uint32_t payload = 0;
+    uint32_t crc = 0;
     std::memcpy(&payload, buf.data() + off, sizeof(payload));
-    if (payload == 0 || off + sizeof(uint32_t) + payload > size) break;
-    uint64_t r = off + sizeof(uint32_t);
+    std::memcpy(&crc, buf.data() + off + sizeof(payload), sizeof(crc));
+    if (payload == 0 || off + 2 * sizeof(uint32_t) + payload > size) break;
+    // A checksum mismatch marks the end of the valid durable prefix (torn
+    // group-commit flush or bit rot); nothing past it is trusted.
+    if (Crc32c(buf.data() + off + 2 * sizeof(uint32_t), payload) != crc) break;
+    uint64_t r = off + 2 * sizeof(uint32_t);
     uint32_t thread_id = 0;
     uint64_t serial = 0;
     uint32_t num_writes = 0;
@@ -256,7 +306,7 @@ Status WalEngine::Recover(std::vector<CommitPoint>* points) {
       }
     }
     if (!found) last_serial.push_back(CommitPoint{thread_id, serial + 1});
-    off += sizeof(uint32_t) + payload;
+    off += 2 * sizeof(uint32_t) + payload;
     ++replayed;
   }
   *points = last_serial;

@@ -36,7 +36,7 @@ class WalEngine : public Engine {
 
   TxnResult Execute(ThreadContext& ctx, const Transaction& txn) override;
   uint64_t RequestCommit(CommitCallback callback) override;
-  void WaitForCommit(uint64_t version) override;
+  Status WaitForCommit(uint64_t version) override;
   bool CommitInProgress() const override;
   uint64_t CurrentVersion() const override;
   Status Recover(std::vector<CommitPoint>* points) override;
@@ -47,11 +47,16 @@ class WalEngine : public Engine {
 
  private:
   // Log record layout (byte-packed):
-  //   u32 payload_size   total bytes after this field
+  //   u32 payload_size   total bytes after the crc field
+  //   u32 crc32c         checksum of the payload bytes
   //   u32 thread_id
   //   u64 serial
   //   u32 num_writes
   //   repeated: u32 table_id, u64 row, value bytes (table's value_size)
+  //
+  // Recovery replays records until the first one whose size or checksum does
+  // not verify — the valid durable prefix; a torn group-commit flush can
+  // never surface garbage rows.
   struct WriteRef {
     uint32_t table_id;
     uint64_t row;
@@ -82,6 +87,7 @@ class WalEngine : public Engine {
   bool stop_ = false;
   bool flush_requested_ = false;
   uint64_t flush_seq_ = 0;  // counts completed group commits
+  Status flush_status_;     // sticky first flush failure; guarded by mu_
   CommitCallback callback_;
   std::thread flusher_;
 };

@@ -1,0 +1,26 @@
+#ifndef CPR_UTIL_CRC32C_H_
+#define CPR_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cpr {
+
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78).
+// Used to checksum every checkpoint artifact (metadata, snapshot, index,
+// WAL records) so recovery can distinguish a torn/corrupt generation from a
+// valid one and walk back instead of loading garbage.
+
+// Extends a running CRC with `len` bytes. Start from kCrc32cInit and pass the
+// previous return value to accumulate over discontiguous buffers.
+inline constexpr uint32_t kCrc32cInit = 0;
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t len);
+
+inline uint32_t Crc32c(const void* data, size_t len) {
+  return Crc32cExtend(kCrc32cInit, data, len);
+}
+
+}  // namespace cpr
+
+#endif  // CPR_UTIL_CRC32C_H_

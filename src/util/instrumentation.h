@@ -54,12 +54,17 @@ struct ServerCounters {
   std::atomic<uint64_t> durable_held{0};      // responses gated on durability
   std::atomic<uint64_t> checkpoints{0};       // checkpoints started via wire
   std::atomic<uint64_t> checkpoint_stalls{0}; // CHECKPOINT rejected: in flight
+  std::atomic<uint64_t> checkpoint_failures{0}; // checkpoints that failed to
+                                                // persist (storage faults)
+  std::atomic<uint64_t> not_durable_acks{0};  // durable-gated responses
+                                              // released as NOT_DURABLE
   std::atomic<uint64_t> protocol_errors{0};
 
   struct Snapshot {
     uint64_t connections_accepted, connections_active, requests, responses,
         bytes_in, bytes_out, ops_pending, durable_held, checkpoints,
-        checkpoint_stalls, protocol_errors;
+        checkpoint_stalls, checkpoint_failures, not_durable_acks,
+        protocol_errors;
   };
 
   Snapshot Sample() const {
@@ -71,6 +76,7 @@ struct ServerCounters {
                     ld(bytes_in),             ld(bytes_out),
                     ld(ops_pending),          ld(durable_held),
                     ld(checkpoints),          ld(checkpoint_stalls),
+                    ld(checkpoint_failures),  ld(not_durable_acks),
                     ld(protocol_errors)};
   }
 };

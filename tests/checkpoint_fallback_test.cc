@@ -1,0 +1,251 @@
+// Torn-checkpoint fallback: when the newest checkpoint generation is
+// truncated or bit-flipped on disk, recovery must walk back to the previous
+// valid generation (txdb CPR/CALC engines, FasterKv) or replay exactly the
+// valid prefix (WAL) — never load corrupt data, never crash.
+#include <gtest/gtest.h>
+
+#include "test_dirs.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "faster/faster.h"
+#include "txdb/db.h"
+
+namespace cpr {
+namespace {
+
+std::string FreshDir() { return cpr::testing::FreshTestDir("cpr_fallback"); }
+
+// Flips one bit `back_off` bytes before the end of the file. The checked-blob
+// format puts the payload last, so this always lands in checksummed bytes.
+void FlipByteNearEnd(const std::string& path, size_t back_off = 1) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  f.seekg(0, std::ios::end);
+  const std::streamoff size = f.tellg();
+  ASSERT_GE(size, static_cast<std::streamoff>(back_off));
+  const std::streamoff pos = size - static_cast<std::streamoff>(back_off);
+  f.seekg(pos);
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x40);
+  f.seekp(pos);
+  f.write(&c, 1);
+  ASSERT_TRUE(f.good()) << path;
+}
+
+void TruncateToHalf(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  ASSERT_FALSE(ec) << path;
+  std::filesystem::resize_file(path, size / 2, ec);
+  ASSERT_FALSE(ec) << path;
+}
+
+// -- txdb ---------------------------------------------------------------------
+
+txdb::TransactionalDb::Options TxdbOpts(txdb::DurabilityMode mode,
+                                        const std::string& dir,
+                                        bool incremental = false) {
+  txdb::TransactionalDb::Options o;
+  o.mode = mode;
+  o.durability_dir = dir;
+  o.incremental_checkpoints = incremental;
+  return o;
+}
+
+// Runs `n` add-transactions on row 0, then takes one checkpoint.
+void RunAndCommit(txdb::TransactionalDb& db, uint32_t t, int64_t add, int n) {
+  txdb::ThreadContext* ctx = db.RegisterThread();
+  txdb::Transaction txn;
+  txn.ops.push_back(txdb::TxnOp{t, txdb::OpType::kAdd, 0, nullptr, add});
+  for (int i = 0; i < n; ++i) db.Execute(*ctx, txn);
+  db.DeregisterThread(ctx);
+  ASSERT_TRUE(db.WaitForCommit(db.RequestCommit()).ok());
+}
+
+int64_t Row0(txdb::TransactionalDb& db, uint32_t t) {
+  int64_t value = 0;
+  std::memcpy(&value, db.table(t).live(0), sizeof(value));
+  return value;
+}
+
+// Builds two generations (v1: row0 == 5, v2: row0 == 7) and corrupts v2's
+// `victim` file; recovery must land on v1.
+void CheckTxdbFallback(txdb::DurabilityMode mode, const std::string& victim,
+                       bool truncate, bool incremental = false) {
+  const std::string dir = FreshDir();
+  {
+    txdb::TransactionalDb db(TxdbOpts(mode, dir, incremental));
+    const uint32_t t = db.CreateTable(8, 8);
+    RunAndCommit(db, t, 5, 1);  // v1: row0 == 5
+    RunAndCommit(db, t, 1, 2);  // v2: row0 == 7
+  }
+  if (truncate) {
+    TruncateToHalf(dir + "/" + victim);
+  } else {
+    FlipByteNearEnd(dir + "/" + victim);
+  }
+  txdb::TransactionalDb db(TxdbOpts(mode, dir, incremental));
+  const uint32_t t = db.CreateTable(8, 8);
+  std::vector<txdb::CommitPoint> points;
+  ASSERT_TRUE(db.Recover(&points).ok()) << victim;
+  EXPECT_EQ(Row0(db, t), 5) << "must fall back to v1";
+}
+
+TEST(TxdbFallbackTest, CprBitFlippedDataFallsBack) {
+  CheckTxdbFallback(txdb::DurabilityMode::kCpr, "v2.data", /*truncate=*/false);
+}
+
+TEST(TxdbFallbackTest, CprTruncatedDataFallsBack) {
+  CheckTxdbFallback(txdb::DurabilityMode::kCpr, "v2.data", /*truncate=*/true);
+}
+
+TEST(TxdbFallbackTest, CprBitFlippedMetaFallsBack) {
+  CheckTxdbFallback(txdb::DurabilityMode::kCpr, "v2.meta", /*truncate=*/false);
+}
+
+TEST(TxdbFallbackTest, CprCorruptDeltaFallsBackToFullBase) {
+  // With incremental checkpoints v2 is a delta over v1; a corrupt delta must
+  // not half-apply — recovery lands on the intact full base.
+  CheckTxdbFallback(txdb::DurabilityMode::kCpr, "v2.data", /*truncate=*/false,
+                    /*incremental=*/true);
+}
+
+TEST(TxdbFallbackTest, CalcBitFlippedDataFallsBack) {
+  CheckTxdbFallback(txdb::DurabilityMode::kCalc, "v2.data",
+                    /*truncate=*/false);
+}
+
+TEST(TxdbFallbackTest, CalcTruncatedMetaFallsBack) {
+  CheckTxdbFallback(txdb::DurabilityMode::kCalc, "v2.meta", /*truncate=*/true);
+}
+
+TEST(TxdbFallbackTest, CprBothGenerationsCorruptIsCleanError) {
+  const std::string dir = FreshDir();
+  {
+    txdb::TransactionalDb db(TxdbOpts(txdb::DurabilityMode::kCpr, dir));
+    const uint32_t t = db.CreateTable(8, 8);
+    RunAndCommit(db, t, 5, 1);
+    RunAndCommit(db, t, 1, 2);
+  }
+  FlipByteNearEnd(dir + "/v1.data");
+  FlipByteNearEnd(dir + "/v2.data");
+  txdb::TransactionalDb db(TxdbOpts(txdb::DurabilityMode::kCpr, dir));
+  db.CreateTable(8, 8);
+  std::vector<txdb::CommitPoint> points;
+  const Status s = db.Recover(&points);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kCorruption);
+}
+
+TEST(WalFallbackTest, BitFlippedTailReplaysValidPrefix) {
+  // Ten records of +2 on row 3; flipping a bit in the last record's payload
+  // must drop exactly that record (CRC mismatch), not poison the replay.
+  const std::string dir = FreshDir();
+  {
+    txdb::TransactionalDb db(TxdbOpts(txdb::DurabilityMode::kWal, dir));
+    const uint32_t t = db.CreateTable(8, 8);
+    txdb::ThreadContext* ctx = db.RegisterThread();
+    txdb::Transaction txn;
+    txn.ops.push_back(txdb::TxnOp{t, txdb::OpType::kAdd, 3, nullptr, 2});
+    for (int i = 0; i < 10; ++i) db.Execute(*ctx, txn);
+    db.DeregisterThread(ctx);
+    db.WaitForCommit(db.RequestCommit());
+  }
+  FlipByteNearEnd(dir + "/wal.log");
+  txdb::TransactionalDb db(TxdbOpts(txdb::DurabilityMode::kWal, dir));
+  const uint32_t t = db.CreateTable(8, 8);
+  ASSERT_TRUE(db.Recover().ok());
+  int64_t value = 0;
+  std::memcpy(&value, db.table(t).live(3), sizeof(value));
+  EXPECT_EQ(value, 18) << "replay must stop before the corrupt tail record";
+}
+
+// -- FASTER -------------------------------------------------------------------
+
+faster::FasterKv::Options KvOpts(const std::string& dir) {
+  faster::FasterKv::Options o;
+  o.dir = dir;
+  o.index_buckets = 1 << 10;
+  o.page_bits = 14;
+  o.memory_pages = 8;
+  o.ro_lag_pages = 2;
+  return o;
+}
+
+// Two checkpoints: first leaves all keys == 1, second == 2. Returns both
+// tokens through the out-params.
+void MakeTwoKvCheckpoints(const std::string& dir, uint64_t* first,
+                          uint64_t* second,
+                          faster::CommitVariant second_variant =
+                              faster::CommitVariant::kFoldOver) {
+  faster::FasterKv kv(KvOpts(dir));
+  faster::Session* s = kv.StartSession();
+  const int64_t v1 = 1;
+  for (uint64_t k = 0; k < 50; ++k) kv.Upsert(*s, k, &v1);
+  ASSERT_TRUE(
+      kv.Checkpoint(faster::CommitVariant::kFoldOver, true, nullptr, first));
+  while (kv.CheckpointInProgress()) kv.Refresh(*s);
+  ASSERT_TRUE(kv.WaitForCheckpoint(*first).ok());
+  const int64_t v2 = 2;
+  for (uint64_t k = 0; k < 50; ++k) kv.Upsert(*s, k, &v2);
+  ASSERT_TRUE(kv.Checkpoint(second_variant, false, nullptr, second));
+  while (kv.CheckpointInProgress()) kv.Refresh(*s);
+  ASSERT_TRUE(kv.WaitForCheckpoint(*second).ok());
+  kv.StopSession(s);
+}
+
+void ExpectKvValue(const std::string& dir, int64_t expect) {
+  faster::FasterKv kv(KvOpts(dir));
+  ASSERT_TRUE(kv.Recover().ok());
+  faster::Session* s = kv.StartSession();
+  int64_t out = 0;
+  ASSERT_EQ(kv.Read(*s, 7, &out), faster::OpStatus::kOk);
+  EXPECT_EQ(out, expect);
+  kv.StopSession(s);
+}
+
+TEST(FasterFallbackTest, BitFlippedNewestMetaFallsBack) {
+  const std::string dir = FreshDir();
+  uint64_t first = 0, second = 0;
+  MakeTwoKvCheckpoints(dir, &first, &second);
+  FlipByteNearEnd(dir + "/ckpt." + std::to_string(second) + ".meta");
+  ExpectKvValue(dir, 1);
+}
+
+TEST(FasterFallbackTest, TruncatedNewestMetaFallsBack) {
+  const std::string dir = FreshDir();
+  uint64_t first = 0, second = 0;
+  MakeTwoKvCheckpoints(dir, &first, &second);
+  TruncateToHalf(dir + "/ckpt." + std::to_string(second) + ".meta");
+  ExpectKvValue(dir, 1);
+}
+
+TEST(FasterFallbackTest, BitFlippedSnapshotFallsBack) {
+  const std::string dir = FreshDir();
+  uint64_t first = 0, second = 0;
+  MakeTwoKvCheckpoints(dir, &first, &second,
+                       faster::CommitVariant::kSnapshot);
+  FlipByteNearEnd(dir + "/ckpt." + std::to_string(second) + ".snap");
+  ExpectKvValue(dir, 1);
+}
+
+TEST(FasterFallbackTest, AllGenerationsCorruptIsCleanError) {
+  const std::string dir = FreshDir();
+  uint64_t first = 0, second = 0;
+  MakeTwoKvCheckpoints(dir, &first, &second);
+  FlipByteNearEnd(dir + "/ckpt." + std::to_string(first) + ".meta");
+  FlipByteNearEnd(dir + "/ckpt." + std::to_string(second) + ".meta");
+  faster::FasterKv kv(KvOpts(dir));
+  const Status s = kv.Recover();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kCorruption);
+}
+
+}  // namespace
+}  // namespace cpr

@@ -45,13 +45,18 @@ void MakeTxdbCheckpoint(const std::string& dir) {
   db.WaitForCommit(db.RequestCommit());
 }
 
-TEST(TxdbInjectionTest, GarbageLatestFileIsRejected) {
+TEST(TxdbInjectionTest, GarbageLatestFileFallsBackToScan) {
+  // A trashed LATEST hint must not take down an otherwise intact store:
+  // recovery falls back to scanning the directory for valid generations.
   const std::string dir = FreshDir();
   MakeTxdbCheckpoint(dir);
   WriteGarbage(dir + "/LATEST", "not-a-number", 12);
   txdb::TransactionalDb db(TxdbOpts(txdb::DurabilityMode::kCpr, dir));
-  db.CreateTable(8, 8);
-  EXPECT_FALSE(db.Recover().ok());
+  const uint32_t t = db.CreateTable(8, 8);
+  ASSERT_TRUE(db.Recover().ok());
+  int64_t value;
+  std::memcpy(&value, db.table(t).live(0), sizeof(value));
+  EXPECT_EQ(value, 1);
 }
 
 TEST(TxdbInjectionTest, MissingMetaFileIsAnError) {
@@ -153,12 +158,19 @@ uint64_t MakeKvCheckpoint(const std::string& dir) {
   return token;
 }
 
-TEST(FasterInjectionTest, GarbageLatestIsRejected) {
+TEST(FasterInjectionTest, GarbageLatestFallsBackToScan) {
+  // Same contract as the txdb side: a corrupt LATEST hint degrades to a
+  // directory scan, not a failed recovery.
   const std::string dir = FreshDir();
   MakeKvCheckpoint(dir);
   WriteGarbage(dir + "/LATEST", "xyzzy", 5);
   faster::FasterKv kv(KvOpts(dir));
-  EXPECT_FALSE(kv.Recover().ok());
+  ASSERT_TRUE(kv.Recover().ok());
+  faster::Session* s = kv.StartSession();
+  int64_t out = 0;
+  ASSERT_EQ(kv.Read(*s, 7, &out), faster::OpStatus::kOk);
+  EXPECT_EQ(out, 1);
+  kv.StopSession(s);
 }
 
 TEST(FasterInjectionTest, MissingIndexFileIsAnError) {

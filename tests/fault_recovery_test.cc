@@ -1,0 +1,474 @@
+// Randomized storage-fault recovery harness (the PR's robustness tentpole).
+//
+// Scripts the process-global FaultInjector against real workloads and
+// asserts the CPR prefix contract across randomized crash points and
+// corruption:
+//   * recovery always lands on a valid, CPR-consistent prefix
+//     (recovered state == exactly the transactions counted by the
+//     recovered commit points);
+//   * a corrupt checkpoint generation is never loaded — recovery walks
+//     back to the newest valid one or fails with a clean error;
+//   * an operation acknowledged as durable is never lost;
+//   * a persistently failing checkpoint device degrades the server to
+//     explicit NOT_DURABLE errors instead of hung sessions.
+//
+// Iteration counts scale with CPR_FAULT_ITERS (total randomized points,
+// default 50); CPR_FAULT_SEED re-seeds the whole run for CI fuzzing.
+#include <gtest/gtest.h>
+
+#include "test_dirs.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/client.h"
+#include "faster/faster.h"
+#include "io/fault_injection.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "txdb/db.h"
+
+namespace cpr {
+namespace {
+
+std::string FreshDir() { return cpr::testing::FreshTestDir("cpr_fault"); }
+
+int EnvInt(const char* name, int dflt) {
+  const char* s = std::getenv(name);
+  if (s == nullptr) return dflt;
+  const int v = std::atoi(s);
+  return v > 0 ? v : dflt;
+}
+
+uint32_t BaseSeed() {
+  return static_cast<uint32_t>(EnvInt("CPR_FAULT_SEED", 20260806));
+}
+
+// Randomized points per family, scaled so the defaults sum to ~50.
+int TxdbIters() { return std::max(1, EnvInt("CPR_FAULT_ITERS", 50) * 36 / 100); }
+int FasterIters() {
+  return std::max(1, EnvInt("CPR_FAULT_ITERS", 50) * 36 / 100);
+}
+int CorruptIters() {
+  return std::max(1, EnvInt("CPR_FAULT_ITERS", 50) * 28 / 100);
+}
+
+// Installs a fresh injector for the scope and guarantees uninstall even on
+// early ASSERT exits.
+struct InjectorScope {
+  FaultInjector inj;
+  InjectorScope() { FaultInjector::Install(&inj); }
+  ~InjectorScope() { FaultInjector::Install(nullptr); }
+};
+
+void FlipByteAt(const std::string& path, uint64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x10);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&c, 1);
+}
+
+// -- txdb CPR: randomized crash points ---------------------------------------
+
+txdb::TransactionalDb::Options CprOpts(const std::string& dir, bool sync) {
+  txdb::TransactionalDb::Options o;
+  o.mode = txdb::DurabilityMode::kCpr;
+  o.durability_dir = dir;
+  o.sync_to_disk = sync;
+  return o;
+}
+
+int64_t Row0(txdb::TransactionalDb& db, uint32_t t) {
+  int64_t value = 0;
+  std::memcpy(&value, db.table(t).live(0), sizeof(value));
+  return value;
+}
+
+// One iteration: concurrent Add(1) traffic on a shared record, one clean
+// commit, then a crash armed at a random persistence-op count while more
+// commits are attempted. After the "power loss", recovery must come up on a
+// consistent prefix at least as new as the last acknowledged commit.
+void TxdbCrashPointIteration(uint32_t seed) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  const std::string dir = FreshDir();
+  std::mt19937 rng(seed);
+  InjectorScope guard;
+  constexpr int kThreads = 3;
+  std::mutex acked_mu;
+  int64_t acked_sum = -1;  // sum of points of the last successful commit
+  {
+    txdb::TransactionalDb db(CprOpts(dir, /*sync=*/(seed & 1) != 0));
+    const uint32_t t = db.CreateTable(4, 8);
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&] {
+        txdb::ThreadContext* ctx = db.RegisterThread();
+        txdb::Transaction txn;
+        txn.ops.push_back(txdb::TxnOp{t, txdb::OpType::kAdd, 0, nullptr, 1});
+        int n = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          db.Execute(*ctx, txn);
+          if (++n % 8 == 0) db.Refresh(*ctx);
+        }
+        db.DeregisterThread(ctx);
+      });
+    }
+    auto on_commit = [&](uint64_t, const std::vector<txdb::CommitPoint>& pts) {
+      int64_t sum = 0;
+      for (const txdb::CommitPoint& p : pts) {
+        sum += static_cast<int64_t>(p.serial);
+      }
+      std::lock_guard<std::mutex> lock(acked_mu);
+      acked_sum = sum;
+    };
+    const int commits = 3 + static_cast<int>(rng() % 4);
+    for (int c = 0; c < commits; ++c) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      uint64_t v = 0;
+      while ((v = db.RequestCommit(on_commit)) == 0) std::this_thread::yield();
+      const Status s = db.WaitForCommit(v);
+      if (c == 0) {
+        // The baseline commit runs before any fault: it must succeed, and
+        // everything it acknowledged must survive the crash below.
+        ASSERT_TRUE(s.ok()) << s.message();
+        guard.inj.CrashAfter(1 + rng() % 50);
+      }
+    }
+    stop = true;
+    for (auto& w : workers) w.join();
+  }
+  guard.inj.Reset();
+
+  txdb::TransactionalDb db(CprOpts(dir, false));
+  const uint32_t t = db.CreateTable(4, 8);
+  std::vector<txdb::CommitPoint> points;
+  ASSERT_TRUE(db.Recover(&points).ok());
+  int64_t sum = 0;
+  for (const txdb::CommitPoint& p : points) {
+    sum += static_cast<int64_t>(p.serial);
+  }
+  int64_t acked = 0;
+  {
+    std::lock_guard<std::mutex> lock(acked_mu);
+    acked = acked_sum;
+  }
+  ASSERT_GE(acked, 0) << "baseline commit callback never fired";
+  EXPECT_GE(sum, acked) << "recovery lost an acknowledged commit";
+  EXPECT_EQ(Row0(db, t), sum) << "recovered state is not the commit-point prefix";
+}
+
+TEST(FaultRecoveryTest, TxdbRandomizedCrashPoints) {
+  const int iters = TxdbIters();
+  for (int i = 0; i < iters; ++i) {
+    TxdbCrashPointIteration(BaseSeed() + static_cast<uint32_t>(i));
+    if (HasFatalFailure()) return;
+  }
+}
+
+// -- FASTER: randomized crash points -----------------------------------------
+
+faster::FasterKv::Options KvOpts(const std::string& dir) {
+  faster::FasterKv::Options o;
+  o.dir = dir;
+  o.index_buckets = 1 << 10;
+  o.value_size = 8;
+  o.page_bits = 14;
+  o.memory_pages = 8;
+  o.ro_lag_pages = 2;
+  return o;
+}
+
+int64_t ReadSync(faster::FasterKv& kv, faster::Session& s, uint64_t key,
+                 bool* found) {
+  int64_t out = 0;
+  const faster::OpStatus st = kv.Read(s, key, &out);
+  if (st == faster::OpStatus::kPending) {
+    int64_t v = 0;
+    bool ok = false;
+    s.set_async_callback([&](const faster::AsyncResult& r) {
+      ok = r.found;
+      if (r.found) std::memcpy(&v, r.value.data(), 8);
+    });
+    kv.CompletePending(s, true);
+    s.set_async_callback(nullptr);
+    *found = ok;
+    return v;
+  }
+  *found = st == faster::OpStatus::kOk;
+  return out;
+}
+
+// One iteration: two sessions RMW their own keys, one clean checkpoint, a
+// crash at a random persistence op, more ops and checkpoint attempts (which
+// must fail cleanly, not hang), then recovery. Every session must come back
+// exactly at a commit point >= its acknowledged one, with its key's value
+// equal to that point.
+void FasterCrashPointIteration(uint32_t seed) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  const std::string dir = FreshDir();
+  std::mt19937 rng(seed);
+  InjectorScope guard;
+  constexpr uint64_t kGuids[2] = {101, 202};
+  uint64_t acked[2] = {0, 0};
+  {
+    faster::FasterKv kv(KvOpts(dir));
+    faster::Session* s[2];
+    for (int i = 0; i < 2; ++i) s[i] = kv.StartSession(kGuids[i]);
+    auto pump = [&] {
+      for (int i = 0; i < 2; ++i) {
+        kv.CompletePending(*s[i]);
+        kv.Refresh(*s[i]);
+      }
+    };
+    auto run_ops = [&](int n) {
+      for (int j = 0; j < n; ++j) {
+        for (int i = 0; i < 2; ++i) {
+          if (kv.Rmw(*s[i], kGuids[i], 1) == faster::OpStatus::kPending) {
+            kv.CompletePending(*s[i], true);
+          }
+        }
+      }
+      pump();
+    };
+    auto note_acked = [&] {
+      for (int i = 0; i < 2; ++i) {
+        uint64_t p = 0;
+        if (kv.DurableCommitPoint(kGuids[i], &p).ok()) acked[i] = p;
+      }
+    };
+    run_ops(3 + static_cast<int>(rng() % 6));
+    uint64_t token = 0;
+    ASSERT_TRUE(kv.Checkpoint(faster::CommitVariant::kFoldOver,
+                              /*include_index=*/true, nullptr, &token));
+    while (kv.CheckpointInProgress()) pump();
+    ASSERT_TRUE(kv.WaitForCheckpoint(token).ok());
+    note_acked();
+
+    guard.inj.CrashAfter(1 + rng() % 40);
+    const int rounds = 2 + static_cast<int>(rng() % 3);
+    for (int r = 0; r < rounds; ++r) {
+      run_ops(1 + static_cast<int>(rng() % 6));
+      const auto variant = (rng() & 1) != 0 ? faster::CommitVariant::kSnapshot
+                                            : faster::CommitVariant::kFoldOver;
+      if (kv.Checkpoint(variant, false, nullptr, &token)) {
+        while (kv.CheckpointInProgress()) pump();  // must terminate: no hang
+        if (kv.WaitForCheckpoint(token).ok()) note_acked();
+      }
+    }
+    for (int i = 0; i < 2; ++i) kv.StopSession(s[i]);
+  }
+  guard.inj.Reset();
+
+  faster::FasterKv kv(KvOpts(dir));
+  ASSERT_TRUE(kv.Recover().ok());
+  faster::Session* reader = kv.StartSession();
+  for (int i = 0; i < 2; ++i) {
+    uint64_t p = 0;
+    ASSERT_TRUE(kv.DurableCommitPoint(kGuids[i], &p).ok());
+    EXPECT_GE(p, acked[i]) << "guid " << kGuids[i]
+                           << ": acknowledged-durable ops lost";
+    bool found = false;
+    const int64_t value = ReadSync(kv, *reader, kGuids[i], &found);
+    ASSERT_TRUE(found) << "guid " << kGuids[i];
+    EXPECT_EQ(value, static_cast<int64_t>(p))
+        << "guid " << kGuids[i] << ": CPR prefix contract violated";
+  }
+  kv.StopSession(reader);
+}
+
+TEST(FaultRecoveryTest, FasterRandomizedCrashPoints) {
+  const int iters = FasterIters();
+  for (int i = 0; i < iters; ++i) {
+    FasterCrashPointIteration(BaseSeed() + 1000 + static_cast<uint32_t>(i));
+    if (HasFatalFailure()) return;
+  }
+}
+
+// -- Randomized corruption ----------------------------------------------------
+
+// Builds three txdb generations (row sums 1, 3, 6), corrupts 1-3 random
+// checkpoint files at random offsets, and recovers: the result must be a
+// valid generation verbatim (value == sum of points ∈ {1,3,6}) or a clean
+// corruption/not-found error — never garbage, never a crash.
+void CorruptionIteration(uint32_t seed) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  const std::string dir = FreshDir();
+  std::mt19937 rng(seed);
+  {
+    txdb::TransactionalDb db(CprOpts(dir, false));
+    const uint32_t t = db.CreateTable(4, 8);
+    for (int g = 1; g <= 3; ++g) {
+      txdb::ThreadContext* ctx = db.RegisterThread();
+      txdb::Transaction txn;
+      txn.ops.push_back(txdb::TxnOp{t, txdb::OpType::kAdd, 0, nullptr, 1});
+      for (int i = 0; i < g; ++i) db.Execute(*ctx, txn);
+      db.DeregisterThread(ctx);
+      ASSERT_TRUE(db.WaitForCommit(db.RequestCommit()).ok());
+    }
+  }
+  std::vector<std::string> files;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("v", 0) == 0) files.push_back(e.path().string());
+  }
+  ASSERT_FALSE(files.empty());
+  const int hits = 1 + static_cast<int>(rng() % 3);
+  for (int h = 0; h < hits; ++h) {
+    const std::string& victim = files[rng() % files.size()];
+    std::error_code ec;
+    const uint64_t size = std::filesystem::file_size(victim, ec);
+    if (ec || size == 0) continue;
+    if ((rng() & 3) == 0) {
+      std::filesystem::resize_file(victim, rng() % size, ec);
+    } else {
+      FlipByteAt(victim, rng() % size);
+    }
+  }
+
+  txdb::TransactionalDb db(CprOpts(dir, false));
+  const uint32_t t = db.CreateTable(4, 8);
+  std::vector<txdb::CommitPoint> points;
+  const Status s = db.Recover(&points);
+  if (!s.ok()) {
+    EXPECT_TRUE(s.code() == Status::Code::kCorruption ||
+                s.code() == Status::Code::kNotFound ||
+                s.code() == Status::Code::kIoError)
+        << s.message();
+    return;
+  }
+  int64_t sum = 0;
+  for (const txdb::CommitPoint& p : points) {
+    sum += static_cast<int64_t>(p.serial);
+  }
+  const int64_t value = Row0(db, t);
+  EXPECT_EQ(value, sum) << "recovered state inconsistent with commit points";
+  EXPECT_TRUE(value == 1 || value == 3 || value == 6)
+      << "recovered value " << value << " matches no written generation";
+}
+
+TEST(FaultRecoveryTest, RandomizedCorruptionNeverLoadsCorruptCheckpoint) {
+  const int iters = CorruptIters();
+  for (int i = 0; i < iters; ++i) {
+    CorruptionIteration(BaseSeed() + 2000 + static_cast<uint32_t>(i));
+    if (HasFatalFailure()) return;
+  }
+}
+
+// -- Targeted fault programs ---------------------------------------------------
+
+TEST(FaultRecoveryTest, TransientCheckpointWriteFailureIsRetried) {
+  const std::string dir = FreshDir();
+  InjectorScope guard;
+  FaultRule rule;
+  rule.any_op = false;
+  rule.op = FaultOp::kWrite;
+  rule.path_substr = "v1.data";
+  rule.nth = 1;  // first data write fails once; the retry must succeed
+  guard.inj.AddRule(rule);
+  txdb::TransactionalDb db(CprOpts(dir, false));
+  const uint32_t t = db.CreateTable(4, 8);
+  txdb::ThreadContext* ctx = db.RegisterThread();
+  txdb::Transaction txn;
+  txn.ops.push_back(txdb::TxnOp{t, txdb::OpType::kAdd, 0, nullptr, 1});
+  db.Execute(*ctx, txn);
+  db.DeregisterThread(ctx);
+  EXPECT_TRUE(db.WaitForCommit(db.RequestCommit()).ok());
+  EXPECT_GE(guard.inj.faults_fired(), 1u);
+}
+
+TEST(FaultRecoveryTest, WalPersistentFlushFailureSurfacesError) {
+  const std::string dir = FreshDir();
+  txdb::TransactionalDb::Options o;
+  o.mode = txdb::DurabilityMode::kWal;
+  o.durability_dir = dir;
+  txdb::TransactionalDb db(o);
+  const uint32_t t = db.CreateTable(4, 8);
+  txdb::ThreadContext* ctx = db.RegisterThread();
+  txdb::Transaction txn;
+  txn.ops.push_back(txdb::TxnOp{t, txdb::OpType::kAdd, 0, nullptr, 1});
+  db.Execute(*ctx, txn);
+  db.DeregisterThread(ctx);
+  InjectorScope guard;
+  FaultRule rule;
+  rule.path_substr = "wal.log";
+  rule.sticky = true;  // the log device is gone for good
+  guard.inj.AddRule(rule);
+  // WaitForCommit must return the flush error, not hang on a group commit
+  // that can never succeed.
+  const Status s = db.WaitForCommit(db.RequestCommit());
+  EXPECT_FALSE(s.ok());
+}
+
+// -- Server degradation --------------------------------------------------------
+
+// A durable-ack session on a server whose checkpoint device has failed
+// persistently must receive explicit NOT_DURABLE / ERROR responses (and keep
+// the ops in its replay buffer) — not hang. Once the device heals, a later
+// checkpoint restores durable acknowledgements end to end.
+TEST(FaultRecoveryTest, FailingCheckpointDeviceDegradesToNotDurable) {
+  const std::string dir = FreshDir();
+  faster::FasterKv kv(KvOpts(dir));
+  server::KvServerOptions so;
+  so.num_workers = 2;
+  so.idle_poll_ms = 1;
+  server::KvServer server(&kv, so);
+  ASSERT_TRUE(server.Start().ok());
+
+  InjectorScope guard;
+  FaultRule rule;
+  rule.path_substr = "ckpt.";  // checkpoint artifacts only; hlog keeps working
+  rule.sticky = true;
+  guard.inj.AddRule(rule);
+
+  client::CprClient::Options co;
+  co.port = server.port();
+  co.ack_mode = net::AckMode::kDurable;
+  co.recv_timeout_ms = 20'000;
+  client::CprClient c(co);
+  ASSERT_TRUE(c.Connect().ok());
+
+  const int64_t v = 42;
+  std::vector<char> value(c.value_size(), 0);
+  std::memcpy(value.data(), &v, sizeof(v));
+  c.EnqueueUpsert(7, value.data());
+  c.EnqueueCheckpoint();
+  ASSERT_TRUE(c.Flush().ok());
+  std::vector<client::CprClient::Result> results;
+  ASSERT_TRUE(c.Drain(&results).ok()) << "degraded server must still respond";
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].status, net::WireStatus::kNotDurable);
+  EXPECT_EQ(results[1].status, net::WireStatus::kError);
+  EXPECT_EQ(c.stats().not_durable_acks, 1u);
+  EXPECT_EQ(c.replay_backlog(), 1u) << "un-durable op must stay queued for replay";
+
+  // Heal the device: the next checkpoint succeeds and covers the op, so the
+  // session is durable again (graceful degradation, graceful recovery).
+  guard.inj.Reset();
+  uint64_t token = 0;
+  uint64_t commit_serial = 0;
+  ASSERT_TRUE(c.Checkpoint(&token, &commit_serial).ok());
+  EXPECT_GE(commit_serial, 1u);
+  EXPECT_EQ(c.replay_backlog(), 0u);
+
+  const auto counters = server.counters();
+  EXPECT_GE(counters.checkpoint_failures, 1u);
+  EXPECT_GE(counters.not_durable_acks, 1u);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace cpr

@@ -352,9 +352,12 @@ TEST(WireResponse, RejectsBadStatus) {
   resp.status = WireStatus::kOk;
   resp.seq = 1;
   std::string payload = EncodedResponsePayload(resp);
-  payload[1] = 6;  // past kError
+  payload[1] = 7;  // past kNotDurable
   Response out;
   EXPECT_FALSE(DecodeResponse(payload, &out));
+  payload[1] = 6;  // kNotDurable decodes fine
+  EXPECT_TRUE(DecodeResponse(payload, &out));
+  EXPECT_EQ(out.status, WireStatus::kNotDurable);
 }
 
 TEST(WireNames, AreStable) {
@@ -362,6 +365,7 @@ TEST(WireNames, AreStable) {
   EXPECT_STREQ(OpName(Op::kCommitPoint), "COMMIT_POINT");
   EXPECT_STREQ(StatusName(WireStatus::kOk), "OK");
   EXPECT_STREQ(StatusName(WireStatus::kBusy), "BUSY");
+  EXPECT_STREQ(StatusName(WireStatus::kNotDurable), "NOT_DURABLE");
 }
 
 }  // namespace
