@@ -1,23 +1,31 @@
-// Standalone CPR KV server: exposes a FasterKv instance over TCP using the
-// length-prefixed wire protocol (src/server/wire.h).
+// Standalone CPR KV server: exposes a FasterKv instance — or, with
+// --shards=N, a ShardedKv hash-partitioned over N FasterKv instances with
+// coordinated cross-shard checkpoints — over TCP using the length-prefixed
+// wire protocol (src/server/wire.h).
 //
 //   kv_server --port 7777 --dir /tmp/cpr_kv --workers 4 --checkpoint-ms 500
+//   kv_server --port 7777 --dir /tmp/cpr_kv --shards 4 --checkpoint-ms 500
 //
 // Clients bind durable CPR sessions (HELLO guid), pipeline operations, and
 // can request checkpoints / query their commit point. Restart with
 // --recover after a crash: reconnecting clients learn their recovered
-// commit point and replay everything after it.
+// commit point and replay everything after it. In sharded mode a durable
+// ack means a cross-shard manifest covering the op is persisted, and
+// recovery restores every shard to the newest complete manifest.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "faster/faster.h"
 #include "server/server.h"
+#include "shard/faster_backend.h"
+#include "shard/sharded_kv.h"
 
 namespace {
 
@@ -27,11 +35,13 @@ void OnSignal(int) { g_stop.store(true); }
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--port N] [--dir PATH] [--workers N]\n"
+               "usage: %s [--port N] [--dir PATH] [--workers N] [--shards N]\n"
                "          [--checkpoint-ms N] [--stats-ms N] [--recover]\n"
                "  --port N           listen port (default 7777; 0 = ephemeral)\n"
                "  --dir PATH         store/checkpoint directory\n"
                "  --workers N        network worker threads (default 4)\n"
+               "  --shards N         hash-partition over N stores with\n"
+               "                     coordinated checkpoints (default 1)\n"
                "  --checkpoint-ms N  periodic CPR checkpoint interval\n"
                "                     (default 0: only client-requested)\n"
                "  --stats-ms N       counter report interval (default 5000)\n"
@@ -45,6 +55,7 @@ int main(int argc, char** argv) {
   uint16_t port = 7777;
   std::string dir = "/tmp/cpr_kv_server";
   uint32_t workers = 4;
+  uint32_t shards = 1;
   uint32_t checkpoint_ms = 0;
   uint32_t stats_ms = 5000;
   bool recover = false;
@@ -64,6 +75,9 @@ int main(int argc, char** argv) {
       dir = next();
     } else if (arg == "--workers") {
       workers = static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg == "--shards") {
+      shards = static_cast<uint32_t>(std::atoi(next()));
+      if (shards == 0) shards = 1;
     } else if (arg == "--checkpoint-ms") {
       checkpoint_ms = static_cast<uint32_t>(std::atoi(next()));
     } else if (arg == "--stats-ms") {
@@ -78,11 +92,21 @@ int main(int argc, char** argv) {
 
   cpr::faster::FasterKv::Options fo;
   fo.dir = dir;
-  cpr::faster::FasterKv kv(fo);
+  std::unique_ptr<cpr::kv::Backend> backend;
+  if (shards > 1) {
+    cpr::kv::ShardedKv::Options so;
+    so.base = fo;
+    so.num_shards = shards;
+    backend = std::make_unique<cpr::kv::ShardedKv>(so);
+  } else {
+    backend = std::make_unique<cpr::kv::FasterBackend>(fo);
+  }
   if (recover) {
-    const cpr::Status s = kv.Recover();
+    const cpr::Status s = backend->Recover();
     if (s.ok()) {
-      std::printf("recovered from latest checkpoint in %s\n", dir.c_str());
+      std::printf("recovered from latest %s in %s\n",
+                  shards > 1 ? "cross-shard manifest" : "checkpoint",
+                  dir.c_str());
     } else if (s.code() == cpr::Status::Code::kNotFound) {
       std::printf("no checkpoint in %s, starting fresh\n", dir.c_str());
     } else {
@@ -95,15 +119,18 @@ int main(int argc, char** argv) {
   so.port = port;
   so.num_workers = workers;
   so.checkpoint_interval_ms = checkpoint_ms;
-  cpr::server::KvServer server(&kv, so);
+  cpr::server::KvServer server(backend.get(), so);
   const cpr::Status s = server.Start();
   if (!s.ok()) {
     std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("cpr kv_server listening on %u (%u workers, value_size=%u%s)\n",
-              server.port(), workers, kv.value_size(),
-              checkpoint_ms != 0 ? ", periodic checkpoints" : "");
+  std::printf(
+      "cpr kv_server listening on %u (%u workers, %u shard%s, "
+      "value_size=%u%s)\n",
+      server.port(), workers, shards, shards == 1 ? "" : "s",
+      backend->value_size(),
+      checkpoint_ms != 0 ? ", periodic checkpoints" : "");
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);

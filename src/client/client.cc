@@ -173,8 +173,9 @@ Status CprClient::ReplayAfter(uint64_t recovered) {
   NoteDurable(recovered);
   if (replay_.empty()) return Status::Ok();
   // Everything past the commit point was lost: re-issue in order. The
-  // replayed ops get fresh serials starting at the recovered point, which
-  // is exactly where prediction resumes.
+  // replayed ops get fresh serials starting at the recovered point, and
+  // because the buffer preserved the full request sequence (reads included)
+  // every op regenerates exactly the serial it had before the crash.
   std::deque<net::Request> todo;
   todo.swap(replay_);
   replay_serials_.clear();
@@ -238,8 +239,10 @@ void CprClient::EnqueueRequest(const net::Request& req) {
       break;
   }
   inflight_.push_back(inf);
-  if (options_.track_replay && inf.predicted_serial != 0 &&
-      req.op != net::Op::kRead) {
+  if (inflight_.size() > stats_.max_inflight) {
+    stats_.max_inflight = inflight_.size();
+  }
+  if (options_.track_replay && inf.predicted_serial != 0) {
     replay_.push_back(req);
     replay_serials_.push_back(inf.predicted_serial);
   }
@@ -348,6 +351,44 @@ Status CprClient::ReadResponse(net::Response* resp) {
   }
 }
 
+Status CprClient::ProcessResponse(net::Response resp,
+                                  std::vector<Result>* out) {
+  const InFlight inf = inflight_.front();
+  inflight_.pop_front();
+  if (resp.seq != inf.seq || resp.op != inf.op) {
+    return Status::Corruption("response out of order (pipeline desync)");
+  }
+  // A durable-mode ack means the operation is committed; checkpoint and
+  // commit-point responses report the committed prefix explicitly. A
+  // NOT_DURABLE ack is the opposite: the server could not persist a
+  // covering checkpoint, so the op must stay in the replay buffer.
+  if (resp.status == net::WireStatus::kNotDurable) {
+    stats_.not_durable_acks += 1;
+  } else if (options_.ack_mode == net::AckMode::kDurable &&
+             resp.serial != 0 &&
+             resp.status != net::WireStatus::kNoSession &&
+             resp.status != net::WireStatus::kBadRequest) {
+    NoteDurable(resp.serial);
+  }
+  if ((resp.op == net::Op::kCheckpoint ||
+       resp.op == net::Op::kCommitPoint) &&
+      resp.status == net::WireStatus::kOk) {
+    NoteDurable(resp.commit_serial);
+  }
+  if (out != nullptr) {
+    Result r;
+    r.op = resp.op;
+    r.status = resp.status;
+    r.seq = resp.seq;
+    r.serial = resp.serial;
+    r.token = resp.token;
+    r.commit_serial = resp.commit_serial;
+    r.value = std::move(resp.value);
+    out->push_back(std::move(r));
+  }
+  return Status::Ok();
+}
+
 Status CprClient::Drain(std::vector<Result>* out, size_t count) {
   if (count == 0) count = inflight_.size();
   while (count > 0) {
@@ -357,40 +398,54 @@ Status CprClient::Drain(std::vector<Result>* out, size_t count) {
     net::Response resp;
     Status s = ReadResponse(&resp);
     if (!s.ok()) return s;
-    const InFlight inf = inflight_.front();
-    inflight_.pop_front();
-    if (resp.seq != inf.seq || resp.op != inf.op) {
-      return Status::Corruption("response out of order (pipeline desync)");
-    }
-    // A durable-mode ack means the operation is committed; checkpoint and
-    // commit-point responses report the committed prefix explicitly. A
-    // NOT_DURABLE ack is the opposite: the server could not persist a
-    // covering checkpoint, so the op must stay in the replay buffer.
-    if (resp.status == net::WireStatus::kNotDurable) {
-      stats_.not_durable_acks += 1;
-    } else if (options_.ack_mode == net::AckMode::kDurable &&
-               resp.serial != 0 &&
-               resp.status != net::WireStatus::kNoSession &&
-               resp.status != net::WireStatus::kBadRequest) {
-      NoteDurable(resp.serial);
-    }
-    if ((resp.op == net::Op::kCheckpoint ||
-         resp.op == net::Op::kCommitPoint) &&
-        resp.status == net::WireStatus::kOk) {
-      NoteDurable(resp.commit_serial);
-    }
-    if (out != nullptr) {
-      Result r;
-      r.op = resp.op;
-      r.status = resp.status;
-      r.seq = resp.seq;
-      r.serial = resp.serial;
-      r.token = resp.token;
-      r.commit_serial = resp.commit_serial;
-      r.value = std::move(resp.value);
-      out->push_back(std::move(r));
-    }
+    s = ProcessResponse(std::move(resp), out);
+    if (!s.ok()) return s;
     --count;
+  }
+  return Status::Ok();
+}
+
+Status CprClient::TryDrain(std::vector<Result>* out, size_t* processed) {
+  if (processed != nullptr) *processed = 0;
+  if (fd_ < 0) return Status::IoError("not connected");
+  while (!inflight_.empty()) {
+    // Frames already buffered are pure CPU work; consume those first.
+    std::string_view payload;
+    size_t consumed = 0;
+    const net::FrameResult fr = net::TryExtractFrame(
+        recvbuf_.data(), recvbuf_.size(), &payload, &consumed);
+    if (fr == net::FrameResult::kBadFrame) {
+      return Status::Corruption("bad frame from server");
+    }
+    if (fr == net::FrameResult::kFrame) {
+      net::Response resp;
+      const bool ok = net::DecodeResponse(payload, &resp);
+      recvbuf_.erase(recvbuf_.begin(), recvbuf_.begin() + consumed);
+      if (!ok) return Status::Corruption("undecodable response");
+      Status s = ProcessResponse(std::move(resp), out);
+      if (!s.ok()) return s;
+      if (processed != nullptr) ++*processed;
+      continue;
+    }
+    // Partial frame: only read when bytes are ready right now, so a held
+    // durable ack never blocks the caller.
+    pollfd pfd{fd_, POLLIN, 0};
+    const int n = ::poll(&pfd, 1, 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("poll() failed: " + std::string(strerror(errno)));
+    }
+    char buf[64 * 1024];
+    const ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
+    if (r > 0) {
+      recvbuf_.insert(recvbuf_.end(), buf, buf + r);
+      continue;
+    }
+    if (r == 0) return Status::IoError("connection closed by server");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    return Status::IoError("recv() failed: " + std::string(strerror(errno)));
   }
   return Status::Ok();
 }

@@ -54,8 +54,9 @@ class CprClient {
     uint64_t connect_attempts = 0;  // ConnectOnce calls (incl. first tries)
     uint64_t connect_retries = 0;   // attempts after a failure
     uint64_t reconnects = 0;        // successful Reconnect() calls
-    uint64_t replayed_ops = 0;      // updates re-issued after reconnect
+    uint64_t replayed_ops = 0;      // data ops re-issued after reconnect
     uint64_t not_durable_acks = 0;  // NOT_DURABLE responses received
+    uint64_t max_inflight = 0;      // peak pipeline depth
   };
 
   struct Result {
@@ -108,6 +109,13 @@ class CprClient {
   // Reads responses until `count` arrive (default: all in flight).
   // Results are appended in request order. `out` may be null.
   Status Drain(std::vector<Result>* out, size_t count = 0);
+  // Non-blocking drain: consumes every response already readable, never
+  // waits for more. Lets a durable-ack pipeline stay full across checkpoint
+  // epochs — acks held back by the durability gate arrive whenever the
+  // covering checkpoint completes, and the caller keeps enqueueing instead
+  // of stalling on a synchronous Drain. `processed` (optional) reports how
+  // many responses were consumed.
+  Status TryDrain(std::vector<Result>* out, size_t* processed = nullptr);
 
   // -- Synchronous helpers ---------------------------------------------------
 
@@ -132,6 +140,7 @@ class CprClient {
   Status Hello();
   void EnqueueRequest(const net::Request& req);
   Status ReadResponse(net::Response* resp);
+  Status ProcessResponse(net::Response resp, std::vector<Result>* out);
   Status SendAll(const char* data, size_t size);
   void NoteDurable(uint64_t serial);
   Status ReplayAfter(uint64_t recovered);
@@ -153,7 +162,11 @@ class CprClient {
   std::vector<char> sendbuf_;
   std::vector<char> recvbuf_;
   std::deque<InFlight> inflight_;
-  // Updates not yet known durable, in serial order.
+  // Data ops not yet covered by a known-durable serial, in serial order.
+  // Reads are kept too — not for their results, but so a replay re-issues
+  // the exact pre-crash request sequence and every op regenerates the same
+  // serial it had before the crash. Sharded backends rely on that identity
+  // to deduplicate replayed ops per shard.
   std::deque<net::Request> replay_;
   std::deque<uint64_t> replay_serials_;
 };

@@ -636,6 +636,13 @@ size_t FasterKv::CompletePending(Session& session, bool wait_for_all) {
   return completed;
 }
 
+void FasterKv::AdvanceSerial(Session& session, uint64_t serial) {
+  // Forward-only, owning-thread only. There is never an operation inline
+  // (inflight_serial_ == 0), so the next version crossing simply reads the
+  // advanced serial as this session's commit point.
+  if (serial > session.serial_) session.serial_ = serial;
+}
+
 // -- Epoch / state-machine synchronization ----------------------------------
 
 void FasterKv::Refresh(Session& session) {
@@ -1216,6 +1223,8 @@ Status FasterKv::Recover() {
                             options_.dir + " (last error: " + last.message() +
                             ")");
 }
+
+Status FasterKv::Recover(uint64_t token) { return RecoverFromToken(token); }
 
 Status FasterKv::RecoverFromToken(uint64_t token) {
   // 1. Checkpoint metadata (checksummed blob).

@@ -199,6 +199,16 @@ class FasterKv {
   // refresh_interval operations).
   void Refresh(Session& session);
 
+  // Advances the session's serial counter to `serial` (no-op when it is
+  // already past it) without executing an operation, as if the intervening
+  // serials had been consumed elsewhere. Layers that stripe one logical
+  // session across several stores (src/shard) use this to keep every
+  // store's per-session commit point in the shared serial space: the next
+  // operation issued here gets serial+1, and a commit point taken after the
+  // advance covers the whole shared prefix. Must be called by the session's
+  // owning thread, never from inside an operation.
+  void AdvanceSerial(Session& session, uint64_t serial);
+
   // Drives this session's pending operations; returns how many completed.
   // With wait_for_all, loops (refreshing) until none remain.
   size_t CompletePending(Session& session, bool wait_for_all = false);
@@ -232,6 +242,13 @@ class FasterKv {
   // Rebuilds the store from the latest completed checkpoint in `dir`.
   // Call before any sessions start.
   Status Recover();
+
+  // Rebuilds the store from one specific checkpoint generation, even when
+  // newer generations exist on disk. Coordinated multi-store recovery
+  // (src/shard) uses this to roll every store back to the tokens named by a
+  // cross-shard manifest, so no store runs ahead of the global commit
+  // point. Call before any sessions start.
+  Status Recover(uint64_t token);
 
   // Debug aid: prints one line per parked operation of `session` (key,
   // version, latch/IO state, and the key's current chain-head record).

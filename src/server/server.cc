@@ -13,6 +13,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "shard/faster_backend.h"
 #include "util/clock.h"
 
 #if defined(__linux__) && !defined(CPR_FORCE_POLL)
@@ -139,13 +140,16 @@ struct KvServer::PendingResponse {
   // the covering checkpoint failed persistently: release as NOT_DURABLE
   // instead of hanging the session.
   uint64_t failures_at_enqueue = 0;
+  // When the durable gate was armed (execution time); the execute→durable
+  // lag is recorded when the gate opens.
+  uint64_t enqueue_ns = 0;
   net::Response resp;
 };
 
 struct KvServer::Connection {
   int fd = -1;
   Worker* worker = nullptr;
-  faster::Session* session = nullptr;
+  kv::Session* session = nullptr;
   uint64_t guid = 0;
   net::AckMode ack_mode = net::AckMode::kExecuted;
   std::vector<char> inbuf;
@@ -170,8 +174,15 @@ struct KvServer::Worker {
   std::unordered_map<int, std::unique_ptr<Connection>> conns;
 };
 
+KvServer::KvServer(kv::Backend* backend, KvServerOptions options)
+    : kv_(backend), options_(std::move(options)) {
+  if (options_.num_workers == 0) options_.num_workers = 1;
+}
+
 KvServer::KvServer(faster::FasterKv* kv, KvServerOptions options)
-    : kv_(kv), options_(std::move(options)) {
+    : owned_backend_(std::make_unique<kv::FasterBackend>(kv)),
+      kv_(owned_backend_.get()),
+      options_(std::move(options)) {
   if (options_.num_workers == 0) options_.num_workers = 1;
 }
 
@@ -255,7 +266,7 @@ void KvServer::Stop() {
   // detached_. Drive them together so cross-session dependencies (a CPR
   // wait-pending phase needs *all* sessions' pendings to finish) resolve,
   // then stop each one.
-  std::vector<faster::Session*> leftovers;
+  std::vector<kv::Session*> leftovers;
   {
     std::lock_guard<std::mutex> lock(draining_mu_);
     leftovers.swap(draining_);
@@ -278,18 +289,18 @@ void KvServer::Stop() {
   running_.store(false, std::memory_order_release);
 }
 
-void KvServer::ShutdownDrainSessions(std::vector<faster::Session*> sessions) {
+void KvServer::ShutdownDrainSessions(std::vector<kv::Session*> sessions) {
   bool pending = true;
   while (pending) {
     pending = false;
-    for (faster::Session* s : sessions) {
+    for (kv::Session* s : sessions) {
       kv_->CompletePending(*s);
       kv_->Refresh(*s);
       if (s->pending_count() > 0) pending = true;
     }
     if (pending) std::this_thread::yield();
   }
-  for (faster::Session* s : sessions) kv_->StopSession(s);
+  for (kv::Session* s : sessions) kv_->StopSession(s);
 }
 
 void KvServer::AcceptLoop() {
@@ -482,7 +493,7 @@ void KvServer::HandleHello(Connection* c, const net::Request& req) {
     }
     live_guids_.insert(req.guid);
   }
-  faster::Session* session = nullptr;
+  kv::Session* session = nullptr;
   uint64_t resumed = 0;
   if (req.guid != 0) {
     // A live (detached) session resumes at its exact serial: nothing was
@@ -543,7 +554,7 @@ void KvServer::HandleDataOp(Connection* c, const net::Request& req) {
     c->queue.push_back(std::move(entry));
     return;
   }
-  faster::Session& s = *c->session;
+  kv::Session& s = *c->session;
   faster::OpStatus st = faster::OpStatus::kOk;
   std::vector<char> value(req.op == net::Op::kRead ? kv_->value_size() : 0);
   switch (req.op) {
@@ -574,6 +585,7 @@ void KvServer::HandleDataOp(Connection* c, const net::Request& req) {
   if (c->ack_mode == net::AckMode::kDurable && req.op != net::Op::kRead) {
     entry.durable_gate = entry.serial;
     entry.failures_at_enqueue = kv_->CheckpointFailures();
+    entry.enqueue_ns = NowNanos();
     counters_.durable_held.fetch_add(1, std::memory_order_relaxed);
   }
   if (st == faster::OpStatus::kPending) {
@@ -604,7 +616,7 @@ void KvServer::HandleCheckpoint(Connection* c, const net::Request& req) {
   uint64_t token = 0;
   const auto variant = req.variant == 0 ? faster::CommitVariant::kFoldOver
                                         : faster::CommitVariant::kSnapshot;
-  if (!kv_->Checkpoint(variant, req.include_index, nullptr, &token)) {
+  if (!kv_->Checkpoint(variant, req.include_index, &token)) {
     counters_.checkpoint_stalls.fetch_add(1, std::memory_order_relaxed);
     entry.resp.status = net::WireStatus::kBusy;
     c->queue.push_back(std::move(entry));
@@ -679,6 +691,8 @@ void KvServer::ReleaseResponses(Connection* c) {
       if (failures <= e.failures_at_enqueue) break;
       e.resp.status = net::WireStatus::kNotDurable;
       counters_.not_durable_acks.fetch_add(1, std::memory_order_relaxed);
+    } else if (e.durable_gate != 0) {
+      counters_.RecordDurableLag(NowNanos() - e.enqueue_ns);
     }
     if (e.token_gate != 0 && e.resp.status == net::WireStatus::kOk) {
       // Checkpoint done: report this session's committed prefix.
@@ -745,7 +759,7 @@ void KvServer::DestroyConnection(Worker& w, Connection* c) {
   w.poller.Remove(c->fd);
   ::close(c->fd);
   counters_.connections_active.fetch_sub(1, std::memory_order_relaxed);
-  faster::Session* session = c->session;
+  kv::Session* session = c->session;
   c->session = nullptr;
   if (session == nullptr) return;
   session->set_async_callback(nullptr);
@@ -778,7 +792,7 @@ void KvServer::TickDetached() {
   }
   if (draining_mu_.try_lock()) {
     for (auto it = draining_.begin(); it != draining_.end();) {
-      faster::Session* s = *it;
+      kv::Session* s = *it;
       kv_->CompletePending(*s);
       kv_->Refresh(*s);
       if (s->pending_count() == 0) {

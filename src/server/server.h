@@ -1,8 +1,11 @@
 #ifndef CPR_SERVER_SERVER_H_
 #define CPR_SERVER_SERVER_H_
 
-// Epoll-based (poll(2) fallback) TCP front-end exposing FasterKv over the
-// wire protocol in server/wire.h.
+// Epoll-based (poll(2) fallback) TCP front-end exposing a kv::Backend —
+// one FasterKv or a ShardedKv (src/shard) — over the wire protocol in
+// server/wire.h. The wire protocol and durability semantics are identical
+// either way; with a sharded backend "checkpoint" means a coordinated
+// cross-shard round and acks gate on its published manifest.
 //
 // Threading: one acceptor thread plus N worker threads. Each accepted
 // connection is assigned to one worker for its whole life, and each
@@ -38,6 +41,7 @@
 
 #include "faster/faster.h"
 #include "server/wire.h"
+#include "shard/backend.h"
 #include "util/instrumentation.h"
 #include "util/status.h"
 
@@ -63,8 +67,11 @@ struct KvServerOptions {
 
 class KvServer {
  public:
-  // `kv` must outlive the server. Call Recover() on it before Start() when
-  // resuming from a checkpoint.
+  // `backend` must outlive the server. Call Recover() on it before Start()
+  // when resuming from a checkpoint.
+  KvServer(kv::Backend* backend, KvServerOptions options);
+  // Convenience: serve a single FasterKv (wraps it in an owned adapter).
+  // `kv` must outlive the server.
   KvServer(faster::FasterKv* kv, KvServerOptions options);
   ~KvServer();
 
@@ -101,9 +108,10 @@ class KvServer {
   void TickDetached();
   void MaybePeriodicCheckpoint();
   bool AnyWorkPending(const Worker& w) const;
-  void ShutdownDrainSessions(std::vector<faster::Session*> sessions);
+  void ShutdownDrainSessions(std::vector<kv::Session*> sessions);
 
-  faster::FasterKv* kv_;
+  std::unique_ptr<kv::Backend> owned_backend_;  // FasterKv-ctor adapter
+  kv::Backend* kv_;
   KvServerOptions options_;
   ServerCounters counters_;
 
@@ -122,12 +130,12 @@ class KvServer {
   // Sessions parked by disconnected clients, keyed by guid. Ticked by
   // whichever worker gets the try_lock so their epochs keep advancing.
   std::mutex detached_mu_;
-  std::map<uint64_t, faster::Session*> detached_;
+  std::map<uint64_t, kv::Session*> detached_;
 
   // Sessions of closed connections (and of all connections at shutdown)
   // whose pending operations still need to be driven before StopSession.
   std::mutex draining_mu_;
-  std::vector<faster::Session*> draining_;
+  std::vector<kv::Session*> draining_;
 
   uint64_t last_periodic_ckpt_ns_ = 0;  // worker 0 only
 };

@@ -1,0 +1,105 @@
+#ifndef CPR_SHARD_BACKEND_H_
+#define CPR_SHARD_BACKEND_H_
+
+// The session-store surface the serving layer (src/server) consumes,
+// abstracted away from one concrete FasterKv. Two implementations:
+//
+//   * FasterBackend (faster_backend.h): a thin adapter over a single
+//     FasterKv — the original single-store deployment.
+//   * ShardedKv (sharded_kv.h): hash-partitions the keyspace over N
+//     independent FasterKv instances with coordinated cross-shard CPR
+//     checkpoints behind one global commit point.
+//
+// The interface reuses the engine's operation types (OpStatus, AsyncResult,
+// CommitVariant): the contract is identical to FasterKv's, just narrowed to
+// what a serving layer needs. "Token" means whatever monotonic durability
+// counter the backend exposes — a checkpoint token for FasterBackend, a
+// coordinated-round number for ShardedKv; the server only ever compares
+// them for ordering.
+
+#include <cstdint>
+#include <functional>
+
+#include "faster/checkpoint_state.h"
+#include "faster/faster.h"
+#include "util/status.h"
+
+namespace cpr::kv {
+
+// One client session: operations carry session-local serial numbers and the
+// backend reports a per-session durable commit point. One session binds to
+// one thread at a time (it may migrate between refreshes, which is how the
+// server parks and resumes detached sessions).
+class Session {
+ public:
+  virtual ~Session() = default;
+
+  virtual uint64_t guid() const = 0;
+  // Serial of the most recently issued operation.
+  virtual uint64_t serial() const = 0;
+  // Commit point the session resumed at (0 for a fresh session).
+  virtual uint64_t last_commit_point() const = 0;
+  // Operations parked for asynchronous completion.
+  virtual size_t pending_count() const = 0;
+  // Invoked from CompletePending for each asynchronously completed op.
+  virtual void set_async_callback(
+      std::function<void(const faster::AsyncResult&)> cb) = 0;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  // -- Sessions ----------------------------------------------------------
+  // guid 0 draws a fresh id; a recovered guid resumes at its recovered
+  // commit point. Returns nullptr when the backend is out of session slots.
+  virtual Session* StartSession(uint64_t guid) = 0;
+  virtual void StopSession(Session* session) = 0;
+  // Every operation with serial <= the returned value is covered by the
+  // backend's durable commit point for `guid` (kNotFound until one exists).
+  virtual Status DurableCommitPoint(uint64_t guid, uint64_t* serial) const = 0;
+
+  // -- Durability counters ----------------------------------------------
+  // Monotonic token of the most recent *successful* durability event.
+  virtual uint64_t LastCheckpointToken() const = 0;
+  // Token of the most recent *concluded* attempt, successful or failed.
+  virtual uint64_t LastFinishedToken() const = 0;
+  // Count of attempts that failed persistently (graceful degradation).
+  virtual uint64_t CheckpointFailures() const = 0;
+
+  // -- Operations --------------------------------------------------------
+  virtual faster::OpStatus Read(Session& session, uint64_t key,
+                                void* value_out) = 0;
+  virtual faster::OpStatus Upsert(Session& session, uint64_t key,
+                                  const void* value) = 0;
+  virtual faster::OpStatus Rmw(Session& session, uint64_t key,
+                               int64_t delta) = 0;
+  virtual faster::OpStatus Delete(Session& session, uint64_t key) = 0;
+  virtual void Refresh(Session& session) = 0;
+  virtual size_t CompletePending(Session& session,
+                                 bool wait_for_all = false) = 0;
+
+  // -- Checkpoints / recovery -------------------------------------------
+  // Starts an asynchronous durability round; false if one is in flight.
+  virtual bool Checkpoint(faster::CommitVariant variant, bool include_index,
+                          uint64_t* token_out = nullptr) = 0;
+  virtual bool CheckpointInProgress() const = 0;
+  // Blocks until the round named by `token` concludes; Ok iff it succeeded.
+  // Safe from an unregistered thread, but some session must keep refreshing.
+  virtual Status WaitForCheckpoint(uint64_t token) = 0;
+  // Rebuilds from the newest complete durable state. Before any sessions.
+  virtual Status Recover() = 0;
+
+  // -- Introspection -----------------------------------------------------
+  virtual uint32_t value_size() const = 0;
+  virtual uint32_t num_shards() const { return 1; }
+  // Operations routed to shard `i` so far (skew visibility); 0 if untracked.
+  virtual uint64_t ShardOpCount(uint32_t shard) const {
+    (void)shard;
+    return 0;
+  }
+};
+
+}  // namespace cpr::kv
+
+#endif  // CPR_SHARD_BACKEND_H_

@@ -1,0 +1,88 @@
+#include "shard/faster_backend.h"
+
+#include <algorithm>
+
+namespace cpr::kv {
+
+// Wraps one engine session; the engine's serial/commit-point/pending state
+// is the session state, so every accessor forwards.
+class FasterBackend::SessionAdapter final : public Session {
+ public:
+  explicit SessionAdapter(faster::Session* s) : s_(s) {}
+
+  uint64_t guid() const override { return s_->guid(); }
+  uint64_t serial() const override { return s_->serial(); }
+  uint64_t last_commit_point() const override {
+    return s_->last_commit_point();
+  }
+  size_t pending_count() const override { return s_->pending_count(); }
+  void set_async_callback(
+      std::function<void(const faster::AsyncResult&)> cb) override {
+    s_->set_async_callback(std::move(cb));
+  }
+
+  faster::Session* engine() { return s_; }
+
+ private:
+  faster::Session* s_;
+};
+
+FasterBackend::FasterBackend(faster::FasterKv* kv) : kv_(kv) {}
+
+FasterBackend::FasterBackend(faster::FasterKv::Options options)
+    : owned_(std::make_unique<faster::FasterKv>(std::move(options))),
+      kv_(owned_.get()) {}
+
+FasterBackend::~FasterBackend() = default;
+
+faster::Session& FasterBackend::Engine(Session& session) {
+  return *static_cast<SessionAdapter&>(session).engine();
+}
+
+Session* FasterBackend::StartSession(uint64_t guid) {
+  faster::Session* s = kv_->StartSession(guid);
+  if (s == nullptr) return nullptr;
+  auto adapter = std::make_unique<SessionAdapter>(s);
+  Session* raw = adapter.get();
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.push_back(std::move(adapter));
+  return raw;
+}
+
+void FasterBackend::StopSession(Session* session) {
+  auto* adapter = static_cast<SessionAdapter*>(session);
+  kv_->StopSession(adapter->engine());
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.erase(
+      std::find_if(sessions_.begin(), sessions_.end(),
+                   [&](const auto& p) { return p.get() == adapter; }));
+}
+
+faster::OpStatus FasterBackend::Read(Session& session, uint64_t key,
+                                     void* value_out) {
+  return kv_->Read(Engine(session), key, value_out);
+}
+
+faster::OpStatus FasterBackend::Upsert(Session& session, uint64_t key,
+                                       const void* value) {
+  return kv_->Upsert(Engine(session), key, value);
+}
+
+faster::OpStatus FasterBackend::Rmw(Session& session, uint64_t key,
+                                    int64_t delta) {
+  return kv_->Rmw(Engine(session), key, delta);
+}
+
+faster::OpStatus FasterBackend::Delete(Session& session, uint64_t key) {
+  return kv_->Delete(Engine(session), key);
+}
+
+void FasterBackend::Refresh(Session& session) {
+  kv_->Refresh(Engine(session));
+}
+
+size_t FasterBackend::CompletePending(Session& session, bool wait_for_all) {
+  return kv_->CompletePending(Engine(session), wait_for_all);
+}
+
+}  // namespace cpr::kv

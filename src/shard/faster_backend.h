@@ -1,0 +1,82 @@
+#ifndef CPR_SHARD_FASTER_BACKEND_H_
+#define CPR_SHARD_FASTER_BACKEND_H_
+
+// Single-store kv::Backend: a thin adapter over one FasterKv. Every call
+// forwards verbatim; "token" is the engine's checkpoint token.
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "shard/backend.h"
+
+namespace cpr::kv {
+
+class FasterBackend final : public Backend {
+ public:
+  // Non-owning: `kv` must outlive the backend.
+  explicit FasterBackend(faster::FasterKv* kv);
+  // Owning convenience constructor.
+  explicit FasterBackend(faster::FasterKv::Options options);
+
+  ~FasterBackend() override;  // SessionAdapter is incomplete here
+
+  FasterBackend(const FasterBackend&) = delete;
+  FasterBackend& operator=(const FasterBackend&) = delete;
+
+  Session* StartSession(uint64_t guid) override;
+  void StopSession(Session* session) override;
+  Status DurableCommitPoint(uint64_t guid, uint64_t* serial) const override {
+    return kv_->DurableCommitPoint(guid, serial);
+  }
+
+  uint64_t LastCheckpointToken() const override {
+    return kv_->LastCheckpointToken();
+  }
+  uint64_t LastFinishedToken() const override {
+    return kv_->LastFinishedToken();
+  }
+  uint64_t CheckpointFailures() const override {
+    return kv_->CheckpointFailures();
+  }
+
+  faster::OpStatus Read(Session& session, uint64_t key,
+                        void* value_out) override;
+  faster::OpStatus Upsert(Session& session, uint64_t key,
+                          const void* value) override;
+  faster::OpStatus Rmw(Session& session, uint64_t key, int64_t delta) override;
+  faster::OpStatus Delete(Session& session, uint64_t key) override;
+  void Refresh(Session& session) override;
+  size_t CompletePending(Session& session, bool wait_for_all = false) override;
+
+  bool Checkpoint(faster::CommitVariant variant, bool include_index,
+                  uint64_t* token_out) override {
+    return kv_->Checkpoint(variant, include_index, nullptr, token_out);
+  }
+  bool CheckpointInProgress() const override {
+    return kv_->CheckpointInProgress();
+  }
+  Status WaitForCheckpoint(uint64_t token) override {
+    return kv_->WaitForCheckpoint(token);
+  }
+  Status Recover() override { return kv_->Recover(); }
+
+  uint32_t value_size() const override { return kv_->value_size(); }
+
+  faster::FasterKv& store() { return *kv_; }
+
+ private:
+  class SessionAdapter;
+
+  static faster::Session& Engine(Session& session);
+
+  std::unique_ptr<faster::FasterKv> owned_;  // set only when owning
+  faster::FasterKv* kv_;
+
+  mutable std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<SessionAdapter>> sessions_;
+};
+
+}  // namespace cpr::kv
+
+#endif  // CPR_SHARD_FASTER_BACKEND_H_

@@ -1,0 +1,509 @@
+#include "shard/sharded_kv.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "io/blob.h"
+#include "io/file.h"
+#include "util/clock.h"
+#include "util/hash.h"
+
+namespace cpr::kv {
+
+namespace {
+
+constexpr uint64_t kManifestMagic = 0x4350525348415244ULL;  // "CPRSHARD"
+constexpr char kManifestPrefix[] = "manifest.";
+constexpr char kManifestSuffix[] = ".meta";
+
+std::string ManifestName(uint64_t round) {
+  return std::string(kManifestPrefix) + std::to_string(round) + kManifestSuffix;
+}
+
+bool ParseManifestRound(const std::string& name, uint64_t* round) {
+  const size_t prefix = sizeof(kManifestPrefix) - 1;
+  const size_t suffix = sizeof(kManifestSuffix) - 1;
+  if (name.size() <= prefix + suffix) return false;
+  if (name.compare(0, prefix, kManifestPrefix) != 0) return false;
+  if (name.compare(name.size() - suffix, suffix, kManifestSuffix) != 0) {
+    return false;
+  }
+  const std::string digits = name.substr(prefix, name.size() - prefix - suffix);
+  if (digits.empty()) return false;
+  uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *round = value;
+  return true;
+}
+
+template <typename T>
+void AppendPod(std::vector<char>& buf, const T& v) {
+  const char* p = reinterpret_cast<const char*>(&v);
+  buf.insert(buf.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+bool ConsumePod(const std::vector<char>& buf, size_t* off, T* out) {
+  if (*off + sizeof(T) > buf.size()) return false;
+  std::memcpy(out, buf.data() + *off, sizeof(T));
+  *off += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+// One client session spanning every shard. `serial_` is the global serial
+// counter; each shard holds a sub-session whose engine serial is advanced
+// lazily to (global - 1) right before an operation executes there, so the
+// executing operation's engine serial equals its global serial exactly.
+// `skip_below_[i]` is shard i's recovered commit point: after recovery, any
+// operation whose global serial lands at or below it while routing to shard
+// i is a client replay the shard already holds (see Skip rationale at the
+// call sites) and is answered without executing.
+class ShardedKv::ShardSession final : public Session {
+ public:
+  ShardSession(uint64_t guid, uint32_t num_shards)
+      : guid_(guid), subs_(num_shards, nullptr), skip_below_(num_shards, 0) {}
+
+  uint64_t guid() const override { return guid_; }
+  uint64_t serial() const override { return serial_; }
+  uint64_t last_commit_point() const override { return last_commit_point_; }
+  size_t pending_count() const override {
+    size_t n = 0;
+    for (const faster::Session* s : subs_) n += s->pending_count();
+    return n;
+  }
+  // Sub-session serials coincide with global serials, so asynchronous
+  // completions forward verbatim.
+  void set_async_callback(
+      std::function<void(const faster::AsyncResult&)> cb) override {
+    for (faster::Session* s : subs_) s->set_async_callback(cb);
+  }
+
+ private:
+  friend class ShardedKv;
+
+  uint64_t guid_;
+  uint64_t serial_ = 0;             // global serial space
+  uint64_t last_commit_point_ = 0;  // recovered global commit point
+  std::vector<faster::Session*> subs_;
+  std::vector<uint64_t> skip_below_;
+};
+
+ShardedKv::ShardedKv(Options options)
+    : options_(std::move(options)),
+      num_shards_(std::max<uint32_t>(1, options_.num_shards)),
+      root_dir_(options_.base.dir),
+      op_counts_(new std::atomic<uint64_t>[num_shards_]) {
+  CreateDirectories(root_dir_);
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    op_counts_[i].store(0, std::memory_order_relaxed);
+    faster::FasterKv::Options o = options_.base;
+    o.dir = root_dir_ + "/shard-" + std::to_string(i);
+    if (options_.retain_manifests > 0 && o.retain_checkpoints > 0) {
+      // Failed rounds advance shard generations without advancing manifests;
+      // keep enough shard generations that every retained manifest's token
+      // survives shard-local GC.
+      o.retain_checkpoints =
+          std::max(o.retain_checkpoints, 2 * options_.retain_manifests);
+    }
+    shards_.push_back(std::make_unique<faster::FasterKv>(std::move(o)));
+  }
+  coordinator_ = std::thread([this] { CoordinatorLoop(); });
+}
+
+ShardedKv::~ShardedKv() {
+  {
+    std::lock_guard<std::mutex> lock(coord_mu_);
+    stop_ = true;
+  }
+  coord_cv_.notify_all();
+  waiter_cv_.notify_all();
+  if (coordinator_.joinable()) coordinator_.join();
+}
+
+uint32_t ShardedKv::ShardOf(uint64_t key) const {
+  // High hash bits: the in-shard hash index derives its bucket from the low
+  // bits of the same Hash64, so routing on them would leave each shard using
+  // only 1/num_shards of its buckets.
+  return static_cast<uint32_t>((Hash64(key) >> 32) % num_shards_);
+}
+
+uint32_t ShardedKv::value_size() const { return shards_[0]->value_size(); }
+
+std::vector<uint64_t> ShardedKv::ManifestShardTokens() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return manifest_tokens_;
+}
+
+// -- Sessions -------------------------------------------------------------
+
+Session* ShardedKv::StartSession(uint64_t guid) {
+  const uint64_t g =
+      guid != 0 ? guid
+                : (NowNanos() ^ next_guid_.fetch_add(1, std::memory_order_relaxed));
+  auto session = std::make_unique<ShardSession>(g, num_shards_);
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    session->subs_[i] = shards_[i]->StartSession(g);
+    if (session->subs_[i] == nullptr) {
+      for (uint32_t j = 0; j < i; ++j) {
+        shards_[j]->StopSession(session->subs_[j]);
+      }
+      return nullptr;
+    }
+  }
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  known_guids_.insert(g);
+  auto it = points_.find(g);
+  if (it != points_.end()) {
+    // Resume at the global commit point: serial numbering continues above
+    // it, and each shard deduplicates replays at or below its own point.
+    session->serial_ = it->second.global;
+    session->last_commit_point_ = it->second.global;
+    session->skip_below_ = it->second.per_shard;
+  }
+  Session* raw = session.get();
+  sessions_.push_back(std::move(session));
+  return raw;
+}
+
+void ShardedKv::StopSession(Session* session) {
+  auto* s = static_cast<ShardSession*>(session);
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    shards_[i]->StopSession(s->subs_[i]);
+  }
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.erase(std::find_if(sessions_.begin(), sessions_.end(),
+                               [&](const auto& p) { return p.get() == s; }));
+}
+
+Status ShardedKv::DurableCommitPoint(uint64_t guid, uint64_t* serial) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = points_.find(guid);
+  if (it == points_.end()) {
+    return Status::NotFound("no published manifest covers guid");
+  }
+  *serial = it->second.global;
+  return Status::Ok();
+}
+
+// -- Operations -----------------------------------------------------------
+//
+// The skip rule: an operation with global serial g routed to shard i where
+// g <= skip_below_[i] is necessarily a replay of a pre-crash operation the
+// shard already holds — fresh post-recovery operations draw serials above
+// the session's crash-time serial, which is >= every shard's commit point.
+// Updates acknowledge kOk without re-executing (exactly-once). Reads are
+// also skipped (kNotFound) rather than re-executed: running them would
+// advance the shard's engine serial past serials the manifest already
+// assigned to *skipped updates*, breaking the sub-serial == global-serial
+// correspondence for the operations that follow.
+
+faster::OpStatus ShardedKv::Read(Session& session, uint64_t key,
+                                 void* value_out) {
+  auto& s = static_cast<ShardSession&>(session);
+  const uint32_t i = ShardOf(key);
+  const uint64_t g = ++s.serial_;
+  if (g <= s.skip_below_[i]) return faster::OpStatus::kNotFound;
+  op_counts_[i].fetch_add(1, std::memory_order_relaxed);
+  shards_[i]->AdvanceSerial(*s.subs_[i], g - 1);
+  return shards_[i]->Read(*s.subs_[i], key, value_out);
+}
+
+faster::OpStatus ShardedKv::Upsert(Session& session, uint64_t key,
+                                   const void* value) {
+  auto& s = static_cast<ShardSession&>(session);
+  const uint32_t i = ShardOf(key);
+  const uint64_t g = ++s.serial_;
+  if (g <= s.skip_below_[i]) return faster::OpStatus::kOk;
+  op_counts_[i].fetch_add(1, std::memory_order_relaxed);
+  shards_[i]->AdvanceSerial(*s.subs_[i], g - 1);
+  return shards_[i]->Upsert(*s.subs_[i], key, value);
+}
+
+faster::OpStatus ShardedKv::Rmw(Session& session, uint64_t key,
+                                int64_t delta) {
+  auto& s = static_cast<ShardSession&>(session);
+  const uint32_t i = ShardOf(key);
+  const uint64_t g = ++s.serial_;
+  if (g <= s.skip_below_[i]) return faster::OpStatus::kOk;
+  op_counts_[i].fetch_add(1, std::memory_order_relaxed);
+  shards_[i]->AdvanceSerial(*s.subs_[i], g - 1);
+  return shards_[i]->Rmw(*s.subs_[i], key, delta);
+}
+
+faster::OpStatus ShardedKv::Delete(Session& session, uint64_t key) {
+  auto& s = static_cast<ShardSession&>(session);
+  const uint32_t i = ShardOf(key);
+  const uint64_t g = ++s.serial_;
+  if (g <= s.skip_below_[i]) return faster::OpStatus::kOk;
+  op_counts_[i].fetch_add(1, std::memory_order_relaxed);
+  shards_[i]->AdvanceSerial(*s.subs_[i], g - 1);
+  return shards_[i]->Delete(*s.subs_[i], key);
+}
+
+void ShardedKv::Refresh(Session& session) {
+  auto& s = static_cast<ShardSession&>(session);
+  // Sync every sub-session's serial to the global serial first, so a version
+  // crossing on a shard this session rarely touches still captures a CPR
+  // point aligned with the global serial space.
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    shards_[i]->AdvanceSerial(*s.subs_[i], s.serial_);
+    shards_[i]->Refresh(*s.subs_[i]);
+  }
+}
+
+size_t ShardedKv::CompletePending(Session& session, bool wait_for_all) {
+  auto& s = static_cast<ShardSession&>(session);
+  size_t completed = 0;
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    completed += shards_[i]->CompletePending(*s.subs_[i], wait_for_all);
+  }
+  return completed;
+}
+
+// -- Coordinated checkpoints ---------------------------------------------
+
+bool ShardedKv::Checkpoint(faster::CommitVariant variant, bool include_index,
+                           uint64_t* token_out) {
+  std::lock_guard<std::mutex> lock(coord_mu_);
+  if (round_active_.load(std::memory_order_acquire)) return false;
+  round_active_.store(true, std::memory_order_release);
+  requested_round_ = Round{next_round_++, variant, include_index};
+  round_requested_ = true;
+  if (token_out != nullptr) *token_out = requested_round_.round;
+  coord_cv_.notify_one();
+  return true;
+}
+
+Status ShardedKv::WaitForCheckpoint(uint64_t round) {
+  std::unique_lock<std::mutex> lock(coord_mu_);
+  waiter_cv_.wait(lock, [&] {
+    return stop_ || last_finished_round_.load(std::memory_order_acquire) >= round;
+  });
+  auto it = round_results_.find(round);
+  if (it != round_results_.end()) return it->second;
+  if (last_completed_round_.load(std::memory_order_acquire) >= round) {
+    return Status::Ok();
+  }
+  return Status::IoError("coordinated round did not complete");
+}
+
+void ShardedKv::CoordinatorLoop() {
+  std::unique_lock<std::mutex> lock(coord_mu_);
+  for (;;) {
+    coord_cv_.wait(lock, [&] { return stop_ || round_requested_; });
+    if (stop_) return;
+    const Round round = requested_round_;
+    round_requested_ = false;
+    lock.unlock();
+    const bool ok = RunRound(round);
+    lock.lock();
+    round_results_[round.round] =
+        ok ? Status::Ok() : Status::IoError("coordinated round failed");
+    while (round_results_.size() > 16) {
+      round_results_.erase(round_results_.begin());
+    }
+    if (ok) {
+      last_completed_round_.store(round.round, std::memory_order_release);
+    } else {
+      failures_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    last_finished_round_.store(round.round, std::memory_order_release);
+    round_active_.store(false, std::memory_order_release);
+    waiter_cv_.notify_all();
+  }
+}
+
+bool ShardedKv::RunRound(const Round& round) {
+  std::vector<uint64_t> tokens(num_shards_, 0);
+  std::vector<bool> started(num_shards_, false);
+  bool ok = true;
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    started[i] =
+        shards_[i]->Checkpoint(round.variant, round.include_index,
+                               /*callback=*/nullptr, &tokens[i]);
+    if (!started[i]) ok = false;
+  }
+  // Wait out every shard that did start, even after the round has already
+  // failed: the next round must not find a shard mid-checkpoint. Engine
+  // checkpoints conclude (success or failure) without our help, and
+  // WaitForCheckpoint ticks the state machine itself, so this terminates
+  // even under injected storage faults.
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    if (!started[i]) continue;
+    if (!shards_[i]->WaitForCheckpoint(tokens[i]).ok()) ok = false;
+  }
+  if (!ok) return false;
+  return BuildAndPublishManifest(round.round, tokens);
+}
+
+bool ShardedKv::BuildAndPublishManifest(uint64_t round,
+                                        const std::vector<uint64_t>& tokens) {
+  // Snapshot the guid set and current points (fallback for sessions a shard
+  // checkpoint missed, e.g. started after the version crossing).
+  std::set<uint64_t> guids;
+  std::map<uint64_t, SessionPoints> previous;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    guids = known_guids_;
+    previous = points_;
+  }
+
+  std::map<uint64_t, SessionPoints> next;
+  for (uint64_t guid : guids) {
+    SessionPoints p;
+    p.per_shard.assign(num_shards_, 0);
+    auto prev = previous.find(guid);
+    for (uint32_t i = 0; i < num_shards_; ++i) {
+      uint64_t point = 0;
+      if (!shards_[i]->DurableCommitPoint(guid, &point).ok()) {
+        point = prev != previous.end() ? prev->second.per_shard[i] : 0;
+      }
+      p.per_shard[i] = point;
+    }
+    p.global = *std::min_element(p.per_shard.begin(), p.per_shard.end());
+    next.emplace(guid, std::move(p));
+  }
+
+  std::vector<char> payload;
+  AppendPod(payload, round);
+  AppendPod(payload, num_shards_);
+  AppendPod(payload, uint32_t{0});  // reserved
+  for (uint64_t token : tokens) AppendPod(payload, token);
+  AppendPod(payload, static_cast<uint64_t>(next.size()));
+  for (const auto& [guid, p] : next) {
+    AppendPod(payload, guid);
+    AppendPod(payload, p.global);
+    for (uint64_t point : p.per_shard) AppendPod(payload, point);
+  }
+
+  const std::string name = ManifestName(round);
+  if (!WriteCheckedBlob(root_dir_ + "/" + name, kManifestMagic, payload,
+                        options_.base.sync_to_disk)
+           .ok()) {
+    return false;
+  }
+  if (!PublishLatest(root_dir_, name, options_.base.sync_to_disk).ok()) {
+    return false;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    points_ = std::move(next);
+    manifest_tokens_ = tokens;
+  }
+  GarbageCollectManifests();
+  return true;
+}
+
+void ShardedKv::GarbageCollectManifests() {
+  if (options_.retain_manifests == 0) return;
+  std::vector<std::string> names;
+  if (!ListDirectory(root_dir_, &names).ok()) return;
+  std::vector<uint64_t> rounds;
+  for (const std::string& name : names) {
+    uint64_t r = 0;
+    if (ParseManifestRound(name, &r)) rounds.push_back(r);
+  }
+  std::sort(rounds.begin(), rounds.end(), std::greater<uint64_t>());
+  for (size_t i = options_.retain_manifests; i < rounds.size(); ++i) {
+    std::remove((root_dir_ + "/" + ManifestName(rounds[i])).c_str());
+  }
+}
+
+// -- Recovery -------------------------------------------------------------
+
+Status ShardedKv::Recover() {
+  std::vector<std::string> names;
+  Status ls = ListDirectory(root_dir_, &names);
+  if (!ls.ok()) return ls;
+  std::vector<uint64_t> candidates;
+  for (const std::string& name : names) {
+    uint64_t r = 0;
+    if (ParseManifestRound(name, &r)) candidates.push_back(r);
+  }
+  std::sort(candidates.begin(), candidates.end(), std::greater<uint64_t>());
+
+  // LATEST is an advisory hint: try its round first, then everything else
+  // newest-first (covers a published-but-stale or corrupted pointer).
+  std::string latest;
+  uint64_t hint = 0;
+  if (ReadLatestValue(root_dir_, &latest).ok() &&
+      ParseManifestRound(latest, &hint)) {
+    auto it = std::find(candidates.begin(), candidates.end(), hint);
+    if (it != candidates.end()) std::rotate(candidates.begin(), it, it + 1);
+  }
+
+  for (uint64_t round : candidates) {
+    std::vector<char> payload;
+    if (!ReadCheckedBlob(root_dir_ + "/" + ManifestName(round), kManifestMagic,
+                         &payload)
+             .ok()) {
+      continue;
+    }
+    size_t off = 0;
+    uint64_t stored_round = 0;
+    uint32_t stored_shards = 0;
+    uint32_t reserved = 0;
+    if (!ConsumePod(payload, &off, &stored_round) ||
+        !ConsumePod(payload, &off, &stored_shards) ||
+        !ConsumePod(payload, &off, &reserved) || stored_round != round ||
+        stored_shards != num_shards_) {
+      continue;
+    }
+    std::vector<uint64_t> tokens(num_shards_, 0);
+    bool parsed = true;
+    for (uint32_t i = 0; i < num_shards_ && parsed; ++i) {
+      parsed = ConsumePod(payload, &off, &tokens[i]);
+    }
+    uint64_t num_sessions = 0;
+    parsed = parsed && ConsumePod(payload, &off, &num_sessions);
+    std::map<uint64_t, SessionPoints> recovered;
+    for (uint64_t s = 0; s < num_sessions && parsed; ++s) {
+      uint64_t guid = 0;
+      SessionPoints p;
+      p.per_shard.assign(num_shards_, 0);
+      parsed = ConsumePod(payload, &off, &guid) &&
+               ConsumePod(payload, &off, &p.global);
+      for (uint32_t i = 0; i < num_shards_ && parsed; ++i) {
+        parsed = ConsumePod(payload, &off, &p.per_shard[i]);
+      }
+      if (parsed) recovered.emplace(guid, std::move(p));
+    }
+    if (!parsed) continue;
+
+    // Restore EVERY shard to this manifest's token — shards that
+    // checkpointed past an unpublished newer manifest roll back to the
+    // global commit point. Any shard failure invalidates the whole
+    // candidate (per-shard recovery is re-entrant, so the next, older
+    // manifest retries all shards from scratch).
+    bool all = true;
+    for (uint32_t i = 0; i < num_shards_ && all; ++i) {
+      all = shards_[i]->Recover(tokens[i]).ok();
+    }
+    if (!all) continue;
+
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      known_guids_.clear();
+      for (const auto& [guid, p] : recovered) known_guids_.insert(guid);
+      points_ = std::move(recovered);
+      manifest_tokens_ = tokens;
+    }
+    {
+      std::lock_guard<std::mutex> lock(coord_mu_);
+      next_round_ = round + 1;
+    }
+    last_completed_round_.store(round, std::memory_order_release);
+    last_finished_round_.store(round, std::memory_order_release);
+    return Status::Ok();
+  }
+  return Status::NotFound("no recoverable cross-shard manifest");
+}
+
+}  // namespace cpr::kv

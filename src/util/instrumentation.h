@@ -3,9 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 
 #include "util/cacheline.h"
 #include "util/clock.h"
+#include "util/histogram.h"
 
 namespace cpr {
 
@@ -60,25 +62,54 @@ struct ServerCounters {
                                               // released as NOT_DURABLE
   std::atomic<uint64_t> protocol_errors{0};
 
+  // Execute→durable lag of durable-gated responses: time from enqueueing the
+  // executed operation until its covering checkpoint released the ack.
+  // Multiple workers record, so unlike the single-writer histograms in bench
+  // code this one takes a (cheap, uncontended) mutex.
+  std::atomic<uint64_t> durable_lag_max_ns{0};
+
+  void RecordDurableLag(uint64_t ns) {
+    {
+      std::lock_guard<std::mutex> lock(durable_lag_mu_);
+      durable_lag_.Add(ns);
+    }
+    uint64_t seen = durable_lag_max_ns.load(std::memory_order_relaxed);
+    while (ns > seen && !durable_lag_max_ns.compare_exchange_weak(
+                            seen, ns, std::memory_order_relaxed)) {
+    }
+  }
+
   struct Snapshot {
     uint64_t connections_accepted, connections_active, requests, responses,
         bytes_in, bytes_out, ops_pending, durable_held, checkpoints,
         checkpoint_stalls, checkpoint_failures, not_durable_acks,
         protocol_errors;
+    Histogram durable_lag;
+    uint64_t durable_lag_max_ns;
   };
 
   Snapshot Sample() const {
     auto ld = [](const std::atomic<uint64_t>& a) {
       return a.load(std::memory_order_relaxed);
     };
-    return Snapshot{ld(connections_accepted), ld(connections_active),
-                    ld(requests),             ld(responses),
-                    ld(bytes_in),             ld(bytes_out),
-                    ld(ops_pending),          ld(durable_held),
-                    ld(checkpoints),          ld(checkpoint_stalls),
-                    ld(checkpoint_failures),  ld(not_durable_acks),
-                    ld(protocol_errors)};
+    Snapshot s{ld(connections_accepted), ld(connections_active),
+               ld(requests),             ld(responses),
+               ld(bytes_in),             ld(bytes_out),
+               ld(ops_pending),          ld(durable_held),
+               ld(checkpoints),          ld(checkpoint_stalls),
+               ld(checkpoint_failures),  ld(not_durable_acks),
+               ld(protocol_errors),      Histogram{},
+               ld(durable_lag_max_ns)};
+    {
+      std::lock_guard<std::mutex> lock(durable_lag_mu_);
+      s.durable_lag = durable_lag_;
+    }
+    return s;
   }
+
+ private:
+  mutable std::mutex durable_lag_mu_;
+  Histogram durable_lag_;
 };
 
 // Scoped timer adding elapsed nanoseconds to a counter on destruction.

@@ -19,8 +19,10 @@
 
 #include "client/client.h"
 #include "faster/faster.h"
+#include "io/fault_injection.h"
 #include "server/server.h"
 #include "server/wire.h"
+#include "shard/sharded_kv.h"
 
 namespace cpr {
 namespace {
@@ -63,6 +65,20 @@ int64_t ReadValue(CprClient& c, uint64_t key, bool* found) {
   EXPECT_TRUE(c.Read(key, &v, found).ok());
   return v;
 }
+
+kv::ShardedKv::Options ShardedOptions(const std::string& dir,
+                                      uint32_t num_shards = 4) {
+  kv::ShardedKv::Options o;
+  o.base = SmallOptions(dir);
+  o.num_shards = num_shards;
+  return o;
+}
+
+struct InjectorScope {
+  FaultInjector inj;
+  InjectorScope() { FaultInjector::Install(&inj); }
+  ~InjectorScope() { FaultInjector::Install(nullptr); }
+};
 
 TEST(ServerE2E, BasicOpsRoundTrip) {
   FasterKv kv(SmallOptions(FreshDir()));
@@ -334,6 +350,162 @@ TEST(ServerE2E, CrashRecoveryDurableClientExactlyOnce) {
 
   // Exactly-once: every key counts batch-1 plus batch-2 increments, with
   // no acknowledged op lost and no replayed op double-applied.
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    bool found = false;
+    const int64_t v = ReadValue(c, k, &found);
+    ASSERT_TRUE(found) << "key " << k;
+    EXPECT_EQ(v, (kBatch1 + kBatch2) / static_cast<int>(kKeys))
+        << "key " << k;
+  }
+
+  uint64_t point = 0;
+  ASSERT_TRUE(c.CommitPoint(&point).ok());
+  EXPECT_GE(point, static_cast<uint64_t>(kBatch1 + kBatch2));
+
+  c.Close();
+  server.Stop();
+}
+
+// A 4-shard ShardedKv behind the unchanged wire protocol: the client cannot
+// tell it is talking to a partitioned store. Ops route by hash, a CHECKPOINT
+// request runs one coordinated round, and the reported commit point is the
+// cross-shard global point.
+TEST(ServerE2E, ShardedBackendServesUnchangedProtocol) {
+  kv::ShardedKv kv(ShardedOptions(FreshDir()));
+  KvServer server(&kv, ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  CprClient c(ClientOptions(server.port()));
+  ASSERT_TRUE(c.Connect().ok());
+  EXPECT_EQ(c.value_size(), 8u);
+
+  constexpr uint64_t kKeys = 64;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    const int64_t v = static_cast<int64_t>(k * 3);
+    ASSERT_TRUE(c.Upsert(k, &v).ok());
+  }
+  bool found = false;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(ReadValue(c, k, &found), static_cast<int64_t>(k * 3));
+    EXPECT_TRUE(found) << "key " << k;
+  }
+
+  // Every shard saw some of the traffic.
+  uint64_t total_ops = 0;
+  for (uint32_t i = 0; i < kv.num_shards(); ++i) {
+    EXPECT_GT(kv.ShardOpCount(i), 0u) << "shard " << i;
+    total_ops += kv.ShardOpCount(i);
+  }
+  EXPECT_EQ(total_ops, 2 * kKeys);
+
+  // One coordinated round through the wire protocol: the returned token is
+  // the round number and the commit point covers all issued ops.
+  uint64_t token = 0;
+  uint64_t commit = 0;
+  ASSERT_TRUE(c.Checkpoint(&token, &commit, false, true).ok());
+  EXPECT_EQ(token, 1u);
+  EXPECT_EQ(commit, 2 * kKeys);
+  EXPECT_EQ(kv.LastCheckpointToken(), 1u);
+  EXPECT_EQ(kv.ManifestShardTokens().size(), kv.num_shards());
+
+  c.Close();
+  server.Stop();
+}
+
+// The ISSUE acceptance scenario: a durable client against a 4-shard store, a
+// coordinated checkpoint covering batch 1, then a storage fault injected
+// mid-round-2 (some shards flush, the manifest is never published). Recovery
+// must land every shard on the round-1 manifest — no shard ahead of the
+// global commit point — and the reconnecting client replays exactly the
+// unacknowledged suffix with exactly-once effects.
+TEST(ServerE2E, ShardedCrashRecoveryDurableClientExactlyOnce) {
+  const std::string dir = FreshDir();
+  constexpr uint64_t kKeys = 10;
+  constexpr int kBatch1 = 50;  // durably acknowledged via round 1
+  constexpr int kBatch2 = 30;  // executed, round 2 crashes: must replay
+
+  auto kv1 = std::make_unique<kv::ShardedKv>(ShardedOptions(dir));
+  auto server1 = std::make_unique<KvServer>(kv1.get(), ServerOptions());
+  ASSERT_TRUE(server1->Start().ok());
+  const uint16_t port = server1->port();
+
+  CprClient::Options copts;
+  copts.ack_mode = net::AckMode::kDurable;
+  copts.recv_timeout_ms = 2'000;
+  copts.port = port;
+  CprClient c(copts);
+  ASSERT_TRUE(c.Connect().ok());
+  const uint64_t guid = c.guid();
+
+  for (int i = 0; i < kBatch1; ++i) c.EnqueueRmw(i % kKeys, 1);
+  c.EnqueueCheckpoint(/*snapshot=*/false, /*include_index=*/true);
+  ASSERT_TRUE(c.Flush().ok());
+  std::vector<CprClient::Result> results;
+  ASSERT_TRUE(c.Drain(&results).ok());
+  ASSERT_EQ(results.size(), static_cast<size_t>(kBatch1 + 1));
+  for (int i = 0; i <= kBatch1; ++i) {
+    ASSERT_EQ(results[i].status, net::WireStatus::kOk) << "op " << i;
+  }
+  EXPECT_GE(c.durable_serial(), static_cast<uint64_t>(kBatch1));
+  EXPECT_EQ(c.replay_backlog(), 0u);
+
+  // The round-1 manifest is the global commit point recovery must land on.
+  const std::vector<uint64_t> committed_tokens = kv1->ManifestShardTokens();
+  ASSERT_EQ(committed_tokens.size(), 4u);
+  for (uint64_t t : committed_tokens) EXPECT_GT(t, 0u);
+
+  // Batch 2 executes on the shards, then round 2 hits injected storage
+  // faults partway through: some shards may flush their own checkpoint, but
+  // the cross-shard manifest is never published. Durable acks degrade to
+  // NOT_DURABLE (ops stay in the replay buffer) and the CHECKPOINT request
+  // itself reports an error rather than hanging.
+  {
+    InjectorScope guard;
+    for (int i = 0; i < kBatch2; ++i) c.EnqueueRmw(i % kKeys, 1);
+    ASSERT_TRUE(c.Flush().ok());
+    guard.inj.CrashAfter(3);
+    c.EnqueueCheckpoint(/*snapshot=*/false, /*include_index=*/true);
+    ASSERT_TRUE(c.Flush().ok());
+    results.clear();
+    ASSERT_TRUE(c.Drain(&results).ok());
+    ASSERT_EQ(results.size(), static_cast<size_t>(kBatch2 + 1));
+    for (int i = 0; i < kBatch2; ++i) {
+      ASSERT_EQ(results[i].status, net::WireStatus::kNotDurable) << "op " << i;
+    }
+    ASSERT_EQ(results[kBatch2].status, net::WireStatus::kError);
+    EXPECT_EQ(c.replay_backlog(), static_cast<size_t>(kBatch2));
+
+    // Crash: tear the server down with the faults still armed.
+    server1->Stop();
+    server1.reset();
+    kv1.reset();
+  }
+
+  // Recover: the newest *complete* manifest is round 1. Every shard must be
+  // restored to exactly the token that manifest names — shards that flushed
+  // further during the doomed round 2 are rolled back.
+  kv::ShardedKv kv(ShardedOptions(dir));
+  ASSERT_TRUE(kv.Recover().ok());
+  EXPECT_EQ(kv.ManifestShardTokens(), committed_tokens);
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(kv.shard(i).LastCheckpointToken(), committed_tokens[i])
+        << "shard " << i << " recovered ahead of the manifest";
+  }
+  uint64_t recovered_point = 0;
+  ASSERT_TRUE(kv.DurableCommitPoint(guid, &recovered_point).ok());
+  EXPECT_EQ(recovered_point, static_cast<uint64_t>(kBatch1));
+
+  KvServer server(&kv, ServerOptions(port));
+  ASSERT_TRUE(server.Start().ok());
+
+  ASSERT_TRUE(c.Reconnect().ok());
+  EXPECT_EQ(c.guid(), guid);
+  EXPECT_EQ(c.recovered_serial(), static_cast<uint64_t>(kBatch1));
+  EXPECT_EQ(c.replay_backlog(), 0u);
+  EXPECT_GE(c.durable_serial(), static_cast<uint64_t>(kBatch1 + kBatch2));
+
+  // Exactly-once across shards: every acked op present, no replay applied
+  // twice on any shard.
   for (uint64_t k = 0; k < kKeys; ++k) {
     bool found = false;
     const int64_t v = ReadValue(c, k, &found);
