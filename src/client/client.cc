@@ -358,14 +358,21 @@ Status CprClient::ProcessResponse(net::Response resp,
   if (resp.seq != inf.seq || resp.op != inf.op) {
     return Status::Corruption("response out of order (pipeline desync)");
   }
-  // A durable-mode ack means the operation is committed; checkpoint and
-  // commit-point responses report the committed prefix explicitly. A
-  // NOT_DURABLE ack is the opposite: the server could not persist a
-  // covering checkpoint, so the op must stay in the replay buffer.
+  // A durable-mode *update* ack means a checkpoint covers that serial;
+  // checkpoint and commit-point responses report the committed prefix
+  // explicitly. A NOT_DURABLE ack is the opposite: the server could not
+  // persist a covering checkpoint, so the op must stay in the replay
+  // buffer. Read acks prove nothing about their own serial — the server
+  // releases a read once every *earlier update* is covered, before any
+  // checkpoint covers the read itself. Treating the read's serial as
+  // durable would pop it from the replay buffer above the real commit
+  // point, and a post-crash replay would then regenerate every later
+  // serial shifted down by one — breaking the serial identity that
+  // sharded per-shard replay dedup depends on.
   if (resp.status == net::WireStatus::kNotDurable) {
     stats_.not_durable_acks += 1;
   } else if (options_.ack_mode == net::AckMode::kDurable &&
-             resp.serial != 0 &&
+             resp.op != net::Op::kRead && resp.serial != 0 &&
              resp.status != net::WireStatus::kNoSession &&
              resp.status != net::WireStatus::kBadRequest) {
     NoteDurable(resp.serial);
@@ -408,22 +415,31 @@ Status CprClient::Drain(std::vector<Result>* out, size_t count) {
 Status CprClient::TryDrain(std::vector<Result>* out, size_t* processed) {
   if (processed != nullptr) *processed = 0;
   if (fd_ < 0) return Status::IoError("not connected");
+  // Decoded frames advance a read offset; the consumed prefix is erased
+  // once on exit. Erasing per frame would be quadratic exactly when a burst
+  // of held durable acks lands at once — the case TryDrain exists for.
+  size_t off = 0;
+  Status status = Status::Ok();
   while (!inflight_.empty()) {
     // Frames already buffered are pure CPU work; consume those first.
     std::string_view payload;
     size_t consumed = 0;
     const net::FrameResult fr = net::TryExtractFrame(
-        recvbuf_.data(), recvbuf_.size(), &payload, &consumed);
+        recvbuf_.data() + off, recvbuf_.size() - off, &payload, &consumed);
     if (fr == net::FrameResult::kBadFrame) {
-      return Status::Corruption("bad frame from server");
+      status = Status::Corruption("bad frame from server");
+      break;
     }
     if (fr == net::FrameResult::kFrame) {
       net::Response resp;
       const bool ok = net::DecodeResponse(payload, &resp);
-      recvbuf_.erase(recvbuf_.begin(), recvbuf_.begin() + consumed);
-      if (!ok) return Status::Corruption("undecodable response");
-      Status s = ProcessResponse(std::move(resp), out);
-      if (!s.ok()) return s;
+      off += consumed;
+      if (!ok) {
+        status = Status::Corruption("undecodable response");
+        break;
+      }
+      status = ProcessResponse(std::move(resp), out);
+      if (!status.ok()) break;
       if (processed != nullptr) ++*processed;
       continue;
     }
@@ -434,7 +450,9 @@ Status CprClient::TryDrain(std::vector<Result>* out, size_t* processed) {
     if (n == 0) break;
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Status::IoError("poll() failed: " + std::string(strerror(errno)));
+      status =
+          Status::IoError("poll() failed: " + std::string(strerror(errno)));
+      break;
     }
     char buf[64 * 1024];
     const ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
@@ -442,12 +460,17 @@ Status CprClient::TryDrain(std::vector<Result>* out, size_t* processed) {
       recvbuf_.insert(recvbuf_.end(), buf, buf + r);
       continue;
     }
-    if (r == 0) return Status::IoError("connection closed by server");
+    if (r == 0) {
+      status = Status::IoError("connection closed by server");
+      break;
+    }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    return Status::IoError("recv() failed: " + std::string(strerror(errno)));
+    status = Status::IoError("recv() failed: " + std::string(strerror(errno)));
+    break;
   }
-  return Status::Ok();
+  if (off != 0) recvbuf_.erase(recvbuf_.begin(), recvbuf_.begin() + off);
+  return status;
 }
 
 namespace {

@@ -1017,6 +1017,11 @@ Status FasterKv::LoadCheckpointMetadata(uint64_t token,
   return Status::Ok();
 }
 
+void FasterKv::PinCheckpointTokens(std::set<uint64_t> tokens) {
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  pinned_tokens_ = std::move(tokens);
+}
+
 void FasterKv::GarbageCollectCheckpoints() {
   const uint32_t retain = options_.retain_checkpoints;
   if (retain == 0) return;
@@ -1026,6 +1031,12 @@ void FasterKv::GarbageCollectCheckpoints() {
   // Index images referenced by a retained generation must survive even if
   // they were taken for an older commit (log-only commits reuse them).
   std::set<uint64_t> keep_ckpt(tokens.begin(), tokens.begin() + retain);
+  {
+    // Externally pinned generations (retained cross-shard manifests) are
+    // kept no matter how far the retain window has moved past them.
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    keep_ckpt.insert(pinned_tokens_.begin(), pinned_tokens_.end());
+  }
   std::set<uint64_t> keep_index;
   for (uint64_t t : keep_ckpt) {
     CheckpointMetadata meta;

@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -250,6 +251,14 @@ class FasterKv {
   // point. Call before any sessions start.
   Status Recover(uint64_t token);
 
+  // Pins checkpoint generations against checkpoint GC, in addition to the
+  // newest retain_checkpoints. Coordinated multi-store recovery (src/shard)
+  // pins every token named by a retained cross-shard manifest, so failed
+  // coordinated rounds — which advance this store's generations without
+  // advancing manifests — can never GC a generation an older retained
+  // manifest still references. Replaces the previous pin set.
+  void PinCheckpointTokens(std::set<uint64_t> tokens);
+
   // Debug aid: prints one line per parked operation of `session` (key,
   // version, latch/IO state, and the key's current chain-head record).
   void DebugDumpPending(Session& session) const;
@@ -372,6 +381,9 @@ class FasterKv {
   std::atomic<uint64_t> checkpoint_failures_{0};
   uint64_t last_index_token_ = 0;  // guarded by ckpt_mu_
   Address last_index_li_ = 0;      // guarded by ckpt_mu_
+  // Generations checkpoint GC must keep beyond the retain count (see
+  // PinCheckpointTokens); guarded by ckpt_mu_.
+  std::set<uint64_t> pinned_tokens_;
 
   // Durable per-session commit points: refreshed by every completed
   // checkpoint and by Recover(). Queried by serving layers to decide when

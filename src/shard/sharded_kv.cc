@@ -54,6 +54,28 @@ bool ConsumePod(const std::vector<char>& buf, size_t* off, T* out) {
   return true;
 }
 
+// Parses a manifest payload's header and per-shard tokens; `off` ends past
+// the token list (the session points follow).
+bool ParseManifestTokens(const std::vector<char>& payload, uint64_t round,
+                         uint32_t num_shards, std::vector<uint64_t>* tokens,
+                         size_t* off) {
+  *off = 0;
+  uint64_t stored_round = 0;
+  uint32_t stored_shards = 0;
+  uint32_t reserved = 0;
+  if (!ConsumePod(payload, off, &stored_round) ||
+      !ConsumePod(payload, off, &stored_shards) ||
+      !ConsumePod(payload, off, &reserved) || stored_round != round ||
+      stored_shards != num_shards) {
+    return false;
+  }
+  tokens->assign(num_shards, 0);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    if (!ConsumePod(payload, off, &(*tokens)[i])) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 // One client session spanning every shard. `serial_` is the global serial
@@ -105,9 +127,11 @@ ShardedKv::ShardedKv(Options options)
     faster::FasterKv::Options o = options_.base;
     o.dir = root_dir_ + "/shard-" + std::to_string(i);
     if (options_.retain_manifests > 0 && o.retain_checkpoints > 0) {
-      // Failed rounds advance shard generations without advancing manifests;
-      // keep enough shard generations that every retained manifest's token
-      // survives shard-local GC.
+      // Backstop only: every retained manifest's tokens are pinned against
+      // shard-local GC explicitly (PinRetainedManifestTokens), so
+      // correctness does not depend on this count — a wider retain window
+      // merely reduces churn when failed rounds advance shard generations
+      // without advancing manifests.
       o.retain_checkpoints =
           std::max(o.retain_checkpoints, 2 * options_.retain_manifests);
     }
@@ -285,12 +309,20 @@ Status ShardedKv::WaitForCheckpoint(uint64_t round) {
   waiter_cv_.wait(lock, [&] {
     return stop_ || last_finished_round_.load(std::memory_order_acquire) >= round;
   });
-  auto it = round_results_.find(round);
-  if (it != round_results_.end()) return it->second;
-  if (last_completed_round_.load(std::memory_order_acquire) >= round) {
-    return Status::Ok();
+  if (last_finished_round_.load(std::memory_order_acquire) < round) {
+    return Status::IoError("coordinated round did not complete");  // stop_
   }
-  return Status::IoError("coordinated round did not complete");
+  // Rounds finish in order, so the round is done; it succeeded unless it is
+  // a remembered failure. At or below failed_floor_ the outcome has been
+  // forgotten — report failure rather than promise durability that may not
+  // exist.
+  if (failed_rounds_.count(round) != 0) {
+    return Status::IoError("coordinated round failed");
+  }
+  if (failed_floor_ != 0 && round <= failed_floor_) {
+    return Status::IoError("coordinated round outcome no longer tracked");
+  }
+  return Status::Ok();
 }
 
 void ShardedKv::CoordinatorLoop() {
@@ -303,15 +335,16 @@ void ShardedKv::CoordinatorLoop() {
     lock.unlock();
     const bool ok = RunRound(round);
     lock.lock();
-    round_results_[round.round] =
-        ok ? Status::Ok() : Status::IoError("coordinated round failed");
-    while (round_results_.size() > 16) {
-      round_results_.erase(round_results_.begin());
-    }
     if (ok) {
       last_completed_round_.store(round.round, std::memory_order_release);
     } else {
       failures_.fetch_add(1, std::memory_order_acq_rel);
+      failed_rounds_.insert(round.round);
+      constexpr size_t kMaxTrackedFailedRounds = 1024;
+      while (failed_rounds_.size() > kMaxTrackedFailedRounds) {
+        failed_floor_ = std::max(failed_floor_, *failed_rounds_.begin());
+        failed_rounds_.erase(failed_rounds_.begin());
+      }
     }
     last_finished_round_.store(round.round, std::memory_order_release);
     round_active_.store(false, std::memory_order_release);
@@ -398,6 +431,7 @@ bool ShardedKv::BuildAndPublishManifest(uint64_t round,
     manifest_tokens_ = tokens;
   }
   GarbageCollectManifests();
+  PinRetainedManifestTokens();
   return true;
 }
 
@@ -413,6 +447,37 @@ void ShardedKv::GarbageCollectManifests() {
   std::sort(rounds.begin(), rounds.end(), std::greater<uint64_t>());
   for (size_t i = options_.retain_manifests; i < rounds.size(); ++i) {
     std::remove((root_dir_ + "/" + ManifestName(rounds[i])).c_str());
+  }
+}
+
+void ShardedKv::PinRetainedManifestTokens() {
+  // Pin, on every shard, the engine token each retained on-disk manifest
+  // names for it. Shard checkpoint GC then keeps those generations no
+  // matter how many failed rounds advanced the shard past them, so the
+  // recovery walk can always restore any retained manifest. No shard
+  // checkpoint is in flight when this runs (the coordinator publishes only
+  // after every shard's round concluded; Recover runs before sessions
+  // start), so a pin can never arrive after the GC it needed to influence.
+  std::vector<std::string> names;
+  if (!ListDirectory(root_dir_, &names).ok()) return;
+  std::vector<std::set<uint64_t>> pins(num_shards_);
+  for (const std::string& name : names) {
+    uint64_t round = 0;
+    if (!ParseManifestRound(name, &round)) continue;
+    std::vector<char> payload;
+    if (!ReadCheckedBlob(root_dir_ + "/" + name, kManifestMagic, &payload)
+             .ok()) {
+      continue;  // unrecoverable manifest anyway (Recover skips it too)
+    }
+    std::vector<uint64_t> tokens;
+    size_t off = 0;
+    if (!ParseManifestTokens(payload, round, num_shards_, &tokens, &off)) {
+      continue;
+    }
+    for (uint32_t i = 0; i < num_shards_; ++i) pins[i].insert(tokens[i]);
+  }
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    shards_[i]->PinCheckpointTokens(std::move(pins[i]));
   }
 }
 
@@ -447,22 +512,12 @@ Status ShardedKv::Recover() {
       continue;
     }
     size_t off = 0;
-    uint64_t stored_round = 0;
-    uint32_t stored_shards = 0;
-    uint32_t reserved = 0;
-    if (!ConsumePod(payload, &off, &stored_round) ||
-        !ConsumePod(payload, &off, &stored_shards) ||
-        !ConsumePod(payload, &off, &reserved) || stored_round != round ||
-        stored_shards != num_shards_) {
+    std::vector<uint64_t> tokens;
+    if (!ParseManifestTokens(payload, round, num_shards_, &tokens, &off)) {
       continue;
     }
-    std::vector<uint64_t> tokens(num_shards_, 0);
-    bool parsed = true;
-    for (uint32_t i = 0; i < num_shards_ && parsed; ++i) {
-      parsed = ConsumePod(payload, &off, &tokens[i]);
-    }
     uint64_t num_sessions = 0;
-    parsed = parsed && ConsumePod(payload, &off, &num_sessions);
+    bool parsed = ConsumePod(payload, &off, &num_sessions);
     std::map<uint64_t, SessionPoints> recovered;
     for (uint64_t s = 0; s < num_sessions && parsed; ++s) {
       uint64_t guid = 0;
@@ -501,6 +556,7 @@ Status ShardedKv::Recover() {
     }
     last_completed_round_.store(round, std::memory_order_release);
     last_finished_round_.store(round, std::memory_order_release);
+    PinRetainedManifestTokens();
     return Status::Ok();
   }
   return Status::NotFound("no recoverable cross-shard manifest");

@@ -146,6 +146,9 @@ class ShardedKv final : public Backend {
   bool BuildAndPublishManifest(uint64_t round,
                                const std::vector<uint64_t>& tokens);
   void GarbageCollectManifests();
+  // Pins every retained manifest's per-shard tokens against shard-local
+  // checkpoint GC (runs after each publish and after recovery).
+  void PinRetainedManifestTokens();
 
   const Options options_;
   const uint32_t num_shards_;
@@ -170,7 +173,13 @@ class ShardedKv final : public Backend {
   bool round_requested_ = false;
   Round requested_round_;
   uint64_t next_round_ = 1;
-  std::map<uint64_t, Status> round_results_;  // trimmed to recent rounds
+  // Rounds that finished without publishing a manifest. Success is the
+  // common case, so only failures are remembered; when the set is trimmed
+  // (pathological persistent-fault runs) failed_floor_ rises so a stale
+  // waiter on a forgotten round conservatively reports failure instead of
+  // inheriting a later round's success.
+  std::set<uint64_t> failed_rounds_;
+  uint64_t failed_floor_ = 0;
   std::atomic<bool> round_active_{false};
   std::atomic<uint64_t> last_completed_round_{0};
   std::atomic<uint64_t> last_finished_round_{0};

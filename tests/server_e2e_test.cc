@@ -522,5 +522,89 @@ TEST(ServerE2E, ShardedCrashRecoveryDurableClientExactlyOnce) {
   server.Stop();
 }
 
+// Regression: in durable-ack mode the server releases a READ's ack as soon
+// as every earlier update is covered — before any checkpoint covers the
+// read's *own* serial. The client must not treat that ack as proof the
+// read's serial is durable: trimming the read from the replay buffer would
+// make a post-crash replay regenerate every later serial shifted down by
+// one, and a sharded store — which dedups replayed ops per shard by serial
+// identity — could then skip (silently lose) a replayed update whose
+// shifted serial lands at or below a shard's recovered point.
+TEST(ServerE2E, ShardedDurableReadAckDoesNotTrimReplay) {
+  const std::string dir = FreshDir();
+  constexpr uint64_t kKeys = 16;
+  constexpr int kBatch1 = 32;  // durably acknowledged via round 1
+  constexpr int kTail = 32;    // executed after the read; never durable
+
+  auto kv1 = std::make_unique<kv::ShardedKv>(ShardedOptions(dir));
+  auto server1 = std::make_unique<KvServer>(kv1.get(), ServerOptions());
+  ASSERT_TRUE(server1->Start().ok());
+  const uint16_t port = server1->port();
+
+  CprClient::Options copts;
+  copts.ack_mode = net::AckMode::kDurable;
+  copts.recv_timeout_ms = 2'000;
+  copts.port = port;
+  CprClient c(copts);
+  ASSERT_TRUE(c.Connect().ok());
+  const uint64_t guid = c.guid();
+
+  for (int i = 0; i < kBatch1; ++i) c.EnqueueRmw(i % kKeys, 1);
+  c.EnqueueCheckpoint(/*snapshot=*/false, /*include_index=*/true);
+  ASSERT_TRUE(c.Flush().ok());
+  ASSERT_TRUE(c.Drain(nullptr, kBatch1 + 1).ok());
+  EXPECT_EQ(c.durable_serial(), static_cast<uint64_t>(kBatch1));
+  EXPECT_EQ(c.replay_backlog(), 0u);
+
+  // The read draws serial kBatch1+1, above the published global commit
+  // point. Its ack arrives immediately (all earlier updates are covered)
+  // but must leave the replay buffer and the durable point untouched.
+  bool found = false;
+  ReadValue(c, 0, &found);
+  ASSERT_TRUE(found);
+  EXPECT_EQ(c.replay_backlog(), 1u);  // the read itself
+  EXPECT_EQ(c.durable_serial(), static_cast<uint64_t>(kBatch1));
+
+  // Tail updates execute on the shards but no checkpoint ever covers them.
+  for (int i = 0; i < kTail; ++i) c.EnqueueRmw(i % kKeys, 1);
+  ASSERT_TRUE(c.Flush().ok());
+  EXPECT_EQ(c.replay_backlog(), static_cast<size_t>(1 + kTail));
+
+  // Crash: read and tail only ever lived in volatile memory.
+  server1->Stop();
+  server1.reset();
+  kv1.reset();
+
+  kv::ShardedKv kv(ShardedOptions(dir));
+  ASSERT_TRUE(kv.Recover().ok());
+  KvServer server(&kv, ServerOptions(port));
+  ASSERT_TRUE(server.Start().ok());
+
+  ASSERT_TRUE(c.Reconnect().ok());
+  EXPECT_EQ(c.guid(), guid);
+  EXPECT_EQ(c.recovered_serial(), static_cast<uint64_t>(kBatch1));
+  // The replay re-issued the read too, so every tail update regenerated
+  // exactly its pre-crash serial.
+  EXPECT_EQ(c.stats().replayed_ops, static_cast<uint64_t>(1 + kTail));
+  EXPECT_EQ(c.replay_backlog(), 0u);
+
+  // Exactly-once across shards: every tail update re-applied, none skipped.
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    const int64_t v = ReadValue(c, k, &found);
+    ASSERT_TRUE(found) << "key " << k;
+    EXPECT_EQ(v, (kBatch1 + kTail) / static_cast<int>(kKeys)) << "key " << k;
+  }
+
+  // Serial identity, end to end: the replay round's commit point must land
+  // exactly one past the tail (the read kept its slot in the serial space).
+  // A shifted replay would end one serial short.
+  uint64_t point = 0;
+  ASSERT_TRUE(c.CommitPoint(&point).ok());
+  EXPECT_EQ(point, static_cast<uint64_t>(kBatch1 + 1 + kTail));
+
+  c.Close();
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace cpr

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "io/fault_injection.h"
 #include "shard/faster_backend.h"
 #include "shard/sharded_kv.h"
 #include "util/hash.h"
@@ -20,6 +21,24 @@ namespace cpr {
 namespace {
 
 std::string FreshDir() { return cpr::testing::FreshTestDir("cpr_shard"); }
+
+// Installs a fresh injector for the scope and guarantees uninstall even on
+// early ASSERT exits.
+struct InjectorScope {
+  FaultInjector inj;
+  InjectorScope() { FaultInjector::Install(&inj); }
+  ~InjectorScope() { FaultInjector::Install(nullptr); }
+};
+
+// Sticky rule breaking shard 0's persistence: every coordinated round fails
+// (shard 0 cannot checkpoint) while the other shards keep completing theirs.
+FaultRule BrokenShard0() {
+  FaultRule rule;
+  rule.any_op = true;
+  rule.path_substr = "shard-0";
+  rule.sticky = true;
+  return rule;
+}
 
 kv::ShardedKv::Options SmallOptions(const std::string& dir,
                                     uint32_t num_shards = 4) {
@@ -200,6 +219,98 @@ TEST(ShardedKvTest, ManifestRetentionGarbageCollects) {
   }
   EXPECT_EQ(kv.LastCheckpointToken(), 5u);
   EXPECT_EQ(CountManifests(dir), 2u);
+  kv.StopSession(s);
+}
+
+// A failed round must stay failed for a late WaitForCheckpoint caller, even
+// after many later rounds complete. (The per-round result window used to be
+// trimmed to 16 entries, after which a stale waiter on a failed round
+// inherited a later round's success.)
+TEST(ShardedKvTest, StaleFailedRoundStaysFailed) {
+  kv::ShardedKv kv(SmallOptions(FreshDir()));
+  kv::Session* s = kv.StartSession(0);
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(kv.Rmw(*s, 1, 1), faster::OpStatus::kOk);
+  kv.Refresh(*s);
+  ASSERT_TRUE(RunRound(kv, *s, nullptr).ok());
+
+  uint64_t failed_round = 0;
+  {
+    InjectorScope guard;
+    guard.inj.AddRule(BrokenShard0());
+    ASSERT_FALSE(RunRound(kv, *s, &failed_round).ok());
+  }
+  EXPECT_EQ(failed_round, 2u);
+  EXPECT_EQ(kv.CheckpointFailures(), 1u);
+
+  // Push the failed round far outside any bounded result window.
+  for (int r = 0; r < 20; ++r) {
+    ASSERT_EQ(kv.Rmw(*s, 1, 1), faster::OpStatus::kOk);
+    kv.Refresh(*s);
+    ASSERT_TRUE(RunRound(kv, *s, nullptr).ok());
+  }
+  EXPECT_EQ(kv.LastCheckpointToken(), 22u);
+  EXPECT_FALSE(kv.WaitForCheckpoint(failed_round).ok());
+  EXPECT_TRUE(kv.WaitForCheckpoint(1).ok());
+  kv.StopSession(s);
+}
+
+// Failed rounds advance shard checkpoint generations without advancing
+// manifests. Shard-local GC must keep every generation a retained manifest
+// references regardless — the tokens are pinned explicitly — so the
+// recovery walk can always restore the newest complete manifest.
+TEST(ShardedKvTest, RetainedManifestTokensSurviveFailedRoundChurn) {
+  const std::string dir = FreshDir();
+  constexpr uint64_t kGuid = 31337;
+  constexpr uint64_t kKeys = 8;
+  constexpr uint64_t kOps = 40;
+  kv::ShardedKv::Options o = SmallOptions(dir);
+  o.retain_manifests = 2;
+  o.base.retain_checkpoints = 1;  // raised to 2*retain_manifests internally
+  std::vector<uint64_t> manifest_tokens;
+  {
+    kv::ShardedKv kv(o);
+    kv::Session* s = kv.StartSession(kGuid);
+    ASSERT_NE(s, nullptr);
+    for (uint64_t i = 0; i < kOps; ++i) {
+      ASSERT_EQ(kv.Rmw(*s, 1 + (i % kKeys), 1), faster::OpStatus::kOk);
+    }
+    kv.CompletePending(*s, true);
+    kv.Refresh(*s);
+    ASSERT_TRUE(RunRound(kv, *s, nullptr).ok());
+    manifest_tokens = kv.ManifestShardTokens();
+
+    // Shard 0's device breaks: six straight rounds fail, while the healthy
+    // shards complete (and garbage-collect) their own checkpoints each
+    // time — enough churn to push round 1 out of any count-based window.
+    InjectorScope guard;
+    guard.inj.AddRule(BrokenShard0());
+    for (int r = 0; r < 6; ++r) {
+      ASSERT_EQ(kv.Rmw(*s, 1 + (r % kKeys), 1), faster::OpStatus::kOk);
+      kv.Refresh(*s);
+      ASSERT_FALSE(RunRound(kv, *s, nullptr).ok());
+    }
+    EXPECT_EQ(kv.CheckpointFailures(), 6u);
+    kv.StopSession(s);
+  }
+
+  // Round 1 is still the newest complete manifest; every shard's round-1
+  // generation must have survived the churn for recovery to land there.
+  kv::ShardedKv kv(o);
+  ASSERT_TRUE(kv.Recover().ok());
+  EXPECT_EQ(kv.ManifestShardTokens(), manifest_tokens);
+  uint64_t recovered = 0;
+  ASSERT_TRUE(kv.ContinueSession(kGuid, &recovered).ok());
+  EXPECT_EQ(recovered, kOps);
+  kv::Session* s = kv.StartSession(kGuid);
+  ASSERT_NE(s, nullptr);
+  uint64_t total = 0;
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    bool found = false;
+    total += static_cast<uint64_t>(ReadSync(kv, *s, k, &found));
+    ASSERT_TRUE(found) << "key " << k;
+  }
+  EXPECT_EQ(total, kOps);
   kv.StopSession(s);
 }
 
