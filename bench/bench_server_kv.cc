@@ -14,6 +14,10 @@
 // Knobs: CPR_BENCH_WORKERS (4), CPR_BENCH_CLIENTS (4), CPR_BENCH_KEYS
 // (100000), CPR_BENCH_PIPELINE (64), CPR_BENCH_SECONDS (2),
 // CPR_BENCH_SHARDS (1), CPR_BENCH_SCALE.
+//
+// --stats-json=PATH additionally writes a machine-readable summary of every
+// run (throughput, durable-lag percentiles, per-phase checkpoint time) for
+// CI trend tracking.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -26,6 +30,7 @@
 
 #include "bench_common.h"
 #include "client/client.h"
+#include "obs/metrics.h"
 #include "server/server.h"
 #include "shard/faster_backend.h"
 #include "shard/sharded_kv.h"
@@ -41,6 +46,15 @@ struct NetRunResult {
   uint64_t rounds = 0;  // coordinated rounds completed (sharded only)
   ServerCounters::Snapshot counters;
 };
+
+// The registry's phase counters are process-cumulative (all stores, all
+// runs); sampling them around each run turns them into per-run durations.
+uint64_t PhaseCounterNs(int phase) {
+  return obs::MetricsRegistry::Default()
+      .GetCounter(std::string("cpr_faster_checkpoint_phase_ns_total{phase=\"") +
+                  ServerCounters::kCheckpointPhaseNames[phase] + "\"}")
+      ->Value();
+}
 
 NetRunResult RunNet(uint32_t workers, uint32_t clients, uint32_t pipeline,
                     uint64_t keys, double seconds, uint32_t read_pct,
@@ -63,6 +77,9 @@ NetRunResult RunNet(uint32_t workers, uint32_t clients, uint32_t pipeline,
   so.num_workers = workers;
   so.idle_poll_ms = 1;
   so.checkpoint_interval_ms = checkpoint_ms;
+  uint64_t phase_base[4];
+  for (int i = 0; i < 4; ++i) phase_base[i] = PhaseCounterNs(i);
+
   server::KvServer server(backend.get(), so);
   if (!server.Start().ok()) {
     std::fprintf(stderr, "server start failed\n");
@@ -137,6 +154,7 @@ NetRunResult RunNet(uint32_t workers, uint32_t clients, uint32_t pipeline,
   for (uint64_t p : peaks) r.max_inflight = std::max(r.max_inflight, p);
   r.ops_per_sec = static_cast<double>(r.total_ops) / seconds;
   r.counters = server.counters();
+  for (int i = 0; i < 4; ++i) r.counters.checkpoint_phase_ns[i] -= phase_base[i];
   if (shards > 1) {
     for (uint32_t i = 0; i < backend->num_shards(); ++i) {
       r.shard_ops.push_back(backend->ShardOpCount(i));
@@ -183,9 +201,69 @@ void PrintResult(const char* label, const NetRunResult& r, double seconds) {
     }
     std::printf("]\n");
   }
+  if (c.checkpoints > 0) {
+    std::printf("    ckpt phases:");
+    for (int i = 0; i < 4; ++i) {
+      std::printf(" %s=%.1fms", ServerCounters::kCheckpointPhaseNames[i],
+                  static_cast<double>(c.checkpoint_phase_ns[i]) / 1e6);
+    }
+    std::printf("\n");
+  }
 }
 
-void Run(uint32_t shards) {
+void WriteStatsJson(const char* path, uint32_t shards, uint32_t workers,
+                    uint32_t clients, uint32_t pipeline, double seconds,
+                    const std::vector<std::pair<std::string, NetRunResult>>&
+                        runs) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"server_kv\",\n  \"shards\": %u,\n"
+               "  \"workers\": %u,\n  \"clients\": %u,\n  \"pipeline\": %u,\n"
+               "  \"seconds\": %.3f,\n  \"runs\": [",
+               shards, workers, clients, pipeline, seconds);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const NetRunResult& r = runs[i].second;
+    const auto& c = r.counters;
+    std::fprintf(
+        f,
+        "%s\n    {\n      \"label\": \"%s\",\n"
+        "      \"ops_per_sec\": %.1f,\n      \"total_ops\": %llu,\n"
+        "      \"checkpoints\": %llu,\n      \"checkpoint_failures\": %llu,\n"
+        "      \"not_durable_acks\": %llu,\n"
+        "      \"not_durable_engine\": %llu,\n"
+        "      \"not_durable_degraded\": %llu,\n"
+        "      \"shard_rounds\": %llu,\n"
+        "      \"durable_lag_ns\": {\"p50\": %llu, \"p99\": %llu, "
+        "\"max\": %llu},\n"
+        "      \"checkpoint_phase_ns\": {",
+        i == 0 ? "" : ",", runs[i].first.c_str(), r.ops_per_sec,
+        static_cast<unsigned long long>(r.total_ops),
+        static_cast<unsigned long long>(c.checkpoints),
+        static_cast<unsigned long long>(c.checkpoint_failures),
+        static_cast<unsigned long long>(c.not_durable_acks),
+        static_cast<unsigned long long>(c.not_durable_engine),
+        static_cast<unsigned long long>(c.not_durable_degraded),
+        static_cast<unsigned long long>(r.rounds),
+        static_cast<unsigned long long>(c.durable_lag.QuantileNs(0.5)),
+        static_cast<unsigned long long>(c.durable_lag.QuantileNs(0.99)),
+        static_cast<unsigned long long>(c.durable_lag_max_ns));
+    for (int p = 0; p < 4; ++p) {
+      std::fprintf(f, "%s\"%s\": %llu", p == 0 ? "" : ", ",
+                   ServerCounters::kCheckpointPhaseNames[p],
+                   static_cast<unsigned long long>(c.checkpoint_phase_ns[p]));
+    }
+    std::fprintf(f, "}\n    }");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("  stats json -> %s\n", path);
+}
+
+void Run(uint32_t shards, const char* stats_json) {
   const double scale = EnvF64("CPR_BENCH_SCALE", 1.0);
   const double seconds = EnvF64("CPR_BENCH_SECONDS", 2.0) * scale;
   const uint64_t keys = EnvU64("CPR_BENCH_KEYS", 100'000);
@@ -204,6 +282,7 @@ void Run(uint32_t shards) {
                             std::to_string(clients) +
                             " pipelining clients (depth " +
                             std::to_string(pipeline) + ")");
+  std::vector<std::pair<std::string, NetRunResult>> labeled;
   {
     const NetRunResult r = RunNet(workers, clients, pipeline, keys, seconds,
                                   /*read_pct=*/50, /*durable=*/false,
@@ -212,12 +291,14 @@ void Run(uint32_t shards) {
     if (r.ops_per_sec < 100'000) {
       std::printf("    WARNING: below the 100 kops/s acceptance bar\n");
     }
+    labeled.emplace_back("50:50 executed-ack", r);
   }
   {
     const NetRunResult r = RunNet(workers, clients, pipeline, keys, seconds,
                                   /*read_pct=*/0, /*durable=*/false,
                                   /*checkpoint_ms=*/0, shards);
     PrintResult("0:100 executed-ack", r, seconds);
+    labeled.emplace_back("0:100 executed-ack", r);
   }
   {
     // Durable acks: responses only flow when a periodic checkpoint covers
@@ -228,6 +309,11 @@ void Run(uint32_t shards) {
                                   /*read_pct=*/0, /*durable=*/true,
                                   /*checkpoint_ms=*/100, shards);
     PrintResult("0:100 durable-ack", r, seconds);
+    labeled.emplace_back("0:100 durable-ack", r);
+  }
+  if (stats_json != nullptr) {
+    WriteStatsJson(stats_json, shards, workers, clients, pipeline, seconds,
+                   labeled);
   }
 }
 
@@ -237,12 +323,15 @@ void Run(uint32_t shards) {
 int main(int argc, char** argv) {
   uint32_t shards =
       static_cast<uint32_t>(cpr::bench::EnvU64("CPR_BENCH_SHARDS", 1));
+  const char* stats_json = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       const long v = std::atol(argv[i] + 9);
       if (v >= 1) shards = static_cast<uint32_t>(v);
+    } else if (std::strncmp(argv[i], "--stats-json=", 13) == 0) {
+      stats_json = argv[i] + 13;
     }
   }
-  cpr::bench::Run(shards);
+  cpr::bench::Run(shards, stats_json);
   return 0;
 }

@@ -32,6 +32,10 @@ void Usage(const char* argv0) {
       "  del K        delete key K\n"
       "  ckpt         request a CPR checkpoint, wait until durable\n"
       "  point        query this session's durable commit point\n"
+      "  stats        scrape the server's metrics (Prometheus text)\n"
+      "  trace [F]    fetch the checkpoint lifecycle trace (Chrome\n"
+      "               trace_event JSON) to stdout, or to file F — open\n"
+      "               it in Perfetto (ui.perfetto.dev)\n"
       "  info         print guid / serials / replay backlog\n"
       "  quit         exit the REPL\n",
       argv0);
@@ -87,6 +91,28 @@ int Exec(cpr::client::CprClient& c, const std::vector<std::string>& cmd) {
     if (!s.ok()) return fail(s);
     std::printf("commit_point=%llu\n",
                 static_cast<unsigned long long>(commit));
+  } else if (op == "stats" && cmd.size() == 1) {
+    std::string text;
+    const cpr::Status s = c.ServerStats(&text);
+    if (!s.ok()) return fail(s);
+    std::fputs(text.c_str(), stdout);
+  } else if (op == "trace" && cmd.size() <= 2) {
+    std::string json;
+    const cpr::Status s = c.ServerTrace(&json);
+    if (!s.ok()) return fail(s);
+    if (cmd.size() == 2) {
+      std::FILE* f = std::fopen(cmd[1].c_str(), "w");
+      if (f == nullptr) {
+        std::printf("error: cannot open %s\n", cmd[1].c_str());
+        return 1;
+      }
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("wrote %zu bytes to %s\n", json.size(), cmd[1].c_str());
+    } else {
+      std::fwrite(json.data(), 1, json.size(), stdout);
+      std::fputc('\n', stdout);
+    }
   } else if (op == "info") {
     std::printf("guid=%llu recovered_serial=%llu durable_serial=%llu "
                 "replay_backlog=%zu\n",

@@ -299,6 +299,14 @@ void CprClient::EnqueueCommitPoint() {
   EnqueueRequest(req);
 }
 
+void CprClient::EnqueueStats(net::StatsKind kind) {
+  net::Request req;
+  req.op = net::Op::kStats;
+  req.seq = next_seq_++;
+  req.stats_kind = kind;
+  EnqueueRequest(req);
+}
+
 Status CprClient::SendAll(const char* data, size_t size) {
   size_t off = 0;
   while (off < size) {
@@ -391,6 +399,7 @@ Status CprClient::ProcessResponse(net::Response resp,
     r.token = resp.token;
     r.commit_serial = resp.commit_serial;
     r.value = std::move(resp.value);
+    r.stats = std::move(resp.stats);
     out->push_back(std::move(r));
   }
   return Status::Ok();
@@ -575,6 +584,32 @@ Status CprClient::CommitPoint(uint64_t* commit_serial) {
   const Result& r = results.front();
   if (r.status != net::WireStatus::kOk) return AsStatus(r);
   *commit_serial = r.commit_serial;
+  return Status::Ok();
+}
+
+Status CprClient::ServerStats(std::string* text) {
+  EnqueueStats(net::StatsKind::kMetricsText);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  std::vector<Result> results;
+  s = Drain(&results, 1);
+  if (!s.ok()) return s;
+  const Result& r = results.front();
+  if (r.status != net::WireStatus::kOk) return AsStatus(r);
+  text->assign(r.stats.begin(), r.stats.end());
+  return Status::Ok();
+}
+
+Status CprClient::ServerTrace(std::string* json) {
+  EnqueueStats(net::StatsKind::kTraceJson);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  std::vector<Result> results;
+  s = Drain(&results, 1);
+  if (!s.ok()) return s;
+  const Result& r = results.front();
+  if (r.status != net::WireStatus::kOk) return AsStatus(r);
+  json->assign(r.stats.begin(), r.stats.end());
   return Status::Ok();
 }
 

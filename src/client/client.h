@@ -67,6 +67,7 @@ class CprClient {
     uint64_t token = 0;          // CHECKPOINT
     uint64_t commit_serial = 0;  // CHECKPOINT / COMMIT_POINT
     std::vector<char> value;     // READ
+    std::vector<char> stats;     // STATS
   };
 
   explicit CprClient(Options options);
@@ -103,6 +104,7 @@ class CprClient {
   void EnqueueDelete(uint64_t key);
   void EnqueueCheckpoint(bool snapshot = false, bool include_index = false);
   void EnqueueCommitPoint();
+  void EnqueueStats(net::StatsKind kind = net::StatsKind::kMetricsText);
 
   // Writes all queued frames to the socket.
   Status Flush();
@@ -128,6 +130,12 @@ class CprClient {
   Status Checkpoint(uint64_t* token = nullptr, uint64_t* commit_serial = nullptr,
                     bool snapshot = false, bool include_index = false);
   Status CommitPoint(uint64_t* commit_serial);
+  // Scrapes the server's metrics text exposition (Prometheus style). Works
+  // before HELLO — monitoring needs no session.
+  Status ServerStats(std::string* text);
+  // Fetches the server's checkpoint lifecycle trace (Chrome trace_event
+  // JSON; open in Perfetto).
+  Status ServerTrace(std::string* json);
 
  private:
   struct InFlight {

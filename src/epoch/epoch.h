@@ -117,6 +117,24 @@ class EpochFramework {
     return drain_count_.load(std::memory_order_acquire);
   }
 
+  // One consistent-enough view of the table for observability collectors:
+  // epoch lag (current - safe) is the headline "how far behind is the
+  // slowest session" signal; drain depth is the trigger-action backlog.
+  struct Metrics {
+    uint64_t current_epoch = 0;
+    uint64_t safe_epoch = 0;
+    uint32_t protected_threads = 0;
+    uint32_t pending_actions = 0;
+  };
+  Metrics MetricsSample() const {
+    Metrics m;
+    m.current_epoch = current_epoch();
+    m.safe_epoch = safe_epoch();
+    m.protected_threads = ProtectedThreadCount();
+    m.pending_actions = PendingActionCount();
+    return m;
+  }
+
  private:
   struct alignas(kCacheLineBytes) Entry {
     // kUnprotectedEpoch when the slot is free.

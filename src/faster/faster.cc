@@ -85,12 +85,30 @@ bool ConsumePod(const std::vector<char>& buf, size_t* off, T* out) {
 
 }  // namespace
 
+namespace {
+
+obs::Counter* PhaseNs(const char* phase) {
+  return obs::MetricsRegistry::Default().GetCounter(
+      std::string("cpr_faster_checkpoint_phase_ns_total{phase=\"") + phase +
+      "\"}");
+}
+
+}  // namespace
+
 FasterKv::FasterKv(Options options)
     : options_(std::move(options)),
       epoch_(256),
       io_(options_.io_threads),
       record_size_(Record::SizeWithValue(options_.value_size)),
-      state_(SystemState::Pack(Phase::kRest, 1)) {
+      state_(SystemState::Pack(Phase::kRest, 1)),
+      phase_prepare_ns_(PhaseNs("prepare")),
+      phase_in_progress_ns_(PhaseNs("in_progress")),
+      phase_wait_pending_ns_(PhaseNs("wait_pending")),
+      phase_wait_flush_ns_(PhaseNs("wait_flush")),
+      ckpts_started_total_(obs::MetricsRegistry::Default().GetCounter(
+          "cpr_faster_checkpoints_started_total")),
+      ckpt_failures_total_(obs::MetricsRegistry::Default().GetCounter(
+          "cpr_faster_checkpoint_failures_total")) {
   CreateDirectories(options_.dir);
   index_ = std::make_unique<HashIndex>(options_.index_buckets);
   bucket_latches_.reset(new SharedLatch[index_->num_buckets()]);
@@ -103,9 +121,41 @@ FasterKv::FasterKv(Options options)
   hlog_ = std::make_unique<HybridLog>(cfg, &epoch_, &io_);
   pending_count_[0].store(0);
   pending_count_[1].store(0);
+
+  // Per-store epoch-table lag collector (removed before `this` dies). The
+  // label distinguishes instances (shards) in one process.
+  static std::atomic<uint64_t> next_store_id{0};
+  const std::string store =
+      "{store=\"" + std::to_string(next_store_id.fetch_add(1)) + "\"}";
+  epoch_collector_id_ = obs::MetricsRegistry::Default().AddCollector(
+      [this, store](const obs::MetricsRegistry::EmitFn& emit) {
+        const EpochFramework::Metrics m = epoch_.MetricsSample();
+        emit("cpr_epoch_current" + store, static_cast<double>(m.current_epoch));
+        emit("cpr_epoch_safe" + store, static_cast<double>(m.safe_epoch));
+        emit("cpr_epoch_lag" + store,
+             static_cast<double>(m.current_epoch - m.safe_epoch));
+        emit("cpr_epoch_protected_sessions" + store,
+             static_cast<double>(m.protected_threads));
+        emit("cpr_epoch_drain_pending" + store,
+             static_cast<double>(m.pending_actions));
+      });
 }
 
-FasterKv::~FasterKv() { io_.Drain(); }
+FasterKv::~FasterKv() {
+  obs::MetricsRegistry::Default().RemoveCollector(epoch_collector_id_);
+  io_.Drain();
+}
+
+void FasterKv::ClosePhaseSpan(const char* phase_name, obs::Counter* phase_ns,
+                              uint64_t now) {
+  const uint64_t start = phase_start_ns_.exchange(now,
+                                                  std::memory_order_relaxed);
+  if (start == 0 || now <= start) return;
+  phase_ns->Add(now - start);
+  obs::Tracer::Default().Record(
+      "faster", phase_name, start, now,
+      trace_token_.load(std::memory_order_relaxed));
+}
 
 // -- Sessions -------------------------------------------------------------
 
@@ -708,6 +758,7 @@ void FasterKv::TickStateMachine() {
 void FasterKv::EnterWaitFlush(uint64_t expected_state) {
   std::lock_guard<std::mutex> lock(ckpt_mu_);
   if (state_.load(std::memory_order_acquire) != expected_state) return;
+  ClosePhaseSpan("wait_pending", phase_wait_pending_ns_, NowNanos());
   const uint32_t v = SystemState::VersionOf(expected_state);
   if (ckpt_.variant == CommitVariant::kFoldOver) {
     // All unflushed v-records fold into the read-only region and flush via
@@ -724,7 +775,10 @@ void FasterKv::EnterWaitFlush(uint64_t expected_state) {
     const Address to = ckpt_.lhe;
     const std::string path = SnapshotPath(options_.dir, ckpt_.token);
     const bool sync = options_.sync_to_disk;
-    io_.Submit([this, from, to, path, sync] {
+    const uint64_t trace_id = ckpt_.token;
+    io_.Submit([this, from, to, path, sync, trace_id] {
+      obs::ScopedSpan span(obs::Tracer::Default(), "faster", "snapshot_flush",
+                           trace_id);
       std::vector<char> buf(to - from);
       const uint64_t page_size = hlog_->page_size();
       Address a = from;
@@ -767,6 +821,8 @@ void FasterKv::FinalizeCheckpoint(uint64_t expected_state) {
   {
     std::lock_guard<std::mutex> lock(ckpt_mu_);
     if (state_.load(std::memory_order_acquire) != expected_state) return;
+    ClosePhaseSpan("wait_flush", phase_wait_flush_ns_, NowNanos());
+    phase_start_ns_.store(0, std::memory_order_relaxed);  // round over
     const uint32_t v = SystemState::VersionOf(expected_state);
     ckpt_.points = CollectCommitPoints();
     ckpt_.flushed = ckpt_.variant == CommitVariant::kFoldOver
@@ -801,6 +857,7 @@ void FasterKv::FinalizeCheckpoint(uint64_t expected_state) {
       // version still shifts — the in-memory store moved to v+1 and the next
       // checkpoint captures everything since the last durable one.
       checkpoint_failures_.fetch_add(1, std::memory_order_acq_rel);
+      ckpt_failures_total_->Add(1);
     }
     last_finished_token_.store(token, std::memory_order_release);
     state_.store(SystemState::Pack(Phase::kRest, v + 1),
@@ -831,6 +888,9 @@ bool FasterKv::Checkpoint(CommitVariant variant, bool include_index,
     ckpt_.lhs = hlog_->tail();
     ckpt_.begin = hlog_->begin_address();
     ckpt_callback_ = std::move(callback);
+    trace_token_.store(ckpt_.token, std::memory_order_relaxed);
+    phase_start_ns_.store(ckpt_.token, std::memory_order_relaxed);
+    ckpts_started_total_->Add(1);
     snapshot_done_.store(false, std::memory_order_release);
     snapshot_failed_.store(false, std::memory_order_release);
     index_failed_.store(false, std::memory_order_release);
@@ -852,12 +912,14 @@ bool FasterKv::Checkpoint(CommitVariant variant, bool include_index,
   epoch_.BumpEpoch([this] {
     // All sessions are in prepare (and hold latches for their pendings).
     const uint64_t s1 = state_.load(std::memory_order_acquire);
+    ClosePhaseSpan("prepare", phase_prepare_ns_, NowNanos());
     state_.store(
         SystemState::Pack(Phase::kInProgress, SystemState::VersionOf(s1)),
         std::memory_order_release);
     epoch_.BumpEpoch([this] {
       // All sessions crossed their CPR points.
       const uint64_t s2 = state_.load(std::memory_order_acquire);
+      ClosePhaseSpan("in_progress", phase_in_progress_ns_, NowNanos());
       state_.store(
           SystemState::Pack(Phase::kWaitPending, SystemState::VersionOf(s2)),
           std::memory_order_release);
@@ -880,6 +942,8 @@ bool FasterKv::DoIndexCheckpoint(uint64_t* token_out) {
   const uint64_t num_buckets = index_->num_buckets();
   const bool sync = options_.sync_to_disk;
   io_.Submit([this, image, li, token, path, num_buckets, num_overflow, sync] {
+    obs::ScopedSpan span(obs::Tracer::Default(), "faster", "index_flush",
+                         token);
     std::vector<char> payload;
     payload.reserve(sizeof(Address) + 2 * sizeof(uint64_t) + image->size());
     AppendPod(payload, li);

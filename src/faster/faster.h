@@ -18,6 +18,8 @@
 #include "faster/hybrid_log.h"
 #include "faster/record.h"
 #include "io/io_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/latch.h"
 #include "util/status.h"
 
@@ -352,6 +354,12 @@ class FasterKv {
   // exponential backoff; returns the last status.
   Status RetryIo(const std::function<Status()>& attempt);
 
+  // Closes the in-flight checkpoint's current phase at `now`: emits a
+  // complete tracer span (cat "faster", id = checkpoint token), adds the
+  // duration to the per-phase ns counter, and restarts the phase clock.
+  void ClosePhaseSpan(const char* phase_name, obs::Counter* phase_ns,
+                      uint64_t now);
+
   Options options_;
   EpochFramework epoch_;
   IoPool io_;
@@ -397,6 +405,21 @@ class FasterKv {
   std::vector<SessionCommitPoint> parted_points_;
   std::map<uint64_t, uint64_t> recovered_points_;
   std::atomic<uint64_t> next_guid_{1};
+
+  // Observability. Phase transitions record spans into the process tracer
+  // and fold the duration into shared per-phase counters (same handle
+  // across instances, so shards aggregate). The phase clock is only written
+  // by whichever thread drives a transition; transitions are already
+  // serialized by the state machine, so relaxed atomics suffice.
+  std::atomic<uint64_t> phase_start_ns_{0};
+  std::atomic<uint64_t> trace_token_{0};
+  obs::Counter* const phase_prepare_ns_;
+  obs::Counter* const phase_in_progress_ns_;
+  obs::Counter* const phase_wait_pending_ns_;
+  obs::Counter* const phase_wait_flush_ns_;
+  obs::Counter* const ckpts_started_total_;
+  obs::Counter* const ckpt_failures_total_;
+  uint64_t epoch_collector_id_ = 0;  // this store's epoch-table collector
 };
 
 }  // namespace cpr::faster

@@ -1,5 +1,7 @@
 #include "io/io_pool.h"
 
+#include "util/clock.h"
+
 namespace cpr {
 
 IoPool::IoPool(uint32_t num_threads) {
@@ -24,6 +26,7 @@ void IoPool::Submit(std::function<void()> job) {
     queue_.push_back(std::move(job));
     ++submitted_;
   }
+  queue_depth_->Add(1);
   cv_.notify_one();
 }
 
@@ -43,7 +46,11 @@ void IoPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
+    const uint64_t start_ns = NowNanos();
     job();
+    job_ns_->Record(NowNanos() - start_ns);
+    jobs_total_->Add(1);
+    queue_depth_->Add(-1);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

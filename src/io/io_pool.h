@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace cpr {
 
 // Background worker pool standing in for the asynchronous I/O facilities the
@@ -47,6 +49,17 @@ class IoPool {
   bool stop_ = false;  // guarded by mu_
   uint32_t in_flight_ = 0;  // guarded by mu_
   std::vector<std::thread> threads_;
+
+  // Aggregate flush-path instrumentation shared by every pool in the
+  // process: queue depth counts jobs submitted-but-unfinished, the
+  // histogram is per-job wall time (a slow checkpoint flush shows up here
+  // long before it shows up as a durable-ack stall at the server).
+  obs::Gauge* const queue_depth_ = obs::MetricsRegistry::Default().GetGauge(
+      "cpr_io_queue_depth");
+  obs::Counter* const jobs_total_ =
+      obs::MetricsRegistry::Default().GetCounter("cpr_io_jobs_total");
+  obs::HistogramMetric* const job_ns_ =
+      obs::MetricsRegistry::Default().GetHistogram("cpr_io_job_ns");
 };
 
 }  // namespace cpr

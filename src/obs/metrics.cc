@@ -1,0 +1,198 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+
+namespace cpr::obs {
+
+uint32_t ThisThreadSlot() {
+  // Hash of the thread id, computed once per thread. Collisions just share a
+  // slot (the atomics stay correct, only cache locality degrades).
+  static thread_local const uint32_t slot = [] {
+    const size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return static_cast<uint32_t>(h % kMetricSlots);
+  }();
+  return slot;
+}
+
+MetricsRegistry::MetricsRegistry()
+    : entries_(new Entry[kMaxMetrics]),
+      overflow_counter_(new Counter()),
+      overflow_gauge_(new Gauge()),
+      overflow_histogram_(new HistogramMetric()) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::Default() {
+  // Leaked on purpose: handles cached by long-lived objects (and static
+  // destructors that still record) must never dangle. Reachable through the
+  // static pointer, so leak checkers stay quiet.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+uint32_t MetricsRegistry::FindOrCreate(const std::string& name,
+                                       MetricKind kind) {
+  std::lock_guard<std::mutex> lock(register_mu_);
+  const uint32_t n = size_.load(std::memory_order_acquire);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (entries_[i].kind == kind && entries_[i].name == name) return i;
+  }
+  if (n >= kMaxMetrics) return kMaxMetrics;  // overflow sentinel
+  Entry& e = entries_[n];
+  e.name = name;
+  e.kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      e.counter.reset(new Counter());
+      break;
+    case MetricKind::kGauge:
+      e.gauge.reset(new Gauge());
+      break;
+    case MetricKind::kHistogram:
+      e.histogram.reset(new HistogramMetric());
+      break;
+  }
+  // Publish only after the entry is fully built: snapshotters iterating
+  // [0, size_) never observe a half-constructed entry.
+  size_.store(n + 1, std::memory_order_release);
+  return n;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  const uint32_t i = FindOrCreate(name, MetricKind::kCounter);
+  return i == kMaxMetrics ? overflow_counter_.get() : entries_[i].counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  const uint32_t i = FindOrCreate(name, MetricKind::kGauge);
+  return i == kMaxMetrics ? overflow_gauge_.get() : entries_[i].gauge.get();
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name) {
+  const uint32_t i = FindOrCreate(name, MetricKind::kHistogram);
+  return i == kMaxMetrics ? overflow_histogram_.get()
+                          : entries_[i].histogram.get();
+}
+
+uint64_t MetricsRegistry::AddCollector(CollectorFn fn) {
+  std::lock_guard<std::mutex> lock(collectors_mu_);
+  const uint64_t id = next_collector_id_++;
+  collectors_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void MetricsRegistry::RemoveCollector(uint64_t id) {
+  std::lock_guard<std::mutex> lock(collectors_mu_);
+  collectors_.erase(
+      std::remove_if(collectors_.begin(), collectors_.end(),
+                     [id](const auto& p) { return p.first == id; }),
+      collectors_.end());
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSample> out;
+  const uint32_t n = size_.load(std::memory_order_acquire);
+  out.reserve(n + 16);
+  for (uint32_t i = 0; i < n; ++i) {
+    const Entry& e = entries_[i];
+    MetricSample s;
+    s.name = e.name;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        s.value = static_cast<double>(e.counter->Value());
+        break;
+      case MetricKind::kGauge:
+        s.value = static_cast<double>(e.gauge->Value());
+        break;
+      case MetricKind::kHistogram:
+        s.hist = e.histogram->Sample();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  {
+    std::lock_guard<std::mutex> lock(collectors_mu_);
+    for (const auto& [id, fn] : collectors_) {
+      fn([&out](const std::string& name, double value) {
+        MetricSample s;
+        s.name = name;
+        s.kind = MetricKind::kGauge;
+        s.value = value;
+        out.push_back(std::move(s));
+      });
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// `name{a="b"}` + extra label -> `name{a="b",q="0.5"}`; `name` -> `name{...}`.
+std::string WithLabel(const std::string& name, const char* label,
+                      const std::string& value) {
+  const std::string kv = std::string(label) + "=\"" + value + "\"";
+  if (!name.empty() && name.back() == '}') {
+    return name.substr(0, name.size() - 1) + "," + kv + "}";
+  }
+  return name + "{" + kv + "}";
+}
+
+std::string BaseName(const std::string& name) {
+  const size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+void AppendValue(std::string* out, double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderText() const {
+  const std::vector<MetricSample> samples = Snapshot();
+  std::string out;
+  out.reserve(samples.size() * 48);
+  std::string last_typed;  // suppress repeated # TYPE for one family
+  for (const MetricSample& s : samples) {
+    const std::string base = BaseName(s.name);
+    const char* type = s.kind == MetricKind::kCounter  ? "counter"
+                       : s.kind == MetricKind::kGauge  ? "gauge"
+                                                       : "summary";
+    if (base != last_typed) {
+      out += "# TYPE " + base + " " + type + "\n";
+      last_typed = base;
+    }
+    if (s.kind == MetricKind::kHistogram) {
+      out += base + "_count ";
+      AppendValue(&out, static_cast<double>(s.hist.count));
+      out += "\n" + base + "_sum ";
+      AppendValue(&out, static_cast<double>(s.hist.sum));
+      out += "\n";
+      for (const double q : {0.5, 0.99, 1.0}) {
+        out += WithLabel(s.name, "quantile", q == 1.0   ? "1"
+                                             : q == 0.5 ? "0.5"
+                                                        : "0.99");
+        out += " ";
+        AppendValue(&out, static_cast<double>(s.hist.Quantile(q)));
+        out += "\n";
+      }
+    } else {
+      out += s.name + " ";
+      AppendValue(&out, s.value);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace cpr::obs

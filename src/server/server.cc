@@ -188,6 +188,22 @@ KvServer::KvServer(faster::FasterKv* kv, KvServerOptions options)
 
 KvServer::~KvServer() { Stop(); }
 
+ServerCounters::Snapshot KvServer::counters() const {
+  ServerCounters::Snapshot s = counters_.Sample();
+  // Same shared handles FasterKv adds into, so this aggregates across
+  // shards; GetCounter is a cold-path name lookup.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  for (int i = 0; i < 4; ++i) {
+    s.checkpoint_phase_ns[i] =
+        registry
+            .GetCounter(std::string(
+                            "cpr_faster_checkpoint_phase_ns_total{phase=\"") +
+                        ServerCounters::kCheckpointPhaseNames[i] + "\"}")
+            ->Value();
+  }
+  return s;
+}
+
 Status KvServer::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return Status::InvalidArgument("server already running");
@@ -245,12 +261,53 @@ Status KvServer::Start() {
   }
   acceptor_ = std::thread([this] { AcceptLoop(); });
   last_periodic_ckpt_ns_ = NowNanos();
+
+  // Absorb ServerCounters into the unified registry: the hot paths keep
+  // recording into the relaxed atomics; STATS scrapes pull from here.
+  obs_collector_id_ = obs::MetricsRegistry::Default().AddCollector(
+      [this](const obs::MetricsRegistry::EmitFn& emit) {
+        const ServerCounters::Snapshot s = counters_.Sample();
+        emit("cpr_server_connections_accepted_total",
+             static_cast<double>(s.connections_accepted));
+        emit("cpr_server_connections_active",
+             static_cast<double>(s.connections_active));
+        emit("cpr_server_requests_total", static_cast<double>(s.requests));
+        emit("cpr_server_responses_total", static_cast<double>(s.responses));
+        emit("cpr_server_bytes_in_total", static_cast<double>(s.bytes_in));
+        emit("cpr_server_bytes_out_total", static_cast<double>(s.bytes_out));
+        emit("cpr_server_ops_pending_total",
+             static_cast<double>(s.ops_pending));
+        emit("cpr_server_durable_held_total",
+             static_cast<double>(s.durable_held));
+        emit("cpr_server_checkpoints_total",
+             static_cast<double>(s.checkpoints));
+        emit("cpr_server_checkpoint_stalls_total",
+             static_cast<double>(s.checkpoint_stalls));
+        emit("cpr_server_checkpoint_failures_total",
+             static_cast<double>(s.checkpoint_failures));
+        emit("cpr_server_not_durable_acks_total",
+             static_cast<double>(s.not_durable_acks));
+        emit("cpr_server_not_durable_acks_engine_total",
+             static_cast<double>(s.not_durable_engine));
+        emit("cpr_server_not_durable_acks_degraded_total",
+             static_cast<double>(s.not_durable_degraded));
+        emit("cpr_server_protocol_errors_total",
+             static_cast<double>(s.protocol_errors));
+        emit("cpr_server_durable_lag_p50_ns",
+             static_cast<double>(s.durable_lag.QuantileNs(0.5)));
+        emit("cpr_server_durable_lag_p99_ns",
+             static_cast<double>(s.durable_lag.QuantileNs(0.99)));
+        emit("cpr_server_durable_lag_max_ns",
+             static_cast<double>(s.durable_lag_max_ns));
+      });
+
   running_.store(true, std::memory_order_release);
   return Status::Ok();
 }
 
 void KvServer::Stop() {
   if (!running_.load(std::memory_order_acquire)) return;
+  obs::MetricsRegistry::Default().RemoveCollector(obs_collector_id_);
   stop_.store(true, std::memory_order_release);
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
@@ -468,10 +525,39 @@ void KvServer::HandleRequest(Connection* c, const net::Request& req) {
     case net::Op::kCommitPoint:
       HandleCommitPoint(c, req);
       return;
+    case net::Op::kStats:
+      HandleStats(c, req);
+      return;
     default:
       HandleDataOp(c, req);
       return;
   }
+}
+
+void KvServer::HandleStats(Connection* c, const net::Request& req) {
+  // Monitoring path: no session required, never gated on durability.
+  PendingResponse entry;
+  entry.ready = true;
+  entry.resp.op = net::Op::kStats;
+  entry.resp.seq = req.seq;
+  entry.resp.status = net::WireStatus::kOk;
+  std::string text;
+  if (req.stats_kind == net::StatsKind::kMetricsText) {
+    text = obs::MetricsRegistry::Default().RenderText();
+  } else {
+    // Export already prefers the newest spans under a budget safely below
+    // the frame cap.
+    text = obs::Tracer::Default().ExportChromeTrace();
+  }
+  // Response header (18 bytes) + payload must fit one frame. The metrics
+  // text is the only unbounded input: truncate at a line boundary.
+  constexpr size_t kStatsBytesCap = net::kMaxFrameBytes - 64;
+  if (text.size() > kStatsBytesCap) {
+    const size_t cut = text.rfind('\n', kStatsBytesCap);
+    text.resize(cut == std::string::npos ? kStatsBytesCap : cut + 1);
+  }
+  entry.resp.stats.assign(text.begin(), text.end());
+  c->queue.push_back(std::move(entry));
 }
 
 void KvServer::HandleHello(Connection* c, const net::Request& req) {
@@ -691,6 +777,14 @@ void KvServer::ReleaseResponses(Connection* c) {
       if (failures <= e.failures_at_enqueue) break;
       e.resp.status = net::WireStatus::kNotDurable;
       counters_.not_durable_acks.fetch_add(1, std::memory_order_relaxed);
+      // Attribute the degradation: behind a sharded backend a failed
+      // *coordinated round* withheld the manifest (some shard failed);
+      // behind a single store the engine checkpoint itself failed.
+      if (kv_->num_shards() > 1) {
+        counters_.not_durable_degraded.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        counters_.not_durable_engine.fetch_add(1, std::memory_order_relaxed);
+      }
     } else if (e.durable_gate != 0) {
       counters_.RecordDurableLag(NowNanos() - e.enqueue_ns);
     }

@@ -83,7 +83,9 @@ class KvServer {
 
   uint16_t port() const { return port_; }
   bool running() const { return running_.load(std::memory_order_acquire); }
-  ServerCounters::Snapshot counters() const { return counters_.Sample(); }
+  // Plain-struct snapshot, with checkpoint_phase_ns filled in from the
+  // metrics registry (cumulative engine phase time across all stores).
+  ServerCounters::Snapshot counters() const;
 
  private:
   struct PendingResponse;
@@ -100,6 +102,7 @@ class KvServer {
   void HandleDataOp(Connection* c, const net::Request& req);
   void HandleCheckpoint(Connection* c, const net::Request& req);
   void HandleCommitPoint(Connection* c, const net::Request& req);
+  void HandleStats(Connection* c, const net::Request& req);
   void OnAsyncComplete(Connection* c, const faster::AsyncResult& r);
   void ReleaseResponses(Connection* c);
   void FlushOut(Worker& w, Connection* c);
@@ -138,6 +141,10 @@ class KvServer {
   std::vector<kv::Session*> draining_;
 
   uint64_t last_periodic_ckpt_ns_ = 0;  // worker 0 only
+
+  // Metrics-registry collector exposing ServerCounters (registered in
+  // Start(), removed in Stop() — the emitting struct outlives both).
+  uint64_t obs_collector_id_ = 0;
 };
 
 }  // namespace cpr::server

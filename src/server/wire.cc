@@ -30,6 +30,14 @@ class Reader {
     pos_ = data_.size();
   }
 
+  // Consumes exactly `n` bytes (false if fewer remain).
+  bool Bytes(size_t n, std::vector<char>* out) {
+    if (data_.size() - pos_ < n) return false;
+    out->assign(data_.begin() + pos_, data_.begin() + pos_ + n);
+    pos_ += n;
+    return true;
+  }
+
   bool AtEnd() const { return pos_ == data_.size(); }
 
  private:
@@ -95,6 +103,9 @@ void EncodeRequest(const Request& req, std::vector<char>* out) {
       break;
     case Op::kCommitPoint:
       break;
+    case Op::kStats:
+      AppendPod<uint8_t>(out, static_cast<uint8_t>(req.stats_kind));
+      break;
   }
 }
 
@@ -126,6 +137,12 @@ void EncodeResponse(const Response& resp, std::vector<char>* out) {
     case Op::kCommitPoint:
       AppendPod<uint64_t>(out, resp.commit_serial);
       break;
+    case Op::kStats:
+      // Explicit size (not frame-implied): the payload may be empty, and a
+      // future version may append fields after the bytes.
+      AppendPod<uint32_t>(out, static_cast<uint32_t>(resp.stats.size()));
+      out->insert(out->end(), resp.stats.begin(), resp.stats.end());
+      break;
   }
 }
 
@@ -135,7 +152,7 @@ bool DecodeRequest(std::string_view payload, Request* out) {
   uint8_t op = 0;
   if (!r.Pod(&op) || !r.Pod(&out->seq)) return false;
   if (op < static_cast<uint8_t>(Op::kHello) ||
-      op > static_cast<uint8_t>(Op::kCommitPoint)) {
+      op > static_cast<uint8_t>(Op::kStats)) {
     return false;
   }
   out->op = static_cast<Op>(op);
@@ -168,6 +185,12 @@ bool DecodeRequest(std::string_view payload, Request* out) {
     }
     case Op::kCommitPoint:
       break;
+    case Op::kStats: {
+      uint8_t kind = 0;
+      if (!r.Pod(&kind) || kind > kMaxStatsKind) return false;
+      out->stats_kind = static_cast<StatsKind>(kind);
+      break;
+    }
   }
   return r.AtEnd();
 }
@@ -182,7 +205,7 @@ bool DecodeResponse(std::string_view payload, Response* out) {
     return false;
   }
   if (op < static_cast<uint8_t>(Op::kHello) ||
-      op > static_cast<uint8_t>(Op::kCommitPoint) ||
+      op > static_cast<uint8_t>(Op::kStats) ||
       status > kMaxWireStatus) {
     return false;
   }
@@ -211,6 +234,12 @@ bool DecodeResponse(std::string_view payload, Response* out) {
     case Op::kCommitPoint:
       if (!r.Pod(&out->commit_serial)) return false;
       break;
+    case Op::kStats: {
+      uint32_t size = 0;
+      if (!r.Pod(&size)) return false;
+      if (!r.Bytes(size, &out->stats)) return false;
+      break;
+    }
   }
   return r.AtEnd();
 }
@@ -224,6 +253,7 @@ const char* OpName(Op op) {
     case Op::kDelete: return "DELETE";
     case Op::kCheckpoint: return "CHECKPOINT";
     case Op::kCommitPoint: return "COMMIT_POINT";
+    case Op::kStats: return "STATS";
   }
   return "?";
 }

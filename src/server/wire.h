@@ -23,6 +23,12 @@
 //   DELETE        u64 key                       —
 //   CHECKPOINT    u8 variant, u8 include_index  u64 token, u64 commit_serial
 //   COMMIT_POINT  —                             u64 commit_serial
+//   STATS         u8 stats_kind                 u32 size, size bytes
+//
+// STATS scrapes the server's observability state without a session:
+// stats_kind 0 returns the Prometheus-style metrics text exposition,
+// stats_kind 1 returns the checkpoint lifecycle trace as Chrome
+// trace_event JSON (capped below kMaxFrameBytes; newest spans win).
 //
 // HELLO must be the first request on a connection. guid 0 asks for a fresh
 // session; a nonzero guid resumes a live (detached) or recovered session,
@@ -49,7 +55,15 @@ enum class Op : uint8_t {
   kDelete = 5,
   kCheckpoint = 6,
   kCommitPoint = 7,
+  kStats = 8,
 };
+
+// STATS body selector.
+enum class StatsKind : uint8_t {
+  kMetricsText = 0,  // Prometheus-style text exposition
+  kTraceJson = 1,    // Chrome trace_event JSON of checkpoint spans
+};
+constexpr uint8_t kMaxStatsKind = static_cast<uint8_t>(StatsKind::kTraceJson);
 
 enum class WireStatus : uint8_t {
   kOk = 0,
@@ -80,6 +94,7 @@ struct Request {
   std::vector<char> value;        // UPSERT payload
   uint8_t variant = 0;            // CHECKPOINT: 0 fold-over, 1 snapshot
   bool include_index = false;     // CHECKPOINT
+  StatsKind stats_kind = StatsKind::kMetricsText;  // STATS
 };
 
 struct Response {
@@ -93,6 +108,7 @@ struct Response {
   uint64_t token = 0;             // CHECKPOINT
   uint64_t commit_serial = 0;     // CHECKPOINT / COMMIT_POINT
   std::vector<char> value;        // READ
+  std::vector<char> stats;        // STATS (may legitimately be empty)
 };
 
 // -- Framing ----------------------------------------------------------------

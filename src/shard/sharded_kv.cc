@@ -6,6 +6,7 @@
 
 #include "io/blob.h"
 #include "io/file.h"
+#include "obs/trace.h"
 #include "util/clock.h"
 #include "util/hash.h"
 
@@ -137,10 +138,30 @@ ShardedKv::ShardedKv(Options options)
     }
     shards_.push_back(std::make_unique<faster::FasterKv>(std::move(o)));
   }
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  rounds_total_ = registry.GetCounter("cpr_shard_rounds_total");
+  rounds_failed_total_ = registry.GetCounter("cpr_shard_rounds_failed_total");
+  obs_collector_id_ = registry.AddCollector(
+      [this](const obs::MetricsRegistry::EmitFn& emit) {
+        emit("cpr_shard_count", static_cast<double>(num_shards_));
+        emit("cpr_shard_last_completed_round",
+             static_cast<double>(
+                 last_completed_round_.load(std::memory_order_acquire)));
+        emit("cpr_shard_round_active",
+             round_active_.load(std::memory_order_acquire) ? 1.0 : 0.0);
+        for (uint32_t i = 0; i < num_shards_; ++i) {
+          emit("cpr_shard_ops_total{shard=\"" + std::to_string(i) + "\"}",
+               static_cast<double>(
+                   op_counts_[i].load(std::memory_order_relaxed)));
+        }
+      });
+
   coordinator_ = std::thread([this] { CoordinatorLoop(); });
 }
 
 ShardedKv::~ShardedKv() {
+  obs::MetricsRegistry::Default().RemoveCollector(obs_collector_id_);
   {
     std::lock_guard<std::mutex> lock(coord_mu_);
     stop_ = true;
@@ -335,9 +356,11 @@ void ShardedKv::CoordinatorLoop() {
     lock.unlock();
     const bool ok = RunRound(round);
     lock.lock();
+    rounds_total_->Add(1);
     if (ok) {
       last_completed_round_.store(round.round, std::memory_order_release);
     } else {
+      rounds_failed_total_->Add(1);
       failures_.fetch_add(1, std::memory_order_acq_rel);
       failed_rounds_.insert(round.round);
       constexpr size_t kMaxTrackedFailedRounds = 1024;
@@ -356,12 +379,16 @@ bool ShardedKv::RunRound(const Round& round) {
   std::vector<uint64_t> tokens(num_shards_, 0);
   std::vector<bool> started(num_shards_, false);
   bool ok = true;
+  obs::Tracer& tracer = obs::Tracer::Default();
+  uint64_t t0 = NowNanos();
   for (uint32_t i = 0; i < num_shards_; ++i) {
     started[i] =
         shards_[i]->Checkpoint(round.variant, round.include_index,
                                /*callback=*/nullptr, &tokens[i]);
     if (!started[i]) ok = false;
   }
+  uint64_t t1 = NowNanos();
+  tracer.Record("shard", "broadcast", t0, t1, round.round);
   // Wait out every shard that did start, even after the round has already
   // failed: the next round must not find a shard mid-checkpoint. Engine
   // checkpoints conclude (success or failure) without our help, and
@@ -371,7 +398,9 @@ bool ShardedKv::RunRound(const Round& round) {
     if (!started[i]) continue;
     if (!shards_[i]->WaitForCheckpoint(tokens[i]).ok()) ok = false;
   }
+  tracer.Record("shard", "collect", t1, NowNanos(), round.round);
   if (!ok) return false;
+  obs::ScopedSpan publish(tracer, "shard", "publish_manifest", round.round);
   return BuildAndPublishManifest(round.round, tokens);
 }
 

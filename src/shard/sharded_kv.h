@@ -48,6 +48,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "shard/backend.h"
 
 namespace cpr::kv {
@@ -184,6 +185,12 @@ class ShardedKv final : public Backend {
   std::atomic<uint64_t> last_completed_round_{0};
   std::atomic<uint64_t> last_finished_round_{0};
   std::atomic<uint64_t> failures_{0};
+
+  // Observability: round outcome counters shared through the registry
+  // (cpr_shard_*), initialized in the constructor.
+  obs::Counter* rounds_total_ = nullptr;
+  obs::Counter* rounds_failed_total_ = nullptr;
+  uint64_t obs_collector_id_ = 0;
 };
 
 }  // namespace cpr::kv

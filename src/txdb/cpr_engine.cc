@@ -2,13 +2,43 @@
 
 #include <cstring>
 
+#include "obs/trace.h"
 #include "txdb/checkpoint_io.h"
 
 namespace cpr::txdb {
 
+namespace {
+
+obs::Counter* PhaseNs(const char* phase) {
+  return obs::MetricsRegistry::Default().GetCounter(
+      std::string("cpr_txdb_commit_phase_ns_total{phase=\"") + phase + "\"}");
+}
+
+}  // namespace
+
 CprEngine::CprEngine(TransactionalDb& db)
-    : Engine(db), state_(Pack(DbPhase::kRest, 1)) {
+    : Engine(db),
+      state_(Pack(DbPhase::kRest, 1)),
+      phase_prepare_ns_(PhaseNs("prepare")),
+      phase_in_progress_ns_(PhaseNs("in_progress")),
+      phase_wait_flush_ns_(PhaseNs("wait_flush")),
+      commits_started_total_(obs::MetricsRegistry::Default().GetCounter(
+          "cpr_txdb_commits_started_total")),
+      commit_failures_total_(obs::MetricsRegistry::Default().GetCounter(
+          "cpr_txdb_commit_failures_total")) {
   checkpoint_thread_ = std::thread([this] { CheckpointThreadLoop(); });
+}
+
+void CprEngine::ClosePhaseSpan(const char* phase_name,
+                               obs::Counter* phase_ns) {
+  const uint64_t now = NowNanos();
+  const uint64_t start =
+      phase_start_ns_.exchange(now, std::memory_order_relaxed);
+  if (start == 0 || now <= start) return;
+  phase_ns->Add(now - start);
+  obs::Tracer::Default().Record(
+      "txdb", phase_name, start, now,
+      VersionOf(state_.load(std::memory_order_acquire)));
 }
 
 CprEngine::~CprEngine() {
@@ -94,18 +124,22 @@ uint64_t CprEngine::RequestCommit(CommitCallback callback) {
     std::lock_guard<std::mutex> lock(mu_);
     callback_ = std::move(callback);
   }
+  phase_start_ns_.store(NowNanos(), std::memory_order_relaxed);
+  commits_started_total_->Add(1);
   db_.epoch().BumpEpoch([this] { PrepareToInProg(); });
   return v;
 }
 
 void CprEngine::PrepareToInProg() {
   const uint64_t v = VersionOf(state_.load(std::memory_order_acquire));
+  ClosePhaseSpan("prepare", phase_prepare_ns_);
   state_.store(Pack(DbPhase::kInProgress, v), std::memory_order_release);
   db_.epoch().BumpEpoch([this] { InProgToWaitFlush(); });
 }
 
 void CprEngine::InProgToWaitFlush() {
   const uint64_t v = VersionOf(state_.load(std::memory_order_acquire));
+  ClosePhaseSpan("in_progress", phase_in_progress_ns_);
   state_.store(Pack(DbPhase::kWaitFlush, v), std::memory_order_release);
   // Hand the capture to the background thread; workers keep processing.
   {
@@ -130,6 +164,8 @@ void CprEngine::CheckpointThreadLoop() {
 }
 
 void CprEngine::CaptureAndPersist(uint64_t v) {
+  obs::ScopedSpan capture_span(obs::Tracer::Default(), "txdb",
+                               "capture_persist", v);
   Storage& storage = db_.storage();
   CheckpointMeta meta;
   meta.version = v;
@@ -207,6 +243,9 @@ void CprEngine::CaptureAndPersist(uint64_t v) {
     cb = std::move(callback_);
     callback_ = nullptr;
   }
+  if (!s.ok()) commit_failures_total_->Add(1);
+  ClosePhaseSpan("wait_flush", phase_wait_flush_ns_);
+  phase_start_ns_.store(0, std::memory_order_relaxed);  // round over
   // Conclude the commit: back to rest at version v+1.
   state_.store(Pack(DbPhase::kRest, v + 1), std::memory_order_release);
   durable_cv_.notify_all();

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "txdb/db.h"
 
 namespace cpr::txdb {
@@ -59,7 +60,20 @@ class CprEngine : public Engine {
   void CaptureAndPersist(uint64_t v);
   void CheckpointThreadLoop();
 
+  // Closes the in-flight commit's current phase: emits a tracer span
+  // (cat "txdb", id = commit version) and restarts the phase clock.
+  void ClosePhaseSpan(const char* phase_name, obs::Counter* phase_ns);
+
   std::atomic<uint64_t> state_;
+
+  // Observability: phase clock of the in-flight commit (transitions are
+  // serialized by the state machine) + shared per-phase duration counters.
+  std::atomic<uint64_t> phase_start_ns_{0};
+  obs::Counter* const phase_prepare_ns_;
+  obs::Counter* const phase_in_progress_ns_;
+  obs::Counter* const phase_wait_flush_ns_;
+  obs::Counter* const commits_started_total_;
+  obs::Counter* const commit_failures_total_;
 
   // Checkpoint thread coordination.
   std::mutex mu_;

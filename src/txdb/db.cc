@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "txdb/calc_engine.h"
 #include "txdb/cpr_engine.h"
 #include "txdb/null_engine.h"
@@ -31,9 +32,37 @@ TransactionalDb::TransactionalDb(Options options)
       engine_ = std::make_unique<WalEngine>(*this);
       break;
   }
+
+  // Absorb the per-thread breakdown counters (and this db's epoch lag) into
+  // the unified registry: pull-style, so the transaction hot path records
+  // into plain thread-local fields exactly as before.
+  static std::atomic<uint64_t> next_db_id{0};
+  const std::string db =
+      "{db=\"" + std::to_string(next_db_id.fetch_add(1)) + "\"}";
+  obs_collector_id_ = obs::MetricsRegistry::Default().AddCollector(
+      [this, db](const obs::MetricsRegistry::EmitFn& emit) {
+        const BreakdownCounters c = AggregateCounters();
+        emit("cpr_txdb_exec_ns_total" + db, static_cast<double>(c.exec_ns));
+        emit("cpr_txdb_tail_contention_ns_total" + db,
+             static_cast<double>(c.tail_contention_ns));
+        emit("cpr_txdb_log_write_ns_total" + db,
+             static_cast<double>(c.log_write_ns));
+        emit("cpr_txdb_abort_ns_total" + db, static_cast<double>(c.abort_ns));
+        emit("cpr_txdb_committed_txns_total" + db,
+             static_cast<double>(c.committed_txns));
+        emit("cpr_txdb_aborted_txns_total" + db,
+             static_cast<double>(c.aborted_txns));
+        emit("cpr_txdb_cpr_aborts_total" + db,
+             static_cast<double>(c.cpr_aborts));
+        const EpochFramework::Metrics m = epoch_.MetricsSample();
+        emit("cpr_txdb_epoch_lag" + db,
+             static_cast<double>(m.current_epoch - m.safe_epoch));
+      });
 }
 
-TransactionalDb::~TransactionalDb() = default;
+TransactionalDb::~TransactionalDb() {
+  obs::MetricsRegistry::Default().RemoveCollector(obs_collector_id_);
+}
 
 uint32_t TransactionalDb::CreateTable(uint64_t rows, uint32_t value_size) {
   return storage_->CreateTable(rows, value_size);

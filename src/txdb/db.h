@@ -168,6 +168,9 @@ class TransactionalDb {
   std::unique_ptr<Engine> engine_;
   std::vector<std::unique_ptr<ThreadContext>> contexts_;
   std::atomic<uint32_t> next_thread_id_{0};
+  // Metrics-registry collector exposing AggregateCounters() + epoch lag
+  // (registered in the constructor, removed in the destructor).
+  uint64_t obs_collector_id_ = 0;
 };
 
 // -- Internal engine interface ------------------------------------------

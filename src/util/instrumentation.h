@@ -60,6 +60,11 @@ struct ServerCounters {
                                                 // persist (storage faults)
   std::atomic<uint64_t> not_durable_acks{0};  // durable-gated responses
                                               // released as NOT_DURABLE
+  // not_durable_acks split by cause, so a NOT_DURABLE spike is attributable:
+  // the single engine's checkpoint write failed, vs. a coordinated
+  // cross-shard round degraded because some shard failed its checkpoint.
+  std::atomic<uint64_t> not_durable_engine{0};
+  std::atomic<uint64_t> not_durable_degraded{0};
   std::atomic<uint64_t> protocol_errors{0};
 
   // Execute→durable lag of durable-gated responses: time from enqueueing the
@@ -83,10 +88,17 @@ struct ServerCounters {
     uint64_t connections_accepted, connections_active, requests, responses,
         bytes_in, bytes_out, ops_pending, durable_held, checkpoints,
         checkpoint_stalls, checkpoint_failures, not_durable_acks,
-        protocol_errors;
+        not_durable_engine, not_durable_degraded, protocol_errors;
     Histogram durable_lag;
     uint64_t durable_lag_max_ns;
+    // Cumulative engine checkpoint phase time, indexed by
+    // kCheckpointPhaseNames (filled in by KvServer::counters() from the
+    // metrics registry; zero when sampled straight off the struct).
+    uint64_t checkpoint_phase_ns[4] = {0, 0, 0, 0};
   };
+
+  static constexpr const char* kCheckpointPhaseNames[4] = {
+      "prepare", "in_progress", "wait_pending", "wait_flush"};
 
   Snapshot Sample() const {
     auto ld = [](const std::atomic<uint64_t>& a) {
@@ -98,6 +110,7 @@ struct ServerCounters {
                ld(ops_pending),          ld(durable_held),
                ld(checkpoints),          ld(checkpoint_stalls),
                ld(checkpoint_failures),  ld(not_durable_acks),
+               ld(not_durable_engine),   ld(not_durable_degraded),
                ld(protocol_errors),      Histogram{},
                ld(durable_lag_max_ns)};
     {

@@ -606,5 +606,202 @@ TEST(ServerE2E, ShardedDurableReadAckDoesNotTrimReplay) {
   server.Stop();
 }
 
+// -- STATS: observability over the wire -------------------------------------
+
+// Pulls every (name, id) pair out of an exported Chrome trace. Each event
+// serializes as {...,"name":"X",...,"args":{"id":N}}.
+std::vector<std::pair<std::string, uint64_t>> TraceEvents(
+    const std::string& json) {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  size_t pos = 0;
+  while ((pos = json.find("{\"name\":\"", pos)) != std::string::npos) {
+    const size_t name_start = pos + 9;
+    const size_t name_end = json.find('"', name_start);
+    const size_t id_key = json.find("\"args\":{\"id\":", name_end);
+    if (name_end == std::string::npos || id_key == std::string::npos) break;
+    out.emplace_back(json.substr(name_start, name_end - name_start),
+                     std::strtoull(json.c_str() + id_key + 13, nullptr, 10));
+    pos = name_end;
+  }
+  return out;
+}
+
+// First value of a metric family in the text exposition (any label set), or
+// -1 when the family never appears.
+double MetricValue(const std::string& text, const std::string& name) {
+  size_t pos = 0;
+  while ((pos = text.find(name, pos)) != std::string::npos) {
+    if (pos > 0 && text[pos - 1] != '\n') {  // header or substring hit
+      pos += name.size();
+      continue;
+    }
+    const size_t sp = text.find(' ', pos);
+    if (sp == std::string::npos) break;
+    // Skip label block, if any, by finding the space before the value.
+    return std::strtod(text.c_str() + sp + 1, nullptr);
+  }
+  return -1.0;
+}
+
+TEST(ServerE2E, StatsScrapeCoversAllLayers) {
+  FasterKv kv(SmallOptions(FreshDir()));
+  KvServer server(&kv, ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  CprClient c(ClientOptions(server.port()));
+  ASSERT_TRUE(c.Connect().ok());
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(c.Rmw(i, 1).ok());
+  ASSERT_TRUE(c.Checkpoint(nullptr, nullptr, false, true).ok());
+
+  std::string text;
+  ASSERT_TRUE(c.ServerStats(&text).ok());
+  ASSERT_FALSE(text.empty());
+  // Server layer.
+  EXPECT_GE(MetricValue(text, "cpr_server_requests_total"), 22.0) << text;
+  EXPECT_GE(MetricValue(text, "cpr_server_checkpoints_total"), 1.0);
+  EXPECT_GE(MetricValue(text, "cpr_server_not_durable_acks_engine_total"),
+            0.0);
+  EXPECT_GE(MetricValue(text, "cpr_server_not_durable_acks_degraded_total"),
+            0.0);
+  // Engine layer: the checkpoint left nonzero phase time behind.
+  EXPECT_NE(text.find("cpr_faster_checkpoint_phase_ns_total{phase=\"prepare\""),
+            std::string::npos);
+  EXPECT_GE(MetricValue(text, "cpr_faster_checkpoints_started_total"), 1.0);
+  // Epoch table (registered per store, labeled).
+  EXPECT_NE(text.find("cpr_epoch_current{"), std::string::npos);
+  // IO pool: the checkpoint flushed through it.
+  EXPECT_GE(MetricValue(text, "cpr_io_jobs_total"), 1.0);
+
+  // Satellite: the counters() snapshot surfaces per-phase checkpoint time.
+  const auto counters = server.counters();
+  uint64_t phase_total = 0;
+  for (int i = 0; i < 4; ++i) phase_total += counters.checkpoint_phase_ns[i];
+  EXPECT_GT(phase_total, 0u);
+
+  c.Close();
+  server.Stop();
+}
+
+TEST(ServerE2E, StatsTraceJsonHasCheckpointLifecycle) {
+  FasterKv kv(SmallOptions(FreshDir()));
+  KvServer server(&kv, ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  CprClient c(ClientOptions(server.port()));
+  ASSERT_TRUE(c.Connect().ok());
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(c.Rmw(i, 1).ok());
+  ASSERT_TRUE(c.Checkpoint(nullptr, nullptr, false, true).ok());
+
+  std::string json;
+  ASSERT_TRUE(c.ServerTrace(&json).ok());
+  const auto events = TraceEvents(json);
+  ASSERT_FALSE(events.empty());
+  // At least one checkpoint completed its full lifecycle: a prepare span and
+  // a wait_flush span correlated by the same id (the checkpoint token).
+  bool complete_round = false;
+  for (const auto& [name, id] : events) {
+    if (name != "prepare") continue;
+    for (const auto& [name2, id2] : events) {
+      if (name2 == "wait_flush" && id2 == id) complete_round = true;
+    }
+  }
+  EXPECT_TRUE(complete_round) << json;
+  // The index artifact write is traced too (include_index was set).
+  bool index_flush = false;
+  for (const auto& [name, id] : events) {
+    if (name == "index_flush") index_flush = true;
+  }
+  EXPECT_TRUE(index_flush);
+
+  c.Close();
+  server.Stop();
+}
+
+TEST(ServerE2E, StatsNeedsNoSession) {
+  // Monitoring must work on a bare connection: STATS before HELLO.
+  FasterKv kv(SmallOptions(FreshDir()));
+  KvServer server(&kv, ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  net::Request req;
+  req.op = net::Op::kStats;
+  req.seq = 9;
+  req.stats_kind = net::StatsKind::kMetricsText;
+  std::vector<char> frame;
+  net::EncodeRequest(req, &frame);
+  ASSERT_EQ(::send(fd, frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+
+  std::vector<char> buf;
+  net::Response resp;
+  while (true) {
+    std::string_view payload;
+    size_t consumed = 0;
+    const net::FrameResult fr =
+        net::TryExtractFrame(buf.data(), buf.size(), &payload, &consumed);
+    ASSERT_NE(fr, net::FrameResult::kBadFrame);
+    if (fr == net::FrameResult::kFrame) {
+      ASSERT_TRUE(net::DecodeResponse(payload, &resp));
+      break;
+    }
+    char chunk[64 * 1024];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    ASSERT_GT(n, 0);
+    buf.insert(buf.end(), chunk, chunk + n);
+  }
+  EXPECT_EQ(resp.op, net::Op::kStats);
+  EXPECT_EQ(resp.status, net::WireStatus::kOk);
+  EXPECT_EQ(resp.seq, 9u);
+  const std::string text(resp.stats.begin(), resp.stats.end());
+  EXPECT_NE(text.find("cpr_server_requests_total"), std::string::npos);
+
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(ServerE2E, ShardedStatsCoverCoordinatedRounds) {
+  kv::ShardedKv kv(ShardedOptions(FreshDir()));
+  KvServer server(&kv, ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  CprClient c(ClientOptions(server.port()));
+  ASSERT_TRUE(c.Connect().ok());
+  for (uint64_t k = 0; k < 64; ++k) {
+    const int64_t v = 1;
+    ASSERT_TRUE(c.Upsert(k, &v).ok());
+  }
+  ASSERT_TRUE(c.Checkpoint(nullptr, nullptr, false, true).ok());
+
+  std::string text;
+  ASSERT_TRUE(c.ServerStats(&text).ok());
+  EXPECT_GE(MetricValue(text, "cpr_shard_rounds_total"), 1.0) << text;
+  EXPECT_NE(text.find("cpr_shard_count"), std::string::npos);
+  EXPECT_NE(text.find("cpr_shard_ops_total{shard=\"0\"}"), std::string::npos);
+
+  std::string json;
+  ASSERT_TRUE(c.ServerTrace(&json).ok());
+  const auto events = TraceEvents(json);
+  bool broadcast = false;
+  bool publish = false;
+  for (const auto& [name, id] : events) {
+    if (name == "broadcast") broadcast = true;
+    if (name == "publish_manifest") publish = true;
+  }
+  EXPECT_TRUE(broadcast) << json;
+  EXPECT_TRUE(publish) << json;
+
+  c.Close();
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace cpr
