@@ -1,0 +1,302 @@
+// Transactional serving-layer benchmark: an in-process KvServer fronting a
+// TxDbBackend (TransactionalDb behind the kv::Backend surface) over loopback
+// TCP, driven by concurrent pipelining clients issuing multi-key TXN
+// requests. Reports end-to-end transactions and record-ops per second, the
+// NO-WAIT conflict rate, and — for the durable-ack run against periodic CPR
+// checkpoints — the execute->durable latency histogram (p50/p99/max).
+//
+// Three runs: executed-ack with read-heavy transactions, executed-ack
+// update-only, and durable-ack update-only (acks gated on CPR commit
+// points). A final high-contention run shrinks the hot-row set to show the
+// NO-WAIT abort/retry path under load.
+//
+// Knobs: CPR_BENCH_WORKERS (4), CPR_BENCH_CLIENTS (4), CPR_BENCH_ROWS
+// (65536), CPR_BENCH_TXN_OPS (4), CPR_BENCH_PIPELINE (32),
+// CPR_BENCH_SECONDS (2), CPR_BENCH_SCALE.
+//
+// --stats-json=PATH writes a machine-readable summary of every run
+// (throughput, conflicts, durable-lag percentiles) for CI trend tracking.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "client/client.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "txdb/txdb_backend.h"
+
+namespace cpr::bench {
+namespace {
+
+struct TxnRunResult {
+  double txns_per_sec = 0;
+  double record_ops_per_sec = 0;
+  uint64_t total_txns = 0;
+  uint64_t conflicts = 0;
+  uint64_t max_inflight = 0;
+  ServerCounters::Snapshot counters;
+};
+
+TxnRunResult RunTxnNet(uint32_t workers, uint32_t clients, uint32_t pipeline,
+                       uint64_t rows, uint32_t txn_ops, double seconds,
+                       uint32_t read_pct, bool durable, uint32_t checkpoint_ms,
+                       uint64_t hot_rows) {
+  txdb::TxDbBackend::Options bo;
+  bo.db.durability_dir = FreshBenchDir("srvtxn");
+  bo.db.max_threads = clients + 4;  // one context per connection + pump
+  bo.tables = {txdb::TxDbBackend::TableSpec{rows, 8}};
+  auto backend = std::make_unique<txdb::TxDbBackend>(std::move(bo));
+
+  server::KvServerOptions so;
+  so.num_workers = workers;
+  so.idle_poll_ms = 1;
+  so.checkpoint_interval_ms = checkpoint_ms;
+  so.max_connections = clients + 4;
+
+  server::KvServer server(backend.get(), so);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "server start failed\n");
+    return {};
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<uint64_t> txns(clients, 0);
+  std::vector<uint64_t> conflicts(clients, 0);
+  std::vector<uint64_t> peaks(clients, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const uint64_t pick_rows = hot_rows > 0 ? hot_rows : rows;
+  for (uint32_t t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      client::CprClient::Options co;
+      co.port = server.port();
+      co.ack_mode = durable ? net::AckMode::kDurable : net::AckMode::kExecuted;
+      client::CprClient c(co);
+      if (!c.Connect().ok()) return;
+      uint64_t rng = 0x9e3779b97f4a7c15ull ^ (t + 1);
+      auto next_rand = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+      };
+      std::vector<net::TxnWireOp> ops(txn_ops);
+      auto enqueue_one = [&] {
+        for (uint32_t i = 0; i < txn_ops; ++i) {
+          net::TxnWireOp& op = ops[i];
+          op.table = 0;
+          op.row = next_rand() % pick_rows;
+          if (next_rand() % 100 < read_pct) {
+            op.kind = net::TxnOpKind::kRead;
+            op.delta = 0;
+          } else {
+            op.kind = net::TxnOpKind::kAdd;
+            op.delta = 1;
+          }
+        }
+        c.EnqueueTxn(ops);
+      };
+      std::vector<client::CprClient::Result> results;
+      if (durable) {
+        // Windowed pipelining: acks arrive in bursts at each checkpoint;
+        // keep the window topped up so execution never starves in between.
+        while (!stop.load(std::memory_order_relaxed)) {
+          while (c.inflight() < pipeline) enqueue_one();
+          if (!c.Flush().ok()) break;
+          results.clear();
+          size_t processed = 0;
+          if (!c.TryDrain(&results, &processed).ok()) break;
+          txns[t] += processed;
+          if (processed == 0) std::this_thread::yield();
+        }
+      } else {
+        while (!stop.load(std::memory_order_relaxed)) {
+          for (uint32_t i = 0; i < pipeline; ++i) enqueue_one();
+          if (!c.Flush().ok()) break;
+          results.clear();
+          if (!c.Drain(&results).ok()) break;
+          txns[t] += results.size();
+        }
+      }
+      conflicts[t] = c.stats().txn_conflicts;
+      peaks[t] = c.stats().max_inflight;
+      c.Close();
+    });
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(static_cast<int64_t>(seconds * 1000));
+  std::this_thread::sleep_until(deadline);
+  stop.store(true);
+  for (auto& th : threads) th.join();
+
+  TxnRunResult r;
+  for (uint64_t n : txns) r.total_txns += n;
+  for (uint64_t n : conflicts) r.conflicts += n;
+  for (uint64_t p : peaks) r.max_inflight = std::max(r.max_inflight, p);
+  r.txns_per_sec = static_cast<double>(r.total_txns) / seconds;
+  r.record_ops_per_sec = r.txns_per_sec * txn_ops;
+  r.counters = server.counters();
+  server.Stop();
+  return r;
+}
+
+void PrintResult(const char* label, const TxnRunResult& r, uint32_t txn_ops) {
+  std::printf("  %-24s %9.1f ktxn/s  (%.1f krecord-ops/s, %llu txns)\n",
+              label, r.txns_per_sec / 1e3, r.record_ops_per_sec / 1e3,
+              static_cast<unsigned long long>(r.total_txns));
+  const auto& c = r.counters;
+  std::printf(
+      "    counters: reqs=%llu resps=%llu held=%llu ckpts=%llu "
+      "conflicts=%llu (%.2f%% of acked)\n",
+      static_cast<unsigned long long>(c.requests),
+      static_cast<unsigned long long>(c.responses),
+      static_cast<unsigned long long>(c.durable_held),
+      static_cast<unsigned long long>(c.checkpoints),
+      static_cast<unsigned long long>(r.conflicts),
+      r.total_txns > 0
+          ? 100.0 * static_cast<double>(r.conflicts) /
+                static_cast<double>(r.total_txns)
+          : 0.0);
+  if (c.durable_lag_max_ns > 0) {
+    std::printf(
+        "    durable lag: p50=%.2fms p99=%.2fms max=%.2fms  "
+        "(peak pipeline depth %llu)\n",
+        static_cast<double>(c.durable_lag.QuantileNs(0.5)) / 1e6,
+        static_cast<double>(c.durable_lag.QuantileNs(0.99)) / 1e6,
+        static_cast<double>(c.durable_lag_max_ns) / 1e6,
+        static_cast<unsigned long long>(r.max_inflight));
+  }
+  (void)txn_ops;
+}
+
+void WriteStatsJson(const char* path, uint32_t workers, uint32_t clients,
+                    uint32_t pipeline, uint32_t txn_ops, uint64_t rows,
+                    double seconds,
+                    const std::vector<std::pair<std::string, TxnRunResult>>&
+                        runs) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"server_txn\",\n  \"workers\": %u,\n"
+               "  \"clients\": %u,\n  \"pipeline\": %u,\n"
+               "  \"txn_ops\": %u,\n  \"rows\": %llu,\n"
+               "  \"seconds\": %.3f,\n  \"runs\": [",
+               workers, clients, pipeline, txn_ops,
+               static_cast<unsigned long long>(rows), seconds);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const TxnRunResult& r = runs[i].second;
+    const auto& c = r.counters;
+    std::fprintf(
+        f,
+        "%s\n    {\n      \"label\": \"%s\",\n"
+        "      \"txns_per_sec\": %.1f,\n"
+        "      \"record_ops_per_sec\": %.1f,\n"
+        "      \"total_txns\": %llu,\n      \"conflicts\": %llu,\n"
+        "      \"checkpoints\": %llu,\n      \"checkpoint_failures\": %llu,\n"
+        "      \"not_durable_acks\": %llu,\n"
+        "      \"durable_lag_ns\": {\"p50\": %llu, \"p99\": %llu, "
+        "\"max\": %llu}\n    }",
+        i == 0 ? "" : ",", runs[i].first.c_str(), r.txns_per_sec,
+        r.record_ops_per_sec, static_cast<unsigned long long>(r.total_txns),
+        static_cast<unsigned long long>(r.conflicts),
+        static_cast<unsigned long long>(c.checkpoints),
+        static_cast<unsigned long long>(c.checkpoint_failures),
+        static_cast<unsigned long long>(c.not_durable_acks),
+        static_cast<unsigned long long>(c.durable_lag.QuantileNs(0.5)),
+        static_cast<unsigned long long>(c.durable_lag.QuantileNs(0.99)),
+        static_cast<unsigned long long>(c.durable_lag_max_ns));
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("  stats json -> %s\n", path);
+}
+
+void Run(const char* stats_json) {
+  const double scale = EnvF64("CPR_BENCH_SCALE", 1.0);
+  const double seconds = EnvF64("CPR_BENCH_SECONDS", 2.0) * scale;
+  const uint64_t rows = EnvU64("CPR_BENCH_ROWS", 65'536);
+  const uint32_t workers =
+      static_cast<uint32_t>(EnvU64("CPR_BENCH_WORKERS", 4));
+  const uint32_t clients =
+      static_cast<uint32_t>(EnvU64("CPR_BENCH_CLIENTS", 4));
+  const uint32_t pipeline =
+      static_cast<uint32_t>(EnvU64("CPR_BENCH_PIPELINE", 32));
+  const uint32_t txn_ops =
+      static_cast<uint32_t>(EnvU64("CPR_BENCH_TXN_OPS", 4));
+
+  PrintHeader("Server", "multi-key TXN over loopback TCP, txdb backend, " +
+                            std::to_string(workers) + " workers, " +
+                            std::to_string(clients) +
+                            " pipelining clients (depth " +
+                            std::to_string(pipeline) + ", " +
+                            std::to_string(txn_ops) + " ops/txn)");
+  std::vector<std::pair<std::string, TxnRunResult>> labeled;
+  {
+    const TxnRunResult r =
+        RunTxnNet(workers, clients, pipeline, rows, txn_ops, seconds,
+                  /*read_pct=*/80, /*durable=*/false, /*checkpoint_ms=*/0,
+                  /*hot_rows=*/0);
+    PrintResult("80:20 executed-ack", r, txn_ops);
+    labeled.emplace_back("80:20 executed-ack", r);
+  }
+  {
+    const TxnRunResult r =
+        RunTxnNet(workers, clients, pipeline, rows, txn_ops, seconds,
+                  /*read_pct=*/0, /*durable=*/false, /*checkpoint_ms=*/0,
+                  /*hot_rows=*/0);
+    PrintResult("0:100 executed-ack", r, txn_ops);
+    labeled.emplace_back("0:100 executed-ack", r);
+  }
+  {
+    // Durable acks: TXN responses only flow when a periodic CPR checkpoint
+    // covers their serials; the lag histogram is the per-transaction cost
+    // of commit-on-ack.
+    const TxnRunResult r =
+        RunTxnNet(workers, clients, pipeline, rows, txn_ops, seconds,
+                  /*read_pct=*/0, /*durable=*/true, /*checkpoint_ms=*/100,
+                  /*hot_rows=*/0);
+    PrintResult("0:100 durable-ack", r, txn_ops);
+    labeled.emplace_back("0:100 durable-ack", r);
+  }
+  {
+    // High contention: all updates land on a handful of rows, so NO-WAIT
+    // aborts (TXN_CONFLICT, retried client-side as new transactions) become
+    // a first-class part of the workload.
+    const TxnRunResult r =
+        RunTxnNet(workers, clients, pipeline, rows, txn_ops, seconds,
+                  /*read_pct=*/0, /*durable=*/false, /*checkpoint_ms=*/0,
+                  /*hot_rows=*/8);
+    PrintResult("hot-8 executed-ack", r, txn_ops);
+    labeled.emplace_back("hot-8 executed-ack", r);
+  }
+  if (stats_json != nullptr) {
+    WriteStatsJson(stats_json, workers, clients, pipeline, txn_ops, rows,
+                   seconds, labeled);
+  }
+}
+
+}  // namespace
+}  // namespace cpr::bench
+
+int main(int argc, char** argv) {
+  const char* stats_json = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--stats-json=", 13) == 0) {
+      stats_json = argv[i] + 13;
+    }
+  }
+  cpr::bench::Run(stats_json);
+  return 0;
+}

@@ -9,6 +9,7 @@
 // the client replays any tracked updates past it. --durable withholds every
 // acknowledgement until a checkpoint covers the operation, so a printed
 // "ok" means committed.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +31,11 @@ void Usage(const char* argv0) {
       "  get K        read key K\n"
       "  rmw K D      add int64 D to key K\n"
       "  del K        delete key K\n"
+      "  txn OP...    one multi-key transaction (txdb servers only); each\n"
+      "               OP is r:ROW | w:ROW:VAL | a:ROW:DELTA, optionally\n"
+      "               T.ROW to address table T (default 0). Read results\n"
+      "               print in op order; a NO-WAIT conflict prints\n"
+      "               \"conflict (retry)\"\n"
       "  ckpt         request a CPR checkpoint, wait until durable\n"
       "  point        query this session's durable commit point\n"
       "  stats        scrape the server's metrics (Prometheus text)\n"
@@ -76,6 +82,78 @@ int Exec(cpr::client::CprClient& c, const std::vector<std::string>& cmd) {
         c.Delete(std::strtoull(cmd[1].c_str(), nullptr, 0), &found);
     if (!s.ok()) return fail(s);
     std::printf("ok\n");
+  } else if (op == "txn" && cmd.size() >= 2) {
+    // Each token: r:ROW | w:ROW:VAL | a:ROW:DELTA, ROW optionally T.ROW.
+    std::vector<cpr::net::TxnWireOp> ops;
+    for (size_t i = 1; i < cmd.size(); ++i) {
+      const std::string& tok = cmd[i];
+      if (tok.size() < 3 || tok[1] != ':') {
+        std::printf("bad txn op \"%s\"\n", tok.c_str());
+        return 2;
+      }
+      cpr::net::TxnWireOp wop;
+      std::string rest = tok.substr(2);
+      std::string arg;
+      const size_t colon = rest.find(':');
+      if (colon != std::string::npos) {
+        arg = rest.substr(colon + 1);
+        rest = rest.substr(0, colon);
+      }
+      const size_t dot = rest.find('.');
+      if (dot != std::string::npos) {
+        wop.table = static_cast<uint32_t>(
+            std::strtoul(rest.substr(0, dot).c_str(), nullptr, 0));
+        rest = rest.substr(dot + 1);
+      }
+      wop.row = std::strtoull(rest.c_str(), nullptr, 0);
+      switch (tok[0]) {
+        case 'r':
+          wop.kind = cpr::net::TxnOpKind::kRead;
+          break;
+        case 'w': {
+          if (arg.empty()) {
+            std::printf("w needs a value: \"%s\"\n", tok.c_str());
+            return 2;
+          }
+          wop.kind = cpr::net::TxnOpKind::kWrite;
+          const int64_t v = std::strtoll(arg.c_str(), nullptr, 0);
+          wop.value.assign(c.value_size(), 0);
+          std::memcpy(wop.value.data(), &v,
+                      std::min(sizeof(v), wop.value.size()));
+          break;
+        }
+        case 'a':
+          if (arg.empty()) {
+            std::printf("a needs a delta: \"%s\"\n", tok.c_str());
+            return 2;
+          }
+          wop.kind = cpr::net::TxnOpKind::kAdd;
+          wop.delta = std::strtoll(arg.c_str(), nullptr, 0);
+          break;
+        default:
+          std::printf("bad txn op \"%s\"\n", tok.c_str());
+          return 2;
+      }
+      ops.push_back(std::move(wop));
+    }
+    std::vector<std::vector<char>> reads;
+    const cpr::Status s = c.Txn(ops, &reads);
+    if (s.code() == cpr::Status::Code::kBusy) {
+      std::printf("conflict (retry)\n");
+      return 1;
+    }
+    if (!s.ok()) return fail(s);
+    size_t r = 0;
+    for (const auto& wop : ops) {
+      if (wop.kind != cpr::net::TxnOpKind::kRead) continue;
+      const std::vector<char>& bytes = reads[r++];
+      int64_t v = 0;
+      std::memcpy(&v, bytes.data(), std::min(sizeof(v), bytes.size()));
+      std::printf("[%u.%llu] %lld\n", wop.table,
+                  static_cast<unsigned long long>(wop.row),
+                  static_cast<long long>(v));
+    }
+    std::printf("committed\n");
   } else if (op == "ckpt") {
     uint64_t token = 0;
     uint64_t commit = 0;

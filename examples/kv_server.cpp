@@ -1,10 +1,12 @@
 // Standalone CPR KV server: exposes a FasterKv instance — or, with
 // --shards=N, a ShardedKv hash-partitioned over N FasterKv instances with
-// coordinated cross-shard checkpoints — over TCP using the length-prefixed
-// wire protocol (src/server/wire.h).
+// coordinated cross-shard checkpoints; or, with --txdb, a TransactionalDb
+// serving both single-key KV ops and multi-key TXN requests — over TCP using
+// the length-prefixed wire protocol (src/server/wire.h).
 //
 //   kv_server --port 7777 --dir /tmp/cpr_kv --workers 4 --checkpoint-ms 500
 //   kv_server --port 7777 --dir /tmp/cpr_kv --shards 4 --checkpoint-ms 500
+//   kv_server --port 7777 --dir /tmp/cpr_tx --txdb --rows 65536
 //
 // Clients bind durable CPR sessions (HELLO guid), pipeline operations, and
 // can request checkpoints / query their commit point. Restart with
@@ -26,6 +28,7 @@
 #include "server/server.h"
 #include "shard/faster_backend.h"
 #include "shard/sharded_kv.h"
+#include "txdb/txdb_backend.h"
 
 namespace {
 
@@ -36,12 +39,17 @@ void OnSignal(int) { g_stop.store(true); }
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--dir PATH] [--workers N] [--shards N]\n"
+               "          [--txdb] [--rows N] [--value-size N]\n"
                "          [--checkpoint-ms N] [--stats-ms N] [--recover]\n"
                "  --port N           listen port (default 7777; 0 = ephemeral)\n"
                "  --dir PATH         store/checkpoint directory\n"
                "  --workers N        network worker threads (default 4)\n"
                "  --shards N         hash-partition over N stores with\n"
                "                     coordinated checkpoints (default 1)\n"
+               "  --txdb             serve a TransactionalDb: single-key KV\n"
+               "                     ops plus multi-key TXN requests\n"
+               "  --rows N           txdb table 0 row count (default 65536)\n"
+               "  --value-size N     txdb table 0 value bytes (default 8)\n"
                "  --checkpoint-ms N  periodic CPR checkpoint interval\n"
                "                     (default 0: only client-requested)\n"
                "  --stats-ms N       counter report interval (default 5000)\n"
@@ -56,6 +64,9 @@ int main(int argc, char** argv) {
   std::string dir = "/tmp/cpr_kv_server";
   uint32_t workers = 4;
   uint32_t shards = 1;
+  bool txdb = false;
+  uint64_t rows = 65'536;
+  uint32_t value_size = 8;
   uint32_t checkpoint_ms = 0;
   uint32_t stats_ms = 5000;
   bool recover = false;
@@ -78,6 +89,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--shards") {
       shards = static_cast<uint32_t>(std::atoi(next()));
       if (shards == 0) shards = 1;
+    } else if (arg == "--txdb") {
+      txdb = true;
+    } else if (arg == "--rows") {
+      rows = static_cast<uint64_t>(std::atoll(next()));
+      if (rows == 0) rows = 65'536;
+    } else if (arg == "--value-size") {
+      value_size = static_cast<uint32_t>(std::atoi(next()));
+      if (value_size < 8) value_size = 8;
     } else if (arg == "--checkpoint-ms") {
       checkpoint_ms = static_cast<uint32_t>(std::atoi(next()));
     } else if (arg == "--stats-ms") {
@@ -90,10 +109,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (txdb && shards > 1) {
+    std::fprintf(stderr, "--txdb and --shards are mutually exclusive\n");
+    return 2;
+  }
   cpr::faster::FasterKv::Options fo;
   fo.dir = dir;
   std::unique_ptr<cpr::kv::Backend> backend;
-  if (shards > 1) {
+  if (txdb) {
+    cpr::txdb::TxDbBackend::Options to;
+    to.db.durability_dir = dir;
+    to.tables = {cpr::txdb::TxDbBackend::TableSpec{rows, value_size}};
+    backend = std::make_unique<cpr::txdb::TxDbBackend>(std::move(to));
+  } else if (shards > 1) {
     cpr::kv::ShardedKv::Options so;
     so.base = fo;
     so.num_shards = shards;
@@ -125,12 +153,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf(
-      "cpr kv_server listening on %u (%u workers, %u shard%s, "
-      "value_size=%u%s)\n",
-      server.port(), workers, shards, shards == 1 ? "" : "s",
-      backend->value_size(),
-      checkpoint_ms != 0 ? ", periodic checkpoints" : "");
+  if (txdb) {
+    std::printf(
+        "cpr kv_server listening on %u (%u workers, txdb backend: "
+        "%llu rows x %u bytes, multi-key TXN enabled%s)\n",
+        server.port(), workers, static_cast<unsigned long long>(rows),
+        backend->value_size(),
+        checkpoint_ms != 0 ? ", periodic checkpoints" : "");
+  } else {
+    std::printf(
+        "cpr kv_server listening on %u (%u workers, %u shard%s, "
+        "value_size=%u%s)\n",
+        server.port(), workers, shards, shards == 1 ? "" : "s",
+        backend->value_size(),
+        checkpoint_ms != 0 ? ", periodic checkpoints" : "");
+  }
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);

@@ -11,6 +11,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <thread>
@@ -223,12 +224,34 @@ void CprClient::NoteDurable(uint64_t serial) {
   }
 }
 
+void CprClient::NeutralizeTxnReplay(uint64_t serial) {
+  // A conflicted TXN consumed its serial server-side with zero effects.
+  // Keep the replay entry (the serial must still be regenerated after a
+  // crash so later ops line up) but strip its effects: every op becomes a
+  // read, which a replayed commit applies as a no-op.
+  const auto it = std::lower_bound(replay_serials_.begin(),
+                                   replay_serials_.end(), serial);
+  if (it == replay_serials_.end() || *it != serial) return;
+  net::Request& req = replay_[static_cast<size_t>(it - replay_serials_.begin())];
+  if (req.op != net::Op::kTxn) return;
+  for (net::TxnWireOp& op : req.txn_ops) {
+    op.kind = net::TxnOpKind::kRead;
+    op.value.clear();
+    op.delta = 0;
+  }
+}
+
 void CprClient::EnqueueRequest(const net::Request& req) {
   net::EncodeRequest(req, &sendbuf_);
   InFlight inf;
   inf.op = req.op;
   inf.seq = req.seq;
   switch (req.op) {
+    case net::Op::kTxn:
+      for (const net::TxnWireOp& op : req.txn_ops) {
+        if (op.kind != net::TxnOpKind::kRead) inf.txn_update = true;
+      }
+      [[fallthrough]];
     case net::Op::kRead:
     case net::Op::kUpsert:
     case net::Op::kRmw:
@@ -280,6 +303,14 @@ void CprClient::EnqueueDelete(uint64_t key) {
   req.op = net::Op::kDelete;
   req.seq = next_seq_++;
   req.key = key;
+  EnqueueRequest(req);
+}
+
+void CprClient::EnqueueTxn(const std::vector<net::TxnWireOp>& ops) {
+  net::Request req;
+  req.op = net::Op::kTxn;
+  req.seq = next_seq_++;
+  req.txn_ops = ops;
   EnqueueRequest(req);
 }
 
@@ -377,12 +408,23 @@ Status CprClient::ProcessResponse(net::Response resp,
   // point, and a post-crash replay would then regenerate every later
   // serial shifted down by one — breaking the serial identity that
   // sharded per-shard replay dedup depends on.
+  // A conflicted TXN is the same on either ack mode: the server consumed
+  // one serial with no effects, so strip the replay entry's effects (the
+  // serial is still regenerated on replay) — and never treat the ack as a
+  // durability proof.
+  if (resp.op == net::Op::kTxn &&
+      resp.status == net::WireStatus::kTxnConflict) {
+    stats_.txn_conflicts += 1;
+    NeutralizeTxnReplay(resp.serial);
+  }
   if (resp.status == net::WireStatus::kNotDurable) {
     stats_.not_durable_acks += 1;
   } else if (options_.ack_mode == net::AckMode::kDurable &&
              resp.op != net::Op::kRead && resp.serial != 0 &&
              resp.status != net::WireStatus::kNoSession &&
-             resp.status != net::WireStatus::kBadRequest) {
+             resp.status != net::WireStatus::kBadRequest &&
+             resp.status != net::WireStatus::kTxnConflict &&
+             (resp.op != net::Op::kTxn || inf.txn_update)) {
     NoteDurable(resp.serial);
   }
   if ((resp.op == net::Op::kCheckpoint ||
@@ -400,6 +442,7 @@ Status CprClient::ProcessResponse(net::Response resp,
     r.commit_serial = resp.commit_serial;
     r.value = std::move(resp.value);
     r.stats = std::move(resp.stats);
+    r.txn_reads = std::move(resp.txn_reads);
     out->push_back(std::move(r));
   }
   return Status::Ok();
@@ -498,6 +541,9 @@ Status AsStatus(const CprClient::Result& r) {
       // Executed but not durable (checkpoint device failing); the op stays
       // in the replay buffer for the next reconnect/checkpoint.
       return Status::Aborted("operation executed but not durable");
+    case net::WireStatus::kTxnConflict:
+      // NO-WAIT abort: nothing applied, retry the whole transaction.
+      return Status::Busy("transaction conflict (NO-WAIT), retry");
     case net::WireStatus::kError:
       break;
   }
@@ -522,6 +568,21 @@ Status CprClient::Read(uint64_t key, void* value_out, bool* found) {
   if (r.status == net::WireStatus::kNotFound) {
     *found = false;
     return Status::Ok();
+  }
+  return AsStatus(r);
+}
+
+Status CprClient::Txn(const std::vector<net::TxnWireOp>& ops,
+                      std::vector<std::vector<char>>* reads) {
+  EnqueueTxn(ops);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  std::vector<Result> results;
+  s = Drain(&results, 1);
+  if (!s.ok()) return s;
+  Result& r = results.front();
+  if (r.status == net::WireStatus::kOk && reads != nullptr) {
+    *reads = std::move(r.txn_reads);
   }
   return AsStatus(r);
 }

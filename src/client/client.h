@@ -56,6 +56,7 @@ class CprClient {
     uint64_t reconnects = 0;        // successful Reconnect() calls
     uint64_t replayed_ops = 0;      // data ops re-issued after reconnect
     uint64_t not_durable_acks = 0;  // NOT_DURABLE responses received
+    uint64_t txn_conflicts = 0;     // TXN_CONFLICT responses received
     uint64_t max_inflight = 0;      // peak pipeline depth
   };
 
@@ -68,6 +69,7 @@ class CprClient {
     uint64_t commit_serial = 0;  // CHECKPOINT / COMMIT_POINT
     std::vector<char> value;     // READ
     std::vector<char> stats;     // STATS
+    std::vector<std::vector<char>> txn_reads;  // TXN, one per read op
   };
 
   explicit CprClient(Options options);
@@ -102,6 +104,12 @@ class CprClient {
   void EnqueueUpsert(uint64_t key, const void* value);
   void EnqueueRmw(uint64_t key, int64_t delta);
   void EnqueueDelete(uint64_t key);
+  // Multi-key transaction (requires a transactional backend server-side).
+  // A TXN consumes exactly one session serial whether it commits or hits a
+  // NO-WAIT conflict; on a conflict ack the replay entry is neutralized to
+  // an effect-free read set so a post-crash replay still regenerates the
+  // same serial without re-running the (never-applied) updates.
+  void EnqueueTxn(const std::vector<net::TxnWireOp>& ops);
   void EnqueueCheckpoint(bool snapshot = false, bool include_index = false);
   void EnqueueCommitPoint();
   void EnqueueStats(net::StatsKind kind = net::StatsKind::kMetricsText);
@@ -122,6 +130,11 @@ class CprClient {
   // -- Synchronous helpers ---------------------------------------------------
 
   Status Read(uint64_t key, void* value_out, bool* found);
+  // Executes a multi-key transaction; on commit, `reads` (if non-null)
+  // receives one value per read op in op order. A NO-WAIT conflict returns
+  // Busy — retry the whole transaction.
+  Status Txn(const std::vector<net::TxnWireOp>& ops,
+             std::vector<std::vector<char>>* reads = nullptr);
   Status Upsert(uint64_t key, const void* value);
   Status Rmw(uint64_t key, int64_t delta);
   Status Delete(uint64_t key, bool* found = nullptr);
@@ -142,6 +155,9 @@ class CprClient {
     net::Op op = net::Op::kRead;
     uint32_t seq = 0;
     uint64_t predicted_serial = 0;  // data ops only
+    // TXN only: carries at least one write/add. A durable-mode ack for a
+    // read-only TXN proves nothing about its own serial (same rule as READ).
+    bool txn_update = false;
   };
 
   Status ConnectOnce();
@@ -151,6 +167,7 @@ class CprClient {
   Status ProcessResponse(net::Response resp, std::vector<Result>* out);
   Status SendAll(const char* data, size_t size);
   void NoteDurable(uint64_t serial);
+  void NeutralizeTxnReplay(uint64_t serial);
   Status ReplayAfter(uint64_t recovered);
   void FailInflight();
 

@@ -158,6 +158,10 @@ struct KvServer::Connection {
   std::deque<PendingResponse> queue;
   bool want_write = false;
   bool closed = false;
+  // A malformed frame was answered with a best-effort BAD_REQUEST: stop
+  // reading, flush what is queued, then close (framing is unreliable past
+  // the bad frame).
+  bool close_after_flush = false;
   // Cached durable commit point; re-queried when a checkpoint completes.
   uint64_t durable_point = 0;
   uint64_t durable_token_seen = 0;
@@ -489,6 +493,10 @@ void KvServer::OnReadable(Worker& w, Connection* c) {
 
 void KvServer::ParseFrames(Worker& w, Connection* c) {
   (void)w;
+  if (c->close_after_flush) {
+    c->inbuf.clear();
+    return;
+  }
   size_t off = 0;
   while (!c->closed) {
     std::string_view payload;
@@ -505,7 +513,24 @@ void KvServer::ParseFrames(Worker& w, Connection* c) {
     net::Request req;
     if (!net::DecodeRequest(payload, &req)) {
       counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
-      c->closed = true;
+      // Best-effort decline instead of a silent close: echo op/seq when the
+      // header was readable so the client can fail the request cleanly, then
+      // drain and close — framing past a bad frame is unreliable.
+      PendingResponse entry;
+      entry.ready = true;
+      entry.resp.op = net::Op::kHello;
+      entry.resp.status = net::WireStatus::kBadRequest;
+      if (payload.size() >= 5) {
+        const uint8_t op = static_cast<uint8_t>(payload[0]);
+        if (op >= static_cast<uint8_t>(net::Op::kHello) &&
+            op <= static_cast<uint8_t>(net::Op::kTxn)) {
+          entry.resp.op = static_cast<net::Op>(op);
+        }
+        std::memcpy(&entry.resp.seq, payload.data() + 1, sizeof(uint32_t));
+      }
+      c->queue.push_back(std::move(entry));
+      c->close_after_flush = true;
+      off += consumed;
       break;
     }
     HandleRequest(c, req);
@@ -527,6 +552,9 @@ void KvServer::HandleRequest(Connection* c, const net::Request& req) {
       return;
     case net::Op::kStats:
       HandleStats(c, req);
+      return;
+    case net::Op::kTxn:
+      HandleTxn(c, req);
       return;
     default:
       HandleDataOp(c, req);
@@ -689,6 +717,63 @@ void KvServer::HandleDataOp(Connection* c, const net::Request& req) {
   c->queue.push_back(std::move(entry));
 }
 
+void KvServer::HandleTxn(Connection* c, const net::Request& req) {
+  PendingResponse entry;
+  entry.ready = true;
+  entry.resp.op = net::Op::kTxn;
+  entry.resp.seq = req.seq;
+  if (c->session == nullptr) {
+    entry.resp.status = net::WireStatus::kNoSession;
+    c->queue.push_back(std::move(entry));
+    return;
+  }
+  kv::Session& s = *c->session;
+  std::vector<kv::TxnOp> ops;
+  ops.reserve(req.txn_ops.size());
+  bool has_update = false;
+  for (const net::TxnWireOp& w : req.txn_ops) {
+    kv::TxnOp op;
+    op.kind = static_cast<kv::TxnOp::Kind>(w.kind);
+    op.table = w.table;
+    op.row = w.row;
+    op.value = w.value;
+    op.delta = w.delta;
+    if (op.kind != kv::TxnOp::Kind::kRead) has_update = true;
+    ops.push_back(std::move(op));
+  }
+  std::vector<std::vector<char>> reads;
+  switch (kv_->Txn(s, ops, &reads)) {
+    case kv::TxnStatus::kCommitted:
+      entry.serial = s.serial();
+      entry.resp.serial = entry.serial;
+      entry.resp.status = net::WireStatus::kOk;
+      entry.resp.txn_reads = std::move(reads);
+      // Same gating rule as single-key ops: only update-bearing transactions
+      // await durability; a read-only transaction's ack releases once every
+      // earlier queued update is covered (FIFO release order).
+      if (c->ack_mode == net::AckMode::kDurable && has_update) {
+        entry.durable_gate = entry.serial;
+        entry.failures_at_enqueue = kv_->CheckpointFailures();
+        entry.enqueue_ns = NowNanos();
+        counters_.durable_held.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    case kv::TxnStatus::kConflict:
+      // The conflicted transaction consumed one serial with zero effects;
+      // there is nothing to make durable, so the (retryable) error releases
+      // immediately and the client neutralizes its replay entry.
+      entry.serial = s.serial();
+      entry.resp.serial = entry.serial;
+      entry.resp.status = net::WireStatus::kTxnConflict;
+      break;
+    case kv::TxnStatus::kBadRequest:
+    case kv::TxnStatus::kUnsupported:
+      entry.resp.status = net::WireStatus::kBadRequest;
+      break;
+  }
+  c->queue.push_back(std::move(entry));
+}
+
 void KvServer::HandleCheckpoint(Connection* c, const net::Request& req) {
   PendingResponse entry;
   entry.ready = true;
@@ -839,6 +924,10 @@ void KvServer::DriveConnections(Worker& w) {
     if (!c->closed) {
       ReleaseResponses(c);
       FlushOut(w, c);
+      if (c->close_after_flush && c->queue.empty() &&
+          c->out_off >= c->outbuf.size()) {
+        c->closed = true;  // best-effort error reply drained; now close
+      }
     }
     if (c->closed) {
       DestroyConnection(w, c);

@@ -100,6 +100,7 @@ class KvServer {
   void HandleRequest(Connection* c, const net::Request& req);
   void HandleHello(Connection* c, const net::Request& req);
   void HandleDataOp(Connection* c, const net::Request& req);
+  void HandleTxn(Connection* c, const net::Request& req);
   void HandleCheckpoint(Connection* c, const net::Request& req);
   void HandleCommitPoint(Connection* c, const net::Request& req);
   void HandleStats(Connection* c, const net::Request& req);

@@ -106,6 +106,25 @@ void EncodeRequest(const Request& req, std::vector<char>* out) {
     case Op::kStats:
       AppendPod<uint8_t>(out, static_cast<uint8_t>(req.stats_kind));
       break;
+    case Op::kTxn:
+      AppendPod<uint32_t>(out, static_cast<uint32_t>(req.txn_ops.size()));
+      for (const TxnWireOp& top : req.txn_ops) {
+        AppendPod<uint8_t>(out, static_cast<uint8_t>(top.kind));
+        AppendPod<uint32_t>(out, top.table);
+        AppendPod<uint64_t>(out, top.row);
+        switch (top.kind) {
+          case TxnOpKind::kRead:
+            break;
+          case TxnOpKind::kWrite:
+            AppendPod<uint32_t>(out, static_cast<uint32_t>(top.value.size()));
+            out->insert(out->end(), top.value.begin(), top.value.end());
+            break;
+          case TxnOpKind::kAdd:
+            AppendPod<int64_t>(out, top.delta);
+            break;
+        }
+      }
+      break;
   }
 }
 
@@ -143,6 +162,17 @@ void EncodeResponse(const Response& resp, std::vector<char>* out) {
       AppendPod<uint32_t>(out, static_cast<uint32_t>(resp.stats.size()));
       out->insert(out->end(), resp.stats.begin(), resp.stats.end());
       break;
+    case Op::kTxn:
+      // Read results travel only on commit; an aborted or rejected
+      // transaction has no observable effects to report.
+      if (resp.status == WireStatus::kOk) {
+        AppendPod<uint32_t>(out, static_cast<uint32_t>(resp.txn_reads.size()));
+        for (const std::vector<char>& read : resp.txn_reads) {
+          AppendPod<uint32_t>(out, static_cast<uint32_t>(read.size()));
+          out->insert(out->end(), read.begin(), read.end());
+        }
+      }
+      break;
   }
 }
 
@@ -152,7 +182,7 @@ bool DecodeRequest(std::string_view payload, Request* out) {
   uint8_t op = 0;
   if (!r.Pod(&op) || !r.Pod(&out->seq)) return false;
   if (op < static_cast<uint8_t>(Op::kHello) ||
-      op > static_cast<uint8_t>(Op::kStats)) {
+      op > static_cast<uint8_t>(Op::kTxn)) {
     return false;
   }
   out->op = static_cast<Op>(op);
@@ -191,6 +221,32 @@ bool DecodeRequest(std::string_view payload, Request* out) {
       out->stats_kind = static_cast<StatsKind>(kind);
       break;
     }
+    case Op::kTxn: {
+      uint32_t n_ops = 0;
+      if (!r.Pod(&n_ops)) return false;
+      if (n_ops == 0 || n_ops > kMaxTxnOps) return false;
+      out->txn_ops.resize(n_ops);
+      for (TxnWireOp& top : out->txn_ops) {
+        uint8_t kind = 0;
+        if (!r.Pod(&kind) || kind > kMaxTxnOpKind) return false;
+        top.kind = static_cast<TxnOpKind>(kind);
+        if (!r.Pod(&top.table) || !r.Pod(&top.row)) return false;
+        switch (top.kind) {
+          case TxnOpKind::kRead:
+            break;
+          case TxnOpKind::kWrite: {
+            uint32_t len = 0;
+            if (!r.Pod(&len)) return false;
+            if (len == 0 || !r.Bytes(len, &top.value)) return false;
+            break;
+          }
+          case TxnOpKind::kAdd:
+            if (!r.Pod(&top.delta)) return false;
+            break;
+        }
+      }
+      break;
+    }
   }
   return r.AtEnd();
 }
@@ -205,7 +261,7 @@ bool DecodeResponse(std::string_view payload, Response* out) {
     return false;
   }
   if (op < static_cast<uint8_t>(Op::kHello) ||
-      op > static_cast<uint8_t>(Op::kStats) ||
+      op > static_cast<uint8_t>(Op::kTxn) ||
       status > kMaxWireStatus) {
     return false;
   }
@@ -240,6 +296,19 @@ bool DecodeResponse(std::string_view payload, Response* out) {
       if (!r.Bytes(size, &out->stats)) return false;
       break;
     }
+    case Op::kTxn:
+      if (out->status == WireStatus::kOk) {
+        uint32_t n_reads = 0;
+        if (!r.Pod(&n_reads)) return false;
+        if (n_reads > kMaxTxnOps) return false;
+        out->txn_reads.resize(n_reads);
+        for (std::vector<char>& read : out->txn_reads) {
+          uint32_t len = 0;
+          if (!r.Pod(&len)) return false;
+          if (!r.Bytes(len, &read)) return false;
+        }
+      }
+      break;
   }
   return r.AtEnd();
 }
@@ -254,6 +323,7 @@ const char* OpName(Op op) {
     case Op::kCheckpoint: return "CHECKPOINT";
     case Op::kCommitPoint: return "COMMIT_POINT";
     case Op::kStats: return "STATS";
+    case Op::kTxn: return "TXN";
   }
   return "?";
 }
@@ -267,6 +337,7 @@ const char* StatusName(WireStatus status) {
     case WireStatus::kBusy: return "BUSY";
     case WireStatus::kError: return "ERROR";
     case WireStatus::kNotDurable: return "NOT_DURABLE";
+    case WireStatus::kTxnConflict: return "TXN_CONFLICT";
   }
   return "?";
 }

@@ -24,6 +24,20 @@
 //   CHECKPOINT    u8 variant, u8 include_index  u64 token, u64 commit_serial
 //   COMMIT_POINT  —                             u64 commit_serial
 //   STATS         u8 stats_kind                 u32 size, size bytes
+//   TXN           u32 n_ops, n × op             u32 n_reads, n × (u32 len,
+//                 (see below)                   len bytes) (iff status OK)
+//
+// A TXN request carries a multi-key read/write set executed atomically by a
+// transactional backend. Each op is:
+//
+//   u8 kind | u32 table | u64 row | payload
+//
+// kind 0 = READ (no payload), kind 1 = WRITE (u32 len, len value bytes),
+// kind 2 = ADD (i64 delta). The response body carries the read results in
+// op order only when the transaction committed (status OK). A NO-WAIT lock
+// conflict aborts the transaction and answers TXN_CONFLICT: nothing was
+// applied and the client may retry. The transaction still consumes one
+// session serial either way, so replayed serials line up across recovery.
 //
 // STATS scrapes the server's observability state without a session:
 // stats_kind 0 returns the Prometheus-style metrics text exposition,
@@ -56,7 +70,19 @@ enum class Op : uint8_t {
   kCheckpoint = 6,
   kCommitPoint = 7,
   kStats = 8,
+  kTxn = 9,
 };
+
+// TXN op kinds (`TxnWireOp::kind`).
+enum class TxnOpKind : uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  kAdd = 2,
+};
+constexpr uint8_t kMaxTxnOpKind = static_cast<uint8_t>(TxnOpKind::kAdd);
+
+// Hard ceiling on ops per TXN; anything larger fails decode.
+constexpr uint32_t kMaxTxnOps = 1024;
 
 // STATS body selector.
 enum class StatsKind : uint8_t {
@@ -75,13 +101,25 @@ enum class WireStatus : uint8_t {
   kError = 5,
   kNotDurable = 6, // durable-ack op executed, but the covering checkpoint
                    // failed persistently: NOT durable, client must replay
+  kTxnConflict = 7, // TXN aborted by a NO-WAIT lock conflict: nothing was
+                    // applied; retryable
 };
 
-constexpr uint8_t kMaxWireStatus = static_cast<uint8_t>(WireStatus::kNotDurable);
+constexpr uint8_t kMaxWireStatus =
+    static_cast<uint8_t>(WireStatus::kTxnConflict);
 
 enum class AckMode : uint8_t {
   kExecuted = 0,  // acknowledge as soon as the operation executed
   kDurable = 1,   // acknowledge once a checkpoint covers the serial
+};
+
+// One operation of a TXN request's read/write set.
+struct TxnWireOp {
+  TxnOpKind kind = TxnOpKind::kRead;
+  uint32_t table = 0;
+  uint64_t row = 0;
+  std::vector<char> value;  // WRITE payload
+  int64_t delta = 0;        // ADD
 };
 
 struct Request {
@@ -95,6 +133,7 @@ struct Request {
   uint8_t variant = 0;            // CHECKPOINT: 0 fold-over, 1 snapshot
   bool include_index = false;     // CHECKPOINT
   StatsKind stats_kind = StatsKind::kMetricsText;  // STATS
+  std::vector<TxnWireOp> txn_ops;  // TXN
 };
 
 struct Response {
@@ -109,6 +148,7 @@ struct Response {
   uint64_t commit_serial = 0;     // CHECKPOINT / COMMIT_POINT
   std::vector<char> value;        // READ
   std::vector<char> stats;        // STATS (may legitimately be empty)
+  std::vector<std::vector<char>> txn_reads;  // TXN read results, op order
 };
 
 // -- Framing ----------------------------------------------------------------

@@ -19,12 +19,31 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "faster/checkpoint_state.h"
 #include "faster/faster.h"
 #include "util/status.h"
 
 namespace cpr::kv {
+
+// One operation of a multi-key transaction (Backend::Txn). Mirrors the wire
+// TXN op without depending on net:: types (the server converts).
+struct TxnOp {
+  enum class Kind : uint8_t { kRead = 0, kWrite = 1, kAdd = 2 };
+  Kind kind = Kind::kRead;
+  uint32_t table = 0;
+  uint64_t row = 0;
+  std::vector<char> value;  // kWrite payload (must match the table's size)
+  int64_t delta = 0;        // kAdd
+};
+
+enum class TxnStatus : uint8_t {
+  kCommitted = 0,
+  kConflict,     // NO-WAIT lock conflict: nothing applied, retryable
+  kBadRequest,   // invalid table/row/value size: nothing applied
+  kUnsupported,  // backend has no transactional engine
+};
 
 // One client session: operations carry session-local serial numbers and the
 // backend reports a per-session durable commit point. One session binds to
@@ -78,6 +97,20 @@ class Backend {
   virtual void Refresh(Session& session) = 0;
   virtual size_t CompletePending(Session& session,
                                  bool wait_for_all = false) = 0;
+
+  // Executes a multi-key transaction atomically (strict 2PL, NO-WAIT).
+  // On kCommitted, `reads` (if non-null) receives one value per kRead op in
+  // op order. On any other status nothing was applied. The transaction
+  // consumes exactly one session serial whether it commits or conflicts, so
+  // client-side replay regenerates identical serials. Backends without a
+  // transactional engine answer kUnsupported.
+  virtual TxnStatus Txn(Session& session, const std::vector<TxnOp>& ops,
+                        std::vector<std::vector<char>>* reads) {
+    (void)session;
+    (void)ops;
+    (void)reads;
+    return TxnStatus::kUnsupported;
+  }
 
   // -- Checkpoints / recovery -------------------------------------------
   // Starts an asynchronous durability round; false if one is in flight.

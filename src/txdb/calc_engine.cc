@@ -124,7 +124,7 @@ void CalcEngine::CaptureAndPersist(uint64_t v) {
     if (ctx != nullptr) {
       meta.points.push_back(CommitPoint{
           ctx->thread_id,
-          ctx->cpr_point_serial.load(std::memory_order_acquire)});
+          ctx->cpr_point_serial.load(std::memory_order_acquire), ctx->guid});
     }
   }
 
@@ -163,7 +163,7 @@ void CalcEngine::CaptureAndPersist(uint64_t v) {
   }
   state_.store(Pack(false, v + 1), std::memory_order_seq_cst);
   durable_cv_.notify_all();
-  if (s.ok() && cb) cb(v, meta.points);
+  if (cb) cb(v, s, meta.points);
 }
 
 Status CalcEngine::WaitForCommit(uint64_t version) {

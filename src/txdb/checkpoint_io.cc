@@ -64,6 +64,7 @@ Status DecodeMetaPayload(const std::vector<char>& mbuf, CheckpointMeta* meta) {
     CommitPoint p;
     if (s = Consume(mbuf, &off, &p.thread_id); !s.ok()) return s;
     if (s = Consume(mbuf, &off, &p.serial); !s.ok()) return s;
+    if (s = Consume(mbuf, &off, &p.guid); !s.ok()) return s;
     meta->points.push_back(p);
   }
   return Status::Ok();
@@ -121,6 +122,7 @@ Status WriteCheckpoint(const std::string& dir, const CheckpointMeta& meta,
   for (const CommitPoint& p : meta.points) {
     Append(mbuf, p.thread_id);
     Append(mbuf, p.serial);
+    Append(mbuf, p.guid);
   }
   s = WriteCheckedBlob(MetaPath(dir, meta.version), kMetaMagic, mbuf, sync);
   if (!s.ok()) return s;

@@ -170,13 +170,25 @@ void CprEngine::CaptureAndPersist(uint64_t v) {
   CheckpointMeta meta;
   meta.version = v;
 
-  // Collect the CPR points before capturing: every thread recorded its point
-  // when it left prepare, which happened before wait-flush began.
+  // Collect the CPR points before capturing: every active thread recorded
+  // its point when it left prepare, which happened before wait-flush began.
+  // A parked (deregistered) context issues no more transactions, so its
+  // point is its final serial — except when it parked during this very
+  // commit's in-progress/wait-flush window, where its post-point
+  // transactions belong to v+1 and the recorded point stands.
   for (const auto& ctx : db_.contexts()) {
-    if (ctx != nullptr) {
-      meta.points.push_back(CommitPoint{
-          ctx->thread_id, ctx->cpr_point_serial.load(std::memory_order_acquire)});
+    if (ctx == nullptr) continue;
+    uint64_t point;
+    if (ctx->active.load(std::memory_order_acquire)) {
+      point = ctx->cpr_point_serial.load(std::memory_order_acquire);
+    } else if (ctx->parked_version == v &&
+               (ctx->parked_phase == DbPhase::kInProgress ||
+                ctx->parked_phase == DbPhase::kWaitFlush)) {
+      point = ctx->cpr_point_serial.load(std::memory_order_acquire);
+    } else {
+      point = ctx->serial.load(std::memory_order_acquire);
     }
+    meta.points.push_back(CommitPoint{ctx->thread_id, point, ctx->guid});
   }
 
   uint64_t total = 0;
@@ -249,14 +261,50 @@ void CprEngine::CaptureAndPersist(uint64_t v) {
   // Conclude the commit: back to rest at version v+1.
   state_.store(Pack(DbPhase::kRest, v + 1), std::memory_order_release);
   durable_cv_.notify_all();
-  if (s.ok() && cb) cb(v, meta.points);
+  // The callback fires on failure too: a durable-ack serving layer must
+  // learn the commit concluded without durability, or it would gate
+  // responses on a version that never arrives.
+  if (cb) cb(v, s, meta.points);
 }
 
 Status CprEngine::WaitForCommit(uint64_t version) {
   std::unique_lock<std::mutex> lock(mu_);
-  durable_cv_.wait(lock, [this, version] {
-    return last_finished_version_ >= version;
-  });
+  // The prepare and in-progress phases only advance when every registered
+  // thread refreshes (epoch trigger actions). Waiting while nobody can
+  // refresh — zero registered contexts, or a registered pool that stalled —
+  // used to hang forever; detect no-progress and surface it instead.
+  uint64_t seen_finished = last_finished_version_;
+  uint64_t seen_safe = db_.epoch().safe_epoch();
+  int stalled_windows = 0;
+  while (last_finished_version_ < version) {
+    durable_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    if (last_finished_version_ >= version) break;
+    const DbPhase phase = PhaseOf(state_.load(std::memory_order_acquire));
+    const uint64_t safe = db_.epoch().safe_epoch();
+    const bool waiting_on_refresh =
+        phase == DbPhase::kPrepare || phase == DbPhase::kInProgress;
+    const bool progressed =
+        last_finished_version_ != seen_finished || safe != seen_safe;
+    seen_finished = last_finished_version_;
+    seen_safe = safe;
+    if (!waiting_on_refresh || progressed) {
+      stalled_windows = 0;
+      continue;
+    }
+    if (db_.epoch().ProtectedThreadCount() == 0) {
+      return Status::Aborted(
+          "commit v" + std::to_string(version) +
+          " cannot progress: no registered thread is refreshing");
+    }
+    // ~2s of phase-stuck, epoch-stalled windows: the registered pool exists
+    // but nobody is refreshing.
+    if (++stalled_windows >= 40) {
+      return Status::Aborted(
+          "commit v" + std::to_string(version) +
+          " stalled: registered threads stopped refreshing (safe epoch "
+          "frozen at " + std::to_string(safe) + ")");
+    }
+  }
   if (last_durable_version_ >= version) return Status::Ok();
   return Status::IoError("checkpoint v" + std::to_string(version) +
                          " failed: " + last_checkpoint_status_.message());

@@ -2,6 +2,7 @@
 #define CPR_TXDB_CPR_ENGINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>

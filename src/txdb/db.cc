@@ -73,27 +73,73 @@ ThreadContext* TransactionalDb::RegisterThread() {
   assert(id < options_.max_threads);
   auto ctx = std::make_unique<ThreadContext>();
   ctx->thread_id = id;
-  ctx->active = true;
+  ctx->active.store(true, std::memory_order_release);
   ctx->version = CurrentVersion();
   ctx->read_buffer.resize(4096);
   ThreadContext* raw = ctx.get();
   contexts_[id] = std::move(ctx);
-  epoch_.Acquire();
+  raw->epoch_slot = epoch_.AcquireSlot();
   // Pick up the current phase before executing anything.
   Refresh(*raw);
   return raw;
 }
 
+ThreadContext* TransactionalDb::RegisterSession(uint64_t guid,
+                                                uint64_t initial_serial) {
+  // Reactivate the guid's parked context if one exists: its serial continues
+  // (the session resumes in-process) and its thread id stays stable.
+  for (auto& existing : contexts_) {
+    if (existing != nullptr && existing->guid == guid &&
+        !existing->active.load(std::memory_order_acquire)) {
+      existing->epoch_slot = epoch_.AcquireSlot();
+      if (existing->epoch_slot < 0) return nullptr;
+      existing->active.store(true, std::memory_order_release);
+      Refresh(*existing);
+      return existing.get();
+    }
+  }
+  const uint32_t id = next_thread_id_.fetch_add(1);
+  if (id >= options_.max_threads) {
+    next_thread_id_.fetch_sub(1);
+    return nullptr;
+  }
+  auto ctx = std::make_unique<ThreadContext>();
+  ctx->thread_id = id;
+  ctx->guid = guid;
+  ctx->serial.store(initial_serial, std::memory_order_relaxed);
+  ctx->cpr_point_serial.store(initial_serial, std::memory_order_relaxed);
+  ctx->active.store(true, std::memory_order_release);
+  ctx->version = CurrentVersion();
+  ctx->read_buffer.resize(4096);
+  ThreadContext* raw = ctx.get();
+  contexts_[id] = std::move(ctx);
+  raw->epoch_slot = epoch_.AcquireSlot();
+  if (raw->epoch_slot < 0) {
+    raw->active.store(false, std::memory_order_release);
+    return nullptr;
+  }
+  Refresh(*raw);
+  return raw;
+}
+
 void TransactionalDb::DeregisterThread(ThreadContext* ctx) {
+  // Synchronize with the commit state machine first so the parked snapshot
+  // below reflects the real global phase, not a stale local view.
+  Refresh(*ctx);
   // A thread that leaves before crossing its CPR point has committed all of
   // its transactions and will issue none after: its point is its serial.
-  // Past the point (in-progress or later), the recorded value stands.
+  // Past the point (in-progress or later), the recorded value stands for the
+  // in-flight commit; parked_phase/parked_version let later commits claim
+  // the full serial (see CprEngine's point collection).
   if (ctx->phase == DbPhase::kRest || ctx->phase == DbPhase::kPrepare) {
     ctx->cpr_point_serial.store(ctx->serial.load(std::memory_order_relaxed),
                                 std::memory_order_release);
   }
-  ctx->active = false;
-  epoch_.Release();
+  ctx->parked_phase = ctx->phase;
+  ctx->parked_version = ctx->version;
+  ctx->active.store(false, std::memory_order_release);
+  epoch_.ReleaseSlot(ctx->epoch_slot);
+  ctx->epoch_slot = -1;
 }
 
 TxnResult TransactionalDb::Execute(ThreadContext& ctx,
@@ -105,7 +151,7 @@ void TransactionalDb::Refresh(ThreadContext& ctx) {
   // Order matters: thread-local phase transitions happen before the epoch
   // publish, so that "epoch safe" implies "every thread transitioned".
   engine_->OnRefresh(ctx);
-  epoch_.Refresh();
+  epoch_.RefreshSlot(ctx.epoch_slot);
 }
 
 uint64_t TransactionalDb::RequestCommit(CommitCallback callback) {
@@ -113,6 +159,13 @@ uint64_t TransactionalDb::RequestCommit(CommitCallback callback) {
 }
 
 Status TransactionalDb::WaitForCommit(uint64_t version) {
+  if (version == 0) {
+    // 0 is RequestCommit's "a commit is already in flight" answer, not a
+    // version; waiting on it was formerly undefined behavior.
+    return Status::InvalidArgument(
+        "WaitForCommit(0): 0 is not a commit version (RequestCommit "
+        "returned it because a commit was already in flight)");
+  }
   return engine_->WaitForCommit(version);
 }
 
@@ -181,6 +234,8 @@ void Engine::ReleaseLocks(ThreadContext& ctx) {
 
 void Engine::ApplyOps(const Transaction& txn, ThreadContext& ctx) {
   Storage& storage = db_.storage();
+  ctx.read_bytes = 0;
+  ctx.read_offsets.clear();
   for (const TxnOp& op : txn.ops) {
     Table& table = storage.table(op.table_id);
     if (op.type != OpType::kRead) {
@@ -190,9 +245,16 @@ void Engine::ApplyOps(const Transaction& txn, ThreadContext& ctx) {
       case OpType::kRead: {
         // Reads copy the value out (paper §7.1: "a read copies the existing
         // value"), modeling the work a real client-visible read performs.
+        // Each read lands at the next sequential offset so a multi-read
+        // transaction keeps every result (read_offsets[i] -> op i's bytes).
         const uint32_t n = table.value_size();
-        if (ctx.read_buffer.size() < n) ctx.read_buffer.resize(n);
-        std::memcpy(ctx.read_buffer.data(), table.live(op.row), n);
+        if (ctx.read_buffer.size() < ctx.read_bytes + n) {
+          ctx.read_buffer.resize(ctx.read_bytes + n);
+        }
+        std::memcpy(ctx.read_buffer.data() + ctx.read_bytes,
+                    table.live(op.row), n);
+        ctx.read_offsets.push_back(ctx.read_bytes);
+        ctx.read_bytes += n;
         break;
       }
       case OpType::kWrite:

@@ -28,7 +28,21 @@ struct LockedRecord {
 // Obtained from TransactionalDb::RegisterThread().
 struct alignas(kCacheLineBytes) ThreadContext {
   uint32_t thread_id = 0;
-  bool active = false;
+  // False once the context is parked (DeregisterThread). Atomic because the
+  // checkpoint thread inspects it when collecting commit points.
+  std::atomic<bool> active{false};
+  // Phase/version the context last observed when it parked; lets the
+  // checkpoint thread attribute a parked context's transactions to the right
+  // commit (see CprEngine's point collection).
+  DbPhase parked_phase = DbPhase::kRest;
+  uint64_t parked_version = 0;
+  // Epoch-table slot backing this context (slot-handle API, so one OS thread
+  // can drive many contexts — the serving layer multiplexes sessions onto
+  // event-loop workers).
+  int32_t epoch_slot = -1;
+  // Serving-layer session identity (0 = not serving a session). Recorded in
+  // checkpoint commit points so recovery maps guid -> commit point.
+  uint64_t guid = 0;
 
   // Thread-local view of the global (phase, version) — synchronized only
   // during Refresh(), which is what makes the CPR runtime bottleneck-free.
@@ -47,7 +61,11 @@ struct alignas(kCacheLineBytes) ThreadContext {
 
   // Scratch space reused across transactions.
   std::vector<LockedRecord> locked;
+  // Read results of the last executed transaction, in op order at
+  // sequential offsets (op i's bytes start at read_offsets[i]).
   std::vector<char> read_buffer;
+  std::vector<uint32_t> read_offsets;
+  uint32_t read_bytes = 0;
 };
 
 // In-memory transactional database (paper §4): shared-everything storage,
@@ -115,6 +133,15 @@ class TransactionalDb {
   ThreadContext* RegisterThread();
   void DeregisterThread(ThreadContext* ctx);
 
+  // Session-aware registration for the serving layer. If a context bound to
+  // `guid` is parked (its session deregistered earlier in this process), it
+  // is reactivated with its serial intact; otherwise a fresh context is
+  // created with its serial seeded to `initial_serial` (the guid's recovered
+  // commit point). Returns nullptr when the context table is full. Unlike
+  // RegisterThread(), the caller need not be the thread that will run
+  // operations — contexts are driven through the slot-handle epoch API.
+  ThreadContext* RegisterSession(uint64_t guid, uint64_t initial_serial);
+
   // Executes one transaction on the calling thread's context. On
   // kAbortedCprShift the thread has already refreshed; the caller may
   // immediately retry (at most one such abort per thread per commit).
@@ -135,6 +162,10 @@ class TransactionalDb {
   // fails persistently (IoError, after the engine exhausted its checkpoint
   // retries). Helper for tests, examples, and benchmark epochs; worker
   // threads must keep refreshing concurrently (or be deregistered).
+  // `version` 0 (RequestCommit's "already in flight" answer) is rejected
+  // with InvalidArgument — waiting on it was formerly undefined. If commit
+  // progress stalls because no registered thread is refreshing, returns
+  // Aborted instead of blocking forever.
   Status WaitForCommit(uint64_t version);
 
   bool CommitInProgress() const;

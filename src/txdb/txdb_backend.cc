@@ -1,0 +1,384 @@
+#include "txdb/txdb_backend.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstring>
+
+namespace cpr::txdb {
+
+// -- SessionAdapter ----------------------------------------------------------
+
+class TxDbBackend::SessionAdapter final : public kv::Session {
+ public:
+  SessionAdapter(uint64_t guid, ThreadContext* ctx, uint64_t resume_serial)
+      : guid_(guid), ctx_(ctx), resume_serial_(resume_serial) {}
+
+  uint64_t guid() const override { return guid_; }
+  uint64_t serial() const override {
+    return ctx_->serial.load(std::memory_order_acquire);
+  }
+  uint64_t last_commit_point() const override { return resume_serial_; }
+  size_t pending_count() const override { return 0; }  // synchronous engine
+  void set_async_callback(
+      std::function<void(const faster::AsyncResult&)> cb) override {
+    (void)cb;  // nothing ever completes asynchronously
+  }
+
+  ThreadContext* ctx() const { return ctx_; }
+
+ private:
+  const uint64_t guid_;
+  ThreadContext* const ctx_;
+  // Serial the session resumes at: the guid's durable commit point after a
+  // process restart, or the context's live serial when reattaching a parked
+  // in-process session (whose effects are all still in memory).
+  const uint64_t resume_serial_;
+};
+
+ThreadContext& TxDbBackend::Ctx(kv::Session& session) {
+  return *static_cast<SessionAdapter&>(session).ctx();
+}
+
+// -- Construction ------------------------------------------------------------
+
+TxDbBackend::TxDbBackend(Options options)
+    : options_(std::move(options)), db_(options_.db) {
+  assert(!options_.tables.empty());
+  // The KV surface's Rmw adds into the first 8 bytes of a table-0 row.
+  assert(options_.tables[0].value_size >= 8);
+  for (const TableSpec& t : options_.tables) {
+    db_.CreateTable(t.rows, t.value_size);
+  }
+  table0_rows_ = db_.table(0).rows();
+  table0_value_size_ = db_.table(0).value_size();
+  zero_value_.assign(table0_value_size_, 0);
+  pump_ctx_ = db_.RegisterThread();
+  pump_thread_ = std::thread([this] { PumpLoop(); });
+}
+
+TxDbBackend::~TxDbBackend() {
+  stop_pump_.store(true, std::memory_order_release);
+  pump_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& s : sessions_) db_.DeregisterThread(s->ctx());
+    sessions_.clear();
+  }
+  db_.DeregisterThread(pump_ctx_);
+}
+
+void TxDbBackend::PumpLoop() {
+  // Keeps the epoch (and therefore commit phase transitions) progressing
+  // even when no session is connected. Session contexts are refreshed by
+  // the server's event-loop workers; this context only covers the gaps.
+  while (!stop_pump_.load(std::memory_order_acquire)) {
+    db_.Refresh(*pump_ctx_);
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+}
+
+// -- Sessions ----------------------------------------------------------------
+
+kv::Session* TxDbBackend::StartSession(uint64_t guid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (guid == 0) {
+    guid = next_guid_++;
+  } else {
+    for (const auto& s : sessions_) {
+      if (s->guid() == guid) return nullptr;  // live duplicate
+    }
+    if (guid >= next_guid_) next_guid_ = guid + 1;
+  }
+  uint64_t durable = 0;
+  if (auto it = durable_points_.find(guid); it != durable_points_.end()) {
+    durable = it->second;
+  }
+  ThreadContext* ctx = db_.RegisterSession(guid, durable);
+  if (ctx == nullptr) return nullptr;  // context table full
+  // A reactivated parked context resumes at its live serial (its effects
+  // are in memory); a fresh one starts at the recovered durable point.
+  const uint64_t resume = ctx->serial.load(std::memory_order_acquire);
+  sessions_.push_back(
+      std::make_unique<SessionAdapter>(guid, ctx, resume));
+  return sessions_.back().get();
+}
+
+void TxDbBackend::StopSession(kv::Session* session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (it->get() == session) {
+      db_.DeregisterThread(it->get()->ctx());
+      sessions_.erase(it);
+      return;
+    }
+  }
+}
+
+Status TxDbBackend::DurableCommitPoint(uint64_t guid, uint64_t* serial) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = durable_points_.find(guid);
+  if (it == durable_points_.end()) {
+    return Status::NotFound("no durable commit point for guid " +
+                            std::to_string(guid));
+  }
+  *serial = it->second;
+  return Status::Ok();
+}
+
+// -- Durability counters -----------------------------------------------------
+
+uint64_t TxDbBackend::LastCheckpointToken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_checkpoint_token_;
+}
+
+uint64_t TxDbBackend::LastFinishedToken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_finished_token_;
+}
+
+uint64_t TxDbBackend::CheckpointFailures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checkpoint_failures_;
+}
+
+// -- KV surface (single-op transactions on table 0) --------------------------
+
+void TxDbBackend::ExecuteCommitted(ThreadContext& ctx,
+                                   const Transaction& txn) {
+  for (;;) {
+    switch (db_.Execute(ctx, txn)) {
+      case TxnResult::kCommitted:
+        return;
+      case TxnResult::kAbortedConflict:
+        std::this_thread::yield();
+        break;
+      case TxnResult::kAbortedCprShift:
+        break;  // Execute already refreshed; retry immediately
+    }
+  }
+}
+
+faster::OpStatus TxDbBackend::Read(kv::Session& session, uint64_t key,
+                                   void* value_out) {
+  ThreadContext& ctx = Ctx(session);
+  Transaction txn;
+  txn.ops.push_back(
+      TxnOp{0, OpType::kRead, key % table0_rows_, nullptr, 0});
+  ExecuteCommitted(ctx, txn);
+  std::memcpy(value_out, ctx.read_buffer.data(), table0_value_size_);
+  return faster::OpStatus::kOk;
+}
+
+faster::OpStatus TxDbBackend::Upsert(kv::Session& session, uint64_t key,
+                                     const void* value) {
+  ThreadContext& ctx = Ctx(session);
+  Transaction txn;
+  txn.ops.push_back(
+      TxnOp{0, OpType::kWrite, key % table0_rows_, value, 0});
+  ExecuteCommitted(ctx, txn);
+  return faster::OpStatus::kOk;
+}
+
+faster::OpStatus TxDbBackend::Rmw(kv::Session& session, uint64_t key,
+                                  int64_t delta) {
+  ThreadContext& ctx = Ctx(session);
+  Transaction txn;
+  txn.ops.push_back(
+      TxnOp{0, OpType::kAdd, key % table0_rows_, nullptr, delta});
+  ExecuteCommitted(ctx, txn);
+  return faster::OpStatus::kOk;
+}
+
+faster::OpStatus TxDbBackend::Delete(kv::Session& session, uint64_t key) {
+  // Rows of a fixed-size table always exist; delete means zero-fill.
+  ThreadContext& ctx = Ctx(session);
+  Transaction txn;
+  txn.ops.push_back(
+      TxnOp{0, OpType::kWrite, key % table0_rows_, zero_value_.data(), 0});
+  ExecuteCommitted(ctx, txn);
+  return faster::OpStatus::kOk;
+}
+
+void TxDbBackend::Refresh(kv::Session& session) {
+  db_.Refresh(Ctx(session));
+}
+
+size_t TxDbBackend::CompletePending(kv::Session& session, bool wait_for_all) {
+  (void)session;
+  (void)wait_for_all;
+  return 0;  // every operation completes inline
+}
+
+// -- Transactions ------------------------------------------------------------
+
+kv::TxnStatus TxDbBackend::Txn(kv::Session& session,
+                               const std::vector<kv::TxnOp>& ops,
+                               std::vector<std::vector<char>>* reads) {
+  if (ops.empty()) return kv::TxnStatus::kBadRequest;
+  ThreadContext& ctx = Ctx(session);
+
+  // Validate the whole read-write set before touching anything: a rejected
+  // transaction must have no effects and consume no serial.
+  Transaction txn;
+  txn.ops.reserve(ops.size());
+  for (const kv::TxnOp& op : ops) {
+    if (op.table >= db_.num_tables()) return kv::TxnStatus::kBadRequest;
+    Table& table = db_.table(op.table);
+    if (op.row >= table.rows()) return kv::TxnStatus::kBadRequest;
+    switch (op.kind) {
+      case kv::TxnOp::Kind::kRead:
+        txn.ops.push_back(TxnOp{op.table, OpType::kRead, op.row, nullptr, 0});
+        break;
+      case kv::TxnOp::Kind::kWrite:
+        if (op.value.size() != table.value_size()) {
+          return kv::TxnStatus::kBadRequest;
+        }
+        txn.ops.push_back(
+            TxnOp{op.table, OpType::kWrite, op.row, op.value.data(), 0});
+        break;
+      case kv::TxnOp::Kind::kAdd:
+        if (table.value_size() < 8) return kv::TxnStatus::kBadRequest;
+        txn.ops.push_back(
+            TxnOp{op.table, OpType::kAdd, op.row, nullptr, op.delta});
+        break;
+    }
+  }
+
+  for (;;) {
+    switch (db_.Execute(ctx, txn)) {
+      case TxnResult::kCommitted: {
+        if (reads != nullptr) {
+          reads->clear();
+          size_t read_idx = 0;
+          for (const kv::TxnOp& op : ops) {
+            if (op.kind != kv::TxnOp::Kind::kRead) continue;
+            const uint32_t n = db_.table(op.table).value_size();
+            const char* src =
+                ctx.read_buffer.data() + ctx.read_offsets[read_idx++];
+            reads->emplace_back(src, src + n);
+          }
+        }
+        return kv::TxnStatus::kCommitted;
+      }
+      case TxnResult::kAbortedConflict:
+        // NO-WAIT aborts surface to the client as retryable TXN_CONFLICT.
+        // The abort still consumes one session serial (with no effects) so
+        // the client's predicted serials — and its crash replay — line up
+        // with the server's regardless of the conflict.
+        ctx.serial.fetch_add(1, std::memory_order_release);
+        return kv::TxnStatus::kConflict;
+      case TxnResult::kAbortedCprShift:
+        break;  // the context refreshed; retry (at most once per commit)
+    }
+  }
+}
+
+// -- Checkpoints / recovery --------------------------------------------------
+
+bool TxDbBackend::Checkpoint(faster::CommitVariant variant, bool include_index,
+                             uint64_t* token_out) {
+  (void)variant;
+  (void)include_index;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_token_ != 0) {
+    // Coalesce: the in-flight commit's durable version covers this request
+    // too (every transaction executed before it concludes is captured or
+    // explicitly after its CPR points).
+    if (token_out != nullptr) *token_out = pending_token_;
+    return true;
+  }
+  const uint64_t v = db_.RequestCommit(
+      [this](uint64_t version, const Status& s,
+             const std::vector<CommitPoint>& points) {
+        OnCommitDone(version, s, points);
+      });
+  if (v == 0) return false;  // engine busy outside this backend's control
+  const uint64_t token = ++next_token_;
+  pending_token_ = token;
+  pending_version_ = v;
+  rounds_[token] = Round{v, false, Status::Ok()};
+  while (rounds_.size() > 64) rounds_.erase(rounds_.begin());
+  if (token_out != nullptr) *token_out = token;
+  return true;
+}
+
+void TxDbBackend::OnCommitDone(uint64_t version, const Status& status,
+                               const std::vector<CommitPoint>& points) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_token_ != 0 && pending_version_ == version) {
+    auto it = rounds_.find(pending_token_);
+    if (it != rounds_.end()) {
+      it->second.finished = true;
+      it->second.status = status;
+    }
+    last_finished_token_ = pending_token_;
+    if (status.ok()) {
+      last_checkpoint_token_ = pending_token_;
+    } else {
+      ++checkpoint_failures_;
+    }
+    pending_token_ = 0;
+    pending_version_ = 0;
+  }
+  if (status.ok()) {
+    for (const CommitPoint& p : points) {
+      if (p.guid == 0) continue;
+      uint64_t& d = durable_points_[p.guid];
+      if (p.serial > d) d = p.serial;  // serials are monotonic per guid
+    }
+  }
+  ckpt_cv_.notify_all();
+}
+
+bool TxDbBackend::CheckpointInProgress() const {
+  if (db_.CommitInProgress()) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_token_ != 0;
+}
+
+Status TxDbBackend::WaitForCheckpoint(uint64_t token) {
+  uint64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = rounds_.find(token);
+    if (it == rounds_.end()) {
+      return Status::NotFound("unknown checkpoint token " +
+                              std::to_string(token));
+    }
+    if (it->second.finished) return it->second.status;
+    version = it->second.version;
+  }
+  // The engine-level wait carries the no-progress detection (nobody
+  // refreshing -> error, not a hang). Its wakeup can slightly precede the
+  // commit callback, so wait for the round to be marked finished after.
+  const Status ws = db_.WaitForCommit(version);
+  if (ws.code() == Status::Code::kAborted ||
+      ws.code() == Status::Code::kInvalidArgument) {
+    return ws;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  ckpt_cv_.wait(lock, [this, token] {
+    auto it = rounds_.find(token);
+    return it == rounds_.end() || it->second.finished;
+  });
+  auto it = rounds_.find(token);
+  if (it != rounds_.end()) return it->second.status;
+  return ws;
+}
+
+Status TxDbBackend::Recover() {
+  std::vector<CommitPoint> points;
+  const Status s = db_.Recover(&points);
+  if (!s.ok()) return s;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const CommitPoint& p : points) {
+    if (p.guid == 0) continue;
+    uint64_t& d = durable_points_[p.guid];
+    if (p.serial > d) d = p.serial;
+    if (p.guid >= next_guid_) next_guid_ = p.guid + 1;
+  }
+  return Status::Ok();
+}
+
+}  // namespace cpr::txdb

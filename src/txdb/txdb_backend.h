@@ -1,0 +1,147 @@
+#ifndef CPR_TXDB_TXDB_BACKEND_H_
+#define CPR_TXDB_TXDB_BACKEND_H_
+
+// kv::Backend over the transactional database: KvServer serves either
+// engine unchanged, and TXN requests reach TransactionalDb::Execute as
+// multi-key transactions.
+//
+// Session mapping: each kv::Session binds 1:1 to a registered txdb
+// ThreadContext. Contexts are driven through the epoch slot-handle API, so
+// the server's event-loop workers refresh them from their connection ticks
+// exactly as they refresh FasterKv sessions (Backend::Refresh ->
+// TransactionalDb::Refresh). A stopped session's context is parked, not
+// destroyed: its guid and serial keep appearing in later checkpoints'
+// commit points, so a client resuming after a crash still recovers its
+// prefix. A background pump context keeps epoch progress alive when no
+// session is connected (commits would otherwise stall forever).
+//
+// Durability: Checkpoint() maps to TransactionalDb::RequestCommit and the
+// per-session commit points arrive via the commit callback; a Checkpoint()
+// issued while a commit is in flight coalesces onto it (both callers get
+// the same token, and therefore observe the same durable version) instead
+// of failing with "busy".
+//
+// KV surface: single-key ops address table 0 directly — key K maps to row
+// K % rows. Rows always exist (zero-filled), so Read never reports
+// kNotFound and Delete zero-fills. Rmw adds into the first 8 bytes.
+// NO-WAIT conflicts on this path are retried internally so every op
+// consumes exactly one serial, keeping the client's replay contract.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "shard/backend.h"
+#include "txdb/db.h"
+
+namespace cpr::txdb {
+
+class TxDbBackend final : public kv::Backend {
+ public:
+  struct TableSpec {
+    uint64_t rows = 1 << 16;
+    uint32_t value_size = 8;
+  };
+
+  struct Options {
+    TransactionalDb::Options db;  // mode defaults to kCpr below
+    // Tables created at construction; table 0 also serves the single-key KV
+    // surface. At least one entry.
+    std::vector<TableSpec> tables{TableSpec{}};
+    Options() { db.mode = DurabilityMode::kCpr; }
+  };
+
+  explicit TxDbBackend(Options options);
+  ~TxDbBackend() override;
+
+  TxDbBackend(const TxDbBackend&) = delete;
+  TxDbBackend& operator=(const TxDbBackend&) = delete;
+
+  kv::Session* StartSession(uint64_t guid) override;
+  void StopSession(kv::Session* session) override;
+  Status DurableCommitPoint(uint64_t guid, uint64_t* serial) const override;
+
+  uint64_t LastCheckpointToken() const override;
+  uint64_t LastFinishedToken() const override;
+  uint64_t CheckpointFailures() const override;
+
+  faster::OpStatus Read(kv::Session& session, uint64_t key,
+                        void* value_out) override;
+  faster::OpStatus Upsert(kv::Session& session, uint64_t key,
+                          const void* value) override;
+  faster::OpStatus Rmw(kv::Session& session, uint64_t key,
+                       int64_t delta) override;
+  faster::OpStatus Delete(kv::Session& session, uint64_t key) override;
+  void Refresh(kv::Session& session) override;
+  size_t CompletePending(kv::Session& session,
+                         bool wait_for_all = false) override;
+
+  kv::TxnStatus Txn(kv::Session& session, const std::vector<kv::TxnOp>& ops,
+                    std::vector<std::vector<char>>* reads) override;
+
+  // variant/include_index are FasterKv notions; the CPR commit has one
+  // flavor and ignores both.
+  bool Checkpoint(faster::CommitVariant variant, bool include_index,
+                  uint64_t* token_out) override;
+  bool CheckpointInProgress() const override;
+  Status WaitForCheckpoint(uint64_t token) override;
+  Status Recover() override;
+
+  uint32_t value_size() const override { return table0_value_size_; }
+
+  TransactionalDb& db() { return db_; }
+
+ private:
+  class SessionAdapter;
+
+  struct Round {
+    uint64_t version = 0;
+    bool finished = false;
+    Status status;
+  };
+
+  static ThreadContext& Ctx(kv::Session& session);
+
+  // Executes until committed, retrying NO-WAIT conflicts and CPR shifts —
+  // the single-op KV path must consume exactly one serial per call.
+  void ExecuteCommitted(ThreadContext& ctx, const Transaction& txn);
+
+  void OnCommitDone(uint64_t version, const Status& status,
+                    const std::vector<CommitPoint>& points);
+  void PumpLoop();
+
+  Options options_;
+  TransactionalDb db_;
+  uint64_t table0_rows_ = 0;
+  uint32_t table0_value_size_ = 0;
+  std::vector<char> zero_value_;  // Delete writes this
+
+  mutable std::mutex mu_;
+  std::condition_variable ckpt_cv_;
+  std::vector<std::unique_ptr<SessionAdapter>> sessions_;  // live only
+  std::unordered_map<uint64_t, uint64_t> durable_points_;  // guid -> serial
+  uint64_t next_guid_ = 1;
+  uint64_t next_token_ = 0;
+  uint64_t pending_token_ = 0;    // 0: no commit in flight via this backend
+  uint64_t pending_version_ = 0;  // db version of the pending round
+  uint64_t last_checkpoint_token_ = 0;
+  uint64_t last_finished_token_ = 0;
+  uint64_t checkpoint_failures_ = 0;
+  std::map<uint64_t, Round> rounds_;  // token -> outcome, trimmed
+
+  // Housekeeping context + thread: guarantees epoch progress (and therefore
+  // commit progress) even with zero connected sessions.
+  ThreadContext* pump_ctx_ = nullptr;
+  std::atomic<bool> stop_pump_{false};
+  std::thread pump_thread_;
+};
+
+}  // namespace cpr::txdb
+
+#endif  // CPR_TXDB_TXDB_BACKEND_H_

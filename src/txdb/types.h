@@ -5,6 +5,8 @@
 #include <functional>
 #include <vector>
 
+#include "util/status.h"
+
 namespace cpr::txdb {
 
 // How a transaction touches one record.
@@ -56,15 +58,22 @@ enum class DbPhase : uint8_t {
 };
 
 // Per-thread commit point of a finished CPR commit: "all transactions with
-// serial <= serial are durable for this thread, none after".
+// serial <= serial are durable for this thread, none after". `guid` is the
+// serving-layer session identity bound to the thread (0 when the context is
+// not serving a session); it survives in checkpoint metadata so recovery can
+// hand each resuming session its own commit point.
 struct CommitPoint {
   uint32_t thread_id = 0;
   uint64_t serial = 0;
+  uint64_t guid = 0;
 };
 
-// Invoked (from the checkpoint thread) when a commit becomes durable.
-using CommitCallback =
-    std::function<void(uint64_t version, const std::vector<CommitPoint>&)>;
+// Invoked (from the checkpoint thread) when a commit concludes: on success
+// `status.ok()` and the per-thread CPR points are durable; on a persistent
+// checkpoint failure the status carries the error and the points are what
+// the failed attempt captured (NOT durable).
+using CommitCallback = std::function<void(
+    uint64_t version, const Status& status, const std::vector<CommitPoint>&)>;
 
 }  // namespace cpr::txdb
 

@@ -165,26 +165,29 @@ void WalEngine::FlusherLoop() {
     FlushNow();
     CommitCallback cb;
     std::vector<CommitPoint> points;
-    bool durable = true;
+    uint64_t seq = 0;
+    Status flush_status;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      ++flush_seq_;
-      durable = flush_status_.ok();
+      seq = ++flush_seq_;
+      flush_status = flush_status_;
       cb = std::move(callback_);
       callback_ = nullptr;
-      if (cb && durable) {
+      if (cb && flush_status.ok()) {
         for (const auto& c : db_.contexts()) {
           if (c != nullptr) {
             points.push_back(CommitPoint{
-                c->thread_id, c->serial.load(std::memory_order_acquire)});
+                c->thread_id, c->serial.load(std::memory_order_acquire),
+                c->guid});
           }
         }
       }
     }
     durable_cv_.notify_all();
-    // The durable-commit callback fires only for flushes that actually
-    // reached the device; waiters learn about failures via WaitForCommit.
-    if (cb && durable) cb(flush_seq_, points);
+    // The callback fires for failed flushes too (with the sticky flush
+    // error and no points) so durable-ack layers can degrade instead of
+    // waiting on a durability signal that will never come.
+    if (cb) cb(seq, flush_status, points);
   }
   FlushNow();  // final drain so shutdown loses nothing published
 }

@@ -36,6 +36,7 @@
 #include "server/wire.h"
 #include "shard/sharded_kv.h"
 #include "txdb/db.h"
+#include "txdb/txdb_backend.h"
 
 namespace cpr {
 namespace {
@@ -54,15 +55,18 @@ uint32_t BaseSeed() {
 }
 
 // Randomized points per family, scaled so the defaults sum to ~50.
-int TxdbIters() { return std::max(1, EnvInt("CPR_FAULT_ITERS", 50) * 28 / 100); }
+int TxdbIters() { return std::max(1, EnvInt("CPR_FAULT_ITERS", 50) * 22 / 100); }
 int FasterIters() {
-  return std::max(1, EnvInt("CPR_FAULT_ITERS", 50) * 28 / 100);
+  return std::max(1, EnvInt("CPR_FAULT_ITERS", 50) * 22 / 100);
 }
 int CorruptIters() {
-  return std::max(1, EnvInt("CPR_FAULT_ITERS", 50) * 22 / 100);
+  return std::max(1, EnvInt("CPR_FAULT_ITERS", 50) * 18 / 100);
 }
 int ShardedIters() {
-  return std::max(1, EnvInt("CPR_FAULT_ITERS", 50) * 22 / 100);
+  return std::max(1, EnvInt("CPR_FAULT_ITERS", 50) * 18 / 100);
+}
+int TxnServerIters() {
+  return std::max(1, EnvInt("CPR_FAULT_ITERS", 50) * 20 / 100);
 }
 
 // Installs a fresh injector for the scope and guarantees uninstall even on
@@ -131,7 +135,11 @@ void TxdbCrashPointIteration(uint32_t seed) {
         db.DeregisterThread(ctx);
       });
     }
-    auto on_commit = [&](uint64_t, const std::vector<txdb::CommitPoint>& pts) {
+    auto on_commit = [&](uint64_t, const Status& status,
+                         const std::vector<txdb::CommitPoint>& pts) {
+      // The callback now also fires on persistent checkpoint failure; only a
+      // successful commit's points are durable acknowledgements.
+      if (!status.ok()) return;
       int64_t sum = 0;
       for (const txdb::CommitPoint& p : pts) {
         sum += static_cast<int64_t>(p.serial);
@@ -432,6 +440,158 @@ TEST(FaultRecoveryTest, ShardedRandomizedCrashPoints) {
   const int iters = ShardedIters();
   for (int i = 0; i < iters; ++i) {
     ShardedCrashPointIteration(BaseSeed() + 3000 + static_cast<uint32_t>(i));
+    if (HasFatalFailure()) return;
+  }
+}
+
+// -- TXN sessions over the wire: randomized crash points ----------------------
+
+// One iteration: a durable-ack TXN session against a served TxDbBackend
+// commits a multi-key baseline batch under a covering checkpoint, then keeps
+// issuing transactions — sometimes through a NO-WAIT conflict, sometimes
+// through torn checkpoints — with a crash armed at a random persistence op.
+// Every drain must conclude (degrade to NOT_DURABLE / ERROR, never hang).
+// After the "power loss", the client reconnects to a recovered server and
+// replays its unacknowledged suffix: each add must land exactly once, the
+// acknowledged-durable prefix must survive, and a conflicted transaction's
+// effects must never materialize.
+void TxnServerCrashPointIteration(uint32_t seed) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  const std::string dir = FreshDir();
+  std::mt19937 rng(seed);
+  InjectorScope guard;
+
+  auto backend_opts = [&] {
+    txdb::TxDbBackend::Options o;
+    o.db.durability_dir = dir;
+    o.tables = {txdb::TxDbBackend::TableSpec{8, 8}};
+    return o;
+  };
+  server::KvServerOptions so;
+  so.num_workers = 2;
+  so.idle_poll_ms = 1;
+
+  auto add_op = [](uint64_t row, int64_t delta) {
+    net::TxnWireOp op;
+    op.kind = net::TxnOpKind::kAdd;
+    op.row = row;
+    op.delta = delta;
+    return op;
+  };
+
+  int64_t adds_issued = 0;     // committed-or-replayable +1s on rows 0 and 1
+  uint64_t durable_acked = 0;  // serial of the last kOk durable ack
+
+  auto backend = std::make_unique<txdb::TxDbBackend>(backend_opts());
+  auto server = std::make_unique<server::KvServer>(backend.get(), so);
+  ASSERT_TRUE(server->Start().ok());
+  const uint16_t port = server->port();
+
+  client::CprClient::Options co;
+  co.port = port;
+  co.ack_mode = net::AckMode::kDurable;
+  co.recv_timeout_ms = 20'000;
+  client::CprClient c(co);
+  ASSERT_TRUE(c.Connect().ok());
+  const uint64_t guid = c.guid();
+
+  {
+
+    // Baseline: a batch of multi-key transactions made durable before any
+    // fault. These must survive the crash verbatim.
+    const int baseline = 3 + static_cast<int>(rng() % 8);
+    for (int i = 0; i < baseline; ++i) {
+      c.EnqueueTxn({add_op(0, 1), add_op(1, 1)});
+    }
+    c.EnqueueCheckpoint();
+    ASSERT_TRUE(c.Flush().ok());
+    std::vector<client::CprClient::Result> results;
+    ASSERT_TRUE(c.Drain(&results).ok());
+    ASSERT_EQ(results.size(), static_cast<size_t>(baseline + 1));
+    for (const auto& r : results) ASSERT_EQ(r.status, net::WireStatus::kOk);
+    adds_issued = baseline;
+    durable_acked = static_cast<uint64_t>(baseline);
+
+    // Optionally a NO-WAIT conflict: consumes one serial with zero effects;
+    // the acknowledged conflict neutralizes the replay entry, so the +100
+    // must never appear — before or after the crash.
+    if ((rng() & 1) != 0) {
+      ASSERT_TRUE(backend->db().table(0).header(5).latch.TryLock());
+      c.EnqueueTxn({add_op(5, 100)});
+      ASSERT_TRUE(c.Flush().ok());
+      results.clear();
+      ASSERT_TRUE(c.Drain(&results).ok());
+      ASSERT_EQ(results[0].status, net::WireStatus::kTxnConflict);
+      backend->db().table(0).header(5).latch.Unlock();
+    }
+
+    guard.inj.CrashAfter(1 + rng() % 40);
+    const int rounds = 1 + static_cast<int>(rng() % 3);
+    for (int r = 0; r < rounds; ++r) {
+      const int batch = 1 + static_cast<int>(rng() % 6);
+      for (int i = 0; i < batch; ++i) {
+        c.EnqueueTxn({add_op(0, 1), add_op(1, 1)});
+      }
+      adds_issued += batch;
+      const bool checkpoint = (rng() & 1) != 0;
+      if (checkpoint) c.EnqueueCheckpoint();
+      ASSERT_TRUE(c.Flush().ok());
+      if (checkpoint) {
+        // The round must conclude: kOk acks if the checkpoint beat the
+        // crash point, NOT_DURABLE + ERROR degradation if it didn't.
+        results.clear();
+        ASSERT_TRUE(c.Drain(&results).ok()) << "degraded drain must not hang";
+        for (const auto& res : results) {
+          if (res.op == net::Op::kTxn && res.status == net::WireStatus::kOk) {
+            durable_acked = std::max(durable_acked, res.serial);
+          }
+        }
+      }
+    }
+  }
+  server->Stop();
+  server.reset();
+  backend.reset();
+  guard.inj.Reset();
+
+  // Recover and serve again on the same port; the client replays its
+  // unacknowledged suffix under durable acks.
+  backend = std::make_unique<txdb::TxDbBackend>(backend_opts());
+  ASSERT_TRUE(backend->Recover().ok());
+  so.port = port;
+  server = std::make_unique<server::KvServer>(backend.get(), so);
+  ASSERT_TRUE(server->Start().ok());
+  ASSERT_TRUE(c.Reconnect().ok());
+  EXPECT_EQ(c.guid(), guid);
+  EXPECT_GE(c.recovered_serial(), durable_acked)
+      << "acknowledged-durable transactions lost";
+  EXPECT_EQ(c.replay_backlog(), 0u);
+
+  std::vector<std::vector<char>> reads;
+  net::TxnWireOp r0, r1, r5;  // default kind is kRead
+  r0.row = 0;
+  r1.row = 1;
+  r5.row = 5;
+  ASSERT_TRUE(c.Txn({r0, r1, r5}, &reads).ok());
+  ASSERT_EQ(reads.size(), 3u);
+  int64_t v0 = 0, v1 = 0, v5 = 0;
+  std::memcpy(&v0, reads[0].data(), sizeof(v0));
+  std::memcpy(&v1, reads[1].data(), sizeof(v1));
+  std::memcpy(&v5, reads[2].data(), sizeof(v5));
+  EXPECT_EQ(v0, adds_issued) << "row 0: adds applied " << v0
+                             << " times, issued " << adds_issued;
+  EXPECT_EQ(v1, adds_issued) << "row 1: adds applied " << v1
+                             << " times, issued " << adds_issued;
+  EXPECT_EQ(v5, 0) << "conflicted transaction's effect materialized";
+
+  c.Close();
+  server->Stop();
+}
+
+TEST(FaultRecoveryTest, TxnServerRandomizedCrashPoints) {
+  const int iters = TxnServerIters();
+  for (int i = 0; i < iters; ++i) {
+    TxnServerCrashPointIteration(BaseSeed() + 4000 + static_cast<uint32_t>(i));
     if (HasFatalFailure()) return;
   }
 }

@@ -133,7 +133,9 @@ TEST(CprCommitTest, CallbackReportsPerThreadPoints) {
   std::vector<CommitPoint> got;
   uint64_t got_version = 0;
   const uint64_t v = db.RequestCommit(
-      [&](uint64_t version, const std::vector<CommitPoint>& points) {
+      [&](uint64_t version, const Status& status,
+          const std::vector<CommitPoint>& points) {
+        ASSERT_TRUE(status.ok()) << status.message();
         got_version = version;
         got = points;
         called = true;
@@ -185,8 +187,9 @@ TEST(CprConsistencyTest, RecoveredStateMatchesPerThreadPointsExactly) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
     uint64_t v = 0;
     while ((v = db.RequestCommit(
-                [&](uint64_t, const std::vector<CommitPoint>& p) {
-                  points = p;
+                [&](uint64_t, const Status& s,
+                    const std::vector<CommitPoint>& p) {
+                  if (s.ok()) points = p;
                 })) == 0) {
       std::this_thread::yield();
     }

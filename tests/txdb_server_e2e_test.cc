@@ -1,0 +1,556 @@
+// End-to-end tests for serving multi-key transactions: a real KvServer over
+// a real socket with a TxDbBackend (TransactionalDb behind the kv::Backend
+// surface), driven by CprClient. Covers the TXN wire op (commit, reads,
+// NO-WAIT conflicts, validation), durable-ack gating on CPR commit points,
+// checkpoint coalescing, the WaitForCommit no-progress bugfixes, and the
+// headline scenario: KV and TXN sessions in one process crashing
+// mid-checkpoint and recovering with exactly-once effects on both paths.
+#include <gtest/gtest.h>
+
+#include "test_dirs.h"
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/client.h"
+#include "io/fault_injection.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "txdb/db.h"
+#include "txdb/txdb_backend.h"
+
+namespace cpr {
+namespace {
+
+using client::CprClient;
+using server::KvServer;
+using server::KvServerOptions;
+using txdb::TxDbBackend;
+
+std::string FreshDir() { return cpr::testing::FreshTestDir("cpr_txsrv"); }
+
+TxDbBackend::Options BackendOptions(const std::string& dir) {
+  TxDbBackend::Options o;
+  o.db.durability_dir = dir;
+  o.db.max_threads = 16;
+  o.tables = {TxDbBackend::TableSpec{16, 8}, TxDbBackend::TableSpec{4, 16}};
+  return o;
+}
+
+KvServerOptions ServerOptions(uint16_t port = 0) {
+  KvServerOptions o;
+  o.port = port;
+  o.num_workers = 2;
+  o.idle_poll_ms = 1;
+  o.max_connections = 8;  // each connection holds a txdb context
+  return o;
+}
+
+CprClient::Options ClientOptions(uint16_t port,
+                                 net::AckMode mode = net::AckMode::kExecuted) {
+  CprClient::Options o;
+  o.port = port;
+  o.ack_mode = mode;
+  o.recv_timeout_ms = 5'000;
+  return o;
+}
+
+net::TxnWireOp ReadOp(uint32_t table, uint64_t row) {
+  net::TxnWireOp op;
+  op.kind = net::TxnOpKind::kRead;
+  op.table = table;
+  op.row = row;
+  return op;
+}
+
+net::TxnWireOp AddOp(uint32_t table, uint64_t row, int64_t delta) {
+  net::TxnWireOp op;
+  op.kind = net::TxnOpKind::kAdd;
+  op.table = table;
+  op.row = row;
+  op.delta = delta;
+  return op;
+}
+
+net::TxnWireOp WriteOp(uint32_t table, uint64_t row, std::vector<char> v) {
+  net::TxnWireOp op;
+  op.kind = net::TxnOpKind::kWrite;
+  op.table = table;
+  op.row = row;
+  op.value = std::move(v);
+  return op;
+}
+
+int64_t AsInt64(const std::vector<char>& bytes) {
+  int64_t v = 0;
+  EXPECT_GE(bytes.size(), sizeof(v));
+  std::memcpy(&v, bytes.data(), sizeof(v));
+  return v;
+}
+
+struct InjectorScope {
+  FaultInjector inj;
+  InjectorScope() { FaultInjector::Install(&inj); }
+  ~InjectorScope() { FaultInjector::Install(nullptr); }
+};
+
+// The KV surface and the TXN surface hit the same tables through one
+// TransactionalDb: single-key ops address table 0 by row, and a multi-key
+// transaction commits atomically across tables.
+TEST(TxdbServerE2E, TxnRoundTripAndKvInterop) {
+  TxDbBackend backend(BackendOptions(FreshDir()));
+  KvServer server(&backend, ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  CprClient c(ClientOptions(server.port()));
+  ASSERT_TRUE(c.Connect().ok());
+  EXPECT_EQ(c.value_size(), 8u);
+
+  // Multi-table transaction: add, then read back in the same transaction
+  // (ops apply in order, so the read sees the add), plus a 16-byte write to
+  // table 1.
+  std::vector<char> wide(16);
+  for (int i = 0; i < 16; ++i) wide[static_cast<size_t>(i)] = static_cast<char>('a' + i);
+  std::vector<std::vector<char>> reads;
+  ASSERT_TRUE(c.Txn({AddOp(0, 3, 7), ReadOp(0, 3), WriteOp(1, 2, wide),
+                     ReadOp(1, 2)},
+                    &reads)
+                  .ok());
+  ASSERT_EQ(reads.size(), 2u);
+  EXPECT_EQ(AsInt64(reads[0]), 7);
+  EXPECT_EQ(reads[1], wide);
+
+  // The KV surface sees the transaction's effect on table 0 (key == row)...
+  bool found = false;
+  int64_t v = 0;
+  ASSERT_TRUE(c.Read(3, &v, &found).ok());
+  EXPECT_TRUE(found);  // fixed-schema rows always exist
+  EXPECT_EQ(v, 7);
+
+  // ...and a later transaction sees KV-surface updates.
+  ASSERT_TRUE(c.Rmw(3, 1).ok());
+  reads.clear();
+  ASSERT_TRUE(c.Txn({ReadOp(0, 3)}, &reads).ok());
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(AsInt64(reads[0]), 8);
+
+  // Delete zero-fills the row (rows always exist).
+  ASSERT_TRUE(c.Delete(3).ok());
+  reads.clear();
+  ASSERT_TRUE(c.Txn({ReadOp(0, 3)}, &reads).ok());
+  EXPECT_EQ(AsInt64(reads[0]), 0);
+
+  c.Close();
+  server.Stop();
+}
+
+// An invalid read-write set is rejected before anything executes: no
+// effects, no serial consumed — the next committed transaction's serial is
+// contiguous with the last.
+TEST(TxdbServerE2E, TxnValidationRejectsWithoutConsumingSerial) {
+  TxDbBackend backend(BackendOptions(FreshDir()));
+  KvServer server(&backend, ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  CprClient c(ClientOptions(server.port()));
+  ASSERT_TRUE(c.Connect().ok());
+
+  c.EnqueueTxn({AddOp(0, 1, 1)});
+  ASSERT_TRUE(c.Flush().ok());
+  std::vector<CprClient::Result> results;
+  ASSERT_TRUE(c.Drain(&results).ok());
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_EQ(results[0].status, net::WireStatus::kOk);
+  const uint64_t serial = results[0].serial;
+
+  // Unknown table, out-of-range row, wrong write width, add to a table too
+  // narrow for an int64 — all rejected up front.
+  EXPECT_EQ(c.Txn({AddOp(9, 0, 1)}).code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(c.Txn({ReadOp(1, 99)}).code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(c.Txn({WriteOp(1, 0, {'x'})}).code(),
+            Status::Code::kInvalidArgument);
+
+  results.clear();
+  c.EnqueueTxn({AddOp(0, 1, 1), ReadOp(0, 1)});
+  ASSERT_TRUE(c.Flush().ok());
+  ASSERT_TRUE(c.Drain(&results).ok());
+  ASSERT_EQ(results[0].status, net::WireStatus::kOk);
+  // Note: the client predicts serials for rejected TXNs too and resyncs at
+  // reconnect; the server-side sequence is what recovery depends on.
+  EXPECT_EQ(results[0].serial, serial + 1);
+  EXPECT_EQ(AsInt64(results[0].txn_reads[0]), 2);
+
+  c.Close();
+  server.Stop();
+}
+
+// A NO-WAIT lock conflict surfaces as the retryable TXN_CONFLICT status and
+// still consumes exactly one session serial (with zero effects), keeping the
+// client's predicted serials aligned for crash replay.
+TEST(TxdbServerE2E, TxnConflictIsRetryableAndConsumesOneSerial) {
+  TxDbBackend backend(BackendOptions(FreshDir()));
+  KvServer server(&backend, ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  CprClient c(ClientOptions(server.port()));
+  ASSERT_TRUE(c.Connect().ok());
+
+  // Hold row 5's record latch from the test thread: the server-side NO-WAIT
+  // acquisition must abort rather than wait.
+  ASSERT_TRUE(backend.db().table(0).header(5).latch.TryLock());
+  c.EnqueueTxn({AddOp(0, 5, 100)});
+  ASSERT_TRUE(c.Flush().ok());
+  std::vector<CprClient::Result> results;
+  ASSERT_TRUE(c.Drain(&results).ok());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, net::WireStatus::kTxnConflict);
+  const uint64_t conflict_serial = results[0].serial;
+  EXPECT_EQ(c.stats().txn_conflicts, 1u);
+  backend.db().table(0).header(5).latch.Unlock();
+
+  // The sync helper maps the conflict to Busy (retry the transaction).
+  // Meanwhile the serial sequence continues without a gap.
+  results.clear();
+  c.EnqueueTxn({AddOp(0, 5, 1), ReadOp(0, 5)});
+  ASSERT_TRUE(c.Flush().ok());
+  ASSERT_TRUE(c.Drain(&results).ok());
+  ASSERT_EQ(results[0].status, net::WireStatus::kOk);
+  EXPECT_EQ(results[0].serial, conflict_serial + 1);
+  // The conflicted +100 never applied.
+  EXPECT_EQ(AsInt64(results[0].txn_reads[0]), 1);
+
+  ASSERT_TRUE(backend.db().table(0).header(5).latch.TryLock());
+  EXPECT_EQ(c.Txn({AddOp(0, 5, 1)}).code(), Status::Code::kBusy);
+  backend.db().table(0).header(5).latch.Unlock();
+
+  c.Close();
+  server.Stop();
+}
+
+// Regression (WaitForCommit hang), part 1: deregistering the whole pool
+// mid-commit used to strand the commit in prepare forever. Deregistration
+// now parks each context with its CPR point and drives the phase machine,
+// so the commit COMPLETES and the wait returns Ok — with the parked
+// worker's serial in the durable points.
+TEST(TxdbServerE2E, WaitForCommitSurvivesDeregisteredPool) {
+  txdb::TransactionalDb::Options o;
+  o.mode = txdb::DurabilityMode::kCpr;
+  o.durability_dir = FreshDir();
+  txdb::TransactionalDb db(o);
+  const uint32_t t = db.CreateTable(8, 8);
+  txdb::ThreadContext* ctx = db.RegisterThread();
+  txdb::Transaction txn;
+  txn.ops.push_back(txdb::TxnOp{t, txdb::OpType::kAdd, 0, nullptr, 1});
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(db.Execute(*ctx, txn), txdb::TxnResult::kCommitted);
+  }
+
+  const uint64_t v = db.RequestCommit();
+  ASSERT_NE(v, 0u);
+  // Deliberately deregister the only worker while the commit is in flight.
+  db.DeregisterThread(ctx);
+  const Status s = db.WaitForCommit(v);
+  EXPECT_TRUE(s.ok()) << s.message();
+  EXPECT_FALSE(db.CommitInProgress());
+}
+
+// Regression (WaitForCommit hang), part 2: a pool that stays registered but
+// STOPS refreshing genuinely cannot make progress — prepare/in-progress
+// advance only via refresh-driven epoch actions. The wait must detect the
+// frozen safe epoch and return an error instead of blocking forever; once
+// the worker resumes refreshing the same commit can still finish.
+TEST(TxdbServerE2E, WaitForCommitDetectsStalledPool) {
+  txdb::TransactionalDb::Options o;
+  o.mode = txdb::DurabilityMode::kCpr;
+  o.durability_dir = FreshDir();
+  txdb::TransactionalDb db(o);
+  const uint32_t t = db.CreateTable(8, 8);
+  txdb::ThreadContext* ctx = db.RegisterThread();
+  txdb::Transaction txn;
+  txn.ops.push_back(txdb::TxnOp{t, txdb::OpType::kAdd, 0, nullptr, 1});
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(db.Execute(*ctx, txn), txdb::TxnResult::kCommitted);
+  }
+
+  const uint64_t v = db.RequestCommit();
+  ASSERT_NE(v, 0u);
+  // The worker never refreshes again (but stays registered): ~2s of frozen
+  // safe epoch trips the stall detector.
+  const Status s = db.WaitForCommit(v);
+  EXPECT_EQ(s.code(), Status::Code::kAborted) << s.message();
+  EXPECT_NE(s.message().find("stalled"), std::string::npos) << s.message();
+
+  // The commit is still pending; resuming refreshes lets it conclude.
+  while (db.CommitInProgress()) db.Refresh(*ctx);
+  EXPECT_TRUE(db.WaitForCommit(v).ok());
+  db.DeregisterThread(ctx);
+}
+
+// Regression (WaitForCommit(0) UB): 0 is RequestCommit's "already in
+// flight" answer, not a version; waiting on it must be rejected.
+TEST(TxdbServerE2E, WaitForCommitZeroIsInvalidArgument) {
+  txdb::TransactionalDb::Options o;
+  o.mode = txdb::DurabilityMode::kCpr;
+  o.durability_dir = FreshDir();
+  txdb::TransactionalDb db(o);
+  db.CreateTable(8, 8);
+  EXPECT_EQ(db.WaitForCommit(0).code(), Status::Code::kInvalidArgument);
+}
+
+// Regression (checkpoint-while-in-flight): a Checkpoint() issued while a
+// commit is pending coalesces onto it — both requesters get the same token
+// and therefore observe the same durable version — instead of failing.
+TEST(TxdbServerE2E, ConcurrentCheckpointRequestsCoalesce) {
+  TxDbBackend backend(BackendOptions(FreshDir()));
+  kv::Session* s = backend.StartSession(0);
+  ASSERT_NE(s, nullptr);
+  const uint64_t guid = s->guid();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(backend.Rmw(*s, 1, 1), faster::OpStatus::kOk);
+  }
+  // Park the session so the pump context alone drives the commit.
+  backend.StopSession(s);
+
+  uint64_t t1 = 0;
+  uint64_t t2 = 0;
+  ASSERT_TRUE(backend.Checkpoint(faster::CommitVariant::kFoldOver,
+                                 /*include_index=*/false, &t1));
+  ASSERT_TRUE(backend.Checkpoint(faster::CommitVariant::kFoldOver,
+                                 /*include_index=*/false, &t2));
+  EXPECT_EQ(t1, t2);  // second request rode the in-flight round
+  ASSERT_TRUE(backend.WaitForCheckpoint(t1).ok());
+  ASSERT_TRUE(backend.WaitForCheckpoint(t2).ok());
+  EXPECT_EQ(backend.LastCheckpointToken(), t1);
+
+  uint64_t point = 0;
+  ASSERT_TRUE(backend.DurableCommitPoint(guid, &point).ok());
+  EXPECT_EQ(point, 3u);
+
+  // Once the round concluded, a new request starts a fresh round.
+  uint64_t t3 = 0;
+  ASSERT_TRUE(backend.Checkpoint(faster::CommitVariant::kFoldOver,
+                                 /*include_index=*/false, &t3));
+  EXPECT_NE(t3, t1);
+  ASSERT_TRUE(backend.WaitForCheckpoint(t3).ok());
+}
+
+// In durable-ack mode a TXN response is withheld until a CPR commit point
+// covers its serial; read-only transactions release as soon as every
+// earlier update is covered (same rule as READ).
+TEST(TxdbServerE2E, DurableAckGatesTxnOnCommitPoint) {
+  TxDbBackend backend(BackendOptions(FreshDir()));
+  KvServer server(&backend, ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  CprClient c(ClientOptions(server.port(), net::AckMode::kDurable));
+  ASSERT_TRUE(c.Connect().ok());
+
+  for (int i = 0; i < 10; ++i) c.EnqueueTxn({AddOp(0, 1, 1), AddOp(0, 2, 1)});
+  ASSERT_TRUE(c.Flush().ok());
+  // Executed server-side, but no checkpoint yet: no acks may flow.
+  size_t processed = 0;
+  ASSERT_TRUE(c.TryDrain(nullptr, &processed).ok());
+  EXPECT_EQ(processed, 0u);
+  EXPECT_EQ(c.replay_backlog(), 10u);
+
+  c.EnqueueCheckpoint();
+  ASSERT_TRUE(c.Flush().ok());
+  std::vector<CprClient::Result> results;
+  ASSERT_TRUE(c.Drain(&results).ok());
+  ASSERT_EQ(results.size(), 11u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(results[i].status, net::WireStatus::kOk) << i;
+  }
+  EXPECT_EQ(results[10].status, net::WireStatus::kOk);
+  EXPECT_GE(c.durable_serial(), 10u);
+  EXPECT_EQ(c.replay_backlog(), 0u);  // durable acks trimmed the buffer
+
+  c.Close();
+  server.Stop();
+}
+
+// The headline scenario, mixed backends edition: one process serves a KV
+// session and a TXN session over the same TransactionalDb. A checkpoint
+// makes a prefix durable on both sessions; later work — including a
+// neutralized TXN conflict — is executed but never durable; a second
+// checkpoint is torn mid-write by fault injection (NOT_DURABLE degradation);
+// the process "crashes" and recovers from the surviving checkpoint. Both
+// clients reconnect, learn their own commit points, replay exactly their
+// unacknowledged suffixes, and every row ends up with exactly-once effects.
+TEST(TxdbServerE2E, MixedKvTxnCrashMidCheckpointRecoversExactlyOnce) {
+  const std::string dir = FreshDir();
+  constexpr int kTxnBatch1 = 20;
+  constexpr int kTxnBatch2 = 15;
+  constexpr int kKvBatch1 = 12;
+  constexpr int kKvBatch2 = 9;
+  InjectorScope guard;
+  auto backend1 = std::make_unique<TxDbBackend>(BackendOptions(dir));
+  auto server1 = std::make_unique<KvServer>(backend1.get(), ServerOptions());
+  ASSERT_TRUE(server1->Start().ok());
+  const uint16_t port0 = server1->port();
+
+  CprClient txc(ClientOptions(port0, net::AckMode::kDurable));
+  CprClient kvc(ClientOptions(port0, net::AckMode::kDurable));
+  ASSERT_TRUE(txc.Connect().ok());
+  ASSERT_TRUE(kvc.Connect().ok());
+  const uint64_t txn_guid = txc.guid();
+  const uint64_t kv_guid = kvc.guid();
+  ASSERT_NE(txn_guid, kv_guid);
+
+  // Phase 1, TXN session: multi-key adds, then a checkpoint that makes them
+  // durable (acks only flow once the commit point covers them).
+  for (int i = 0; i < kTxnBatch1; ++i) {
+    txc.EnqueueTxn({AddOp(0, 0, 1), AddOp(0, 1, 1)});
+  }
+  txc.EnqueueCheckpoint();
+  ASSERT_TRUE(txc.Flush().ok());
+  std::vector<CprClient::Result> results;
+  ASSERT_TRUE(txc.Drain(&results).ok());
+  ASSERT_EQ(results.size(), static_cast<size_t>(kTxnBatch1 + 1));
+  for (const auto& r : results) {
+    ASSERT_EQ(r.status, net::WireStatus::kOk);
+  }
+  EXPECT_EQ(txc.replay_backlog(), 0u);
+
+  // Phase 1, KV session: single-key RMWs plus its own covering checkpoint.
+  for (int i = 0; i < kKvBatch1; ++i) kvc.EnqueueRmw(8, 1);
+  kvc.EnqueueCheckpoint();
+  ASSERT_TRUE(kvc.Flush().ok());
+  results.clear();
+  ASSERT_TRUE(kvc.Drain(&results).ok());
+  ASSERT_EQ(results.size(), static_cast<size_t>(kKvBatch1 + 1));
+  for (const auto& r : results) {
+    ASSERT_EQ(r.status, net::WireStatus::kOk);
+  }
+
+  // A conflicted TXN: consumes serial kTxnBatch1+1 with zero effects. The
+  // acknowledged conflict neutralizes the client's replay entry, so the
+  // post-crash replay regenerates the serial WITHOUT the +100.
+  ASSERT_TRUE(backend1->db().table(0).header(5).latch.TryLock());
+  txc.EnqueueTxn({AddOp(0, 5, 100)});
+  ASSERT_TRUE(txc.Flush().ok());
+  results.clear();
+  ASSERT_TRUE(txc.Drain(&results).ok());
+  ASSERT_EQ(results[0].status, net::WireStatus::kTxnConflict);
+  backend1->db().table(0).header(5).latch.Unlock();
+  EXPECT_EQ(txc.replay_backlog(), 1u);  // neutralized, not dropped
+
+  // Phase 2: executed but never durable. Flushed to the server, acks never
+  // drained.
+  for (int i = 0; i < kTxnBatch2; ++i) {
+    txc.EnqueueTxn({AddOp(0, 0, 1), AddOp(0, 2, 1)});
+  }
+  ASSERT_TRUE(txc.Flush().ok());
+  for (int i = 0; i < kKvBatch2; ++i) kvc.EnqueueRmw(9, 1);
+  ASSERT_TRUE(kvc.Flush().ok());
+  EXPECT_EQ(txc.replay_backlog(), static_cast<size_t>(1 + kTxnBatch2));
+  EXPECT_EQ(kvc.replay_backlog(), static_cast<size_t>(kKvBatch2));
+
+  // Mid-checkpoint crash: every persistence op from here on fails, so the
+  // checkpoint the TXN client requests is torn. The server degrades the
+  // gated acks to NOT_DURABLE instead of hanging; everything stays in the
+  // replay buffer.
+  guard.inj.CrashAfter(1);
+  txc.EnqueueCheckpoint();
+  ASSERT_TRUE(txc.Flush().ok());
+  results.clear();
+  ASSERT_TRUE(txc.Drain(&results).ok());
+  ASSERT_EQ(results.size(), static_cast<size_t>(kTxnBatch2 + 1));
+  for (int i = 0; i < kTxnBatch2; ++i) {
+    EXPECT_EQ(results[static_cast<size_t>(i)].status,
+              net::WireStatus::kNotDurable);
+  }
+  EXPECT_EQ(results[static_cast<size_t>(kTxnBatch2)].status,
+            net::WireStatus::kError);
+  EXPECT_EQ(txc.replay_backlog(), static_cast<size_t>(1 + kTxnBatch2));
+  EXPECT_GT(txc.stats().not_durable_acks, 0u);
+
+  // Crash: tear everything down. Phase 2 lived only in volatile memory.
+  server1->Stop();
+  server1.reset();
+  backend1.reset();
+  guard.inj.Reset();
+
+  // Recover from the surviving (phase-1) checkpoint and serve again.
+  auto backend2 = std::make_unique<TxDbBackend>(BackendOptions(dir));
+  ASSERT_TRUE(backend2->Recover().ok());
+  auto server2 = std::make_unique<KvServer>(backend2.get(),
+                                            ServerOptions(port0));
+  ASSERT_TRUE(server2->Start().ok());
+
+  // Both sessions resume at their own recovered commit points and replay
+  // exactly the unacknowledged suffix (durable mode forces a covering
+  // checkpoint behind the replay).
+  ASSERT_TRUE(txc.Reconnect().ok());
+  EXPECT_EQ(txc.guid(), txn_guid);
+  EXPECT_EQ(txc.recovered_serial(), static_cast<uint64_t>(kTxnBatch1));
+  EXPECT_EQ(txc.replay_backlog(), 0u);
+  ASSERT_TRUE(kvc.Reconnect().ok());
+  EXPECT_EQ(kvc.guid(), kv_guid);
+  EXPECT_EQ(kvc.recovered_serial(), static_cast<uint64_t>(kKvBatch1));
+  EXPECT_EQ(kvc.replay_backlog(), 0u);
+
+  // Exactly-once, both paths:
+  //   row 0: batch1 + batch2 TXN adds;  row 1: batch1 only;  row 2: batch2
+  //   only;  row 5: 0 (the conflicted +100 must never apply);
+  //   row 8/9: the KV session's RMW counts.
+  std::vector<std::vector<char>> reads;
+  ASSERT_TRUE(txc.Txn({ReadOp(0, 0), ReadOp(0, 1), ReadOp(0, 2),
+                       ReadOp(0, 5), ReadOp(0, 8), ReadOp(0, 9)},
+                      &reads)
+                  .ok());
+  ASSERT_EQ(reads.size(), 6u);
+  EXPECT_EQ(AsInt64(reads[0]), kTxnBatch1 + kTxnBatch2);
+  EXPECT_EQ(AsInt64(reads[1]), kTxnBatch1);
+  EXPECT_EQ(AsInt64(reads[2]), kTxnBatch2);
+  EXPECT_EQ(AsInt64(reads[3]), 0);
+  EXPECT_EQ(AsInt64(reads[4]), kKvBatch1);
+  EXPECT_EQ(AsInt64(reads[5]), kKvBatch2);
+
+  uint64_t point = 0;
+  ASSERT_TRUE(txc.CommitPoint(&point).ok());
+  EXPECT_GE(point, static_cast<uint64_t>(kTxnBatch1 + 1 + kTxnBatch2));
+
+  txc.Close();
+  kvc.Close();
+  server2->Stop();
+}
+
+// A live disconnect/reconnect (no crash) resumes a TXN session at its exact
+// serial through the parked-context path: nothing is replayed and later
+// checkpoints still cover the session's full history.
+TEST(TxdbServerE2E, LiveReconnectResumesTxnSessionInProcess) {
+  TxDbBackend backend(BackendOptions(FreshDir()));
+  KvServer server(&backend, ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  CprClient c(ClientOptions(server.port()));
+  ASSERT_TRUE(c.Connect().ok());
+  const uint64_t guid = c.guid();
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(c.Txn({AddOp(0, 4, 1)}).ok());
+  }
+
+  ASSERT_TRUE(c.Reconnect().ok());
+  EXPECT_EQ(c.guid(), guid);
+  // Live resume: the parked context kept its serial; nothing was lost.
+  EXPECT_EQ(c.recovered_serial(), 6u);
+
+  std::vector<std::vector<char>> reads;
+  ASSERT_TRUE(c.Txn({AddOp(0, 4, 1), ReadOp(0, 4)}, &reads).ok());
+  EXPECT_EQ(AsInt64(reads[0]), 7);
+
+  // A checkpoint after the resume covers the whole history under the guid.
+  uint64_t commit_serial = 0;
+  ASSERT_TRUE(c.Checkpoint(nullptr, &commit_serial).ok());
+  EXPECT_GE(commit_serial, 7u);
+
+  c.Close();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace cpr

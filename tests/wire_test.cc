@@ -233,7 +233,7 @@ TEST(WireRequest, RejectsBadEnums) {
   std::string bad_op = payload;
   bad_op[0] = 0;  // below kHello
   EXPECT_FALSE(DecodeRequest(bad_op, &out));
-  bad_op[0] = 8;  // above kCommitPoint
+  bad_op[0] = 10;  // above kTxn
   EXPECT_FALSE(DecodeRequest(bad_op, &out));
 
   Request hello;
@@ -250,6 +250,166 @@ TEST(WireRequest, RejectsBadEnums) {
   std::string cp = EncodedRequestPayload(ck);
   cp[cp.size() - 2] = 3;  // variant past snapshot
   EXPECT_FALSE(DecodeRequest(cp, &out));
+}
+
+TEST(WireRequest, TxnRoundTrip) {
+  Request req;
+  req.op = Op::kTxn;
+  req.seq = 41;
+  TxnWireOp r;
+  r.kind = TxnOpKind::kRead;
+  r.table = 1;
+  r.row = 7;
+  TxnWireOp w;
+  w.kind = TxnOpKind::kWrite;
+  w.table = 0;
+  w.row = 3;
+  w.value = {'a', 'b', 'c', 'd'};
+  TxnWireOp a;
+  a.kind = TxnOpKind::kAdd;
+  a.table = 2;
+  a.row = 900;
+  a.delta = -17;
+  req.txn_ops = {r, w, a};
+
+  Request out;
+  ASSERT_TRUE(DecodeRequest(EncodedRequestPayload(req), &out));
+  EXPECT_EQ(out.op, Op::kTxn);
+  EXPECT_EQ(out.seq, 41u);
+  ASSERT_EQ(out.txn_ops.size(), 3u);
+  EXPECT_EQ(out.txn_ops[0].kind, TxnOpKind::kRead);
+  EXPECT_EQ(out.txn_ops[0].table, 1u);
+  EXPECT_EQ(out.txn_ops[0].row, 7u);
+  EXPECT_EQ(out.txn_ops[1].kind, TxnOpKind::kWrite);
+  EXPECT_EQ(out.txn_ops[1].value, (std::vector<char>{'a', 'b', 'c', 'd'}));
+  EXPECT_EQ(out.txn_ops[2].kind, TxnOpKind::kAdd);
+  EXPECT_EQ(out.txn_ops[2].delta, -17);
+}
+
+TEST(WireRequest, RejectsBadTxnBodies) {
+  Request req;
+  req.op = Op::kTxn;
+  req.seq = 1;
+  TxnWireOp w;
+  w.kind = TxnOpKind::kWrite;
+  w.row = 1;
+  w.value = {'v'};
+  req.txn_ops = {w};
+  const std::string payload = EncodedRequestPayload(req);
+  Request out;
+  ASSERT_TRUE(DecodeRequest(payload, &out));
+
+  // Op-kind byte past kAdd (first byte after the u32 op count).
+  std::string bad_kind = payload;
+  bad_kind[5 + 4] = 3;
+  EXPECT_FALSE(DecodeRequest(bad_kind, &out));
+
+  // Zero ops.
+  Request empty;
+  empty.op = Op::kTxn;
+  empty.seq = 1;
+  std::string ep = EncodedRequestPayload(empty);
+  EXPECT_FALSE(DecodeRequest(ep, &out));
+
+  // Op count over kMaxTxnOps (without the bytes to back it).
+  std::string many = payload;
+  const uint32_t huge = kMaxTxnOps + 1;
+  std::memcpy(many.data() + 5, &huge, sizeof(huge));
+  EXPECT_FALSE(DecodeRequest(many, &out));
+
+  // Every truncation of a valid TXN body fails cleanly.
+  for (size_t n = 0; n < payload.size(); ++n) {
+    EXPECT_FALSE(DecodeRequest(std::string_view(payload.data(), n), &out))
+        << "prefix " << n;
+  }
+}
+
+// Regression for the decode-validation bug class: mutate EVERY byte of a
+// valid encoding of EVERY op through all 256 values. Whatever still decodes
+// must carry only in-range enums — a corrupted or malicious frame can never
+// smuggle an out-of-range enum past DecodeRequest (the server previously
+// relied on handlers to cope).
+TEST(WireRequest, FuzzedBytesNeverDecodeOutOfRangeEnums) {
+  std::vector<Request> exemplars;
+  {
+    Request r;
+    r.op = Op::kHello;
+    r.seq = 1;
+    r.guid = 7;
+    r.ack_mode = AckMode::kDurable;
+    exemplars.push_back(r);
+  }
+  for (Op op : {Op::kRead, Op::kRmw, Op::kDelete, Op::kCommitPoint}) {
+    Request r;
+    r.op = op;
+    r.seq = 2;
+    r.key = 5;
+    r.delta = -1;
+    exemplars.push_back(r);
+  }
+  {
+    Request r;
+    r.op = Op::kUpsert;
+    r.seq = 3;
+    r.key = 5;
+    r.value = {'x', 'y'};
+    exemplars.push_back(r);
+  }
+  {
+    Request r;
+    r.op = Op::kCheckpoint;
+    r.seq = 4;
+    r.variant = 1;
+    r.include_index = true;
+    exemplars.push_back(r);
+  }
+  {
+    Request r;
+    r.op = Op::kStats;
+    r.seq = 5;
+    r.stats_kind = StatsKind::kTraceJson;
+    exemplars.push_back(r);
+  }
+  {
+    Request r;
+    r.op = Op::kTxn;
+    r.seq = 6;
+    TxnWireOp w;
+    w.kind = TxnOpKind::kWrite;
+    w.row = 2;
+    w.value = {'v', 'w'};
+    TxnWireOp a;
+    a.kind = TxnOpKind::kAdd;
+    a.row = 3;
+    a.delta = 9;
+    r.txn_ops = {w, a};
+    exemplars.push_back(r);
+  }
+
+  for (const Request& req : exemplars) {
+    const std::string payload = EncodedRequestPayload(req);
+    for (size_t pos = 0; pos < payload.size(); ++pos) {
+      for (int v = 0; v < 256; ++v) {
+        std::string mutated = payload;
+        mutated[pos] = static_cast<char>(v);
+        Request out;
+        if (!DecodeRequest(mutated, &out)) continue;
+        const uint8_t op = static_cast<uint8_t>(out.op);
+        EXPECT_GE(op, static_cast<uint8_t>(Op::kHello))
+            << OpName(req.op) << " pos " << pos << " val " << v;
+        EXPECT_LE(op, static_cast<uint8_t>(Op::kTxn))
+            << OpName(req.op) << " pos " << pos << " val " << v;
+        EXPECT_LE(static_cast<uint8_t>(out.ack_mode),
+                  static_cast<uint8_t>(AckMode::kDurable));
+        EXPECT_LE(out.variant, 1);
+        EXPECT_LE(static_cast<uint8_t>(out.stats_kind), kMaxStatsKind);
+        EXPECT_LE(out.txn_ops.size(), static_cast<size_t>(kMaxTxnOps));
+        for (const TxnWireOp& top : out.txn_ops) {
+          EXPECT_LE(static_cast<uint8_t>(top.kind), kMaxTxnOpKind);
+        }
+      }
+    }
+  }
 }
 
 // -- Response round-trips -----------------------------------------------------
@@ -328,6 +488,29 @@ TEST(WireResponse, CheckpointAndCommitPointRoundTrip) {
   EXPECT_EQ(out.commit_serial, 321u);
 }
 
+TEST(WireResponse, TxnReadsOnlyWhenOk) {
+  Response resp;
+  resp.op = Op::kTxn;
+  resp.status = WireStatus::kOk;
+  resp.seq = 5;
+  resp.serial = 12;
+  resp.txn_reads = {{'a', 'b'}, {'c', 'd'}};
+  Response out;
+  ASSERT_TRUE(DecodeResponse(EncodedResponsePayload(resp), &out));
+  EXPECT_EQ(out.status, WireStatus::kOk);
+  EXPECT_EQ(out.serial, 12u);
+  ASSERT_EQ(out.txn_reads.size(), 2u);
+  EXPECT_EQ(out.txn_reads[0], (std::vector<char>{'a', 'b'}));
+  EXPECT_EQ(out.txn_reads[1], (std::vector<char>{'c', 'd'}));
+
+  // A conflicted TXN carries no read results, only the consumed serial.
+  resp.status = WireStatus::kTxnConflict;
+  ASSERT_TRUE(DecodeResponse(EncodedResponsePayload(resp), &out));
+  EXPECT_EQ(out.status, WireStatus::kTxnConflict);
+  EXPECT_EQ(out.serial, 12u);
+  EXPECT_TRUE(out.txn_reads.empty());
+}
+
 TEST(WireResponse, RejectsTruncatedAndTrailing) {
   Response resp;
   resp.op = Op::kCheckpoint;
@@ -352,9 +535,12 @@ TEST(WireResponse, RejectsBadStatus) {
   resp.status = WireStatus::kOk;
   resp.seq = 1;
   std::string payload = EncodedResponsePayload(resp);
-  payload[1] = 7;  // past kNotDurable
+  payload[1] = 8;  // past kTxnConflict
   Response out;
   EXPECT_FALSE(DecodeResponse(payload, &out));
+  payload[1] = 7;  // kTxnConflict decodes fine
+  EXPECT_TRUE(DecodeResponse(payload, &out));
+  EXPECT_EQ(out.status, WireStatus::kTxnConflict);
   payload[1] = 6;  // kNotDurable decodes fine
   EXPECT_TRUE(DecodeResponse(payload, &out));
   EXPECT_EQ(out.status, WireStatus::kNotDurable);
