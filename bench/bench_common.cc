@@ -1,5 +1,7 @@
 #include "bench_common.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -46,9 +48,13 @@ std::vector<uint32_t> SweepThreads() {
 }
 
 std::string FreshBenchDir(const std::string& tag) {
+  // Pid-qualified so concurrent bench processes (e.g. two crash campaigns
+  // in parallel CI lanes on one machine) never rm -rf each other's live
+  // durability directories.
   static std::atomic<int> counter{0};
-  std::string dir =
-      "/tmp/cpr_bench_" + tag + "_" + std::to_string(counter.fetch_add(1));
+  std::string dir = "/tmp/cpr_bench_" + tag + "_" +
+                    std::to_string(::getpid()) + "_" +
+                    std::to_string(counter.fetch_add(1));
   std::string cmd = "rm -rf " + dir;
   (void)!system(cmd.c_str());
   return dir;

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "certify/checker.h"
+#include "certify/history.h"
 #include "client/client.h"
 
 namespace {
@@ -25,7 +27,11 @@ namespace {
 void Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--host H] [--port N] [--guid G] [--durable] [cmd...]\n"
+      "usage: %s [--host H] [--port N] [--guid G] [--durable]\n"
+      "          [--record-history=F] [cmd...]\n"
+      "--record-history=F journals every observed event (HELLO results,\n"
+      "acks, commit-point notifications) to the checked blob F on exit, for\n"
+      "the offline certifier (certify_check).\n"
       "commands (one per line in the REPL, or a single one on argv):\n"
       "  put K V      upsert int64 value V at key K\n"
       "  get K        read key K\n"
@@ -42,6 +48,14 @@ void Usage(const char* argv0) {
       "  trace [F]    fetch the checkpoint lifecycle trace (Chrome\n"
       "               trace_event JSON) to stdout, or to file F — open\n"
       "               it in Perfetto (ui.perfetto.dev)\n"
+      "  dump F       write the server's full state (all tables, over the\n"
+      "               sessionless DUMP op) to the checked blob F; meaningful\n"
+      "               on a quiesced server\n"
+      "  certify BASELINE HIST...\n"
+      "               dump the server's CURRENT state as the final state and\n"
+      "               check the recorded histories HIST... against the CPR\n"
+      "               contract relative to the BASELINE dump; prints each\n"
+      "               violation, \"certified\" if none\n"
       "  info         print guid / serials / replay backlog\n"
       "  quit         exit the REPL\n",
       argv0);
@@ -191,6 +205,46 @@ int Exec(cpr::client::CprClient& c, const std::vector<std::string>& cmd) {
       std::fwrite(json.data(), 1, json.size(), stdout);
       std::fputc('\n', stdout);
     }
+  } else if (op == "dump" && cmd.size() == 2) {
+    cpr::certify::StateDump dump;
+    cpr::Status s = c.DumpState(&dump);
+    if (!s.ok()) return fail(s);
+    s = cpr::certify::WriteStateDumpFile(cmd[1], dump);
+    if (!s.ok()) return fail(s);
+    uint64_t live = 0;
+    for (const auto& t : dump.tables) live += t.rows.size();
+    std::printf("dumped %zu tables (%llu live rows) to %s\n",
+                dump.tables.size(), static_cast<unsigned long long>(live),
+                cmd[1].c_str());
+  } else if (op == "certify" && cmd.size() >= 3) {
+    cpr::certify::StateDump baseline;
+    cpr::Status s = cpr::certify::ReadStateDumpFile(cmd[1], &baseline);
+    if (!s.ok()) return fail(s);
+    std::vector<cpr::certify::History> histories;
+    for (size_t i = 2; i < cmd.size(); ++i) {
+      cpr::certify::History h;
+      s = cpr::certify::ReadHistoryFile(cmd[i], &h);
+      if (!s.ok()) return fail(s);
+      histories.push_back(std::move(h));
+    }
+    cpr::certify::StateDump final_state;
+    s = c.DumpState(&final_state);
+    if (!s.ok()) return fail(s);
+    const auto violations =
+        cpr::certify::CheckHistories(baseline, final_state, histories);
+    for (const auto& v : violations) {
+      std::printf("VIOLATION %s guid=%llu serial=%llu table=%u row=%llu: %s\n",
+                  cpr::certify::ViolationCodeName(v.code),
+                  static_cast<unsigned long long>(v.guid),
+                  static_cast<unsigned long long>(v.serial), v.table,
+                  static_cast<unsigned long long>(v.row), v.detail.c_str());
+    }
+    if (!violations.empty()) {
+      std::printf("%zu violations\n", violations.size());
+      return 1;
+    }
+    std::printf("certified: %zu histories against the live state\n",
+                histories.size());
   } else if (op == "info") {
     std::printf("guid=%llu recovered_serial=%llu durable_serial=%llu "
                 "replay_backlog=%zu\n",
@@ -210,6 +264,8 @@ int Exec(cpr::client::CprClient& c, const std::vector<std::string>& cmd) {
 int main(int argc, char** argv) {
   cpr::client::CprClient::Options opts;
   opts.port = 7777;
+  cpr::certify::HistoryRecorder recorder;
+  std::string history_path;
   std::vector<std::string> cmd;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -228,6 +284,12 @@ int main(int argc, char** argv) {
       opts.guid = std::strtoull(next(), nullptr, 0);
     } else if (arg == "--durable") {
       opts.ack_mode = cpr::net::AckMode::kDurable;
+    } else if (arg.rfind("--record-history=", 0) == 0) {
+      history_path = arg.substr(std::strlen("--record-history="));
+      opts.recorder = &recorder;
+    } else if (arg == "--record-history") {
+      history_path = next();
+      opts.recorder = &recorder;
     } else if (arg == "--help") {
       Usage(argv[0]);
       return 0;
@@ -242,6 +304,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "connect failed: %s\n", s.ToString().c_str());
     return 1;
   }
+  int rc = 0;
   if (cmd.empty()) {
     std::printf("connected: guid=%llu recovered_serial=%llu (\"help\": see "
                 "--help)\n",
@@ -258,7 +321,17 @@ int main(int argc, char** argv) {
       }
       Exec(client, tokens);
     }
-    return 0;
+  } else {
+    rc = Exec(client, cmd);
   }
-  return Exec(client, cmd);
+  if (!history_path.empty()) {
+    const cpr::Status s = recorder.WriteFile(history_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "history write failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("history: %zu events to %s\n",
+                recorder.history().events.size(), history_path.c_str());
+  }
+  return rc;
 }

@@ -1,0 +1,69 @@
+#ifndef CPR_CERTIFY_CHECKER_H_
+#define CPR_CERTIFY_CHECKER_H_
+
+// Offline prefix-serializability checker for CPR crash campaigns.
+//
+// Given a baseline state dump (taken after loading, before traffic), the
+// final state dump (taken on the recovered, quiesced server after every
+// client reconnected and replayed), and one recorded history per client
+// (history.h), CheckHistories verifies the paper's contract:
+//
+//   1. Per session, acked serials are contiguous within each incarnation
+//      (acks are FIFO and replay regenerates the identical serials), and a
+//      reconnect never resumes below a durable point the client was already
+//      notified of — the committed prefix is prefix-closed.
+//   2. The final state equals replaying exactly the committed operations:
+//      per (table, row), the dumped value must be reachable by SOME
+//      interleaving of the committed effects. Rows touched by a single
+//      writer session are checked exactly; rows with cross-session write
+//      interleavings are checked against a sound relaxation (the value must
+//      carry one committed write's payload, with the add-accumulator within
+//      the reachable envelope), so a reported violation is always real.
+//   3. Conflict-neutralized transactions contributed no effects (a
+//      mismatch on a row a conflicted transaction targeted is attributed as
+//      CONFLICT_EFFECT).
+//   4. Every read observation in the committed prefix (single-key READ
+//      values and committed TXN read results) is justified by some
+//      serialization of the committed effects on that row.
+//
+// The checker trusts the recording protocol documented in history.h: every
+// client's history must extend through the final server incarnation. Within
+// that protocol, replay is deterministic (clients re-issue the identical
+// buffered requests), which is what lets pre-crash read observations be
+// justified against the final committed effect set.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "certify/history.h"
+
+namespace cpr::certify {
+
+struct Violation {
+  enum class Code : uint8_t {
+    kBadHistory = 0,      // malformed/incoherent journal or dump shapes
+    kSerialGap = 1,       // session skipped ahead: serials not contiguous
+    kAckOrder = 2,        // ack serial regressed or duplicated out of order
+    kLostDurable = 3,     // reconnect resumed below a notified durable point
+    kStateMismatch = 4,   // final state not reachable from committed prefix
+    kConflictEffect = 5,  // state mismatch on a row a conflicted TXN touched
+    kUnjustifiedRead = 6, // observed value no serialization can produce
+  };
+  Code code = Code::kBadHistory;
+  uint64_t guid = 0;    // offending session (0 when not session-specific)
+  uint64_t serial = 0;  // offending serial (0 when not op-specific)
+  uint32_t table = 0;
+  uint64_t row = 0;
+  std::string detail;
+};
+
+const char* ViolationCodeName(Violation::Code code);
+
+std::vector<Violation> CheckHistories(const StateDump& baseline,
+                                      const StateDump& final_state,
+                                      const std::vector<History>& histories);
+
+}  // namespace cpr::certify
+
+#endif  // CPR_CERTIFY_CHECKER_H_

@@ -1,0 +1,119 @@
+#ifndef CPR_CERTIFY_HISTORY_H_
+#define CPR_CERTIFY_HISTORY_H_
+
+// Client-observed operation histories for the crash-consistency certifier.
+//
+// A History is the journal of everything ONE client session observed over
+// its lifetime, across any number of crashes and reconnects: HELLO results
+// (the recovered serial the server told it to resume at), every
+// serial-consuming operation ack (including TXN_CONFLICT and NOT_DURABLE),
+// and every commit-point notification ("everything up to serial S is
+// durable"). The offline checker (checker.h) replays a set of histories —
+// one per client — against a baseline and a post-recovery state dump and
+// verifies the CPR contract: the recovered state is exactly the committed
+// prefix across all sessions.
+//
+// Histories persist as checked blobs (io/blob.h), so a truncated or
+// bit-flipped journal is rejected instead of silently certifying garbage.
+//
+// Recording protocol (what makes a history certifiable):
+//   * every client records from its FIRST Hello to the end of the run;
+//   * after the final crash, every client reconnects and replays (replayed
+//     ops re-record under their original serials; the checker keeps the
+//     LAST occurrence per serial, which is the one the recovered server
+//     actually holds);
+//   * at reconnect, ops the recovered commit point covers but whose
+//     durable-gated acks never arrived are journaled as
+//     resolved-by-recovery events BEFORE the HELLO, keeping the serial
+//     stream contiguous (see EventOp::resolved_by_recovery);
+//   * the state dump is taken on the recovered, quiesced server.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/wire.h"
+#include "util/status.h"
+
+namespace cpr::certify {
+
+// Checked-blob magics ("CPRHIST1" / "CPRDUMP1" little-endian).
+inline constexpr uint64_t kHistoryMagic = 0x3154534948525043ull;
+inline constexpr uint64_t kStateDumpMagic = 0x31504d5544525043ull;
+
+// One serial-consuming operation as the client observed it.
+struct EventOp {
+  uint64_t serial = 0;        // server-assigned session serial
+  net::Op op = net::Op::kRead;
+  net::WireStatus status = net::WireStatus::kOk;
+  uint64_t key = 0;           // single-key ops
+  int64_t delta = 0;          // RMW
+  std::vector<char> value;    // UPSERT payload / READ result (iff OK)
+  std::vector<net::TxnWireOp> txn_ops;        // TXN op set
+  std::vector<std::vector<char>> txn_reads;   // TXN read results (iff OK)
+  // Synthesized at reconnect for an op whose durable-gated ack never
+  // arrived before the crash but whose serial the recovered commit point
+  // covers: the INTENT is the client's own request, the RESULT was never
+  // observed. The checker treats such ops as committed with ambiguous
+  // outcome where the outcome could branch (a TXN may have conflicted, a
+  // DELETE may have missed) and records no read observations for them.
+  bool resolved_by_recovery = false;
+};
+
+struct Event {
+  enum class Kind : uint8_t {
+    kHello = 0,    // session (re)connected; recovered_serial from the server
+    kOp = 1,       // a serial-consuming ack
+    kDurable = 2,  // commit-point notification: serials <= durable_serial
+                   // are durable
+  };
+  Kind kind = Kind::kOp;
+  uint64_t recovered_serial = 0;  // kHello
+  uint64_t durable_serial = 0;    // kDurable
+  EventOp op;                     // kOp
+};
+
+struct History {
+  uint64_t guid = 0;
+  net::AckMode ack_mode = net::AckMode::kExecuted;
+  std::vector<Event> events;
+};
+
+// Accumulates one client's history. Hooked into CprClient via
+// CprClientOptions::recorder; thread-compatible (CprClient is
+// single-threaded per session, as is the recorder).
+class HistoryRecorder {
+ public:
+  void OnHello(uint64_t guid, net::AckMode mode, uint64_t recovered_serial);
+  void OnOp(const EventOp& op);
+  void OnDurable(uint64_t serial);
+
+  const History& history() const { return history_; }
+
+  // Persists the history as a checked blob (not synced: the journal is a
+  // test artifact, not a durability participant).
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  History history_;
+};
+
+Status ReadHistoryFile(const std::string& path, History* out);
+
+// A table-by-table snapshot of live server state captured over DUMP (or
+// directly from a backend). Rows absent from `rows` are all-zero.
+struct StateDump {
+  struct TableDump {
+    uint32_t value_size = 0;
+    uint64_t rows_total = 0;
+    std::vector<net::DumpRow> rows;  // sparse, ascending row ids
+  };
+  std::vector<TableDump> tables;
+};
+
+Status WriteStateDumpFile(const std::string& path, const StateDump& dump);
+Status ReadStateDumpFile(const std::string& path, StateDump* out);
+
+}  // namespace cpr::certify
+
+#endif  // CPR_CERTIFY_HISTORY_H_

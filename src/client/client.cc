@@ -129,6 +129,13 @@ Status CprClient::Hello() {
   if (resp.recovered_serial > durable_serial_) {
     durable_serial_ = resp.recovered_serial;
   }
+  if (options_.recorder != nullptr) {
+    // Committed-but-never-acked ops must enter the journal BEFORE the HELLO
+    // that reports the commit point covering them, or the history would
+    // claim the server recovered serials the session never saw issued.
+    RecordResolvedPrefix(resp.recovered_serial);
+    options_.recorder->OnHello(guid_, options_.ack_mode, recovered_serial_);
+  }
   return Status::Ok();
 }
 
@@ -242,7 +249,14 @@ void CprClient::NeutralizeTxnReplay(uint64_t serial) {
 }
 
 void CprClient::EnqueueRequest(const net::Request& req) {
-  net::EncodeRequest(req, &sendbuf_);
+  if (req.op == net::Op::kTxn && req.txn_ops.size() > net::kMaxTxnOps) {
+    // Oversized write sets travel as TXN_CHUNK continuations plus one final
+    // TXN frame — one serial, one response. Replayed requests re-chunk here
+    // automatically.
+    net::EncodeTxnChunked(req, &sendbuf_);
+  } else {
+    net::EncodeRequest(req, &sendbuf_);
+  }
   InFlight inf;
   inf.op = req.op;
   inf.seq = req.seq;
@@ -260,6 +274,9 @@ void CprClient::EnqueueRequest(const net::Request& req) {
       break;
     default:
       break;
+  }
+  if (options_.recorder != nullptr && inf.predicted_serial != 0) {
+    inf.req = req;
   }
   inflight_.push_back(inf);
   if (inflight_.size() > stats_.max_inflight) {
@@ -335,6 +352,17 @@ void CprClient::EnqueueStats(net::StatsKind kind) {
   req.op = net::Op::kStats;
   req.seq = next_seq_++;
   req.stats_kind = kind;
+  EnqueueRequest(req);
+}
+
+void CprClient::EnqueueDump(uint32_t table, uint64_t start_row,
+                            uint32_t max_rows) {
+  net::Request req;
+  req.op = net::Op::kDump;
+  req.seq = next_seq_++;
+  req.table = table;
+  req.start_row = start_row;
+  req.max_rows = max_rows;
   EnqueueRequest(req);
 }
 
@@ -417,6 +445,9 @@ Status CprClient::ProcessResponse(net::Response resp,
     stats_.txn_conflicts += 1;
     NeutralizeTxnReplay(resp.serial);
   }
+  if (options_.recorder != nullptr && inf.predicted_serial != 0) {
+    RecordOp(inf, resp);
+  }
   if (resp.status == net::WireStatus::kNotDurable) {
     stats_.not_durable_acks += 1;
   } else if (options_.ack_mode == net::AckMode::kDurable &&
@@ -426,11 +457,17 @@ Status CprClient::ProcessResponse(net::Response resp,
              resp.status != net::WireStatus::kTxnConflict &&
              (resp.op != net::Op::kTxn || inf.txn_update)) {
     NoteDurable(resp.serial);
+    if (options_.recorder != nullptr) {
+      options_.recorder->OnDurable(resp.serial);
+    }
   }
   if ((resp.op == net::Op::kCheckpoint ||
        resp.op == net::Op::kCommitPoint) &&
       resp.status == net::WireStatus::kOk) {
     NoteDurable(resp.commit_serial);
+    if (options_.recorder != nullptr) {
+      options_.recorder->OnDurable(resp.commit_serial);
+    }
   }
   if (out != nullptr) {
     Result r;
@@ -443,9 +480,77 @@ Status CprClient::ProcessResponse(net::Response resp,
     r.value = std::move(resp.value);
     r.stats = std::move(resp.stats);
     r.txn_reads = std::move(resp.txn_reads);
+    r.value_size = resp.value_size;
+    r.dump_rows_total = resp.dump_rows_total;
+    r.dump_next_row = resp.dump_next_row;
+    r.dump_rows = std::move(resp.dump_rows);
     out->push_back(std::move(r));
   }
   return Status::Ok();
+}
+
+void CprClient::RecordOp(const InFlight& inf, const net::Response& resp) {
+  // Journal only responses that consumed a session serial: OK, NOT_FOUND
+  // (executed, key absent), NOT_DURABLE (executed, not yet covered) and
+  // TXN_CONFLICT (serial consumed with zero effects). NO_SESSION /
+  // BAD_REQUEST / BUSY consumed nothing and prove nothing.
+  switch (resp.status) {
+    case net::WireStatus::kOk:
+    case net::WireStatus::kNotFound:
+    case net::WireStatus::kNotDurable:
+    case net::WireStatus::kTxnConflict:
+      break;
+    default:
+      return;
+  }
+  certify::EventOp op;
+  op.serial = resp.serial;
+  op.op = inf.op;
+  op.status = resp.status;
+  op.key = inf.req.key;
+  op.delta = inf.req.delta;
+  if (inf.op == net::Op::kUpsert) {
+    op.value = inf.req.value;
+  } else if (inf.op == net::Op::kRead &&
+             resp.status == net::WireStatus::kOk) {
+    op.value = resp.value;
+  }
+  if (inf.op == net::Op::kTxn) {
+    op.txn_ops = inf.req.txn_ops;
+    if (resp.status == net::WireStatus::kOk) {
+      op.txn_reads = resp.txn_reads;
+    }
+  }
+  if (resp.serial > max_recorded_serial_) max_recorded_serial_ = resp.serial;
+  options_.recorder->OnOp(op);
+}
+
+void CprClient::RecordResolvedPrefix(uint64_t recovered) {
+  // Durable-mode acks are checkpoint-gated, so a crash can land after a
+  // checkpoint committed serials whose acks were still parked server-side.
+  // At reconnect those ops sit in the replay buffer at or below the
+  // recovered commit point: committed (the server holds their effects),
+  // never acked, and about to be pruned without replay. Journal them from
+  // the buffered requests as resolved-by-recovery — intent known, result
+  // never observed — in serial order so the recorded stream stays
+  // contiguous up to the HELLO that reports the commit point.
+  for (size_t i = 0;
+       i < replay_serials_.size() && replay_serials_[i] <= recovered; ++i) {
+    const uint64_t serial = replay_serials_[i];
+    if (serial <= max_recorded_serial_) continue;  // its ack was recorded
+    const net::Request& req = replay_[i];
+    certify::EventOp op;
+    op.serial = serial;
+    op.op = req.op;
+    op.status = net::WireStatus::kOk;
+    op.key = req.key;
+    op.delta = req.delta;
+    if (req.op == net::Op::kUpsert) op.value = req.value;
+    if (req.op == net::Op::kTxn) op.txn_ops = req.txn_ops;
+    op.resolved_by_recovery = true;
+    options_.recorder->OnOp(op);
+  }
+  if (recovered > max_recorded_serial_) max_recorded_serial_ = recovered;
 }
 
 Status CprClient::Drain(std::vector<Result>* out, size_t count) {
@@ -574,6 +679,16 @@ Status CprClient::Read(uint64_t key, void* value_out, bool* found) {
 
 Status CprClient::Txn(const std::vector<net::TxnWireOp>& ops,
                       std::vector<std::vector<char>>* reads) {
+  if (ops.empty() || ops.size() > net::kMaxTxnOpsLogical) {
+    return Status::InvalidArgument("txn op set empty or above logical cap");
+  }
+  size_t n_reads = 0;
+  for (const net::TxnWireOp& op : ops) {
+    if (op.kind == net::TxnOpKind::kRead) ++n_reads;
+  }
+  if (n_reads > net::kMaxTxnOps) {
+    return Status::InvalidArgument("txn read set above response frame cap");
+  }
   EnqueueTxn(ops);
   Status s = Flush();
   if (!s.ok()) return s;
@@ -672,6 +787,43 @@ Status CprClient::ServerTrace(std::string* json) {
   if (r.status != net::WireStatus::kOk) return AsStatus(r);
   json->assign(r.stats.begin(), r.stats.end());
   return Status::Ok();
+}
+
+Status CprClient::DumpState(certify::StateDump* out) {
+  out->tables.clear();
+  for (uint32_t table = 0;; ++table) {
+    certify::StateDump::TableDump td;
+    uint64_t cursor = 0;
+    bool first_page = true;
+    while (true) {
+      EnqueueDump(table, cursor, /*max_rows=*/4096);
+      Status s = Flush();
+      if (!s.ok()) return s;
+      std::vector<Result> results;
+      s = Drain(&results, 1);
+      if (!s.ok()) return s;
+      Result& r = results.front();
+      if (r.status == net::WireStatus::kNotFound) {
+        // Table ids are dense from zero; the first NOT_FOUND ends the scan.
+        if (!first_page) {
+          return Status::Corruption("table vanished mid-dump");
+        }
+        return Status::Ok();
+      }
+      if (r.status != net::WireStatus::kOk) return AsStatus(r);
+      if (first_page) {
+        td.value_size = r.value_size;
+        td.rows_total = r.dump_rows_total;
+        first_page = false;
+      }
+      for (net::DumpRow& row : r.dump_rows) {
+        td.rows.push_back(std::move(row));
+      }
+      if (r.dump_next_row == 0) break;
+      cursor = r.dump_next_row;
+    }
+    out->tables.push_back(std::move(td));
+  }
 }
 
 }  // namespace cpr::client

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "certify/history.h"
 #include "server/wire.h"
 #include "util/status.h"
 
@@ -46,6 +47,11 @@ class CprClient {
     int max_connect_backoff_ms = 1'000;
     // Keep un-durable updates for replay on reconnect.
     bool track_replay = true;
+    // Optional crash-consistency journal: every client-observed event
+    // (HELLO results, serial-consuming acks incl. TXN_CONFLICT and
+    // NOT_DURABLE, commit-point notifications) is recorded for the offline
+    // certifier (src/certify). Must outlive the client; not owned.
+    certify::HistoryRecorder* recorder = nullptr;
   };
 
   // Cumulative client-side robustness counters (single-threaded, like the
@@ -70,6 +76,10 @@ class CprClient {
     std::vector<char> value;     // READ
     std::vector<char> stats;     // STATS
     std::vector<std::vector<char>> txn_reads;  // TXN, one per read op
+    uint32_t value_size = 0;           // DUMP: table row width
+    uint64_t dump_rows_total = 0;      // DUMP: table row count
+    uint64_t dump_next_row = 0;        // DUMP: resume cursor (0 = done)
+    std::vector<net::DumpRow> dump_rows;  // DUMP
   };
 
   explicit CprClient(Options options);
@@ -109,7 +119,14 @@ class CprClient {
   // NO-WAIT conflict; on a conflict ack the replay entry is neutralized to
   // an effect-free read set so a post-crash replay still regenerates the
   // same serial without re-running the (never-applied) updates.
+  // Op sets larger than net::kMaxTxnOps travel as chunked TXN frames
+  // (TXN_CHUNK continuations + one final TXN, one serial, one response);
+  // the logical set must stay within net::kMaxTxnOpsLogical with at most
+  // net::kMaxTxnOps read ops.
   void EnqueueTxn(const std::vector<net::TxnWireOp>& ops);
+  // Sessionless table scan (requires a dumpable backend; only meaningful on
+  // a quiesced server). max_rows caps rows per response frame.
+  void EnqueueDump(uint32_t table, uint64_t start_row, uint32_t max_rows);
   void EnqueueCheckpoint(bool snapshot = false, bool include_index = false);
   void EnqueueCommitPoint();
   void EnqueueStats(net::StatsKind kind = net::StatsKind::kMetricsText);
@@ -149,6 +166,11 @@ class CprClient {
   // Fetches the server's checkpoint lifecycle trace (Chrome trace_event
   // JSON; open in Perfetto).
   Status ServerTrace(std::string* json);
+  // Captures every backend table over DUMP, paging rows until each table is
+  // exhausted and probing table ids until the server answers NOT_FOUND.
+  // Works before HELLO — certification needs no session. Only meaningful on
+  // a quiesced server.
+  Status DumpState(certify::StateDump* out);
 
  private:
   struct InFlight {
@@ -158,6 +180,8 @@ class CprClient {
     // TXN only: carries at least one write/add. A durable-mode ack for a
     // read-only TXN proves nothing about its own serial (same rule as READ).
     bool txn_update = false;
+    // Request copy for the history recorder (filled only when recording).
+    net::Request req;
   };
 
   Status ConnectOnce();
@@ -166,6 +190,8 @@ class CprClient {
   Status ReadResponse(net::Response* resp);
   Status ProcessResponse(net::Response resp, std::vector<Result>* out);
   Status SendAll(const char* data, size_t size);
+  void RecordOp(const InFlight& inf, const net::Response& resp);
+  void RecordResolvedPrefix(uint64_t recovered);
   void NoteDurable(uint64_t serial);
   void NeutralizeTxnReplay(uint64_t serial);
   Status ReplayAfter(uint64_t recovered);
@@ -183,6 +209,11 @@ class CprClient {
   // deterministic per session: +1 per data op).
   uint64_t next_serial_ = 0;
   uint32_t next_seq_ = 1;
+  // Highest serial the recorder has seen an ack for (recording only). At
+  // reconnect, replay-buffer serials above this but at or below the
+  // recovered commit point were committed without their acks ever reaching
+  // the client — those are journaled as resolved-by-recovery events.
+  uint64_t max_recorded_serial_ = 0;
 
   std::vector<char> sendbuf_;
   std::vector<char> recvbuf_;

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <iterator>
 #include <unordered_map>
 
 #include "shard/faster_backend.h"
@@ -165,6 +166,12 @@ struct KvServer::Connection {
   // Cached durable commit point; re-queried when a checkpoint completes.
   uint64_t durable_point = 0;
   uint64_t durable_token_seen = 0;
+  // TXN_CHUNK staging: ops accumulated for a chunked logical transaction.
+  // Non-empty between the first chunk and the final TXN frame; every frame
+  // of the transaction must carry txn_stage_seq.
+  std::vector<net::TxnWireOp> txn_stage;
+  uint32_t txn_stage_seq = 0;
+  uint32_t txn_next_chunk = 0;
 };
 
 struct KvServer::Worker {
@@ -523,8 +530,11 @@ void KvServer::ParseFrames(Worker& w, Connection* c) {
       if (payload.size() >= 5) {
         const uint8_t op = static_cast<uint8_t>(payload[0]);
         if (op >= static_cast<uint8_t>(net::Op::kHello) &&
-            op <= static_cast<uint8_t>(net::Op::kTxn)) {
-          entry.resp.op = static_cast<net::Op>(op);
+            op <= static_cast<uint8_t>(net::Op::kDump)) {
+          // TXN_CHUNK is not a valid response op; its errors answer as TXN.
+          entry.resp.op = op == static_cast<uint8_t>(net::Op::kTxnChunk)
+                              ? net::Op::kTxn
+                              : static_cast<net::Op>(op);
         }
         std::memcpy(&entry.resp.seq, payload.data() + 1, sizeof(uint32_t));
       }
@@ -540,6 +550,13 @@ void KvServer::ParseFrames(Worker& w, Connection* c) {
 }
 
 void KvServer::HandleRequest(Connection* c, const net::Request& req) {
+  // Mid-staging, only further chunks or the final TXN may arrive; anything
+  // else means the client lost track of its own transaction.
+  if (!c->txn_stage.empty() && req.op != net::Op::kTxnChunk &&
+      req.op != net::Op::kTxn) {
+    FailTxnStaging(c, c->txn_stage_seq);
+    return;
+  }
   switch (req.op) {
     case net::Op::kHello:
       HandleHello(c, req);
@@ -556,10 +573,102 @@ void KvServer::HandleRequest(Connection* c, const net::Request& req) {
     case net::Op::kTxn:
       HandleTxn(c, req);
       return;
+    case net::Op::kTxnChunk:
+      HandleTxnChunk(c, req);
+      return;
+    case net::Op::kDump:
+      HandleDump(c, req);
+      return;
     default:
       HandleDataOp(c, req);
       return;
   }
+}
+
+void KvServer::FailTxnStaging(Connection* c, uint32_t seq) {
+  counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+  c->txn_stage.clear();
+  c->txn_stage.shrink_to_fit();
+  c->txn_next_chunk = 0;
+  PendingResponse entry;
+  entry.ready = true;
+  entry.resp.op = net::Op::kTxn;
+  entry.resp.seq = seq;
+  entry.resp.status = net::WireStatus::kBadRequest;
+  c->queue.push_back(std::move(entry));
+  c->close_after_flush = true;
+}
+
+void KvServer::HandleTxnChunk(Connection* c, const net::Request& req) {
+  if (c->session == nullptr) {
+    counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    PendingResponse entry;
+    entry.ready = true;
+    entry.resp.op = net::Op::kTxn;
+    entry.resp.seq = req.seq;
+    entry.resp.status = net::WireStatus::kNoSession;
+    c->queue.push_back(std::move(entry));
+    c->close_after_flush = true;
+    return;
+  }
+  if (c->txn_stage.empty()) {
+    if (req.chunk_index != 0) {
+      FailTxnStaging(c, req.seq);
+      return;
+    }
+    c->txn_stage_seq = req.seq;
+    c->txn_next_chunk = 0;
+  } else if (req.seq != c->txn_stage_seq ||
+             req.chunk_index != c->txn_next_chunk) {
+    FailTxnStaging(c, c->txn_stage_seq);
+    return;
+  }
+  // The final TXN frame must still contribute at least one op, so staging
+  // may hold at most kMaxTxnOpsLogical - 1.
+  if (c->txn_stage.size() + req.txn_ops.size() > net::kMaxTxnOpsLogical - 1) {
+    FailTxnStaging(c, c->txn_stage_seq);
+    return;
+  }
+  c->txn_stage.insert(c->txn_stage.end(),
+                      std::make_move_iterator(req.txn_ops.begin()),
+                      std::make_move_iterator(req.txn_ops.end()));
+  ++c->txn_next_chunk;
+  // No response: the final TXN frame answers for the whole transaction.
+}
+
+void KvServer::HandleDump(Connection* c, const net::Request& req) {
+  // Certification path: no session required, never gated on durability
+  // (like STATS). Row payload is bounded so the frame stays legal.
+  PendingResponse entry;
+  entry.ready = true;
+  entry.resp.op = net::Op::kDump;
+  entry.resp.seq = req.seq;
+  constexpr uint32_t kDumpBytesCap = net::kMaxFrameBytes - 256;
+  uint32_t value_size = 0;
+  uint64_t rows_total = 0;
+  uint64_t next_row = 0;
+  std::vector<kv::DumpRow> rows;
+  const Status st = kv_->Dump(req.table, req.start_row, req.max_rows,
+                              kDumpBytesCap, &value_size, &rows_total,
+                              &next_row, &rows);
+  if (st.ok()) {
+    entry.resp.status = net::WireStatus::kOk;
+    entry.resp.value_size = value_size;
+    entry.resp.dump_rows_total = rows_total;
+    entry.resp.dump_next_row = next_row;
+    entry.resp.dump_rows.reserve(rows.size());
+    for (kv::DumpRow& r : rows) {
+      net::DumpRow out;
+      out.row = r.row;
+      out.value = std::move(r.value);
+      entry.resp.dump_rows.push_back(std::move(out));
+    }
+  } else if (st.code() == Status::Code::kNotFound) {
+    entry.resp.status = net::WireStatus::kNotFound;
+  } else {
+    entry.resp.status = net::WireStatus::kBadRequest;
+  }
+  c->queue.push_back(std::move(entry));
 }
 
 void KvServer::HandleStats(Connection* c, const net::Request& req) {
@@ -718,6 +827,18 @@ void KvServer::HandleDataOp(Connection* c, const net::Request& req) {
 }
 
 void KvServer::HandleTxn(Connection* c, const net::Request& req) {
+  // Fold in any staged TXN_CHUNK ops: this frame concludes the chunked
+  // logical transaction (same seq on every frame).
+  std::vector<net::TxnWireOp> staged;
+  if (!c->txn_stage.empty()) {
+    if (req.seq != c->txn_stage_seq) {
+      FailTxnStaging(c, c->txn_stage_seq);
+      return;
+    }
+    staged = std::move(c->txn_stage);
+    c->txn_stage.clear();
+    c->txn_next_chunk = 0;
+  }
   PendingResponse entry;
   entry.ready = true;
   entry.resp.op = net::Op::kTxn;
@@ -729,17 +850,34 @@ void KvServer::HandleTxn(Connection* c, const net::Request& req) {
   }
   kv::Session& s = *c->session;
   std::vector<kv::TxnOp> ops;
-  ops.reserve(req.txn_ops.size());
+  ops.reserve(staged.size() + req.txn_ops.size());
   bool has_update = false;
-  for (const net::TxnWireOp& w : req.txn_ops) {
+  uint32_t n_reads = 0;
+  auto convert = [&](const net::TxnWireOp& w) {
     kv::TxnOp op;
     op.kind = static_cast<kv::TxnOp::Kind>(w.kind);
     op.table = w.table;
     op.row = w.row;
     op.value = w.value;
     op.delta = w.delta;
-    if (op.kind != kv::TxnOp::Kind::kRead) has_update = true;
+    if (op.kind == kv::TxnOp::Kind::kRead) {
+      ++n_reads;
+    } else {
+      has_update = true;
+    }
     ops.push_back(std::move(op));
+  };
+  for (const net::TxnWireOp& w : staged) convert(w);
+  for (const net::TxnWireOp& w : req.txn_ops) convert(w);
+  // Chunking exists for large write sets; the single response frame must
+  // still fit every read result, so reads per logical transaction stay
+  // within one frame's worth. The whole logical op set is also bounded.
+  // Rejecting consumes no serial.
+  if (n_reads > net::kMaxTxnOps || ops.size() > net::kMaxTxnOpsLogical) {
+    counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    entry.resp.status = net::WireStatus::kBadRequest;
+    c->queue.push_back(std::move(entry));
+    return;
   }
   std::vector<std::vector<char>> reads;
   switch (kv_->Txn(s, ops, &reads)) {

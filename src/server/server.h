@@ -101,9 +101,15 @@ class KvServer {
   void HandleHello(Connection* c, const net::Request& req);
   void HandleDataOp(Connection* c, const net::Request& req);
   void HandleTxn(Connection* c, const net::Request& req);
+  void HandleTxnChunk(Connection* c, const net::Request& req);
+  void HandleDump(Connection* c, const net::Request& req);
   void HandleCheckpoint(Connection* c, const net::Request& req);
   void HandleCommitPoint(Connection* c, const net::Request& req);
   void HandleStats(Connection* c, const net::Request& req);
+  // Answers a TXN-staging protocol violation: BAD_REQUEST as op TXN (the
+  // client correlates chunked transactions by their final-TXN seq), then
+  // close-after-flush — staging state is unreliable past the violation.
+  void FailTxnStaging(Connection* c, uint32_t seq);
   void OnAsyncComplete(Connection* c, const faster::AsyncResult& r);
   void ReleaseResponses(Connection* c);
   void FlushOut(Worker& w, Connection* c);

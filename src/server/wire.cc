@@ -62,6 +62,57 @@ class FrameWriter {
   size_t start_;
 };
 
+// Appends the TXN op-list wire form (count + ops) for ops[begin, end).
+void AppendTxnOps(std::vector<char>* out, const std::vector<TxnWireOp>& ops,
+                  size_t begin, size_t end) {
+  AppendPod<uint32_t>(out, static_cast<uint32_t>(end - begin));
+  for (size_t i = begin; i < end; ++i) {
+    const TxnWireOp& top = ops[i];
+    AppendPod<uint8_t>(out, static_cast<uint8_t>(top.kind));
+    AppendPod<uint32_t>(out, top.table);
+    AppendPod<uint64_t>(out, top.row);
+    switch (top.kind) {
+      case TxnOpKind::kRead:
+        break;
+      case TxnOpKind::kWrite:
+        AppendPod<uint32_t>(out, static_cast<uint32_t>(top.value.size()));
+        out->insert(out->end(), top.value.begin(), top.value.end());
+        break;
+      case TxnOpKind::kAdd:
+        AppendPod<int64_t>(out, top.delta);
+        break;
+    }
+  }
+}
+
+// Decodes a TXN op-list (count + ops) with per-frame validation.
+bool ReadTxnOps(Reader* r, std::vector<TxnWireOp>* out) {
+  uint32_t n_ops = 0;
+  if (!r->Pod(&n_ops)) return false;
+  if (n_ops == 0 || n_ops > kMaxTxnOps) return false;
+  out->resize(n_ops);
+  for (TxnWireOp& top : *out) {
+    uint8_t kind = 0;
+    if (!r->Pod(&kind) || kind > kMaxTxnOpKind) return false;
+    top.kind = static_cast<TxnOpKind>(kind);
+    if (!r->Pod(&top.table) || !r->Pod(&top.row)) return false;
+    switch (top.kind) {
+      case TxnOpKind::kRead:
+        break;
+      case TxnOpKind::kWrite: {
+        uint32_t len = 0;
+        if (!r->Pod(&len)) return false;
+        if (len == 0 || !r->Bytes(len, &top.value)) return false;
+        break;
+      }
+      case TxnOpKind::kAdd:
+        if (!r->Pod(&top.delta)) return false;
+        break;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 FrameResult TryExtractFrame(const char* data, size_t size,
@@ -107,25 +158,41 @@ void EncodeRequest(const Request& req, std::vector<char>* out) {
       AppendPod<uint8_t>(out, static_cast<uint8_t>(req.stats_kind));
       break;
     case Op::kTxn:
-      AppendPod<uint32_t>(out, static_cast<uint32_t>(req.txn_ops.size()));
-      for (const TxnWireOp& top : req.txn_ops) {
-        AppendPod<uint8_t>(out, static_cast<uint8_t>(top.kind));
-        AppendPod<uint32_t>(out, top.table);
-        AppendPod<uint64_t>(out, top.row);
-        switch (top.kind) {
-          case TxnOpKind::kRead:
-            break;
-          case TxnOpKind::kWrite:
-            AppendPod<uint32_t>(out, static_cast<uint32_t>(top.value.size()));
-            out->insert(out->end(), top.value.begin(), top.value.end());
-            break;
-          case TxnOpKind::kAdd:
-            AppendPod<int64_t>(out, top.delta);
-            break;
-        }
-      }
+      AppendTxnOps(out, req.txn_ops, 0, req.txn_ops.size());
+      break;
+    case Op::kTxnChunk:
+      AppendPod<uint32_t>(out, req.chunk_index);
+      AppendTxnOps(out, req.txn_ops, 0, req.txn_ops.size());
+      break;
+    case Op::kDump:
+      AppendPod<uint32_t>(out, req.table);
+      AppendPod<uint64_t>(out, req.start_row);
+      AppendPod<uint32_t>(out, req.max_rows);
       break;
   }
+}
+
+void EncodeTxnChunked(const Request& req, std::vector<char>* out) {
+  if (req.txn_ops.size() <= kMaxTxnOps) {
+    EncodeRequest(req, out);
+    return;
+  }
+  // Emit full TXN_CHUNK frames while more than one frame's worth remains,
+  // so the final TXN frame always carries 1..kMaxTxnOps ops.
+  size_t pos = 0;
+  uint32_t chunk_index = 0;
+  while (req.txn_ops.size() - pos > kMaxTxnOps) {
+    FrameWriter frame(out);
+    AppendPod<uint8_t>(out, static_cast<uint8_t>(Op::kTxnChunk));
+    AppendPod<uint32_t>(out, req.seq);
+    AppendPod<uint32_t>(out, chunk_index++);
+    AppendTxnOps(out, req.txn_ops, pos, pos + kMaxTxnOps);
+    pos += kMaxTxnOps;
+  }
+  FrameWriter frame(out);
+  AppendPod<uint8_t>(out, static_cast<uint8_t>(Op::kTxn));
+  AppendPod<uint32_t>(out, req.seq);
+  AppendTxnOps(out, req.txn_ops, pos, req.txn_ops.size());
 }
 
 void EncodeResponse(const Response& resp, std::vector<char>* out) {
@@ -173,6 +240,21 @@ void EncodeResponse(const Response& resp, std::vector<char>* out) {
         }
       }
       break;
+    case Op::kTxnChunk:
+      // Never a response op: chunk errors answer as op TXN. Empty body.
+      break;
+    case Op::kDump:
+      if (resp.status == WireStatus::kOk) {
+        AppendPod<uint32_t>(out, resp.value_size);
+        AppendPod<uint64_t>(out, resp.dump_rows_total);
+        AppendPod<uint64_t>(out, resp.dump_next_row);
+        AppendPod<uint32_t>(out, static_cast<uint32_t>(resp.dump_rows.size()));
+        for (const DumpRow& row : resp.dump_rows) {
+          AppendPod<uint64_t>(out, row.row);
+          out->insert(out->end(), row.value.begin(), row.value.end());
+        }
+      }
+      break;
   }
 }
 
@@ -182,7 +264,7 @@ bool DecodeRequest(std::string_view payload, Request* out) {
   uint8_t op = 0;
   if (!r.Pod(&op) || !r.Pod(&out->seq)) return false;
   if (op < static_cast<uint8_t>(Op::kHello) ||
-      op > static_cast<uint8_t>(Op::kTxn)) {
+      op > static_cast<uint8_t>(Op::kDump)) {
     return false;
   }
   out->op = static_cast<Op>(op);
@@ -221,32 +303,20 @@ bool DecodeRequest(std::string_view payload, Request* out) {
       out->stats_kind = static_cast<StatsKind>(kind);
       break;
     }
-    case Op::kTxn: {
-      uint32_t n_ops = 0;
-      if (!r.Pod(&n_ops)) return false;
-      if (n_ops == 0 || n_ops > kMaxTxnOps) return false;
-      out->txn_ops.resize(n_ops);
-      for (TxnWireOp& top : out->txn_ops) {
-        uint8_t kind = 0;
-        if (!r.Pod(&kind) || kind > kMaxTxnOpKind) return false;
-        top.kind = static_cast<TxnOpKind>(kind);
-        if (!r.Pod(&top.table) || !r.Pod(&top.row)) return false;
-        switch (top.kind) {
-          case TxnOpKind::kRead:
-            break;
-          case TxnOpKind::kWrite: {
-            uint32_t len = 0;
-            if (!r.Pod(&len)) return false;
-            if (len == 0 || !r.Bytes(len, &top.value)) return false;
-            break;
-          }
-          case TxnOpKind::kAdd:
-            if (!r.Pod(&top.delta)) return false;
-            break;
-        }
-      }
+    case Op::kTxn:
+      if (!ReadTxnOps(&r, &out->txn_ops)) return false;
       break;
-    }
+    case Op::kTxnChunk:
+      if (!r.Pod(&out->chunk_index)) return false;
+      if (!ReadTxnOps(&r, &out->txn_ops)) return false;
+      break;
+    case Op::kDump:
+      if (!r.Pod(&out->table) || !r.Pod(&out->start_row) ||
+          !r.Pod(&out->max_rows)) {
+        return false;
+      }
+      if (out->max_rows == 0) return false;
+      break;
   }
   return r.AtEnd();
 }
@@ -261,7 +331,8 @@ bool DecodeResponse(std::string_view payload, Response* out) {
     return false;
   }
   if (op < static_cast<uint8_t>(Op::kHello) ||
-      op > static_cast<uint8_t>(Op::kTxn) ||
+      op > static_cast<uint8_t>(Op::kDump) ||
+      op == static_cast<uint8_t>(Op::kTxnChunk) ||  // never a response op
       status > kMaxWireStatus) {
     return false;
   }
@@ -309,6 +380,28 @@ bool DecodeResponse(std::string_view payload, Response* out) {
         }
       }
       break;
+    case Op::kTxnChunk:
+      return false;  // rejected above; keeps the switch exhaustive
+    case Op::kDump:
+      if (out->status == WireStatus::kOk) {
+        uint32_t n_rows = 0;
+        if (!r.Pod(&out->value_size) || !r.Pod(&out->dump_rows_total) ||
+            !r.Pod(&out->dump_next_row) || !r.Pod(&n_rows)) {
+          return false;
+        }
+        if (out->value_size == 0 || out->value_size > kMaxFrameBytes) {
+          return false;
+        }
+        // A row costs at least 8 header bytes; cap before resize so a
+        // hostile count cannot balloon memory.
+        if (n_rows > kMaxFrameBytes / 8) return false;
+        out->dump_rows.resize(n_rows);
+        for (DumpRow& row : out->dump_rows) {
+          if (!r.Pod(&row.row)) return false;
+          if (!r.Bytes(out->value_size, &row.value)) return false;
+        }
+      }
+      break;
   }
   return r.AtEnd();
 }
@@ -324,6 +417,8 @@ const char* OpName(Op op) {
     case Op::kCommitPoint: return "COMMIT_POINT";
     case Op::kStats: return "STATS";
     case Op::kTxn: return "TXN";
+    case Op::kTxnChunk: return "TXN_CHUNK";
+    case Op::kDump: return "DUMP";
   }
   return "?";
 }

@@ -26,6 +26,11 @@
 //   STATS         u8 stats_kind                 u32 size, size bytes
 //   TXN           u32 n_ops, n × op             u32 n_reads, n × (u32 len,
 //                 (see below)                   len bytes) (iff status OK)
+//   TXN_CHUNK     u32 chunk_index, u32 n_ops,   — (no response on success;
+//                 n × op                        errors answer as op TXN)
+//   DUMP          u32 table, u64 start_row,     u32 value_size, u64 rows_total,
+//                 u32 max_rows                  u64 next_row, u32 n,
+//                                               n × (u64 row, value_size bytes)
 //
 // A TXN request carries a multi-key read/write set executed atomically by a
 // transactional backend. Each op is:
@@ -38,6 +43,27 @@
 // conflict aborts the transaction and answers TXN_CONFLICT: nothing was
 // applied and the client may retry. The transaction still consumes one
 // session serial either way, so replayed serials line up across recovery.
+//
+// A logical transaction whose op set exceeds kMaxTxnOps travels chunked:
+// zero or more TXN_CHUNK frames (chunk_index 0, 1, ...) followed by one
+// final TXN frame, all carrying the SAME seq. The server stages chunk ops
+// per connection and prepends them to the final TXN, which executes as one
+// atomic transaction consuming one serial and producing one response.
+// Successful chunks get no response. Any staging violation (chunk out of
+// order, seq mismatch, staged ops over kMaxTxnOpsLogical, another op
+// arriving mid-staging) answers BAD_REQUEST with op TXN and the staged seq,
+// then closes the connection. Per-frame op counts stay within kMaxTxnOps;
+// read ops per logical transaction stay within kMaxTxnOps so the single
+// response frame always fits (chunking exists for large write sets).
+//
+// DUMP scans a backend table without a session (like STATS): it returns up
+// to max_rows live rows starting at start_row, skipping all-zero rows, and
+// reports next_row to resume from (0 once the table is exhausted) plus the
+// table's total row count. A table id out of range answers NOT_FOUND, which
+// lets a client enumerate tables 0..n by probing. Only meaningful on a
+// quiesced server; backends without dump support answer BAD_REQUEST. The
+// offline crash-consistency certifier (src/certify) uses DUMP to capture
+// the recovered state it checks client histories against.
 //
 // STATS scrapes the server's observability state without a session:
 // stats_kind 0 returns the Prometheus-style metrics text exposition,
@@ -71,6 +97,8 @@ enum class Op : uint8_t {
   kCommitPoint = 7,
   kStats = 8,
   kTxn = 9,
+  kTxnChunk = 10,
+  kDump = 11,
 };
 
 // TXN op kinds (`TxnWireOp::kind`).
@@ -81,8 +109,13 @@ enum class TxnOpKind : uint8_t {
 };
 constexpr uint8_t kMaxTxnOpKind = static_cast<uint8_t>(TxnOpKind::kAdd);
 
-// Hard ceiling on ops per TXN; anything larger fails decode.
+// Hard ceiling on ops per TXN frame; anything larger fails decode.
 constexpr uint32_t kMaxTxnOps = 1024;
+
+// Hard ceiling on ops per logical (possibly chunked) transaction. The
+// server rejects staging beyond this; larger write sets must be split into
+// separate transactions by the application.
+constexpr uint32_t kMaxTxnOpsLogical = 16 * 1024;
 
 // STATS body selector.
 enum class StatsKind : uint8_t {
@@ -122,6 +155,12 @@ struct TxnWireOp {
   int64_t delta = 0;        // ADD
 };
 
+// One live row returned by DUMP.
+struct DumpRow {
+  uint64_t row = 0;
+  std::vector<char> value;
+};
+
 struct Request {
   Op op = Op::kHello;
   uint32_t seq = 0;
@@ -133,7 +172,11 @@ struct Request {
   uint8_t variant = 0;            // CHECKPOINT: 0 fold-over, 1 snapshot
   bool include_index = false;     // CHECKPOINT
   StatsKind stats_kind = StatsKind::kMetricsText;  // STATS
-  std::vector<TxnWireOp> txn_ops;  // TXN
+  std::vector<TxnWireOp> txn_ops;  // TXN / TXN_CHUNK
+  uint32_t chunk_index = 0;        // TXN_CHUNK
+  uint32_t table = 0;              // DUMP
+  uint64_t start_row = 0;          // DUMP
+  uint32_t max_rows = 0;           // DUMP
 };
 
 struct Response {
@@ -149,6 +192,9 @@ struct Response {
   std::vector<char> value;        // READ
   std::vector<char> stats;        // STATS (may legitimately be empty)
   std::vector<std::vector<char>> txn_reads;  // TXN read results, op order
+  uint64_t dump_rows_total = 0;   // DUMP: table row count
+  uint64_t dump_next_row = 0;     // DUMP: resume cursor (0 = exhausted)
+  std::vector<DumpRow> dump_rows; // DUMP (value_size field holds row width)
 };
 
 // -- Framing ----------------------------------------------------------------
@@ -169,6 +215,12 @@ FrameResult TryExtractFrame(const char* data, size_t size,
 
 void EncodeRequest(const Request& req, std::vector<char>* out);
 void EncodeResponse(const Response& resp, std::vector<char>* out);
+
+// Encodes a TXN request, splitting op sets larger than kMaxTxnOps into
+// TXN_CHUNK frames (all sharing req.seq) followed by the final TXN frame.
+// Sets within kMaxTxnOps produce a single plain TXN frame. req.op must be
+// kTxn and req.txn_ops must hold 1..kMaxTxnOpsLogical ops.
+void EncodeTxnChunked(const Request& req, std::vector<char>* out);
 
 // -- Decoding (frame payload only; false on any truncated/trailing bytes) ---
 

@@ -38,6 +38,12 @@ struct TxnOp {
   int64_t delta = 0;        // kAdd
 };
 
+// One live row returned by Backend::Dump.
+struct DumpRow {
+  uint64_t row = 0;
+  std::vector<char> value;
+};
+
 enum class TxnStatus : uint8_t {
   kCommitted = 0,
   kConflict,     // NO-WAIT lock conflict: nothing applied, retryable
@@ -110,6 +116,29 @@ class Backend {
     (void)ops;
     (void)reads;
     return TxnStatus::kUnsupported;
+  }
+
+  // Scans `table` from `start_row`, appending up to `max_rows` live non-zero
+  // rows to `rows` while their encoded size (8-byte row id + value) stays
+  // within `max_bytes`. Reports the table's value size and total row count,
+  // and sets `next_row` to the resume cursor (0 once the table is
+  // exhausted). NotFound for a table id out of range (lets callers probe to
+  // enumerate tables); InvalidArgument when the backend cannot dump. Only
+  // meaningful on a quiesced backend — concurrent writers make the scan a
+  // fuzzy snapshot.
+  virtual Status Dump(uint32_t table, uint64_t start_row, uint32_t max_rows,
+                      uint32_t max_bytes, uint32_t* value_size,
+                      uint64_t* rows_total, uint64_t* next_row,
+                      std::vector<DumpRow>* rows) {
+    (void)table;
+    (void)start_row;
+    (void)max_rows;
+    (void)max_bytes;
+    (void)value_size;
+    (void)rows_total;
+    (void)next_row;
+    (void)rows;
+    return Status::InvalidArgument("backend has no dump support");
   }
 
   // -- Checkpoints / recovery -------------------------------------------

@@ -178,7 +178,17 @@ uint64_t TransactionalDb::CurrentVersion() const {
 }
 
 Status TransactionalDb::Recover(std::vector<CommitPoint>* points) {
-  assert(next_thread_id_.load() == 0 && "recover before registering threads");
+#ifndef NDEBUG
+  // Housekeeping contexts (guid 0, e.g. TxDbBackend's epoch pump) may
+  // already be registered — they carry no session state, so recovery can
+  // proceed under them. What must not exist yet is a session context or a
+  // consumed serial: those would be silently clobbered by recovered state.
+  for (const auto& ctx : contexts_) {
+    if (ctx == nullptr) continue;
+    assert(ctx->guid == 0 && ctx->serial.load(std::memory_order_acquire) == 0 &&
+           "recover before any session runs transactions");
+  }
+#endif
   std::vector<CommitPoint> local;
   Status s = engine_->Recover(points != nullptr ? points : &local);
   return s;

@@ -274,6 +274,47 @@ kv::TxnStatus TxDbBackend::Txn(kv::Session& session,
   }
 }
 
+Status TxDbBackend::Dump(uint32_t table, uint64_t start_row, uint32_t max_rows,
+                         uint32_t max_bytes, uint32_t* value_size,
+                         uint64_t* rows_total, uint64_t* next_row,
+                         std::vector<kv::DumpRow>* rows) {
+  if (table >= db_.num_tables()) {
+    return Status::NotFound("table out of range");
+  }
+  Table& t = db_.table(table);
+  *value_size = t.value_size();
+  *rows_total = t.rows();
+  *next_row = 0;
+  const uint64_t row_bytes = 8 + t.value_size();
+  uint64_t budget = max_bytes;
+  uint32_t emitted = 0;
+  for (uint64_t row = start_row; row < t.rows(); ++row) {
+    if (emitted == max_rows || budget < row_bytes) {
+      *next_row = row;
+      break;
+    }
+    kv::DumpRow out;
+    out.row = row;
+    out.value.resize(t.value_size());
+    {
+      SpinLatchGuard guard(t.header(row).latch);
+      std::memcpy(out.value.data(), t.live(row), t.value_size());
+    }
+    bool all_zero = true;
+    for (char c : out.value) {
+      if (c != 0) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) continue;
+    rows->push_back(std::move(out));
+    ++emitted;
+    budget -= row_bytes;
+  }
+  return Status::Ok();
+}
+
 // -- Checkpoints / recovery --------------------------------------------------
 
 bool TxDbBackend::Checkpoint(faster::CommitVariant variant, bool include_index,

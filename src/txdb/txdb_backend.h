@@ -85,6 +85,13 @@ class TxDbBackend final : public kv::Backend {
   kv::TxnStatus Txn(kv::Session& session, const std::vector<kv::TxnOp>& ops,
                     std::vector<std::vector<char>>* reads) override;
 
+  // Scans live row values directly (taking each record latch briefly so a
+  // value is never torn). Only meaningful on a quiesced backend; used by the
+  // crash-consistency certifier to capture recovered state.
+  Status Dump(uint32_t table, uint64_t start_row, uint32_t max_rows,
+              uint32_t max_bytes, uint32_t* value_size, uint64_t* rows_total,
+              uint64_t* next_row, std::vector<kv::DumpRow>* rows) override;
+
   // variant/include_index are FasterKv notions; the CPR commit has one
   // flavor and ignores both.
   bool Checkpoint(faster::CommitVariant variant, bool include_index,
@@ -117,7 +124,6 @@ class TxDbBackend final : public kv::Backend {
   void PumpLoop();
 
   Options options_;
-  TransactionalDb db_;
   uint64_t table0_rows_ = 0;
   uint32_t table0_value_size_ = 0;
   std::vector<char> zero_value_;  // Delete writes this
@@ -140,6 +146,13 @@ class TxDbBackend final : public kv::Backend {
   ThreadContext* pump_ctx_ = nullptr;
   std::atomic<bool> stop_pump_{false};
   std::thread pump_thread_;
+
+  // Declared last so it is destroyed first: ~TransactionalDb joins the CPR
+  // engine's checkpoint thread, and that thread's commit callback writes
+  // rounds_ / durable_points_ under mu_. With db_ dying before those members
+  // the callback can never run against freed state, even if a commit is
+  // still in flight when the backend is torn down.
+  TransactionalDb db_;
 };
 
 }  // namespace cpr::txdb

@@ -19,8 +19,6 @@ constexpr uint32_t kNewOrderBytes = 8;
 constexpr uint32_t kOrderLineBytes = 64;
 constexpr uint32_t kHistoryBytes = 32;
 
-constexpr uint32_t kMaxOrderLines = 15;
-
 }  // namespace
 
 thread_local TpccWorkload::Scratch TpccWorkload::scratch_;
@@ -42,7 +40,7 @@ TpccWorkload::TpccWorkload(txdb::TransactionalDb* db,
   new_order_ = db->CreateTable(districts * config_.order_pool_per_district,
                                kNewOrderBytes);
   order_line_ = db->CreateTable(
-      districts * config_.order_pool_per_district * kMaxOrderLines,
+      districts * config_.order_pool_per_district * config_.max_order_lines,
       kOrderLineBytes);
   history_ = db->CreateTable(districts * config_.order_pool_per_district,
                              kHistoryBytes);
@@ -124,7 +122,10 @@ void TpccWorkload::MakeNewOrder(Rng& rng, txdb::Transaction* txn) {
   const uint32_t d = static_cast<uint32_t>(rng.Uniform(10));
   const uint32_t c =
       NUrand(rng, 1023, 0, config_.customers_per_district - 1);
-  const uint32_t ol_cnt = 5 + static_cast<uint32_t>(rng.Uniform(11));
+  const uint32_t ol_cnt =
+      config_.min_order_lines +
+      static_cast<uint32_t>(rng.Uniform(
+          config_.max_order_lines - config_.min_order_lines + 1));
 
   txdb::TxnOp op;
   // D_NEXT_O_ID++.
@@ -159,8 +160,8 @@ void TpccWorkload::MakeNewOrder(Rng& rng, txdb::Transaction* txn) {
   op.value = scratch_.new_order_row.data();
   txn->ops.push_back(op);
 
-  if (scratch_.order_lines.size() < kMaxOrderLines) {
-    scratch_.order_lines.resize(kMaxOrderLines);
+  if (scratch_.order_lines.size() < config_.max_order_lines) {
+    scratch_.order_lines.resize(config_.max_order_lines);
   }
   for (uint32_t line = 0; line < ol_cnt; ++line) {
     const uint32_t item = NUrand(rng, 8191, 0, config_.items - 1);
@@ -190,7 +191,7 @@ void TpccWorkload::MakeNewOrder(Rng& rng, txdb::Transaction* txn) {
     std::memcpy(ol.data(), &ol_tag, sizeof(ol_tag));
     op.type = txdb::OpType::kWrite;
     op.table_id = order_line_;
-    op.row = order_slot * kMaxOrderLines + line;
+    op.row = order_slot * config_.max_order_lines + line;
     op.value = ol.data();
     txn->ops.push_back(op);
   }

@@ -26,6 +26,12 @@ struct TpccConfig {
   uint32_t items = 100'000;
   uint32_t customers_per_district = 3'000;
   uint32_t order_pool_per_district = 500;  // recycled modulo capacity
+  // Order-line count per New-Order, drawn uniformly from [min, max]. The
+  // spec's 5–15 is the default; raising max (e.g. min = max = 400) makes
+  // each New-Order's write set exceed the wire protocol's per-frame op cap,
+  // exercising chunked TXN framing end to end. Sizes the order_line pool.
+  uint32_t min_order_lines = 5;
+  uint32_t max_order_lines = 15;
 };
 
 class TpccWorkload {

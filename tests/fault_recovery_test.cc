@@ -29,6 +29,8 @@
 #include <thread>
 #include <vector>
 
+#include "certify/checker.h"
+#include "certify/history.h"
 #include "client/client.h"
 #include "faster/faster.h"
 #include "io/fault_injection.h"
@@ -487,13 +489,20 @@ void TxnServerCrashPointIteration(uint32_t seed) {
   ASSERT_TRUE(server->Start().ok());
   const uint16_t port = server->port();
 
+  // The session journals its history; after recovery the certifier must
+  // find zero violations regardless of where the crash point landed.
+  certify::HistoryRecorder rec;
   client::CprClient::Options co;
   co.port = port;
   co.ack_mode = net::AckMode::kDurable;
   co.recv_timeout_ms = 20'000;
+  co.recorder = &rec;
   client::CprClient c(co);
   ASSERT_TRUE(c.Connect().ok());
   const uint64_t guid = c.guid();
+
+  certify::StateDump baseline;
+  ASSERT_TRUE(c.DumpState(&baseline).ok());
 
   {
 
@@ -583,6 +592,24 @@ void TxnServerCrashPointIteration(uint32_t seed) {
   EXPECT_EQ(v1, adds_issued) << "row 1: adds applied " << v1
                              << " times, issued " << adds_issued;
   EXPECT_EQ(v5, 0) << "conflicted transaction's effect materialized";
+
+  // Certify the full history against the recovered state: committed prefix
+  // applied exactly once, the neutralized conflict effect-free, every read
+  // justified by some serialization.
+  certify::StateDump final_state;
+  ASSERT_TRUE(c.DumpState(&final_state).ok());
+  const auto violations =
+      certify::CheckHistories(baseline, final_state, {rec.history()});
+  EXPECT_TRUE(violations.empty()) << [&] {
+    std::string out;
+    for (const auto& v : violations) {
+      out += certify::ViolationCodeName(v.code);
+      out += ": ";
+      out += v.detail;
+      out += "\n";
+    }
+    return out;
+  }();
 
   c.Close();
   server->Stop();

@@ -265,9 +265,18 @@ TEST(TraceTest, ConcurrentRecordersAndSnapshots) {
     while (!stop.load()) {
       const std::vector<TraceSpan> s = tracer.Snapshot();
       ASSERT_LE(s.size(), tracer.capacity());
-      for (size_t i = 1; i < s.size(); ++i) {
-        // Ticket sort: snapshot order must match record order.
-        ASSERT_LE(s[i - 1].id, s[i].id + kThreads);
+      // Ticket sort: snapshot order must match record order. Cross-thread
+      // record order is whatever the scheduler produced, but each thread
+      // records its ids in increasing order, so every per-thread
+      // subsequence of the snapshot must be strictly increasing.
+      int64_t last[kThreads];
+      for (int64_t& l : last) l = -1;
+      for (const TraceSpan& span : s) {
+        const uint64_t t = span.id / kPerThread;
+        ASSERT_LT(t, static_cast<uint64_t>(kThreads));
+        const int64_t local = static_cast<int64_t>(span.id % kPerThread);
+        ASSERT_GT(local, last[t]) << "per-thread record order inverted";
+        last[t] = local;
       }
     }
   });

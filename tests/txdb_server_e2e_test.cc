@@ -9,18 +9,26 @@
 
 #include "test_dirs.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "certify/checker.h"
+#include "certify/history.h"
 #include "client/client.h"
 #include "io/fault_injection.h"
 #include "server/server.h"
 #include "server/wire.h"
 #include "txdb/db.h"
 #include "txdb/txdb_backend.h"
+#include "workloads/tpcc.h"
 
 namespace cpr {
 namespace {
@@ -96,6 +104,47 @@ struct InjectorScope {
   InjectorScope() { FaultInjector::Install(&inj); }
   ~InjectorScope() { FaultInjector::Install(nullptr); }
 };
+
+std::string DescribeViolations(const std::vector<certify::Violation>& vs) {
+  std::string out;
+  for (const auto& v : vs) {
+    out += certify::ViolationCodeName(v.code);
+    out += ": ";
+    out += v.detail;
+    out += "\n";
+  }
+  return out;
+}
+
+// Converts a backend-native transaction (as the TPC-C generator emits) into
+// its wire form, copying WRITE payloads at the owning table's row width.
+std::vector<net::TxnWireOp> ToWireOps(const txdb::Transaction& txn,
+                                      txdb::TransactionalDb& db) {
+  std::vector<net::TxnWireOp> ops;
+  ops.reserve(txn.ops.size());
+  for (const auto& op : txn.ops) {
+    net::TxnWireOp w;
+    w.table = op.table_id;
+    w.row = op.row;
+    switch (op.type) {
+      case txdb::OpType::kRead:
+        w.kind = net::TxnOpKind::kRead;
+        break;
+      case txdb::OpType::kWrite: {
+        w.kind = net::TxnOpKind::kWrite;
+        const char* v = static_cast<const char*>(op.value);
+        w.value.assign(v, v + db.table(op.table_id).value_size());
+        break;
+      }
+      case txdb::OpType::kAdd:
+        w.kind = net::TxnOpKind::kAdd;
+        w.delta = op.delta;
+        break;
+    }
+    ops.push_back(std::move(w));
+  }
+  return ops;
+}
 
 // The KV surface and the TXN surface hit the same tables through one
 // TransactionalDb: single-key ops address table 0 by row, and a multi-key
@@ -392,13 +441,24 @@ TEST(TxdbServerE2E, MixedKvTxnCrashMidCheckpointRecoversExactlyOnce) {
   ASSERT_TRUE(server1->Start().ok());
   const uint16_t port0 = server1->port();
 
-  CprClient txc(ClientOptions(port0, net::AckMode::kDurable));
-  CprClient kvc(ClientOptions(port0, net::AckMode::kDurable));
+  // Both sessions journal their observed histories for the certifier.
+  certify::HistoryRecorder tx_rec;
+  certify::HistoryRecorder kv_rec;
+  CprClient::Options txo = ClientOptions(port0, net::AckMode::kDurable);
+  txo.recorder = &tx_rec;
+  CprClient::Options kvo = ClientOptions(port0, net::AckMode::kDurable);
+  kvo.recorder = &kv_rec;
+  CprClient txc(txo);
+  CprClient kvc(kvo);
   ASSERT_TRUE(txc.Connect().ok());
   ASSERT_TRUE(kvc.Connect().ok());
   const uint64_t txn_guid = txc.guid();
   const uint64_t kv_guid = kvc.guid();
   ASSERT_NE(txn_guid, kv_guid);
+
+  // Baseline state, captured before any traffic.
+  certify::StateDump baseline;
+  ASSERT_TRUE(txc.DumpState(&baseline).ok());
 
   // Phase 1, TXN session: multi-key adds, then a checkpoint that makes them
   // durable (acks only flow once the commit point covers them).
@@ -514,6 +574,15 @@ TEST(TxdbServerE2E, MixedKvTxnCrashMidCheckpointRecoversExactlyOnce) {
   ASSERT_TRUE(txc.CommitPoint(&point).ok());
   EXPECT_GE(point, static_cast<uint64_t>(kTxnBatch1 + 1 + kTxnBatch2));
 
+  // Certify the whole run: dump the recovered (now quiesced) state and
+  // check both recorded histories against the CPR contract — including the
+  // neutralized conflict and the torn-checkpoint NOT_DURABLE degradation.
+  certify::StateDump final_state;
+  ASSERT_TRUE(txc.DumpState(&final_state).ok());
+  const auto violations = certify::CheckHistories(
+      baseline, final_state, {tx_rec.history(), kv_rec.history()});
+  EXPECT_TRUE(violations.empty()) << DescribeViolations(violations);
+
   txc.Close();
   kvc.Close();
   server2->Stop();
@@ -550,6 +619,235 @@ TEST(TxdbServerE2E, LiveReconnectResumesTxnSessionInProcess) {
 
   c.Close();
   server.Stop();
+}
+
+// The chunked-TXN headline: a TPC-C New-Order with min = max = 400 order
+// lines is a 1205-op write set — above the per-frame cap, so the client
+// splits it into TXN_CHUNK continuations + one final TXN. Two commit
+// durably, a third is executed but crashes before any covering checkpoint;
+// the client replays it (re-chunked) against the recovered server and the
+// certifier confirms exactly-once effects across all nine TPC-C tables.
+TEST(TxdbServerE2E, ChunkedNewOrderSurvivesCrashExactlyOnceAndCertifies) {
+  using workloads::TpccConfig;
+  using workloads::TpccWorkload;
+  const std::string dir = FreshDir();
+  TxDbBackend::Options bo;
+  bo.db.durability_dir = dir;
+  bo.db.max_threads = 16;
+  bo.tables = {TxDbBackend::TableSpec{16, 8}};  // KV surface (table 0)
+  TpccConfig tc;
+  tc.num_warehouses = 1;
+  tc.items = 400;
+  tc.customers_per_district = 32;
+  tc.order_pool_per_district = 16;
+  tc.min_order_lines = 400;
+  tc.max_order_lines = 400;
+
+  auto backend1 = std::make_unique<TxDbBackend>(bo);
+  auto tpcc1 = std::make_unique<TpccWorkload>(&backend1->db(), tc);
+  auto server1 = std::make_unique<KvServer>(backend1.get(), ServerOptions());
+  ASSERT_TRUE(server1->Start().ok());
+  const uint16_t port0 = server1->port();
+
+  certify::HistoryRecorder rec;
+  CprClient::Options co = ClientOptions(port0, net::AckMode::kDurable);
+  co.recorder = &rec;
+  CprClient c(co);
+  ASSERT_TRUE(c.Connect().ok());
+  const uint64_t guid = c.guid();
+
+  // Baseline captures the deterministic TPC-C load (stock quantities).
+  certify::StateDump baseline;
+  ASSERT_TRUE(c.DumpState(&baseline).ok());
+
+  // Pre-generate three New-Orders; each must exceed the per-frame op cap.
+  Rng rng(7);
+  std::vector<std::vector<net::TxnWireOp>> plans;
+  txdb::Transaction txn;
+  for (int i = 0; i < 3; ++i) {
+    tpcc1->MakeNewOrder(rng, &txn);
+    plans.push_back(ToWireOps(txn, backend1->db()));
+    ASSERT_GT(plans.back().size(), static_cast<size_t>(net::kMaxTxnOps));
+  }
+
+  // Two New-Orders commit and a checkpoint makes them durable.
+  c.EnqueueTxn(plans[0]);
+  c.EnqueueTxn(plans[1]);
+  c.EnqueueCheckpoint();
+  ASSERT_TRUE(c.Flush().ok());
+  std::vector<CprClient::Result> results;
+  ASSERT_TRUE(c.Drain(&results).ok());
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) ASSERT_EQ(r.status, net::WireStatus::kOk);
+  EXPECT_EQ(c.replay_backlog(), 0u);
+
+  // The third is executed server-side but never durable: its acks stay
+  // gated (no checkpoint), the crash wipes it from volatile memory.
+  c.EnqueueTxn(plans[2]);
+  ASSERT_TRUE(c.Flush().ok());
+  size_t processed = 0;
+  ASSERT_TRUE(c.TryDrain(nullptr, &processed).ok());
+  EXPECT_EQ(processed, 0u);
+  EXPECT_EQ(c.replay_backlog(), 1u);
+
+  server1->Stop();
+  server1.reset();
+  tpcc1.reset();
+  backend1.reset();
+
+  // Recover: identical construction order rebuilds the schema (and the
+  // deterministic stock load), then the checkpoint overlays durable state.
+  auto backend2 = std::make_unique<TxDbBackend>(bo);
+  auto tpcc2 = std::make_unique<TpccWorkload>(&backend2->db(), tc);
+  ASSERT_TRUE(backend2->Recover().ok());
+  auto server2 = std::make_unique<KvServer>(backend2.get(),
+                                            ServerOptions(port0));
+  ASSERT_TRUE(server2->Start().ok());
+
+  // Reconnect resumes at the durable prefix (2 committed New-Orders) and
+  // replays the third — re-chunked over the wire — exactly once.
+  ASSERT_TRUE(c.Reconnect().ok());
+  EXPECT_EQ(c.guid(), guid);
+  EXPECT_EQ(c.recovered_serial(), 2u);
+  EXPECT_EQ(c.replay_backlog(), 0u);
+
+  // All three New-Orders hit warehouse 0's districts: the sum of
+  // D_NEXT_O_ID across them must be exactly 3.
+  std::vector<net::TxnWireOp> read_districts;
+  for (uint64_t d = 0; d < 10; ++d) {
+    read_districts.push_back(ReadOp(tpcc2->district(), d));
+  }
+  std::vector<std::vector<char>> reads;
+  ASSERT_TRUE(c.Txn(read_districts, &reads).ok());
+  ASSERT_EQ(reads.size(), 10u);
+  int64_t next_o_id_sum = 0;
+  for (const auto& r : reads) next_o_id_sum += AsInt64(r);
+  EXPECT_EQ(next_o_id_sum, 3);
+
+  // Certify the run: every order line, stock decrement, and order-pool
+  // insert in the dump must be exactly the committed prefix.
+  certify::StateDump final_state;
+  ASSERT_TRUE(c.DumpState(&final_state).ok());
+  const auto violations =
+      certify::CheckHistories(baseline, final_state, {rec.history()});
+  EXPECT_TRUE(violations.empty()) << DescribeViolations(violations);
+
+  c.Close();
+  server2->Stop();
+}
+
+// Raw-socket abuse of the TXN_CHUNK staging protocol: a continuation that
+// arrives out of order — or any non-TXN frame interleaved mid-staging —
+// answers BAD_REQUEST as op TXN (chunks have no response op of their own)
+// and closes the connection rather than committing a half-staged set.
+TEST(TxdbServerE2E, TxnChunkStagingProtocolErrorsAnswerAsTxn) {
+  TxDbBackend backend(BackendOptions(FreshDir()));
+  KvServer server(&backend, ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  auto open_session = [&]() {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    net::Request hello;
+    hello.op = net::Op::kHello;
+    hello.seq = 1;
+    std::vector<char> frame;
+    net::EncodeRequest(hello, &frame);
+    EXPECT_EQ(::send(fd, frame.data(), frame.size(), 0),
+              static_cast<ssize_t>(frame.size()));
+    return fd;
+  };
+  auto recv_resp = [](int fd, net::Response* resp) {
+    std::vector<char> buf(net::kFrameHeaderBytes);
+    size_t got = 0;
+    while (got < buf.size()) {
+      const ssize_t n = ::recv(fd, buf.data() + got, buf.size() - got, 0);
+      ASSERT_GT(n, 0);
+      got += static_cast<size_t>(n);
+    }
+    uint32_t len = 0;
+    std::memcpy(&len, buf.data(), sizeof(len));
+    buf.resize(net::kFrameHeaderBytes + len);
+    while (got < buf.size()) {
+      const ssize_t n = ::recv(fd, buf.data() + got, buf.size() - got, 0);
+      ASSERT_GT(n, 0);
+      got += static_cast<size_t>(n);
+    }
+    ASSERT_TRUE(net::DecodeResponse(
+        std::string_view(buf.data() + net::kFrameHeaderBytes, len), resp));
+  };
+  auto send_req = [](int fd, const net::Request& req) {
+    std::vector<char> frame;
+    net::EncodeRequest(req, &frame);
+    ASSERT_EQ(::send(fd, frame.data(), frame.size(), 0),
+              static_cast<ssize_t>(frame.size()));
+  };
+  auto chunk = [](uint32_t seq, uint32_t index) {
+    net::Request req;
+    req.op = net::Op::kTxnChunk;
+    req.seq = seq;
+    req.chunk_index = index;
+    req.txn_ops = {AddOp(0, 1, 1)};
+    return req;
+  };
+
+  net::Response resp;
+  {
+    // A continuation with no staging in progress must be chunk 0.
+    const int fd = open_session();
+    recv_resp(fd, &resp);
+    ASSERT_EQ(resp.status, net::WireStatus::kOk);  // HELLO
+    send_req(fd, chunk(7, /*index=*/1));
+    recv_resp(fd, &resp);
+    EXPECT_EQ(resp.op, net::Op::kTxn);
+    EXPECT_EQ(resp.status, net::WireStatus::kBadRequest);
+    char b;
+    EXPECT_EQ(::recv(fd, &b, 1, 0), 0);  // orderly close
+    ::close(fd);
+  }
+  {
+    // Skipping a continuation index mid-staging fails the whole set.
+    const int fd = open_session();
+    recv_resp(fd, &resp);
+    ASSERT_EQ(resp.status, net::WireStatus::kOk);
+    send_req(fd, chunk(8, 0));  // staged; no response on success
+    send_req(fd, chunk(8, 2));  // out of order
+    recv_resp(fd, &resp);
+    EXPECT_EQ(resp.op, net::Op::kTxn);
+    EXPECT_EQ(resp.status, net::WireStatus::kBadRequest);
+    EXPECT_EQ(resp.seq, 8u);
+    char b;
+    EXPECT_EQ(::recv(fd, &b, 1, 0), 0);
+    ::close(fd);
+  }
+  {
+    // A non-TXN frame interleaved mid-staging is a protocol error too.
+    const int fd = open_session();
+    recv_resp(fd, &resp);
+    ASSERT_EQ(resp.status, net::WireStatus::kOk);
+    send_req(fd, chunk(9, 0));
+    net::Request read;
+    read.op = net::Op::kRead;
+    read.seq = 10;
+    read.key = 1;
+    send_req(fd, read);
+    recv_resp(fd, &resp);
+    EXPECT_EQ(resp.op, net::Op::kTxn);
+    EXPECT_EQ(resp.status, net::WireStatus::kBadRequest);
+    EXPECT_EQ(resp.seq, 9u);  // the staged transaction's seq, not the READ's
+    char b;
+    EXPECT_EQ(::recv(fd, &b, 1, 0), 0);
+    ::close(fd);
+  }
+
+  server.Stop();
+  EXPECT_GE(server.counters().protocol_errors, 3u);
 }
 
 }  // namespace

@@ -233,7 +233,7 @@ TEST(WireRequest, RejectsBadEnums) {
   std::string bad_op = payload;
   bad_op[0] = 0;  // below kHello
   EXPECT_FALSE(DecodeRequest(bad_op, &out));
-  bad_op[0] = 10;  // above kTxn
+  bad_op[0] = 12;  // above kDump
   EXPECT_FALSE(DecodeRequest(bad_op, &out));
 
   Request hello;
@@ -324,6 +324,153 @@ TEST(WireRequest, RejectsBadTxnBodies) {
   }
 }
 
+TEST(WireRequest, TxnChunkRoundTrip) {
+  Request req;
+  req.op = Op::kTxnChunk;
+  req.seq = 77;
+  req.chunk_index = 3;
+  TxnWireOp w;
+  w.kind = TxnOpKind::kWrite;
+  w.table = 2;
+  w.row = 9;
+  w.value = {'q', 'r'};
+  req.txn_ops = {w};
+
+  Request out;
+  ASSERT_TRUE(DecodeRequest(EncodedRequestPayload(req), &out));
+  EXPECT_EQ(out.op, Op::kTxnChunk);
+  EXPECT_EQ(out.seq, 77u);
+  EXPECT_EQ(out.chunk_index, 3u);
+  ASSERT_EQ(out.txn_ops.size(), 1u);
+  EXPECT_EQ(out.txn_ops[0].kind, TxnOpKind::kWrite);
+  EXPECT_EQ(out.txn_ops[0].value, (std::vector<char>{'q', 'r'}));
+}
+
+TEST(WireRequest, RejectsBadTxnChunkBodies) {
+  Request req;
+  req.op = Op::kTxnChunk;
+  req.seq = 1;
+  req.chunk_index = 0;
+  TxnWireOp w;
+  w.kind = TxnOpKind::kWrite;
+  w.row = 1;
+  w.value = {'v'};
+  req.txn_ops = {w};
+  const std::string payload = EncodedRequestPayload(req);
+  Request out;
+  ASSERT_TRUE(DecodeRequest(payload, &out));
+
+  // Body layout: op(1) seq(4) chunk_index(4) n_ops(4) ops...
+  // Op-kind byte past kAdd.
+  std::string bad_kind = payload;
+  bad_kind[13] = 3;
+  EXPECT_FALSE(DecodeRequest(bad_kind, &out));
+
+  // A chunk with zero ops carries nothing — malformed.
+  Request empty;
+  empty.op = Op::kTxnChunk;
+  empty.seq = 1;
+  EXPECT_FALSE(DecodeRequest(EncodedRequestPayload(empty), &out));
+
+  // Per-frame op count over kMaxTxnOps (without the bytes to back it).
+  std::string many = payload;
+  const uint32_t huge = kMaxTxnOps + 1;
+  std::memcpy(many.data() + 9, &huge, sizeof(huge));
+  EXPECT_FALSE(DecodeRequest(many, &out));
+
+  // Truncation anywhere mid-chunk fails cleanly.
+  for (size_t n = 0; n < payload.size(); ++n) {
+    EXPECT_FALSE(DecodeRequest(std::string_view(payload.data(), n), &out))
+        << "prefix " << n;
+  }
+}
+
+TEST(WireRequest, EncodeTxnChunkedSplitsOversizedTxn) {
+  Request req;
+  req.op = Op::kTxn;
+  req.seq = 99;
+  const size_t total = 2 * kMaxTxnOps + 5;
+  req.txn_ops.resize(total);
+  for (size_t i = 0; i < total; ++i) {
+    TxnWireOp& op = req.txn_ops[i];
+    op.kind = TxnOpKind::kAdd;
+    op.table = static_cast<uint32_t>(i % 3);
+    op.row = i;
+    op.delta = static_cast<int64_t>(i) - 7;
+  }
+
+  std::vector<char> buf;
+  EncodeTxnChunked(req, &buf);
+
+  // Expect: chunk 0 (kMaxTxnOps), chunk 1 (kMaxTxnOps), final TXN (5).
+  std::vector<Request> frames;
+  size_t off = 0;
+  while (off < buf.size()) {
+    std::string_view payload;
+    size_t consumed = 0;
+    ASSERT_EQ(TryExtractFrame(buf.data() + off, buf.size() - off, &payload,
+                              &consumed),
+              FrameResult::kFrame);
+    Request out;
+    ASSERT_TRUE(DecodeRequest(payload, &out));
+    frames.push_back(std::move(out));
+    off += consumed;
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].op, Op::kTxnChunk);
+  EXPECT_EQ(frames[0].chunk_index, 0u);
+  EXPECT_EQ(frames[0].txn_ops.size(), static_cast<size_t>(kMaxTxnOps));
+  EXPECT_EQ(frames[1].op, Op::kTxnChunk);
+  EXPECT_EQ(frames[1].chunk_index, 1u);
+  EXPECT_EQ(frames[1].txn_ops.size(), static_cast<size_t>(kMaxTxnOps));
+  EXPECT_EQ(frames[2].op, Op::kTxn);
+  EXPECT_EQ(frames[2].txn_ops.size(), 5u);
+  // Every frame of the logical transaction shares the final TXN's seq.
+  for (const Request& f : frames) EXPECT_EQ(f.seq, 99u);
+  // Reassembly yields the original op sequence.
+  size_t i = 0;
+  for (const Request& f : frames) {
+    for (const TxnWireOp& op : f.txn_ops) {
+      EXPECT_EQ(op.row, i);
+      EXPECT_EQ(op.delta, static_cast<int64_t>(i) - 7);
+      ++i;
+    }
+  }
+  EXPECT_EQ(i, total);
+
+  // At or under the per-frame cap: a single plain TXN frame, no chunks.
+  req.txn_ops.resize(kMaxTxnOps);
+  buf.clear();
+  EncodeTxnChunked(req, &buf);
+  std::string_view payload;
+  size_t consumed = 0;
+  ASSERT_EQ(TryExtractFrame(buf.data(), buf.size(), &payload, &consumed),
+            FrameResult::kFrame);
+  EXPECT_EQ(consumed, buf.size());
+  Request single;
+  ASSERT_TRUE(DecodeRequest(payload, &single));
+  EXPECT_EQ(single.op, Op::kTxn);
+  EXPECT_EQ(single.txn_ops.size(), static_cast<size_t>(kMaxTxnOps));
+}
+
+TEST(WireRequest, DumpRoundTripAndRejectsZeroMaxRows) {
+  Request req;
+  req.op = Op::kDump;
+  req.seq = 12;
+  req.table = 3;
+  req.start_row = 4096;
+  req.max_rows = 256;
+  Request out;
+  ASSERT_TRUE(DecodeRequest(EncodedRequestPayload(req), &out));
+  EXPECT_EQ(out.op, Op::kDump);
+  EXPECT_EQ(out.table, 3u);
+  EXPECT_EQ(out.start_row, 4096u);
+  EXPECT_EQ(out.max_rows, 256u);
+
+  req.max_rows = 0;
+  EXPECT_FALSE(DecodeRequest(EncodedRequestPayload(req), &out));
+}
+
 // Regression for the decode-validation bug class: mutate EVERY byte of a
 // valid encoding of EVERY op through all 256 values. Whatever still decodes
 // must carry only in-range enums — a corrupted or malicious frame can never
@@ -384,6 +531,19 @@ TEST(WireRequest, FuzzedBytesNeverDecodeOutOfRangeEnums) {
     a.delta = 9;
     r.txn_ops = {w, a};
     exemplars.push_back(r);
+    r.op = Op::kTxnChunk;
+    r.seq = 7;
+    r.chunk_index = 1;
+    exemplars.push_back(r);
+  }
+  {
+    Request r;
+    r.op = Op::kDump;
+    r.seq = 8;
+    r.table = 1;
+    r.start_row = 100;
+    r.max_rows = 64;
+    exemplars.push_back(r);
   }
 
   for (const Request& req : exemplars) {
@@ -397,7 +557,7 @@ TEST(WireRequest, FuzzedBytesNeverDecodeOutOfRangeEnums) {
         const uint8_t op = static_cast<uint8_t>(out.op);
         EXPECT_GE(op, static_cast<uint8_t>(Op::kHello))
             << OpName(req.op) << " pos " << pos << " val " << v;
-        EXPECT_LE(op, static_cast<uint8_t>(Op::kTxn))
+        EXPECT_LE(op, static_cast<uint8_t>(Op::kDump))
             << OpName(req.op) << " pos " << pos << " val " << v;
         EXPECT_LE(static_cast<uint8_t>(out.ack_mode),
                   static_cast<uint8_t>(AckMode::kDurable));
@@ -406,6 +566,10 @@ TEST(WireRequest, FuzzedBytesNeverDecodeOutOfRangeEnums) {
         EXPECT_LE(out.txn_ops.size(), static_cast<size_t>(kMaxTxnOps));
         for (const TxnWireOp& top : out.txn_ops) {
           EXPECT_LE(static_cast<uint8_t>(top.kind), kMaxTxnOpKind);
+        }
+        if (out.op == Op::kDump) {
+          EXPECT_GT(out.max_rows, 0u)
+              << OpName(req.op) << " pos " << pos << " val " << v;
         }
       }
     }
@@ -509,6 +673,59 @@ TEST(WireResponse, TxnReadsOnlyWhenOk) {
   EXPECT_EQ(out.status, WireStatus::kTxnConflict);
   EXPECT_EQ(out.serial, 12u);
   EXPECT_TRUE(out.txn_reads.empty());
+}
+
+TEST(WireResponse, DumpRowsOnlyWhenOk) {
+  Response resp;
+  resp.op = Op::kDump;
+  resp.status = WireStatus::kOk;
+  resp.seq = 6;
+  resp.value_size = 4;
+  resp.dump_rows_total = 1000;
+  resp.dump_next_row = 17;
+  DumpRow r0;
+  r0.row = 3;
+  r0.value = {'a', 'b', 'c', 'd'};
+  DumpRow r1;
+  r1.row = 16;
+  r1.value = {'e', 'f', 'g', 'h'};
+  resp.dump_rows = {r0, r1};
+  Response out;
+  ASSERT_TRUE(DecodeResponse(EncodedResponsePayload(resp), &out));
+  EXPECT_EQ(out.value_size, 4u);
+  EXPECT_EQ(out.dump_rows_total, 1000u);
+  EXPECT_EQ(out.dump_next_row, 17u);
+  ASSERT_EQ(out.dump_rows.size(), 2u);
+  EXPECT_EQ(out.dump_rows[0].row, 3u);
+  EXPECT_EQ(out.dump_rows[0].value, (std::vector<char>{'a', 'b', 'c', 'd'}));
+  EXPECT_EQ(out.dump_rows[1].row, 16u);
+
+  // Non-OK dump responses carry no body at all.
+  resp.status = WireStatus::kNotFound;
+  ASSERT_TRUE(DecodeResponse(EncodedResponsePayload(resp), &out));
+  EXPECT_TRUE(out.dump_rows.empty());
+  EXPECT_EQ(out.dump_rows_total, 0u);
+
+  // Rows must match the advertised width; truncation fails cleanly.
+  resp.status = WireStatus::kOk;
+  const std::string payload = EncodedResponsePayload(resp);
+  for (size_t n = 0; n < payload.size(); ++n) {
+    EXPECT_FALSE(DecodeResponse(std::string_view(payload.data(), n), &out))
+        << "prefix " << n;
+  }
+}
+
+TEST(WireResponse, RejectsTxnChunkOpcode) {
+  // TXN_CHUNK is request-only: continuation frames get no response of their
+  // own (errors answer as op TXN). A response claiming the opcode is bogus.
+  Response resp;
+  resp.op = Op::kUpsert;
+  resp.status = WireStatus::kOk;
+  resp.seq = 1;
+  std::string payload = EncodedResponsePayload(resp);
+  payload[0] = 10;  // kTxnChunk
+  Response out;
+  EXPECT_FALSE(DecodeResponse(payload, &out));
 }
 
 TEST(WireResponse, RejectsTruncatedAndTrailing) {

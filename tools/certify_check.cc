@@ -1,0 +1,147 @@
+// certify_check: offline crash-consistency certifier.
+//
+// Loads a certification directory produced by a recorded run (bench_server_tpcc
+// --certify-dir, or kv_client_cli --record-history plus DUMP captures):
+//
+//   <dir>/baseline.dump     state after loading, before any traffic
+//   <dir>/final.dump        recovered state after all clients replayed
+//   <dir>/history-*.blob    one recorded history per client session
+//
+// and verifies the CPR contract (src/certify/checker.h): acked-durable
+// operations form a prefix per session, the recovered state is reachable by
+// replaying exactly the committed prefix, conflict-neutralized transactions
+// left no effects, and every committed read observation is justified by some
+// serialization. Exits 0 iff no violations.
+//
+// Usage:
+//   certify_check <dir>
+//   certify_check --baseline <file> --final <file> <history.blob>...
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "certify/checker.h"
+#include "certify/history.h"
+
+namespace {
+
+using cpr::certify::CheckHistories;
+using cpr::certify::History;
+using cpr::certify::ReadHistoryFile;
+using cpr::certify::ReadStateDumpFile;
+using cpr::certify::StateDump;
+using cpr::certify::Violation;
+using cpr::certify::ViolationCodeName;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <certify-dir>\n"
+               "       %s --baseline <file> --final <file> <history>...\n",
+               argv0, argv0);
+  return 2;
+}
+
+bool ListHistories(const std::string& dir, std::vector<std::string>* out) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    std::fprintf(stderr, "certify_check: cannot open %s: %s\n", dir.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.rfind("history-", 0) == 0) out->push_back(dir + "/" + name);
+  }
+  ::closedir(d);
+  std::sort(out->begin(), out->end());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string final_path;
+  std::vector<std::string> history_paths;
+
+  if (argc == 2 && argv[1][0] != '-') {
+    const std::string dir = argv[1];
+    baseline_path = dir + "/baseline.dump";
+    final_path = dir + "/final.dump";
+    if (!ListHistories(dir, &history_paths)) return 2;
+  } else {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--baseline" && i + 1 < argc) {
+        baseline_path = argv[++i];
+      } else if (arg == "--final" && i + 1 < argc) {
+        final_path = argv[++i];
+      } else if (!arg.empty() && arg[0] != '-') {
+        history_paths.push_back(arg);
+      } else {
+        return Usage(argv[0]);
+      }
+    }
+  }
+  if (baseline_path.empty() || final_path.empty()) return Usage(argv[0]);
+  if (history_paths.empty()) {
+    std::fprintf(stderr, "certify_check: no history files\n");
+    return 2;
+  }
+
+  StateDump baseline;
+  StateDump final_state;
+  cpr::Status st = ReadStateDumpFile(baseline_path, &baseline);
+  if (!st.ok()) {
+    std::fprintf(stderr, "certify_check: %s: %s\n", baseline_path.c_str(),
+                 st.message().c_str());
+    return 2;
+  }
+  st = ReadStateDumpFile(final_path, &final_state);
+  if (!st.ok()) {
+    std::fprintf(stderr, "certify_check: %s: %s\n", final_path.c_str(),
+                 st.message().c_str());
+    return 2;
+  }
+
+  std::vector<History> histories;
+  for (const std::string& path : history_paths) {
+    History h;
+    st = ReadHistoryFile(path, &h);
+    if (!st.ok()) {
+      std::fprintf(stderr, "certify_check: %s: %s\n", path.c_str(),
+                   st.message().c_str());
+      return 2;
+    }
+    histories.push_back(std::move(h));
+  }
+
+  uint64_t events = 0;
+  for (const History& h : histories) events += h.events.size();
+  std::fprintf(stderr,
+               "certify_check: %zu histories, %llu events, %zu tables\n",
+               histories.size(), static_cast<unsigned long long>(events),
+               final_state.tables.size());
+
+  const std::vector<Violation> violations =
+      CheckHistories(baseline, final_state, histories);
+  for (const Violation& v : violations) {
+    std::fprintf(stderr,
+                 "VIOLATION %s guid=%llu serial=%llu table=%u row=%llu: %s\n",
+                 ViolationCodeName(v.code),
+                 static_cast<unsigned long long>(v.guid),
+                 static_cast<unsigned long long>(v.serial), v.table,
+                 static_cast<unsigned long long>(v.row), v.detail.c_str());
+  }
+  if (violations.empty()) {
+    std::fprintf(stderr, "certify_check: OK — no violations\n");
+    return 0;
+  }
+  std::fprintf(stderr, "certify_check: %zu violation(s)\n", violations.size());
+  return 1;
+}
