@@ -11,9 +11,17 @@
 // FasterKv instances with coordinated cross-shard checkpoints; the report
 // adds per-shard op counts and the coordinated-round cadence.
 //
+// With --crash-restart the benchmark instead measures instant restart:
+// preload + checkpoint a multi-shard store, tear it down ("power loss"),
+// restart the server with recover_on_start, and drive a client against the
+// recovering store. Reports time-to-first-op (listener up, first data op
+// answered), time-to-full-recovery (every shard restored), and
+// time-to-full-throughput (client-observed window rate back at steady
+// state), plus the parked/RECOVERING traffic counts during the window.
+//
 // Knobs: CPR_BENCH_WORKERS (4), CPR_BENCH_CLIENTS (4), CPR_BENCH_KEYS
 // (100000), CPR_BENCH_PIPELINE (64), CPR_BENCH_SECONDS (2),
-// CPR_BENCH_SHARDS (1), CPR_BENCH_SCALE.
+// CPR_BENCH_SHARDS (1), CPR_BENCH_SCALE, CPR_BENCH_RESTART_PASSES (3).
 //
 // --stats-json=PATH additionally writes a machine-readable summary of every
 // run (throughput, durable-lag percentiles, per-phase checkpoint time) for
@@ -263,6 +271,190 @@ void WriteStatsJson(const char* path, uint32_t shards, uint32_t workers,
   std::printf("  stats json -> %s\n", path);
 }
 
+// -- Crash-restart: instant-restart availability ------------------------------
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void RunCrashRestart(uint32_t shards, const char* stats_json) {
+  const double scale = EnvF64("CPR_BENCH_SCALE", 1.0);
+  const uint64_t keys =
+      static_cast<uint64_t>(EnvU64("CPR_BENCH_KEYS", 100'000) * scale);
+  const int passes =
+      static_cast<int>(EnvU64("CPR_BENCH_RESTART_PASSES", 3));
+  const uint32_t workers =
+      static_cast<uint32_t>(EnvU64("CPR_BENCH_WORKERS", 4));
+  const uint32_t restore_workers =
+      static_cast<uint32_t>(EnvU64("CPR_BENCH_RESTART_WORKERS", 1));
+  if (shards < 2) shards = 32;  // instant restart is about multi-shard restore
+
+  kv::ShardedKv::Options so;
+  so.base.dir = FreshBenchDir("restart");
+  // Per-shard index sized for keys/shards live keys: restore time is then
+  // dominated by log replay (the real data), not fixed index-blob I/O.
+  so.base.index_buckets = 1ull << 12;
+  so.num_shards = shards;
+  // Restore bandwidth deliberately below the shard count: full recovery
+  // takes shards/restore_workers rounds while a parked op waits only for
+  // its own (demand-prioritized) shard.
+  so.recovery_workers = restore_workers;
+
+  PrintHeader("Crash-restart",
+              std::to_string(shards) + "-shard store, " +
+                  std::to_string(keys) + " keys x " + std::to_string(passes) +
+                  " passes preloaded, recovery_workers=" +
+                  std::to_string(restore_workers));
+
+  // Preload and pin a checkpoint, then "lose power".
+  {
+    kv::ShardedKv kv(so);
+    kv::Session* s = kv.StartSession(1);
+    for (int p = 0; p < passes; ++p) {
+      for (uint64_t k = 0; k < keys; ++k) {
+        if (kv.Rmw(*s, k, 1) == faster::OpStatus::kPending) {
+          kv.CompletePending(*s, true);
+        }
+        if ((k & 0xfff) == 0) kv.Refresh(*s);
+      }
+    }
+    kv.CompletePending(*s, true);
+    uint64_t round = 0;
+    if (!kv.Checkpoint(faster::CommitVariant::kFoldOver,
+                       /*include_index=*/true, &round)) {
+      std::fprintf(stderr, "preload checkpoint failed\n");
+      return;
+    }
+    while (kv.CheckpointInProgress()) {
+      kv.CompletePending(*s);
+      kv.Refresh(*s);
+    }
+    if (!kv.WaitForCheckpoint(round).ok()) {
+      std::fprintf(stderr, "preload checkpoint did not commit\n");
+      return;
+    }
+    kv.StopSession(s);
+  }
+
+  // Restart: the listener comes up immediately; shards restore behind it.
+  kv::ShardedKv kv(so);
+  server::KvServerOptions svo;
+  svo.num_workers = workers;
+  svo.idle_poll_ms = 1;
+  svo.recover_on_start = true;
+  server::KvServer server(&kv, svo);
+  const uint64_t t0 = NowNs();
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "server restart failed\n");
+    return;
+  }
+
+  // One client hammers the recovering store with sync RMWs (the sync helpers
+  // absorb parked waits and RECOVERING retries); per-window op counts give
+  // the client-observed throughput ramp.
+  constexpr uint64_t kWindowNs = 5'000'000;  // 5ms
+  std::vector<uint64_t> window_ops;
+  uint64_t client_first_op_ns = 0;
+  uint64_t ops_total = 0;
+  {
+    client::CprClient::Options co;
+    co.port = server.port();
+    co.ack_mode = net::AckMode::kExecuted;
+    client::CprClient c(co);
+    if (!c.Connect().ok()) {
+      std::fprintf(stderr, "client connect failed\n");
+      return;
+    }
+    uint64_t rng = 0x9e3779b97f4a7c15ull;
+    auto next_rand = [&rng] {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      return rng;
+    };
+    // Run until well past full recovery so the steady-state rate is visible.
+    while (kv.Recovering() || NowNs() - t0 < kWindowNs * 40) {
+      if (!c.Rmw(next_rand() % keys, 1).ok()) break;
+      const uint64_t now = NowNs();
+      if (client_first_op_ns == 0) client_first_op_ns = now - t0;
+      const size_t w = static_cast<size_t>((now - t0) / kWindowNs);
+      if (window_ops.size() <= w) window_ops.resize(w + 1, 0);
+      ++window_ops[w];
+      ++ops_total;
+    }
+    c.Close();
+  }
+
+  const auto counters = server.counters();
+  const uint64_t ttfo = counters.time_to_first_op_ns;
+  const uint64_t ttfr = counters.recovery_duration_ns;
+  // Steady state: the top window rate after recovery; full throughput is
+  // reached at the end of the first window hitting 80% of it.
+  uint64_t steady = 0;
+  for (uint64_t w : window_ops) steady = std::max(steady, w);
+  uint64_t ttft = 0;
+  for (size_t w = 0; w < window_ops.size(); ++w) {
+    if (window_ops[w] * 10 >= steady * 8) {
+      ttft = (w + 1) * kWindowNs;
+      break;
+    }
+  }
+
+  std::printf("  time-to-first-op:        %8.2f ms  (client-observed %.2f ms)\n",
+              static_cast<double>(ttfo) / 1e6,
+              static_cast<double>(client_first_op_ns) / 1e6);
+  std::printf("  time-to-full-recovery:   %8.2f ms\n",
+              static_cast<double>(ttfr) / 1e6);
+  std::printf("  time-to-full-throughput: %8.2f ms  (steady %.1f kops/s)\n",
+              static_cast<double>(ttft) / 1e6,
+              static_cast<double>(steady) * (1e9 / kWindowNs) / 1e3);
+  if (ttfo > 0 && ttfr > 0) {
+    std::printf("  availability ratio:      %8.1fx  (full-recovery / first-op%s\n",
+                static_cast<double>(ttfr) / static_cast<double>(ttfo),
+                static_cast<double>(ttfr) >= 5.0 * static_cast<double>(ttfo)
+                    ? "; >=5x bar met)"
+                    : "; WARNING below the 5x bar)");
+  }
+  std::printf("  traffic: ops=%llu parked=%llu recovering_rejections=%llu\n",
+              static_cast<unsigned long long>(ops_total),
+              static_cast<unsigned long long>(counters.ops_parked),
+              static_cast<unsigned long long>(counters.recovering_rejections));
+
+  if (stats_json != nullptr) {
+    std::FILE* f = std::fopen(stats_json, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", stats_json);
+    } else {
+      std::fprintf(
+          f,
+          "{\n  \"bench\": \"server_kv_crash_restart\",\n"
+          "  \"shards\": %u,\n  \"keys\": %llu,\n  \"passes\": %d,\n"
+          "  \"time_to_first_op_ns\": %llu,\n"
+          "  \"time_to_first_op_client_ns\": %llu,\n"
+          "  \"time_to_full_recovery_ns\": %llu,\n"
+          "  \"time_to_full_throughput_ns\": %llu,\n"
+          "  \"steady_window_ops\": %llu,\n"
+          "  \"ops_total\": %llu,\n  \"ops_parked\": %llu,\n"
+          "  \"recovering_rejections\": %llu\n}\n",
+          shards, static_cast<unsigned long long>(keys), passes,
+          static_cast<unsigned long long>(ttfo),
+          static_cast<unsigned long long>(client_first_op_ns),
+          static_cast<unsigned long long>(ttfr),
+          static_cast<unsigned long long>(ttft),
+          static_cast<unsigned long long>(steady),
+          static_cast<unsigned long long>(ops_total),
+          static_cast<unsigned long long>(counters.ops_parked),
+          static_cast<unsigned long long>(counters.recovering_rejections));
+      std::fclose(f);
+      std::printf("  stats json -> %s\n", stats_json);
+    }
+  }
+  server.Stop();
+}
+
 void Run(uint32_t shards, const char* stats_json) {
   const double scale = EnvF64("CPR_BENCH_SCALE", 1.0);
   const double seconds = EnvF64("CPR_BENCH_SECONDS", 2.0) * scale;
@@ -324,14 +516,21 @@ int main(int argc, char** argv) {
   uint32_t shards =
       static_cast<uint32_t>(cpr::bench::EnvU64("CPR_BENCH_SHARDS", 1));
   const char* stats_json = nullptr;
+  bool crash_restart = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       const long v = std::atol(argv[i] + 9);
       if (v >= 1) shards = static_cast<uint32_t>(v);
     } else if (std::strncmp(argv[i], "--stats-json=", 13) == 0) {
       stats_json = argv[i] + 13;
+    } else if (std::strcmp(argv[i], "--crash-restart") == 0) {
+      crash_restart = true;
     }
   }
-  cpr::bench::Run(shards, stats_json);
+  if (crash_restart) {
+    cpr::bench::RunCrashRestart(shards, stats_json);
+  } else {
+    cpr::bench::Run(shards, stats_json);
+  }
   return 0;
 }

@@ -14,6 +14,12 @@
 // commit point and replay everything after it. In sharded mode a durable
 // ack means a cross-shard manifest covering the op is persisted, and
 // recovery restores every shard to the newest complete manifest.
+//
+// --instant replaces the blocking recovery with instant restart: the
+// listener is up immediately, shards restore in the background on demand,
+// and ops for still-loading shards park briefly or earn the retryable
+// RECOVERING status. The stats loop reports time-to-first-op vs total
+// recovery time once the restore completes.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -53,7 +59,10 @@ void Usage(const char* argv0) {
                "  --checkpoint-ms N  periodic CPR checkpoint interval\n"
                "                     (default 0: only client-requested)\n"
                "  --stats-ms N       counter report interval (default 5000)\n"
-               "  --recover          recover from the latest checkpoint\n",
+               "  --recover          recover from the latest checkpoint\n"
+               "  --instant          recover in the background: serve from\n"
+               "                     the listener immediately, restore\n"
+               "                     shards on demand (implies --recover)\n",
                argv0);
 }
 
@@ -70,6 +79,7 @@ int main(int argc, char** argv) {
   uint32_t checkpoint_ms = 0;
   uint32_t stats_ms = 5000;
   bool recover = false;
+  bool instant = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -103,6 +113,8 @@ int main(int argc, char** argv) {
       stats_ms = static_cast<uint32_t>(std::atoi(next()));
     } else if (arg == "--recover") {
       recover = true;
+    } else if (arg == "--instant") {
+      instant = true;
     } else {
       Usage(argv[0]);
       return arg == "--help" ? 0 : 2;
@@ -129,7 +141,7 @@ int main(int argc, char** argv) {
   } else {
     backend = std::make_unique<cpr::kv::FasterBackend>(fo);
   }
-  if (recover) {
+  if (recover && !instant) {
     const cpr::Status s = backend->Recover();
     if (s.ok()) {
       std::printf("recovered from latest %s in %s\n",
@@ -147,6 +159,7 @@ int main(int argc, char** argv) {
   so.port = port;
   so.num_workers = workers;
   so.checkpoint_interval_ms = checkpoint_ms;
+  so.recover_on_start = instant;
   cpr::server::KvServer server(backend.get(), so);
   const cpr::Status s = server.Start();
   if (!s.ok()) {
@@ -169,13 +182,30 @@ int main(int argc, char** argv) {
         checkpoint_ms != 0 ? ", periodic checkpoints" : "");
   }
 
+  if (instant) {
+    std::printf("instant restart: listener up, shards restoring on demand\n");
+    std::fflush(stdout);
+  }
+
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
   uint64_t last_requests = 0;
+  bool recovery_reported = !instant;
   while (!g_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(
         stats_ms == 0 ? 1000 : stats_ms));
     const auto c = server.counters();
+    if (!recovery_reported && c.recovery_duration_ns != 0) {
+      recovery_reported = true;
+      std::printf(
+          "recovery complete: time-to-first-op=%.2fms "
+          "time-to-full-recovery=%.2fms parked=%llu recovering=%llu\n",
+          static_cast<double>(c.time_to_first_op_ns) / 1e6,
+          static_cast<double>(c.recovery_duration_ns) / 1e6,
+          static_cast<unsigned long long>(c.ops_parked),
+          static_cast<unsigned long long>(c.recovering_rejections));
+      std::fflush(stdout);
+    }
     if (stats_ms == 0 || c.requests == last_requests) continue;
     last_requests = c.requests;
     std::printf(

@@ -271,6 +271,11 @@ void CheckerState::ApplyCommittedOp(uint64_t guid, const EventOp& op) {
         rows_[{top.table, top.row}].conflict_touched = true;
       }
       return;
+    case net::WireStatus::kRecovering:
+      // A RECOVERING rejection burned the serial with zero effects (the
+      // op's shard was still restoring); the serial is accounted for, but
+      // nothing was applied and nothing was observed.
+      return;
     default:
       Report(Violation::Code::kBadHistory, guid, op.serial, 0, 0,
              std::string("recorded status cannot consume a serial: ") +

@@ -148,16 +148,8 @@ Status CprClient::Connect() {
        ++attempt) {
     if (attempt > 0) {
       stats_.connect_retries += 1;
-      // Jittered exponential backoff: sleep in [delay/2, delay] so
-      // simultaneously-disconnected clients spread their retries.
-      jitter_state_ ^= jitter_state_ << 13;
-      jitter_state_ ^= jitter_state_ >> 17;
-      jitter_state_ ^= jitter_state_ << 5;
-      const int half = delay_ms / 2;
-      const int sleep_ms =
-          half + static_cast<int>(jitter_state_ % (delay_ms - half + 1));
-      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
-      delay_ms = std::min(delay_ms * 2, cap_ms);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(JitteredBackoffMs(delay_ms, cap_ms)));
     }
     s = ConnectOnce();
     if (!s.ok()) continue;
@@ -166,6 +158,19 @@ Status CprClient::Connect() {
     Close();
   }
   return s;
+}
+
+int CprClient::JitteredBackoffMs(int& delay_ms, int cap_ms) {
+  // Jittered exponential backoff: sleep in [delay/2, delay] so a fleet of
+  // simultaneously-rejected clients spreads its retries.
+  jitter_state_ ^= jitter_state_ << 13;
+  jitter_state_ ^= jitter_state_ >> 17;
+  jitter_state_ ^= jitter_state_ << 5;
+  const int half = delay_ms / 2;
+  const int sleep_ms =
+      half + static_cast<int>(jitter_state_ % (delay_ms - half + 1));
+  delay_ms = std::min(delay_ms * 2, cap_ms);
+  return sleep_ms;
 }
 
 Status CprClient::Reconnect() {
@@ -231,21 +236,27 @@ void CprClient::NoteDurable(uint64_t serial) {
   }
 }
 
-void CprClient::NeutralizeTxnReplay(uint64_t serial) {
-  // A conflicted TXN consumed its serial server-side with zero effects.
-  // Keep the replay entry (the serial must still be regenerated after a
-  // crash so later ops line up) but strip its effects: every op becomes a
-  // read, which a replayed commit applies as a no-op.
+void CprClient::NeutralizeReplay(uint64_t serial) {
+  // The serial was consumed server-side with zero effects (a conflicted
+  // TXN, or a RECOVERING rejection that burned the serial). Keep the replay
+  // entry (the serial must still be regenerated after a crash so later ops
+  // line up) but strip its effects: the op becomes a read — same key or
+  // read-only op set — which a replay applies as a no-op.
   const auto it = std::lower_bound(replay_serials_.begin(),
                                    replay_serials_.end(), serial);
   if (it == replay_serials_.end() || *it != serial) return;
   net::Request& req = replay_[static_cast<size_t>(it - replay_serials_.begin())];
-  if (req.op != net::Op::kTxn) return;
-  for (net::TxnWireOp& op : req.txn_ops) {
-    op.kind = net::TxnOpKind::kRead;
-    op.value.clear();
-    op.delta = 0;
+  if (req.op == net::Op::kTxn) {
+    for (net::TxnWireOp& op : req.txn_ops) {
+      op.kind = net::TxnOpKind::kRead;
+      op.value.clear();
+      op.delta = 0;
+    }
+    return;
   }
+  req.op = net::Op::kRead;
+  req.value.clear();
+  req.delta = 0;
 }
 
 void CprClient::EnqueueRequest(const net::Request& req) {
@@ -443,7 +454,16 @@ Status CprClient::ProcessResponse(net::Response resp,
   if (resp.op == net::Op::kTxn &&
       resp.status == net::WireStatus::kTxnConflict) {
     stats_.txn_conflicts += 1;
-    NeutralizeTxnReplay(resp.serial);
+    NeutralizeReplay(resp.serial);
+  }
+  if (resp.status == net::WireStatus::kRecovering) {
+    stats_.recovering_rejections += 1;
+    // serial != 0: the server burned that serial for the rejection, so the
+    // replay slot must regenerate it effect-free; the caller retries the op
+    // under a fresh serial. serial == 0 (shutdown drain): nothing was
+    // consumed, the request stays intact in the replay buffer and is
+    // re-issued verbatim at the next reconnect.
+    if (resp.serial != 0) NeutralizeReplay(resp.serial);
   }
   if (options_.recorder != nullptr && inf.predicted_serial != 0) {
     RecordOp(inf, resp);
@@ -455,6 +475,10 @@ Status CprClient::ProcessResponse(net::Response resp,
              resp.status != net::WireStatus::kNoSession &&
              resp.status != net::WireStatus::kBadRequest &&
              resp.status != net::WireStatus::kTxnConflict &&
+             // A RECOVERING rejection releases immediately (zero effects,
+             // nothing to make durable); its burned serial proves nothing
+             // about earlier updates.
+             resp.status != net::WireStatus::kRecovering &&
              (resp.op != net::Op::kTxn || inf.txn_update)) {
     NoteDurable(resp.serial);
     if (options_.recorder != nullptr) {
@@ -499,6 +523,12 @@ void CprClient::RecordOp(const InFlight& inf, const net::Response& resp) {
     case net::WireStatus::kNotFound:
     case net::WireStatus::kNotDurable:
     case net::WireStatus::kTxnConflict:
+      break;
+    case net::WireStatus::kRecovering:
+      // serial != 0: burned with zero effects — journaled so the checker
+      // accounts for the consumed serial. serial == 0 (shutdown drain):
+      // nothing consumed, nothing to journal.
+      if (resp.serial == 0) return;
       break;
     default:
       return;
@@ -649,6 +679,10 @@ Status AsStatus(const CprClient::Result& r) {
     case net::WireStatus::kTxnConflict:
       // NO-WAIT abort: nothing applied, retry the whole transaction.
       return Status::Busy("transaction conflict (NO-WAIT), retry");
+    case net::WireStatus::kRecovering:
+      // Shard still restoring and the parking queue is full: nothing was
+      // applied, retry (the sync helpers already did, with backoff).
+      return Status::Busy("shard recovering, retry");
     case net::WireStatus::kError:
       break;
   }
@@ -656,14 +690,36 @@ Status AsStatus(const CprClient::Result& r) {
 }
 }  // namespace
 
+Status CprClient::RunRetryable(const std::function<void()>& enqueue,
+                               Result* out) {
+  int delay_ms = std::max(1, options_.recovering_backoff_ms);
+  const int cap_ms = std::max(delay_ms, options_.max_recovering_backoff_ms);
+  const int attempts = std::max(1, options_.recovering_retry_attempts);
+  for (int attempt = 0;; ++attempt) {
+    enqueue();
+    Status s = Flush();
+    if (!s.ok()) return s;
+    std::vector<Result> results;
+    s = Drain(&results, 1);
+    if (!s.ok()) return s;
+    Result& r = results.front();
+    if (r.status != net::WireStatus::kRecovering || attempt + 1 >= attempts) {
+      *out = std::move(r);
+      return Status::Ok();
+    }
+    // The rejection burned an effect-free serial (already neutralized in
+    // ProcessResponse); retry the op under a fresh serial after a jittered
+    // backoff so a fleet of waiting clients does not hammer the shard.
+    stats_.recovering_retries += 1;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(JitteredBackoffMs(delay_ms, cap_ms)));
+  }
+}
+
 Status CprClient::Read(uint64_t key, void* value_out, bool* found) {
-  EnqueueRead(key);
-  Status s = Flush();
+  Result r;
+  Status s = RunRetryable([&] { EnqueueRead(key); }, &r);
   if (!s.ok()) return s;
-  std::vector<Result> results;
-  s = Drain(&results, 1);
-  if (!s.ok()) return s;
-  const Result& r = results.front();
   if (r.status == net::WireStatus::kOk) {
     *found = true;
     std::memcpy(value_out, r.value.data(),
@@ -689,13 +745,9 @@ Status CprClient::Txn(const std::vector<net::TxnWireOp>& ops,
   if (n_reads > net::kMaxTxnOps) {
     return Status::InvalidArgument("txn read set above response frame cap");
   }
-  EnqueueTxn(ops);
-  Status s = Flush();
+  Result r;
+  Status s = RunRetryable([&] { EnqueueTxn(ops); }, &r);
   if (!s.ok()) return s;
-  std::vector<Result> results;
-  s = Drain(&results, 1);
-  if (!s.ok()) return s;
-  Result& r = results.front();
   if (r.status == net::WireStatus::kOk && reads != nullptr) {
     *reads = std::move(r.txn_reads);
   }
@@ -703,33 +755,23 @@ Status CprClient::Txn(const std::vector<net::TxnWireOp>& ops,
 }
 
 Status CprClient::Upsert(uint64_t key, const void* value) {
-  EnqueueUpsert(key, value);
-  Status s = Flush();
+  Result r;
+  Status s = RunRetryable([&] { EnqueueUpsert(key, value); }, &r);
   if (!s.ok()) return s;
-  std::vector<Result> results;
-  s = Drain(&results, 1);
-  if (!s.ok()) return s;
-  return AsStatus(results.front());
+  return AsStatus(r);
 }
 
 Status CprClient::Rmw(uint64_t key, int64_t delta) {
-  EnqueueRmw(key, delta);
-  Status s = Flush();
+  Result r;
+  Status s = RunRetryable([&] { EnqueueRmw(key, delta); }, &r);
   if (!s.ok()) return s;
-  std::vector<Result> results;
-  s = Drain(&results, 1);
-  if (!s.ok()) return s;
-  return AsStatus(results.front());
+  return AsStatus(r);
 }
 
 Status CprClient::Delete(uint64_t key, bool* found) {
-  EnqueueDelete(key);
-  Status s = Flush();
+  Result r;
+  Status s = RunRetryable([&] { EnqueueDelete(key); }, &r);
   if (!s.ok()) return s;
-  std::vector<Result> results;
-  s = Drain(&results, 1);
-  if (!s.ok()) return s;
-  const Result& r = results.front();
   if (found != nullptr) *found = r.status == net::WireStatus::kOk;
   if (r.status == net::WireStatus::kNotFound) return Status::Ok();
   return AsStatus(r);

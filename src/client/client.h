@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,14 @@ class CprClient {
     int max_connect_backoff_ms = 1'000;
     // Keep un-durable updates for replay on reconnect.
     bool track_replay = true;
+    // RECOVERING handling: a server restoring a shard may reject an op with
+    // the retryable RECOVERING status once its parking queue is full. The
+    // sync helpers retry the op (it consumed a burned, effect-free serial;
+    // the replay slot is neutralized automatically) with capped-jitter
+    // backoff, surfacing Busy only after recovering_retry_attempts.
+    int recovering_retry_attempts = 64;
+    int recovering_backoff_ms = 1;
+    int max_recovering_backoff_ms = 100;
     // Optional crash-consistency journal: every client-observed event
     // (HELLO results, serial-consuming acks incl. TXN_CONFLICT and
     // NOT_DURABLE, commit-point notifications) is recorded for the offline
@@ -63,6 +72,8 @@ class CprClient {
     uint64_t replayed_ops = 0;      // data ops re-issued after reconnect
     uint64_t not_durable_acks = 0;  // NOT_DURABLE responses received
     uint64_t txn_conflicts = 0;     // TXN_CONFLICT responses received
+    uint64_t recovering_rejections = 0;  // RECOVERING responses received
+    uint64_t recovering_retries = 0;     // sync-helper retries after them
     uint64_t max_inflight = 0;      // peak pipeline depth
   };
 
@@ -193,9 +204,19 @@ class CprClient {
   void RecordOp(const InFlight& inf, const net::Response& resp);
   void RecordResolvedPrefix(uint64_t recovered);
   void NoteDurable(uint64_t serial);
-  void NeutralizeTxnReplay(uint64_t serial);
+  // Strips the effects of the replay entry holding `serial` (a serial the
+  // server consumed with zero effects: TXN conflict or a RECOVERING
+  // rejection) so a post-crash replay regenerates the serial as a no-op.
+  void NeutralizeReplay(uint64_t serial);
   Status ReplayAfter(uint64_t recovered);
   void FailInflight();
+  // One-op pipeline with RECOVERING retry: re-enqueues via `enqueue` until
+  // the response is anything but RECOVERING (or attempts run out), backing
+  // off with capped jitter between tries.
+  Status RunRetryable(const std::function<void()>& enqueue, Result* out);
+  // Advances the jittered exponential backoff: returns a sleep in
+  // [delay/2, delay] and doubles delay up to cap.
+  int JitteredBackoffMs(int& delay_ms, int cap_ms);
 
   Options options_;
   Stats stats_;

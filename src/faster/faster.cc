@@ -1301,6 +1301,19 @@ Status FasterKv::Recover() {
 
 Status FasterKv::Recover(uint64_t token) { return RecoverFromToken(token); }
 
+Status FasterKv::ValidateCheckpoint(uint64_t token) {
+  CheckpointMetadata meta;
+  Status s = LoadCheckpointMetadata(token, &meta);
+  if (!s.ok()) return s;
+  s = ProbeCheckedBlob(IndexPath(options_.dir, meta.index_token), kIndexMagic);
+  if (!s.ok()) return s;
+  if (meta.variant == CommitVariant::kSnapshot) {
+    s = ProbeCheckedBlob(SnapshotPath(options_.dir, meta.token), kSnapMagic);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
 Status FasterKv::RecoverFromToken(uint64_t token) {
   // 1. Checkpoint metadata (checksummed blob).
   CheckpointMetadata meta;

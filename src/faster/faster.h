@@ -253,6 +253,16 @@ class FasterKv {
   // point. Call before any sessions start.
   Status Recover(uint64_t token);
 
+  // Cheap structural preflight of one checkpoint generation: loads the
+  // (small, checksummed) metadata blob, then probes the index image and
+  // snapshot artifacts it references — header magic/version/length only, no
+  // payload reads or CRC work, so it is O(1) in the store size. Recovery
+  // coordinators use it to pick a candidate generation up front without
+  // paying for a full restore attempt per candidate. A passing probe does
+  // not guarantee the payloads are intact (bit-flips surface later, in
+  // Recover(token)); a failing probe guarantees Recover(token) would fail.
+  Status ValidateCheckpoint(uint64_t token);
+
   // Pins checkpoint generations against checkpoint GC, in addition to the
   // newest retain_checkpoints. Coordinated multi-store recovery (src/shard)
   // pins every token named by a retained cross-shard manifest, so failed

@@ -91,6 +91,38 @@ Status ReadCheckedBlob(const std::string& path, uint64_t magic,
   return Status::Ok();
 }
 
+Status ProbeCheckedBlob(const std::string& path, uint64_t magic) {
+  File file;
+  Status s = File::Open(path, /*create=*/false, &file);
+  if (!s.ok()) return s;
+  const uint64_t size = file.Size();
+  if (size < kBlobHeaderBytes) {
+    return Status::Corruption("blob truncated: " + path);
+  }
+  char header[kBlobHeaderBytes];
+  s = file.ReadAt(0, header, sizeof(header));
+  if (!s.ok()) return s;
+  uint64_t file_magic = 0;
+  uint32_t version = 0;
+  uint64_t len = 0;
+  size_t off = 0;
+  std::memcpy(&file_magic, header + off, sizeof(file_magic));
+  off += sizeof(file_magic);
+  std::memcpy(&version, header + off, sizeof(version));
+  off += sizeof(version);
+  std::memcpy(&len, header + off, sizeof(len));
+  if (file_magic != magic) {
+    return Status::Corruption("blob magic mismatch: " + path);
+  }
+  if (version == 0 || version > kBlobFormatVersion) {
+    return Status::Corruption("blob version unsupported: " + path);
+  }
+  if (len > kMaxBlobPayload || kBlobHeaderBytes + len > size) {
+    return Status::Corruption("blob length invalid: " + path);
+  }
+  return Status::Ok();
+}
+
 Status PublishLatest(const std::string& dir, const std::string& value,
                      bool sync) {
   const std::string tmp = LatestPath(dir) + ".tmp";

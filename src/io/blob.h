@@ -34,6 +34,14 @@ Status WriteCheckedBlob(const std::string& path, uint64_t magic,
 Status ReadCheckedBlob(const std::string& path, uint64_t magic,
                        std::vector<char>* payload);
 
+// Shallow structural probe: verifies the header (magic, version, recorded
+// payload length vs. file size) WITHOUT reading or checksumming the payload.
+// O(1) in the blob size, so recovery preflight can vet a whole candidate
+// generation in microseconds. Catches the common crash artifacts — missing,
+// truncated, or wrong-kind files — but not payload bit-flips; those are
+// still caught by the full ReadCheckedBlob when the artifact is loaded.
+Status ProbeCheckedBlob(const std::string& path, uint64_t magic);
+
 // Durable publication of the LATEST checkpoint pointer, shared by the txdb
 // and FasterKv checkpointers: write <dir>/LATEST.tmp, sync it, rename over
 // <dir>/LATEST, then fsync the parent directory (rename alone is not durable

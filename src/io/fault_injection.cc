@@ -67,27 +67,35 @@ void FaultInjector::Reset() {
 FaultDecision FaultInjector::Decide(FaultOp op, const std::string& path,
                                     size_t len) {
   std::lock_guard<std::mutex> lock(mu_);
-  ++ops_seen_;
   FaultDecision decision;
-  if (crashed_) {
-    // Power is gone: nothing reaches the medium any more.
-    ++faults_fired_;
-    decision.action = FaultAction::kError;
-    return decision;
-  }
-  if (crash_armed_ &&
-      (crash_path_substr_.empty() ||
-       path.find(crash_path_substr_) != std::string::npos)) {
-    if (++crash_matches_ >= crash_after_) {
-      crashed_ = true;
+  // Reads bypass the persistence-op counters and the crash machinery
+  // entirely: a frozen device still serves what already reached the medium,
+  // and a read must never consume a CrashAfter() match meant for a write.
+  const bool is_read = op == FaultOp::kRead;
+  if (!is_read) {
+    ++ops_seen_;
+    if (crashed_) {
+      // Power is gone: nothing reaches the medium any more.
       ++faults_fired_;
       decision.action = FaultAction::kError;
       return decision;
     }
+    if (crash_armed_ &&
+        (crash_path_substr_.empty() ||
+         path.find(crash_path_substr_) != std::string::npos)) {
+      if (++crash_matches_ >= crash_after_) {
+        crashed_ = true;
+        ++faults_fired_;
+        decision.action = FaultAction::kError;
+        return decision;
+      }
+    }
   }
   for (size_t i = 0; i < rules_.size(); ++i) {
     FaultRule& rule = rules_[i];
-    if (!rule.any_op && rule.op != op) continue;
+    // any_op means "any persistence op"; reads fire only on explicit kRead
+    // rules so the historical write-side rules keep their exact semantics.
+    if (rule.any_op ? is_read : rule.op != op) continue;
     if (!rule.path_substr.empty() &&
         path.find(rule.path_substr) == std::string::npos) {
       continue;

@@ -10,13 +10,18 @@ namespace cpr {
 
 // Scriptable storage-fault injection. A process-global FaultInjector, when
 // installed, is consulted by every persistence primitive in io/file.cc
-// (positional writes, fsync, file creation, rename, unlink). Tests script
-// fault programs against it: fail the Nth write with EIO, tear a write short,
-// fail syncs, delay async completions, or declare a "crash point" after which
-// all further persistence is frozen — simulating power loss mid-checkpoint.
+// (positional writes, fsync, file creation, rename, unlink) and by the read
+// path (File::ReadAt). Tests script fault programs against it: fail the Nth
+// write with EIO, tear a write short, fail syncs, delay async completions,
+// or declare a "crash point" after which all further persistence is frozen —
+// simulating power loss mid-checkpoint.
 //
-// Only the write-side is instrumented: reads always pass through, so a
-// recovery pass can inspect whatever prefix of state made it to disk.
+// Reads are a separate fault surface with narrower matching: a rule fires on
+// a read ONLY when it names op = kRead explicitly (any_op rules keep their
+// historical write-side meaning), and the crash state never fails reads —
+// after a "power loss" a recovery pass can still inspect whatever prefix of
+// state made it to disk. Read rules make recovery itself injectable: EIO or
+// torn reads inside checkpoint loading and log replay.
 
 enum class FaultOp : uint8_t {
   kWrite = 0,   // File::WriteAt
@@ -24,12 +29,13 @@ enum class FaultOp : uint8_t {
   kCreate = 2,  // File::Open with create=true
   kRename = 3,  // RenameFile
   kUnlink = 4,  // RemoveFileIfExists
+  kRead = 5,    // File::ReadAt (matched only by rules naming kRead)
 };
 
 enum class FaultAction : uint8_t {
   kNone = 0,   // pass through
   kError = 1,  // fail with IoError (simulated EIO)
-  kTorn = 2,   // write only the first `torn_bytes` bytes, then fail
+  kTorn = 2,   // write/read only the first `torn_bytes` bytes, then fail
   kDrop = 3,   // report success but do nothing (lost write / absorbed sync)
 };
 

@@ -75,6 +75,19 @@ Status File::Open(const std::string& path, bool create, File* out) {
 }
 
 Status File::ReadAt(uint64_t offset, void* buf, size_t len) const {
+  const FaultDecision d = ConsultInjector(FaultOp::kRead, path_, len);
+  if (d.action == FaultAction::kError) return InjectedError("pread", path_);
+  if (d.action == FaultAction::kDrop) {
+    // The medium answered, but with nothing: the caller sees zeroes where
+    // data should be (CRC layers are expected to catch this).
+    std::memset(buf, 0, len);
+    return Status::Ok();
+  }
+  if (d.action == FaultAction::kTorn) {
+    // Deliver the prefix that "survived", then fail — a torn read, as from a
+    // device dying mid-transfer.
+    len = d.torn_bytes;
+  }
   char* p = static_cast<char*>(buf);
   size_t done = 0;
   while (done < len) {
@@ -87,6 +100,7 @@ Status File::ReadAt(uint64_t offset, void* buf, size_t len) const {
     if (n == 0) return Status::IoError("short read " + path_);
     done += static_cast<size_t>(n);
   }
+  if (d.action == FaultAction::kTorn) return InjectedError("pread", path_);
   return Status::Ok();
 }
 

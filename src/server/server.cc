@@ -172,6 +172,13 @@ struct KvServer::Connection {
   std::vector<net::TxnWireOp> txn_stage;
   uint32_t txn_stage_seq = 0;
   uint32_t txn_next_chunk = 0;
+  // Instant restart: one request may park here waiting for its shard to
+  // finish restoring (or, for HELLO, for the commit point to be pinned).
+  // While parked the connection stops consuming frames, so every later
+  // request waits unread in inbuf and per-session serial order holds.
+  bool parked = false;
+  uint32_t parked_shard = 0;
+  net::Request parked_req;
 };
 
 struct KvServer::Worker {
@@ -273,6 +280,18 @@ Status KvServer::Start() {
   acceptor_ = std::thread([this] { AcceptLoop(); });
   last_periodic_ckpt_ns_ = NowNanos();
 
+  // Instant restart: the listener is already up, so HELLO and STATS answer
+  // immediately; backend recovery (if requested) proceeds on its own thread
+  // while data ops park or serve per shard readiness.
+  serve_start_ns_ = NowNanos();
+  first_op_served_.store(false, std::memory_order_relaxed);
+  recovery_installed_.store(!options_.recover_on_start,
+                            std::memory_order_release);
+  recovery_done_.store(!options_.recover_on_start, std::memory_order_release);
+  if (options_.recover_on_start) {
+    recovery_thread_ = std::thread([this] { RecoveryMain(); });
+  }
+
   // Absorb ServerCounters into the unified registry: the hot paths keep
   // recording into the relaxed atomics; STATS scrapes pull from here.
   obs_collector_id_ = obs::MetricsRegistry::Default().AddCollector(
@@ -304,6 +323,16 @@ Status KvServer::Start() {
              static_cast<double>(s.not_durable_degraded));
         emit("cpr_server_protocol_errors_total",
              static_cast<double>(s.protocol_errors));
+        emit("cpr_server_ops_parked_total",
+             static_cast<double>(s.ops_parked));
+        emit("cpr_server_recovering_rejections_total",
+             static_cast<double>(s.recovering_rejections));
+        emit("cpr_server_parked_failed_at_shutdown_total",
+             static_cast<double>(s.parked_failed_at_shutdown));
+        emit("cpr_server_time_to_first_op_ns",
+             static_cast<double>(s.time_to_first_op_ns));
+        emit("cpr_server_recovery_duration_ns",
+             static_cast<double>(s.recovery_duration_ns));
         emit("cpr_server_durable_lag_p50_ns",
              static_cast<double>(s.durable_lag.QuantileNs(0.5)));
         emit("cpr_server_durable_lag_p99_ns",
@@ -330,6 +359,9 @@ void KvServer::Stop() {
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
+  // Let background recovery conclude: the backend's shard state must be
+  // settled before sessions are drained and before the backend is reusable.
+  if (recovery_thread_.joinable()) recovery_thread_.join();
   // Workers have parked every still-pending session in draining_ /
   // detached_. Drive them together so cross-session dependencies (a CPR
   // wait-pending phase needs *all* sessions' pendings to finish) resolve,
@@ -443,10 +475,12 @@ void KvServer::WorkerLoop(Worker& w) {
                                           std::memory_order_relaxed);
     }
   }
-  // Shutdown: close sockets; sessions with no pendings stop here, the rest
-  // are handed to Stop() for the combined drain.
+  // Shutdown: answer what is still queued with an honest status and flush
+  // best-effort, then close sockets; sessions with no pendings stop here,
+  // the rest are handed to Stop() for the combined drain.
   for (auto& [fd, conn] : w.conns) {
     Connection* c = conn.get();
+    FailPendingAtShutdown(w, c);
     ::close(c->fd);
     counters_.connections_active.fetch_sub(1, std::memory_order_relaxed);
     if (c->session != nullptr) {
@@ -471,6 +505,9 @@ bool KvServer::AnyWorkPending(const Worker& w) const {
   for (const auto& [fd, c] : w.conns) {
     if (!c->queue.empty() || c->out_off < c->outbuf.size()) return true;
     if (c->session != nullptr && c->session->pending_count() > 0) return true;
+    // A parked op has no socket event to wake us: poll until its shard
+    // (or the recovery install, for HELLO) is ready.
+    if (c->parked) return true;
   }
   return false;
 }
@@ -505,7 +542,9 @@ void KvServer::ParseFrames(Worker& w, Connection* c) {
     return;
   }
   size_t off = 0;
-  while (!c->closed) {
+  // A parked connection stops consuming: its parked request must execute
+  // before any later frame, so those wait unread in inbuf.
+  while (!c->closed && !c->parked) {
     std::string_view payload;
     size_t consumed = 0;
     const net::FrameResult fr = net::TryExtractFrame(
@@ -702,6 +741,18 @@ void KvServer::HandleHello(Connection* c, const net::Request& req) {
   entry.ready = true;
   entry.resp.op = net::Op::kHello;
   entry.resp.seq = req.seq;
+  // Sessions cannot be created until StartRecovery() pins the commit point
+  // (HELLO must report the recovered serial, and the engines may still be
+  // swapping state underneath). Park the HELLO — this window is the cheap
+  // phase A of recovery, milliseconds — or shed load with retryable BUSY
+  // once the parking queue is full.
+  if (!recovery_installed_.load(std::memory_order_acquire)) {
+    if (!TryParkRequest(c, req, 0)) {
+      entry.resp.status = net::WireStatus::kBusy;
+      c->queue.push_back(std::move(entry));
+    }
+    return;
+  }
   if (c->session != nullptr) {
     entry.resp.status = net::WireStatus::kBadRequest;
     c->queue.push_back(std::move(entry));
@@ -777,6 +828,21 @@ void KvServer::HandleDataOp(Connection* c, const net::Request& req) {
     c->queue.push_back(std::move(entry));
     return;
   }
+  // Instant restart: ops for already-restored shards serve at full speed;
+  // an op whose shard is still restoring parks (bounded) and the restore
+  // queue is reordered to front that shard. With the parking queue full —
+  // or the shard terminally failed — burn one serial and answer the
+  // retryable RECOVERING instead.
+  const uint32_t shard = kv_->ShardOfKey(req.key);
+  if (!kv_->ShardReady(shard)) {
+    kv_->PrioritizeShard(shard);
+    if (!recovery_done_.load(std::memory_order_acquire) &&
+        TryParkRequest(c, req, shard)) {
+      return;
+    }
+    RejectRecovering(c, req);
+    return;
+  }
   kv::Session& s = *c->session;
   faster::OpStatus st = faster::OpStatus::kOk;
   std::vector<char> value(req.op == net::Op::kRead ? kv_->value_size() : 0);
@@ -822,6 +888,13 @@ void KvServer::HandleDataOp(Connection* c, const net::Request& req) {
     if (req.op == net::Op::kRead && st == faster::OpStatus::kOk) {
       entry.resp.value = std::move(value);
     }
+  }
+  if (!first_op_served_.exchange(true, std::memory_order_relaxed)) {
+    // Time-to-first-op: how long after the listener came up the first data
+    // operation actually executed. With recover_on_start this is the
+    // availability headline — far below the full recovery duration.
+    counters_.time_to_first_op_ns.store(NowNanos() - serve_start_ns_,
+                                        std::memory_order_relaxed);
   }
   c->queue.push_back(std::move(entry));
 }
@@ -955,6 +1028,131 @@ void KvServer::HandleCommitPoint(Connection* c, const net::Request& req) {
   c->queue.push_back(std::move(entry));
 }
 
+void KvServer::RecoveryMain() {
+  // Phase A (StartRecovery) pins the global commit point and installs the
+  // per-shard restore plan; sessions are safe to create once it returns.
+  // kNotFound means a fresh store: nothing to restore, serve immediately.
+  const Status start = kv_->StartRecovery();
+  recovery_installed_.store(true, std::memory_order_release);
+  if (start.ok()) (void)kv_->WaitForRecovery();
+  counters_.recovery_duration_ns.store(NowNanos() - serve_start_ns_,
+                                       std::memory_order_relaxed);
+  // Every shard is terminal (ready or failed) once WaitForRecovery returns,
+  // so parked ops whose shard is still unready will never see it ready.
+  recovery_done_.store(true, std::memory_order_release);
+}
+
+bool KvServer::TryParkRequest(Connection* c, const net::Request& req,
+                              uint32_t shard) {
+  uint32_t cur = parked_ops_.load(std::memory_order_relaxed);
+  do {
+    if (cur >= options_.max_parked_ops) return false;
+  } while (!parked_ops_.compare_exchange_weak(cur, cur + 1,
+                                              std::memory_order_relaxed));
+  c->parked = true;
+  c->parked_shard = shard;
+  c->parked_req = req;
+  counters_.ops_parked.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void KvServer::RejectRecovering(Connection* c, const net::Request& req) {
+  PendingResponse entry;
+  entry.ready = true;
+  entry.resp.op = req.op;
+  entry.resp.seq = req.seq;
+  entry.resp.status = net::WireStatus::kRecovering;
+  // Burn one session serial with zero effects so the client's serial
+  // prediction stays aligned; the client neutralizes its replay slot for
+  // it and retries the op under a fresh serial. Nothing was applied, so
+  // the response never gates on durability (like TXN_CONFLICT).
+  entry.serial = kv_->SkipSerial(*c->session);
+  entry.resp.serial = entry.serial;
+  counters_.recovering_rejections.fetch_add(1, std::memory_order_relaxed);
+  c->queue.push_back(std::move(entry));
+}
+
+void KvServer::RetryParked(Worker& w, Connection* c) {
+  if (!c->parked) return;
+  const bool hello = c->parked_req.op == net::Op::kHello;
+  const bool ready = hello ? recovery_installed_.load(std::memory_order_acquire)
+                           : kv_->ShardReady(c->parked_shard);
+  if (!ready) {
+    // HELLO always unparks eventually (StartRecovery returns even on
+    // failure). A data op's shard that is unready after recovery concluded
+    // is terminally failed: stop waiting and answer RECOVERING.
+    if (hello || !recovery_done_.load(std::memory_order_acquire)) return;
+    const net::Request req = std::move(c->parked_req);
+    c->parked = false;
+    c->parked_req = net::Request();
+    parked_ops_.fetch_sub(1, std::memory_order_relaxed);
+    RejectRecovering(c, req);
+    ParseFrames(w, c);
+    return;
+  }
+  const net::Request req = std::move(c->parked_req);
+  c->parked = false;
+  c->parked_req = net::Request();
+  parked_ops_.fetch_sub(1, std::memory_order_relaxed);
+  // Re-dispatch; the op may legitimately park again if the shard flipped
+  // back (recovery walk-back), then drain the frames held back behind it.
+  HandleRequest(c, req);
+  if (!c->parked && !c->inbuf.empty()) ParseFrames(w, c);
+}
+
+void KvServer::FailPendingAtShutdown(Worker& w, Connection* c) {
+  if (c->session != nullptr) {
+    kv_->CompletePending(*c->session);  // last non-blocking completion pass
+    if (c->ack_mode == net::AckMode::kDurable) {
+      uint64_t point = 0;
+      if (kv_->DurableCommitPoint(c->guid, &point).ok()) {
+        c->durable_point = point;
+      }
+    }
+  }
+  if (c->parked) {
+    // The parked op never consumed a serial: RECOVERING with serial 0 (for
+    // HELLO: BUSY) tells the client nothing happened — keep the replay
+    // entry and retry after reconnect.
+    PendingResponse entry;
+    entry.ready = true;
+    entry.resp.op = c->parked_req.op;
+    entry.resp.seq = c->parked_req.seq;
+    entry.resp.status = c->parked_req.op == net::Op::kHello
+                            ? net::WireStatus::kBusy
+                            : net::WireStatus::kRecovering;
+    c->queue.push_back(std::move(entry));
+    c->parked = false;
+    c->parked_req = net::Request();
+    parked_ops_.fetch_sub(1, std::memory_order_relaxed);
+    counters_.parked_failed_at_shutdown.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (c->queue.empty()) return;
+  const uint64_t token = kv_->LastCheckpointToken();
+  for (PendingResponse& e : c->queue) {
+    if (!e.ready) {
+      // Async op that never completed: its outcome is unknown to the
+      // client; ERROR makes it re-query/replay rather than assume success.
+      e.ready = true;
+      e.resp.status = net::WireStatus::kError;
+      e.resp.value.clear();
+    } else if (e.durable_gate != 0 && c->durable_point < e.durable_gate &&
+               e.resp.status == net::WireStatus::kOk) {
+      // Durable-mode ack whose covering checkpoint never happened: the op
+      // executed but is NOT durable; the client must keep it in replay.
+      e.resp.status = net::WireStatus::kNotDurable;
+      counters_.not_durable_acks.fetch_add(1, std::memory_order_relaxed);
+    } else if (e.token_gate != 0 && token < e.token_gate &&
+               e.resp.status == net::WireStatus::kOk) {
+      e.resp.status = net::WireStatus::kError;  // checkpoint outcome unknown
+    }
+    net::EncodeResponse(e.resp, &c->outbuf);
+    counters_.responses.fetch_add(1, std::memory_order_relaxed);
+  }
+  c->queue.clear();
+  if (!c->closed) FlushOut(w, c);
+}
+
 void KvServer::OnAsyncComplete(Connection* c, const faster::AsyncResult& r) {
   for (PendingResponse& e : c->queue) {
     if (e.ready || e.serial != r.serial) continue;
@@ -1060,6 +1258,7 @@ void KvServer::DriveConnections(Worker& w) {
       kv_->Refresh(*c->session);
     }
     if (!c->closed) {
+      RetryParked(w, c);
       ReleaseResponses(c);
       FlushOut(w, c);
       if (c->close_after_flush && c->queue.empty() &&
@@ -1080,6 +1279,10 @@ void KvServer::DestroyConnection(Worker& w, Connection* c) {
   w.poller.Remove(c->fd);
   ::close(c->fd);
   counters_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+  if (c->parked) {
+    c->parked = false;
+    parked_ops_.fetch_sub(1, std::memory_order_relaxed);
+  }
   kv::Session* session = c->session;
   c->session = nullptr;
   if (session == nullptr) return;
@@ -1129,6 +1332,10 @@ void KvServer::TickDetached() {
 
 void KvServer::MaybePeriodicCheckpoint() {
   if (options_.checkpoint_interval_ms == 0) return;
+  // No checkpoint rounds while shards are still restoring: round numbering
+  // is unsettled until recovery can no longer walk back to an older
+  // manifest. The backend would refuse anyway; don't burn the attempt.
+  if (!recovery_done_.load(std::memory_order_acquire)) return;
   const uint64_t now = NowNanos();
   if (now - last_periodic_ckpt_ns_ <
       uint64_t{options_.checkpoint_interval_ms} * 1'000'000) {

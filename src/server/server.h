@@ -63,6 +63,18 @@ struct KvServerOptions {
   // exact serial. Sessions are only torn down at Stop() (or immediately at
   // disconnect when false).
   bool detach_sessions = true;
+  // Instant restart: Start() opens the listener immediately and drives
+  // backend recovery on a background thread. HELLO parks until the commit
+  // point is pinned (StartRecovery returns — milliseconds, not the full
+  // restore); data ops for already-restored shards serve at once, ops for
+  // still-restoring shards park in the bounded queue below or are rejected
+  // RECOVERING once it is full. When false the caller is expected to run
+  // Recover() before Start(), as before.
+  bool recover_on_start = false;
+  // Global cap across all connections on ops parked waiting for their shard
+  // (at most one parked op per connection; later frames wait unread in the
+  // connection buffer so per-session serial order is preserved).
+  uint32_t max_parked_ops = 256;
 };
 
 class KvServer {
@@ -119,6 +131,17 @@ class KvServer {
   void MaybePeriodicCheckpoint();
   bool AnyWorkPending(const Worker& w) const;
   void ShutdownDrainSessions(std::vector<kv::Session*> sessions);
+  // Instant-restart serving surface.
+  void RecoveryMain();                       // background recovery driver
+  bool TryParkRequest(Connection* c, const net::Request& req, uint32_t shard);
+  void RejectRecovering(Connection* c, const net::Request& req);
+  void RetryParked(Worker& w, Connection* c);
+  // Shutdown drain for one connection's queued responses: completes what it
+  // can without blocking, then fails the rest with an honest status (parked
+  // -> RECOVERING serial 0, never-completed async -> ERROR, unmet durable
+  // gate -> NOT_DURABLE) and best-effort flushes, instead of silently
+  // dropping queued responses at teardown.
+  void FailPendingAtShutdown(Worker& w, Connection* c);
 
   std::unique_ptr<kv::Backend> owned_backend_;  // FasterKv-ctor adapter
   kv::Backend* kv_;
@@ -148,6 +171,17 @@ class KvServer {
   std::vector<kv::Session*> draining_;
 
   uint64_t last_periodic_ckpt_ns_ = 0;  // worker 0 only
+
+  // Instant-restart state (recover_on_start). `recovery_installed_` flips
+  // once StartRecovery() pins the commit point (sessions may be created);
+  // `recovery_done_` once background recovery concluded — after which a
+  // still-unready shard is terminally failed, not "coming soon".
+  std::thread recovery_thread_;
+  std::atomic<bool> recovery_installed_{true};
+  std::atomic<bool> recovery_done_{true};
+  std::atomic<uint32_t> parked_ops_{0};
+  std::atomic<bool> first_op_served_{false};
+  uint64_t serve_start_ns_ = 0;
 
   // Metrics-registry collector exposing ServerCounters (registered in
   // Start(), removed in Stop() — the emitting struct outlives both).

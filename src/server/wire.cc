@@ -433,6 +433,7 @@ const char* StatusName(WireStatus status) {
     case WireStatus::kError: return "ERROR";
     case WireStatus::kNotDurable: return "NOT_DURABLE";
     case WireStatus::kTxnConflict: return "TXN_CONFLICT";
+    case WireStatus::kRecovering: return "RECOVERING";
   }
   return "?";
 }

@@ -136,10 +136,15 @@ enum class WireStatus : uint8_t {
                    // failed persistently: NOT durable, client must replay
   kTxnConflict = 7, // TXN aborted by a NO-WAIT lock conflict: nothing was
                     // applied; retryable
+  kRecovering = 8,  // op's shard is still restoring and the parking queue
+                    // is full: nothing was applied; retryable. serial != 0
+                    // means the server burned that serial for the rejection
+                    // (the client neutralizes its replay slot); serial == 0
+                    // means no serial was consumed (shutdown drain).
 };
 
 constexpr uint8_t kMaxWireStatus =
-    static_cast<uint8_t>(WireStatus::kTxnConflict);
+    static_cast<uint8_t>(WireStatus::kRecovering);
 
 enum class AckMode : uint8_t {
   kExecuted = 0,  // acknowledge as soon as the operation executed

@@ -152,6 +152,49 @@ class Backend {
   // Rebuilds from the newest complete durable state. Before any sessions.
   virtual Status Recover() = 0;
 
+  // -- Instant restart (incremental readiness) ---------------------------
+  // Begins recovery but returns as soon as the commit point is pinned:
+  // session bookkeeping (guids, recovered serials, durable commit points)
+  // is installed synchronously, while shard data restores proceed in the
+  // background. Sessions may start and operations may be issued immediately
+  // — but only against shards whose ShardReady(i) is already true. kNotFound
+  // when there is no durable state to recover (the store starts empty and
+  // every shard is immediately ready). Backends without incremental
+  // recovery fall back to the blocking Recover().
+  virtual Status StartRecovery() { return Recover(); }
+  // True while a StartRecovery() is still restoring shards in the
+  // background. Operations must not reach a not-ready shard, and no new
+  // checkpoint can start, until this turns false.
+  virtual bool Recovering() const { return false; }
+  // Per-shard readiness during background recovery. Shards outside
+  // [0, num_shards) and backends that never recover incrementally are
+  // always ready.
+  virtual bool ShardReady(uint32_t shard) const {
+    (void)shard;
+    return true;
+  }
+  // Which shard serves `key` — the serving layer's routing oracle for
+  // readiness checks. Single-store backends map everything to shard 0.
+  virtual uint32_t ShardOfKey(uint64_t key) const {
+    (void)key;
+    return 0;
+  }
+  // Hints the background restore to reorder `shard` to the front of its
+  // work queue (demand-driven restore: a parked op names the shard a
+  // client actually needs). Best-effort; no-op when not recovering.
+  virtual void PrioritizeShard(uint32_t shard) { (void)shard; }
+  // Blocks until the background recovery concludes; Ok iff every shard
+  // restored. Ok immediately when no StartRecovery() is in flight.
+  virtual Status WaitForRecovery() { return Status::Ok(); }
+  // Consumes one session serial without performing any operation, returning
+  // the serial consumed (0 when unsupported). The serving layer burns a
+  // serial for each op it rejects with a retryable RECOVERING status, so
+  // the client's predicted serial stream stays aligned with the backend's.
+  virtual uint64_t SkipSerial(Session& session) {
+    (void)session;
+    return 0;
+  }
+
   // -- Introspection -----------------------------------------------------
   virtual uint32_t value_size() const = 0;
   virtual uint32_t num_shards() const { return 1; }

@@ -85,4 +85,14 @@ size_t FasterBackend::CompletePending(Session& session, bool wait_for_all) {
   return kv_->CompletePending(Engine(session), wait_for_all);
 }
 
+uint64_t FasterBackend::SkipSerial(Session& session) {
+  // Burn one engine serial with no operation attached: the engine's replay
+  // dedup (serial <= recovered commit point) treats the slot like any other
+  // consumed serial, so client-side prediction stays aligned.
+  faster::Session& s = Engine(session);
+  const uint64_t next = s.serial() + 1;
+  kv_->AdvanceSerial(s, next);
+  return next;
+}
+
 }  // namespace cpr::kv

@@ -60,6 +60,10 @@ class FasterBackend final : public Backend {
     return kv_->WaitForCheckpoint(token);
   }
   Status Recover() override { return kv_->Recover(); }
+  // Single store = single shard: there is no per-shard readiness to expose,
+  // so StartRecovery keeps the blocking default. SkipSerial still works —
+  // the serving layer burns serials when its parking queue overflows.
+  uint64_t SkipSerial(Session& session) override;
 
   uint32_t value_size() const override { return kv_->value_size(); }
 

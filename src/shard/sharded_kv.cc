@@ -1,8 +1,10 @@
 #include "shard/sharded_kv.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include "io/blob.h"
 #include "io/file.h"
@@ -97,14 +99,20 @@ class ShardedKv::ShardSession final : public Session {
   uint64_t last_commit_point() const override { return last_commit_point_; }
   size_t pending_count() const override {
     size_t n = 0;
-    for (const faster::Session* s : subs_) n += s->pending_count();
+    for (const faster::Session* s : subs_) {
+      if (s != nullptr) n += s->pending_count();
+    }
     return n;
   }
   // Sub-session serials coincide with global serials, so asynchronous
-  // completions forward verbatim.
+  // completions forward verbatim. Sub-sessions on shards still restoring
+  // (subs_[i] == nullptr) inherit the callback when they are created.
   void set_async_callback(
       std::function<void(const faster::AsyncResult&)> cb) override {
-    for (faster::Session* s : subs_) s->set_async_callback(cb);
+    cb_ = cb;
+    for (faster::Session* s : subs_) {
+      if (s != nullptr) s->set_async_callback(cb_);
+    }
   }
 
  private:
@@ -113,8 +121,9 @@ class ShardedKv::ShardSession final : public Session {
   uint64_t guid_;
   uint64_t serial_ = 0;             // global serial space
   uint64_t last_commit_point_ = 0;  // recovered global commit point
-  std::vector<faster::Session*> subs_;
+  std::vector<faster::Session*> subs_;  // null while the shard restores
   std::vector<uint64_t> skip_below_;
+  std::function<void(const faster::AsyncResult&)> cb_;
 };
 
 ShardedKv::ShardedKv(Options options)
@@ -138,10 +147,16 @@ ShardedKv::ShardedKv(Options options)
     }
     shards_.push_back(std::make_unique<faster::FasterKv>(std::move(o)));
   }
+  shard_state_.reset(new std::atomic<uint8_t>[num_shards_]);
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    shard_state_[i].store(static_cast<uint8_t>(ShardRecoveryState::kReady),
+                          std::memory_order_relaxed);
+  }
 
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
   rounds_total_ = registry.GetCounter("cpr_shard_rounds_total");
   rounds_failed_total_ = registry.GetCounter("cpr_shard_rounds_failed_total");
+  shard_recovery_ns_ = registry.GetHistogram("cpr_shard_recovery_ns");
   obs_collector_id_ = registry.AddCollector(
       [this](const obs::MetricsRegistry::EmitFn& emit) {
         emit("cpr_shard_count", static_cast<double>(num_shards_));
@@ -150,10 +165,15 @@ ShardedKv::ShardedKv(Options options)
                  last_completed_round_.load(std::memory_order_acquire)));
         emit("cpr_shard_round_active",
              round_active_.load(std::memory_order_acquire) ? 1.0 : 0.0);
+        emit("cpr_shard_recovering",
+             recovering_.load(std::memory_order_acquire) ? 1.0 : 0.0);
         for (uint32_t i = 0; i < num_shards_; ++i) {
           emit("cpr_shard_ops_total{shard=\"" + std::to_string(i) + "\"}",
                static_cast<double>(
                    op_counts_[i].load(std::memory_order_relaxed)));
+          emit("cpr_shard_recovery_state{shard=\"" + std::to_string(i) + "\"}",
+               static_cast<double>(
+                   shard_state_[i].load(std::memory_order_relaxed)));
         }
       });
 
@@ -162,6 +182,15 @@ ShardedKv::ShardedKv(Options options)
 
 ShardedKv::~ShardedKv() {
   obs::MetricsRegistry::Default().RemoveCollector(obs_collector_id_);
+  {
+    // Abort any in-flight background recovery: workers stop picking up new
+    // shards (a shard restore already running completes first).
+    std::lock_guard<std::mutex> lock(rec_mu_);
+    rec_abort_ = true;
+    rec_queue_.clear();
+  }
+  rec_cv_.notify_all();
+  if (recovery_thread_.joinable()) recovery_thread_.join();
   {
     std::lock_guard<std::mutex> lock(coord_mu_);
     stop_ = true;
@@ -192,16 +221,34 @@ Session* ShardedKv::StartSession(uint64_t guid) {
       guid != 0 ? guid
                 : (NowNanos() ^ next_guid_.fetch_add(1, std::memory_order_relaxed));
   auto session = std::make_unique<ShardSession>(g, num_shards_);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::vector<bool> ready(num_shards_, true);
+  if (recovering_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> rlock(rec_mu_);
+    // The session is about to copy the installed commit points: from here
+    // on the background recovery may not walk back to an older manifest
+    // (it would silently change the points underneath this session).
+    served_since_install_ = true;
+    for (uint32_t i = 0; i < num_shards_; ++i) {
+      ready[i] = shard_state_[i].load(std::memory_order_acquire) ==
+                 static_cast<uint8_t>(ShardRecoveryState::kReady);
+    }
+  }
   for (uint32_t i = 0; i < num_shards_; ++i) {
+    // Engine sub-sessions on shards still restoring are created lazily on
+    // first use (EnsureShardServes); touching a mid-recovery engine races
+    // its index/log rebuild.
+    if (!ready[i]) continue;
     session->subs_[i] = shards_[i]->StartSession(g);
     if (session->subs_[i] == nullptr) {
       for (uint32_t j = 0; j < i; ++j) {
-        shards_[j]->StopSession(session->subs_[j]);
+        if (session->subs_[j] != nullptr) {
+          shards_[j]->StopSession(session->subs_[j]);
+        }
       }
       return nullptr;
     }
   }
-  std::lock_guard<std::mutex> lock(sessions_mu_);
   known_guids_.insert(g);
   auto it = points_.find(g);
   if (it != points_.end()) {
@@ -219,7 +266,7 @@ Session* ShardedKv::StartSession(uint64_t guid) {
 void ShardedKv::StopSession(Session* session) {
   auto* s = static_cast<ShardSession*>(session);
   for (uint32_t i = 0; i < num_shards_; ++i) {
-    shards_[i]->StopSession(s->subs_[i]);
+    if (s->subs_[i] != nullptr) shards_[i]->StopSession(s->subs_[i]);
   }
   std::lock_guard<std::mutex> lock(sessions_mu_);
   sessions_.erase(std::find_if(sessions_.begin(), sessions_.end(),
@@ -228,6 +275,12 @@ void ShardedKv::StopSession(Session* session) {
 
 Status ShardedKv::DurableCommitPoint(uint64_t guid, uint64_t* serial) const {
   std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (recovering_.load(std::memory_order_acquire)) {
+    // The answer is a durability promise derived from the installed
+    // manifest; once given, recovery may not walk back to an older one.
+    std::lock_guard<std::mutex> rlock(rec_mu_);
+    served_since_install_ = true;
+  }
   auto it = points_.find(guid);
   if (it == points_.end()) {
     return Status::NotFound("no published manifest covers guid");
@@ -248,12 +301,53 @@ Status ShardedKv::DurableCommitPoint(uint64_t guid, uint64_t* serial) const {
 // assigned to *skipped updates*, breaking the sub-serial == global-serial
 // correspondence for the operations that follow.
 
+bool ShardedKv::TryEnsureSub(ShardSession& s, uint32_t i) {
+  if (s.subs_[i] != nullptr) return true;
+  if (!ShardReady(i)) return false;
+  // Sessions imply served_since_install_, so no walk-back can re-run this
+  // shard's engine recovery once it reported ready: creating the engine
+  // session here is race-free.
+  faster::Session* sub = shards_[i]->StartSession(s.guid_);
+  if (sub == nullptr) return false;
+  if (s.cb_) sub->set_async_callback(s.cb_);
+  s.subs_[i] = sub;
+  return true;
+}
+
+void ShardedKv::EnsureShardServes(ShardSession& s, uint32_t i) {
+  if (s.subs_[i] != nullptr) return;
+  if (!ShardReady(i)) {
+    PrioritizeShard(i);
+    std::unique_lock<std::mutex> lock(rec_mu_);
+    rec_cv_.wait(lock, [&] {
+      return ShardReady(i) || !recovering_.load(std::memory_order_acquire);
+    });
+  }
+  // Ready, or recovery concluded — possibly failed: a terminally-failed
+  // shard still gets a session so direct backend callers keep the
+  // pre-instant-restart semantics of running against whatever state the
+  // failed walk left (the serving layer checks ShardReady and never routes
+  // here in that case).
+  while (s.subs_[i] == nullptr) {
+    faster::Session* sub = shards_[i]->StartSession(s.guid_);
+    if (sub != nullptr) {
+      if (s.cb_) sub->set_async_callback(s.cb_);
+      s.subs_[i] = sub;
+      return;
+    }
+    // Epoch slot transiently unavailable; occupancy is symmetric across
+    // shards, so this resolves as soon as a racing StopSession finishes.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
 faster::OpStatus ShardedKv::Read(Session& session, uint64_t key,
                                  void* value_out) {
   auto& s = static_cast<ShardSession&>(session);
   const uint32_t i = ShardOf(key);
   const uint64_t g = ++s.serial_;
   if (g <= s.skip_below_[i]) return faster::OpStatus::kNotFound;
+  EnsureShardServes(s, i);
   op_counts_[i].fetch_add(1, std::memory_order_relaxed);
   shards_[i]->AdvanceSerial(*s.subs_[i], g - 1);
   return shards_[i]->Read(*s.subs_[i], key, value_out);
@@ -265,6 +359,7 @@ faster::OpStatus ShardedKv::Upsert(Session& session, uint64_t key,
   const uint32_t i = ShardOf(key);
   const uint64_t g = ++s.serial_;
   if (g <= s.skip_below_[i]) return faster::OpStatus::kOk;
+  EnsureShardServes(s, i);
   op_counts_[i].fetch_add(1, std::memory_order_relaxed);
   shards_[i]->AdvanceSerial(*s.subs_[i], g - 1);
   return shards_[i]->Upsert(*s.subs_[i], key, value);
@@ -276,6 +371,7 @@ faster::OpStatus ShardedKv::Rmw(Session& session, uint64_t key,
   const uint32_t i = ShardOf(key);
   const uint64_t g = ++s.serial_;
   if (g <= s.skip_below_[i]) return faster::OpStatus::kOk;
+  EnsureShardServes(s, i);
   op_counts_[i].fetch_add(1, std::memory_order_relaxed);
   shards_[i]->AdvanceSerial(*s.subs_[i], g - 1);
   return shards_[i]->Rmw(*s.subs_[i], key, delta);
@@ -286,17 +382,29 @@ faster::OpStatus ShardedKv::Delete(Session& session, uint64_t key) {
   const uint32_t i = ShardOf(key);
   const uint64_t g = ++s.serial_;
   if (g <= s.skip_below_[i]) return faster::OpStatus::kOk;
+  EnsureShardServes(s, i);
   op_counts_[i].fetch_add(1, std::memory_order_relaxed);
   shards_[i]->AdvanceSerial(*s.subs_[i], g - 1);
   return shards_[i]->Delete(*s.subs_[i], key);
+}
+
+uint64_t ShardedKv::SkipSerial(Session& session) {
+  // Burn one global serial with no effect on any shard. The serial stream
+  // stays aligned with the client's predictions; on replay the client sends
+  // a neutralized read for this serial, which either executes harmlessly or
+  // is deduplicated by the skip rule like any other replayed op.
+  auto& s = static_cast<ShardSession&>(session);
+  return ++s.serial_;
 }
 
 void ShardedKv::Refresh(Session& session) {
   auto& s = static_cast<ShardSession&>(session);
   // Sync every sub-session's serial to the global serial first, so a version
   // crossing on a shard this session rarely touches still captures a CPR
-  // point aligned with the global serial space.
+  // point aligned with the global serial space. Shards still restoring are
+  // skipped — they hold no state of this session yet.
   for (uint32_t i = 0; i < num_shards_; ++i) {
+    if (!TryEnsureSub(s, i)) continue;
     shards_[i]->AdvanceSerial(*s.subs_[i], s.serial_);
     shards_[i]->Refresh(*s.subs_[i]);
   }
@@ -306,6 +414,7 @@ size_t ShardedKv::CompletePending(Session& session, bool wait_for_all) {
   auto& s = static_cast<ShardSession&>(session);
   size_t completed = 0;
   for (uint32_t i = 0; i < num_shards_; ++i) {
+    if (s.subs_[i] == nullptr) continue;
     completed += shards_[i]->CompletePending(*s.subs_[i], wait_for_all);
   }
   return completed;
@@ -315,6 +424,10 @@ size_t ShardedKv::CompletePending(Session& session, bool wait_for_all) {
 
 bool ShardedKv::Checkpoint(faster::CommitVariant variant, bool include_index,
                            uint64_t* token_out) {
+  // No round can start while shards are still restoring: a checkpoint
+  // broadcast would race the engine rebuilds, and the manifest round
+  // numbering is not settled until the walk-back can no longer happen.
+  if (recovering_.load(std::memory_order_acquire)) return false;
   std::lock_guard<std::mutex> lock(coord_mu_);
   if (round_active_.load(std::memory_order_acquire)) return false;
   round_active_.store(true, std::memory_order_release);
@@ -512,16 +625,15 @@ void ShardedKv::PinRetainedManifestTokens() {
 
 // -- Recovery -------------------------------------------------------------
 
-Status ShardedKv::Recover() {
+std::vector<ShardedKv::RecoveryCandidate> ShardedKv::CollectRecoveryCandidates() {
   std::vector<std::string> names;
-  Status ls = ListDirectory(root_dir_, &names);
-  if (!ls.ok()) return ls;
-  std::vector<uint64_t> candidates;
+  if (!ListDirectory(root_dir_, &names).ok()) return {};
+  std::vector<uint64_t> rounds;
   for (const std::string& name : names) {
     uint64_t r = 0;
-    if (ParseManifestRound(name, &r)) candidates.push_back(r);
+    if (ParseManifestRound(name, &r)) rounds.push_back(r);
   }
-  std::sort(candidates.begin(), candidates.end(), std::greater<uint64_t>());
+  std::sort(rounds.begin(), rounds.end(), std::greater<uint64_t>());
 
   // LATEST is an advisory hint: try its round first, then everything else
   // newest-first (covers a published-but-stale or corrupted pointer).
@@ -529,11 +641,12 @@ Status ShardedKv::Recover() {
   uint64_t hint = 0;
   if (ReadLatestValue(root_dir_, &latest).ok() &&
       ParseManifestRound(latest, &hint)) {
-    auto it = std::find(candidates.begin(), candidates.end(), hint);
-    if (it != candidates.end()) std::rotate(candidates.begin(), it, it + 1);
+    auto it = std::find(rounds.begin(), rounds.end(), hint);
+    if (it != rounds.end()) std::rotate(rounds.begin(), it, it + 1);
   }
 
-  for (uint64_t round : candidates) {
+  std::vector<RecoveryCandidate> candidates;
+  for (uint64_t round : rounds) {
     std::vector<char> payload;
     if (!ReadCheckedBlob(root_dir_ + "/" + ManifestName(round), kManifestMagic,
                          &payload)
@@ -541,13 +654,13 @@ Status ShardedKv::Recover() {
       continue;
     }
     size_t off = 0;
-    std::vector<uint64_t> tokens;
-    if (!ParseManifestTokens(payload, round, num_shards_, &tokens, &off)) {
+    RecoveryCandidate c;
+    c.round = round;
+    if (!ParseManifestTokens(payload, round, num_shards_, &c.tokens, &off)) {
       continue;
     }
     uint64_t num_sessions = 0;
     bool parsed = ConsumePod(payload, &off, &num_sessions);
-    std::map<uint64_t, SessionPoints> recovered;
     for (uint64_t s = 0; s < num_sessions && parsed; ++s) {
       uint64_t guid = 0;
       SessionPoints p;
@@ -557,38 +670,242 @@ Status ShardedKv::Recover() {
       for (uint32_t i = 0; i < num_shards_ && parsed; ++i) {
         parsed = ConsumePod(payload, &off, &p.per_shard[i]);
       }
-      if (parsed) recovered.emplace(guid, std::move(p));
+      if (parsed) c.points.emplace(guid, std::move(p));
     }
     if (!parsed) continue;
-
-    // Restore EVERY shard to this manifest's token — shards that
-    // checkpointed past an unpublished newer manifest roll back to the
-    // global commit point. Any shard failure invalidates the whole
-    // candidate (per-shard recovery is re-entrant, so the next, older
-    // manifest retries all shards from scratch).
-    bool all = true;
-    for (uint32_t i = 0; i < num_shards_ && all; ++i) {
-      all = shards_[i]->Recover(tokens[i]).ok();
-    }
-    if (!all) continue;
-
-    {
-      std::lock_guard<std::mutex> lock(sessions_mu_);
-      known_guids_.clear();
-      for (const auto& [guid, p] : recovered) known_guids_.insert(guid);
-      points_ = std::move(recovered);
-      manifest_tokens_ = tokens;
-    }
-    {
-      std::lock_guard<std::mutex> lock(coord_mu_);
-      next_round_ = round + 1;
-    }
-    last_completed_round_.store(round, std::memory_order_release);
-    last_finished_round_.store(round, std::memory_order_release);
-    PinRetainedManifestTokens();
-    return Status::Ok();
+    candidates.push_back(std::move(c));
   }
-  return Status::NotFound("no recoverable cross-shard manifest");
+  return candidates;
+}
+
+bool ShardedKv::PreflightCandidate(const RecoveryCandidate& candidate) {
+  // Header-only probes (O(1) per shard): a failing probe guarantees the
+  // full restore would fail, so the walk skips the candidate without paying
+  // for an engine recovery attempt. Payload corruption passes the probe and
+  // is caught by the restore itself.
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    if (!shards_[i]->ValidateCheckpoint(candidate.tokens[i]).ok()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ShardedKv::InstallCandidate(const RecoveryCandidate& candidate,
+                                 bool locked) {
+  {
+    std::unique_lock<std::mutex> lock(sessions_mu_, std::defer_lock);
+    if (!locked) lock.lock();
+    known_guids_.clear();
+    for (const auto& [guid, p] : candidate.points) known_guids_.insert(guid);
+    points_ = candidate.points;
+    manifest_tokens_ = candidate.tokens;
+  }
+  {
+    std::lock_guard<std::mutex> lock(coord_mu_);
+    next_round_ = candidate.round + 1;
+  }
+  last_completed_round_.store(candidate.round, std::memory_order_release);
+  last_finished_round_.store(candidate.round, std::memory_order_release);
+}
+
+Status ShardedKv::StartRecovery() {
+  std::vector<RecoveryCandidate> candidates = CollectRecoveryCandidates();
+  // Drop candidates failing preflight until one is viable; the rest stay as
+  // the walk-back stack (they are re-preflighted if the walk reaches them).
+  while (!candidates.empty() && !PreflightCandidate(candidates.front())) {
+    candidates.erase(candidates.begin());
+  }
+  if (candidates.empty()) {
+    return Status::NotFound("no recoverable cross-shard manifest");
+  }
+
+  // Phase A: the commit point is pinned — sessions may start immediately.
+  InstallCandidate(candidates.front(), /*locked=*/false);
+  {
+    std::lock_guard<std::mutex> lock(rec_mu_);
+    served_since_install_ = false;
+    rec_abort_ = false;
+    rec_status_ = Status::Ok();
+    rec_candidates_ = std::move(candidates);
+    rec_queue_.clear();
+    for (uint32_t i = 0; i < num_shards_; ++i) {
+      shard_state_[i].store(
+          static_cast<uint8_t>(ShardRecoveryState::kPending),
+          std::memory_order_release);
+      rec_queue_.push_back(i);
+    }
+    recovering_.store(true, std::memory_order_release);
+  }
+
+  // Phase B: shard restores proceed in the background.
+  if (recovery_thread_.joinable()) recovery_thread_.join();
+  recovery_thread_ = std::thread([this] { RecoveryMain(); });
+  return Status::Ok();
+}
+
+bool ShardedKv::RunRecoveryAttempt(const std::vector<uint64_t>& tokens,
+                                   uint64_t round) {
+  const uint32_t workers = std::min(
+      num_shards_, std::max<uint32_t>(1, options_.recovery_workers));
+  std::atomic<bool> failed{false};
+  auto work = [&] {
+    for (;;) {
+      uint32_t i = 0;
+      {
+        std::unique_lock<std::mutex> lock(rec_mu_);
+        if (rec_queue_.empty() || rec_abort_ ||
+            failed.load(std::memory_order_acquire)) {
+          return;
+        }
+        i = rec_queue_.front();
+        rec_queue_.pop_front();
+        shard_state_[i].store(
+            static_cast<uint8_t>(ShardRecoveryState::kRecovering),
+            std::memory_order_release);
+      }
+      const uint64_t t0 = NowNanos();
+      Status s = shards_[i]->Recover(tokens[i]);
+      if (!s.ok()) {
+        // One retry: a transient injected read fault (EIO campaigns) should
+        // not walk the whole store back a generation.
+        s = shards_[i]->Recover(tokens[i]);
+      }
+      const uint64_t t1 = NowNanos();
+      obs::Tracer::Default().Record("recover",
+                                    ("shard-" + std::to_string(i)).c_str(), t0,
+                                    t1, round);
+      std::lock_guard<std::mutex> lock(rec_mu_);
+      if (s.ok()) {
+        shard_recovery_ns_->Record(t1 - t0);
+        shard_state_[i].store(
+            static_cast<uint8_t>(ShardRecoveryState::kReady),
+            std::memory_order_release);
+      } else {
+        failed.store(true, std::memory_order_release);
+        rec_queue_.clear();
+        shard_state_[i].store(
+            static_cast<uint8_t>(ShardRecoveryState::kPending),
+            std::memory_order_release);
+      }
+      rec_cv_.notify_all();
+    }
+  };
+  std::vector<std::thread> pool;
+  for (uint32_t w = 1; w < workers; ++w) pool.emplace_back(work);
+  work();
+  for (std::thread& t : pool) t.join();
+  return !failed.load(std::memory_order_acquire);
+}
+
+void ShardedKv::RecoveryMain() {
+  for (;;) {
+    std::vector<uint64_t> tokens;
+    uint64_t round = 0;
+    {
+      std::lock_guard<std::mutex> lock(rec_mu_);
+      tokens = rec_candidates_.front().tokens;
+      round = rec_candidates_.front().round;
+    }
+    if (RunRecoveryAttempt(tokens, round)) {
+      {
+        std::lock_guard<std::mutex> lock(rec_mu_);
+        if (rec_abort_) {
+          // Destructor aborted a partially-drained queue: report failure,
+          // not success (some shards never restored).
+          rec_status_ = Status::IoError("recovery aborted at shutdown");
+          recovering_.store(false, std::memory_order_release);
+          rec_cv_.notify_all();
+          return;
+        }
+        rec_status_ = Status::Ok();
+        recovering_.store(false, std::memory_order_release);
+        rec_cv_.notify_all();
+      }
+      PinRetainedManifestTokens();
+      return;
+    }
+
+    // Attempt failed. Walk back iff the installed commit points were never
+    // observed; otherwise the failure is terminal. sessions_mu_ before
+    // rec_mu_ (the StartSession order) — holding both freezes session
+    // starts while the points are swapped.
+    std::lock_guard<std::mutex> sess_lock(sessions_mu_);
+    std::lock_guard<std::mutex> lock(rec_mu_);
+    if (rec_abort_) {
+      rec_status_ = Status::IoError("recovery aborted at shutdown");
+      recovering_.store(false, std::memory_order_release);
+      rec_cv_.notify_all();
+      return;
+    }
+    if (served_since_install_) {
+      rec_status_ =
+          Status::IoError("shard restore failed after serving began");
+      for (uint32_t i = 0; i < num_shards_; ++i) {
+        if (shard_state_[i].load(std::memory_order_acquire) !=
+            static_cast<uint8_t>(ShardRecoveryState::kReady)) {
+          shard_state_[i].store(
+              static_cast<uint8_t>(ShardRecoveryState::kFailed),
+              std::memory_order_release);
+        }
+      }
+      recovering_.store(false, std::memory_order_release);
+      rec_cv_.notify_all();
+      return;
+    }
+    rec_candidates_.erase(rec_candidates_.begin());
+    while (!rec_candidates_.empty() &&
+           !PreflightCandidate(rec_candidates_.front())) {
+      rec_candidates_.erase(rec_candidates_.begin());
+    }
+    if (rec_candidates_.empty()) {
+      // Exhausted. Match the historical sync-Recover contract: NotFound,
+      // and the store remains usable in whatever state the last attempt
+      // left (tests recover fresh stores through this path).
+      rec_status_ = Status::NotFound("no recoverable cross-shard manifest");
+      for (uint32_t i = 0; i < num_shards_; ++i) {
+        shard_state_[i].store(
+            static_cast<uint8_t>(ShardRecoveryState::kReady),
+            std::memory_order_release);
+      }
+      recovering_.store(false, std::memory_order_release);
+      rec_cv_.notify_all();
+      return;
+    }
+    // Re-pin the older manifest's commit points and restart every shard:
+    // previously-ready shards must roll back to the older tokens too.
+    InstallCandidate(rec_candidates_.front(), /*locked=*/true);
+    rec_queue_.clear();
+    for (uint32_t i = 0; i < num_shards_; ++i) {
+      shard_state_[i].store(
+          static_cast<uint8_t>(ShardRecoveryState::kPending),
+          std::memory_order_release);
+      rec_queue_.push_back(i);
+    }
+  }
+}
+
+Status ShardedKv::WaitForRecovery() {
+  std::unique_lock<std::mutex> lock(rec_mu_);
+  rec_cv_.wait(lock, [&] {
+    return !recovering_.load(std::memory_order_acquire);
+  });
+  return rec_status_;
+}
+
+void ShardedKv::PrioritizeShard(uint32_t shard) {
+  std::lock_guard<std::mutex> lock(rec_mu_);
+  auto it = std::find(rec_queue_.begin(), rec_queue_.end(), shard);
+  if (it != rec_queue_.end() && it != rec_queue_.begin()) {
+    rec_queue_.erase(it);
+    rec_queue_.push_front(shard);
+  }
+}
+
+Status ShardedKv::Recover() {
+  Status s = StartRecovery();
+  if (!s.ok()) return s;
+  return WaitForRecovery();
 }
 
 }  // namespace cpr::kv

@@ -36,10 +36,28 @@
 // session skips any operation with serial <= p_i routed to shard i (it is
 // provably a replay — fresh post-recovery serials start above the session's
 // crash-time serial, which is >= every p_i).
+//
+// Instant restart. StartRecovery() splits that walk in two. Phase A
+// (synchronous, microseconds): pick the newest manifest whose per-shard
+// checkpoints pass a structural preflight (FasterKv::ValidateCheckpoint —
+// header probes, no payload I/O) and install its session commit points.
+// From that moment sessions can start, DurableCommitPoint answers, and the
+// serving layer can accept operations for shards that are already ready.
+// Phase B (background): a pool of recovery_workers threads restores the
+// shards one by one, fronting any shard named by PrioritizeShard (the
+// serving layer calls it when a parked operation is waiting on that shard).
+// A shard restore that fails (after one retry) walks the whole store back
+// to the next older viable manifest — but ONLY if nothing has observed the
+// installed commit points yet (no session started, no DurableCommitPoint
+// answered); once the store has served anything, a restore failure is
+// terminal and the failed shards report not-ready forever. The sync
+// Recover() is exactly StartRecovery() + WaitForRecovery(), so the blocking
+// path inherits the parallel pool and the full walk-back.
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -65,6 +83,10 @@ class ShardedKv final : public Backend {
     uint32_t num_shards = 4;
     // Cross-shard manifests kept on disk; recovery can walk this far back.
     uint32_t retain_manifests = 3;
+    // Worker threads restoring shards during StartRecovery()'s background
+    // phase (clamped to [1, num_shards]). More workers shorten full
+    // recovery; even one worker gives demand-driven per-shard readiness.
+    uint32_t recovery_workers = 2;
   };
 
   explicit ShardedKv(Options options);
@@ -107,6 +129,20 @@ class ShardedKv final : public Backend {
   Status WaitForCheckpoint(uint64_t round) override;
   Status Recover() override;
 
+  Status StartRecovery() override;
+  bool Recovering() const override {
+    return recovering_.load(std::memory_order_acquire);
+  }
+  bool ShardReady(uint32_t shard) const override {
+    return shard >= num_shards_ ||
+           shard_state_[shard].load(std::memory_order_acquire) ==
+               static_cast<uint8_t>(ShardRecoveryState::kReady);
+  }
+  uint32_t ShardOfKey(uint64_t key) const override { return ShardOf(key); }
+  void PrioritizeShard(uint32_t shard) override;
+  Status WaitForRecovery() override;
+  uint64_t SkipSerial(Session& session) override;
+
   uint32_t value_size() const override;
   uint32_t num_shards() const override { return num_shards_; }
   uint64_t ShardOpCount(uint32_t shard) const override {
@@ -139,6 +175,44 @@ class ShardedKv final : public Backend {
     faster::CommitVariant variant = faster::CommitVariant::kFoldOver;
     bool include_index = false;
   };
+
+  // Per-shard restore progress during StartRecovery()'s background phase.
+  // Values are the cpr_shard_recovery_state gauge contract.
+  enum class ShardRecoveryState : uint8_t {
+    kPending = 0,
+    kRecovering = 1,
+    kReady = 2,
+    kFailed = 3,
+  };
+
+  // One recoverable manifest: round, per-shard engine tokens, and the
+  // session commit points it names.
+  struct RecoveryCandidate {
+    uint64_t round = 0;
+    std::vector<uint64_t> tokens;
+    std::map<uint64_t, SessionPoints> points;
+  };
+
+  // Parses every on-disk manifest into candidates, newest-first with the
+  // LATEST hint fronted. Unreadable/unparseable manifests are skipped.
+  std::vector<RecoveryCandidate> CollectRecoveryCandidates();
+  // O(1)-per-shard structural preflight of a candidate's checkpoints.
+  bool PreflightCandidate(const RecoveryCandidate& candidate);
+  // Publishes a candidate's session points / tokens / round counters as the
+  // store's recovered state. Caller holds sessions_mu_ when `locked`.
+  void InstallCandidate(const RecoveryCandidate& candidate, bool locked);
+  // Background-phase driver: restores shards through the worker pool,
+  // walking back through rec_candidates_ while nothing has been served.
+  void RecoveryMain();
+  // One worker-pool pass over rec_queue_; true iff every shard restored.
+  bool RunRecoveryAttempt(const std::vector<uint64_t>& tokens,
+                          uint64_t round);
+  // Blocks until shard i serves (ready, or recovery over) and the session
+  // has an engine sub-session there, creating it lazily.
+  void EnsureShardServes(ShardSession& s, uint32_t i);
+  // Non-blocking flavour for Refresh/CompletePending: creates the engine
+  // sub-session iff the shard is already ready; false when it is not.
+  bool TryEnsureSub(ShardSession& s, uint32_t i);
 
   void CoordinatorLoop();
   // Runs one coordinated round end-to-end; returns true iff the manifest
@@ -186,10 +260,26 @@ class ShardedKv final : public Backend {
   std::atomic<uint64_t> last_finished_round_{0};
   std::atomic<uint64_t> failures_{0};
 
+  // Background recovery (instant restart). Lock order: sessions_mu_ before
+  // rec_mu_; coord_mu_ is never held together with either.
+  std::thread recovery_thread_;
+  mutable std::mutex rec_mu_;
+  std::condition_variable rec_cv_;  // wakes shard waiters / recovery events
+  std::atomic<bool> recovering_{false};
+  std::unique_ptr<std::atomic<uint8_t>[]> shard_state_;  // ShardRecoveryState
+  std::deque<uint32_t> rec_queue_;       // shards awaiting a worker
+  std::vector<RecoveryCandidate> rec_candidates_;  // walk-back stack
+  bool rec_abort_ = false;  // destructor: stop draining
+  // Commit points observed (session started / DurableCommitPoint answered)
+  // → walk-back is no longer allowed. Mutable: DurableCommitPoint is const.
+  mutable bool served_since_install_ = false;
+  Status rec_status_;                    // outcome of the last StartRecovery
+
   // Observability: round outcome counters shared through the registry
   // (cpr_shard_*), initialized in the constructor.
   obs::Counter* rounds_total_ = nullptr;
   obs::Counter* rounds_failed_total_ = nullptr;
+  obs::HistogramMetric* shard_recovery_ns_ = nullptr;
   uint64_t obs_collector_id_ = 0;
 };
 

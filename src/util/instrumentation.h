@@ -66,6 +66,18 @@ struct ServerCounters {
   std::atomic<uint64_t> not_durable_engine{0};
   std::atomic<uint64_t> not_durable_degraded{0};
   std::atomic<uint64_t> protocol_errors{0};
+  // Instant-restart serving surface: ops that arrived while their shard was
+  // still restoring and parked in the bounded pending queue, ops rejected
+  // RECOVERING because the queue was full, and parked ops failed at
+  // shutdown because their shard never became ready in time.
+  std::atomic<uint64_t> ops_parked{0};
+  std::atomic<uint64_t> recovering_rejections{0};
+  std::atomic<uint64_t> parked_failed_at_shutdown{0};
+  // Wall-clock from listener-up to the first data op answered, and to the
+  // end of background recovery. Their ratio is the instant-restart win:
+  // first op served long before the full store is restored.
+  std::atomic<uint64_t> time_to_first_op_ns{0};
+  std::atomic<uint64_t> recovery_duration_ns{0};
 
   // Execute→durable lag of durable-gated responses: time from enqueueing the
   // executed operation until its covering checkpoint released the ack.
@@ -88,7 +100,9 @@ struct ServerCounters {
     uint64_t connections_accepted, connections_active, requests, responses,
         bytes_in, bytes_out, ops_pending, durable_held, checkpoints,
         checkpoint_stalls, checkpoint_failures, not_durable_acks,
-        not_durable_engine, not_durable_degraded, protocol_errors;
+        not_durable_engine, not_durable_degraded, protocol_errors, ops_parked,
+        recovering_rejections, parked_failed_at_shutdown, time_to_first_op_ns,
+        recovery_duration_ns;
     Histogram durable_lag;
     uint64_t durable_lag_max_ns;
     // Cumulative engine checkpoint phase time, indexed by
@@ -111,8 +125,10 @@ struct ServerCounters {
                ld(checkpoints),          ld(checkpoint_stalls),
                ld(checkpoint_failures),  ld(not_durable_acks),
                ld(not_durable_engine),   ld(not_durable_degraded),
-               ld(protocol_errors),      Histogram{},
-               ld(durable_lag_max_ns)};
+               ld(protocol_errors),      ld(ops_parked),
+               ld(recovering_rejections), ld(parked_failed_at_shutdown),
+               ld(time_to_first_op_ns),  ld(recovery_duration_ns),
+               Histogram{},              ld(durable_lag_max_ns)};
     {
       std::lock_guard<std::mutex> lock(durable_lag_mu_);
       s.durable_lag = durable_lag_;

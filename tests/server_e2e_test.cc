@@ -522,6 +522,115 @@ TEST(ServerE2E, ShardedCrashRecoveryDurableClientExactlyOnce) {
   server.Stop();
 }
 
+// Instant restart: the restarted server opens its listener before recovery
+// completes, HELLO parks until the commit point is pinned, and ops issued
+// while shards are still restoring (parked, demand-prioritized, or rejected
+// RECOVERING and retried by the client) apply exactly once.
+TEST(ServerE2E, InstantRestartServesDuringRecoveryExactlyOnce) {
+  const std::string dir = FreshDir();
+  constexpr uint32_t kShards = 8;
+  constexpr uint64_t kKeys = 32;
+  constexpr int kSeedRounds = 2;  // increments per key before the crash
+
+  auto kv1 = std::make_unique<kv::ShardedKv>(ShardedOptions(dir, kShards));
+  auto server1 = std::make_unique<KvServer>(kv1.get(), ServerOptions());
+  ASSERT_TRUE(server1->Start().ok());
+  const uint16_t port = server1->port();
+
+  CprClient c(ClientOptions(port));
+  ASSERT_TRUE(c.Connect().ok());
+  const uint64_t guid = c.guid();
+  for (int r = 0; r < kSeedRounds; ++r) {
+    for (uint64_t k = 0; k < kKeys; ++k) c.EnqueueRmw(k, 1);
+  }
+  ASSERT_TRUE(c.Flush().ok());
+  std::vector<CprClient::Result> results;
+  ASSERT_TRUE(c.Drain(&results).ok());
+  for (const auto& r : results) ASSERT_EQ(r.status, net::WireStatus::kOk);
+  uint64_t commit = 0;
+  ASSERT_TRUE(c.Checkpoint(nullptr, &commit, /*snapshot=*/false,
+                           /*include_index=*/true).ok());
+  ASSERT_EQ(commit, kSeedRounds * kKeys);
+
+  // Crash the server and store with the round published.
+  server1->Stop();
+  server1.reset();
+  kv1.reset();
+
+  // Restart with recover_on_start: Start() returns with the listener up
+  // while the shards restore on a background pool; a single worker keeps
+  // the restore window wide enough that some ops really race it.
+  kv::ShardedKv::Options sopts = ShardedOptions(dir, kShards);
+  sopts.recovery_workers = 1;
+  kv::ShardedKv kv(sopts);
+  KvServerOptions ropts = ServerOptions(port);
+  ropts.recover_on_start = true;
+  KvServer server(&kv, ropts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // The pre-crash session resumes mid-recovery: HELLO parks until the
+  // commit point is pinned, then reports the recovered serial; the replay
+  // buffer is empty (everything was covered by the checkpoint response).
+  ASSERT_TRUE(c.Reconnect().ok());
+  EXPECT_EQ(c.guid(), guid);
+  EXPECT_EQ(c.recovered_serial(), kSeedRounds * kKeys);
+  EXPECT_EQ(c.replay_backlog(), 0u);
+
+  // Ops issued while recovery is (possibly still) in flight: the sync
+  // helpers absorb parked waits and RECOVERING retries transparently.
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(c.Rmw(k, 1).ok()) << "key " << k;
+  }
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    bool found = false;
+    const int64_t v = ReadValue(c, k, &found);
+    ASSERT_TRUE(found) << "key " << k;
+    EXPECT_EQ(v, kSeedRounds + 1) << "key " << k;  // exactly once
+  }
+
+  ASSERT_TRUE(kv.WaitForRecovery().ok());
+  const auto counters = server.counters();
+  EXPECT_GT(counters.time_to_first_op_ns, 0u);
+  EXPECT_GT(counters.recovery_duration_ns, 0u);
+
+  c.Close();
+  server.Stop();
+}
+
+// Shutdown drain: queued responses a dying server can still answer must go
+// out with an honest status instead of being silently dropped — here a
+// durable-gated update whose covering checkpoint never happened is released
+// as NOT_DURABLE during Stop().
+TEST(ServerE2E, ShutdownDrainReleasesGatedOpsAsNotDurable) {
+  FasterKv kv(SmallOptions(FreshDir()));
+  KvServer server(&kv, ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  CprClient::Options copts = ClientOptions(server.port());
+  copts.ack_mode = net::AckMode::kDurable;
+  CprClient c(copts);
+  ASSERT_TRUE(c.Connect().ok());
+
+  c.EnqueueRmw(1, 5);
+  ASSERT_TRUE(c.Flush().ok());
+  // Let the worker execute the op; its ack is now gated on a checkpoint
+  // that will never run.
+  std::vector<CprClient::Result> results;
+  for (int spin = 0; spin < 200 && results.empty(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_TRUE(c.TryDrain(&results).ok());
+  }
+  ASSERT_TRUE(results.empty());  // gate held while the server lives
+
+  server.Stop();
+  ASSERT_TRUE(c.Drain(&results, 1).ok());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, net::WireStatus::kNotDurable);
+  // The op stayed in the replay buffer — NOT_DURABLE is not an ack.
+  EXPECT_EQ(c.replay_backlog(), 1u);
+  EXPECT_EQ(server.counters().not_durable_acks, 1u);
+}
+
 // Regression: in durable-ack mode the server releases a READ's ack as soon
 // as every earlier update is covered — before any checkpoint covers the
 // read's *own* serial. The client must not treat that ack as proof the

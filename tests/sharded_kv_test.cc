@@ -418,6 +418,72 @@ TEST(ShardedKvTest, ReplayedPrefixIsSkippedNotReexecuted) {
 TEST(ShardedKvTest, RecoverWithoutManifestIsNotFound) {
   kv::ShardedKv kv(SmallOptions(FreshDir()));
   EXPECT_EQ(kv.Recover().code(), Status::Code::kNotFound);
+  // Exhausted recovery leaves every shard serving (legacy contract: a
+  // fresh store is usable after a failed recover).
+  EXPECT_FALSE(kv.Recovering());
+  for (uint32_t i = 0; i < kv.num_shards(); ++i) {
+    EXPECT_TRUE(kv.ShardReady(i));
+  }
+}
+
+TEST(ShardedKvTest, StartRecoveryExposesPerShardReadiness) {
+  const std::string dir = FreshDir();
+  constexpr uint64_t kGuid = 7;
+  constexpr uint64_t kKeys = 64;
+  {
+    kv::ShardedKv kv(SmallOptions(dir));
+    kv::Session* s = kv.StartSession(kGuid);
+    ASSERT_NE(s, nullptr);
+    for (uint64_t k = 1; k <= kKeys; ++k) {
+      ASSERT_EQ(kv.Rmw(*s, k, static_cast<int64_t>(k)), faster::OpStatus::kOk);
+    }
+    kv.CompletePending(*s, true);
+    kv.Refresh(*s);
+    ASSERT_TRUE(RunRound(kv, *s, nullptr).ok());
+    kv.StopSession(s);
+  }
+
+  // Two-phase recovery: StartRecovery pins the plan and returns; the shard
+  // restore pool runs behind WaitForRecovery. After it, every shard is
+  // terminal-ready and the recovered state is exactly the published round.
+  kv::ShardedKv kv(SmallOptions(dir));
+  ASSERT_TRUE(kv.StartRecovery().ok());
+  ASSERT_TRUE(kv.WaitForRecovery().ok());
+  EXPECT_FALSE(kv.Recovering());
+  for (uint32_t i = 0; i < kv.num_shards(); ++i) {
+    EXPECT_TRUE(kv.ShardReady(i)) << "shard " << i;
+  }
+  // Out-of-range shard ids answer ready (no such routing target exists).
+  EXPECT_TRUE(kv.ShardReady(kv.num_shards()));
+
+  kv::Session* s = kv.StartSession(kGuid);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->last_commit_point(), kKeys);
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    bool found = false;
+    EXPECT_EQ(ReadSync(kv, *s, k, &found), static_cast<int64_t>(k));
+    ASSERT_TRUE(found) << "key " << k;
+  }
+  kv.StopSession(s);
+}
+
+TEST(ShardedKvTest, SkipSerialBurnsOneEffectFreeSerial) {
+  kv::ShardedKv kv(SmallOptions(FreshDir()));
+  kv::Session* s = kv.StartSession(31);
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(kv.Rmw(*s, 1, 5), faster::OpStatus::kOk);
+  EXPECT_EQ(s->serial(), 1u);
+  // A RECOVERING rejection burns the next serial with zero effects; the
+  // following real op continues the sequence as if the slot were a no-op.
+  EXPECT_EQ(kv.SkipSerial(*s), 2u);
+  EXPECT_EQ(s->serial(), 2u);
+  ASSERT_EQ(kv.Rmw(*s, 1, 5), faster::OpStatus::kOk);
+  EXPECT_EQ(s->serial(), 3u);
+  kv.CompletePending(*s, true);
+  bool found = false;
+  EXPECT_EQ(ReadSync(kv, *s, 1, &found), 10);
+  EXPECT_TRUE(found);
+  kv.StopSession(s);
 }
 
 TEST(FasterBackendTest, AdaptsSingleStore) {

@@ -752,9 +752,12 @@ TEST(WireResponse, RejectsBadStatus) {
   resp.status = WireStatus::kOk;
   resp.seq = 1;
   std::string payload = EncodedResponsePayload(resp);
-  payload[1] = 8;  // past kTxnConflict
+  payload[1] = 9;  // past kRecovering
   Response out;
   EXPECT_FALSE(DecodeResponse(payload, &out));
+  payload[1] = 8;  // kRecovering decodes fine
+  EXPECT_TRUE(DecodeResponse(payload, &out));
+  EXPECT_EQ(out.status, WireStatus::kRecovering);
   payload[1] = 7;  // kTxnConflict decodes fine
   EXPECT_TRUE(DecodeResponse(payload, &out));
   EXPECT_EQ(out.status, WireStatus::kTxnConflict);
@@ -763,12 +766,78 @@ TEST(WireResponse, RejectsBadStatus) {
   EXPECT_EQ(out.status, WireStatus::kNotDurable);
 }
 
+TEST(WireResponse, RecoveringRoundTrip) {
+  // RECOVERING with a burned serial: the server consumed the serial for the
+  // rejection, the client neutralizes its replay slot. Carries no body.
+  Response resp;
+  resp.op = Op::kRmw;
+  resp.status = WireStatus::kRecovering;
+  resp.seq = 21;
+  resp.serial = 77;
+  Response out;
+  ASSERT_TRUE(DecodeResponse(EncodedResponsePayload(resp), &out));
+  EXPECT_EQ(out.op, Op::kRmw);
+  EXPECT_EQ(out.status, WireStatus::kRecovering);
+  EXPECT_EQ(out.serial, 77u);
+  EXPECT_TRUE(out.value.empty());
+
+  // A non-OK read never carries value bytes, RECOVERING included.
+  Response rd;
+  rd.op = Op::kRead;
+  rd.status = WireStatus::kRecovering;
+  rd.seq = 22;
+  rd.value = {'x', 'y'};  // must NOT be encoded
+  ASSERT_TRUE(DecodeResponse(EncodedResponsePayload(rd), &out));
+  EXPECT_TRUE(out.value.empty());
+
+  // Shutdown-drain form: serial 0 (nothing consumed) round-trips too.
+  Response drain;
+  drain.op = Op::kUpsert;
+  drain.status = WireStatus::kRecovering;
+  drain.seq = 23;
+  ASSERT_TRUE(DecodeResponse(EncodedResponsePayload(drain), &out));
+  EXPECT_EQ(out.serial, 0u);
+}
+
+// Response-side fuzz for the status byte: mutate every byte of RECOVERING
+// responses through all 256 values; whatever still decodes must carry only
+// in-range statuses and ops.
+TEST(WireResponse, FuzzedRecoveringBytesNeverDecodeOutOfRangeEnums) {
+  std::vector<Response> exemplars;
+  for (Op op : {Op::kRead, Op::kUpsert, Op::kRmw, Op::kDelete, Op::kTxn}) {
+    Response r;
+    r.op = op;
+    r.status = WireStatus::kRecovering;
+    r.seq = 31;
+    r.serial = 12;
+    exemplars.push_back(r);
+  }
+  for (const Response& resp : exemplars) {
+    const std::string payload = EncodedResponsePayload(resp);
+    for (size_t pos = 0; pos < payload.size(); ++pos) {
+      for (int v = 0; v < 256; ++v) {
+        std::string mutated = payload;
+        mutated[pos] = static_cast<char>(v);
+        Response out;
+        if (!DecodeResponse(mutated, &out)) continue;
+        EXPECT_LE(static_cast<uint8_t>(out.status), kMaxWireStatus)
+            << OpName(resp.op) << " pos " << pos << " val " << v;
+        EXPECT_GE(static_cast<uint8_t>(out.op),
+                  static_cast<uint8_t>(Op::kHello));
+        EXPECT_LE(static_cast<uint8_t>(out.op),
+                  static_cast<uint8_t>(Op::kDump));
+      }
+    }
+  }
+}
+
 TEST(WireNames, AreStable) {
   EXPECT_STREQ(OpName(Op::kHello), "HELLO");
   EXPECT_STREQ(OpName(Op::kCommitPoint), "COMMIT_POINT");
   EXPECT_STREQ(StatusName(WireStatus::kOk), "OK");
   EXPECT_STREQ(StatusName(WireStatus::kBusy), "BUSY");
   EXPECT_STREQ(StatusName(WireStatus::kNotDurable), "NOT_DURABLE");
+  EXPECT_STREQ(StatusName(WireStatus::kRecovering), "RECOVERING");
 }
 
 }  // namespace
