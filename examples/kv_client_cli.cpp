@@ -45,6 +45,10 @@ void Usage(const char* argv0) {
       "  ckpt         request a CPR checkpoint, wait until durable\n"
       "  point        query this session's durable commit point\n"
       "  stats        scrape the server's metrics (Prometheus text)\n"
+      "  provider [cpr|calc|wal]\n"
+      "               report the durability provider, or queue a live\n"
+      "               switch to the named one (flips at the next\n"
+      "               checkpoint boundary; poll \"provider\" to observe)\n"
       "  trace [F]    fetch the checkpoint lifecycle trace (Chrome\n"
       "               trace_event JSON) to stdout, or to file F — open\n"
       "               it in Perfetto (ui.perfetto.dev)\n"
@@ -188,6 +192,27 @@ int Exec(cpr::client::CprClient& c, const std::vector<std::string>& cmd) {
     const cpr::Status s = c.ServerStats(&text);
     if (!s.ok()) return fail(s);
     std::fputs(text.c_str(), stdout);
+  } else if (op == "provider" && cmd.size() <= 2) {
+    cpr::client::CprClient::ProviderStatus ps;
+    cpr::Status s;
+    if (cmd.size() == 2) {
+      cpr::durability::ProviderKind kind;
+      if (!cpr::durability::ParseProviderKind(cmd[1], &kind)) {
+        std::printf("unknown provider \"%s\" (cpr|calc|wal)\n",
+                    cmd[1].c_str());
+        return 2;
+      }
+      s = c.SwitchProvider(kind, &ps);
+      if (!s.ok()) return fail(s);
+      std::printf("switch to %s queued\n", cmd[1].c_str());
+    } else {
+      s = c.ProviderInfo(&ps);
+      if (!s.ok()) return fail(s);
+    }
+    std::printf("provider=%s pending=%d switches=%llu last_boundary=%llu\n",
+                cpr::durability::ProviderKindName(ps.kind), ps.pending ? 1 : 0,
+                static_cast<unsigned long long>(ps.switches),
+                static_cast<unsigned long long>(ps.last_boundary));
   } else if (op == "trace" && cmd.size() <= 2) {
     std::string json;
     const cpr::Status s = c.ServerTrace(&json);

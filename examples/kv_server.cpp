@@ -30,6 +30,7 @@
 #include <string>
 #include <thread>
 
+#include "durability/provider.h"
 #include "faster/faster.h"
 #include "server/server.h"
 #include "shard/faster_backend.h"
@@ -54,6 +55,13 @@ void Usage(const char* argv0) {
                "                     coordinated checkpoints (default 1)\n"
                "  --txdb             serve a TransactionalDb: single-key KV\n"
                "                     ops plus multi-key TXN requests\n"
+               "  --mode M           txdb durability provider: cpr | calc |\n"
+               "                     wal (default cpr; a recovered directory\n"
+               "                     overrides this with its own manifest)\n"
+               "  --adaptive-ms N    sample the observed read/write mix every\n"
+               "                     N ms and switch the provider live when\n"
+               "                     the policy recommends it (txdb only;\n"
+               "                     default 0: off)\n"
                "  --rows N           txdb table 0 row count (default 65536)\n"
                "  --value-size N     txdb table 0 value bytes (default 8)\n"
                "  --checkpoint-ms N  periodic CPR checkpoint interval\n"
@@ -80,6 +88,8 @@ int main(int argc, char** argv) {
   uint32_t stats_ms = 5000;
   bool recover = false;
   bool instant = false;
+  std::string mode = "cpr";
+  uint32_t adaptive_ms = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -101,6 +111,12 @@ int main(int argc, char** argv) {
       if (shards == 0) shards = 1;
     } else if (arg == "--txdb") {
       txdb = true;
+    } else if (arg == "--mode") {
+      mode = next();
+    } else if (arg.rfind("--mode=", 0) == 0) {
+      mode = arg.substr(std::strlen("--mode="));
+    } else if (arg == "--adaptive-ms") {
+      adaptive_ms = static_cast<uint32_t>(std::atoi(next()));
     } else if (arg == "--rows") {
       rows = static_cast<uint64_t>(std::atoll(next()));
       if (rows == 0) rows = 65'536;
@@ -125,12 +141,25 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--txdb and --shards are mutually exclusive\n");
     return 2;
   }
+  cpr::durability::ProviderKind provider_kind;
+  if (!cpr::durability::ParseProviderKind(mode, &provider_kind)) {
+    std::fprintf(stderr, "unknown --mode \"%s\" (cpr|calc|wal)\n",
+                 mode.c_str());
+    return 2;
+  }
+  if ((provider_kind != cpr::durability::ProviderKind::kCpr ||
+       adaptive_ms != 0) &&
+      !txdb) {
+    std::fprintf(stderr, "--mode/--adaptive-ms require --txdb\n");
+    return 2;
+  }
   cpr::faster::FasterKv::Options fo;
   fo.dir = dir;
   std::unique_ptr<cpr::kv::Backend> backend;
   if (txdb) {
     cpr::txdb::TxDbBackend::Options to;
     to.db.durability_dir = dir;
+    to.db.mode = cpr::txdb::ProviderKindToMode(provider_kind);
     to.tables = {cpr::txdb::TxDbBackend::TableSpec{rows, value_size}};
     backend = std::make_unique<cpr::txdb::TxDbBackend>(std::move(to));
   } else if (shards > 1) {
@@ -160,6 +189,7 @@ int main(int argc, char** argv) {
   so.num_workers = workers;
   so.checkpoint_interval_ms = checkpoint_ms;
   so.recover_on_start = instant;
+  so.adaptive_interval_ms = adaptive_ms;
   cpr::server::KvServer server(backend.get(), so);
   const cpr::Status s = server.Start();
   if (!s.ok()) {
@@ -169,9 +199,11 @@ int main(int argc, char** argv) {
   if (txdb) {
     std::printf(
         "cpr kv_server listening on %u (%u workers, txdb backend: "
-        "%llu rows x %u bytes, multi-key TXN enabled%s)\n",
+        "%llu rows x %u bytes, multi-key TXN enabled, provider=%s%s%s)\n",
         server.port(), workers, static_cast<unsigned long long>(rows),
         backend->value_size(),
+        cpr::durability::ProviderKindName(backend->Provider()),
+        adaptive_ms != 0 ? ", adaptive" : "",
         checkpoint_ms != 0 ? ", periodic checkpoints" : "");
   } else {
     std::printf(

@@ -366,6 +366,16 @@ void CprClient::EnqueueStats(net::StatsKind kind) {
   EnqueueRequest(req);
 }
 
+void CprClient::EnqueueProvider(net::ProviderAction action,
+                                durability::ProviderKind kind) {
+  net::Request req;
+  req.op = net::Op::kProvider;
+  req.seq = next_seq_++;
+  req.provider_action = action;
+  req.provider_kind = kind;
+  EnqueueRequest(req);
+}
+
 void CprClient::EnqueueDump(uint32_t table, uint64_t start_row,
                             uint32_t max_rows) {
   net::Request req;
@@ -508,6 +518,10 @@ Status CprClient::ProcessResponse(net::Response resp,
     r.dump_rows_total = resp.dump_rows_total;
     r.dump_next_row = resp.dump_next_row;
     r.dump_rows = std::move(resp.dump_rows);
+    r.provider_kind = resp.provider_kind;
+    r.provider_pending = resp.provider_pending;
+    r.provider_switches = resp.provider_switches;
+    r.provider_last_boundary = resp.provider_last_boundary;
     out->push_back(std::move(r));
   }
   return Status::Ok();
@@ -828,6 +842,44 @@ Status CprClient::ServerTrace(std::string* json) {
   const Result& r = results.front();
   if (r.status != net::WireStatus::kOk) return AsStatus(r);
   json->assign(r.stats.begin(), r.stats.end());
+  return Status::Ok();
+}
+
+namespace {
+CprClient::ProviderStatus ToProviderStatus(const CprClient::Result& r) {
+  CprClient::ProviderStatus ps;
+  ps.kind = r.provider_kind;
+  ps.pending = r.provider_pending;
+  ps.switches = r.provider_switches;
+  ps.last_boundary = r.provider_last_boundary;
+  return ps;
+}
+}  // namespace
+
+Status CprClient::ProviderInfo(ProviderStatus* out) {
+  EnqueueProvider(net::ProviderAction::kQuery);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  std::vector<Result> results;
+  s = Drain(&results, 1);
+  if (!s.ok()) return s;
+  const Result& r = results.front();
+  if (r.status != net::WireStatus::kOk) return AsStatus(r);
+  if (out != nullptr) *out = ToProviderStatus(r);
+  return Status::Ok();
+}
+
+Status CprClient::SwitchProvider(durability::ProviderKind target,
+                                 ProviderStatus* out) {
+  EnqueueProvider(net::ProviderAction::kSwitch, target);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  std::vector<Result> results;
+  s = Drain(&results, 1);
+  if (!s.ok()) return s;
+  const Result& r = results.front();
+  if (r.status != net::WireStatus::kOk) return AsStatus(r);
+  if (out != nullptr) *out = ToProviderStatus(r);
   return Status::Ok();
 }
 

@@ -91,6 +91,21 @@ class CprClient {
     uint64_t dump_rows_total = 0;      // DUMP: table row count
     uint64_t dump_next_row = 0;        // DUMP: resume cursor (0 = done)
     std::vector<net::DumpRow> dump_rows;  // DUMP
+    durability::ProviderKind provider_kind =
+        durability::ProviderKind::kCpr;   // PROVIDER: current provider
+    bool provider_pending = false;        // PROVIDER: switch queued
+    uint64_t provider_switches = 0;       // PROVIDER: completed switches
+    uint64_t provider_last_boundary = 0;  // PROVIDER: last boundary version
+  };
+
+  // Durability-provider report (PROVIDER op). `kind` is always the CURRENT
+  // provider — a SWITCH is asynchronous, completed at the next checkpoint
+  // boundary; poll ProviderInfo until `kind` flips / `switches` advances.
+  struct ProviderStatus {
+    durability::ProviderKind kind = durability::ProviderKind::kCpr;
+    bool pending = false;          // a switch is queued but not yet done
+    uint64_t switches = 0;         // completed live switches
+    uint64_t last_boundary = 0;    // boundary checkpoint version of the last
   };
 
   explicit CprClient(Options options);
@@ -141,6 +156,10 @@ class CprClient {
   void EnqueueCheckpoint(bool snapshot = false, bool include_index = false);
   void EnqueueCommitPoint();
   void EnqueueStats(net::StatsKind kind = net::StatsKind::kMetricsText);
+  // Sessionless durability-provider query/switch (see ProviderStatus).
+  void EnqueueProvider(net::ProviderAction action,
+                       durability::ProviderKind kind =
+                           durability::ProviderKind::kCpr);
 
   // Writes all queued frames to the socket.
   Status Flush();
@@ -177,6 +196,14 @@ class CprClient {
   // Fetches the server's checkpoint lifecycle trace (Chrome trace_event
   // JSON; open in Perfetto).
   Status ServerTrace(std::string* json);
+  // Reports the backend's current durability provider. Works before HELLO —
+  // durability control needs no session.
+  Status ProviderInfo(ProviderStatus* out);
+  // Queues a live switch to `target`; `out` (optional) receives the report
+  // at queue time (kind still the pre-switch provider). Returns an error if
+  // the backend cannot switch providers.
+  Status SwitchProvider(durability::ProviderKind target,
+                        ProviderStatus* out = nullptr);
   // Captures every backend table over DUMP, paging rows until each table is
   // exhausted and probing table ids until the server answers NOT_FOUND.
   // Works before HELLO — certification needs no session. Only meaningful on

@@ -1,0 +1,50 @@
+#include "durability/policy.h"
+
+namespace cpr::durability {
+
+AdaptivePolicy::AdaptivePolicy(Options options) : options_(options) {}
+
+bool AdaptivePolicy::Observe(ProviderKind current,
+                             const WorkloadSample& sample,
+                             ProviderKind* target) {
+  ++rounds_;
+  if (!primed_) {
+    primed_ = true;
+    prev_ = sample;
+    return false;
+  }
+  // Counters are cumulative and monotonic; a restart (sample < prev) just
+  // re-baselines.
+  const uint64_t dr = sample.reads >= prev_.reads ? sample.reads - prev_.reads
+                                                  : 0;
+  const uint64_t dw =
+      sample.writes >= prev_.writes ? sample.writes - prev_.writes : 0;
+  prev_ = sample;
+
+  const uint64_t ops = dr + dw;
+  if (ops < options_.min_interval_ops) {
+    last_write_fraction_ = 0.0;
+    return false;
+  }
+  last_write_fraction_ = static_cast<double>(dw) / static_cast<double>(ops);
+
+  if (recommended_once_ &&
+      rounds_ - last_recommendation_round_ < options_.cooldown_rounds) {
+    return false;
+  }
+
+  ProviderKind want = current;
+  if (last_write_fraction_ >= options_.write_heavy) {
+    want = ProviderKind::kCpr;
+  } else if (last_write_fraction_ <= options_.read_heavy) {
+    want = ProviderKind::kWal;
+  }
+  if (want == current) return false;
+
+  *target = want;
+  last_recommendation_round_ = rounds_;
+  recommended_once_ = true;
+  return true;
+}
+
+}  // namespace cpr::durability

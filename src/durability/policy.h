@@ -1,0 +1,74 @@
+#ifndef CPR_DURABILITY_POLICY_H_
+#define CPR_DURABILITY_POLICY_H_
+
+// Observed-workload provider selection, after "Adaptive Logging for
+// Distributed In-memory Databases": the right durability scheme depends on
+// the mix. WAL generates no log record for a read-only transaction, so it
+// wins read-heavy workloads; CPR's checkpoint cost is independent of the
+// read/write ratio and its commit path adds no per-transaction logging, so
+// it wins write-heavy ones (the paper's Figs. 11/15 comparison, run live).
+//
+// The policy is a pure function of cumulative counters sampled each round
+// (the obs registry / server counters already track them): it computes the
+// interval's write fraction and recommends a provider once the fraction
+// crosses a threshold, with hysteresis (distinct up/down thresholds plus a
+// cooldown in rounds) so an oscillating mix cannot thrash switches.
+
+#include <cstdint>
+
+#include "durability/provider.h"
+
+namespace cpr::durability {
+
+// Cumulative counters at sampling time; the policy differences consecutive
+// samples itself.
+struct WorkloadSample {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  // Durability health signals (advisory: today they veto switching INTO a
+  // provider whose durable lag is already collapsing, rather than select).
+  uint64_t durable_lag_p99_ns = 0;
+  uint64_t commit_stalls = 0;
+};
+
+class AdaptivePolicy {
+ public:
+  struct Options {
+    // Write fraction at or above which the mix counts as write-heavy
+    // (recommend CPR), and at or below which it counts as read-heavy
+    // (recommend WAL). The gap between them is the hysteresis band.
+    double write_heavy = 0.5;
+    double read_heavy = 0.2;
+    // Intervals with fewer total data ops than this are ignored (an idle
+    // server must not flip providers on noise).
+    uint64_t min_interval_ops = 128;
+    // Rounds that must pass after a recommendation before the next one.
+    uint32_t cooldown_rounds = 3;
+  };
+
+  AdaptivePolicy() : AdaptivePolicy(Options{}) {}
+  explicit AdaptivePolicy(Options options);
+
+  // Feeds one sampling round. Returns true and sets *target when the
+  // interval since the previous call recommends a provider different from
+  // `current`. The first call only baselines the counters.
+  bool Observe(ProviderKind current, const WorkloadSample& sample,
+               ProviderKind* target);
+
+  // Write fraction of the most recently observed interval (0 when idle).
+  double last_write_fraction() const { return last_write_fraction_; }
+  uint64_t rounds() const { return rounds_; }
+
+ private:
+  Options options_;
+  bool primed_ = false;
+  WorkloadSample prev_;
+  double last_write_fraction_ = 0.0;
+  uint64_t rounds_ = 0;
+  uint64_t last_recommendation_round_ = 0;
+  bool recommended_once_ = false;
+};
+
+}  // namespace cpr::durability
+
+#endif  // CPR_DURABILITY_POLICY_H_

@@ -1,0 +1,68 @@
+#ifndef CPR_DURABILITY_PROVIDER_H_
+#define CPR_DURABILITY_PROVIDER_H_
+
+// The durability-provider seam: which scheme (CPR / CALC / WAL) currently
+// backs a served transactional database, recorded durably per generation.
+//
+// A database directory carries a chain of provider manifests:
+//
+//   <dir>/provider.<gen>.meta   checked blob (io/blob.h) naming the provider
+//                               active from generation <gen> on, plus the
+//                               checkpoint version the provider was seeded
+//                               from (its recovery base)
+//
+// Publishing manifest <gen+1> is the linearization point of a live provider
+// switch: recovery walks the manifests newest-generation-first and recovers
+// under the first one that verifies, so a crash mid-switch lands on
+// whichever side durably published. A missing manifest chain means the
+// directory predates provider switching and recovery proceeds under the
+// configured engine (legacy behavior).
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace cpr::durability {
+
+// Durability scheme serving a database. Values are wire-visible (PROVIDER
+// op) and disk-visible (provider manifest payload): never renumber.
+enum class ProviderKind : uint8_t {
+  kCpr = 0,   // epoch-coordinated asynchronous checkpoints (this paper)
+  kCalc = 1,  // atomic commit log + async checkpoint (Ren et al.)
+  kWal = 2,   // ARIES-style redo logging with group commit
+};
+constexpr uint8_t kMaxProviderKind = static_cast<uint8_t>(ProviderKind::kWal);
+
+const char* ProviderKindName(ProviderKind kind);
+// Parses "cpr" / "calc" / "wal" (case-sensitive). False on anything else.
+bool ParseProviderKind(const std::string& name, ProviderKind* out);
+
+struct ProviderManifest {
+  uint64_t generation = 0;
+  ProviderKind kind = ProviderKind::kCpr;
+  // Checkpoint version the provider was seeded from. For WAL this names the
+  // full-image base its log replays on top of (0: no base, log-only
+  // recovery). CPR/CALC recover through the ordinary checkpoint chain and
+  // carry it for observability only.
+  uint64_t base_version = 0;
+};
+
+// Writes <dir>/provider.<gen>.meta durably (blob fsync'd when `sync`).
+Status WriteProviderManifest(const std::string& dir,
+                             const ProviderManifest& manifest, bool sync);
+
+// Reads the newest *valid* provider manifest in `dir`: generations are
+// tried newest-first and a torn or corrupt blob falls back to its
+// predecessor (a crash between blob write and completion must land on the
+// previous provider). NotFound when no manifest chain exists.
+Status ReadLatestProviderManifest(const std::string& dir,
+                                  ProviderManifest* manifest);
+
+// Deletes manifests older than the newest `retain` valid generations.
+// Best-effort; retain == 0 disables.
+Status RetainProviderManifests(const std::string& dir, uint32_t retain);
+
+}  // namespace cpr::durability
+
+#endif  // CPR_DURABILITY_PROVIDER_H_

@@ -1,0 +1,68 @@
+#include "durability/switch.h"
+
+namespace cpr::durability {
+
+SwitchController::SwitchController(SwitchHost& host, uint64_t generation)
+    : host_(host), generation_(generation) {}
+
+Status SwitchController::Switch(ProviderKind target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (host_.CurrentProvider() == target) return Status::Ok();
+
+  // Quiesce. The in-flight-commit wait happens BEFORE the pause: concluding
+  // a commit needs workers refreshing, and a paused worker blocked inside an
+  // operation stops refreshing its sessions. A commit that races in between
+  // the wait and the pause is caught by the post-pause re-check.
+  for (;;) {
+    host_.WaitForInflightCommit();
+    host_.PauseOps();
+    if (!host_.CommitInFlight()) break;
+    host_.ResumeOps();
+  }
+
+  uint64_t boundary = 0;
+  Status s = host_.WriteBoundaryCheckpoint(&boundary);
+  if (s.ok()) s = host_.PrepareProvider(target);
+  if (s.ok()) {
+    ProviderManifest manifest;
+    manifest.generation = generation_ + 1;
+    manifest.kind = target;
+    manifest.base_version = boundary;
+    s = host_.PublishManifest(manifest);
+  }
+  if (!s.ok()) {
+    // Nothing durable names the new provider yet: the old one stands, and
+    // the boundary checkpoint (if it landed) is just an ordinary generation.
+    host_.ResumeOps();
+    return s;
+  }
+
+  host_.ActivateProvider(target, boundary + 1);
+  ++generation_;
+  ++switches_;
+  last_boundary_version_ = boundary;
+  host_.ResumeOps();
+  return Status::Ok();
+}
+
+uint64_t SwitchController::switches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return switches_;
+}
+
+uint64_t SwitchController::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+uint64_t SwitchController::last_boundary_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_boundary_version_;
+}
+
+void SwitchController::SetGeneration(uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  generation_ = generation;
+}
+
+}  // namespace cpr::durability

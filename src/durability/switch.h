@@ -1,0 +1,99 @@
+#ifndef CPR_DURABILITY_SWITCH_H_
+#define CPR_DURABILITY_SWITCH_H_
+
+// Live provider switch at a checkpoint boundary.
+//
+// The controller owns the protocol ordering; the host (TxDbBackend, or a
+// fake in tests) supplies the primitives. A switch runs:
+//
+//   1. wait out any in-flight commit (without blocking new operations);
+//   2. quiesce: pause operation admission, drain in-flight operations, and
+//      re-check that no commit raced in — retry the wait if one did;
+//   3. boundary checkpoint: materialize a full image of the quiesced state
+//      under the OLD provider's version counter (an ordinary generation in
+//      the checkpoint chain, so a crash right here recovers under the old
+//      provider and still sees everything executed);
+//   4. prepare the NEW provider (e.g. truncate a stale WAL). Safe before
+//      the manifest flips: the active manifest still names the old
+//      provider, whose recovery never reads the new provider's artifacts;
+//   5. publish provider.<gen+1>.meta naming the new provider and the
+//      boundary version — the linearization point: recovery walks the
+//      manifest chain newest-first, so a crash lands on whichever side
+//      durably published;
+//   6. activate: seed the new provider's version counter past the boundary
+//      and swap it in;
+//   7. resume operation admission.
+//
+// Any step failing before (5) aborts the switch with the old provider fully
+// intact; after (5) the switch is already durable and activation proceeds.
+
+#include <cstdint>
+#include <mutex>
+
+#include "durability/provider.h"
+#include "util/status.h"
+
+namespace cpr::durability {
+
+// Primitives the switch protocol drives. Implementations must tolerate the
+// controller calling from a dedicated thread while operations run.
+class SwitchHost {
+ public:
+  virtual ~SwitchHost() = default;
+
+  virtual ProviderKind CurrentProvider() const = 0;
+  // Blocks until the commit in flight (if any) concludes. Called before the
+  // quiesce, so workers are still executing and refreshing.
+  virtual void WaitForInflightCommit() = 0;
+  // True while a commit is running or queued.
+  virtual bool CommitInFlight() const = 0;
+  // Pause blocks new operations and returns once in-flight ones drained.
+  virtual void PauseOps() = 0;
+  virtual void ResumeOps() = 0;
+  // Writes a full checkpoint of the quiesced state as an ordinary
+  // generation; reports the version it was written at.
+  virtual Status WriteBoundaryCheckpoint(uint64_t* version_out) = 0;
+  // Prepares `target` for activation (e.g. reset a stale log). The manifest
+  // still names the old provider when this runs.
+  virtual Status PrepareProvider(ProviderKind target) = 0;
+  // Durably publishes the manifest naming `target`.
+  virtual Status PublishManifest(const ProviderManifest& manifest) = 0;
+  // Swaps `target` in, seeded so its first commit version is
+  // `seed_version` (> the boundary version).
+  virtual void ActivateProvider(ProviderKind target, uint64_t seed_version) = 0;
+};
+
+class SwitchController {
+ public:
+  // `generation` is the currently-published manifest generation (0 when the
+  // directory has none yet — the first switch then publishes gen 1).
+  SwitchController(SwitchHost& host, uint64_t generation);
+
+  SwitchController(const SwitchController&) = delete;
+  SwitchController& operator=(const SwitchController&) = delete;
+
+  // Performs a full switch to `target`. Ok and a no-op if `target` is
+  // already active. Serialized: concurrent calls queue on an internal lock.
+  Status Switch(ProviderKind target);
+
+  uint64_t switches() const;
+  uint64_t generation() const;
+  // Version of the last boundary checkpoint (0: never switched).
+  uint64_t last_boundary_version() const;
+
+  // Adopts an externally-published generation (recovery re-bases a WAL
+  // directory by publishing a fresh manifest outside the controller). Must
+  // not race an in-flight Switch(); it serializes on the same lock.
+  void SetGeneration(uint64_t generation);
+
+ private:
+  SwitchHost& host_;
+  mutable std::mutex mu_;
+  uint64_t generation_;              // guarded by mu_
+  uint64_t switches_ = 0;            // guarded by mu_
+  uint64_t last_boundary_version_ = 0;  // guarded by mu_
+};
+
+}  // namespace cpr::durability
+
+#endif  // CPR_DURABILITY_SWITCH_H_

@@ -279,6 +279,8 @@ Status KvServer::Start() {
   }
   acceptor_ = std::thread([this] { AcceptLoop(); });
   last_periodic_ckpt_ns_ = NowNanos();
+  adaptive_policy_ = durability::AdaptivePolicy(options_.adaptive);
+  last_adaptive_ns_ = 0;
 
   // Instant restart: the listener is already up, so HELLO and STATS answer
   // immediately; backend recovery (if requested) proceeds on its own thread
@@ -333,6 +335,8 @@ Status KvServer::Start() {
              static_cast<double>(s.time_to_first_op_ns));
         emit("cpr_server_recovery_duration_ns",
              static_cast<double>(s.recovery_duration_ns));
+        emit("cpr_server_read_ops_total", static_cast<double>(s.read_ops));
+        emit("cpr_server_write_ops_total", static_cast<double>(s.write_ops));
         emit("cpr_server_durable_lag_p50_ns",
              static_cast<double>(s.durable_lag.QuantileNs(0.5)));
         emit("cpr_server_durable_lag_p99_ns",
@@ -469,6 +473,7 @@ void KvServer::WorkerLoop(Worker& w) {
     TickDetached();
     if (w.id == 0) {
       MaybePeriodicCheckpoint();
+      MaybeAdaptiveSwitch();
       // Mirror the store's persistent-failure count into the server's
       // counters so monitoring sees storage degradation.
       counters_.checkpoint_failures.store(kv_->CheckpointFailures(),
@@ -569,7 +574,7 @@ void KvServer::ParseFrames(Worker& w, Connection* c) {
       if (payload.size() >= 5) {
         const uint8_t op = static_cast<uint8_t>(payload[0]);
         if (op >= static_cast<uint8_t>(net::Op::kHello) &&
-            op <= static_cast<uint8_t>(net::Op::kDump)) {
+            op <= static_cast<uint8_t>(net::Op::kProvider)) {
           // TXN_CHUNK is not a valid response op; its errors answer as TXN.
           entry.resp.op = op == static_cast<uint8_t>(net::Op::kTxnChunk)
                               ? net::Op::kTxn
@@ -617,6 +622,9 @@ void KvServer::HandleRequest(Connection* c, const net::Request& req) {
       return;
     case net::Op::kDump:
       HandleDump(c, req);
+      return;
+    case net::Op::kProvider:
+      HandleProvider(c, req);
       return;
     default:
       HandleDataOp(c, req);
@@ -736,6 +744,27 @@ void KvServer::HandleStats(Connection* c, const net::Request& req) {
   c->queue.push_back(std::move(entry));
 }
 
+void KvServer::HandleProvider(Connection* c, const net::Request& req) {
+  // Durability-control path: no session required, never gated. SWITCH only
+  // queues the request — the flip happens at the next checkpoint boundary on
+  // the backend's switch thread — so the report always describes the CURRENT
+  // provider; clients poll QUERY to observe the change.
+  PendingResponse entry;
+  entry.ready = true;
+  entry.resp.op = net::Op::kProvider;
+  entry.resp.seq = req.seq;
+  entry.resp.status = net::WireStatus::kOk;
+  if (req.provider_action == net::ProviderAction::kSwitch &&
+      !kv_->RequestProviderSwitch(req.provider_kind)) {
+    entry.resp.status = net::WireStatus::kError;
+  }
+  entry.resp.provider_kind = kv_->Provider();
+  entry.resp.provider_pending = kv_->ProviderSwitchPending();
+  entry.resp.provider_switches = kv_->ProviderSwitches();
+  entry.resp.provider_last_boundary = kv_->ProviderLastBoundary();
+  c->queue.push_back(std::move(entry));
+}
+
 void KvServer::HandleHello(Connection* c, const net::Request& req) {
   PendingResponse entry;
   entry.ready = true;
@@ -844,6 +873,11 @@ void KvServer::HandleDataOp(Connection* c, const net::Request& req) {
     return;
   }
   kv::Session& s = *c->session;
+  if (req.op == net::Op::kRead) {
+    counters_.read_ops.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counters_.write_ops.fetch_add(1, std::memory_order_relaxed);
+  }
   faster::OpStatus st = faster::OpStatus::kOk;
   std::vector<char> value(req.op == net::Op::kRead ? kv_->value_size() : 0);
   switch (req.op) {
@@ -952,6 +986,9 @@ void KvServer::HandleTxn(Connection* c, const net::Request& req) {
     c->queue.push_back(std::move(entry));
     return;
   }
+  counters_.read_ops.fetch_add(n_reads, std::memory_order_relaxed);
+  counters_.write_ops.fetch_add(ops.size() - n_reads,
+                                std::memory_order_relaxed);
   std::vector<std::vector<char>> reads;
   switch (kv_->Txn(s, ops, &reads)) {
     case kv::TxnStatus::kCommitted:
@@ -1345,6 +1382,35 @@ void KvServer::MaybePeriodicCheckpoint() {
   if (kv_->Checkpoint(options_.checkpoint_variant, /*include_index=*/false)) {
     counters_.checkpoints.fetch_add(1, std::memory_order_relaxed);
     last_periodic_ckpt_ns_ = now;
+  }
+}
+
+void KvServer::MaybeAdaptiveSwitch() {
+  if (options_.adaptive_interval_ms == 0) return;
+  if (!recovery_done_.load(std::memory_order_acquire)) return;
+  const uint64_t now = NowNanos();
+  if (last_adaptive_ns_ == 0) {
+    // First tick only stamps the interval start; the policy needs a delta.
+    last_adaptive_ns_ = now;
+    return;
+  }
+  if (now - last_adaptive_ns_ <
+      uint64_t{options_.adaptive_interval_ms} * 1'000'000) {
+    return;
+  }
+  last_adaptive_ns_ = now;
+  const ServerCounters::Snapshot s = counters_.Sample();
+  durability::WorkloadSample sample;
+  sample.reads = s.read_ops;
+  sample.writes = s.write_ops;
+  sample.durable_lag_p99_ns = s.durable_lag.QuantileNs(0.99);
+  sample.commit_stalls = s.checkpoint_stalls;
+  durability::ProviderKind target;
+  if (adaptive_policy_.Observe(kv_->Provider(), sample, &target)) {
+    // Fire-and-forget: the backend's switch thread performs the flip at the
+    // next checkpoint boundary. A backend that cannot switch returns false
+    // and the policy simply keeps recommending.
+    (void)kv_->RequestProviderSwitch(target);
   }
 }
 

@@ -39,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "durability/policy.h"
 #include "faster/faster.h"
 #include "server/wire.h"
 #include "shard/backend.h"
@@ -75,6 +76,12 @@ struct KvServerOptions {
   // (at most one parked op per connection; later frames wait unread in the
   // connection buffer so per-session serial order is preserved).
   uint32_t max_parked_ops = 256;
+  // Adaptive durability: worker 0 samples the observed workload (read/write
+  // mix, durable-lag p99, commit stalls) every interval and queues a live
+  // provider switch when the policy recommends one. 0 disables; requires a
+  // backend that supports RequestProviderSwitch (the txdb backend).
+  uint32_t adaptive_interval_ms = 0;
+  durability::AdaptivePolicy::Options adaptive;
 };
 
 class KvServer {
@@ -118,6 +125,7 @@ class KvServer {
   void HandleCheckpoint(Connection* c, const net::Request& req);
   void HandleCommitPoint(Connection* c, const net::Request& req);
   void HandleStats(Connection* c, const net::Request& req);
+  void HandleProvider(Connection* c, const net::Request& req);
   // Answers a TXN-staging protocol violation: BAD_REQUEST as op TXN (the
   // client correlates chunked transactions by their final-TXN seq), then
   // close-after-flush — staging state is unreliable past the violation.
@@ -129,6 +137,7 @@ class KvServer {
   void DestroyConnection(Worker& w, Connection* c);
   void TickDetached();
   void MaybePeriodicCheckpoint();
+  void MaybeAdaptiveSwitch();
   bool AnyWorkPending(const Worker& w) const;
   void ShutdownDrainSessions(std::vector<kv::Session*> sessions);
   // Instant-restart serving surface.
@@ -171,6 +180,10 @@ class KvServer {
   std::vector<kv::Session*> draining_;
 
   uint64_t last_periodic_ckpt_ns_ = 0;  // worker 0 only
+
+  // Adaptive durability driver (worker 0 only).
+  durability::AdaptivePolicy adaptive_policy_;
+  uint64_t last_adaptive_ns_ = 0;
 
   // Instant-restart state (recover_on_start). `recovery_installed_` flips
   // once StartRecovery() pins the commit point (sessions may be created);

@@ -169,6 +169,10 @@ void EncodeRequest(const Request& req, std::vector<char>* out) {
       AppendPod<uint64_t>(out, req.start_row);
       AppendPod<uint32_t>(out, req.max_rows);
       break;
+    case Op::kProvider:
+      AppendPod<uint8_t>(out, static_cast<uint8_t>(req.provider_action));
+      AppendPod<uint8_t>(out, static_cast<uint8_t>(req.provider_kind));
+      break;
   }
 }
 
@@ -255,6 +259,12 @@ void EncodeResponse(const Response& resp, std::vector<char>* out) {
         }
       }
       break;
+    case Op::kProvider:
+      AppendPod<uint8_t>(out, static_cast<uint8_t>(resp.provider_kind));
+      AppendPod<uint8_t>(out, resp.provider_pending ? 1 : 0);
+      AppendPod<uint64_t>(out, resp.provider_switches);
+      AppendPod<uint64_t>(out, resp.provider_last_boundary);
+      break;
   }
 }
 
@@ -264,7 +274,7 @@ bool DecodeRequest(std::string_view payload, Request* out) {
   uint8_t op = 0;
   if (!r.Pod(&op) || !r.Pod(&out->seq)) return false;
   if (op < static_cast<uint8_t>(Op::kHello) ||
-      op > static_cast<uint8_t>(Op::kDump)) {
+      op > static_cast<uint8_t>(Op::kProvider)) {
     return false;
   }
   out->op = static_cast<Op>(op);
@@ -317,6 +327,18 @@ bool DecodeRequest(std::string_view payload, Request* out) {
       }
       if (out->max_rows == 0) return false;
       break;
+    case Op::kProvider: {
+      uint8_t action = 0;
+      uint8_t kind = 0;
+      if (!r.Pod(&action) || !r.Pod(&kind)) return false;
+      if (action > kMaxProviderAction ||
+          kind > durability::kMaxProviderKind) {
+        return false;
+      }
+      out->provider_action = static_cast<ProviderAction>(action);
+      out->provider_kind = static_cast<durability::ProviderKind>(kind);
+      break;
+    }
   }
   return r.AtEnd();
 }
@@ -331,7 +353,7 @@ bool DecodeResponse(std::string_view payload, Response* out) {
     return false;
   }
   if (op < static_cast<uint8_t>(Op::kHello) ||
-      op > static_cast<uint8_t>(Op::kDump) ||
+      op > static_cast<uint8_t>(Op::kProvider) ||
       op == static_cast<uint8_t>(Op::kTxnChunk) ||  // never a response op
       status > kMaxWireStatus) {
     return false;
@@ -402,6 +424,19 @@ bool DecodeResponse(std::string_view payload, Response* out) {
         }
       }
       break;
+    case Op::kProvider: {
+      uint8_t kind = 0;
+      uint8_t pending = 0;
+      if (!r.Pod(&kind) || !r.Pod(&pending) ||
+          !r.Pod(&out->provider_switches) ||
+          !r.Pod(&out->provider_last_boundary)) {
+        return false;
+      }
+      if (kind > durability::kMaxProviderKind || pending > 1) return false;
+      out->provider_kind = static_cast<durability::ProviderKind>(kind);
+      out->provider_pending = pending != 0;
+      break;
+    }
   }
   return r.AtEnd();
 }
@@ -419,6 +454,7 @@ const char* OpName(Op op) {
     case Op::kTxn: return "TXN";
     case Op::kTxnChunk: return "TXN_CHUNK";
     case Op::kDump: return "DUMP";
+    case Op::kProvider: return "PROVIDER";
   }
   return "?";
 }

@@ -31,6 +31,8 @@
 //   DUMP          u32 table, u64 start_row,     u32 value_size, u64 rows_total,
 //                 u32 max_rows                  u64 next_row, u32 n,
 //                                               n × (u64 row, value_size bytes)
+//   PROVIDER      u8 action (0 query,           u8 kind, u8 pending,
+//                 1 switch), u8 kind            u64 switches, u64 last_boundary
 //
 // A TXN request carries a multi-key read/write set executed atomically by a
 // transactional backend. Each op is:
@@ -70,6 +72,13 @@
 // stats_kind 1 returns the checkpoint lifecycle trace as Chrome
 // trace_event JSON (capped below kMaxFrameBytes; newest spans win).
 //
+// PROVIDER inspects or switches the backend's durability provider without a
+// session. action 0 (QUERY) reports the current provider kind, whether a
+// switch is pending, the completed-switch count, and the last boundary
+// version. action 1 (SWITCH) queues an asynchronous live switch to `kind`
+// and answers with the same report (kind still the CURRENT provider — poll
+// QUERY to observe the flip); backends that cannot switch answer ERROR.
+//
 // HELLO must be the first request on a connection. guid 0 asks for a fresh
 // session; a nonzero guid resumes a live (detached) or recovered session,
 // and `recovered_serial` reports the serial the session resumes at — the
@@ -80,6 +89,8 @@
 #include <cstdint>
 #include <string_view>
 #include <vector>
+
+#include "durability/provider.h"
 
 namespace cpr::net {
 
@@ -99,6 +110,7 @@ enum class Op : uint8_t {
   kTxn = 9,
   kTxnChunk = 10,
   kDump = 11,
+  kProvider = 12,
 };
 
 // TXN op kinds (`TxnWireOp::kind`).
@@ -123,6 +135,15 @@ enum class StatsKind : uint8_t {
   kTraceJson = 1,    // Chrome trace_event JSON of checkpoint spans
 };
 constexpr uint8_t kMaxStatsKind = static_cast<uint8_t>(StatsKind::kTraceJson);
+
+// PROVIDER request action. The provider kind itself reuses
+// durability::ProviderKind — its values are wire-stable by contract.
+enum class ProviderAction : uint8_t {
+  kQuery = 0,   // report the current provider
+  kSwitch = 1,  // queue an asynchronous live switch to `provider_kind`
+};
+constexpr uint8_t kMaxProviderAction =
+    static_cast<uint8_t>(ProviderAction::kSwitch);
 
 enum class WireStatus : uint8_t {
   kOk = 0,
@@ -182,6 +203,9 @@ struct Request {
   uint32_t table = 0;              // DUMP
   uint64_t start_row = 0;          // DUMP
   uint32_t max_rows = 0;           // DUMP
+  ProviderAction provider_action = ProviderAction::kQuery;  // PROVIDER
+  durability::ProviderKind provider_kind =
+      durability::ProviderKind::kCpr;  // PROVIDER (SWITCH target)
 };
 
 struct Response {
@@ -200,6 +224,11 @@ struct Response {
   uint64_t dump_rows_total = 0;   // DUMP: table row count
   uint64_t dump_next_row = 0;     // DUMP: resume cursor (0 = exhausted)
   std::vector<DumpRow> dump_rows; // DUMP (value_size field holds row width)
+  durability::ProviderKind provider_kind =
+      durability::ProviderKind::kCpr;   // PROVIDER: current provider
+  bool provider_pending = false;        // PROVIDER: switch queued
+  uint64_t provider_switches = 0;       // PROVIDER: completed switches
+  uint64_t provider_last_boundary = 0;  // PROVIDER: last boundary version
 };
 
 // -- Framing ----------------------------------------------------------------

@@ -21,6 +21,7 @@
 #include <functional>
 #include <vector>
 
+#include "durability/provider.h"
 #include "faster/checkpoint_state.h"
 #include "faster/faster.h"
 #include "util/status.h"
@@ -194,6 +195,31 @@ class Backend {
     (void)session;
     return 0;
   }
+
+  // -- Durability provider (adaptive durability) -------------------------
+  // Which durability scheme currently backs the store. FasterKv-based
+  // backends are CPR by construction; the transactional backend serves any
+  // of CPR / CALC / WAL and can switch between them live.
+  virtual durability::ProviderKind Provider() const {
+    return durability::ProviderKind::kCpr;
+  }
+  // Synchronously switches the store to `target` at a checkpoint boundary.
+  // Blocks through the quiesce; must not be called from a thread that is
+  // also responsible for refreshing sessions.
+  virtual Status SwitchProvider(durability::ProviderKind target) {
+    (void)target;
+    return Status::InvalidArgument("backend cannot switch providers");
+  }
+  // Queues a switch and returns immediately; false when unsupported.
+  virtual bool RequestProviderSwitch(durability::ProviderKind target) {
+    (void)target;
+    return false;
+  }
+  virtual bool ProviderSwitchPending() const { return false; }
+  // Completed live switches since construction.
+  virtual uint64_t ProviderSwitches() const { return 0; }
+  // Boundary-checkpoint version of the last completed switch (0: none).
+  virtual uint64_t ProviderLastBoundary() const { return 0; }
 
   // -- Introspection -----------------------------------------------------
   virtual uint32_t value_size() const = 0;

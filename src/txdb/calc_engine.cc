@@ -48,10 +48,17 @@ TxnResult CalcEngine::Execute(ThreadContext& ctx, const Transaction& txn) {
 
   const uint64_t exec_start2 = NowNanos();
   const uint64_t s = state_.load(std::memory_order_seq_cst);
+  // With the commit machine at rest, any future point is chosen from a log
+  // tail past this LSN, so the transaction lands before it. While a capture
+  // is active the LSN-vs-point comparison decides.
+  bool covered = true;
   if (ActiveOf(s)) {
     const uint64_t v = VersionOf(s);
     if (lsn >= point_lsn_.load(std::memory_order_acquire)) {
-      // Not part of the checkpoint: preserve the pre-point value.
+      // Not part of the checkpoint: preserve the pre-point value. The
+      // thread's point stays put until the capture concludes (OnRefresh
+      // then republishes the full serial).
+      covered = false;
       for (const LockedRecord& lr : ctx.locked) {
         RecordHeader& h = lr.table->header(lr.row);
         if (h.version.load(std::memory_order_acquire) < v + 1) {
@@ -60,21 +67,36 @@ TxnResult CalcEngine::Execute(ThreadContext& ctx, const Transaction& txn) {
                           std::memory_order_release);
         }
       }
-    } else {
-      // Part of the checkpoint: record this thread's point (best effort —
-      // CALC's native guarantee is the global LSN prefix, not per-thread
-      // points).
-      ctx.cpr_point_serial.store(ctx.serial.load(std::memory_order_relaxed) + 1,
-                                 std::memory_order_release);
     }
   }
 
   ApplyOps(txn, ctx);
+  const uint64_t done = ctx.serial.load(std::memory_order_relaxed) + 1;
+  ctx.serial.store(done, std::memory_order_release);
+  if (covered) {
+    // Publish the point before releasing locks: a pre-point transaction held
+    // its record latches before the capture began, so the capture's row copy
+    // (latch-ordered after this release) and the point collection behind it
+    // observe this store — per-thread points stay exact for writers.
+    ctx.cpr_point_serial.store(done, std::memory_order_release);
+  }
   ReleaseLocks(ctx);
-  ctx.serial.fetch_add(1, std::memory_order_release);
   ctx.counters.exec_ns += NowNanos() - exec_start2;
   ctx.counters.committed_txns += 1;
   return TxnResult::kCommitted;
+}
+
+void CalcEngine::OnRefresh(ThreadContext& ctx) {
+  // No phase machine to drive — a CALC refresh only republishes the thread's
+  // committed prefix. Observing the commit machine at rest proves every
+  // transaction this thread committed precedes any future capture point, so
+  // its point is its serial. This is what lets an idle session's durable
+  // acks release on the next checkpoint (transactions that rode in behind an
+  // in-flight point advance here once that capture concludes).
+  if (!ActiveOf(state_.load(std::memory_order_seq_cst))) {
+    ctx.cpr_point_serial.store(ctx.serial.load(std::memory_order_relaxed),
+                               std::memory_order_release);
+  }
 }
 
 uint64_t CalcEngine::RequestCommit(CommitCallback callback) {
@@ -120,13 +142,6 @@ void CalcEngine::CaptureAndPersist(uint64_t v) {
   Storage& storage = db_.storage();
   CheckpointMeta meta;
   meta.version = v;
-  for (const auto& ctx : db_.contexts()) {
-    if (ctx != nullptr) {
-      meta.points.push_back(CommitPoint{
-          ctx->thread_id,
-          ctx->cpr_point_serial.load(std::memory_order_acquire), ctx->guid});
-    }
-  }
 
   std::vector<char> data;
   for (uint32_t t = 0; t < storage.num_tables(); ++t) {
@@ -142,6 +157,17 @@ void CalcEngine::CaptureAndPersist(uint64_t v) {
               : static_cast<const char*>(table.live(row));
       data.insert(data.end(), src, src + vsize);
       h.latch.Unlock();
+    }
+  }
+
+  // Collect points AFTER the row copy: a pre-point writer published its
+  // point before releasing the latches the copy just took, so the serials
+  // read here cover everything the captured image contains.
+  for (const auto& ctx : db_.contexts()) {
+    if (ctx != nullptr) {
+      meta.points.push_back(CommitPoint{
+          ctx->thread_id,
+          ctx->cpr_point_serial.load(std::memory_order_acquire), ctx->guid});
     }
   }
 

@@ -32,11 +32,18 @@ class CalcEngine : public Engine {
   ~CalcEngine() override;
 
   TxnResult Execute(ThreadContext& ctx, const Transaction& txn) override;
+  void OnRefresh(ThreadContext& ctx) override;
   uint64_t RequestCommit(CommitCallback callback) override;
   Status WaitForCommit(uint64_t version) override;
   bool CommitInProgress() const override;
   uint64_t CurrentVersion() const override;
   Status Recover(std::vector<CommitPoint>* points) override;
+  // Provider switch-in: inactive at `next_version` so checkpoint
+  // generations continue monotonically from the old provider's boundary.
+  void SeedVersion(uint64_t next_version) override {
+    state_.store(Pack(/*active=*/false, next_version),
+                 std::memory_order_release);
+  }
 
   uint64_t log_tail() const {
     return log_tail_.load(std::memory_order_acquire);

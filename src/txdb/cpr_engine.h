@@ -43,6 +43,12 @@ class CprEngine : public Engine {
   bool CommitInProgress() const override;
   uint64_t CurrentVersion() const override;
   Status Recover(std::vector<CommitPoint>* points) override;
+  // Provider switch-in: rest at `next_version` so checkpoint generations
+  // continue monotonically from the boundary the old provider wrote.
+  void SeedVersion(uint64_t next_version) override {
+    state_.store(Pack(DbPhase::kRest, next_version),
+                 std::memory_order_release);
+  }
 
  private:
   static uint64_t Pack(DbPhase phase, uint64_t version) {

@@ -15,23 +15,12 @@ TransactionalDb::TransactionalDb(Options options)
     : options_(std::move(options)),
       epoch_(options_.max_threads + 8),
       storage_(std::make_unique<Storage>(
-          /*dual_version=*/options_.mode == DurabilityMode::kCpr ||
-          options_.mode == DurabilityMode::kCalc)) {
+          /*dual_version=*/options_.allow_switch ||
+          options_.mode == DurabilityMode::kCpr ||
+          options_.mode == DurabilityMode::kCalc)),
+      mode_(options_.mode) {
   contexts_.resize(options_.max_threads);
-  switch (options_.mode) {
-    case DurabilityMode::kNone:
-      engine_ = std::make_unique<NullEngine>(*this);
-      break;
-    case DurabilityMode::kCpr:
-      engine_ = std::make_unique<CprEngine>(*this);
-      break;
-    case DurabilityMode::kCalc:
-      engine_ = std::make_unique<CalcEngine>(*this);
-      break;
-    case DurabilityMode::kWal:
-      engine_ = std::make_unique<WalEngine>(*this);
-      break;
-  }
+  active_engine_.store(EngineFor(options_.mode), std::memory_order_release);
 
   // Absorb the per-thread breakdown counters (and this db's epoch lag) into
   // the unified registry: pull-style, so the transaction hot path records
@@ -62,6 +51,48 @@ TransactionalDb::TransactionalDb(Options options)
 
 TransactionalDb::~TransactionalDb() {
   obs::MetricsRegistry::Default().RemoveCollector(obs_collector_id_);
+}
+
+Engine* TransactionalDb::EngineFor(DurabilityMode mode) {
+  const size_t idx = static_cast<size_t>(mode);
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  if (engines_[idx] == nullptr) {
+    switch (mode) {
+      case DurabilityMode::kNone:
+        engines_[idx] = std::make_unique<NullEngine>(*this);
+        break;
+      case DurabilityMode::kCpr:
+        engines_[idx] = std::make_unique<CprEngine>(*this);
+        break;
+      case DurabilityMode::kCalc:
+        engines_[idx] = std::make_unique<CalcEngine>(*this);
+        break;
+      case DurabilityMode::kWal:
+        engines_[idx] = std::make_unique<WalEngine>(*this);
+        break;
+    }
+  }
+  return engines_[idx].get();
+}
+
+Status TransactionalDb::PrepareSwitch(DurabilityMode target) {
+  if (!options_.allow_switch) {
+    return Status::InvalidArgument(
+        "engine switching requires Options::allow_switch");
+  }
+  return EngineFor(target)->PrepareActivation();
+}
+
+void TransactionalDb::CompleteSwitch(DurabilityMode target,
+                                     uint64_t seed_version) {
+  Engine* engine = EngineFor(target);
+  engine->SeedVersion(seed_version);
+  // The swap itself: refreshes and transactions past this point reach the
+  // new engine. The old engine stays alive (quiesced) so a refresh that
+  // loaded the old pointer just before the store still lands on valid
+  // memory — and on a no-op, since its commit machine is at rest.
+  active_engine_.store(engine, std::memory_order_release);
+  mode_.store(target, std::memory_order_release);
 }
 
 uint32_t TransactionalDb::CreateTable(uint64_t rows, uint32_t value_size) {
@@ -144,18 +175,18 @@ void TransactionalDb::DeregisterThread(ThreadContext* ctx) {
 
 TxnResult TransactionalDb::Execute(ThreadContext& ctx,
                                    const Transaction& txn) {
-  return engine_->Execute(ctx, txn);
+  return active_engine_.load(std::memory_order_acquire)->Execute(ctx, txn);
 }
 
 void TransactionalDb::Refresh(ThreadContext& ctx) {
   // Order matters: thread-local phase transitions happen before the epoch
   // publish, so that "epoch safe" implies "every thread transitioned".
-  engine_->OnRefresh(ctx);
+  active_engine_.load(std::memory_order_acquire)->OnRefresh(ctx);
   epoch_.RefreshSlot(ctx.epoch_slot);
 }
 
 uint64_t TransactionalDb::RequestCommit(CommitCallback callback) {
-  return engine_->RequestCommit(std::move(callback));
+  return active_engine_.load(std::memory_order_acquire)->RequestCommit(std::move(callback));
 }
 
 Status TransactionalDb::WaitForCommit(uint64_t version) {
@@ -166,15 +197,15 @@ Status TransactionalDb::WaitForCommit(uint64_t version) {
         "WaitForCommit(0): 0 is not a commit version (RequestCommit "
         "returned it because a commit was already in flight)");
   }
-  return engine_->WaitForCommit(version);
+  return active_engine_.load(std::memory_order_acquire)->WaitForCommit(version);
 }
 
 bool TransactionalDb::CommitInProgress() const {
-  return engine_->CommitInProgress();
+  return active_engine_.load(std::memory_order_acquire)->CommitInProgress();
 }
 
 uint64_t TransactionalDb::CurrentVersion() const {
-  return engine_->CurrentVersion();
+  return active_engine_.load(std::memory_order_acquire)->CurrentVersion();
 }
 
 Status TransactionalDb::Recover(std::vector<CommitPoint>* points) {
@@ -190,7 +221,7 @@ Status TransactionalDb::Recover(std::vector<CommitPoint>* points) {
   }
 #endif
   std::vector<CommitPoint> local;
-  Status s = engine_->Recover(points != nullptr ? points : &local);
+  Status s = active_engine_.load(std::memory_order_acquire)->Recover(points != nullptr ? points : &local);
   return s;
 }
 

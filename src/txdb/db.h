@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -116,6 +117,12 @@ class TransactionalDb {
     // exponential backoff before the commit is declared failed.
     uint32_t checkpoint_retry_attempts = 3;
     uint32_t checkpoint_retry_backoff_ms = 5;
+    // Allow the durability engine to be switched after construction
+    // (PrepareSwitch/CompleteSwitch). Forces dual-version storage so every
+    // engine — including one switched in later — finds the record layout it
+    // needs. The serving layer (TxDbBackend) always enables this; the
+    // standalone benchmarks keep the mode-exact layout.
+    bool allow_switch = false;
   };
 
   explicit TransactionalDb(Options options);
@@ -171,6 +178,28 @@ class TransactionalDb {
   bool CommitInProgress() const;
   uint64_t CurrentVersion() const;
 
+  // Durability engine currently active (changes only via CompleteSwitch).
+  DurabilityMode mode() const {
+    return mode_.load(std::memory_order_acquire);
+  }
+
+  // -- Live engine switch (requires Options::allow_switch) ----------------
+  // The caller owns the protocol (durability::SwitchController): the
+  // database must be quiesced — no transaction executing, no commit in
+  // flight — from PrepareSwitch until CompleteSwitch returns. Refreshes may
+  // (and must) keep running throughout; they reach the OLD engine until the
+  // atomic swap in CompleteSwitch.
+  //
+  // PrepareSwitch lazily constructs the target engine and readies it for
+  // activation (a WAL target truncates its stale log — safe pre-publish,
+  // because the durable provider manifest still names the old engine).
+  Status PrepareSwitch(DurabilityMode target);
+  // Seeds the target's version counter (its next commit version, > the
+  // boundary checkpoint's) and atomically makes it the active engine. Also
+  // the cold-switch entry recovery uses to honor a provider manifest that
+  // names a different engine than the configured one (seed_version 1).
+  void CompleteSwitch(DurabilityMode target, uint64_t seed_version);
+
   // Rebuilds state from the durability directory (latest checkpoint or log
   // replay). Must be called before any thread registers. Returns the
   // recovered per-thread commit points (empty for WAL replay, which recovers
@@ -193,10 +222,18 @@ class TransactionalDb {
   }
 
  private:
+  // Lazily constructs (and caches) the engine for `mode`. Engines, once
+  // built, live until the database dies: a stale OnRefresh racing an engine
+  // swap lands on a quiesced-but-alive engine instead of freed memory.
+  Engine* EngineFor(DurabilityMode mode);
+
   Options options_;
   EpochFramework epoch_;
   std::unique_ptr<Storage> storage_;
-  std::unique_ptr<Engine> engine_;
+  std::mutex engine_mu_;  // guards engines_ construction
+  std::unique_ptr<Engine> engines_[4];  // indexed by DurabilityMode
+  std::atomic<Engine*> active_engine_{nullptr};
+  std::atomic<DurabilityMode> mode_;
   std::vector<std::unique_ptr<ThreadContext>> contexts_;
   std::atomic<uint32_t> next_thread_id_{0};
   // Metrics-registry collector exposing AggregateCounters() + epoch lag
@@ -222,6 +259,13 @@ class Engine {
   virtual bool CommitInProgress() const = 0;
   virtual uint64_t CurrentVersion() const { return 1; }
   virtual Status Recover(std::vector<CommitPoint>* points) = 0;
+  // Live-switch hooks (TransactionalDb::PrepareSwitch/CompleteSwitch; the
+  // database is quiesced around both). PrepareActivation readies the engine
+  // for service after a period of inactivity — WAL truncates its stale log.
+  // SeedVersion sets the engine's next commit version so checkpoint
+  // generations stay monotonic across engine switches.
+  virtual Status PrepareActivation() { return Status::Ok(); }
+  virtual void SeedVersion(uint64_t next_version) { (void)next_version; }
 
  protected:
   // Strict 2PL / NO-WAIT acquisition of the whole read-write set

@@ -1,10 +1,44 @@
 #include "txdb/txdb_backend.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "txdb/checkpoint_io.h"
+
 namespace cpr::txdb {
+
+namespace {
+// Provider-manifest generations kept on disk (newest first).
+constexpr uint32_t kRetainProviderManifests = 8;
+}  // namespace
+
+durability::ProviderKind ModeToProviderKind(DurabilityMode mode) {
+  switch (mode) {
+    case DurabilityMode::kCalc:
+      return durability::ProviderKind::kCalc;
+    case DurabilityMode::kWal:
+      return durability::ProviderKind::kWal;
+    case DurabilityMode::kCpr:
+    case DurabilityMode::kNone:  // never served; mapped for totality
+      break;
+  }
+  return durability::ProviderKind::kCpr;
+}
+
+DurabilityMode ProviderKindToMode(durability::ProviderKind kind) {
+  switch (kind) {
+    case durability::ProviderKind::kCalc:
+      return DurabilityMode::kCalc;
+    case durability::ProviderKind::kWal:
+      return DurabilityMode::kWal;
+    case durability::ProviderKind::kCpr:
+      break;
+  }
+  return DurabilityMode::kCpr;
+}
 
 // -- SessionAdapter ----------------------------------------------------------
 
@@ -52,11 +86,69 @@ TxDbBackend::TxDbBackend(Options options)
   table0_rows_ = db_.table(0).rows();
   table0_value_size_ = db_.table(0).value_size();
   zero_value_.assign(table0_value_size_, 0);
+
+  // Provider-manifest bootstrap: the durable manifest chain outranks the
+  // configured mode (a restart with a different --mode must keep honoring
+  // what the directory says it contains). Cold adoption goes through
+  // CompleteSwitch ALONE — PrepareSwitch would reset the adopted engine,
+  // truncating a WAL log that Recover() still has to replay.
+  uint64_t generation = 0;
+  durability::ProviderManifest m;
+  const Status ms =
+      durability::ReadLatestProviderManifest(options_.db.durability_dir, &m);
+  if (ms.ok()) {
+    generation = m.generation;
+    const DurabilityMode want = ProviderKindToMode(m.kind);
+    if (want != db_.mode()) db_.CompleteSwitch(want, /*seed_version=*/1);
+  } else if (ms.code() == Status::Code::kNotFound) {
+    // Fresh (or pre-manifest) directory: anchor the chain at generation 1
+    // naming the configured provider. Best-effort — if the write fails we
+    // serve at generation 0 and the first switch publishes generation 1.
+    const durability::ProviderManifest first{1, ModeToProviderKind(db_.mode()),
+                                             0};
+    if (durability::WriteProviderManifest(options_.db.durability_dir, first,
+                                          options_.db.sync_to_disk)
+            .ok()) {
+      generation = 1;
+    }
+  }
+  // (Corruption — no manifest verifies — also serves the configured mode at
+  // generation 0; the next publish rebuilds the chain.)
+  // The private-base upcast must happen here, in member scope —
+  // make_unique's forwarding runs in std:: where the base is inaccessible.
+  durability::SwitchHost& host = *this;
+  switch_ = std::make_unique<durability::SwitchController>(host, generation);
+
   pump_ctx_ = db_.RegisterThread();
   pump_thread_ = std::thread([this] { PumpLoop(); });
+  switch_thread_ = std::thread([this] { SwitchLoop(); });
+
+  static std::atomic<uint64_t> next_backend_id{0};
+  const std::string label =
+      "{backend=\"" + std::to_string(next_backend_id.fetch_add(1)) + "\"}";
+  provider_collector_id_ = obs::MetricsRegistry::Default().AddCollector(
+      [this, label](const obs::MetricsRegistry::EmitFn& emit) {
+        emit("cpr_durability_provider" + label,
+             static_cast<double>(static_cast<uint8_t>(Provider())));
+        emit("cpr_durability_switch_total" + label,
+             static_cast<double>(switch_->switches()));
+        emit("cpr_durability_last_switch_version" + label,
+             static_cast<double>(switch_->last_boundary_version()));
+        emit("cpr_durability_switch_pending" + label,
+             ProviderSwitchPending() ? 1.0 : 0.0);
+      });
 }
 
 TxDbBackend::~TxDbBackend() {
+  obs::MetricsRegistry::Default().RemoveCollector(provider_collector_id_);
+  // The switch thread goes first, while the pump still runs: a switch in
+  // flight needs epoch progress to conclude its commit wait.
+  {
+    std::lock_guard<std::mutex> lock(swreq_mu_);
+    stop_switch_ = true;
+  }
+  swreq_cv_.notify_all();
+  switch_thread_.join();
   stop_pump_.store(true, std::memory_order_release);
   pump_thread_.join();
   {
@@ -74,6 +166,206 @@ void TxDbBackend::PumpLoop() {
   while (!stop_pump_.load(std::memory_order_acquire)) {
     db_.Refresh(*pump_ctx_);
     std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+}
+
+// -- Op-admission gate -------------------------------------------------------
+
+void TxDbBackend::EnterOp() {
+  for (;;) {
+    active_ops_.fetch_add(1, std::memory_order_acquire);
+    if (!ops_paused_.load(std::memory_order_acquire)) return;  // fast path
+    // Paused: hand the ticket back (waking the pauser if we were the last
+    // holder) and wait for the resume.
+    active_ops_.fetch_sub(1, std::memory_order_release);
+    std::unique_lock<std::mutex> lock(gate_mu_);
+    gate_cv_.notify_all();
+    gate_cv_.wait(lock, [this] {
+      return !ops_paused_.load(std::memory_order_acquire);
+    });
+  }
+}
+
+void TxDbBackend::ExitOp() {
+  const uint32_t prev = active_ops_.fetch_sub(1, std::memory_order_release);
+  if (prev == 1 && ops_paused_.load(std::memory_order_acquire)) {
+    // Last ticket out during a pause; the notify is under gate_mu_ so it
+    // cannot slip between the pauser's predicate check and its wait.
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    gate_cv_.notify_all();
+  }
+}
+
+void TxDbBackend::PauseOps() {
+  std::unique_lock<std::mutex> lock(gate_mu_);
+  ops_paused_.store(true, std::memory_order_release);
+  gate_cv_.wait(lock, [this] {
+    return active_ops_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void TxDbBackend::ResumeOps() {
+  std::lock_guard<std::mutex> lock(gate_mu_);
+  ops_paused_.store(false, std::memory_order_release);
+  gate_cv_.notify_all();
+}
+
+// -- Provider switching ------------------------------------------------------
+
+durability::ProviderKind TxDbBackend::CurrentProvider() const {
+  return ModeToProviderKind(db_.mode());
+}
+
+void TxDbBackend::WaitForInflightCommit() {
+  for (;;) {
+    uint64_t token = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      token = pending_token_;
+    }
+    if (token != 0) {
+      // The outcome is irrelevant here — the commit just has to conclude.
+      (void)WaitForCheckpoint(token);
+      continue;
+    }
+    if (db_.CommitInProgress()) {
+      // A commit started outside this backend's token machinery (engine
+      // internal); poll it out.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    return;
+  }
+}
+
+bool TxDbBackend::CommitInFlight() const { return CheckpointInProgress(); }
+
+void TxDbBackend::CaptureFullImage(CheckpointMeta* meta,
+                                   std::vector<char>* data) {
+  uint64_t total = 0;
+  for (uint32_t t = 0; t < db_.num_tables(); ++t) {
+    Table& table = db_.table(t);
+    meta->table_schemas.emplace_back(table.rows(), table.value_size());
+    total += table.rows() * table.value_size();
+  }
+  data->clear();
+  data->reserve(total);
+  for (uint32_t t = 0; t < db_.num_tables(); ++t) {
+    Table& table = db_.table(t);
+    // No latches: the database is quiesced, so no writer can hold one.
+    for (uint64_t row = 0; row < table.rows(); ++row) {
+      const char* src = static_cast<const char*>(table.live(row));
+      data->insert(data->end(), src, src + table.value_size());
+    }
+  }
+  meta->data_bytes = data->size();
+}
+
+Status TxDbBackend::WriteBoundaryCheckpoint(uint64_t* version_out) {
+  // The database is quiesced (ops drained, no commit in flight): capture a
+  // full image directly under the old provider's current version, making it
+  // an ordinary generation of the checkpoint chain. Deliberately NO
+  // RetainCheckpoints here — the still-active manifest may name a WAL base
+  // this GC pass would be allowed to delete; the next engine checkpoint
+  // collects garbage as usual.
+  const uint64_t v = db_.CurrentVersion();
+  CheckpointMeta meta;
+  meta.version = v;
+  meta.is_delta = false;
+  std::vector<char> data;
+  CaptureFullImage(&meta, &data);
+  for (const auto& ctx : db_.contexts()) {
+    if (ctx == nullptr) continue;
+    meta.points.push_back(
+        CommitPoint{ctx->thread_id,
+                    ctx->serial.load(std::memory_order_acquire), ctx->guid});
+  }
+  const TransactionalDb::Options& o = db_.options();
+  const Status s = WriteCheckpointWithRetry(
+      o.durability_dir, meta, data, o.sync_to_disk, o.checkpoint_retry_attempts,
+      o.checkpoint_retry_backoff_ms);
+  if (!s.ok()) return s;
+  // The image is durable: its points are durable commit points now, exactly
+  // as if an engine commit had delivered them.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const CommitPoint& p : meta.points) {
+      if (p.guid == 0) continue;
+      uint64_t& d = durable_points_[p.guid];
+      if (p.serial > d) d = p.serial;
+    }
+  }
+  *version_out = v;
+  return Status::Ok();
+}
+
+Status TxDbBackend::PrepareProvider(durability::ProviderKind target) {
+  return db_.PrepareSwitch(ProviderKindToMode(target));
+}
+
+Status TxDbBackend::PublishManifest(
+    const durability::ProviderManifest& manifest) {
+  const Status s = durability::WriteProviderManifest(
+      db_.options().durability_dir, manifest, db_.options().sync_to_disk);
+  if (!s.ok()) return s;
+  (void)durability::RetainProviderManifests(db_.options().durability_dir,
+                                            kRetainProviderManifests);
+  return Status::Ok();
+}
+
+void TxDbBackend::ActivateProvider(durability::ProviderKind target,
+                                   uint64_t seed_version) {
+  db_.CompleteSwitch(ProviderKindToMode(target), seed_version);
+}
+
+durability::ProviderKind TxDbBackend::Provider() const {
+  return ModeToProviderKind(db_.mode());
+}
+
+Status TxDbBackend::SwitchProvider(durability::ProviderKind target) {
+  const Status s = switch_->Switch(target);
+  std::lock_guard<std::mutex> lock(swreq_mu_);
+  last_switch_status_ = s;
+  return s;
+}
+
+bool TxDbBackend::RequestProviderSwitch(durability::ProviderKind target) {
+  std::lock_guard<std::mutex> lock(swreq_mu_);
+  if (stop_switch_) return false;
+  if (ProviderKindToMode(target) == db_.mode() && !swreq_pending_) {
+    return true;  // already there — accepted as a no-op
+  }
+  swreq_pending_ = true;  // a pending different-target request is superseded
+  swreq_target_ = target;
+  swreq_cv_.notify_all();
+  return true;
+}
+
+bool TxDbBackend::ProviderSwitchPending() const {
+  std::lock_guard<std::mutex> lock(swreq_mu_);
+  return swreq_pending_;
+}
+
+uint64_t TxDbBackend::ProviderSwitches() const { return switch_->switches(); }
+
+uint64_t TxDbBackend::ProviderLastBoundary() const {
+  return switch_->last_boundary_version();
+}
+
+void TxDbBackend::SwitchLoop() {
+  for (;;) {
+    durability::ProviderKind target;
+    {
+      std::unique_lock<std::mutex> lock(swreq_mu_);
+      swreq_cv_.wait(lock,
+                     [this] { return swreq_pending_ || stop_switch_; });
+      if (stop_switch_) return;  // a pending request at shutdown is dropped
+      target = swreq_target_;
+      swreq_pending_ = false;
+    }
+    const Status s = switch_->Switch(target);
+    std::lock_guard<std::mutex> lock(swreq_mu_);
+    last_switch_status_ = s;
   }
 }
 
@@ -161,6 +453,7 @@ void TxDbBackend::ExecuteCommitted(ThreadContext& ctx,
 
 faster::OpStatus TxDbBackend::Read(kv::Session& session, uint64_t key,
                                    void* value_out) {
+  OpGuard guard(*this);
   ThreadContext& ctx = Ctx(session);
   Transaction txn;
   txn.ops.push_back(
@@ -172,6 +465,7 @@ faster::OpStatus TxDbBackend::Read(kv::Session& session, uint64_t key,
 
 faster::OpStatus TxDbBackend::Upsert(kv::Session& session, uint64_t key,
                                      const void* value) {
+  OpGuard guard(*this);
   ThreadContext& ctx = Ctx(session);
   Transaction txn;
   txn.ops.push_back(
@@ -182,6 +476,7 @@ faster::OpStatus TxDbBackend::Upsert(kv::Session& session, uint64_t key,
 
 faster::OpStatus TxDbBackend::Rmw(kv::Session& session, uint64_t key,
                                   int64_t delta) {
+  OpGuard guard(*this);
   ThreadContext& ctx = Ctx(session);
   Transaction txn;
   txn.ops.push_back(
@@ -192,6 +487,7 @@ faster::OpStatus TxDbBackend::Rmw(kv::Session& session, uint64_t key,
 
 faster::OpStatus TxDbBackend::Delete(kv::Session& session, uint64_t key) {
   // Rows of a fixed-size table always exist; delete means zero-fill.
+  OpGuard guard(*this);
   ThreadContext& ctx = Ctx(session);
   Transaction txn;
   txn.ops.push_back(
@@ -216,6 +512,7 @@ kv::TxnStatus TxDbBackend::Txn(kv::Session& session,
                                const std::vector<kv::TxnOp>& ops,
                                std::vector<std::vector<char>>* reads) {
   if (ops.empty()) return kv::TxnStatus::kBadRequest;
+  OpGuard guard(*this);
   ThreadContext& ctx = Ctx(session);
 
   // Validate the whole read-write set before touching anything: a rejected
@@ -321,6 +618,10 @@ bool TxDbBackend::Checkpoint(faster::CommitVariant variant, bool include_index,
                              uint64_t* token_out) {
   (void)variant;
   (void)include_index;
+  // Gated like an operation: a checkpoint must not start while a provider
+  // switch holds the quiesce (its boundary capture assumes no commit races
+  // in underneath it).
+  OpGuard guard(*this);
   std::lock_guard<std::mutex> lock(mu_);
   if (pending_token_ != 0) {
     // Coalesce: the in-flight commit's durable version covers this request
@@ -408,10 +709,7 @@ Status TxDbBackend::WaitForCheckpoint(uint64_t token) {
   return ws;
 }
 
-Status TxDbBackend::Recover() {
-  std::vector<CommitPoint> points;
-  const Status s = db_.Recover(&points);
-  if (!s.ok()) return s;
+void TxDbBackend::MergePoints(const std::vector<CommitPoint>& points) {
   std::lock_guard<std::mutex> lock(mu_);
   for (const CommitPoint& p : points) {
     if (p.guid == 0) continue;
@@ -419,6 +717,108 @@ Status TxDbBackend::Recover() {
     if (p.serial > d) d = p.serial;
     if (p.guid >= next_guid_) next_guid_ = p.guid + 1;
   }
+}
+
+Status TxDbBackend::Recover() {
+  // The constructor already cold-adopted the newest valid manifest's kind,
+  // so db_.mode() honors the chain; the manifest is re-read here for its
+  // recovery base.
+  durability::ProviderManifest m;
+  const Status ms = durability::ReadLatestProviderManifest(
+      db_.options().durability_dir, &m);
+  if (ms.ok() && m.kind == durability::ProviderKind::kWal) {
+    return RecoverWal(m);
+  }
+  // CPR / CALC — and legacy directories with no manifest chain: the ordinary
+  // checkpoint chain is the recovery source (a switch's boundary checkpoint
+  // is simply its newest generation).
+  std::vector<CommitPoint> points;
+  const Status s = db_.Recover(&points);
+  if (!s.ok()) return s;
+  MergePoints(points);
+  return Status::Ok();
+}
+
+Status TxDbBackend::RecoverWal(const durability::ProviderManifest& m) {
+  const std::string& dir = db_.options().durability_dir;
+  const TransactionalDb::Options& o = db_.options();
+
+  // Base image first (the boundary checkpoint the switch materialized), then
+  // the log replays the post-switch suffix on top of it.
+  std::vector<CommitPoint> base_points;
+  bool have_base = false;
+  if (m.base_version > 0) {
+    CheckpointMeta base_meta;
+    std::vector<char> base_data;
+    Status s = ReadCheckpointAt(dir, m.base_version, &base_meta, &base_data);
+    if (!s.ok()) return s;
+    s = ApplyCheckpointData(db_.storage(), base_meta, base_data);
+    if (!s.ok()) return s;
+    base_points = std::move(base_meta.points);
+    have_base = true;
+  }
+  std::vector<CommitPoint> log_points;
+  {
+    const Status s = db_.Recover(&log_points);
+    // An empty log is a legitimate durable state right after a switch
+    // (truncated, nothing flushed yet) — but only when a base exists.
+    if (!s.ok() &&
+        !(have_base && s.code() == Status::Code::kNotFound)) {
+      return s;
+    }
+  }
+
+  // Fold: log points supersede base points (higher serial wins). Points are
+  // keyed by guid when serving-session-bound, by thread otherwise.
+  std::vector<CommitPoint> merged;
+  auto fold = [&merged](const CommitPoint& p) {
+    for (CommitPoint& q : merged) {
+      const bool same = (p.guid != 0 || q.guid != 0)
+                            ? (p.guid == q.guid)
+                            : (p.thread_id == q.thread_id);
+      if (same) {
+        if (p.serial > q.serial) q = p;
+        return;
+      }
+    }
+    merged.push_back(p);
+  };
+  for (const CommitPoint& p : base_points) fold(p);
+  for (const CommitPoint& p : log_points) fold(p);
+  MergePoints(merged);
+
+  // Re-base: fold the recovered state into a fresh full checkpoint and
+  // restart the log from offset zero. Without this, the ring (which resumes
+  // at offset 0) would overwrite the just-replayed log in place, and a
+  // second crash could replay stale records past the new tail. Ordering is
+  // load-bearing: the manifest naming the new base must be durable BEFORE
+  // the log is truncated — a crash between the two recovers new-base +
+  // old-log, which is idempotent (every log record is already in the base).
+  uint64_t new_base = m.base_version + 1;
+  std::vector<uint64_t> candidates;
+  if (ListRecoveryCandidates(dir, &candidates).ok()) {
+    for (uint64_t v : candidates) new_base = std::max(new_base, v + 1);
+  }
+  CheckpointMeta meta;
+  meta.version = new_base;
+  meta.is_delta = false;
+  std::vector<char> data;
+  CaptureFullImage(&meta, &data);
+  meta.points = merged;
+  Status s = WriteCheckpointWithRetry(dir, meta, data, o.sync_to_disk,
+                                      o.checkpoint_retry_attempts,
+                                      o.checkpoint_retry_backoff_ms);
+  if (!s.ok()) return s;
+  const durability::ProviderManifest next{
+      m.generation + 1, durability::ProviderKind::kWal, new_base};
+  s = durability::WriteProviderManifest(dir, next, o.sync_to_disk);
+  if (!s.ok()) return s;
+  (void)durability::RetainProviderManifests(dir, kRetainProviderManifests);
+  switch_->SetGeneration(next.generation);
+  // Truncate the folded log and continue the version space past the base.
+  s = db_.PrepareSwitch(DurabilityMode::kWal);
+  if (!s.ok()) return s;
+  db_.CompleteSwitch(DurabilityMode::kWal, new_base + 1);
   return Status::Ok();
 }
 

@@ -37,12 +37,21 @@
 #include <unordered_map>
 #include <vector>
 
+#include "durability/provider.h"
+#include "durability/switch.h"
 #include "shard/backend.h"
 #include "txdb/db.h"
 
 namespace cpr::txdb {
 
-class TxDbBackend final : public kv::Backend {
+struct CheckpointMeta;
+
+// Translation between the wire/disk-visible provider kind and the engine
+// selector (kNone has no provider representation and is never served).
+durability::ProviderKind ModeToProviderKind(DurabilityMode mode);
+DurabilityMode ProviderKindToMode(durability::ProviderKind kind);
+
+class TxDbBackend final : public kv::Backend, private durability::SwitchHost {
  public:
   struct TableSpec {
     uint64_t rows = 1 << 16;
@@ -54,7 +63,12 @@ class TxDbBackend final : public kv::Backend {
     // Tables created at construction; table 0 also serves the single-key KV
     // surface. At least one entry.
     std::vector<TableSpec> tables{TableSpec{}};
-    Options() { db.mode = DurabilityMode::kCpr; }
+    Options() {
+      db.mode = DurabilityMode::kCpr;
+      // The served database is always switchable: a provider manifest in
+      // the durability dir (ours or a predecessor's) must be honorable.
+      db.allow_switch = true;
+    }
   };
 
   explicit TxDbBackend(Options options);
@@ -100,12 +114,33 @@ class TxDbBackend final : public kv::Backend {
   Status WaitForCheckpoint(uint64_t token) override;
   Status Recover() override;
 
+  // -- Durability provider (the adaptive-durability seam) ----------------
+  durability::ProviderKind Provider() const override;
+  // Full live switch: quiesce at the checkpoint boundary, boundary
+  // checkpoint under the old provider, manifest flip, engine swap. Blocks
+  // until done — call from a thread that is NOT also responsible for
+  // refreshing sessions (a server worker must use RequestProviderSwitch).
+  Status SwitchProvider(durability::ProviderKind target) override;
+  // Queues the switch onto the backend's switch thread and returns
+  // immediately; a pending request to a different target is superseded.
+  bool RequestProviderSwitch(durability::ProviderKind target) override;
+  bool ProviderSwitchPending() const override;
+  uint64_t ProviderSwitches() const override;
+  uint64_t ProviderLastBoundary() const override;
+
   uint32_t value_size() const override { return table0_value_size_; }
 
   TransactionalDb& db() { return db_; }
 
  private:
   class SessionAdapter;
+
+  // RAII op-admission ticket (see EnterOp/ExitOp).
+  struct OpGuard {
+    explicit OpGuard(TxDbBackend& b) : backend(b) { backend.EnterOp(); }
+    ~OpGuard() { backend.ExitOp(); }
+    TxDbBackend& backend;
+  };
 
   struct Round {
     uint64_t version = 0;
@@ -122,6 +157,37 @@ class TxDbBackend final : public kv::Backend {
   void OnCommitDone(uint64_t version, const Status& status,
                     const std::vector<CommitPoint>& points);
   void PumpLoop();
+  void SwitchLoop();
+
+  // Operation admission gate. Every serial-consuming operation (KV ops,
+  // TXN, Checkpoint) holds a ticket; PauseOps() blocks new tickets and
+  // drains the holders. Refresh/CompletePending/sessions are NOT gated —
+  // epoch progress must continue through a quiesce or the pre-pause
+  // commit-wait could never conclude. Fast path: two uncontended RMWs.
+  void EnterOp();
+  void ExitOp();
+
+  // durability::SwitchHost (called only from SwitchController::Switch,
+  // which serializes switches).
+  durability::ProviderKind CurrentProvider() const override;
+  void WaitForInflightCommit() override;
+  bool CommitInFlight() const override;
+  void PauseOps() override;
+  void ResumeOps() override;
+  Status WriteBoundaryCheckpoint(uint64_t* version_out) override;
+  Status PrepareProvider(durability::ProviderKind target) override;
+  Status PublishManifest(const durability::ProviderManifest& manifest) override;
+  void ActivateProvider(durability::ProviderKind target,
+                        uint64_t seed_version) override;
+
+  // Captures a full image of every table into meta->table_schemas /
+  // meta->data_bytes / *data. Only sound on a quiesced database.
+  void CaptureFullImage(CheckpointMeta* meta, std::vector<char>* data);
+  // Folds recovered commit points into durable_points_ / next_guid_.
+  void MergePoints(const std::vector<CommitPoint>& points);
+  // Recovery when the manifest names WAL: base image + log replay, then
+  // re-base (fold into a fresh checkpoint, truncate the log).
+  Status RecoverWal(const durability::ProviderManifest& m);
 
   Options options_;
   uint64_t table0_rows_ = 0;
@@ -146,6 +212,24 @@ class TxDbBackend final : public kv::Backend {
   ThreadContext* pump_ctx_ = nullptr;
   std::atomic<bool> stop_pump_{false};
   std::thread pump_thread_;
+
+  // Op-admission gate state.
+  std::atomic<bool> ops_paused_{false};
+  std::atomic<uint32_t> active_ops_{0};
+  std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
+
+  // Provider switching: controller (owns the protocol + counters) and the
+  // async request thread serving RequestProviderSwitch.
+  std::unique_ptr<durability::SwitchController> switch_;
+  mutable std::mutex swreq_mu_;
+  std::condition_variable swreq_cv_;
+  bool swreq_pending_ = false;               // guarded by swreq_mu_
+  durability::ProviderKind swreq_target_ = durability::ProviderKind::kCpr;
+  bool stop_switch_ = false;                 // guarded by swreq_mu_
+  Status last_switch_status_;                // guarded by swreq_mu_
+  std::thread switch_thread_;
+  uint64_t provider_collector_id_ = 0;
 
   // Declared last so it is destroyed first: ~TransactionalDb joins the CPR
   // engine's checkpoint thread, and that thread's commit callback writes

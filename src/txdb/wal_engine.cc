@@ -86,7 +86,7 @@ TxnResult WalEngine::Execute(ThreadContext& ctx, const Transaction& txn) {
   // strict 2PL releases only after the log append.
   uint32_t num_writes = 0;
   uint64_t payload = sizeof(uint32_t) /*thread*/ + sizeof(uint64_t) /*serial*/ +
-                     sizeof(uint32_t) /*num_writes*/;
+                     sizeof(uint64_t) /*guid*/ + sizeof(uint32_t) /*num_writes*/;
   Storage& storage = db_.storage();
   for (const TxnOp& op : txn.ops) {
     if (op.type == OpType::kRead) continue;
@@ -105,11 +105,13 @@ TxnResult WalEngine::Execute(ThreadContext& ctx, const Transaction& txn) {
 
     const uint64_t t1 = NowNanos();
     const uint64_t serial = ctx.serial.load(std::memory_order_relaxed);
+    const uint64_t guid = ctx.guid;
     // The checksum accumulates over the same source buffers the ring copy
     // reads, while the record's locks are still held.
     uint32_t crc = kCrc32cInit;
     crc = Crc32cExtend(crc, &ctx.thread_id, sizeof(ctx.thread_id));
     crc = Crc32cExtend(crc, &serial, sizeof(serial));
+    crc = Crc32cExtend(crc, &guid, sizeof(guid));
     crc = Crc32cExtend(crc, &num_writes, sizeof(num_writes));
     for (const TxnOp& op : txn.ops) {
       if (op.type == OpType::kRead) continue;
@@ -129,6 +131,8 @@ TxnResult WalEngine::Execute(ThreadContext& ctx, const Transaction& txn) {
     w += sizeof(ctx.thread_id);
     CopyToRing(w, &serial, sizeof(serial));
     w += sizeof(serial);
+    CopyToRing(w, &guid, sizeof(guid));
+    w += sizeof(guid);
     CopyToRing(w, &num_writes, sizeof(num_writes));
     w += sizeof(num_writes);
     for (const TxnOp& op : txn.ops) {
@@ -162,7 +166,10 @@ void WalEngine::FlusherLoop() {
       if (stop_) break;
       flush_requested_ = false;
     }
-    FlushNow();
+    {
+      std::lock_guard<std::mutex> io_lock(flush_io_mu_);
+      FlushNow();
+    }
     CommitCallback cb;
     std::vector<CommitPoint> points;
     uint64_t seq = 0;
@@ -189,7 +196,33 @@ void WalEngine::FlusherLoop() {
     // waiting on a durability signal that will never come.
     if (cb) cb(seq, flush_status, points);
   }
+  std::lock_guard<std::mutex> io_lock(flush_io_mu_);
   FlushNow();  // final drain so shutdown loses nothing published
+}
+
+Status WalEngine::PrepareActivation() {
+  // Quiesced by the switch protocol: no writer is appending, and everything
+  // the OLD WAL period logged is superseded by the boundary checkpoint the
+  // switch materializes. Truncate so recovery never replays stale records on
+  // top of it. Crash-safe before the manifest flips: the durable manifest
+  // still names the old provider, whose recovery never reads wal.log.
+  std::lock_guard<std::mutex> io_lock(flush_io_mu_);
+  const std::string path = LogPath(db_.options().durability_dir);
+  Status s = File::Open(path, /*create=*/true, &log_file_);
+  if (!s.ok()) return s;
+  tail_.store(0, std::memory_order_release);
+  committed_.store(0, std::memory_order_release);
+  flushed_.store(0, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_status_ = Status::Ok();  // the old period's sticky error dies with it
+  return Status::Ok();
+}
+
+void WalEngine::SeedVersion(uint64_t next_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (next_version > 0 && flush_seq_ < next_version - 1) {
+    flush_seq_ = next_version - 1;
+  }
 }
 
 uint64_t WalEngine::FlushNow() {
@@ -277,11 +310,14 @@ Status WalEngine::Recover(std::vector<CommitPoint>* points) {
     uint64_t r = off + 2 * sizeof(uint32_t);
     uint32_t thread_id = 0;
     uint64_t serial = 0;
+    uint64_t guid = 0;
     uint32_t num_writes = 0;
     std::memcpy(&thread_id, buf.data() + r, sizeof(thread_id));
     r += sizeof(thread_id);
     std::memcpy(&serial, buf.data() + r, sizeof(serial));
     r += sizeof(serial);
+    std::memcpy(&guid, buf.data() + r, sizeof(guid));
+    r += sizeof(guid);
     std::memcpy(&num_writes, buf.data() + r, sizeof(num_writes));
     r += sizeof(num_writes);
     for (uint32_t i = 0; i < num_writes; ++i) {
@@ -299,16 +335,24 @@ Status WalEngine::Recover(std::vector<CommitPoint>* points) {
       std::memcpy(table.live(row), buf.data() + r, table.value_size());
       r += table.value_size();
     }
-    // Track the highest serial per thread for the recovered points.
+    // Track the highest serial per thread for the recovered points. Records
+    // carry the session guid, so a post-crash WAL recovery hands each
+    // resuming session its real commit point (without it, replayed durable
+    // ops would double-apply).
     bool found = false;
     for (auto& p : last_serial) {
       if (p.thread_id == thread_id) {
-        p.serial = std::max(p.serial, serial + 1);
+        if (serial + 1 > p.serial) {
+          p.serial = serial + 1;
+          p.guid = guid;
+        }
         found = true;
         break;
       }
     }
-    if (!found) last_serial.push_back(CommitPoint{thread_id, serial + 1});
+    if (!found) {
+      last_serial.push_back(CommitPoint{thread_id, serial + 1, guid});
+    }
     off += 2 * sizeof(uint32_t) + payload;
     ++replayed;
   }

@@ -40,6 +40,12 @@ class WalEngine : public Engine {
   bool CommitInProgress() const override;
   uint64_t CurrentVersion() const override;
   Status Recover(std::vector<CommitPoint>* points) override;
+  // Provider switch-in: truncates the log (its contents predate the
+  // checkpoint the switch materializes, so replaying them would corrupt
+  // recovered state) and rewinds the ring. Runs quiesced, pre-manifest.
+  Status PrepareActivation() override;
+  // Continues the flush-sequence version space past the boundary version.
+  void SeedVersion(uint64_t next_version) override;
 
   uint64_t flushed_bytes() const {
     return flushed_.load(std::memory_order_acquire);
@@ -51,6 +57,8 @@ class WalEngine : public Engine {
   //   u32 crc32c         checksum of the payload bytes
   //   u32 thread_id
   //   u64 serial
+  //   u64 guid           serving-layer session id (0: no session) — recovery
+  //                      maps guid -> commit point, same as checkpoint points
   //   u32 num_writes
   //   repeated: u32 table_id, u64 row, value bytes (table's value_size)
   //
@@ -81,6 +89,10 @@ class WalEngine : public Engine {
   std::atomic<uint64_t> flushed_{0};    // bytes durable on disk
 
   File log_file_;
+  // Serializes the flusher's FlushNow I/O against PrepareActivation's log
+  // reset (the only two touch points of log_file_ + the ring offsets from
+  // different threads once the engine is quiesced).
+  std::mutex flush_io_mu_;
   std::mutex mu_;
   std::condition_variable flush_cv_;
   std::condition_variable durable_cv_;

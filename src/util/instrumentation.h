@@ -78,6 +78,11 @@ struct ServerCounters {
   // first op served long before the full store is restored.
   std::atomic<uint64_t> time_to_first_op_ns{0};
   std::atomic<uint64_t> recovery_duration_ns{0};
+  // Observed workload mix — single-key data ops plus TXN read/write-set
+  // members — feeding the adaptive durability policy (read-heavy favors
+  // WAL, write-heavy favors CPR).
+  std::atomic<uint64_t> read_ops{0};
+  std::atomic<uint64_t> write_ops{0};
 
   // Execute→durable lag of durable-gated responses: time from enqueueing the
   // executed operation until its covering checkpoint released the ack.
@@ -102,7 +107,7 @@ struct ServerCounters {
         checkpoint_stalls, checkpoint_failures, not_durable_acks,
         not_durable_engine, not_durable_degraded, protocol_errors, ops_parked,
         recovering_rejections, parked_failed_at_shutdown, time_to_first_op_ns,
-        recovery_duration_ns;
+        recovery_duration_ns, read_ops, write_ops;
     Histogram durable_lag;
     uint64_t durable_lag_max_ns;
     // Cumulative engine checkpoint phase time, indexed by
@@ -128,6 +133,7 @@ struct ServerCounters {
                ld(protocol_errors),      ld(ops_parked),
                ld(recovering_rejections), ld(parked_failed_at_shutdown),
                ld(time_to_first_op_ns),  ld(recovery_duration_ns),
+               ld(read_ops),             ld(write_ops),
                Histogram{},              ld(durable_lag_max_ns)};
     {
       std::lock_guard<std::mutex> lock(durable_lag_mu_);

@@ -1,0 +1,531 @@
+// The adaptive-durability seam: provider manifests (the durable record of
+// which scheme backs a directory), the AdaptivePolicy that recommends a
+// provider from the observed mix, the SwitchController protocol driven
+// against a scripted fake host (including failure injection on every
+// pre-publish step), and TxDbBackend end-to-end — live switches with
+// concurrent traffic, recovery landing on whichever provider the manifest
+// chain names, and the torn-publish fallback.
+#include <gtest/gtest.h>
+
+#include "test_dirs.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "durability/policy.h"
+#include "durability/provider.h"
+#include "durability/switch.h"
+#include "txdb/txdb_backend.h"
+
+namespace cpr {
+namespace {
+
+using durability::AdaptivePolicy;
+using durability::ProviderKind;
+using durability::ProviderManifest;
+using durability::SwitchController;
+using durability::SwitchHost;
+using durability::WorkloadSample;
+using txdb::TxDbBackend;
+
+std::string FreshDir() { return cpr::testing::FreshTestDir("cpr_durab"); }
+
+// -- Provider manifests -------------------------------------------------------
+
+TEST(ProviderManifestTest, NamesParseAndPrintRoundTrip) {
+  for (const ProviderKind k :
+       {ProviderKind::kCpr, ProviderKind::kCalc, ProviderKind::kWal}) {
+    ProviderKind parsed;
+    ASSERT_TRUE(durability::ParseProviderKind(ProviderKindName(k), &parsed));
+    EXPECT_EQ(parsed, k);
+  }
+  ProviderKind parsed;
+  EXPECT_FALSE(durability::ParseProviderKind("CPR", &parsed));  // case matters
+  EXPECT_FALSE(durability::ParseProviderKind("aries", &parsed));
+  EXPECT_FALSE(durability::ParseProviderKind("", &parsed));
+}
+
+TEST(ProviderManifestTest, NewestGenerationWins) {
+  const std::string dir = FreshDir();
+  ProviderManifest m;
+  EXPECT_EQ(durability::ReadLatestProviderManifest(dir, &m).code(),
+            Status::Code::kNotFound);
+
+  ProviderManifest g1{1, ProviderKind::kCpr, 0};
+  ProviderManifest g2{2, ProviderKind::kWal, 17};
+  ASSERT_TRUE(durability::WriteProviderManifest(dir, g1, /*sync=*/true).ok());
+  ASSERT_TRUE(durability::WriteProviderManifest(dir, g2, /*sync=*/true).ok());
+
+  ASSERT_TRUE(durability::ReadLatestProviderManifest(dir, &m).ok());
+  EXPECT_EQ(m.generation, 2u);
+  EXPECT_EQ(m.kind, ProviderKind::kWal);
+  EXPECT_EQ(m.base_version, 17u);
+}
+
+TEST(ProviderManifestTest, TornNewestFallsBackToPredecessor) {
+  const std::string dir = FreshDir();
+  ProviderManifest g1{1, ProviderKind::kCalc, 9};
+  ASSERT_TRUE(durability::WriteProviderManifest(dir, g1, /*sync=*/true).ok());
+
+  // A crash mid-publish leaves a torn gen-2 blob: garbage that never
+  // verifies. Recovery must land on gen 1.
+  std::FILE* f = std::fopen((dir + "/provider.2.meta").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char garbage[] = "torn mid-write";
+  std::fwrite(garbage, 1, sizeof(garbage), f);
+  std::fclose(f);
+
+  ProviderManifest m;
+  ASSERT_TRUE(durability::ReadLatestProviderManifest(dir, &m).ok());
+  EXPECT_EQ(m.generation, 1u);
+  EXPECT_EQ(m.kind, ProviderKind::kCalc);
+  EXPECT_EQ(m.base_version, 9u);
+}
+
+TEST(ProviderManifestTest, AllTornReportsCorruptionNotNotFound) {
+  const std::string dir = FreshDir();
+  std::FILE* f = std::fopen((dir + "/provider.1.meta").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("x", 1, 1, f);
+  std::fclose(f);
+  ProviderManifest m;
+  EXPECT_EQ(durability::ReadLatestProviderManifest(dir, &m).code(),
+            Status::Code::kCorruption);
+}
+
+TEST(ProviderManifestTest, RetainKeepsNewestValidAndTornDoesNotCount) {
+  const std::string dir = FreshDir();
+  for (uint64_t g = 1; g <= 4; ++g) {
+    ASSERT_TRUE(durability::WriteProviderManifest(
+                    dir, ProviderManifest{g, ProviderKind::kCpr, g * 10},
+                    /*sync=*/false)
+                    .ok());
+  }
+  // Torn gen 5 on top: it must not occupy a retention slot, or the only
+  // valid manifests could be evicted.
+  std::FILE* f = std::fopen((dir + "/provider.5.meta").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("y", 1, 1, f);
+  std::fclose(f);
+
+  ASSERT_TRUE(durability::RetainProviderManifests(dir, 2).ok());
+  ProviderManifest m;
+  ASSERT_TRUE(durability::ReadLatestProviderManifest(dir, &m).ok());
+  EXPECT_EQ(m.generation, 4u);
+
+  // Gens 4 and 3 survived (and the torn 5 is harmless); 1 and 2 are gone,
+  // so retaining down to 1 still finds gen 4 first.
+  ASSERT_TRUE(durability::RetainProviderManifests(dir, 1).ok());
+  ASSERT_TRUE(durability::ReadLatestProviderManifest(dir, &m).ok());
+  EXPECT_EQ(m.generation, 4u);
+}
+
+// -- AdaptivePolicy -----------------------------------------------------------
+
+AdaptivePolicy::Options PolicyOptions() {
+  AdaptivePolicy::Options o;
+  o.write_heavy = 0.5;
+  o.read_heavy = 0.2;
+  o.min_interval_ops = 128;
+  o.cooldown_rounds = 3;
+  return o;
+}
+
+TEST(AdaptivePolicyTest, FirstObservationOnlyBaselines) {
+  AdaptivePolicy p(PolicyOptions());
+  ProviderKind target;
+  WorkloadSample s;
+  s.reads = 10'000;
+  s.writes = 90'000;  // overwhelmingly write-heavy, but it's the baseline
+  EXPECT_FALSE(p.Observe(ProviderKind::kWal, s, &target));
+  EXPECT_EQ(p.rounds(), 1u);
+}
+
+TEST(AdaptivePolicyTest, IdleIntervalsNeverFlip) {
+  AdaptivePolicy p(PolicyOptions());
+  ProviderKind target;
+  WorkloadSample s;
+  EXPECT_FALSE(p.Observe(ProviderKind::kWal, s, &target));
+  // 100% writes but only 100 ops: below min_interval_ops, ignored.
+  s.writes = 100;
+  EXPECT_FALSE(p.Observe(ProviderKind::kWal, s, &target));
+  EXPECT_EQ(p.last_write_fraction(), 0.0);
+}
+
+TEST(AdaptivePolicyTest, WriteHeavyIntervalRecommendsCpr) {
+  AdaptivePolicy p(PolicyOptions());
+  ProviderKind target = ProviderKind::kCalc;
+  WorkloadSample s;
+  EXPECT_FALSE(p.Observe(ProviderKind::kWal, s, &target));
+  s.reads = 64;
+  s.writes = 192;  // write fraction 0.75
+  ASSERT_TRUE(p.Observe(ProviderKind::kWal, s, &target));
+  EXPECT_EQ(target, ProviderKind::kCpr);
+  EXPECT_DOUBLE_EQ(p.last_write_fraction(), 0.75);
+}
+
+TEST(AdaptivePolicyTest, ReadHeavyIntervalRecommendsWal) {
+  AdaptivePolicy p(PolicyOptions());
+  ProviderKind target = ProviderKind::kCalc;
+  WorkloadSample s;
+  EXPECT_FALSE(p.Observe(ProviderKind::kCpr, s, &target));
+  s.reads = 950;
+  s.writes = 50;  // write fraction 0.05
+  ASSERT_TRUE(p.Observe(ProviderKind::kCpr, s, &target));
+  EXPECT_EQ(target, ProviderKind::kWal);
+}
+
+TEST(AdaptivePolicyTest, HysteresisBandHoldsCurrentProvider) {
+  AdaptivePolicy p(PolicyOptions());
+  ProviderKind target;
+  WorkloadSample s;
+  EXPECT_FALSE(p.Observe(ProviderKind::kWal, s, &target));
+  // Write fraction 0.35: between read_heavy and write_heavy — no
+  // recommendation from either side of the band.
+  s.reads = 650;
+  s.writes = 350;
+  EXPECT_FALSE(p.Observe(ProviderKind::kWal, s, &target));
+  s.reads += 650;
+  s.writes += 350;
+  EXPECT_FALSE(p.Observe(ProviderKind::kCpr, s, &target));
+}
+
+TEST(AdaptivePolicyTest, CooldownSuppressesBackToBackRecommendations) {
+  AdaptivePolicy p(PolicyOptions());  // cooldown_rounds = 3
+  ProviderKind target;
+  WorkloadSample s;
+  EXPECT_FALSE(p.Observe(ProviderKind::kWal, s, &target));  // round 1
+  auto write_burst = [&s] {
+    s.writes += 1'000;  // every interval 100% writes
+  };
+  write_burst();
+  ASSERT_TRUE(p.Observe(ProviderKind::kWal, s, &target));  // round 2: flips
+  EXPECT_EQ(target, ProviderKind::kCpr);
+  // The host ignored the recommendation (current stays kWal). Rounds 3 and
+  // 4 are inside the cooldown window; round 5 recommends again.
+  write_burst();
+  EXPECT_FALSE(p.Observe(ProviderKind::kWal, s, &target));  // round 3
+  write_burst();
+  EXPECT_FALSE(p.Observe(ProviderKind::kWal, s, &target));  // round 4
+  write_burst();
+  ASSERT_TRUE(p.Observe(ProviderKind::kWal, s, &target));  // round 5
+  EXPECT_EQ(target, ProviderKind::kCpr);
+}
+
+TEST(AdaptivePolicyTest, CounterResetRebaselinesInsteadOfFlipping) {
+  AdaptivePolicy p(PolicyOptions());
+  ProviderKind target;
+  WorkloadSample s;
+  s.reads = 10'000;
+  s.writes = 10'000;
+  EXPECT_FALSE(p.Observe(ProviderKind::kWal, s, &target));
+  // Server restart: cumulative counters jump backwards. The negative deltas
+  // clamp to zero (an idle interval), never a recommendation.
+  s.reads = 0;
+  s.writes = 0;
+  EXPECT_FALSE(p.Observe(ProviderKind::kWal, s, &target));
+  // The re-based counters work normally from here.
+  s.writes = 256;
+  ASSERT_TRUE(p.Observe(ProviderKind::kWal, s, &target));
+  EXPECT_EQ(target, ProviderKind::kCpr);
+}
+
+// -- SwitchController against a scripted host --------------------------------
+
+class FakeHost : public SwitchHost {
+ public:
+  ProviderKind CurrentProvider() const override { return current; }
+  void WaitForInflightCommit() override { calls.push_back("wait"); }
+  bool CommitInFlight() const override {
+    if (commits_racing_in > 0) {
+      --commits_racing_in;
+      return true;
+    }
+    return false;
+  }
+  void PauseOps() override {
+    calls.push_back("pause");
+    paused = true;
+  }
+  void ResumeOps() override {
+    calls.push_back("resume");
+    paused = false;
+  }
+  Status WriteBoundaryCheckpoint(uint64_t* version_out) override {
+    calls.push_back("boundary");
+    if (!boundary_status.ok()) return boundary_status;
+    *version_out = boundary_version;
+    return Status::Ok();
+  }
+  Status PrepareProvider(ProviderKind target) override {
+    calls.push_back(std::string("prepare:") + ProviderKindName(target));
+    return prepare_status;
+  }
+  Status PublishManifest(const ProviderManifest& manifest) override {
+    calls.push_back("publish:" + std::to_string(manifest.generation));
+    if (!publish_status.ok()) return publish_status;
+    published = manifest;
+    return Status::Ok();
+  }
+  void ActivateProvider(ProviderKind target, uint64_t seed_version) override {
+    calls.push_back("activate");
+    current = target;
+    activated_seed = seed_version;
+  }
+
+  ProviderKind current = ProviderKind::kCpr;
+  std::vector<std::string> calls;
+  bool paused = false;
+  uint64_t boundary_version = 41;
+  mutable int commits_racing_in = 0;
+  Status boundary_status;
+  Status prepare_status;
+  Status publish_status;
+  ProviderManifest published;
+  uint64_t activated_seed = 0;
+};
+
+TEST(SwitchControllerTest, RunsProtocolInOrderAndPublishesNextGeneration) {
+  FakeHost host;
+  SwitchController ctl(host, /*generation=*/7);
+  ASSERT_TRUE(ctl.Switch(ProviderKind::kWal).ok());
+
+  const std::vector<std::string> expect = {
+      "wait",        "pause",     "boundary", "prepare:wal",
+      "publish:8",   "activate",  "resume"};
+  EXPECT_EQ(host.calls, expect);
+  EXPECT_EQ(host.published.generation, 8u);
+  EXPECT_EQ(host.published.kind, ProviderKind::kWal);
+  EXPECT_EQ(host.published.base_version, 41u);
+  // The new provider's first commit version lands past the boundary.
+  EXPECT_EQ(host.activated_seed, 42u);
+  EXPECT_EQ(host.current, ProviderKind::kWal);
+  EXPECT_FALSE(host.paused);
+  EXPECT_EQ(ctl.generation(), 8u);
+  EXPECT_EQ(ctl.switches(), 1u);
+  EXPECT_EQ(ctl.last_boundary_version(), 41u);
+}
+
+TEST(SwitchControllerTest, SwitchToActiveProviderIsANoOp) {
+  FakeHost host;
+  SwitchController ctl(host, 3);
+  ASSERT_TRUE(ctl.Switch(ProviderKind::kCpr).ok());
+  EXPECT_TRUE(host.calls.empty());
+  EXPECT_EQ(ctl.generation(), 3u);
+  EXPECT_EQ(ctl.switches(), 0u);
+}
+
+TEST(SwitchControllerTest, CommitRacingIntoThePauseRetriesTheQuiesce) {
+  FakeHost host;
+  host.commits_racing_in = 1;  // first post-pause check sees a commit
+  SwitchController ctl(host, 0);
+  ASSERT_TRUE(ctl.Switch(ProviderKind::kCalc).ok());
+  const std::vector<std::string> expect = {
+      "wait",      "pause",        "resume",   "wait",   "pause",
+      "boundary",  "prepare:calc", "publish:1", "activate", "resume"};
+  EXPECT_EQ(host.calls, expect);
+  EXPECT_EQ(ctl.switches(), 1u);
+}
+
+TEST(SwitchControllerTest, PrePublishFailuresAbortWithOldProviderIntact) {
+  struct Case {
+    const char* name;
+    Status FakeHost::*failing_step;
+  };
+  const Case cases[] = {
+      {"boundary", &FakeHost::boundary_status},
+      {"prepare", &FakeHost::prepare_status},
+      {"publish", &FakeHost::publish_status},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    FakeHost host;
+    host.*(c.failing_step) = Status::IoError("injected");
+    SwitchController ctl(host, 5);
+    const Status s = ctl.Switch(ProviderKind::kWal);
+    EXPECT_EQ(s.code(), Status::Code::kIoError);
+    // Ops resumed, nothing activated, nothing counted: the old provider
+    // stands exactly as before the attempt.
+    EXPECT_FALSE(host.paused);
+    EXPECT_EQ(host.calls.back(), "resume");
+    for (const std::string& call : host.calls) EXPECT_NE(call, "activate");
+    EXPECT_EQ(host.current, ProviderKind::kCpr);
+    EXPECT_EQ(ctl.generation(), 5u);
+    EXPECT_EQ(ctl.switches(), 0u);
+    EXPECT_EQ(ctl.last_boundary_version(), 0u);
+
+    // The failure is transient: clearing it lets the same controller finish
+    // the switch (generation continuity preserved).
+    host.*(c.failing_step) = Status::Ok();
+    ASSERT_TRUE(ctl.Switch(ProviderKind::kWal).ok());
+    EXPECT_EQ(host.current, ProviderKind::kWal);
+    EXPECT_EQ(ctl.generation(), 6u);
+    EXPECT_EQ(ctl.switches(), 1u);
+  }
+}
+
+// -- TxDbBackend end-to-end ---------------------------------------------------
+
+TxDbBackend::Options BackendOptions(const std::string& dir) {
+  TxDbBackend::Options o;
+  o.db.durability_dir = dir;
+  o.db.max_threads = 16;
+  o.db.wal_flush_interval_ms = 2;
+  o.tables = {TxDbBackend::TableSpec{16, 8}};
+  return o;
+}
+
+int64_t ReadRow(TxDbBackend& backend, uint64_t key) {
+  kv::Session* s = backend.StartSession(0);
+  EXPECT_NE(s, nullptr);
+  int64_t v = 0;
+  EXPECT_EQ(backend.Read(*s, key, &v), faster::OpStatus::kOk);
+  backend.StopSession(s);
+  return v;
+}
+
+void AddToRow(TxDbBackend& backend, uint64_t key, int64_t delta, int times) {
+  kv::Session* s = backend.StartSession(0);
+  ASSERT_NE(s, nullptr);
+  for (int i = 0; i < times; ++i) {
+    ASSERT_EQ(backend.Rmw(*s, key, delta), faster::OpStatus::kOk);
+  }
+  backend.StopSession(s);
+}
+
+TEST(TxDbSwitchTest, LiveSwitchChainPreservesEveryWrite) {
+  TxDbBackend backend(BackendOptions(FreshDir()));
+  EXPECT_EQ(backend.Provider(), ProviderKind::kCpr);
+  EXPECT_EQ(backend.ProviderSwitches(), 0u);
+
+  AddToRow(backend, 1, 1, 10);
+  ASSERT_TRUE(backend.SwitchProvider(ProviderKind::kWal).ok());
+  EXPECT_EQ(backend.Provider(), ProviderKind::kWal);
+  EXPECT_EQ(backend.ProviderSwitches(), 1u);
+  const uint64_t boundary1 = backend.ProviderLastBoundary();
+  EXPECT_GT(boundary1, 0u);
+  // Everything executed before the switch is visible after it.
+  EXPECT_EQ(ReadRow(backend, 1), 10);
+
+  AddToRow(backend, 1, 1, 5);
+  ASSERT_TRUE(backend.SwitchProvider(ProviderKind::kCalc).ok());
+  EXPECT_EQ(backend.Provider(), ProviderKind::kCalc);
+  AddToRow(backend, 1, 1, 3);
+  ASSERT_TRUE(backend.SwitchProvider(ProviderKind::kCpr).ok());
+  EXPECT_EQ(backend.Provider(), ProviderKind::kCpr);
+  EXPECT_EQ(backend.ProviderSwitches(), 3u);
+  EXPECT_GT(backend.ProviderLastBoundary(), boundary1);
+  EXPECT_EQ(ReadRow(backend, 1), 18);
+
+  // Switching to the active provider is an Ok no-op.
+  ASSERT_TRUE(backend.SwitchProvider(ProviderKind::kCpr).ok());
+  EXPECT_EQ(backend.ProviderSwitches(), 3u);
+}
+
+TEST(TxDbSwitchTest, AsyncRequestSwitchesUnderConcurrentTraffic) {
+  TxDbBackend backend(BackendOptions(FreshDir()));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> applied{0};
+  std::thread worker([&] {
+    kv::Session* s = backend.StartSession(0);
+    ASSERT_NE(s, nullptr);
+    int n = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      EXPECT_EQ(backend.Rmw(*s, 2, 1), faster::OpStatus::kOk);
+      applied.fetch_add(1, std::memory_order_relaxed);
+      if (++n % 16 == 0) backend.Refresh(*s);
+    }
+    backend.StopSession(s);
+  });
+
+  // Let some pre-switch traffic through, then queue the switch.
+  while (applied.load() < 50) std::this_thread::yield();
+  ASSERT_TRUE(backend.RequestProviderSwitch(ProviderKind::kWal));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (backend.Provider() != ProviderKind::kWal &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(backend.Provider(), ProviderKind::kWal);
+  // Traffic keeps flowing on the other side of the boundary.
+  const int64_t at_switch = applied.load();
+  while (applied.load() < at_switch + 50) std::this_thread::yield();
+  stop.store(true);
+  worker.join();
+
+  while (backend.ProviderSwitchPending()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(backend.ProviderSwitches(), 1u);
+  // Zero dropped, zero doubled: the row equals the successful-op count.
+  EXPECT_EQ(ReadRow(backend, 2), applied.load());
+}
+
+TEST(TxDbSwitchTest, ReopenHonorsManifestOverConfiguredMode) {
+  const std::string dir = FreshDir();
+  {
+    TxDbBackend backend(BackendOptions(dir));
+    AddToRow(backend, 3, 1, 8);
+    ASSERT_TRUE(backend.SwitchProvider(ProviderKind::kWal).ok());
+    AddToRow(backend, 3, 1, 4);
+    // Make the post-switch suffix durable under WAL.
+    uint64_t token = 0;
+    ASSERT_TRUE(backend.Checkpoint(faster::CommitVariant::kFoldOver,
+                                   /*include_index=*/false, &token));
+    ASSERT_TRUE(backend.WaitForCheckpoint(token).ok());
+  }
+  // The reopening process is configured for CPR — say, an operator forgot
+  // --mode=wal — but the manifest chain names WAL, and the manifest wins.
+  TxDbBackend::Options o = BackendOptions(dir);
+  o.db.mode = txdb::DurabilityMode::kCpr;
+  TxDbBackend backend(o);
+  ASSERT_TRUE(backend.Recover().ok());
+  EXPECT_EQ(backend.Provider(), ProviderKind::kWal);
+  EXPECT_EQ(ReadRow(backend, 3), 12);
+
+  // The recovered directory is still switchable: back to CPR, data intact.
+  ASSERT_TRUE(backend.SwitchProvider(ProviderKind::kCpr).ok());
+  EXPECT_EQ(ReadRow(backend, 3), 12);
+}
+
+TEST(TxDbSwitchTest, TornManifestPublishRecoversUnderOldProvider) {
+  const std::string dir = FreshDir();
+  {
+    TxDbBackend backend(BackendOptions(dir));
+    AddToRow(backend, 4, 1, 6);
+    ASSERT_TRUE(backend.SwitchProvider(ProviderKind::kWal).ok());
+    AddToRow(backend, 4, 1, 2);
+    uint64_t token = 0;
+    ASSERT_TRUE(backend.Checkpoint(faster::CommitVariant::kFoldOver,
+                                   /*include_index=*/false, &token));
+    ASSERT_TRUE(backend.WaitForCheckpoint(token).ok());
+  }
+  // Simulate a crash mid-way through publishing the NEXT manifest (a switch
+  // back to CPR that never completed): a torn blob at the next generation.
+  ProviderManifest latest;
+  ASSERT_TRUE(durability::ReadLatestProviderManifest(dir, &latest).ok());
+  ASSERT_EQ(latest.kind, ProviderKind::kWal);
+  const std::string torn =
+      dir + "/provider." + std::to_string(latest.generation + 1) + ".meta";
+  std::FILE* f = std::fopen(torn.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("half-published", 1, 14, f);
+  std::fclose(f);
+
+  TxDbBackend backend(BackendOptions(dir));
+  ASSERT_TRUE(backend.Recover().ok());
+  // The unpublished side never happened: recovery lands on WAL with the
+  // full prefix.
+  EXPECT_EQ(backend.Provider(), ProviderKind::kWal);
+  EXPECT_EQ(ReadRow(backend, 4), 8);
+}
+
+}  // namespace
+}  // namespace cpr

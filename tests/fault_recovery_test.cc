@@ -32,6 +32,7 @@
 #include "certify/checker.h"
 #include "certify/history.h"
 #include "client/client.h"
+#include "durability/provider.h"
 #include "faster/faster.h"
 #include "io/fault_injection.h"
 #include "server/server.h"
@@ -72,6 +73,9 @@ int TxnServerIters() {
 }
 int RecoveryIters() {
   return std::max(1, EnvInt("CPR_FAULT_ITERS", 50) * 20 / 100);
+}
+int SwitchIters() {
+  return std::max(1, EnvInt("CPR_FAULT_ITERS", 50) * 18 / 100);
 }
 
 // Installs a fresh injector for the scope and guarantees uninstall even on
@@ -622,6 +626,211 @@ TEST(FaultRecoveryTest, TxnServerRandomizedCrashPoints) {
   const int iters = TxnServerIters();
   for (int i = 0; i < iters; ++i) {
     TxnServerCrashPointIteration(BaseSeed() + 4000 + static_cast<uint32_t>(i));
+    if (HasFatalFailure()) return;
+  }
+}
+
+// -- Live provider switch: randomized crash points ----------------------------
+
+// One iteration: a durable-ack TXN session against a served TxDbBackend that
+// starts under a random durability provider. A live switch to a different
+// provider is queued over the wire with a crash armed at a random
+// persistence op, so the "power loss" can land before the boundary
+// checkpoint, inside it, around the manifest publish, or well after
+// activation — while transaction traffic keeps racing the switch. Recovery
+// (configured with the ORIGINAL --mode, as a restarted operator would) must
+// come up on whichever provider durably published its manifest, replay the
+// client's unacknowledged suffix exactly once, and pass the certifier.
+void SwitchCrashPointIteration(uint32_t seed) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  const std::string dir = FreshDir();
+  std::mt19937 rng(seed);
+  InjectorScope guard;
+
+  const durability::ProviderKind kinds[] = {durability::ProviderKind::kCpr,
+                                            durability::ProviderKind::kCalc,
+                                            durability::ProviderKind::kWal};
+  const durability::ProviderKind start = kinds[rng() % 3];
+  const durability::ProviderKind target =
+      kinds[(static_cast<uint32_t>(start) + 1 + rng() % 2) % 3];
+  SCOPED_TRACE(std::string("switch ") + durability::ProviderKindName(start) +
+               " -> " + durability::ProviderKindName(target));
+
+  auto backend_opts = [&] {
+    txdb::TxDbBackend::Options o;
+    o.db.durability_dir = dir;
+    o.db.mode = txdb::ProviderKindToMode(start);
+    o.db.wal_flush_interval_ms = 2;
+    o.tables = {txdb::TxDbBackend::TableSpec{8, 8}};
+    return o;
+  };
+  server::KvServerOptions so;
+  so.num_workers = 2;
+  so.idle_poll_ms = 1;
+
+  auto add_op = [](uint64_t row, int64_t delta) {
+    net::TxnWireOp op;
+    op.kind = net::TxnOpKind::kAdd;
+    op.row = row;
+    op.delta = delta;
+    return op;
+  };
+
+  int64_t adds_issued = 0;     // committed-or-replayable +1s on rows 0 and 1
+  uint64_t durable_acked = 0;  // serial of the last kOk durable ack
+
+  auto backend = std::make_unique<txdb::TxDbBackend>(backend_opts());
+  auto server = std::make_unique<server::KvServer>(backend.get(), so);
+  ASSERT_TRUE(server->Start().ok());
+  const uint16_t port = server->port();
+
+  certify::HistoryRecorder rec;
+  client::CprClient::Options co;
+  co.port = port;
+  co.ack_mode = net::AckMode::kDurable;
+  co.recv_timeout_ms = 20'000;
+  co.recorder = &rec;
+  client::CprClient c(co);
+  ASSERT_TRUE(c.Connect().ok());
+  const uint64_t guid = c.guid();
+
+  certify::StateDump baseline;
+  ASSERT_TRUE(c.DumpState(&baseline).ok());
+
+  {
+    // Baseline under the starting provider, durable before any fault.
+    const int base = 3 + static_cast<int>(rng() % 8);
+    for (int i = 0; i < base; ++i) {
+      c.EnqueueTxn({add_op(0, 1), add_op(1, 1)});
+    }
+    c.EnqueueCheckpoint();
+    ASSERT_TRUE(c.Flush().ok());
+    std::vector<client::CprClient::Result> results;
+    ASSERT_TRUE(c.Drain(&results).ok());
+    ASSERT_EQ(results.size(), static_cast<size_t>(base + 1));
+    for (const auto& r : results) ASSERT_EQ(r.status, net::WireStatus::kOk);
+    adds_issued = base;
+    durable_acked = static_cast<uint64_t>(base);
+
+    // Optionally a NO-WAIT conflict before the switch races start: one
+    // serial, zero effects, neutralized in the replay buffer.
+    if ((rng() & 1) != 0) {
+      ASSERT_TRUE(backend->db().table(0).header(5).latch.TryLock());
+      c.EnqueueTxn({add_op(5, 100)});
+      ASSERT_TRUE(c.Flush().ok());
+      results.clear();
+      ASSERT_TRUE(c.Drain(&results).ok());
+      ASSERT_EQ(results[0].status, net::WireStatus::kTxnConflict);
+      backend->db().table(0).header(5).latch.Unlock();
+    }
+
+    // Arm the crash, then queue the live switch over the wire. The switch
+    // runs on the backend's switch thread; a boundary checkpoint or manifest
+    // publish felled by the injector must abort it with the old provider
+    // intact — never wedge the server.
+    guard.inj.CrashAfter(1 + rng() % 60);
+    client::CprClient::ProviderStatus ps;
+    const Status queued = c.SwitchProvider(target, &ps);
+    EXPECT_TRUE(queued.ok()) << queued.ToString();
+
+    const int rounds = 1 + static_cast<int>(rng() % 3);
+    for (int r = 0; r < rounds; ++r) {
+      const int batch = 1 + static_cast<int>(rng() % 6);
+      for (int i = 0; i < batch; ++i) {
+        c.EnqueueTxn({add_op(0, 1), add_op(1, 1)});
+      }
+      adds_issued += batch;
+      const bool checkpoint = (rng() & 1) != 0;
+      if (checkpoint) c.EnqueueCheckpoint();
+      ASSERT_TRUE(c.Flush().ok());
+      if (checkpoint) {
+        results.clear();
+        ASSERT_TRUE(c.Drain(&results).ok()) << "degraded drain must not hang";
+        for (const auto& res : results) {
+          if (res.op == net::Op::kTxn && res.status == net::WireStatus::kOk) {
+            durable_acked = std::max(durable_acked, res.serial);
+          }
+        }
+      }
+      // Occasionally poke the sessionless PROVIDER query mid-race; the
+      // response must always carry a valid current provider.
+      if ((rng() & 1) != 0 && c.ProviderInfo(&ps).ok()) {
+        EXPECT_TRUE(ps.kind == start || ps.kind == target);
+      }
+    }
+  }
+  server->Stop();
+  server.reset();
+  backend.reset();
+  guard.inj.Reset();
+
+  // Recover with the original --mode flag. The manifest chain decides: the
+  // switch either durably published (recover under `target`) or it didn't
+  // (recover under `start`); a torn publish falls back.
+  backend = std::make_unique<txdb::TxDbBackend>(backend_opts());
+  ASSERT_TRUE(backend->Recover().ok());
+  const durability::ProviderKind landed = backend->Provider();
+  EXPECT_TRUE(landed == start || landed == target)
+      << "recovered under " << durability::ProviderKindName(landed);
+  so.port = port;
+  server = std::make_unique<server::KvServer>(backend.get(), so);
+  ASSERT_TRUE(server->Start().ok());
+  const Status reconnect = c.Reconnect();
+  ASSERT_TRUE(reconnect.ok()) << reconnect.ToString() << " (landed on "
+                              << durability::ProviderKindName(landed) << ")";
+  EXPECT_EQ(c.guid(), guid);
+  EXPECT_GE(c.recovered_serial(), durable_acked)
+      << "acknowledged-durable transactions lost";
+  EXPECT_EQ(c.replay_backlog(), 0u);
+
+  client::CprClient::ProviderStatus ps;
+  ASSERT_TRUE(c.ProviderInfo(&ps).ok());
+  EXPECT_EQ(ps.kind, landed);
+
+  std::vector<std::vector<char>> reads;
+  net::TxnWireOp r0, r1, r5;  // default kind is kRead
+  r0.row = 0;
+  r1.row = 1;
+  r5.row = 5;
+  ASSERT_TRUE(c.Txn({r0, r1, r5}, &reads).ok());
+  ASSERT_EQ(reads.size(), 3u);
+  int64_t v0 = 0, v1 = 0, v5 = 0;
+  std::memcpy(&v0, reads[0].data(), sizeof(v0));
+  std::memcpy(&v1, reads[1].data(), sizeof(v1));
+  std::memcpy(&v5, reads[2].data(), sizeof(v5));
+  EXPECT_EQ(v0, adds_issued) << "row 0: adds applied " << v0 << " times under "
+                             << durability::ProviderKindName(landed)
+                             << ", issued " << adds_issued;
+  EXPECT_EQ(v1, adds_issued) << "row 1: adds applied " << v1 << " times under "
+                             << durability::ProviderKindName(landed)
+                             << ", issued " << adds_issued;
+  EXPECT_EQ(v5, 0) << "conflicted transaction's effect materialized";
+
+  // The certifier must accept the history no matter which provider recovery
+  // landed on: the prefix contract is provider-independent.
+  certify::StateDump final_state;
+  ASSERT_TRUE(c.DumpState(&final_state).ok());
+  const auto violations =
+      certify::CheckHistories(baseline, final_state, {rec.history()});
+  EXPECT_TRUE(violations.empty()) << [&] {
+    std::string out;
+    for (const auto& v : violations) {
+      out += certify::ViolationCodeName(v.code);
+      out += ": ";
+      out += v.detail;
+      out += "\n";
+    }
+    return out;
+  }();
+
+  c.Close();
+  server->Stop();
+}
+
+TEST(FaultRecoveryTest, SwitchRandomizedCrashPoints) {
+  const int iters = SwitchIters();
+  for (int i = 0; i < iters; ++i) {
+    SwitchCrashPointIteration(BaseSeed() + 6000 + static_cast<uint32_t>(i));
     if (HasFatalFailure()) return;
   }
 }

@@ -233,7 +233,7 @@ TEST(WireRequest, RejectsBadEnums) {
   std::string bad_op = payload;
   bad_op[0] = 0;  // below kHello
   EXPECT_FALSE(DecodeRequest(bad_op, &out));
-  bad_op[0] = 12;  // above kDump
+  bad_op[0] = 13;  // above kProvider
   EXPECT_FALSE(DecodeRequest(bad_op, &out));
 
   Request hello;
@@ -476,6 +476,38 @@ TEST(WireRequest, DumpRoundTripAndRejectsZeroMaxRows) {
 // must carry only in-range enums — a corrupted or malicious frame can never
 // smuggle an out-of-range enum past DecodeRequest (the server previously
 // relied on handlers to cope).
+TEST(WireRequest, ProviderRoundTripAndRejectsBadEnums) {
+  Request req;
+  req.op = Op::kProvider;
+  req.seq = 61;
+  req.provider_action = ProviderAction::kSwitch;
+  req.provider_kind = durability::ProviderKind::kWal;
+  const std::string payload = EncodedRequestPayload(req);
+  Request out;
+  ASSERT_TRUE(DecodeRequest(payload, &out));
+  EXPECT_EQ(out.op, Op::kProvider);
+  EXPECT_EQ(out.seq, 61u);
+  EXPECT_EQ(out.provider_action, ProviderAction::kSwitch);
+  EXPECT_EQ(out.provider_kind, durability::ProviderKind::kWal);
+
+  // Body is action u8 | kind u8: both enums are validated on decode.
+  std::string bad = payload;
+  bad[bad.size() - 2] = 2;  // action past kSwitch
+  EXPECT_FALSE(DecodeRequest(bad, &out));
+  bad = payload;
+  bad[bad.size() - 1] = 3;  // kind past kWal
+  EXPECT_FALSE(DecodeRequest(bad, &out));
+
+  // Truncated and trailing bytes both fail.
+  for (size_t n = 0; n < payload.size(); ++n) {
+    EXPECT_FALSE(DecodeRequest(std::string_view(payload.data(), n), &out))
+        << "prefix " << n;
+  }
+  std::string trailing = payload;
+  trailing.push_back('x');
+  EXPECT_FALSE(DecodeRequest(trailing, &out));
+}
+
 TEST(WireRequest, FuzzedBytesNeverDecodeOutOfRangeEnums) {
   std::vector<Request> exemplars;
   {
@@ -545,6 +577,14 @@ TEST(WireRequest, FuzzedBytesNeverDecodeOutOfRangeEnums) {
     r.max_rows = 64;
     exemplars.push_back(r);
   }
+  {
+    Request r;
+    r.op = Op::kProvider;
+    r.seq = 9;
+    r.provider_action = ProviderAction::kSwitch;
+    r.provider_kind = durability::ProviderKind::kWal;
+    exemplars.push_back(r);
+  }
 
   for (const Request& req : exemplars) {
     const std::string payload = EncodedRequestPayload(req);
@@ -557,7 +597,7 @@ TEST(WireRequest, FuzzedBytesNeverDecodeOutOfRangeEnums) {
         const uint8_t op = static_cast<uint8_t>(out.op);
         EXPECT_GE(op, static_cast<uint8_t>(Op::kHello))
             << OpName(req.op) << " pos " << pos << " val " << v;
-        EXPECT_LE(op, static_cast<uint8_t>(Op::kDump))
+        EXPECT_LE(op, static_cast<uint8_t>(Op::kProvider))
             << OpName(req.op) << " pos " << pos << " val " << v;
         EXPECT_LE(static_cast<uint8_t>(out.ack_mode),
                   static_cast<uint8_t>(AckMode::kDurable));
@@ -569,6 +609,14 @@ TEST(WireRequest, FuzzedBytesNeverDecodeOutOfRangeEnums) {
         }
         if (out.op == Op::kDump) {
           EXPECT_GT(out.max_rows, 0u)
+              << OpName(req.op) << " pos " << pos << " val " << v;
+        }
+        if (out.op == Op::kProvider) {
+          EXPECT_LE(static_cast<uint8_t>(out.provider_action),
+                    kMaxProviderAction)
+              << OpName(req.op) << " pos " << pos << " val " << v;
+          EXPECT_LE(static_cast<uint8_t>(out.provider_kind),
+                    durability::kMaxProviderKind)
               << OpName(req.op) << " pos " << pos << " val " << v;
         }
       }
@@ -825,7 +873,74 @@ TEST(WireResponse, FuzzedRecoveringBytesNeverDecodeOutOfRangeEnums) {
         EXPECT_GE(static_cast<uint8_t>(out.op),
                   static_cast<uint8_t>(Op::kHello));
         EXPECT_LE(static_cast<uint8_t>(out.op),
-                  static_cast<uint8_t>(Op::kDump));
+                  static_cast<uint8_t>(Op::kProvider));
+      }
+    }
+  }
+}
+
+TEST(WireResponse, ProviderRoundTripAndRejectsBadEnums) {
+  Response resp;
+  resp.op = Op::kProvider;
+  resp.status = WireStatus::kOk;
+  resp.seq = 63;
+  resp.provider_kind = durability::ProviderKind::kCalc;
+  resp.provider_pending = true;
+  resp.provider_switches = 4;
+  resp.provider_last_boundary = 17;
+  const std::string payload = EncodedResponsePayload(resp);
+  Response out;
+  ASSERT_TRUE(DecodeResponse(payload, &out));
+  EXPECT_EQ(out.op, Op::kProvider);
+  EXPECT_EQ(out.provider_kind, durability::ProviderKind::kCalc);
+  EXPECT_TRUE(out.provider_pending);
+  EXPECT_EQ(out.provider_switches, 4u);
+  EXPECT_EQ(out.provider_last_boundary, 17u);
+
+  // Body is kind u8 | pending u8 | switches u64 | last_boundary u64; the
+  // kind and pending bytes are validated on decode.
+  std::string bad = payload;
+  bad[payload.size() - 18] = 3;  // kind past kWal
+  EXPECT_FALSE(DecodeResponse(bad, &out));
+  bad = payload;
+  bad[payload.size() - 17] = 2;  // pending past bool
+  EXPECT_FALSE(DecodeResponse(bad, &out));
+
+  for (size_t n = 0; n < payload.size(); ++n) {
+    EXPECT_FALSE(DecodeResponse(std::string_view(payload.data(), n), &out))
+        << "prefix " << n;
+  }
+  std::string trailing = payload;
+  trailing.push_back('x');
+  EXPECT_FALSE(DecodeResponse(trailing, &out));
+}
+
+TEST(WireResponse, FuzzedProviderBytesNeverDecodeOutOfRangeEnums) {
+  Response resp;
+  resp.op = Op::kProvider;
+  resp.status = WireStatus::kOk;
+  resp.seq = 64;
+  resp.provider_kind = durability::ProviderKind::kWal;
+  resp.provider_pending = true;
+  resp.provider_switches = 2;
+  resp.provider_last_boundary = 9;
+  const std::string payload = EncodedResponsePayload(resp);
+  for (size_t pos = 0; pos < payload.size(); ++pos) {
+    for (int v = 0; v < 256; ++v) {
+      std::string mutated = payload;
+      mutated[pos] = static_cast<char>(v);
+      Response out;
+      if (!DecodeResponse(mutated, &out)) continue;
+      EXPECT_LE(static_cast<uint8_t>(out.status), kMaxWireStatus)
+          << "pos " << pos << " val " << v;
+      EXPECT_GE(static_cast<uint8_t>(out.op),
+                static_cast<uint8_t>(Op::kHello));
+      EXPECT_LE(static_cast<uint8_t>(out.op),
+                static_cast<uint8_t>(Op::kProvider));
+      if (out.op == Op::kProvider) {
+        EXPECT_LE(static_cast<uint8_t>(out.provider_kind),
+                  durability::kMaxProviderKind)
+            << "pos " << pos << " val " << v;
       }
     }
   }
@@ -834,10 +949,17 @@ TEST(WireResponse, FuzzedRecoveringBytesNeverDecodeOutOfRangeEnums) {
 TEST(WireNames, AreStable) {
   EXPECT_STREQ(OpName(Op::kHello), "HELLO");
   EXPECT_STREQ(OpName(Op::kCommitPoint), "COMMIT_POINT");
+  EXPECT_STREQ(OpName(Op::kProvider), "PROVIDER");
   EXPECT_STREQ(StatusName(WireStatus::kOk), "OK");
   EXPECT_STREQ(StatusName(WireStatus::kBusy), "BUSY");
   EXPECT_STREQ(StatusName(WireStatus::kNotDurable), "NOT_DURABLE");
   EXPECT_STREQ(StatusName(WireStatus::kRecovering), "RECOVERING");
+  EXPECT_STREQ(durability::ProviderKindName(durability::ProviderKind::kCpr),
+               "cpr");
+  EXPECT_STREQ(durability::ProviderKindName(durability::ProviderKind::kCalc),
+               "calc");
+  EXPECT_STREQ(durability::ProviderKindName(durability::ProviderKind::kWal),
+               "wal");
 }
 
 }  // namespace
