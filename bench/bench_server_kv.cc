@@ -39,6 +39,7 @@
 #include "bench_common.h"
 #include "client/client.h"
 #include "obs/metrics.h"
+#include "obs/reqtrace.h"
 #include "server/server.h"
 #include "shard/faster_backend.h"
 #include "shard/sharded_kv.h"
@@ -53,6 +54,9 @@ struct NetRunResult {
   std::vector<uint64_t> shard_ops;
   uint64_t rounds = 0;  // coordinated rounds completed (sharded only)
   ServerCounters::Snapshot counters;
+  // Per-run critical-path breakdown (registry histogram deltas).
+  obs::HistogramData stage_hist[obs::kNumReqStages];
+  obs::HistogramData e2e_hist;
 };
 
 // The registry's phase counters are process-cumulative (all stores, all
@@ -62,6 +66,23 @@ uint64_t PhaseCounterNs(int phase) {
       .GetCounter(std::string("cpr_faster_checkpoint_phase_ns_total{phase=\"") +
                   ServerCounters::kCheckpointPhaseNames[phase] + "\"}")
       ->Value();
+}
+
+// The request-stage histograms are likewise process-cumulative; before/after
+// samples around each run give per-run distributions.
+obs::HistogramMetric* StageHist(uint32_t stage) {
+  return obs::MetricsRegistry::Default().GetHistogram(
+      std::string("cpr_req_stage_ns{stage=\"") + obs::kReqStageNames[stage] +
+      "\"}");
+}
+
+obs::HistogramData HistDelta(const obs::HistogramData& after,
+                             const obs::HistogramData& before) {
+  obs::HistogramData d = after;
+  for (size_t i = 0; i < d.buckets.size(); ++i) d.buckets[i] -= before.buckets[i];
+  d.sum -= before.sum;
+  d.count -= before.count;
+  return d;
 }
 
 NetRunResult RunNet(uint32_t workers, uint32_t clients, uint32_t pipeline,
@@ -87,6 +108,12 @@ NetRunResult RunNet(uint32_t workers, uint32_t clients, uint32_t pipeline,
   so.checkpoint_interval_ms = checkpoint_ms;
   uint64_t phase_base[4];
   for (int i = 0; i < 4; ++i) phase_base[i] = PhaseCounterNs(i);
+  obs::HistogramData stage_base[obs::kNumReqStages];
+  for (uint32_t i = 0; i < obs::kNumReqStages; ++i) {
+    stage_base[i] = StageHist(i)->Sample();
+  }
+  const obs::HistogramData e2e_base =
+      obs::MetricsRegistry::Default().GetHistogram("cpr_req_e2e_ns")->Sample();
 
   server::KvServer server(backend.get(), so);
   if (!server.Start().ok()) {
@@ -170,6 +197,14 @@ NetRunResult RunNet(uint32_t workers, uint32_t clients, uint32_t pipeline,
     r.rounds = backend->LastCheckpointToken();  // round numbers are 1,2,...
   }
   server.Stop();
+  // Sample the stage histograms only after Stop(): every worker has flushed,
+  // so the per-stage sums reconcile exactly against the e2e sum.
+  for (uint32_t i = 0; i < obs::kNumReqStages; ++i) {
+    r.stage_hist[i] = HistDelta(StageHist(i)->Sample(), stage_base[i]);
+  }
+  r.e2e_hist = HistDelta(
+      obs::MetricsRegistry::Default().GetHistogram("cpr_req_e2e_ns")->Sample(),
+      e2e_base);
   return r;
 }
 
@@ -194,8 +229,8 @@ void PrintResult(const char* label, const NetRunResult& r, double seconds) {
     std::printf(
         "    durable lag: p50=%.2fms p99=%.2fms max=%.2fms  "
         "(peak pipeline depth %llu)\n",
-        static_cast<double>(c.durable_lag.QuantileNs(0.5)) / 1e6,
-        static_cast<double>(c.durable_lag.QuantileNs(0.99)) / 1e6,
+        static_cast<double>(c.durable_lag.Quantile(0.5)) / 1e6,
+        static_cast<double>(c.durable_lag.Quantile(0.99)) / 1e6,
         static_cast<double>(c.durable_lag_max_ns) / 1e6,
         static_cast<unsigned long long>(r.max_inflight));
   }
@@ -216,6 +251,23 @@ void PrintResult(const char* label, const NetRunResult& r, double seconds) {
                   static_cast<double>(c.checkpoint_phase_ns[i]) / 1e6);
     }
     std::printf("\n");
+  }
+  if (r.e2e_hist.count > 0) {
+    std::printf("    stage p50/p99 us:");
+    for (uint32_t i = 0; i < obs::kNumReqStages; ++i) {
+      std::printf(" %s=%.1f/%.1f", obs::kReqStageNames[i],
+                  static_cast<double>(r.stage_hist[i].Quantile(0.5)) / 1e3,
+                  static_cast<double>(r.stage_hist[i].Quantile(0.99)) / 1e3);
+    }
+    std::printf("  e2e=%.1f/%.1f\n",
+                static_cast<double>(r.e2e_hist.Quantile(0.5)) / 1e3,
+                static_cast<double>(r.e2e_hist.Quantile(0.99)) / 1e3);
+    uint64_t stage_sum = 0;
+    for (const auto& h : r.stage_hist) stage_sum += h.sum;
+    std::printf("    stage sum=%.1fms vs e2e sum=%.1fms over %llu traced ops\n",
+                static_cast<double>(stage_sum) / 1e6,
+                static_cast<double>(r.e2e_hist.sum) / 1e6,
+                static_cast<unsigned long long>(r.e2e_hist.count));
   }
 }
 
@@ -256,15 +308,33 @@ void WriteStatsJson(const char* path, uint32_t shards, uint32_t workers,
         static_cast<unsigned long long>(c.not_durable_engine),
         static_cast<unsigned long long>(c.not_durable_degraded),
         static_cast<unsigned long long>(r.rounds),
-        static_cast<unsigned long long>(c.durable_lag.QuantileNs(0.5)),
-        static_cast<unsigned long long>(c.durable_lag.QuantileNs(0.99)),
+        static_cast<unsigned long long>(c.durable_lag.Quantile(0.5)),
+        static_cast<unsigned long long>(c.durable_lag.Quantile(0.99)),
         static_cast<unsigned long long>(c.durable_lag_max_ns));
     for (int p = 0; p < 4; ++p) {
       std::fprintf(f, "%s\"%s\": %llu", p == 0 ? "" : ", ",
                    ServerCounters::kCheckpointPhaseNames[p],
                    static_cast<unsigned long long>(c.checkpoint_phase_ns[p]));
     }
-    std::fprintf(f, "}\n    }");
+    std::fprintf(f, "},\n      \"req_stage_ns\": {");
+    for (uint32_t s = 0; s < obs::kNumReqStages; ++s) {
+      const obs::HistogramData& h = r.stage_hist[s];
+      std::fprintf(
+          f, "%s\"%s\": {\"p50\": %llu, \"p99\": %llu, \"sum\": %llu, "
+          "\"count\": %llu}",
+          s == 0 ? "" : ", ", obs::kReqStageNames[s],
+          static_cast<unsigned long long>(h.Quantile(0.5)),
+          static_cast<unsigned long long>(h.Quantile(0.99)),
+          static_cast<unsigned long long>(h.sum),
+          static_cast<unsigned long long>(h.count));
+    }
+    std::fprintf(
+        f, "},\n      \"e2e_ns\": {\"p50\": %llu, \"p99\": %llu, "
+        "\"sum\": %llu, \"count\": %llu}\n    }",
+        static_cast<unsigned long long>(r.e2e_hist.Quantile(0.5)),
+        static_cast<unsigned long long>(r.e2e_hist.Quantile(0.99)),
+        static_cast<unsigned long long>(r.e2e_hist.sum),
+        static_cast<unsigned long long>(r.e2e_hist.count));
   }
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);

@@ -36,6 +36,8 @@
 #include "bench_common.h"
 #include "client/client.h"
 #include "durability/provider.h"
+#include "obs/metrics.h"
+#include "obs/reqtrace.h"
 #include "server/server.h"
 #include "server/wire.h"
 #include "txdb/txdb_backend.h"
@@ -51,7 +53,27 @@ struct TxnRunResult {
   uint64_t conflicts = 0;
   uint64_t max_inflight = 0;
   ServerCounters::Snapshot counters;
+  // Per-run critical-path breakdown (registry histogram deltas).
+  obs::HistogramData stage_hist[obs::kNumReqStages];
+  obs::HistogramData e2e_hist;
 };
+
+// The request-stage histograms are process-cumulative; before/after samples
+// around each run give per-run distributions.
+obs::HistogramMetric* StageHist(uint32_t stage) {
+  return obs::MetricsRegistry::Default().GetHistogram(
+      std::string("cpr_req_stage_ns{stage=\"") + obs::kReqStageNames[stage] +
+      "\"}");
+}
+
+obs::HistogramData HistDelta(const obs::HistogramData& after,
+                             const obs::HistogramData& before) {
+  obs::HistogramData d = after;
+  for (size_t i = 0; i < d.buckets.size(); ++i) d.buckets[i] -= before.buckets[i];
+  d.sum -= before.sum;
+  d.count -= before.count;
+  return d;
+}
 
 TxnRunResult RunTxnNet(uint32_t workers, uint32_t clients, uint32_t pipeline,
                        uint64_t rows, uint32_t txn_ops, double seconds,
@@ -71,6 +93,13 @@ TxnRunResult RunTxnNet(uint32_t workers, uint32_t clients, uint32_t pipeline,
   so.idle_poll_ms = 1;
   so.checkpoint_interval_ms = checkpoint_ms;
   so.max_connections = clients + 4;
+
+  obs::HistogramData stage_base[obs::kNumReqStages];
+  for (uint32_t i = 0; i < obs::kNumReqStages; ++i) {
+    stage_base[i] = StageHist(i)->Sample();
+  }
+  const obs::HistogramData e2e_base =
+      obs::MetricsRegistry::Default().GetHistogram("cpr_req_e2e_ns")->Sample();
 
   server::KvServer server(backend.get(), so);
   if (!server.Start().ok()) {
@@ -158,6 +187,13 @@ TxnRunResult RunTxnNet(uint32_t workers, uint32_t clients, uint32_t pipeline,
   r.record_ops_per_sec = r.txns_per_sec * txn_ops;
   r.counters = server.counters();
   server.Stop();
+  // Sample after Stop(): all workers flushed, stage sums reconcile with e2e.
+  for (uint32_t i = 0; i < obs::kNumReqStages; ++i) {
+    r.stage_hist[i] = HistDelta(StageHist(i)->Sample(), stage_base[i]);
+  }
+  r.e2e_hist = HistDelta(
+      obs::MetricsRegistry::Default().GetHistogram("cpr_req_e2e_ns")->Sample(),
+      e2e_base);
   return r;
 }
 
@@ -310,7 +346,7 @@ AdaptiveResult RunAdaptiveSwitch(uint32_t workers, uint32_t clients,
       if (starts.empty() || starts.back().provider != name) {
         starts.push_back(
             {name, NowNanos(), total_txns.load(std::memory_order_relaxed),
-             server.counters().durable_lag.QuantileNs(0.99)});
+             server.counters().durable_lag.Quantile(0.99)});
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
@@ -330,7 +366,7 @@ AdaptiveResult RunAdaptiveSwitch(uint32_t workers, uint32_t clients,
 
   const uint64_t end_ns = NowNanos();
   const uint64_t end_txns = total_txns.load(std::memory_order_relaxed);
-  const uint64_t end_lag_p99 = server.counters().durable_lag.QuantileNs(0.99);
+  const uint64_t end_lag_p99 = server.counters().durable_lag.Quantile(0.99);
   for (size_t i = 0; i < starts.size(); ++i) {
     AdaptiveSegment seg;
     seg.provider = starts[i].provider;
@@ -354,7 +390,7 @@ AdaptiveResult RunAdaptiveSwitch(uint32_t workers, uint32_t clients,
   for (uint64_t n : failures) out.failed_ops += n;
   const auto c = server.counters();
   out.durable_lag_p99_ms =
-      static_cast<double>(c.durable_lag.QuantileNs(0.99)) / 1e6;
+      static_cast<double>(c.durable_lag.Quantile(0.99)) / 1e6;
   server.Stop();
   return out;
 }
@@ -400,10 +436,21 @@ void PrintResult(const char* label, const TxnRunResult& r, uint32_t txn_ops) {
     std::printf(
         "    durable lag: p50=%.2fms p99=%.2fms max=%.2fms  "
         "(peak pipeline depth %llu)\n",
-        static_cast<double>(c.durable_lag.QuantileNs(0.5)) / 1e6,
-        static_cast<double>(c.durable_lag.QuantileNs(0.99)) / 1e6,
+        static_cast<double>(c.durable_lag.Quantile(0.5)) / 1e6,
+        static_cast<double>(c.durable_lag.Quantile(0.99)) / 1e6,
         static_cast<double>(c.durable_lag_max_ns) / 1e6,
         static_cast<unsigned long long>(r.max_inflight));
+  }
+  if (r.e2e_hist.count > 0) {
+    std::printf("    stage p50/p99 us:");
+    for (uint32_t i = 0; i < obs::kNumReqStages; ++i) {
+      std::printf(" %s=%.1f/%.1f", obs::kReqStageNames[i],
+                  static_cast<double>(r.stage_hist[i].Quantile(0.5)) / 1e3,
+                  static_cast<double>(r.stage_hist[i].Quantile(0.99)) / 1e3);
+    }
+    std::printf("  e2e=%.1f/%.1f\n",
+                static_cast<double>(r.e2e_hist.Quantile(0.5)) / 1e3,
+                static_cast<double>(r.e2e_hist.Quantile(0.99)) / 1e3);
   }
   (void)txn_ops;
 }
@@ -438,16 +485,34 @@ void WriteStatsJson(const char* path, uint32_t workers, uint32_t clients,
         "      \"checkpoints\": %llu,\n      \"checkpoint_failures\": %llu,\n"
         "      \"not_durable_acks\": %llu,\n"
         "      \"durable_lag_ns\": {\"p50\": %llu, \"p99\": %llu, "
-        "\"max\": %llu}\n    }",
+        "\"max\": %llu},\n      \"req_stage_ns\": {",
         i == 0 ? "" : ",", runs[i].first.c_str(), r.txns_per_sec,
         r.record_ops_per_sec, static_cast<unsigned long long>(r.total_txns),
         static_cast<unsigned long long>(r.conflicts),
         static_cast<unsigned long long>(c.checkpoints),
         static_cast<unsigned long long>(c.checkpoint_failures),
         static_cast<unsigned long long>(c.not_durable_acks),
-        static_cast<unsigned long long>(c.durable_lag.QuantileNs(0.5)),
-        static_cast<unsigned long long>(c.durable_lag.QuantileNs(0.99)),
+        static_cast<unsigned long long>(c.durable_lag.Quantile(0.5)),
+        static_cast<unsigned long long>(c.durable_lag.Quantile(0.99)),
         static_cast<unsigned long long>(c.durable_lag_max_ns));
+    for (uint32_t s = 0; s < obs::kNumReqStages; ++s) {
+      const obs::HistogramData& h = r.stage_hist[s];
+      std::fprintf(
+          f, "%s\"%s\": {\"p50\": %llu, \"p99\": %llu, \"sum\": %llu, "
+          "\"count\": %llu}",
+          s == 0 ? "" : ", ", obs::kReqStageNames[s],
+          static_cast<unsigned long long>(h.Quantile(0.5)),
+          static_cast<unsigned long long>(h.Quantile(0.99)),
+          static_cast<unsigned long long>(h.sum),
+          static_cast<unsigned long long>(h.count));
+    }
+    std::fprintf(
+        f, "},\n      \"e2e_ns\": {\"p50\": %llu, \"p99\": %llu, "
+        "\"sum\": %llu, \"count\": %llu}\n    }",
+        static_cast<unsigned long long>(r.e2e_hist.Quantile(0.5)),
+        static_cast<unsigned long long>(r.e2e_hist.Quantile(0.99)),
+        static_cast<unsigned long long>(r.e2e_hist.sum),
+        static_cast<unsigned long long>(r.e2e_hist.count));
   }
   std::fprintf(f, "\n  ]");
   if (adaptive != nullptr) {

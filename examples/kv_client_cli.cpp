@@ -45,6 +45,13 @@ void Usage(const char* argv0) {
       "  ckpt         request a CPR checkpoint, wait until durable\n"
       "  point        query this session's durable commit point\n"
       "  stats        scrape the server's metrics (Prometheus text)\n"
+      "  health       fetch the watchdog health record (JSON: overall\n"
+      "               OK/WARN/STALL plus per-check escalation state)\n"
+      "  breakdown [F]\n"
+      "               fetch the per-op critical-path latency breakdown\n"
+      "               (JSON: p50/p99 per stage — decode, park, execute,\n"
+      "               durable_gate, ack, write — plus end-to-end) to\n"
+      "               stdout, or to file F\n"
       "  provider [cpr|calc|wal]\n"
       "               report the durability provider, or queue a live\n"
       "               switch to the named one (flips at the next\n"
@@ -192,6 +199,29 @@ int Exec(cpr::client::CprClient& c, const std::vector<std::string>& cmd) {
     const cpr::Status s = c.ServerStats(&text);
     if (!s.ok()) return fail(s);
     std::fputs(text.c_str(), stdout);
+  } else if (op == "health" && cmd.size() == 1) {
+    std::string json;
+    const cpr::Status s = c.ServerHealth(&json);
+    if (!s.ok()) return fail(s);
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    std::fputc('\n', stdout);
+  } else if (op == "breakdown" && cmd.size() <= 2) {
+    std::string json;
+    const cpr::Status s = c.ServerBreakdown(&json);
+    if (!s.ok()) return fail(s);
+    if (cmd.size() == 2) {
+      std::FILE* f = std::fopen(cmd[1].c_str(), "w");
+      if (f == nullptr) {
+        std::printf("error: cannot open %s\n", cmd[1].c_str());
+        return 1;
+      }
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("wrote %zu bytes to %s\n", json.size(), cmd[1].c_str());
+    } else {
+      std::fwrite(json.data(), 1, json.size(), stdout);
+      std::fputc('\n', stdout);
+    }
   } else if (op == "provider" && cmd.size() <= 2) {
     cpr::client::CprClient::ProviderStatus ps;
     cpr::Status s;

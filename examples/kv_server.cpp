@@ -67,6 +67,14 @@ void Usage(const char* argv0) {
                "  --checkpoint-ms N  periodic CPR checkpoint interval\n"
                "                     (default 0: only client-requested)\n"
                "  --stats-ms N       counter report interval (default 5000)\n"
+               "  --trace-sample N   record 1-in-N request spans into the\n"
+               "                     trace ring (default 0: keep the\n"
+               "                     CPR_REQTRACE_SAMPLE / built-in default;\n"
+               "                     stage histograms record regardless)\n"
+               "  --watchdog-ms N    health watchdog evaluation period\n"
+               "                     (default 250; 0 disables)\n"
+               "  --watchdog-dump F  on-stall diagnostic dump file (default:\n"
+               "                     $CPR_WATCHDOG_DUMP, else none)\n"
                "  --recover          recover from the latest checkpoint\n"
                "  --instant          recover in the background: serve from\n"
                "                     the listener immediately, restore\n"
@@ -90,6 +98,9 @@ int main(int argc, char** argv) {
   bool instant = false;
   std::string mode = "cpr";
   uint32_t adaptive_ms = 0;
+  uint32_t trace_sample = 0;
+  uint32_t watchdog_ms = 250;
+  std::string watchdog_dump;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -127,6 +138,12 @@ int main(int argc, char** argv) {
       checkpoint_ms = static_cast<uint32_t>(std::atoi(next()));
     } else if (arg == "--stats-ms") {
       stats_ms = static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg == "--trace-sample") {
+      trace_sample = static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg == "--watchdog-ms") {
+      watchdog_ms = static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg == "--watchdog-dump") {
+      watchdog_dump = next();
     } else if (arg == "--recover") {
       recover = true;
     } else if (arg == "--instant") {
@@ -190,6 +207,9 @@ int main(int argc, char** argv) {
   so.checkpoint_interval_ms = checkpoint_ms;
   so.recover_on_start = instant;
   so.adaptive_interval_ms = adaptive_ms;
+  so.reqtrace_sample = trace_sample;
+  so.watchdog_interval_ms = watchdog_ms;
+  so.watchdog_dump_path = watchdog_dump;
   cpr::server::KvServer server(backend.get(), so);
   const cpr::Status s = server.Start();
   if (!s.ok()) {

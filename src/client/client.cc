@@ -845,6 +845,32 @@ Status CprClient::ServerTrace(std::string* json) {
   return Status::Ok();
 }
 
+Status CprClient::ServerHealth(std::string* json) {
+  EnqueueStats(net::StatsKind::kHealth);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  std::vector<Result> results;
+  s = Drain(&results, 1);
+  if (!s.ok()) return s;
+  const Result& r = results.front();
+  if (r.status != net::WireStatus::kOk) return AsStatus(r);
+  json->assign(r.stats.begin(), r.stats.end());
+  return Status::Ok();
+}
+
+Status CprClient::ServerBreakdown(std::string* json) {
+  EnqueueStats(net::StatsKind::kReqBreakdown);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  std::vector<Result> results;
+  s = Drain(&results, 1);
+  if (!s.ok()) return s;
+  const Result& r = results.front();
+  if (r.status != net::WireStatus::kOk) return AsStatus(r);
+  json->assign(r.stats.begin(), r.stats.end());
+  return Status::Ok();
+}
+
 namespace {
 CprClient::ProviderStatus ToProviderStatus(const CprClient::Result& r) {
   CprClient::ProviderStatus ps;

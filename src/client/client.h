@@ -196,6 +196,13 @@ class CprClient {
   // Fetches the server's checkpoint lifecycle trace (Chrome trace_event
   // JSON; open in Perfetto).
   Status ServerTrace(std::string* json);
+  // Fetches the watchdog health record (JSON: overall health, per-check
+  // escalation state). Works before HELLO — monitoring needs no session.
+  Status ServerHealth(std::string* json);
+  // Fetches the per-op critical-path latency breakdown (JSON: p50/p99 per
+  // stage — decode/park/execute/durable_gate/ack/write — plus end-to-end).
+  // Works before HELLO.
+  Status ServerBreakdown(std::string* json);
   // Reports the backend's current durability provider. Works before HELLO —
   // durability control needs no session.
   Status ProviderInfo(ProviderStatus* out);

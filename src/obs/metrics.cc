@@ -3,19 +3,10 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
-#include <thread>
+
+#include "util/clock.h"
 
 namespace cpr::obs {
-
-uint32_t ThisThreadSlot() {
-  // Hash of the thread id, computed once per thread. Collisions just share a
-  // slot (the atomics stay correct, only cache locality degrades).
-  static thread_local const uint32_t slot = [] {
-    const size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
-    return static_cast<uint32_t>(h % kMetricSlots);
-  }();
-  return slot;
-}
 
 MetricsRegistry::MetricsRegistry()
     : entries_(new Entry[kMaxMetrics]),
@@ -161,7 +152,15 @@ void AppendValue(std::string* out, double v) {
 std::string MetricsRegistry::RenderText() const {
   const std::vector<MetricSample> samples = Snapshot();
   std::string out;
-  out.reserve(samples.size() * 48);
+  out.reserve(samples.size() * 48 + 128);
+  // Scrape metadata first: a per-registry sequence number (goes backwards
+  // only across a process restart) and the monotonic clock (rate
+  // denominators without wall-clock guessing).
+  const uint64_t seq = scrape_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  out += "# TYPE cpr_scrape_seq counter\ncpr_scrape_seq " +
+         std::to_string(seq) + "\n";
+  out += "# TYPE cpr_monotonic_time_ns gauge\ncpr_monotonic_time_ns " +
+         std::to_string(NowNanos()) + "\n";
   std::string last_typed;  // suppress repeated # TYPE for one family
   for (const MetricSample& s : samples) {
     const std::string base = BaseName(s.name);

@@ -40,15 +40,18 @@
 #include <vector>
 
 #include "util/cacheline.h"
+#include "util/sharded_histogram.h"
 
 namespace cpr::obs {
 
-// Thread shards per instrument. More slots = less false sharing between
-// recording threads, more memory and a longer (still lock-free) sum.
-constexpr uint32_t kMetricSlots = 16;
-
-// Stable, hashed index of the calling thread into [0, kMetricSlots).
-uint32_t ThisThreadSlot();
+// The sharded-slot machinery and log2 histogram types live in
+// util/sharded_histogram.h (so util-level structs like ServerCounters can
+// record lock-free without depending on the obs library); aliased here so
+// obs callers keep their spelling.
+using ::cpr::HistogramData;
+using ::cpr::HistogramMetric;
+using ::cpr::kMetricSlots;
+using ::cpr::ThisThreadSlot;
 
 enum class MetricKind : uint8_t { kCounter = 0, kGauge, kHistogram };
 
@@ -91,89 +94,6 @@ class Gauge {
   friend class MetricsRegistry;
   Gauge() = default;
   std::atomic<int64_t> v_{0};
-};
-
-// Plain-data log2-bucketed histogram snapshot (mergeable; mirrors
-// util/histogram.h bucketing so single-writer and sharded histograms agree).
-struct HistogramData {
-  std::array<uint64_t, 65> buckets{};
-  uint64_t sum = 0;
-  uint64_t count = 0;
-
-  void Add(uint64_t v) {
-    buckets[BucketOf(v)] += 1;
-    sum += v;
-    count += 1;
-  }
-
-  void Merge(const HistogramData& o) {
-    for (size_t i = 0; i < buckets.size(); ++i) buckets[i] += o.buckets[i];
-    sum += o.sum;
-    count += o.count;
-  }
-
-  double Mean() const {
-    return count == 0 ? 0.0
-                      : static_cast<double>(sum) / static_cast<double>(count);
-  }
-
-  // Approximate quantile (bucket upper bound), q in [0, 1].
-  uint64_t Quantile(double q) const {
-    if (count == 0) return 0;
-    uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count));
-    if (target >= count) target = count - 1;  // q=1.0: the max bucket
-    uint64_t seen = 0;
-    for (size_t i = 0; i < buckets.size(); ++i) {
-      seen += buckets[i];
-      if (seen > target) return i == 0 ? 1 : (uint64_t{1} << i);
-    }
-    return uint64_t{1} << 63;
-  }
-
-  static int BucketOf(uint64_t v) {
-    return v == 0 ? 0 : 64 - __builtin_clzll(v);
-  }
-};
-
-// Concurrent log2 histogram: per-thread-slot atomic buckets; Record() is
-// three relaxed RMWs on the caller's slot.
-class HistogramMetric {
- public:
-  void Record(uint64_t v) {
-    Slot& s = slots_[ThisThreadSlot()];
-    s.buckets[HistogramData::BucketOf(v)].fetch_add(
-        1, std::memory_order_relaxed);
-    s.sum.fetch_add(v, std::memory_order_relaxed);
-    s.count.fetch_add(1, std::memory_order_relaxed);
-  }
-
-  // Lock-free (relaxed) merge over the slots. Concurrent with recorders the
-  // (count, sum, buckets) triple is only approximately consistent — fine for
-  // monitoring, and exact once recorders quiesce.
-  HistogramData Sample() const {
-    HistogramData d;
-    for (const Slot& s : slots_) {
-      for (size_t i = 0; i < d.buckets.size(); ++i) {
-        d.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
-      }
-      d.sum += s.sum.load(std::memory_order_relaxed);
-      d.count += s.count.load(std::memory_order_relaxed);
-    }
-    return d;
-  }
-
-  HistogramMetric(const HistogramMetric&) = delete;
-  HistogramMetric& operator=(const HistogramMetric&) = delete;
-
- private:
-  friend class MetricsRegistry;
-  HistogramMetric() = default;
-  struct alignas(kCacheLineBytes) Slot {
-    std::array<std::atomic<uint64_t>, 65> buckets{};
-    std::atomic<uint64_t> sum{0};
-    std::atomic<uint64_t> count{0};
-  };
-  std::array<Slot, kMetricSlots> slots_;
 };
 
 // One snapshot entry. Counters/gauges carry `value`; histograms carry `hist`.
@@ -222,7 +142,11 @@ class MetricsRegistry {
 
   // Prometheus-style text exposition of Snapshot(): `# TYPE` headers,
   // `name value` lines; histograms expand to `_count`, `_sum` and
-  // `{quantile="..."}` lines.
+  // `{quantile="..."}` lines. Every render is prefixed with a scrape
+  // sequence number (monotonic per registry, so external scrapers detect
+  // restarts when it goes backwards) and the server's monotonic clock in
+  // nanoseconds (so rates can be computed without guessing at collection
+  // time).
   std::string RenderText() const;
 
   uint32_t NumInstruments() const {
@@ -249,6 +173,9 @@ class MetricsRegistry {
   mutable std::mutex collectors_mu_;
   std::vector<std::pair<uint64_t, CollectorFn>> collectors_;
   uint64_t next_collector_id_ = 1;
+
+  // Bumped once per RenderText(); emitted as cpr_scrape_seq.
+  mutable std::atomic<uint64_t> scrape_seq_{0};
 
   // Overflow sinks handed out past kMaxMetrics (never in a snapshot).
   std::unique_ptr<Counter> overflow_counter_;

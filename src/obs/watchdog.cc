@@ -1,0 +1,207 @@
+#include "obs/watchdog.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cpr::obs {
+
+namespace {
+
+std::string ResolveDumpPath(const std::string& from_opts) {
+  if (!from_opts.empty()) return from_opts;
+  const char* env = std::getenv("CPR_WATCHDOG_DUMP");
+  return env == nullptr ? std::string() : std::string(env);
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+const char* HealthName(Health h) {
+  switch (h) {
+    case Health::kOk:
+      return "OK";
+    case Health::kWarn:
+      return "WARN";
+    case Health::kStall:
+      return "STALL";
+  }
+  return "?";
+}
+
+Watchdog::Watchdog(Options opts, MetricsRegistry* registry)
+    : opts_(opts),
+      dump_path_(ResolveDumpPath(opts.dump_path)),
+      registry_(registry),
+      evaluations_metric_(
+          registry->GetCounter("cpr_watchdog_evaluations_total")),
+      warn_metric_(registry->GetCounter("cpr_watchdog_warn_events_total")),
+      stall_metric_(registry->GetCounter("cpr_watchdog_stall_events_total")),
+      health_metric_(registry->GetGauge("cpr_watchdog_health")) {}
+
+Watchdog::~Watchdog() { Stop(); }
+
+void Watchdog::AddCheck(std::string name, CheckFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckState c;
+  c.name = std::move(name);
+  c.fn = std::move(fn);
+  checks_.push_back(std::move(c));
+}
+
+void Watchdog::SetDumpExtra(std::function<std::string()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dump_extra_ = std::move(fn);
+}
+
+void Watchdog::Start() {
+  std::lock_guard<std::mutex> lock(run_mu_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { ThreadMain(); });
+}
+
+void Watchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(run_mu_);
+  running_ = false;
+}
+
+void Watchdog::ThreadMain() {
+  std::unique_lock<std::mutex> lock(run_mu_);
+  while (!stop_requested_) {
+    stop_cv_.wait_for(lock, std::chrono::milliseconds(opts_.interval_ms),
+                      [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    lock.unlock();
+    EvaluateOnce();
+    lock.lock();
+  }
+}
+
+void Watchdog::EvaluateOnce() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Health worst = Health::kOk;
+  std::string stall_reason;
+  for (CheckState& c : checks_) {
+    Probe p = c.fn();
+    if (p.suspicious) {
+      c.suspicious_evals += 1;
+      c.evidence = p.evidence;
+      c.detail = std::move(p.detail);
+    } else {
+      c.suspicious_evals = 0;
+      c.evidence = 0;
+      c.detail.clear();
+    }
+    Health next = Health::kOk;
+    if (c.suspicious_evals >= opts_.stall_evals) {
+      next = Health::kStall;
+    } else if (c.suspicious_evals >= opts_.warn_evals) {
+      next = Health::kWarn;
+    }
+    if (next == Health::kWarn && c.health != Health::kWarn) {
+      warn_events_.fetch_add(1, std::memory_order_relaxed);
+      warn_metric_->Add(1);
+    }
+    if (next == Health::kStall && c.health != Health::kStall) {
+      stall_events_.fetch_add(1, std::memory_order_relaxed);
+      stall_metric_->Add(1);
+      // First escalation of this episode: capture the evidence.
+      if (stall_reason.empty()) {
+        stall_reason = c.name + (c.detail.empty() ? "" : ": " + c.detail);
+      }
+    }
+    c.health = next;
+    if (next > worst) worst = next;
+  }
+  health_.store(static_cast<uint8_t>(worst), std::memory_order_relaxed);
+  health_metric_->Set(static_cast<int64_t>(worst));
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  evaluations_metric_->Add(1);
+  if (!stall_reason.empty()) WriteDump(stall_reason);
+}
+
+std::string Watchdog::RenderHealthJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "\"health\":\"%s\",\"evaluations\":%" PRIu64
+                ",\"warn_events\":%" PRIu64 ",\"stall_events\":%" PRIu64
+                ",\"interval_ms\":%u,\"checks\":[",
+                HealthName(health()), evaluations(), warn_events(),
+                stall_events(), opts_.interval_ms);
+  out.append(buf);
+  bool first = true;
+  for (const CheckState& c : checks_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":\"");
+    AppendJsonEscaped(&out, c.name);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"health\":\"%s\",\"suspicious_evals\":%u,"
+                  "\"evidence\":%" PRId64 ",\"detail\":\"",
+                  HealthName(c.health), c.suspicious_evals, c.evidence);
+    out.append(buf);
+    AppendJsonEscaped(&out, c.detail);
+    out.append("\"}");
+  }
+  out.append("]}");
+  return out;
+}
+
+// Called with mu_ held (from EvaluateOnce); renders without re-locking.
+void Watchdog::WriteDump(const std::string& reason) const {
+  if (dump_path_.empty()) return;
+  std::string out = "watchdog stall: " + reason + "\n\n";
+  // Health records (inline, mu_ already held — mirror RenderHealthJson).
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "evaluations=%" PRIu64 " warn_events=%" PRIu64
+                " stall_events=%" PRIu64 "\n",
+                evaluations(), warn_events(), stall_events());
+  out.append(buf);
+  for (const CheckState& c : checks_) {
+    std::snprintf(buf, sizeof(buf), "check %s: %s suspicious_evals=%u evidence=%" PRId64 " ",
+                  c.name.c_str(), HealthName(c.health), c.suspicious_evals,
+                  c.evidence);
+    out.append(buf);
+    out.append(c.detail);
+    out.push_back('\n');
+  }
+  out.append("\n--- metrics ---\n");
+  out.append(registry_->RenderText());
+  if (dump_extra_) {
+    out.append("\n--- extra ---\n");
+    out.append(dump_extra_());
+  }
+  if (std::FILE* f = std::fopen(dump_path_.c_str(), "w")) {
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+  }
+}
+
+}  // namespace cpr::obs

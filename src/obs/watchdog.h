@@ -1,0 +1,147 @@
+#ifndef CPR_OBS_WATCHDOG_H_
+#define CPR_OBS_WATCHDOG_H_
+
+// Server-side health evaluator: a background thread that periodically runs
+// registered stall predicates ("checks") over cheap state reads — registry
+// snapshots, backend progress tokens, queue depths — and escalates any check
+// that stays suspicious across consecutive evaluations:
+//
+//   OK --(warn_evals consecutive suspicious)--> WARN
+//      --(stall_evals consecutive suspicious)--> STALL
+//
+// and back to OK the moment an evaluation comes up clean (progress resumed).
+// The things that can currently hang silently each get a predicate in the
+// server: a checkpoint round stuck in one phase, a recovering shard making
+// no progress, the parked-op queue pinned at capacity, durable lag growing
+// monotonically, a provider switch pending past its boundary.
+//
+// Escalation to STALL writes a diagnostic dump (health JSON + full metrics
+// text + the sampled request-trace ring) to `dump_path` (or the
+// CPR_WATCHDOG_DUMP env var), once per stall episode, so CI can attach the
+// evidence of a hung run. Health state is also queryable live: the server
+// serves RenderHealthJson() as STATS kind kHealth.
+//
+// Checks run on the watchdog thread only; they must read shared state with
+// their own synchronization (atomics / registry snapshots) and never block.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cpr::obs {
+
+enum class Health : uint8_t { kOk = 0, kWarn = 1, kStall = 2 };
+const char* HealthName(Health h);
+
+// One evaluation's verdict from a check.
+struct Probe {
+  bool suspicious = false;  // no forward progress observed this evaluation
+  int64_t evidence = 0;     // check-specific counter (token, depth, lag...)
+  std::string detail;       // human-readable evidence for the health record
+};
+
+struct WatchdogOptions {
+  uint32_t interval_ms = 250;  // evaluation period
+  uint32_t warn_evals = 2;     // consecutive suspicious evals -> WARN
+  uint32_t stall_evals = 4;    // consecutive suspicious evals -> STALL
+  // On-stall dump target; empty falls back to CPR_WATCHDOG_DUMP (and, if
+  // that's unset too, no dump is written).
+  std::string dump_path;
+};
+
+class Watchdog {
+ public:
+  using Options = WatchdogOptions;
+
+  explicit Watchdog(Options opts = Options(),
+                    MetricsRegistry* registry = &MetricsRegistry::Default());
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  using CheckFn = std::function<Probe()>;
+
+  // Registers a stall predicate. Call before Start() (or between Stop() and
+  // a re-Start()); the evaluator owns the callbacks until destruction.
+  void AddCheck(std::string name, CheckFn fn);
+
+  // Extra text appended to the on-stall dump (e.g. the request-trace ring).
+  void SetDumpExtra(std::function<std::string()> fn);
+
+  void Start();
+  void Stop();
+
+  // Runs one evaluation synchronously (the background thread calls this;
+  // tests call it directly for deterministic escalation).
+  void EvaluateOnce();
+
+  // Worst health over all checks as of the last evaluation.
+  Health health() const {
+    return static_cast<Health>(health_.load(std::memory_order_relaxed));
+  }
+  uint64_t evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+  // Cumulative escalation transitions (per check): into WARN, into STALL.
+  uint64_t warn_events() const {
+    return warn_events_.load(std::memory_order_relaxed);
+  }
+  uint64_t stall_events() const {
+    return stall_events_.load(std::memory_order_relaxed);
+  }
+  const std::string& dump_path() const { return dump_path_; }
+
+  // {"health":"OK|WARN|STALL","evaluations":N,"warn_events":..,
+  //  "stall_events":..,"interval_ms":..,"checks":[{"name":..,"health":..,
+  //  "suspicious_evals":..,"evidence":..,"detail":..},...]}
+  std::string RenderHealthJson() const;
+
+ private:
+  struct CheckState {
+    std::string name;
+    CheckFn fn;
+    uint32_t suspicious_evals = 0;  // consecutive
+    Health health = Health::kOk;
+    int64_t evidence = 0;
+    std::string detail;
+  };
+
+  void ThreadMain();
+  void WriteDump(const std::string& reason) const;
+
+  const Options opts_;
+  const std::string dump_path_;
+  MetricsRegistry* const registry_;
+
+  mutable std::mutex mu_;  // guards checks_ contents and dump_extra_
+  std::vector<CheckState> checks_;
+  std::function<std::string()> dump_extra_;
+
+  std::atomic<uint8_t> health_{0};
+  std::atomic<uint64_t> evaluations_{0};
+  std::atomic<uint64_t> warn_events_{0};
+  std::atomic<uint64_t> stall_events_{0};
+
+  Counter* evaluations_metric_;
+  Counter* warn_metric_;
+  Counter* stall_metric_;
+  Gauge* health_metric_;
+
+  std::mutex run_mu_;  // Start/Stop lifecycle
+  std::condition_variable stop_cv_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+};
+
+}  // namespace cpr::obs
+
+#endif  // CPR_OBS_WATCHDOG_H_

@@ -144,6 +144,14 @@ struct KvServer::PendingResponse {
   // When the durable gate was armed (execution time); the execute→durable
   // lag is recorded when the gate opens.
   uint64_t enqueue_ns = 0;
+  // Request tracing (obs::ReqTrace). Data/TXN ops that reached the backend
+  // set traced and the stamps below; the stage widths are derived at release
+  // and write time so they partition [t_recv, write-done] exactly.
+  bool traced = false;
+  uint64_t t_recv = 0;        // frame bytes were available (span start)
+  uint64_t park_ns = 0;       // accumulated instant-restart park wait
+  uint64_t t_exec_start = 0;  // backend dispatch began
+  uint64_t t_ready = 0;       // execution result known (sync or async)
   net::Response resp;
 };
 
@@ -179,6 +187,25 @@ struct KvServer::Connection {
   bool parked = false;
   uint32_t parked_shard = 0;
   net::Request parked_req;
+  // Request-tracing stamps. recv_batch_ns is (re)stamped whenever frame
+  // consumption (re)starts, so each op's decode stage covers only its own
+  // extract+decode+dispatch; req_recv_ns/req_park_ns describe the frame
+  // currently being handled (park wait accumulates across re-parks).
+  uint64_t recv_batch_ns = 0;
+  uint64_t req_recv_ns = 0;
+  uint64_t req_park_ns = 0;
+  uint64_t parked_since_ns = 0;
+  // Ack/write attribution survives outbuf compaction by tracking cumulative
+  // bytes queued/sent instead of buffer offsets: a traced frame's bytes have
+  // reached the kernel once cum_sent covers its frame_end.
+  uint64_t cum_queued = 0;
+  uint64_t cum_sent = 0;
+  struct WriteTrack {
+    uint64_t frame_end = 0;    // cum_queued after this frame was encoded
+    uint64_t encoded_ns = 0;   // ack serialize finished
+    obs::ReqSpan span;         // stages through kAck filled; kWrite pending
+  };
+  std::deque<WriteTrack> write_track;
 };
 
 struct KvServer::Worker {
@@ -338,12 +365,128 @@ Status KvServer::Start() {
         emit("cpr_server_read_ops_total", static_cast<double>(s.read_ops));
         emit("cpr_server_write_ops_total", static_cast<double>(s.write_ops));
         emit("cpr_server_durable_lag_p50_ns",
-             static_cast<double>(s.durable_lag.QuantileNs(0.5)));
+             static_cast<double>(s.durable_lag.Quantile(0.5)));
         emit("cpr_server_durable_lag_p99_ns",
-             static_cast<double>(s.durable_lag.QuantileNs(0.99)));
+             static_cast<double>(s.durable_lag.Quantile(0.99)));
         emit("cpr_server_durable_lag_max_ns",
              static_cast<double>(s.durable_lag_max_ns));
       });
+
+  // Per-request critical-path recorder (process-global; stage histograms
+  // land in the default registry, sampled spans in the shared ring).
+  reqtrace_ = &obs::ReqTrace::Default();
+  if (options_.reqtrace_sample != 0) {
+    reqtrace_->set_sample_every(options_.reqtrace_sample);
+  }
+
+  // Health watchdog: stall predicates over the machinery that can hang
+  // silently. Every check is a cheap read of atomics/backend progress
+  // tokens; escalation and dumping live in obs::Watchdog.
+  {
+    obs::WatchdogOptions wd;
+    wd.interval_ms = options_.watchdog_interval_ms;
+    wd.warn_evals = options_.watchdog_warn_evals;
+    wd.stall_evals = options_.watchdog_stall_evals;
+    wd.dump_path = options_.watchdog_dump_path;
+    watchdog_ = std::make_unique<obs::Watchdog>(wd);
+    watchdog_->SetDumpExtra(
+        [this] { return reqtrace_->RenderSpansText(); });
+    // (a) A checkpoint round stuck: in flight, yet no round has finished
+    // since the previous evaluation.
+    watchdog_->AddCheck(
+        "checkpoint_stuck", [this, last_finished = uint64_t{0}]() mutable {
+          obs::Probe p;
+          const uint64_t finished = kv_->LastFinishedToken();
+          if (kv_->CheckpointInProgress() && finished == last_finished) {
+            p.suspicious = true;
+            p.evidence = static_cast<int64_t>(kv_->LastCheckpointToken());
+            p.detail = "checkpoint in flight, no round finished since last "
+                       "evaluation (last_finished=" +
+                       std::to_string(finished) + ")";
+          }
+          last_finished = finished;
+          return p;
+        });
+    // (b) Recovery making no progress: still recovering and the number of
+    // ready shards did not advance since the previous evaluation.
+    watchdog_->AddCheck(
+        "recovery_stalled", [this, last_ready = uint32_t{0}]() mutable {
+          obs::Probe p;
+          if (kv_->Recovering()) {
+            uint32_t ready = 0;
+            for (uint32_t i = 0; i < kv_->num_shards(); ++i) {
+              if (kv_->ShardReady(i)) ++ready;
+            }
+            if (ready == last_ready) {
+              p.suspicious = true;
+              p.evidence = static_cast<int64_t>(ready);
+              p.detail = "recovering with " + std::to_string(ready) + "/" +
+                         std::to_string(kv_->num_shards()) +
+                         " shards ready, no progress since last evaluation";
+            }
+            last_ready = ready;
+          } else {
+            last_ready = 0;
+          }
+          return p;
+        });
+    // (c) Parked-op queue pinned at capacity: every new cold-shard op is
+    // being rejected RECOVERING.
+    watchdog_->AddCheck("parked_pinned", [this] {
+      obs::Probe p;
+      const uint32_t parked = parked_ops_.load(std::memory_order_relaxed);
+      if (options_.max_parked_ops > 0 && parked >= options_.max_parked_ops) {
+        p.suspicious = true;
+        p.evidence = static_cast<int64_t>(parked);
+        p.detail = "parked ops pinned at capacity " +
+                   std::to_string(options_.max_parked_ops);
+      }
+      return p;
+    });
+    // (d) Durable lag growing monotonically: the backlog of armed-but-
+    // unreleased durable gates kept growing across evaluations (acks are
+    // falling ever further behind execution).
+    watchdog_->AddCheck(
+        "durable_lag_growing", [this, last_outstanding = int64_t{0}]() mutable {
+          obs::Probe p;
+          const ServerCounters::Snapshot s = counters_.Sample();
+          const int64_t outstanding = static_cast<int64_t>(s.durable_held) -
+                                      static_cast<int64_t>(s.durable_lag.count) -
+                                      static_cast<int64_t>(s.not_durable_acks);
+          if (outstanding > 0 && last_outstanding > 0 &&
+              outstanding >= last_outstanding) {
+            p.suspicious = true;
+            p.evidence = outstanding;
+            p.detail = "durable-gated backlog not shrinking (" +
+                       std::to_string(outstanding) + " acks outstanding)";
+          }
+          last_outstanding = outstanding;
+          return p;
+        });
+    // (e) Provider switch pending past its boundary: a checkpoint boundary
+    // completed after the switch was requested and it still has not landed.
+    watchdog_->AddCheck(
+        "switch_overdue",
+        [this, first_finished = uint64_t{0}, was_pending = false]() mutable {
+          obs::Probe p;
+          const bool pending = kv_->ProviderSwitchPending();
+          const uint64_t finished = kv_->LastFinishedToken();
+          if (pending) {
+            if (!was_pending) {
+              first_finished = finished;
+            } else if (finished > first_finished) {
+              p.suspicious = true;
+              p.evidence = static_cast<int64_t>(finished - first_finished);
+              p.detail = "provider switch still pending after " +
+                         std::to_string(finished - first_finished) +
+                         " completed checkpoint boundaries";
+            }
+          }
+          was_pending = pending;
+          return p;
+        });
+    if (options_.watchdog_interval_ms > 0) watchdog_->Start();
+  }
 
   running_.store(true, std::memory_order_release);
   return Status::Ok();
@@ -351,6 +494,9 @@ Status KvServer::Start() {
 
 void KvServer::Stop() {
   if (!running_.load(std::memory_order_acquire)) return;
+  // Watchdog first: its checks read the backend and counters, which are
+  // about to be drained/torn down.
+  if (watchdog_) watchdog_->Stop();
   obs::MetricsRegistry::Default().RemoveCollector(obs_collector_id_);
   stop_.store(true, std::memory_order_release);
   ::shutdown(listen_fd_, SHUT_RDWR);
@@ -518,6 +664,9 @@ bool KvServer::AnyWorkPending(const Worker& w) const {
 }
 
 void KvServer::OnReadable(Worker& w, Connection* c) {
+  // Frames handled out of this read batch start their decode stage here
+  // (closest stamp to the socket read).
+  c->recv_batch_ns = NowNanos();
   char buf[64 * 1024];
   while (true) {
     const ssize_t n = ::recv(c->fd, buf, sizeof(buf), 0);
@@ -587,8 +736,15 @@ void KvServer::ParseFrames(Worker& w, Connection* c) {
       off += consumed;
       break;
     }
+    // Fresh frame: its span starts at the read batch stamp; park wait (if
+    // it parks) accumulates from zero.
+    c->req_recv_ns = c->recv_batch_ns;
+    c->req_park_ns = 0;
     HandleRequest(c, req);
     off += consumed;
+    // The next frame's decode stage must not absorb this op's handling
+    // time: restart the decode clock.
+    c->recv_batch_ns = NowNanos();
   }
   c->inbuf.erase(c->inbuf.begin(), c->inbuf.begin() + off);
 }
@@ -728,6 +884,11 @@ void KvServer::HandleStats(Connection* c, const net::Request& req) {
   std::string text;
   if (req.stats_kind == net::StatsKind::kMetricsText) {
     text = obs::MetricsRegistry::Default().RenderText();
+  } else if (req.stats_kind == net::StatsKind::kHealth) {
+    text = watchdog_ ? watchdog_->RenderHealthJson() : "{}";
+  } else if (req.stats_kind == net::StatsKind::kReqBreakdown) {
+    text = reqtrace_ != nullptr ? reqtrace_->RenderBreakdownJson()
+                                : obs::ReqTrace::Default().RenderBreakdownJson();
   } else {
     // Export already prefers the newest spans under a budget safely below
     // the frame cap.
@@ -880,6 +1041,13 @@ void KvServer::HandleDataOp(Connection* c, const net::Request& req) {
   }
   faster::OpStatus st = faster::OpStatus::kOk;
   std::vector<char> value(req.op == net::Op::kRead ? kv_->value_size() : 0);
+  // Decode stage ends (and execute begins) here; the accumulated park wait
+  // is carved out of the decode width at release time.
+  entry.traced = true;
+  entry.t_recv = c->req_recv_ns;
+  entry.park_ns = c->req_park_ns;
+  c->req_park_ns = 0;
+  entry.t_exec_start = NowNanos();
   switch (req.op) {
     case net::Op::kRead:
       st = kv_->Read(s, req.key, value.data());
@@ -895,10 +1063,12 @@ void KvServer::HandleDataOp(Connection* c, const net::Request& req) {
       break;
     default:
       entry.ready = true;
+      entry.traced = false;
       entry.resp.status = net::WireStatus::kBadRequest;
       c->queue.push_back(std::move(entry));
       return;
   }
+  entry.t_ready = NowNanos();  // async completion re-stamps
   entry.serial = s.serial();
   entry.resp.serial = entry.serial;
   // Only updates gate on durability. Reads still bump the session serial,
@@ -990,6 +1160,11 @@ void KvServer::HandleTxn(Connection* c, const net::Request& req) {
   counters_.write_ops.fetch_add(ops.size() - n_reads,
                                 std::memory_order_relaxed);
   std::vector<std::vector<char>> reads;
+  entry.traced = true;
+  entry.t_recv = c->req_recv_ns;
+  entry.park_ns = c->req_park_ns;
+  c->req_park_ns = 0;
+  entry.t_exec_start = NowNanos();
   switch (kv_->Txn(s, ops, &reads)) {
     case kv::TxnStatus::kCommitted:
       entry.serial = s.serial();
@@ -1019,6 +1194,7 @@ void KvServer::HandleTxn(Connection* c, const net::Request& req) {
       entry.resp.status = net::WireStatus::kBadRequest;
       break;
   }
+  entry.t_ready = NowNanos();
   c->queue.push_back(std::move(entry));
 }
 
@@ -1089,6 +1265,7 @@ bool KvServer::TryParkRequest(Connection* c, const net::Request& req,
   c->parked = true;
   c->parked_shard = shard;
   c->parked_req = req;
+  c->parked_since_ns = NowNanos();
   counters_.ops_parked.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
@@ -1122,19 +1299,27 @@ void KvServer::RetryParked(Worker& w, Connection* c) {
     const net::Request req = std::move(c->parked_req);
     c->parked = false;
     c->parked_req = net::Request();
+    c->req_park_ns += NowNanos() - c->parked_since_ns;
     parked_ops_.fetch_sub(1, std::memory_order_relaxed);
     RejectRecovering(c, req);
+    c->recv_batch_ns = NowNanos();
     ParseFrames(w, c);
     return;
   }
   const net::Request req = std::move(c->parked_req);
   c->parked = false;
   c->parked_req = net::Request();
+  // The park stage ends here; decode resumes for the re-dispatch. A re-park
+  // (shard flipped back) keeps accumulating into the same request's wait.
+  c->req_park_ns += NowNanos() - c->parked_since_ns;
   parked_ops_.fetch_sub(1, std::memory_order_relaxed);
   // Re-dispatch; the op may legitimately park again if the shard flipped
   // back (recovery walk-back), then drain the frames held back behind it.
   HandleRequest(c, req);
-  if (!c->parked && !c->inbuf.empty()) ParseFrames(w, c);
+  if (!c->parked && !c->inbuf.empty()) {
+    c->recv_batch_ns = NowNanos();
+    ParseFrames(w, c);
+  }
 }
 
 void KvServer::FailPendingAtShutdown(Worker& w, Connection* c) {
@@ -1183,7 +1368,11 @@ void KvServer::FailPendingAtShutdown(Worker& w, Connection* c) {
                e.resp.status == net::WireStatus::kOk) {
       e.resp.status = net::WireStatus::kError;  // checkpoint outcome unknown
     }
+    const size_t before = c->outbuf.size();
     net::EncodeResponse(e.resp, &c->outbuf);
+    // Keep cum_queued aligned with every byte ever appended, so any traced
+    // frames still awaiting their write stamp don't mis-attribute.
+    c->cum_queued += c->outbuf.size() - before;
     counters_.responses.fetch_add(1, std::memory_order_relaxed);
   }
   c->queue.clear();
@@ -1194,6 +1383,7 @@ void KvServer::OnAsyncComplete(Connection* c, const faster::AsyncResult& r) {
   for (PendingResponse& e : c->queue) {
     if (e.ready || e.serial != r.serial) continue;
     e.ready = true;
+    e.t_ready = NowNanos();
     if (r.kind == faster::OpKind::kRead) {
       e.resp.status =
           r.found ? net::WireStatus::kOk : net::WireStatus::kNotFound;
@@ -1252,7 +1442,39 @@ void KvServer::ReleaseResponses(Connection* c) {
       (void)kv_->DurableCommitPoint(c->guid, &point);
       e.resp.commit_serial = point;
     }
+    // All gates open: the durable/FIFO wait ends and ack serialize begins.
+    const uint64_t release_ns = e.traced ? NowNanos() : 0;
+    const size_t before = c->outbuf.size();
     net::EncodeResponse(e.resp, &c->outbuf);
+    c->cum_queued += c->outbuf.size() - before;
+    if (e.traced) {
+      const uint64_t encoded_ns = NowNanos();
+      auto width = [](uint64_t from, uint64_t to) {
+        return to > from ? to - from : 0;
+      };
+      Connection::WriteTrack t;
+      t.frame_end = c->cum_queued;
+      t.encoded_ns = encoded_ns;
+      obs::ReqSpan& span = t.span;
+      span.start_ns = e.t_recv;
+      span.serial = e.serial;
+      span.op = static_cast<uint8_t>(e.resp.op);
+      span.status = static_cast<uint8_t>(e.resp.status);
+      using S = obs::ReqStage;
+      span.stage_ns[static_cast<int>(S::kPark)] = e.park_ns;
+      // Decode is the dispatch interval minus the carved-out park wait, so
+      // the stages partition [t_recv, write-done] exactly.
+      span.stage_ns[static_cast<int>(S::kDecode)] =
+          width(e.t_recv + e.park_ns, e.t_exec_start);
+      span.stage_ns[static_cast<int>(S::kExecute)] =
+          width(e.t_exec_start, e.t_ready);
+      span.stage_ns[static_cast<int>(S::kDurableGate)] =
+          width(e.t_ready, release_ns);
+      span.stage_ns[static_cast<int>(S::kAck)] = width(release_ns, encoded_ns);
+      // kWrite completes (and the span records) once the kernel took the
+      // frame's last byte — see FlushOut.
+      c->write_track.push_back(std::move(t));
+    }
     counters_.responses.fetch_add(1, std::memory_order_relaxed);
     c->queue.pop_front();
   }
@@ -1266,12 +1488,26 @@ void KvServer::FlushOut(Worker& w, Connection* c) {
       counters_.bytes_out.fetch_add(static_cast<uint64_t>(n),
                                     std::memory_order_relaxed);
       c->out_off += static_cast<size_t>(n);
+      c->cum_sent += static_cast<uint64_t>(n);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
     c->closed = true;
     return;
+  }
+  // Traced frames whose last byte the kernel just took: close the write
+  // stage and fold the finished span into ReqTrace.
+  if (!c->write_track.empty()) {
+    const uint64_t now = NowNanos();
+    while (!c->write_track.empty() &&
+           c->write_track.front().frame_end <= c->cum_sent) {
+      Connection::WriteTrack& t = c->write_track.front();
+      t.span.stage_ns[static_cast<int>(obs::ReqStage::kWrite)] =
+          now > t.encoded_ns ? now - t.encoded_ns : 0;
+      reqtrace_->Record(t.span);
+      c->write_track.pop_front();
+    }
   }
   if (c->out_off == c->outbuf.size()) {
     c->outbuf.clear();
@@ -1403,7 +1639,7 @@ void KvServer::MaybeAdaptiveSwitch() {
   durability::WorkloadSample sample;
   sample.reads = s.read_ops;
   sample.writes = s.write_ops;
-  sample.durable_lag_p99_ns = s.durable_lag.QuantileNs(0.99);
+  sample.durable_lag_p99_ns = s.durable_lag.Quantile(0.99);
   sample.commit_stalls = s.checkpoint_stalls;
   durability::ProviderKind target;
   if (adaptive_policy_.Observe(kv_->Provider(), sample, &target)) {

@@ -41,6 +41,8 @@
 
 #include "durability/policy.h"
 #include "faster/faster.h"
+#include "obs/reqtrace.h"
+#include "obs/watchdog.h"
 #include "server/wire.h"
 #include "shard/backend.h"
 #include "util/instrumentation.h"
@@ -82,6 +84,20 @@ struct KvServerOptions {
   // backend that supports RequestProviderSwitch (the txdb backend).
   uint32_t adaptive_interval_ms = 0;
   durability::AdaptivePolicy::Options adaptive;
+  // Per-request critical-path tracing: overrides the span-ring sampling rate
+  // of obs::ReqTrace::Default() (1-in-N; 0 keeps the CPR_REQTRACE_SAMPLE /
+  // built-in default). The per-stage latency histograms record regardless.
+  uint32_t reqtrace_sample = 0;
+  // Health watchdog: evaluation period for the stall predicates (checkpoint
+  // stuck, recovery stalled, parked queue pinned, durable lag growing,
+  // provider switch overdue). 0 disables the background evaluator (health
+  // STATS then reports zero evaluations). A check that stays suspicious for
+  // warn_evals consecutive evaluations reports WARN, for stall_evals STALL
+  // (plus a diagnostic dump to watchdog_dump_path / $CPR_WATCHDOG_DUMP).
+  uint32_t watchdog_interval_ms = 250;
+  uint32_t watchdog_warn_evals = 2;
+  uint32_t watchdog_stall_evals = 4;
+  std::string watchdog_dump_path;
 };
 
 class KvServer {
@@ -199,6 +215,13 @@ class KvServer {
   // Metrics-registry collector exposing ServerCounters (registered in
   // Start(), removed in Stop() — the emitting struct outlives both).
   uint64_t obs_collector_id_ = 0;
+
+  // Request-level observability: per-op stage recorder (process-global; the
+  // handle is cached here) and the health watchdog (per server instance,
+  // created in Start(), stopped first thing in Stop() so its checks never
+  // read a tearing-down backend).
+  obs::ReqTrace* reqtrace_ = nullptr;
+  std::unique_ptr<obs::Watchdog> watchdog_;
 };
 
 }  // namespace cpr::server

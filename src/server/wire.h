@@ -68,9 +68,14 @@
 // the recovered state it checks client histories against.
 //
 // STATS scrapes the server's observability state without a session:
-// stats_kind 0 returns the Prometheus-style metrics text exposition,
-// stats_kind 1 returns the checkpoint lifecycle trace as Chrome
-// trace_event JSON (capped below kMaxFrameBytes; newest spans win).
+// stats_kind 0 returns the Prometheus-style metrics text exposition
+// (prefixed with a scrape sequence number and the server's monotonic clock
+// so scrapers detect restarts and compute rates), stats_kind 1 returns the
+// checkpoint lifecycle trace as Chrome trace_event JSON (capped below
+// kMaxFrameBytes; newest spans win), stats_kind 2 returns the watchdog's
+// health record as JSON (overall OK/WARN/STALL plus per-check evidence),
+// and stats_kind 3 returns the per-request stage latency breakdown as JSON
+// (decode/park/execute/durable_gate/ack/write count/p50/p99 + end-to-end).
 //
 // PROVIDER inspects or switches the backend's durability provider without a
 // session. action 0 (QUERY) reports the current provider kind, whether a
@@ -131,10 +136,13 @@ constexpr uint32_t kMaxTxnOpsLogical = 16 * 1024;
 
 // STATS body selector.
 enum class StatsKind : uint8_t {
-  kMetricsText = 0,  // Prometheus-style text exposition
-  kTraceJson = 1,    // Chrome trace_event JSON of checkpoint spans
+  kMetricsText = 0,   // Prometheus-style text exposition
+  kTraceJson = 1,     // Chrome trace_event JSON of checkpoint spans
+  kHealth = 2,        // watchdog health record (JSON)
+  kReqBreakdown = 3,  // per-request stage latency breakdown (JSON)
 };
-constexpr uint8_t kMaxStatsKind = static_cast<uint8_t>(StatsKind::kTraceJson);
+constexpr uint8_t kMaxStatsKind =
+    static_cast<uint8_t>(StatsKind::kReqBreakdown);
 
 // PROVIDER request action. The provider kind itself reuses
 // durability::ProviderKind — its values are wire-stable by contract.

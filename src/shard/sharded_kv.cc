@@ -157,6 +157,7 @@ ShardedKv::ShardedKv(Options options)
   rounds_total_ = registry.GetCounter("cpr_shard_rounds_total");
   rounds_failed_total_ = registry.GetCounter("cpr_shard_rounds_failed_total");
   shard_recovery_ns_ = registry.GetHistogram("cpr_shard_recovery_ns");
+  shard_execute_ns_ = registry.GetHistogram("cpr_shard_execute_ns");
   obs_collector_id_ = registry.AddCollector(
       [this](const obs::MetricsRegistry::EmitFn& emit) {
         emit("cpr_shard_count", static_cast<double>(num_shards_));
@@ -350,7 +351,10 @@ faster::OpStatus ShardedKv::Read(Session& session, uint64_t key,
   EnsureShardServes(s, i);
   op_counts_[i].fetch_add(1, std::memory_order_relaxed);
   shards_[i]->AdvanceSerial(*s.subs_[i], g - 1);
-  return shards_[i]->Read(*s.subs_[i], key, value_out);
+  const uint64_t t0 = NowNanos();
+  const faster::OpStatus st = shards_[i]->Read(*s.subs_[i], key, value_out);
+  shard_execute_ns_->Record(NowNanos() - t0);
+  return st;
 }
 
 faster::OpStatus ShardedKv::Upsert(Session& session, uint64_t key,
@@ -362,7 +366,10 @@ faster::OpStatus ShardedKv::Upsert(Session& session, uint64_t key,
   EnsureShardServes(s, i);
   op_counts_[i].fetch_add(1, std::memory_order_relaxed);
   shards_[i]->AdvanceSerial(*s.subs_[i], g - 1);
-  return shards_[i]->Upsert(*s.subs_[i], key, value);
+  const uint64_t t0 = NowNanos();
+  const faster::OpStatus st = shards_[i]->Upsert(*s.subs_[i], key, value);
+  shard_execute_ns_->Record(NowNanos() - t0);
+  return st;
 }
 
 faster::OpStatus ShardedKv::Rmw(Session& session, uint64_t key,
@@ -374,7 +381,10 @@ faster::OpStatus ShardedKv::Rmw(Session& session, uint64_t key,
   EnsureShardServes(s, i);
   op_counts_[i].fetch_add(1, std::memory_order_relaxed);
   shards_[i]->AdvanceSerial(*s.subs_[i], g - 1);
-  return shards_[i]->Rmw(*s.subs_[i], key, delta);
+  const uint64_t t0 = NowNanos();
+  const faster::OpStatus st = shards_[i]->Rmw(*s.subs_[i], key, delta);
+  shard_execute_ns_->Record(NowNanos() - t0);
+  return st;
 }
 
 faster::OpStatus ShardedKv::Delete(Session& session, uint64_t key) {
@@ -385,7 +395,10 @@ faster::OpStatus ShardedKv::Delete(Session& session, uint64_t key) {
   EnsureShardServes(s, i);
   op_counts_[i].fetch_add(1, std::memory_order_relaxed);
   shards_[i]->AdvanceSerial(*s.subs_[i], g - 1);
-  return shards_[i]->Delete(*s.subs_[i], key);
+  const uint64_t t0 = NowNanos();
+  const faster::OpStatus st = shards_[i]->Delete(*s.subs_[i], key);
+  shard_execute_ns_->Record(NowNanos() - t0);
+  return st;
 }
 
 uint64_t ShardedKv::SkipSerial(Session& session) {

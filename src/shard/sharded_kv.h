@@ -280,6 +280,10 @@ class ShardedKv final : public Backend {
   obs::Counter* rounds_total_ = nullptr;
   obs::Counter* rounds_failed_total_ = nullptr;
   obs::HistogramMetric* shard_recovery_ns_ = nullptr;
+  // Time inside the owning shard's engine call per data op — the sub-stage
+  // of the server's "execute" stage spent in FasterKv proper (vs shard
+  // dispatch / sub-session upkeep around it).
+  obs::HistogramMetric* shard_execute_ns_ = nullptr;
   uint64_t obs_collector_id_ = 0;
 };
 

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "txdb/checkpoint_io.h"
+#include "util/clock.h"
 
 namespace cpr::txdb {
 
@@ -126,6 +127,8 @@ TxDbBackend::TxDbBackend(Options options)
   static std::atomic<uint64_t> next_backend_id{0};
   const std::string label =
       "{backend=\"" + std::to_string(next_backend_id.fetch_add(1)) + "\"}";
+  txn_execute_ns_ =
+      obs::MetricsRegistry::Default().GetHistogram("cpr_txdb_txn_execute_ns");
   provider_collector_id_ = obs::MetricsRegistry::Default().AddCollector(
       [this, label](const obs::MetricsRegistry::EmitFn& emit) {
         emit("cpr_durability_provider" + label,
@@ -438,9 +441,11 @@ uint64_t TxDbBackend::CheckpointFailures() const {
 
 void TxDbBackend::ExecuteCommitted(ThreadContext& ctx,
                                    const Transaction& txn) {
+  const uint64_t t0 = NowNanos();
   for (;;) {
     switch (db_.Execute(ctx, txn)) {
       case TxnResult::kCommitted:
+        txn_execute_ns_->Record(NowNanos() - t0);
         return;
       case TxnResult::kAbortedConflict:
         std::this_thread::yield();
@@ -542,9 +547,11 @@ kv::TxnStatus TxDbBackend::Txn(kv::Session& session,
     }
   }
 
+  const uint64_t t0 = NowNanos();
   for (;;) {
     switch (db_.Execute(ctx, txn)) {
       case TxnResult::kCommitted: {
+        txn_execute_ns_->Record(NowNanos() - t0);
         if (reads != nullptr) {
           reads->clear();
           size_t read_idx = 0;
@@ -564,6 +571,7 @@ kv::TxnStatus TxDbBackend::Txn(kv::Session& session,
         // the client's predicted serials — and its crash replay — line up
         // with the server's regardless of the conflict.
         ctx.serial.fetch_add(1, std::memory_order_release);
+        txn_execute_ns_->Record(NowNanos() - t0);
         return kv::TxnStatus::kConflict;
       case TxnResult::kAbortedCprShift:
         break;  // the context refreshed; retry (at most once per commit)

@@ -41,6 +41,7 @@
 #include "durability/switch.h"
 #include "shard/backend.h"
 #include "txdb/db.h"
+#include "util/sharded_histogram.h"
 
 namespace cpr::txdb {
 
@@ -230,6 +231,11 @@ class TxDbBackend final : public kv::Backend, private durability::SwitchHost {
   Status last_switch_status_;                // guarded by swreq_mu_
   std::thread switch_thread_;
   uint64_t provider_collector_id_ = 0;
+
+  // Time inside db_.Execute (incl. conflict/CPR-shift retries) per committed
+  // or conflicted transaction — the engine sub-stage of the server's
+  // "execute" stage (cpr_txdb_txn_execute_ns in the default registry).
+  HistogramMetric* txn_execute_ns_ = nullptr;
 
   // Declared last so it is destroyed first: ~TransactionalDb joins the CPR
   // engine's checkpoint thread, and that thread's commit callback writes

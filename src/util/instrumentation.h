@@ -3,11 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
 #include "util/cacheline.h"
 #include "util/clock.h"
-#include "util/histogram.h"
+#include "util/sharded_histogram.h"
 
 namespace cpr {
 
@@ -86,15 +85,13 @@ struct ServerCounters {
 
   // Execute→durable lag of durable-gated responses: time from enqueueing the
   // executed operation until its covering checkpoint released the ack.
-  // Multiple workers record, so unlike the single-writer histograms in bench
-  // code this one takes a (cheap, uncontended) mutex.
+  // Multiple workers record, so this rides the lock-free sharded-slot
+  // histogram (same log2 path the metrics registry uses): a record is three
+  // relaxed RMWs on the caller's slot, no mutex on the ack path.
   std::atomic<uint64_t> durable_lag_max_ns{0};
 
   void RecordDurableLag(uint64_t ns) {
-    {
-      std::lock_guard<std::mutex> lock(durable_lag_mu_);
-      durable_lag_.Add(ns);
-    }
+    durable_lag_.Record(ns);
     uint64_t seen = durable_lag_max_ns.load(std::memory_order_relaxed);
     while (ns > seen && !durable_lag_max_ns.compare_exchange_weak(
                             seen, ns, std::memory_order_relaxed)) {
@@ -108,7 +105,7 @@ struct ServerCounters {
         not_durable_engine, not_durable_degraded, protocol_errors, ops_parked,
         recovering_rejections, parked_failed_at_shutdown, time_to_first_op_ns,
         recovery_duration_ns, read_ops, write_ops;
-    Histogram durable_lag;
+    HistogramData durable_lag;
     uint64_t durable_lag_max_ns;
     // Cumulative engine checkpoint phase time, indexed by
     // kCheckpointPhaseNames (filled in by KvServer::counters() from the
@@ -134,17 +131,12 @@ struct ServerCounters {
                ld(recovering_rejections), ld(parked_failed_at_shutdown),
                ld(time_to_first_op_ns),  ld(recovery_duration_ns),
                ld(read_ops),             ld(write_ops),
-               Histogram{},              ld(durable_lag_max_ns)};
-    {
-      std::lock_guard<std::mutex> lock(durable_lag_mu_);
-      s.durable_lag = durable_lag_;
-    }
+               durable_lag_.Sample(),    ld(durable_lag_max_ns)};
     return s;
   }
 
  private:
-  mutable std::mutex durable_lag_mu_;
-  Histogram durable_lag_;
+  HistogramMetric durable_lag_;
 };
 
 // Scoped timer adding elapsed nanoseconds to a counter on destruction.

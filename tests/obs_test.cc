@@ -9,6 +9,7 @@
 
 #include "gtest/gtest.h"
 #include "obs/metrics.h"
+#include "obs/reqtrace.h"
 #include "obs/trace.h"
 #include "util/clock.h"
 
@@ -200,6 +201,31 @@ TEST(MetricsTest, RenderTextExposition) {
     }
     pos = eol + 1;
   }
+}
+
+TEST(MetricsTest, RenderTextScrapeSequenceAndClock) {
+  MetricsRegistry reg;
+  auto value_after = [](const std::string& text, const char* name) {
+    // Anchor at line start: a bare find would hit the `# TYPE name ...`
+    // header first and parse its type word as 0.
+    const size_t p = text.find("\n" + std::string(name) + " ");
+    EXPECT_NE(p, std::string::npos) << name;
+    return std::strtoull(text.c_str() + p + 1 + std::strlen(name) + 1,
+                         nullptr, 10);
+  };
+  const std::string t1 = reg.RenderText();
+  const std::string t2 = reg.RenderText();
+  // The scrape sequence increments per render (scrapers detect restarts when
+  // it goes backwards) and the monotonic clock never runs backwards.
+  EXPECT_EQ(value_after(t1, "cpr_scrape_seq"), 1u);
+  EXPECT_EQ(value_after(t2, "cpr_scrape_seq"), 2u);
+  EXPECT_NE(t1.find("# TYPE cpr_scrape_seq counter\n"), std::string::npos);
+  EXPECT_NE(t1.find("# TYPE cpr_monotonic_time_ns gauge\n"),
+            std::string::npos);
+  const uint64_t c1 = value_after(t1, "cpr_monotonic_time_ns");
+  const uint64_t c2 = value_after(t2, "cpr_monotonic_time_ns");
+  EXPECT_GT(c1, 0u);
+  EXPECT_GE(c2, c1);
 }
 
 TEST(MetricsTest, OverflowPastCapReturnsDummy) {
@@ -404,6 +430,96 @@ TEST(TraceTest, ScopedSpanRecordsOnDestruction) {
   EXPECT_STREQ(spans[0].name, "capture_persist");
   EXPECT_EQ(spans[0].id, 9u);
   EXPECT_GE(spans[0].start_ns, before);
+}
+
+// -- ReqTrace ---------------------------------------------------------------
+
+ReqSpan MakeSpan(uint64_t base) {
+  ReqSpan s;
+  s.start_ns = base;
+  s.serial = base;
+  s.op = 3;
+  s.status = 0;
+  for (uint32_t i = 0; i < kNumReqStages; ++i) {
+    s.stage_ns[i] = (i + 1) * 100;
+  }
+  return s;
+}
+
+TEST(ReqTraceTest, RecordsStageHistogramsOnEveryOp) {
+  MetricsRegistry reg;
+  ReqTrace trace(/*capacity=*/8, &reg, /*sample_every=*/0);  // ring off
+  for (int n = 0; n < 5; ++n) trace.Record(MakeSpan(n));
+  EXPECT_EQ(trace.recorded(), 5u);
+  EXPECT_EQ(trace.sampled(), 0u);  // aggregates record even with the ring off
+  EXPECT_TRUE(trace.Snapshot().empty());
+  for (uint32_t i = 0; i < kNumReqStages; ++i) {
+    const HistogramData h =
+        reg.GetHistogram(std::string("cpr_req_stage_ns{stage=\"") +
+                         kReqStageNames[i] + "\"}")
+            ->Sample();
+    EXPECT_EQ(h.count, 5u) << kReqStageNames[i];
+    EXPECT_EQ(h.sum, 5u * (i + 1) * 100) << kReqStageNames[i];
+  }
+  // The stages partition the op exactly: stage sums reconcile with e2e.
+  const HistogramData e2e = reg.GetHistogram("cpr_req_e2e_ns")->Sample();
+  EXPECT_EQ(e2e.count, 5u);
+  uint64_t stage_total = 0;
+  for (uint32_t i = 0; i < kNumReqStages; ++i) {
+    stage_total += 5u * (i + 1) * 100;
+  }
+  EXPECT_EQ(e2e.sum, stage_total);
+}
+
+TEST(ReqTraceTest, SamplesOneInNIntoRingAndClears) {
+  MetricsRegistry reg;
+  ReqTrace trace(/*capacity=*/8, &reg, /*sample_every=*/2);
+  for (uint64_t n = 0; n < 10; ++n) trace.Record(MakeSpan(n));
+  EXPECT_EQ(trace.recorded(), 10u);
+  EXPECT_EQ(trace.sampled(), 5u);  // every 2nd op deposits a span
+  const std::vector<ReqSpan> spans = trace.Snapshot();
+  ASSERT_EQ(spans.size(), 5u);
+  // Oldest first, and only the sampled (even-numbered) ops are present.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].start_ns, 2 * i);
+  }
+  trace.Clear();
+  EXPECT_EQ(trace.recorded(), 0u);
+  EXPECT_TRUE(trace.Snapshot().empty());
+}
+
+TEST(ReqTraceTest, RingKeepsNewestOnWrap) {
+  MetricsRegistry reg;
+  ReqTrace trace(/*capacity=*/4, &reg, /*sample_every=*/1);
+  for (uint64_t n = 0; n < 10; ++n) trace.Record(MakeSpan(n));
+  const std::vector<ReqSpan> spans = trace.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].start_ns, 6 + i);  // 6,7,8,9 survive
+  }
+}
+
+TEST(ReqTraceTest, BreakdownJsonAndSpansText) {
+  MetricsRegistry reg;
+  ReqTrace trace(/*capacity=*/8, &reg, /*sample_every=*/1);
+  trace.Record(MakeSpan(1));
+  const std::string json = trace.RenderBreakdownJson();
+  EXPECT_NE(json.find("\"sample_every\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"recorded_ops\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"stages\":{"), std::string::npos);
+  for (uint32_t i = 0; i < kNumReqStages; ++i) {
+    EXPECT_NE(json.find(std::string("\"") + kReqStageNames[i] +
+                        "\":{\"count\":1"),
+              std::string::npos)
+        << kReqStageNames[i];
+  }
+  EXPECT_NE(json.find("\"e2e_ns\":{\"count\":1,\"sum_ns\":2100"),
+            std::string::npos);
+  const std::string text = trace.RenderSpansText();
+  EXPECT_NE(text.find("1 sampled spans"), std::string::npos);
+  EXPECT_NE(text.find("decode=100"), std::string::npos);
+  EXPECT_NE(text.find("write=600"), std::string::npos);
+  EXPECT_NE(text.find("total=2100"), std::string::npos);
 }
 
 }  // namespace

@@ -20,6 +20,8 @@
 #include "client/client.h"
 #include "faster/faster.h"
 #include "io/fault_injection.h"
+#include "obs/metrics.h"
+#include "obs/reqtrace.h"
 #include "server/server.h"
 #include "server/wire.h"
 #include "shard/sharded_kv.h"
@@ -907,6 +909,94 @@ TEST(ServerE2E, ShardedStatsCoverCoordinatedRounds) {
   }
   EXPECT_TRUE(broadcast) << json;
   EXPECT_TRUE(publish) << json;
+
+  c.Close();
+  server.Stop();
+}
+
+// The per-op critical-path stages must partition the recv->write-done
+// interval exactly: over any quiesced window, each stage histogram saw the
+// same number of ops as the e2e histogram and the per-stage sums telescope
+// to the e2e sum — no microsecond unaccounted for.
+TEST(ServerE2E, ReqStageBreakdownPartitionsEndToEnd) {
+  auto& reg = obs::MetricsRegistry::Default();
+  auto stage_hist = [&reg](uint32_t i) {
+    return reg.GetHistogram(std::string("cpr_req_stage_ns{stage=\"") +
+                            obs::kReqStageNames[i] + "\"}");
+  };
+  // The registry is process-global and cumulative: measure this server's
+  // contribution as a delta around the run.
+  obs::HistogramData stage_base[obs::kNumReqStages];
+  for (uint32_t i = 0; i < obs::kNumReqStages; ++i) {
+    stage_base[i] = stage_hist(i)->Sample();
+  }
+  const obs::HistogramData e2e_base =
+      reg.GetHistogram("cpr_req_e2e_ns")->Sample();
+
+  FasterKv kv(SmallOptions(FreshDir()));
+  KvServer server(&kv, ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  CprClient c(ClientOptions(server.port()));
+  ASSERT_TRUE(c.Connect().ok());
+  for (int i = 0; i < 32; ++i) ASSERT_TRUE(c.Rmw(i, 1).ok());
+  ASSERT_TRUE(c.Checkpoint().ok());
+  c.Close();
+  server.Stop();  // quiesce: every worker has folded its spans in
+
+  const obs::HistogramData e2e =
+      reg.GetHistogram("cpr_req_e2e_ns")->Sample();
+  const uint64_t e2e_count = e2e.count - e2e_base.count;
+  const uint64_t e2e_sum = e2e.sum - e2e_base.sum;
+  EXPECT_GE(e2e_count, 32u);  // every data op got a span
+  EXPECT_GT(e2e_sum, 0u);
+  uint64_t stage_sum_total = 0;
+  for (uint32_t i = 0; i < obs::kNumReqStages; ++i) {
+    const obs::HistogramData s = stage_hist(i)->Sample();
+    EXPECT_EQ(s.count - stage_base[i].count, e2e_count)
+        << "stage " << obs::kReqStageNames[i];
+    stage_sum_total += s.sum - stage_base[i].sum;
+  }
+  EXPECT_EQ(stage_sum_total, e2e_sum);
+}
+
+TEST(ServerE2E, StatsHealthAndBreakdownRoundTrip) {
+  FasterKv kv(SmallOptions(FreshDir()));
+  KvServerOptions opts = ServerOptions();
+  opts.watchdog_interval_ms = 5;
+  KvServer server(&kv, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  CprClient c(ClientOptions(server.port()));
+  ASSERT_TRUE(c.Connect().ok());
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(c.Rmw(i, 1).ok());
+
+  // kHealth: the watchdog record, with every registered stall predicate.
+  std::string health;
+  ASSERT_TRUE(c.ServerHealth(&health).ok());
+  EXPECT_NE(health.find("\"health\":\"OK\""), std::string::npos) << health;
+  EXPECT_NE(health.find("\"checks\":["), std::string::npos) << health;
+  for (const char* check :
+       {"checkpoint_stuck", "recovery_stalled", "parked_pinned",
+        "durable_lag_growing", "switch_overdue"}) {
+    EXPECT_NE(health.find(std::string("\"name\":\"") + check + "\""),
+              std::string::npos)
+        << health;
+  }
+
+  // kReqBreakdown: the cumulative per-stage latency breakdown, populated by
+  // the ops above.
+  std::string breakdown;
+  ASSERT_TRUE(c.ServerBreakdown(&breakdown).ok());
+  EXPECT_NE(breakdown.find("\"stages\":{"), std::string::npos) << breakdown;
+  for (uint32_t i = 0; i < obs::kNumReqStages; ++i) {
+    EXPECT_NE(breakdown.find(std::string("\"") + obs::kReqStageNames[i] +
+                             "\":{\"count\":"),
+              std::string::npos)
+        << breakdown;
+  }
+  EXPECT_NE(breakdown.find("\"e2e_ns\":{"), std::string::npos) << breakdown;
+  EXPECT_EQ(breakdown.find("\"recorded_ops\":0,"), std::string::npos)
+      << breakdown;
 
   c.Close();
   server.Stop();

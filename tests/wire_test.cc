@@ -183,6 +183,29 @@ TEST(WireRequest, CheckpointAndCommitPointRoundTrip) {
   EXPECT_EQ(out.seq, 9u);
 }
 
+TEST(WireRequest, StatsKindRoundTripsAndRejectsUnknown) {
+  for (StatsKind kind : {StatsKind::kMetricsText, StatsKind::kTraceJson,
+                         StatsKind::kHealth, StatsKind::kReqBreakdown}) {
+    Request req;
+    req.op = Op::kStats;
+    req.seq = 11;
+    req.stats_kind = kind;
+    Request out;
+    ASSERT_TRUE(DecodeRequest(EncodedRequestPayload(req), &out));
+    EXPECT_EQ(out.op, Op::kStats);
+    EXPECT_EQ(out.stats_kind, kind);
+  }
+  // The kind byte is validated: anything past kMaxStatsKind is a bad frame.
+  Request req;
+  req.op = Op::kStats;
+  req.seq = 12;
+  req.stats_kind = StatsKind::kMetricsText;
+  std::string payload = EncodedRequestPayload(req);
+  payload.back() = static_cast<char>(kMaxStatsKind + 1);
+  Request out;
+  EXPECT_FALSE(DecodeRequest(payload, &out));
+}
+
 TEST(WireRequest, RejectsTruncatedFixedSizeBodies) {
   for (Op op : {Op::kHello, Op::kRead, Op::kRmw, Op::kDelete,
                 Op::kCheckpoint, Op::kCommitPoint}) {
