@@ -13,8 +13,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
+
+#include "util/clock.h"
 
 namespace cpr::client {
 
@@ -24,6 +27,19 @@ CprClient::CprClient(Options options) : options_(std::move(options)) {
   jitter_state_ ^= static_cast<uint32_t>(reinterpret_cast<uintptr_t>(this));
   jitter_state_ ^= static_cast<uint32_t>(options_.guid * 0x9e3779b97f4a7c15ull);
   if (jitter_state_ == 0) jitter_state_ = 0x9e3779b9u;
+  // CPR_CLIENT_BATCH forces batching on without code changes, so existing
+  // campaigns (fault matrix, TPC-C certify runs) prove the batched wire
+  // path preserves every exactly-once/replay contract.
+  const char* env = std::getenv("CPR_CLIENT_BATCH");
+  if (env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0) {
+    options_.batch = true;
+  }
+  options_.batch_max_ops =
+      std::clamp<uint32_t>(options_.batch_max_ops, 1, net::kMaxBatchOps);
+  if (options_.window_min == 0) options_.window_min = 1;
+  if (options_.window_max < options_.window_min) {
+    options_.window_max = options_.window_min;
+  }
 }
 
 CprClient::~CprClient() { Close(); }
@@ -35,6 +51,11 @@ void CprClient::Close() {
   }
   sendbuf_.clear();
   recvbuf_.clear();
+  recv_off_ = 0;
+  batch_stage_.clear();
+  batch_stage_ops_ = 0;
+  rtt_mark_ns_ = 0;  // the marked request will never be answered
+  rtt_mark_seq_ = 0;
   FailInflight();
 }
 
@@ -95,6 +116,19 @@ Status CprClient::ConnectOnce() {
     tv.tv_sec = options_.recv_timeout_ms / 1000;
     tv.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
     setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  if (options_.send_timeout_ms > 0) {
+    // A full socket buffer then surfaces as EAGAIN from a blocking send()
+    // after this long; SendAll turns that into a bounded POLLOUT wait
+    // instead of an error.
+    timeval tv{};
+    tv.tv_sec = options_.send_timeout_ms / 1000;
+    tv.tv_usec = (options_.send_timeout_ms % 1000) * 1000;
+    setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  if (options_.so_sndbuf > 0) {
+    setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
+               sizeof(options_.so_sndbuf));
   }
   return Status::Ok();
 }
@@ -192,7 +226,6 @@ Status CprClient::ReplayAfter(uint64_t recovered) {
   std::deque<net::Request> todo;
   todo.swap(replay_);
   replay_serials_.clear();
-  size_t expect = todo.size();
   stats_.replayed_ops += todo.size();
   for (net::Request& req : todo) {
     req.seq = next_seq_++;
@@ -203,22 +236,19 @@ Status CprClient::ReplayAfter(uint64_t recovered) {
     // Durable-mode acks only flow once a checkpoint covers the replayed
     // serials; ask for one right behind them.
     EnqueueCheckpoint();
-    ++expect;
   }
   Status st = Flush();
   if (!st.ok()) return st;
   // A concurrent checkpoint can make our CHECKPOINT request report BUSY
   // without covering the replayed ops; on an ack timeout, nudge again.
+  // Draining is driven off the in-flight set, not a response count: with
+  // batching on, one response frame settles many in-flight ops.
   int nudges = durable ? 3 : 0;
-  while (expect > 0) {
+  while (!inflight_.empty()) {
     st = Drain(nullptr, 1);
-    if (st.ok()) {
-      --expect;
-      continue;
-    }
+    if (st.ok()) continue;
     if (st.code() == Status::Code::kAborted && nudges-- > 0) {
       EnqueueCheckpoint();
-      ++expect;
       st = Flush();
       if (!st.ok()) return st;
       continue;
@@ -260,12 +290,43 @@ void CprClient::NeutralizeReplay(uint64_t serial) {
 }
 
 void CprClient::EnqueueRequest(const net::Request& req) {
-  if (req.op == net::Op::kTxn && req.txn_ops.size() > net::kMaxTxnOps) {
+  // RTT sampling: arm the mark on the FIRST op of a new burst (one sample in
+  // flight at a time; the clock starts at Flush). The first op's round trip
+  // measures wire latency plus the server's queue — independent of how deep
+  // this burst is — so the adaptive window doesn't punish its own depth.
+  if (options_.adaptive_window && rtt_mark_seq_ == 0) {
+    rtt_mark_seq_ = req.seq;
+  }
+  ++flush_pending_ops_;
+  const bool batchable =
+      options_.batch &&
+      (req.op == net::Op::kRead || req.op == net::Op::kUpsert ||
+       req.op == net::Op::kRmw || req.op == net::Op::kDelete);
+  if (batchable) {
+    // Stage the pre-encoded frame: a standalone frame (u32 len + payload)
+    // is byte-identical to a BATCH sub-message, so Flush can seal the stage
+    // into one BATCH frame — or emit a lone staged op verbatim. Only the
+    // transport grouping changes; seq/serial/replay bookkeeping below is
+    // identical to the unbatched path.
+    if (batch_stage_ops_ == 0) batch_stage_seq_ = req.seq;
+    net::EncodeRequest(req, &batch_stage_);
+    ++batch_stage_ops_;
+    // Seal early at the op cap or when another sub-op might not fit under
+    // the outer frame's length ceiling.
+    if (batch_stage_ops_ >= options_.batch_max_ops ||
+        batch_stage_.size() + value_size_ + 64 >= net::kMaxFrameBytes) {
+      FlushBatchStage();
+    }
+  } else if (req.op == net::Op::kTxn &&
+             req.txn_ops.size() > net::kMaxTxnOps) {
+    // A non-batchable op must not overtake staged data ops.
+    FlushBatchStage();
     // Oversized write sets travel as TXN_CHUNK continuations plus one final
     // TXN frame — one serial, one response. Replayed requests re-chunk here
     // automatically.
     net::EncodeTxnChunked(req, &sendbuf_);
   } else {
+    FlushBatchStage();
     net::EncodeRequest(req, &sendbuf_);
   }
   InFlight inf;
@@ -396,32 +457,124 @@ Status CprClient::SendAll(const char* data, size_t size) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    return Status::IoError("send() failed: " + std::string(strerror(errno)));
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+      return Status::IoError("send() failed: " + std::string(strerror(errno)));
+    }
+    // Remaining cases take nothing off our buffer but are not fatal:
+    // n == 0 sets no errno at all (reporting the stale one would blame an
+    // unrelated earlier failure), and EAGAIN/EWOULDBLOCK just means the
+    // socket buffer is full — a non-blocking fd, or a blocking send that
+    // hit SO_SNDTIMEO under a deep pipeline. Wait for writability instead
+    // of killing a healthy connection.
+    pollfd pfd{fd_, POLLOUT, 0};
+    const int timeout_ms =
+        options_.send_timeout_ms > 0 ? options_.send_timeout_ms : -1;
+    const int p = ::poll(&pfd, 1, timeout_ms);
+    if (p == 0) {
+      return Status::IoError("send stalled: server not draining");
+    }
+    if (p < 0 && errno != EINTR) {
+      return Status::IoError("poll() failed: " + std::string(strerror(errno)));
+    }
   }
   return Status::Ok();
 }
 
+void CprClient::FlushBatchStage() {
+  if (batch_stage_ops_ == 0) return;
+  if (batch_stage_ops_ == 1) {
+    // One staged op: its sub-message already IS a complete standalone
+    // frame; ship it unbatched (no BATCH overhead, same bytes either way).
+    sendbuf_.insert(sendbuf_.end(), batch_stage_.begin(), batch_stage_.end());
+  } else {
+    // BATCH frame: u32 len | u8 op | u32 seq | u32 n | staged sub-frames.
+    const uint32_t payload_len =
+        static_cast<uint32_t>(1 + 4 + 4 + batch_stage_.size());
+    auto pod = [this](const void* p, size_t n) {
+      const char* c = static_cast<const char*>(p);
+      sendbuf_.insert(sendbuf_.end(), c, c + n);
+    };
+    pod(&payload_len, sizeof(payload_len));
+    const uint8_t op = static_cast<uint8_t>(net::Op::kBatch);
+    pod(&op, sizeof(op));
+    pod(&batch_stage_seq_, sizeof(batch_stage_seq_));
+    pod(&batch_stage_ops_, sizeof(batch_stage_ops_));
+    sendbuf_.insert(sendbuf_.end(), batch_stage_.begin(), batch_stage_.end());
+  }
+  batch_stage_.clear();
+  batch_stage_ops_ = 0;
+}
+
 Status CprClient::Flush() {
   if (fd_ < 0) return Status::IoError("not connected");
+  FlushBatchStage();
   if (sendbuf_.empty()) return Status::Ok();
+  // Start the armed RTT sample's clock just before the send, so the round
+  // trip includes the send itself. The marked response surfaces only after
+  // the first frame of this burst is fully executed; remember that frame's
+  // op count so ObserveRtt can normalize the sample per op.
+  if (options_.adaptive_window && rtt_mark_seq_ != 0 && rtt_mark_ns_ == 0) {
+    rtt_mark_ns_ = NowNanos();
+    rtt_mark_ops_ =
+        options_.batch
+            ? std::max(1u, std::min(flush_pending_ops_, options_.batch_max_ops))
+            : 1;
+  }
+  flush_pending_ops_ = 0;
   Status s = SendAll(sendbuf_.data(), sendbuf_.size());
   sendbuf_.clear();
   return s;
 }
 
+net::FrameResult CprClient::NextBufferedFrame(net::Response* resp,
+                                              Status* error) {
+  std::string_view payload;
+  size_t consumed = 0;
+  const net::FrameResult fr =
+      net::TryExtractFrame(recvbuf_.data() + recv_off_,
+                           recvbuf_.size() - recv_off_, &payload, &consumed);
+  if (fr == net::FrameResult::kBadFrame) {
+    *error = Status::Corruption("bad frame from server");
+    return fr;
+  }
+  if (fr == net::FrameResult::kFrame) {
+    const bool ok = net::DecodeResponse(payload, resp);
+    recv_off_ += consumed;
+    if (!ok) {
+      *error = Status::Corruption("undecodable response");
+      return net::FrameResult::kBadFrame;
+    }
+  }
+  return fr;
+}
+
+void CprClient::CompactRecvBuf() {
+  if (recv_off_ == 0) return;
+  if (recv_off_ == recvbuf_.size()) {
+    recvbuf_.clear();
+  } else {
+    recvbuf_.erase(recvbuf_.begin(), recvbuf_.begin() + recv_off_);
+  }
+  recv_off_ = 0;
+}
+
 Status CprClient::ReadResponse(net::Response* resp) {
   while (true) {
-    std::string_view payload;
-    size_t consumed = 0;
-    const net::FrameResult fr = net::TryExtractFrame(
-        recvbuf_.data(), recvbuf_.size(), &payload, &consumed);
+    // Decoded frames advance recv_off_; the consumed prefix is dropped in
+    // one compaction, not per frame — per-frame erases are quadratic across
+    // an ack burst (the earlier TryDrain fix, now shared).
+    Status error;
+    const net::FrameResult fr = NextBufferedFrame(resp, &error);
     if (fr == net::FrameResult::kBadFrame) {
-      return Status::Corruption("bad frame from server");
+      CompactRecvBuf();
+      return error;
     }
     if (fr == net::FrameResult::kFrame) {
-      const bool ok = net::DecodeResponse(payload, resp);
-      recvbuf_.erase(recvbuf_.begin(), recvbuf_.begin() + consumed);
-      if (!ok) return Status::Corruption("undecodable response");
+      // Amortized compaction: free clear once fully consumed, otherwise
+      // only when the dead prefix has grown large.
+      if (recv_off_ == recvbuf_.size() || recv_off_ >= (256u << 10)) {
+        CompactRecvBuf();
+      }
       return Status::Ok();
     }
     char buf[64 * 1024];
@@ -439,10 +592,40 @@ Status CprClient::ReadResponse(net::Response* resp) {
   }
 }
 
-Status CprClient::ProcessResponse(net::Response resp,
-                                  std::vector<Result>* out) {
+Status CprClient::ProcessResponse(net::Response resp, std::vector<Result>* out,
+                                  size_t* n_processed) {
+  size_t n = 0;
+  Status s;
+  if (resp.op == net::Op::kBatch) {
+    // One frame, many logical responses: unpack through the single-response
+    // core so seq matching, recording, durability notes and replay
+    // bookkeeping are identical to the unbatched path.
+    if (resp.status != net::WireStatus::kOk || resp.batch.empty()) {
+      // An empty/failed batch consumed no in-flight op; treating it as
+      // progress-free corruption also keeps Drain from spinning forever.
+      s = Status::Corruption("batch response carried no sub-responses");
+    } else {
+      for (net::Response& sub : resp.batch) {
+        s = ProcessOne(std::move(sub), out);
+        if (!s.ok()) break;
+        ++n;
+      }
+    }
+  } else {
+    s = ProcessOne(std::move(resp), out);
+    if (s.ok()) n = 1;
+  }
+  if (n_processed != nullptr) *n_processed = n;
+  return s;
+}
+
+Status CprClient::ProcessOne(net::Response resp, std::vector<Result>* out) {
+  if (inflight_.empty()) {
+    return Status::Corruption("response with nothing in flight");
+  }
   const InFlight inf = inflight_.front();
   inflight_.pop_front();
+  if (options_.adaptive_window) ObserveRtt(resp.seq);
   if (resp.seq != inf.seq || resp.op != inf.op) {
     return Status::Corruption("response out of order (pipeline desync)");
   }
@@ -606,9 +789,13 @@ Status CprClient::Drain(std::vector<Result>* out, size_t count) {
     net::Response resp;
     Status s = ReadResponse(&resp);
     if (!s.ok()) return s;
-    s = ProcessResponse(std::move(resp), out);
+    size_t n = 0;
+    s = ProcessResponse(std::move(resp), out, &n);
     if (!s.ok()) return s;
-    --count;
+    // A BATCH frame may settle more in-flight ops than the caller asked
+    // for; over-delivering (never blocking for extra frames) is the
+    // batching-compatible reading of `count`.
+    count -= std::min(count, n);
   }
   return Status::Ok();
 }
@@ -616,32 +803,24 @@ Status CprClient::Drain(std::vector<Result>* out, size_t count) {
 Status CprClient::TryDrain(std::vector<Result>* out, size_t* processed) {
   if (processed != nullptr) *processed = 0;
   if (fd_ < 0) return Status::IoError("not connected");
-  // Decoded frames advance a read offset; the consumed prefix is erased
-  // once on exit. Erasing per frame would be quadratic exactly when a burst
-  // of held durable acks lands at once — the case TryDrain exists for.
-  size_t off = 0;
   Status status = Status::Ok();
   while (!inflight_.empty()) {
     // Frames already buffered are pure CPU work; consume those first.
-    std::string_view payload;
-    size_t consumed = 0;
-    const net::FrameResult fr = net::TryExtractFrame(
-        recvbuf_.data() + off, recvbuf_.size() - off, &payload, &consumed);
+    // (recv_off_ advances per frame; one compaction on exit — per-frame
+    // erases are quadratic exactly when a burst of held durable acks lands
+    // at once, the case TryDrain exists for.)
+    net::Response resp;
+    Status error;
+    const net::FrameResult fr = NextBufferedFrame(&resp, &error);
     if (fr == net::FrameResult::kBadFrame) {
-      status = Status::Corruption("bad frame from server");
+      status = error;
       break;
     }
     if (fr == net::FrameResult::kFrame) {
-      net::Response resp;
-      const bool ok = net::DecodeResponse(payload, &resp);
-      off += consumed;
-      if (!ok) {
-        status = Status::Corruption("undecodable response");
-        break;
-      }
-      status = ProcessResponse(std::move(resp), out);
+      size_t n = 0;
+      status = ProcessResponse(std::move(resp), out, &n);
       if (!status.ok()) break;
-      if (processed != nullptr) ++*processed;
+      if (processed != nullptr) *processed += n;
       continue;
     }
     // Partial frame: only read when bytes are ready right now, so a held
@@ -670,8 +849,63 @@ Status CprClient::TryDrain(std::vector<Result>* out, size_t* processed) {
     status = Status::IoError("recv() failed: " + std::string(strerror(errno)));
     break;
   }
-  if (off != 0) recvbuf_.erase(recvbuf_.begin(), recvbuf_.begin() + off);
+  CompactRecvBuf();
   return status;
+}
+
+// -- Adaptive window ---------------------------------------------------------
+
+size_t CprClient::target_window() const {
+  if (!options_.adaptive_window || window_ < options_.window_min) {
+    return options_.window_min;
+  }
+  return static_cast<size_t>(
+      std::min<double>(window_, options_.window_max));
+}
+
+void CprClient::ObserveRtt(uint32_t seq) {
+  if (rtt_mark_ns_ == 0 || seq != rtt_mark_seq_) return;
+  // Normalize by the marked frame's op count (see rtt_mark_ops_): the
+  // controller must react to queueing ahead of the burst, not to the batch
+  // size the client itself picked.
+  const uint64_t rtt =
+      std::max<uint64_t>(1, (NowNanos() - rtt_mark_ns_) / rtt_mark_ops_);
+  rtt_mark_ns_ = 0;
+  rtt_mark_seq_ = 0;
+  if (rtt_min_ns_ == 0 || rtt < rtt_min_ns_) rtt_min_ns_ = rtt;
+  rtt_ewma_ns_ = rtt_ewma_ns_ == 0
+                     ? static_cast<double>(rtt)
+                     : 0.8 * rtt_ewma_ns_ + 0.2 * static_cast<double>(rtt);
+  AdjustWindow();
+}
+
+void CprClient::AdjustWindow() {
+  // AIMD on queueing delay: while the measured round trip stays near the
+  // observed floor the pipe is not the bottleneck — grow additively. Once
+  // RTT inflates well past the floor the extra depth is only queueing —
+  // back off multiplicatively. Between the thresholds, hold.
+  const double wmin = static_cast<double>(options_.window_min);
+  const double wmax = static_cast<double>(options_.window_max);
+  if (window_ < wmin) window_ = wmin;
+  if (rtt_ewma_ns_ <= 2.0 * static_cast<double>(rtt_min_ns_)) {
+    window_ += std::max(1.0, window_ / 8.0);
+  } else if (rtt_ewma_ns_ >= 4.0 * static_cast<double>(rtt_min_ns_)) {
+    window_ *= 0.75;
+  }
+  window_ = std::clamp(window_, wmin, wmax);
+}
+
+void CprClient::NoteServerDurableLag(uint64_t p99_ns) {
+  if (!options_.adaptive_window || rtt_ewma_ns_ <= 0) return;
+  // Durable-gate lag dwarfing the wire RTT means acks are stalling behind
+  // checkpoints, not the network: more outstanding ops would only deepen
+  // the stall (and the server's queues). Cut multiplicatively; RTT-driven
+  // additive growth re-probes once the gate drains.
+  if (static_cast<double>(p99_ns) > 8.0 * rtt_ewma_ns_) {
+    window_ = std::clamp(window_ * 0.5,
+                         static_cast<double>(options_.window_min),
+                         static_cast<double>(options_.window_max));
+  }
 }
 
 namespace {

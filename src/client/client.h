@@ -37,6 +37,30 @@ class CprClient {
     uint64_t guid = 0;  // 0: ask the server for a fresh session
     net::AckMode ack_mode = net::AckMode::kExecuted;
     int recv_timeout_ms = 10'000;
+    // Bound on waiting for the socket to accept outgoing bytes (SO_SNDTIMEO
+    // plus the POLLOUT wait when the send buffer is full). <= 0: wait
+    // forever.
+    int send_timeout_ms = 10'000;
+    // > 0: override the kernel send-buffer size (SO_SNDBUF). Mainly for
+    // tests exercising partial-send/backpressure paths.
+    int so_sndbuf = 0;
+    // Coalesce consecutively enqueued data ops (READ/UPSERT/RMW/DELETE)
+    // into BATCH frames at Flush time: one frame, one decode pass and one
+    // response frame per burst instead of per op. Transport-level only —
+    // per-op seq/serial/replay semantics are unchanged. Also forced on by
+    // the CPR_CLIENT_BATCH environment variable (any value but "0"), so
+    // existing campaigns can run batched without code changes.
+    bool batch = false;
+    // Sub-ops per BATCH frame (clamped to net::kMaxBatchOps).
+    uint32_t batch_max_ops = 64;
+    // Adapt the pipeline window (target_window()) from measured RTT instead
+    // of a fixed depth: additive increase while the connection's RTT stays
+    // near its observed floor, multiplicative decrease once RTT inflates
+    // (queueing) or the server reports durable-lag backpressure
+    // (NoteServerDurableLag). Drivers size their burst to target_window().
+    bool adaptive_window = false;
+    uint32_t window_min = 16;
+    uint32_t window_max = 1024;
     int connect_attempts = 10;
     // Per-attempt connect(2) timeout (non-blocking connect + poll). <= 0
     // falls back to a blocking connect.
@@ -133,6 +157,18 @@ class CprClient {
   size_t inflight() const { return inflight_.size(); }
   size_t replay_backlog() const { return replay_.size(); }
   const Stats& stats() const { return stats_; }
+
+  // -- Adaptive window -------------------------------------------------------
+
+  // Current pipeline depth target in [window_min, window_max]. With
+  // adaptive_window off this is simply window_min; drivers that want a fixed
+  // depth keep using their own constant.
+  size_t target_window() const;
+  // Backpressure hook: feed the server's durable-gate p99 (scraped from the
+  // STATS breakdown) here. A durable lag dwarfing the wire RTT means acks
+  // are stalling behind the durability gate — growing the window would only
+  // deepen the stall, so the window is cut multiplicatively.
+  void NoteServerDurableLag(uint64_t p99_ns);
 
   // -- Pipelined interface -------------------------------------------------
 
@@ -233,8 +269,28 @@ class CprClient {
   Status Hello();
   void EnqueueRequest(const net::Request& req);
   Status ReadResponse(net::Response* resp);
-  Status ProcessResponse(net::Response resp, std::vector<Result>* out);
+  // Dispatches one response frame: a BATCH frame unpacks into its
+  // sub-responses (each consuming one in-flight op), anything else consumes
+  // exactly one. `n_processed` (optional) reports how many in-flight ops
+  // were consumed.
+  Status ProcessResponse(net::Response resp, std::vector<Result>* out,
+                         size_t* n_processed = nullptr);
+  // The single-response core: matches, records, and resolves exactly one
+  // in-flight op.
+  Status ProcessOne(net::Response resp, std::vector<Result>* out);
   Status SendAll(const char* data, size_t size);
+  // Extracts + decodes the next complete frame already buffered in recvbuf_
+  // (shared by ReadResponse and TryDrain; advances recv_off_ rather than
+  // erasing per frame, which was quadratic across an ack burst).
+  net::FrameResult NextBufferedFrame(net::Response* resp, Status* error);
+  // Drops recvbuf_'s consumed prefix; cheap full clear when everything was
+  // consumed.
+  void CompactRecvBuf();
+  // Seals the staged batch (if any) into sendbuf_ as one BATCH frame (a
+  // single staged op is emitted as its plain standalone frame).
+  void FlushBatchStage();
+  void ObserveRtt(uint32_t seq);
+  void AdjustWindow();
   void RecordOp(const InFlight& inf, const net::Response& resp);
   void RecordResolvedPrefix(uint64_t recovered);
   void NoteDurable(uint64_t serial);
@@ -272,6 +328,32 @@ class CprClient {
 
   std::vector<char> sendbuf_;
   std::vector<char> recvbuf_;
+  // Consumed prefix of recvbuf_ (read offset; compacted once per call).
+  size_t recv_off_ = 0;
+  // BATCH staging: pre-encoded frames of coalescable data ops awaiting the
+  // seal into one BATCH frame. A standalone frame (u32 len + payload) is
+  // byte-identical to a BATCH sub-message, so staging is just encoding.
+  std::vector<char> batch_stage_;
+  uint32_t batch_stage_ops_ = 0;
+  uint32_t batch_stage_seq_ = 0;  // outer frame's seq = first staged op's
+  // Adaptive window state: RTT EWMA + observed floor drive an AIMD window.
+  // One sample in flight at a time: armed on the first op of a burst
+  // (rtt_mark_seq_ != 0), clocked at Flush (rtt_mark_ns_ != 0), resolved
+  // when the marked seq's response is processed. Sampling the burst's FIRST
+  // op keeps the measurement independent of the burst depth — it sees wire
+  // latency plus server queueing, not the client's own window.
+  // The marked (first) response of a batched burst only arrives once the
+  // whole first BATCH frame is executed, so the raw sample scales with the
+  // frame's op count; dividing by rtt_mark_ops_ (the marked frame's size)
+  // makes the signal scale-free — it reacts to queueing, not to the batch
+  // size the client itself chose.
+  double window_ = 0;
+  double rtt_ewma_ns_ = 0;
+  uint64_t rtt_min_ns_ = 0;
+  uint32_t rtt_mark_seq_ = 0;
+  uint64_t rtt_mark_ns_ = 0;
+  uint32_t rtt_mark_ops_ = 1;
+  uint32_t flush_pending_ops_ = 0;  // ops enqueued since the last Flush
   std::deque<InFlight> inflight_;
   // Data ops not yet covered by a known-durable serial, in serial order.
   // Reads are kept too — not for their results, but so a replay re-issues

@@ -66,16 +66,19 @@ class Poller {
 #endif
   }
 
-  void SetWriteInterest(int fd, bool on) {
+  // Read interest can be masked too (slow-reader throttling): with no
+  // events of interest the fd stays registered but silent until the backlog
+  // drains and reads are re-armed.
+  void SetInterest(int fd, bool read, bool write) {
 #ifdef CPR_HAVE_EPOLL
     epoll_event ev{};
-    ev.events = EPOLLIN | (on ? EPOLLOUT : 0u);
+    ev.events = (read ? EPOLLIN : 0u) | (write ? EPOLLOUT : 0u);
     ev.data.fd = fd;
     epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
 #else
     for (auto& p : fds_) {
       if (p.fd == fd) {
-        p.events = static_cast<short>(POLLIN | (on ? POLLOUT : 0));
+        p.events = static_cast<short>((read ? POLLIN : 0) | (write ? POLLOUT : 0));
         return;
       }
     }
@@ -152,6 +155,12 @@ struct KvServer::PendingResponse {
   uint64_t park_ns = 0;       // accumulated instant-restart park wait
   uint64_t t_exec_start = 0;  // backend dispatch began
   uint64_t t_ready = 0;       // execution result known (sync or async)
+  // BATCH membership: all sub-ops of one BATCH frame release atomically as
+  // one response frame. Every member sets in_batch; the FIRST member also
+  // carries the group size and the outer frame's seq.
+  bool in_batch = false;
+  uint32_t batch_size = 0;
+  uint32_t batch_seq = 0;
   net::Response resp;
 };
 
@@ -166,6 +175,7 @@ struct KvServer::Connection {
   size_t out_off = 0;
   std::deque<PendingResponse> queue;
   bool want_write = false;
+  bool want_read = true;
   bool closed = false;
   // A malformed frame was answered with a best-effort BAD_REQUEST: stop
   // reading, flush what is queued, then close (framing is unreliable past
@@ -364,6 +374,10 @@ Status KvServer::Start() {
              static_cast<double>(s.recovery_duration_ns));
         emit("cpr_server_read_ops_total", static_cast<double>(s.read_ops));
         emit("cpr_server_write_ops_total", static_cast<double>(s.write_ops));
+        emit("cpr_server_slow_reader_throttled_total",
+             static_cast<double>(s.slow_reader_throttled));
+        emit("cpr_server_slow_reader_closed_total",
+             static_cast<double>(s.slow_reader_closed));
         emit("cpr_server_durable_lag_p50_ns",
              static_cast<double>(s.durable_lag.Quantile(0.5)));
         emit("cpr_server_durable_lag_p99_ns",
@@ -723,7 +737,7 @@ void KvServer::ParseFrames(Worker& w, Connection* c) {
       if (payload.size() >= 5) {
         const uint8_t op = static_cast<uint8_t>(payload[0]);
         if (op >= static_cast<uint8_t>(net::Op::kHello) &&
-            op <= static_cast<uint8_t>(net::Op::kProvider)) {
+            op <= static_cast<uint8_t>(net::Op::kBatch)) {
           // TXN_CHUNK is not a valid response op; its errors answer as TXN.
           entry.resp.op = op == static_cast<uint8_t>(net::Op::kTxnChunk)
                               ? net::Op::kTxn
@@ -782,9 +796,57 @@ void KvServer::HandleRequest(Connection* c, const net::Request& req) {
     case net::Op::kProvider:
       HandleProvider(c, req);
       return;
+    case net::Op::kBatch:
+      HandleBatch(c, req);
+      return;
     default:
       HandleDataOp(c, req);
       return;
+  }
+}
+
+void KvServer::HandleBatch(Connection* c, const net::Request& req) {
+  // The BATCH frame itself was counted by ParseFrames; count the remaining
+  // sub-ops so requests/responses stay symmetric per logical op. The op-mix
+  // counters are summed here too — one atomic add per batch, not per sub-op.
+  counters_.requests.fetch_add(req.batch.size() - 1,
+                               std::memory_order_relaxed);
+  const size_t qbase = c->queue.size();
+  for (size_t i = 0; i < req.batch.size(); ++i) {
+    if (i > 0) {
+      // Each sub-op's trace span starts where the previous sub-op's handling
+      // ended, mirroring ParseFrames' per-frame decode-clock restart — but
+      // without a fresh clock read per sub-op: the previous sub-op already
+      // stamped t_ready at exactly that boundary, so chain it.
+      const uint64_t prev_ready = c->queue.back().t_ready;
+      c->req_recv_ns = prev_ready != 0 ? prev_ready : NowNanos();
+      c->req_park_ns = 0;
+    }
+    HandleDataOp(c, req.batch[i], /*in_batch=*/true);
+  }
+  // Every in-batch HandleDataOp path queues exactly one entry (in-batch ops
+  // never park), so the group is contiguous and complete.
+  PendingResponse& first = c->queue[qbase];
+  first.batch_size = static_cast<uint32_t>(c->queue.size() - qbase);
+  first.batch_seq = req.seq;
+  // Op-mix counters, one atomic add per batch instead of per sub-op. Only
+  // sub-ops that reached the backend count (`traced` is set exactly where
+  // the unbatched path bumps these), so rejected subs stay uncounted in
+  // both modes.
+  size_t reads = 0;
+  size_t writes = 0;
+  for (size_t i = qbase; i < c->queue.size(); ++i) {
+    const PendingResponse& e = c->queue[i];
+    if (!e.traced) continue;
+    if (e.resp.op == net::Op::kRead) {
+      ++reads;
+    } else {
+      ++writes;
+    }
+  }
+  if (reads > 0) counters_.read_ops.fetch_add(reads, std::memory_order_relaxed);
+  if (writes > 0) {
+    counters_.write_ops.fetch_add(writes, std::memory_order_relaxed);
   }
 }
 
@@ -1001,8 +1063,10 @@ void KvServer::HandleHello(Connection* c, const net::Request& req) {
   c->queue.push_back(std::move(entry));
 }
 
-void KvServer::HandleDataOp(Connection* c, const net::Request& req) {
+void KvServer::HandleDataOp(Connection* c, const net::Request& req,
+                            bool in_batch) {
   PendingResponse entry;
+  entry.in_batch = in_batch;
   entry.resp.op = req.op;
   entry.resp.seq = req.seq;
   if (c->session == nullptr) {
@@ -1026,18 +1090,23 @@ void KvServer::HandleDataOp(Connection* c, const net::Request& req) {
   const uint32_t shard = kv_->ShardOfKey(req.key);
   if (!kv_->ShardReady(shard)) {
     kv_->PrioritizeShard(shard);
-    if (!recovery_done_.load(std::memory_order_acquire) &&
+    // In-batch ops never park: parking stops frame consumption mid-group
+    // and would leave the batch's response set incomplete.
+    if (!in_batch && !recovery_done_.load(std::memory_order_acquire) &&
         TryParkRequest(c, req, shard)) {
       return;
     }
-    RejectRecovering(c, req);
+    RejectRecovering(c, req, in_batch);
     return;
   }
   kv::Session& s = *c->session;
-  if (req.op == net::Op::kRead) {
-    counters_.read_ops.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    counters_.write_ops.fetch_add(1, std::memory_order_relaxed);
+  if (!in_batch) {
+    // In-batch sub-ops were counted in one add by HandleBatch.
+    if (req.op == net::Op::kRead) {
+      counters_.read_ops.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      counters_.write_ops.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   faster::OpStatus st = faster::OpStatus::kOk;
   std::vector<char> value(req.op == net::Op::kRead ? kv_->value_size() : 0);
@@ -1093,7 +1162,8 @@ void KvServer::HandleDataOp(Connection* c, const net::Request& req) {
       entry.resp.value = std::move(value);
     }
   }
-  if (!first_op_served_.exchange(true, std::memory_order_relaxed)) {
+  if (!first_op_served_.load(std::memory_order_relaxed) &&
+      !first_op_served_.exchange(true, std::memory_order_relaxed)) {
     // Time-to-first-op: how long after the listener came up the first data
     // operation actually executed. With recover_on_start this is the
     // availability headline — far below the full recovery duration.
@@ -1270,9 +1340,11 @@ bool KvServer::TryParkRequest(Connection* c, const net::Request& req,
   return true;
 }
 
-void KvServer::RejectRecovering(Connection* c, const net::Request& req) {
+void KvServer::RejectRecovering(Connection* c, const net::Request& req,
+                                bool in_batch) {
   PendingResponse entry;
   entry.ready = true;
+  entry.in_batch = in_batch;
   entry.resp.op = req.op;
   entry.resp.seq = req.seq;
   entry.resp.status = net::WireStatus::kRecovering;
@@ -1351,6 +1423,9 @@ void KvServer::FailPendingAtShutdown(Worker& w, Connection* c) {
   }
   if (c->queue.empty()) return;
   const uint64_t token = kv_->LastCheckpointToken();
+  // BATCH members are encoded as standalone frames here: a sub-response is
+  // byte-identical to a frame payload, and the client matches responses to
+  // in-flight ops per-op, so the drain needs no group framing.
   for (PendingResponse& e : c->queue) {
     if (!e.ready) {
       // Async op that never completed: its outcome is unknown to the
@@ -1407,22 +1482,20 @@ void KvServer::ReleaseResponses(Connection* c) {
       c->durable_point = point;
     }
   }
-  while (!c->queue.empty()) {
-    PendingResponse& e = c->queue.front();
-    if (!e.ready) break;
+  // Resolves one entry's final status once every gate in its release group
+  // has opened, and records durable-lag for gated acks.
+  auto resolve = [&](PendingResponse& e) {
     if (e.token_gate != 0 && token < e.token_gate) {
-      // Checkpoint still in flight: keep waiting. If it finished without
-      // completing, it failed persistently — tell the client rather than
+      // Gate checks already passed: the checkpoint finished without
+      // completing — it failed persistently; tell the client rather than
       // leaving the CHECKPOINT response (and everything behind it) hung.
-      if (finished < e.token_gate) break;
       e.resp.status = net::WireStatus::kError;
     }
     if (e.durable_gate != 0 && c->durable_point < e.durable_gate) {
-      // The gate can still open if a checkpoint in flight succeeds. Once a
-      // checkpoint fails after this op executed, durability can no longer
-      // be promised in order: degrade to an explicit NOT_DURABLE ack so the
-      // client keeps the op in its replay buffer instead of hanging.
-      if (failures <= e.failures_at_enqueue) break;
+      // Gate checks already passed: a checkpoint failed after this op
+      // executed, so durability can no longer be promised in order.
+      // Degrade to an explicit NOT_DURABLE ack so the client keeps the op
+      // in its replay buffer instead of hanging.
       e.resp.status = net::WireStatus::kNotDurable;
       counters_.not_durable_acks.fetch_add(1, std::memory_order_relaxed);
       // Attribute the degradation: behind a sharded backend a failed
@@ -1442,41 +1515,104 @@ void KvServer::ReleaseResponses(Connection* c) {
       (void)kv_->DurableCommitPoint(c->guid, &point);
       e.resp.commit_serial = point;
     }
-    // All gates open: the durable/FIFO wait ends and ack serialize begins.
-    const uint64_t release_ns = e.traced ? NowNanos() : 0;
-    const size_t before = c->outbuf.size();
-    net::EncodeResponse(e.resp, &c->outbuf);
-    c->cum_queued += c->outbuf.size() - before;
-    if (e.traced) {
-      const uint64_t encoded_ns = NowNanos();
-      auto width = [](uint64_t from, uint64_t to) {
-        return to > from ? to - from : 0;
-      };
-      Connection::WriteTrack t;
-      t.frame_end = c->cum_queued;
-      t.encoded_ns = encoded_ns;
-      obs::ReqSpan& span = t.span;
-      span.start_ns = e.t_recv;
-      span.serial = e.serial;
-      span.op = static_cast<uint8_t>(e.resp.op);
-      span.status = static_cast<uint8_t>(e.resp.status);
-      using S = obs::ReqStage;
-      span.stage_ns[static_cast<int>(S::kPark)] = e.park_ns;
-      // Decode is the dispatch interval minus the carved-out park wait, so
-      // the stages partition [t_recv, write-done] exactly.
-      span.stage_ns[static_cast<int>(S::kDecode)] =
-          width(e.t_recv + e.park_ns, e.t_exec_start);
-      span.stage_ns[static_cast<int>(S::kExecute)] =
-          width(e.t_exec_start, e.t_ready);
-      span.stage_ns[static_cast<int>(S::kDurableGate)] =
-          width(e.t_ready, release_ns);
-      span.stage_ns[static_cast<int>(S::kAck)] = width(release_ns, encoded_ns);
-      // kWrite completes (and the span records) once the kernel took the
-      // frame's last byte — see FlushOut.
-      c->write_track.push_back(std::move(t));
+  };
+  // Builds the write-stage tracker for one traced entry; batched entries
+  // share the group frame's end and encode stamp.
+  auto track = [&](const PendingResponse& e, uint64_t release_ns,
+                   uint64_t encoded_ns, net::Op op, net::WireStatus status) {
+    auto width = [](uint64_t from, uint64_t to) {
+      return to > from ? to - from : 0;
+    };
+    Connection::WriteTrack t;
+    t.frame_end = c->cum_queued;
+    t.encoded_ns = encoded_ns;
+    obs::ReqSpan& span = t.span;
+    span.start_ns = e.t_recv;
+    span.serial = e.serial;
+    span.op = static_cast<uint8_t>(op);
+    span.status = static_cast<uint8_t>(status);
+    using S = obs::ReqStage;
+    span.stage_ns[static_cast<int>(S::kPark)] = e.park_ns;
+    // Decode is the dispatch interval minus the carved-out park wait, so
+    // the stages partition [t_recv, write-done] exactly.
+    span.stage_ns[static_cast<int>(S::kDecode)] =
+        width(e.t_recv + e.park_ns, e.t_exec_start);
+    span.stage_ns[static_cast<int>(S::kExecute)] =
+        width(e.t_exec_start, e.t_ready);
+    span.stage_ns[static_cast<int>(S::kDurableGate)] =
+        width(e.t_ready, release_ns);
+    span.stage_ns[static_cast<int>(S::kAck)] = width(release_ns, encoded_ns);
+    // kWrite completes (and the span records) once the kernel took the
+    // frame's last byte — see FlushOut.
+    c->write_track.push_back(std::move(t));
+  };
+  while (!c->queue.empty()) {
+    PendingResponse& front = c->queue.front();
+    // A BATCH group releases atomically: one response frame once every
+    // member's gates have opened. group == 1 is the plain single-frame path.
+    const size_t group = front.in_batch ? front.batch_size : 1;
+    bool blocked = false;
+    for (size_t i = 0; i < group; ++i) {
+      const PendingResponse& e = c->queue[i];
+      if (!e.ready ||
+          (e.token_gate != 0 && token < e.token_gate &&
+           finished < e.token_gate) ||
+          (e.durable_gate != 0 && c->durable_point < e.durable_gate &&
+           failures <= e.failures_at_enqueue)) {
+        blocked = true;
+        break;
+      }
     }
-    counters_.responses.fetch_add(1, std::memory_order_relaxed);
-    c->queue.pop_front();
+    if (blocked) break;
+    // All gates open: the durable/FIFO wait ends and ack serialize begins.
+    bool any_traced = false;
+    for (size_t i = 0; i < group; ++i) any_traced |= c->queue[i].traced;
+    const uint64_t release_ns = any_traced ? NowNanos() : 0;
+    const size_t before = c->outbuf.size();
+    if (!front.in_batch) {
+      resolve(front);
+      net::EncodeResponse(front.resp, &c->outbuf);
+      c->cum_queued += c->outbuf.size() - before;
+      if (front.traced) {
+        track(front, release_ns, NowNanos(), front.resp.op,
+              front.resp.status);
+      }
+    } else {
+      // Serialize the group straight from the queue: resolve every member,
+      // then encode each sub-response in place under one outer BATCH frame —
+      // no intermediate outer Response, no sub-response moves.
+      uint64_t max_serial = 0;
+      for (size_t i = 0; i < group; ++i) {
+        PendingResponse& e = c->queue[i];
+        resolve(e);
+        // The outer serial reports the batch's maximum covered serial.
+        if (e.resp.serial > max_serial) max_serial = e.resp.serial;
+      }
+      const size_t frame_start = net::BeginBatchResponse(
+          front.batch_seq, max_serial, static_cast<uint32_t>(group),
+          &c->outbuf);
+      for (size_t i = 0; i < group; ++i) {
+        net::EncodeResponse(c->queue[i].resp, &c->outbuf);
+      }
+      net::EndBatchResponse(frame_start, &c->outbuf);
+      c->cum_queued += c->outbuf.size() - before;
+      const uint64_t encoded_ns = any_traced ? NowNanos() : 0;
+      for (size_t i = 0; i < group; ++i) {
+        const PendingResponse& e = c->queue[i];
+        if (!e.traced) continue;
+        track(e, release_ns, encoded_ns, e.resp.op, e.resp.status);
+      }
+    }
+    counters_.responses.fetch_add(group, std::memory_order_relaxed);
+    c->queue.erase(c->queue.begin(), c->queue.begin() + group);
+    // Slow-reader hard cap: the peer demonstrably is not draining; close
+    // rather than buffer its responses without bound.
+    if (options_.outbuf_hard_cap_bytes != 0 &&
+        c->outbuf.size() - c->out_off > options_.outbuf_hard_cap_bytes) {
+      counters_.slow_reader_closed.fetch_add(1, std::memory_order_relaxed);
+      c->closed = true;
+      return;
+    }
   }
 }
 
@@ -1516,10 +1652,20 @@ void KvServer::FlushOut(Worker& w, Connection* c) {
     c->outbuf.erase(c->outbuf.begin(), c->outbuf.begin() + c->out_off);
     c->out_off = 0;
   }
-  const bool want = c->out_off < c->outbuf.size();
-  if (want != c->want_write) {
-    c->want_write = want;
-    w.poller.SetWriteInterest(c->fd, want);
+  const bool want_write = c->out_off < c->outbuf.size();
+  // Slow-reader soft cap: past the high-water mark stop reading from the
+  // connection — its unsent responses stay here, TCP backpressure reaches
+  // the client — and resume once the backlog drains below the mark.
+  const size_t backlog = c->outbuf.size() - c->out_off;
+  const bool want_read = options_.outbuf_soft_cap_bytes == 0 ||
+                         backlog < options_.outbuf_soft_cap_bytes;
+  if (want_write != c->want_write || want_read != c->want_read) {
+    if (!want_read && c->want_read) {
+      counters_.slow_reader_throttled.fetch_add(1, std::memory_order_relaxed);
+    }
+    c->want_write = want_write;
+    c->want_read = want_read;
+    w.poller.SetInterest(c->fd, want_read, want_write);
   }
 }
 

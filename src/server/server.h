@@ -98,6 +98,14 @@ struct KvServerOptions {
   uint32_t watchdog_warn_evals = 2;
   uint32_t watchdog_stall_evals = 4;
   std::string watchdog_dump_path;
+  // Slow-reader flow control. A connection whose un-flushed outbuf backlog
+  // crosses the soft cap stops being read from (TCP backpressure reaches
+  // the client; reads resume once the backlog drains below the cap). Past
+  // the hard cap the connection is closed: the peer demonstrably is not
+  // draining and the server will not buffer its responses without bound.
+  // 0 disables the respective cap.
+  size_t outbuf_soft_cap_bytes = 4u << 20;
+  size_t outbuf_hard_cap_bytes = 64u << 20;
 };
 
 class KvServer {
@@ -134,7 +142,11 @@ class KvServer {
   void ParseFrames(Worker& w, Connection* c);
   void HandleRequest(Connection* c, const net::Request& req);
   void HandleHello(Connection* c, const net::Request& req);
-  void HandleDataOp(Connection* c, const net::Request& req);
+  // `in_batch` ops never park: a still-restoring shard answers RECOVERING
+  // inline so the batch's response group stays complete and ordered.
+  void HandleDataOp(Connection* c, const net::Request& req,
+                    bool in_batch = false);
+  void HandleBatch(Connection* c, const net::Request& req);
   void HandleTxn(Connection* c, const net::Request& req);
   void HandleTxnChunk(Connection* c, const net::Request& req);
   void HandleDump(Connection* c, const net::Request& req);
@@ -159,7 +171,8 @@ class KvServer {
   // Instant-restart serving surface.
   void RecoveryMain();                       // background recovery driver
   bool TryParkRequest(Connection* c, const net::Request& req, uint32_t shard);
-  void RejectRecovering(Connection* c, const net::Request& req);
+  void RejectRecovering(Connection* c, const net::Request& req,
+                        bool in_batch = false);
   void RetryParked(Worker& w, Connection* c);
   // Shutdown drain for one connection's queued responses: completes what it
   // can without blocking, then fails the rest with an honest status (parked

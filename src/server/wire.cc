@@ -38,6 +38,15 @@ class Reader {
     return true;
   }
 
+  // Consumes exactly `n` bytes as a view into the payload (false if fewer
+  // remain). Valid only while the underlying payload buffer lives.
+  bool View(size_t n, std::string_view* out) {
+    if (data_.size() - pos_ < n) return false;
+    *out = data_.substr(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
   bool AtEnd() const { return pos_ == data_.size(); }
 
  private:
@@ -113,6 +122,46 @@ bool ReadTxnOps(Reader* r, std::vector<TxnWireOp>* out) {
   return true;
 }
 
+// True iff `op` may appear inside a BATCH frame. Data ops only: everything
+// else (session control, checkpoints, sessionless ops, nested BATCH) has
+// framing or ordering semantics that batching would obscure.
+bool IsBatchableOp(Op op) {
+  switch (op) {
+    case Op::kRead:
+    case Op::kUpsert:
+    case Op::kRmw:
+    case Op::kDelete:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Decodes a BATCH sub-message list: u32 n, then n × (u32 len, len-byte
+// payload). `decode_sub` decodes one sub-payload into the i-th output slot.
+// Rejects nested BATCH by peeking the sub-payload's op byte BEFORE recursing,
+// so a hostile frame cannot nest decoders arbitrarily deep.
+template <typename Msg, typename DecodeSub>
+bool ReadBatch(Reader* r, std::vector<Msg>* out, DecodeSub decode_sub) {
+  uint32_t n = 0;
+  if (!r->Pod(&n)) return false;
+  if (n == 0 || n > kMaxBatchOps) return false;
+  out->resize(n);
+  for (Msg& sub : *out) {
+    uint32_t len = 0;
+    if (!r->Pod(&len)) return false;
+    std::string_view sub_payload;
+    if (len == 0 || !r->View(len, &sub_payload)) return false;
+    if (static_cast<uint8_t>(sub_payload[0]) ==
+        static_cast<uint8_t>(Op::kBatch)) {
+      return false;  // nested BATCH
+    }
+    if (!decode_sub(sub_payload, &sub)) return false;
+    if (!IsBatchableOp(sub.op)) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 FrameResult TryExtractFrame(const char* data, size_t size,
@@ -173,6 +222,13 @@ void EncodeRequest(const Request& req, std::vector<char>* out) {
       AppendPod<uint8_t>(out, static_cast<uint8_t>(req.provider_action));
       AppendPod<uint8_t>(out, static_cast<uint8_t>(req.provider_kind));
       break;
+    case Op::kBatch:
+      // Each sub-request travels as u32 len + payload — byte-identical to a
+      // standalone frame, so recursing appends exactly the sub-message form
+      // and the outer FrameWriter's length patch covers everything.
+      AppendPod<uint32_t>(out, static_cast<uint32_t>(req.batch.size()));
+      for (const Request& sub : req.batch) EncodeRequest(sub, out);
+      break;
   }
 }
 
@@ -197,6 +253,24 @@ void EncodeTxnChunked(const Request& req, std::vector<char>* out) {
   AppendPod<uint8_t>(out, static_cast<uint8_t>(Op::kTxn));
   AppendPod<uint32_t>(out, req.seq);
   AppendTxnOps(out, req.txn_ops, pos, req.txn_ops.size());
+}
+
+size_t BeginBatchResponse(uint32_t seq, uint64_t max_serial, uint32_t n,
+                          std::vector<char>* out) {
+  const size_t start = out->size();
+  AppendPod<uint32_t>(out, 0);  // patched by EndBatchResponse
+  AppendPod<uint8_t>(out, static_cast<uint8_t>(Op::kBatch));
+  AppendPod<uint8_t>(out, static_cast<uint8_t>(WireStatus::kOk));
+  AppendPod<uint32_t>(out, seq);
+  AppendPod<uint64_t>(out, max_serial);
+  AppendPod<uint32_t>(out, n);
+  return start;
+}
+
+void EndBatchResponse(size_t start, std::vector<char>* out) {
+  const uint32_t len =
+      static_cast<uint32_t>(out->size() - start - kFrameHeaderBytes);
+  std::memcpy(out->data() + start, &len, sizeof(len));
 }
 
 void EncodeResponse(const Response& resp, std::vector<char>* out) {
@@ -265,6 +339,14 @@ void EncodeResponse(const Response& resp, std::vector<char>* out) {
       AppendPod<uint64_t>(out, resp.provider_switches);
       AppendPod<uint64_t>(out, resp.provider_last_boundary);
       break;
+    case Op::kBatch:
+      // Sub-responses travel only on OK, like TXN reads: a batch-level
+      // failure (BAD_REQUEST echo) has no per-op results to report.
+      if (resp.status == WireStatus::kOk) {
+        AppendPod<uint32_t>(out, static_cast<uint32_t>(resp.batch.size()));
+        for (const Response& sub : resp.batch) EncodeResponse(sub, out);
+      }
+      break;
   }
 }
 
@@ -274,7 +356,7 @@ bool DecodeRequest(std::string_view payload, Request* out) {
   uint8_t op = 0;
   if (!r.Pod(&op) || !r.Pod(&out->seq)) return false;
   if (op < static_cast<uint8_t>(Op::kHello) ||
-      op > static_cast<uint8_t>(Op::kProvider)) {
+      op > static_cast<uint8_t>(Op::kBatch)) {
     return false;
   }
   out->op = static_cast<Op>(op);
@@ -339,6 +421,9 @@ bool DecodeRequest(std::string_view payload, Request* out) {
       out->provider_kind = static_cast<durability::ProviderKind>(kind);
       break;
     }
+    case Op::kBatch:
+      if (!ReadBatch(&r, &out->batch, DecodeRequest)) return false;
+      break;
   }
   return r.AtEnd();
 }
@@ -353,7 +438,7 @@ bool DecodeResponse(std::string_view payload, Response* out) {
     return false;
   }
   if (op < static_cast<uint8_t>(Op::kHello) ||
-      op > static_cast<uint8_t>(Op::kProvider) ||
+      op > static_cast<uint8_t>(Op::kBatch) ||
       op == static_cast<uint8_t>(Op::kTxnChunk) ||  // never a response op
       status > kMaxWireStatus) {
     return false;
@@ -437,6 +522,11 @@ bool DecodeResponse(std::string_view payload, Response* out) {
       out->provider_pending = pending != 0;
       break;
     }
+    case Op::kBatch:
+      if (out->status == WireStatus::kOk) {
+        if (!ReadBatch(&r, &out->batch, DecodeResponse)) return false;
+      }
+      break;
   }
   return r.AtEnd();
 }
@@ -455,6 +545,7 @@ const char* OpName(Op op) {
     case Op::kTxnChunk: return "TXN_CHUNK";
     case Op::kDump: return "DUMP";
     case Op::kProvider: return "PROVIDER";
+    case Op::kBatch: return "BATCH";
   }
   return "?";
 }

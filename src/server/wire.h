@@ -33,6 +33,24 @@
 //                                               n × (u64 row, value_size bytes)
 //   PROVIDER      u8 action (0 query,           u8 kind, u8 pending,
 //                 1 switch), u8 kind            u64 switches, u64 last_boundary
+//   BATCH         u32 n, n × (u32 len,          u32 n, n × (u32 len,
+//                 len-byte sub-request)         len-byte sub-response)
+//                                               (iff status OK)
+//
+// A BATCH frame carries N data operations (READ/UPSERT/RMW/DELETE only —
+// nothing else, and in particular no nested BATCH) under one length prefix:
+// one syscall and one decode/dispatch pass per side instead of N. Each
+// sub-request/sub-response is a complete, self-contained payload in the
+// formats above (own op, seq and serial), preceded by a u32 length — i.e.
+// byte-identical to a standalone frame — so batching changes *transport
+// grouping only*: per-op serials, replay bookkeeping, RECOVERING /
+// NOT_DURABLE / exactly-once semantics are exactly those of the equivalent
+// unbatched frames. The server executes the sub-ops in order as one serial
+// range and answers with one BATCH response once every sub-op can release;
+// with DURABLE acks that means the batch releases when a checkpoint covers
+// its highest update serial (the outer `serial` field reports that maximum
+// covered serial; sub-responses carry their own). Sub-ops whose shard is
+// still restoring are answered RECOVERING inline (a batch never parks).
 //
 // A TXN request carries a multi-key read/write set executed atomically by a
 // transactional backend. Each op is:
@@ -116,6 +134,7 @@ enum class Op : uint8_t {
   kTxnChunk = 10,
   kDump = 11,
   kProvider = 12,
+  kBatch = 13,
 };
 
 // TXN op kinds (`TxnWireOp::kind`).
@@ -128,6 +147,11 @@ constexpr uint8_t kMaxTxnOpKind = static_cast<uint8_t>(TxnOpKind::kAdd);
 
 // Hard ceiling on ops per TXN frame; anything larger fails decode.
 constexpr uint32_t kMaxTxnOps = 1024;
+
+// Hard ceiling on sub-operations per BATCH frame; anything larger fails
+// decode. Sub-ops must be data ops (READ/UPSERT/RMW/DELETE); nested BATCH
+// is rejected before recursing so hostile frames cannot nest arbitrarily.
+constexpr uint32_t kMaxBatchOps = 256;
 
 // Hard ceiling on ops per logical (possibly chunked) transaction. The
 // server rejects staging beyond this; larger write sets must be split into
@@ -214,6 +238,7 @@ struct Request {
   ProviderAction provider_action = ProviderAction::kQuery;  // PROVIDER
   durability::ProviderKind provider_kind =
       durability::ProviderKind::kCpr;  // PROVIDER (SWITCH target)
+  std::vector<Request> batch;      // BATCH sub-requests (data ops only)
 };
 
 struct Response {
@@ -237,6 +262,7 @@ struct Response {
   bool provider_pending = false;        // PROVIDER: switch queued
   uint64_t provider_switches = 0;       // PROVIDER: completed switches
   uint64_t provider_last_boundary = 0;  // PROVIDER: last boundary version
+  std::vector<Response> batch;          // BATCH sub-responses (iff status OK)
 };
 
 // -- Framing ----------------------------------------------------------------
@@ -263,6 +289,17 @@ void EncodeResponse(const Response& resp, std::vector<char>* out);
 // Sets within kMaxTxnOps produce a single plain TXN frame. req.op must be
 // kTxn and req.txn_ops must hold 1..kMaxTxnOpsLogical ops.
 void EncodeTxnChunked(const Request& req, std::vector<char>* out);
+
+// Incremental BATCH-response writer: appends the outer frame header + batch
+// preamble (status OK, sub count `n`) and returns the frame's start offset.
+// The caller then appends exactly `n` sub-responses with EncodeResponse —
+// a sub-response is byte-identical to its standalone frame — and closes the
+// frame with EndBatchResponse, which patches the outer length. This lets the
+// server serialize a released batch group straight out of its pending queue
+// without assembling an intermediate outer Response.
+size_t BeginBatchResponse(uint32_t seq, uint64_t max_serial, uint32_t n,
+                          std::vector<char>* out);
+void EndBatchResponse(size_t start, std::vector<char>* out);
 
 // -- Decoding (frame payload only; false on any truncated/trailing bytes) ---
 

@@ -82,6 +82,11 @@ struct ServerCounters {
   // WAL, write-heavy favors CPR).
   std::atomic<uint64_t> read_ops{0};
   std::atomic<uint64_t> write_ops{0};
+  // Slow-reader flow control: connections whose outbuf backlog crossed the
+  // soft cap (server stops reading from them until they drain) and
+  // connections closed for blowing through the hard cap.
+  std::atomic<uint64_t> slow_reader_throttled{0};
+  std::atomic<uint64_t> slow_reader_closed{0};
 
   // Execute→durable lag of durable-gated responses: time from enqueueing the
   // executed operation until its covering checkpoint released the ack.
@@ -104,7 +109,8 @@ struct ServerCounters {
         checkpoint_stalls, checkpoint_failures, not_durable_acks,
         not_durable_engine, not_durable_degraded, protocol_errors, ops_parked,
         recovering_rejections, parked_failed_at_shutdown, time_to_first_op_ns,
-        recovery_duration_ns, read_ops, write_ops;
+        recovery_duration_ns, read_ops, write_ops, slow_reader_throttled,
+        slow_reader_closed;
     HistogramData durable_lag;
     uint64_t durable_lag_max_ns;
     // Cumulative engine checkpoint phase time, indexed by
@@ -131,6 +137,7 @@ struct ServerCounters {
                ld(recovering_rejections), ld(parked_failed_at_shutdown),
                ld(time_to_first_op_ns),  ld(recovery_duration_ns),
                ld(read_ops),             ld(write_ops),
+               ld(slow_reader_throttled), ld(slow_reader_closed),
                durable_lag_.Sample(),    ld(durable_lag_max_ns)};
     return s;
   }

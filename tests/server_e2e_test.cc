@@ -12,9 +12,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "client/client.h"
@@ -1000,6 +1002,295 @@ TEST(ServerE2E, StatsHealthAndBreakdownRoundTrip) {
 
   c.Close();
   server.Stop();
+}
+
+// -- BATCH frames end to end --------------------------------------------------
+
+// Batching is transport-level only: the same pipelined workload, coalesced
+// into BATCH frames, must produce byte-for-byte the same results, order, and
+// serials as the unbatched run — and far fewer wire frames.
+TEST(ServerE2E, BatchedPipelineKeepsOrderAndSerials) {
+  FasterKv kv(SmallOptions(FreshDir()));
+  KvServer server(&kv, ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  CprClient::Options copts = ClientOptions(server.port());
+  copts.batch = true;
+  copts.batch_max_ops = 32;
+  copts.adaptive_window = true;
+  CprClient c(copts);
+  ASSERT_TRUE(c.Connect().ok());
+  EXPECT_GE(c.target_window(), 16u);
+
+  constexpr int kOps = 4000;  // also an ack-burst drain regression: one
+                              // Drain consumes thousands of buffered frames
+  for (int i = 0; i < kOps; ++i) c.EnqueueRmw(i % 16, 1);
+  for (int i = 0; i < 16; ++i) c.EnqueueRead(i);
+  c.EnqueueRead(99999);  // miss inside a batch: per-op NOT_FOUND status
+  ASSERT_TRUE(c.Flush().ok());
+  std::vector<CprClient::Result> results;
+  ASSERT_TRUE(c.Drain(&results).ok());
+  ASSERT_EQ(results.size(), static_cast<size_t>(kOps + 17));
+
+  uint64_t prev_serial = 0;
+  for (int i = 0; i < kOps; ++i) {
+    EXPECT_EQ(results[i].op, net::Op::kRmw);
+    EXPECT_EQ(results[i].status, net::WireStatus::kOk);
+    ASSERT_EQ(results[i].serial, prev_serial + 1);
+    prev_serial = results[i].serial;
+  }
+  for (int i = 0; i < 16; ++i) {
+    const auto& r = results[kOps + i];
+    EXPECT_EQ(r.op, net::Op::kRead);
+    ASSERT_EQ(r.status, net::WireStatus::kOk);
+    int64_t v = 0;
+    std::memcpy(&v, r.value.data(), sizeof(v));
+    EXPECT_EQ(v, kOps / 16);
+  }
+  EXPECT_EQ(results[kOps + 16].status, net::WireStatus::kNotFound);
+
+  c.Close();
+  server.Stop();
+  // The server counted every sub-op as a request, answered all of them, and
+  // did it over far fewer response frames than requests (batching worked).
+  const auto counters = server.counters();
+  EXPECT_GE(counters.requests, static_cast<uint64_t>(kOps + 17));
+  EXPECT_EQ(counters.requests, counters.responses);
+}
+
+// The headline crash story with batching forced on: durably-acked prefix
+// survives, the unacked suffix replays (as BATCH frames) exactly once.
+TEST(ServerE2E, BatchedCrashRecoveryDurableClientExactlyOnce) {
+  const std::string dir = FreshDir();
+  constexpr uint64_t kKeys = 10;
+  constexpr int kBatch1 = 50;
+  constexpr int kBatch2 = 30;
+
+  auto kv1 = std::make_unique<FasterKv>(SmallOptions(dir));
+  auto server1 = std::make_unique<KvServer>(kv1.get(), ServerOptions());
+  ASSERT_TRUE(server1->Start().ok());
+  const uint16_t port = server1->port();
+
+  CprClient::Options copts;
+  copts.ack_mode = net::AckMode::kDurable;
+  copts.recv_timeout_ms = 2'000;
+  copts.port = port;
+  copts.batch = true;
+  copts.batch_max_ops = 16;
+  CprClient c(copts);
+  ASSERT_TRUE(c.Connect().ok());
+  const uint64_t guid = c.guid();
+
+  for (int i = 0; i < kBatch1; ++i) c.EnqueueRmw(i % kKeys, 1);
+  c.EnqueueCheckpoint(/*snapshot=*/false, /*include_index=*/true);
+  ASSERT_TRUE(c.Flush().ok());
+  std::vector<CprClient::Result> results;
+  ASSERT_TRUE(c.Drain(&results).ok());
+  ASSERT_EQ(results.size(), static_cast<size_t>(kBatch1 + 1));
+  for (int i = 0; i < kBatch1 + 1; ++i) {
+    ASSERT_EQ(results[i].status, net::WireStatus::kOk);
+  }
+  EXPECT_GE(c.durable_serial(), static_cast<uint64_t>(kBatch1));
+  EXPECT_EQ(c.replay_backlog(), 0u);
+
+  for (int i = 0; i < kBatch2; ++i) c.EnqueueRmw(i % kKeys, 1);
+  ASSERT_TRUE(c.Flush().ok());
+  EXPECT_EQ(c.replay_backlog(), static_cast<size_t>(kBatch2));
+
+  server1->Stop();
+  server1.reset();
+  kv1.reset();
+
+  FasterKv kv(SmallOptions(dir));
+  ASSERT_TRUE(kv.Recover().ok());
+  KvServer server(&kv, ServerOptions(port));
+  ASSERT_TRUE(server.Start().ok());
+
+  ASSERT_TRUE(c.Reconnect().ok());
+  EXPECT_EQ(c.guid(), guid);
+  EXPECT_EQ(c.recovered_serial(), static_cast<uint64_t>(kBatch1));
+  EXPECT_EQ(c.replay_backlog(), 0u);
+  EXPECT_GE(c.durable_serial(), static_cast<uint64_t>(kBatch1 + kBatch2));
+
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    bool found = false;
+    const int64_t v = ReadValue(c, k, &found);
+    ASSERT_TRUE(found) << "key " << k;
+    EXPECT_EQ(v, (kBatch1 + kBatch2) / static_cast<int>(kKeys))
+        << "key " << k;
+  }
+
+  c.Close();
+  server.Stop();
+}
+
+// -- Slow-reader flow control -------------------------------------------------
+
+// A client that floods STATS requests without draining responses pushes the
+// connection's outbuf past the soft cap: the server must stop reading from
+// it (counted), then resume and deliver everything once the client drains.
+TEST(ServerE2E, SlowReaderSoftCapThrottlesThenResumes) {
+  FasterKv kv(SmallOptions(FreshDir()));
+  KvServerOptions sopts = ServerOptions();
+  sopts.outbuf_soft_cap_bytes = 16u << 10;
+  sopts.outbuf_hard_cap_bytes = 0;  // this test is about throttling only
+  KvServer server(&kv, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  CprClient::Options copts = ClientOptions(server.port());
+  copts.recv_timeout_ms = 10'000;
+  CprClient c(copts);
+  ASSERT_TRUE(c.Connect().ok());
+
+  // Each metrics-text response is multiple KB; a few thousand of them far
+  // exceed what the kernel socket buffers can absorb, so the backlog must
+  // cross the soft cap while this thread is not yet reading.
+  constexpr int kStats = 3000;
+  for (int i = 0; i < kStats; ++i) c.EnqueueStats();
+  ASSERT_TRUE(c.Flush().ok());
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.counters().slow_reader_throttled == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(server.counters().slow_reader_throttled, 1u);
+
+  // Drain everything: reads resume server-side, nothing is lost or closed.
+  std::vector<CprClient::Result> results;
+  ASSERT_TRUE(c.Drain(&results).ok());
+  ASSERT_EQ(results.size(), static_cast<size_t>(kStats));
+  for (const auto& r : results) {
+    EXPECT_EQ(r.status, net::WireStatus::kOk);
+    EXPECT_FALSE(r.stats.empty());
+  }
+  EXPECT_EQ(server.counters().slow_reader_closed, 0u);
+
+  c.Close();
+  server.Stop();
+}
+
+// Past the hard cap the server stops buffering for a non-draining peer and
+// closes the connection instead of growing the outbuf without bound.
+TEST(ServerE2E, SlowReaderHardCapClosesConnection) {
+  FasterKv kv(SmallOptions(FreshDir()));
+  KvServerOptions sopts = ServerOptions();
+  sopts.outbuf_soft_cap_bytes = 0;  // keep reading: force outbuf growth
+  sopts.outbuf_hard_cap_bytes = 256u << 10;
+  KvServer server(&kv, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  CprClient::Options copts = ClientOptions(server.port());
+  CprClient c(copts);
+  ASSERT_TRUE(c.Connect().ok());
+
+  constexpr int kStats = 3000;
+  for (int i = 0; i < kStats; ++i) c.EnqueueStats();
+  ASSERT_TRUE(c.Flush().ok());
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.counters().slow_reader_closed == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(server.counters().slow_reader_closed, 1u);
+
+  // The connection is gone: draining all 3000 responses must fail partway.
+  std::vector<CprClient::Result> results;
+  EXPECT_FALSE(c.Drain(&results, kStats).ok());
+
+  c.Close();
+  server.Stop();
+}
+
+// -- SendAll under a tiny send buffer -----------------------------------------
+
+// Regression for two SendAll bugs: send() returning 0 surfaced a stale-errno
+// IoError, and EAGAIN (SO_SNDTIMEO expiry on a full buffer) was treated as
+// fatal instead of waiting for writability. A stub server that answers HELLO
+// and then stalls longer than the client's send timeout forces the full
+// buffer; the client must wait out the stall and complete the flush.
+TEST(ServerE2E, SendAllSurvivesFullSendBufferStall) {
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  const int rcvbuf = 4096;  // inherited by the accepted socket: tiny window
+  setsockopt(lfd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 1), 0);
+  socklen_t alen = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen), 0);
+  const uint16_t port = ntohs(addr.sin_port);
+
+  constexpr int kOps = 8000;
+  std::thread stub([&] {
+    const int cfd = ::accept(lfd, nullptr, nullptr);
+    ASSERT_GE(cfd, 0);
+    // Read the HELLO frame (header, then exactly the payload).
+    char buf[4096];
+    size_t got = 0;
+    uint32_t len = 0;
+    while (got < net::kFrameHeaderBytes) {
+      const ssize_t n = ::recv(cfd, buf + got, sizeof(buf) - got, 0);
+      ASSERT_GT(n, 0);
+      got += static_cast<size_t>(n);
+    }
+    std::memcpy(&len, buf, sizeof(len));
+    while (got < net::kFrameHeaderBytes + len) {
+      const ssize_t n = ::recv(cfd, buf + got, sizeof(buf) - got, 0);
+      ASSERT_GT(n, 0);
+      got += static_cast<size_t>(n);
+    }
+    net::Request hello;
+    ASSERT_TRUE(net::DecodeRequest(
+        std::string_view(buf + net::kFrameHeaderBytes, len), &hello));
+    net::Response resp;
+    resp.op = net::Op::kHello;
+    resp.status = net::WireStatus::kOk;
+    resp.seq = hello.seq;
+    resp.guid = 7;
+    resp.recovered_serial = 0;
+    resp.value_size = 8;
+    std::vector<char> frame;
+    net::EncodeResponse(resp, &frame);
+    ASSERT_EQ(::send(cfd, frame.data(), frame.size(), 0),
+              static_cast<ssize_t>(frame.size()));
+    // Stall: longer than one send timeout, shorter than two, so the client
+    // exhausts its send buffer, times out inside send(), and sits in the
+    // POLLOUT wait when draining starts.
+    std::this_thread::sleep_for(std::chrono::milliseconds(900));
+    size_t drained = 0;
+    while (true) {
+      const ssize_t n = ::recv(cfd, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      drained += static_cast<size_t>(n);
+    }
+    // Every byte of the burst arrived: 8000 RMW frames, 25 bytes each.
+    EXPECT_EQ(drained, static_cast<size_t>(kOps) * 25);
+    ::close(cfd);
+  });
+
+  CprClient::Options copts;
+  copts.port = port;
+  copts.so_sndbuf = 4096;
+  copts.send_timeout_ms = 400;
+  copts.track_replay = false;  // keep the 8000-op burst cheap
+  CprClient c(copts);
+  ASSERT_TRUE(c.Connect().ok());
+
+  for (int i = 0; i < kOps; ++i) c.EnqueueRmw(i, 1);
+  // ~200 KB against a 4 KB send buffer and a stalled reader: with the old
+  // SendAll this failed with IoError the moment the buffer filled.
+  ASSERT_TRUE(c.Flush().ok());
+
+  c.Close();  // stub's recv sees the close and finishes counting
+  stub.join();
+  ::close(lfd);
 }
 
 }  // namespace

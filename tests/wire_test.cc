@@ -256,7 +256,7 @@ TEST(WireRequest, RejectsBadEnums) {
   std::string bad_op = payload;
   bad_op[0] = 0;  // below kHello
   EXPECT_FALSE(DecodeRequest(bad_op, &out));
-  bad_op[0] = 13;  // above kProvider
+  bad_op[0] = 14;  // above kBatch
   EXPECT_FALSE(DecodeRequest(bad_op, &out));
 
   Request hello;
@@ -620,7 +620,7 @@ TEST(WireRequest, FuzzedBytesNeverDecodeOutOfRangeEnums) {
         const uint8_t op = static_cast<uint8_t>(out.op);
         EXPECT_GE(op, static_cast<uint8_t>(Op::kHello))
             << OpName(req.op) << " pos " << pos << " val " << v;
-        EXPECT_LE(op, static_cast<uint8_t>(Op::kProvider))
+        EXPECT_LE(op, static_cast<uint8_t>(Op::kBatch))
             << OpName(req.op) << " pos " << pos << " val " << v;
         EXPECT_LE(static_cast<uint8_t>(out.ack_mode),
                   static_cast<uint8_t>(AckMode::kDurable));
@@ -896,7 +896,7 @@ TEST(WireResponse, FuzzedRecoveringBytesNeverDecodeOutOfRangeEnums) {
         EXPECT_GE(static_cast<uint8_t>(out.op),
                   static_cast<uint8_t>(Op::kHello));
         EXPECT_LE(static_cast<uint8_t>(out.op),
-                  static_cast<uint8_t>(Op::kProvider));
+                  static_cast<uint8_t>(Op::kBatch));
       }
     }
   }
@@ -959,10 +959,308 @@ TEST(WireResponse, FuzzedProviderBytesNeverDecodeOutOfRangeEnums) {
       EXPECT_GE(static_cast<uint8_t>(out.op),
                 static_cast<uint8_t>(Op::kHello));
       EXPECT_LE(static_cast<uint8_t>(out.op),
-                static_cast<uint8_t>(Op::kProvider));
+                static_cast<uint8_t>(Op::kBatch));
       if (out.op == Op::kProvider) {
         EXPECT_LE(static_cast<uint8_t>(out.provider_kind),
                   durability::kMaxProviderKind)
+            << "pos " << pos << " val " << v;
+      }
+    }
+  }
+}
+
+// -- BATCH frames -------------------------------------------------------------
+//
+// A BATCH payload is u8 op | u32 seq | u32 n | n x (u32 len, sub-payload),
+// where each sub-payload is byte-identical to the standalone frame payload of
+// that operation. Offsets used below: count at [5,9), first sub length at
+// [9,13), first sub payload from 13.
+
+Request MakeBatchRequest() {
+  Request batch;
+  batch.op = Op::kBatch;
+  batch.seq = 100;
+  {
+    Request r;
+    r.op = Op::kRead;
+    r.seq = 100;
+    r.key = 1;
+    batch.batch.push_back(r);
+  }
+  {
+    Request r;
+    r.op = Op::kUpsert;
+    r.seq = 101;
+    r.key = 2;
+    r.value = {'v', 'a', 'l', 'u', 'e', '0', '0', '1'};
+    batch.batch.push_back(r);
+  }
+  {
+    Request r;
+    r.op = Op::kRmw;
+    r.seq = 102;
+    r.key = 3;
+    r.delta = -42;
+    batch.batch.push_back(r);
+  }
+  {
+    Request r;
+    r.op = Op::kDelete;
+    r.seq = 103;
+    r.key = 4;
+    batch.batch.push_back(r);
+  }
+  return batch;
+}
+
+TEST(WireBatch, RequestRoundTrip) {
+  const Request batch = MakeBatchRequest();
+  Request out;
+  ASSERT_TRUE(DecodeRequest(EncodedRequestPayload(batch), &out));
+  EXPECT_EQ(out.op, Op::kBatch);
+  EXPECT_EQ(out.seq, 100u);
+  ASSERT_EQ(out.batch.size(), 4u);
+  EXPECT_EQ(out.batch[0].op, Op::kRead);
+  EXPECT_EQ(out.batch[0].seq, 100u);
+  EXPECT_EQ(out.batch[0].key, 1u);
+  EXPECT_EQ(out.batch[1].op, Op::kUpsert);
+  EXPECT_EQ(out.batch[1].value, batch.batch[1].value);
+  EXPECT_EQ(out.batch[2].op, Op::kRmw);
+  EXPECT_EQ(out.batch[2].delta, -42);
+  EXPECT_EQ(out.batch[3].op, Op::kDelete);
+  EXPECT_EQ(out.batch[3].key, 4u);
+}
+
+TEST(WireBatch, SubFramesAreByteIdenticalToStandaloneFrames) {
+  // The sub-entries of a BATCH payload are (u32 len, payload) pairs that
+  // match a standalone frame of the same op exactly — so encode/decode can
+  // recurse and the client can stage pre-encoded frames verbatim.
+  const Request batch = MakeBatchRequest();
+  const std::string payload = EncodedRequestPayload(batch);
+  size_t off = 9;  // skip op|seq|count
+  for (const Request& sub : batch.batch) {
+    std::vector<char> frame;
+    EncodeRequest(sub, &frame);
+    ASSERT_LE(off + frame.size(), payload.size());
+    EXPECT_EQ(std::memcmp(payload.data() + off, frame.data(), frame.size()),
+              0)
+        << OpName(sub.op);
+    off += frame.size();
+  }
+  EXPECT_EQ(off, payload.size());
+}
+
+TEST(WireBatch, ResponseRoundTrip) {
+  Response batch;
+  batch.op = Op::kBatch;
+  batch.status = WireStatus::kOk;
+  batch.seq = 100;
+  batch.serial = 12;  // max serial covered by the batch
+  {
+    Response r;
+    r.op = Op::kRead;
+    r.status = WireStatus::kOk;
+    r.seq = 100;
+    r.serial = 10;
+    r.value = {'r', 'e', 's', 'u', 'l', 't', '0', '1'};
+    batch.batch.push_back(r);
+  }
+  {
+    Response r;
+    r.op = Op::kUpsert;
+    r.status = WireStatus::kOk;
+    r.seq = 101;
+    r.serial = 11;
+    batch.batch.push_back(r);
+  }
+  {
+    Response r;
+    r.op = Op::kRead;
+    r.status = WireStatus::kNotFound;
+    r.seq = 102;
+    r.serial = 12;
+    batch.batch.push_back(r);
+  }
+  Response out;
+  ASSERT_TRUE(DecodeResponse(EncodedResponsePayload(batch), &out));
+  EXPECT_EQ(out.op, Op::kBatch);
+  EXPECT_EQ(out.status, WireStatus::kOk);
+  EXPECT_EQ(out.serial, 12u);
+  ASSERT_EQ(out.batch.size(), 3u);
+  EXPECT_EQ(out.batch[0].op, Op::kRead);
+  EXPECT_EQ(out.batch[0].value, batch.batch[0].value);
+  EXPECT_EQ(out.batch[1].op, Op::kUpsert);
+  EXPECT_EQ(out.batch[1].serial, 11u);
+  EXPECT_EQ(out.batch[2].status, WireStatus::kNotFound);
+  EXPECT_EQ(out.batch[2].seq, 102u);
+}
+
+TEST(WireBatch, NonOkResponseCarriesNoSubResponses) {
+  Response batch;
+  batch.op = Op::kBatch;
+  batch.status = WireStatus::kBadRequest;
+  batch.seq = 100;
+  {
+    Response r;
+    r.op = Op::kRead;
+    r.status = WireStatus::kOk;
+    r.seq = 100;
+    batch.batch.push_back(r);  // must NOT be encoded
+  }
+  Response out;
+  ASSERT_TRUE(DecodeResponse(EncodedResponsePayload(batch), &out));
+  EXPECT_EQ(out.op, Op::kBatch);
+  EXPECT_EQ(out.status, WireStatus::kBadRequest);
+  EXPECT_TRUE(out.batch.empty());
+}
+
+TEST(WireBatch, RejectsBadOpCounts) {
+  const std::string payload = EncodedRequestPayload(MakeBatchRequest());
+  Request out;
+
+  std::string zero = payload;
+  uint32_t n = 0;
+  std::memcpy(zero.data() + 5, &n, sizeof(n));
+  EXPECT_FALSE(DecodeRequest(zero, &out));
+
+  std::string huge = payload;
+  n = kMaxBatchOps + 1;
+  std::memcpy(huge.data() + 5, &n, sizeof(n));
+  EXPECT_FALSE(DecodeRequest(huge, &out));
+
+  // Count says more sub-requests than the payload holds.
+  std::string more = payload;
+  n = 5;
+  std::memcpy(more.data() + 5, &n, sizeof(n));
+  EXPECT_FALSE(DecodeRequest(more, &out));
+
+  // Count says fewer: the leftover sub-frames are trailing junk.
+  std::string fewer = payload;
+  n = 3;
+  std::memcpy(fewer.data() + 5, &n, sizeof(n));
+  EXPECT_FALSE(DecodeRequest(fewer, &out));
+}
+
+TEST(WireBatch, RejectsTruncatedOpList) {
+  const std::string payload = EncodedRequestPayload(MakeBatchRequest());
+  Request out;
+  for (size_t prefix = 0; prefix < payload.size(); ++prefix) {
+    EXPECT_FALSE(
+        DecodeRequest(std::string_view(payload.data(), prefix), &out))
+        << "prefix " << prefix;
+  }
+  EXPECT_TRUE(DecodeRequest(payload, &out));
+}
+
+TEST(WireBatch, RejectsSubLengthMismatch) {
+  const std::string payload = EncodedRequestPayload(MakeBatchRequest());
+  Request out;
+
+  // First sub is a READ: 1 + 4 + 8 = 13 payload bytes at offset 13, with its
+  // length prefix at offset 9. Shrinking the length leaves the tail of the
+  // READ misparsed as the next length prefix; growing it steals bytes from
+  // the next sub. Either way the batch must not decode.
+  for (uint32_t len : {0u, 1u, 12u, 14u, 200u}) {
+    std::string bad = payload;
+    std::memcpy(bad.data() + 9, &len, sizeof(len));
+    EXPECT_FALSE(DecodeRequest(bad, &out)) << "len " << len;
+  }
+}
+
+TEST(WireBatch, RejectsNestedBatch) {
+  Request inner;
+  inner.op = Op::kRead;
+  inner.seq = 1;
+  inner.key = 9;
+  Request nested;
+  nested.op = Op::kBatch;
+  nested.seq = 2;
+  nested.batch.push_back(inner);
+  Request batch;
+  batch.op = Op::kBatch;
+  batch.seq = 3;
+  batch.batch.push_back(nested);  // encoder does not validate; decoder must
+  Request out;
+  EXPECT_FALSE(DecodeRequest(EncodedRequestPayload(batch), &out));
+}
+
+TEST(WireBatch, RejectsNonDataSubOps) {
+  for (Op sub_op : {Op::kHello, Op::kCheckpoint, Op::kCommitPoint, Op::kTxn,
+                    Op::kStats}) {
+    Request sub;
+    sub.op = sub_op;
+    sub.seq = 1;
+    sub.guid = 7;     // kHello
+    sub.variant = 0;  // kCheckpoint
+    Request batch;
+    batch.op = Op::kBatch;
+    batch.seq = 2;
+    batch.batch.push_back(sub);
+    Request out;
+    EXPECT_FALSE(DecodeRequest(EncodedRequestPayload(batch), &out))
+        << OpName(sub_op);
+  }
+}
+
+TEST(WireBatch, FuzzedRequestBytesNeverDecodeOutOfRange) {
+  const std::string payload = EncodedRequestPayload(MakeBatchRequest());
+  for (size_t pos = 0; pos < payload.size(); ++pos) {
+    for (int v = 0; v < 256; ++v) {
+      std::string mutated = payload;
+      mutated[pos] = static_cast<char>(v);
+      Request out;
+      if (!DecodeRequest(mutated, &out)) continue;
+      const uint8_t op = static_cast<uint8_t>(out.op);
+      EXPECT_GE(op, static_cast<uint8_t>(Op::kHello))
+          << "pos " << pos << " val " << v;
+      EXPECT_LE(op, static_cast<uint8_t>(Op::kBatch))
+          << "pos " << pos << " val " << v;
+      EXPECT_LE(out.batch.size(), static_cast<size_t>(kMaxBatchOps));
+      for (const Request& sub : out.batch) {
+        // Whatever decodes inside a batch is a single-key data op.
+        EXPECT_TRUE(sub.op == Op::kRead || sub.op == Op::kUpsert ||
+                    sub.op == Op::kRmw || sub.op == Op::kDelete)
+            << "pos " << pos << " val " << v << " sub "
+            << static_cast<int>(sub.op);
+      }
+    }
+  }
+}
+
+TEST(WireBatch, FuzzedResponseBytesNeverDecodeOutOfRange) {
+  Response batch;
+  batch.op = Op::kBatch;
+  batch.status = WireStatus::kOk;
+  batch.seq = 41;
+  batch.serial = 9;
+  for (int i = 0; i < 2; ++i) {
+    Response r;
+    r.op = i == 0 ? Op::kRead : Op::kUpsert;
+    r.status = WireStatus::kOk;
+    r.seq = 41 + static_cast<uint32_t>(i);
+    r.serial = 8 + static_cast<uint64_t>(i);
+    if (i == 0) r.value = {'a', 'b'};
+    batch.batch.push_back(r);
+  }
+  const std::string payload = EncodedResponsePayload(batch);
+  for (size_t pos = 0; pos < payload.size(); ++pos) {
+    for (int v = 0; v < 256; ++v) {
+      std::string mutated = payload;
+      mutated[pos] = static_cast<char>(v);
+      Response out;
+      if (!DecodeResponse(mutated, &out)) continue;
+      EXPECT_LE(static_cast<uint8_t>(out.status), kMaxWireStatus)
+          << "pos " << pos << " val " << v;
+      EXPECT_GE(static_cast<uint8_t>(out.op),
+                static_cast<uint8_t>(Op::kHello));
+      EXPECT_LE(static_cast<uint8_t>(out.op),
+                static_cast<uint8_t>(Op::kBatch));
+      EXPECT_LE(out.batch.size(), static_cast<size_t>(kMaxBatchOps));
+      for (const Response& sub : out.batch) {
+        EXPECT_LE(static_cast<uint8_t>(sub.status), kMaxWireStatus)
+            << "pos " << pos << " val " << v;
+        EXPECT_TRUE(sub.op == Op::kRead || sub.op == Op::kUpsert ||
+                    sub.op == Op::kRmw || sub.op == Op::kDelete)
             << "pos " << pos << " val " << v;
       }
     }
@@ -973,6 +1271,7 @@ TEST(WireNames, AreStable) {
   EXPECT_STREQ(OpName(Op::kHello), "HELLO");
   EXPECT_STREQ(OpName(Op::kCommitPoint), "COMMIT_POINT");
   EXPECT_STREQ(OpName(Op::kProvider), "PROVIDER");
+  EXPECT_STREQ(OpName(Op::kBatch), "BATCH");
   EXPECT_STREQ(StatusName(WireStatus::kOk), "OK");
   EXPECT_STREQ(StatusName(WireStatus::kBusy), "BUSY");
   EXPECT_STREQ(StatusName(WireStatus::kNotDurable), "NOT_DURABLE");
